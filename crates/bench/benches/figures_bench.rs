@@ -1,0 +1,90 @@
+//! Criterion microbenchmarks: one per paper table/figure, on reduced
+//! inputs, measuring the end-to-end simulation cost of regenerating each
+//! experiment, plus per-technique simulator-throughput benches and the
+//! design-choice ablations called out in DESIGN.md.
+//!
+//! The *full-scale* reproduction lives in the `figures` binary
+//! (`cargo run -p bench --release --bin figures -- all`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bench::{run_experiment, Ctx};
+use dvr_sim::{simulate, SimConfig, Technique};
+use workloads::{Benchmark, GraphInput, SizeClass};
+
+fn bench_ctx() -> Ctx {
+    Ctx::new(SizeClass::Test, 20_000, 42)
+}
+
+fn experiment_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    for exp in
+        ["table2", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation"]
+    {
+        group.bench_function(format!("{exp}_reduced"), |b| {
+            b.iter(|| {
+                let mut ctx = bench_ctx();
+                black_box(run_experiment(exp, &mut ctx))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn technique_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_bfs_kr");
+    group.sample_size(10);
+    let wl = Benchmark::Bfs.build(Some(GraphInput::Kr), SizeClass::Test, 42);
+    for t in [
+        Technique::Baseline,
+        Technique::Pre,
+        Technique::Imp,
+        Technique::Vr,
+        Technique::Dvr,
+        Technique::Oracle,
+    ] {
+        group.bench_function(t.name(), |b| {
+            let cfg = SimConfig::new(t).with_max_instructions(20_000);
+            b.iter(|| black_box(simulate(&wl, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    let wl = Benchmark::Camel.build(None, SizeClass::Test, 42);
+    // Lane-count sensitivity (Section 6.1's 128-vs-256 discussion is about
+    // lookahead capacity; here we sweep the per-invocation lane cap).
+    for lanes in [32usize, 64, 128] {
+        group.bench_function(format!("dvr_lanes_{lanes}"), |b| {
+            b.iter(|| {
+                let mut engine = dvr_sim::DvrEngine::new(dvr_sim::DvrConfig {
+                    max_lanes: lanes,
+                    ..dvr_sim::DvrConfig::default()
+                });
+                let mut core = dvr_sim::OooCore::new(dvr_sim::CoreConfig::default());
+                let mut hier =
+                    dvr_sim::MemoryHierarchy::new(dvr_sim::HierarchyConfig::default());
+                let mut mem = wl.mem.clone();
+                core.run(&wl.prog, &mut mem, &mut hier, &mut engine, 20_000);
+                black_box(core.stats().ipc())
+            })
+        });
+    }
+    // MSHR sensitivity.
+    for mshrs in [12usize, 24, 48] {
+        group.bench_function(format!("dvr_mshrs_{mshrs}"), |b| {
+            let cfg =
+                SimConfig::new(Technique::Dvr).with_mshrs(mshrs).with_max_instructions(20_000);
+            b.iter(|| black_box(simulate(&wl, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, experiment_benches, technique_benches, ablation_benches);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p bench --release --bin figures -- <experiment> [options]
+//!
+//! experiments: table1 table2 fig2 fig7 fig8 fig9 fig10 fig11 fig12 ablation all
+//! options:
+//!   --size test|small|paper   input scale          (default: paper)
+//!   --instrs N                ROI length per run   (default: 500000)
+//!   --seed N                  synthetic-input seed (default: 42)
+//!   --svg DIR                 also render each figure as an SVG chart
+//! ```
+
+use bench::{run_experiment_full, Ctx};
+use workloads::SizeClass;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = "all".to_string();
+    let mut size = SizeClass::Paper;
+    let mut instrs: u64 = 500_000;
+    let mut seed: u64 = 42;
+    let mut svg_dir: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--size" => {
+                i += 1;
+                size = match args.get(i).map(String::as_str) {
+                    Some("test") => SizeClass::Test,
+                    Some("small") => SizeClass::Small,
+                    Some("paper") => SizeClass::Paper,
+                    other => {
+                        eprintln!("unknown size {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--instrs" => {
+                i += 1;
+                instrs = args[i].parse().expect("numeric --instrs");
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("numeric --seed");
+            }
+            "--svg" => {
+                i += 1;
+                svg_dir = Some(args[i].clone());
+            }
+            other if !other.starts_with("--") => experiment = other.to_string(),
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut ctx = Ctx::new(size, instrs, seed);
+    let t0 = std::time::Instant::now();
+    let result = run_experiment_full(&experiment, &mut ctx);
+    print!("{}", result.text);
+    if let Some(dir) = svg_dir {
+        std::fs::create_dir_all(&dir).expect("create --svg directory");
+        for chart in &result.charts {
+            let path = format!("{dir}/{}.svg", chart.slug);
+            std::fs::write(&path, chart.to_svg()).expect("write SVG");
+            eprintln!("[figures] wrote {path}");
+        }
+    }
+    eprintln!("[figures] {experiment} done in {:?}", t0.elapsed());
+}

@@ -1,0 +1,502 @@
+//! Self-contained SVG chart rendering for the figure harness.
+//!
+//! Design follows the data-viz method: form first (grouped bars for
+//! per-benchmark comparisons, stacked bars for compositions, lines for
+//! sweeps), one y-axis per chart, categorical colors assigned in a fixed
+//! validated order (never cycled), thin marks with rounded data-ends, a
+//! recessive grid, a legend whenever there are two or more series, and a
+//! table view (the harness's text output) always accompanying the chart —
+//! which is the relief for the palette's low-contrast slots.
+
+use std::fmt::Write as _;
+
+/// Categorical palette, light mode, in its validated fixed order
+/// (worst adjacent CVD ΔE 24.2 — verified with the palette validator).
+const SERIES_COLORS: [&str; 6] =
+    ["#2a78d6", "#1baf7a", "#eda100", "#008300", "#4a3aa7", "#e34948"];
+/// Neutral segment color for "everything else" stack parts (off-chip).
+const NEUTRAL: &str = "#9b9a94";
+const SURFACE: &str = "#fcfcfb";
+const GRID: &str = "#f0efec";
+const TEXT_PRIMARY: &str = "#0b0b0b";
+const TEXT_SECONDARY: &str = "#52514e";
+
+/// The chart's form.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChartKind {
+    /// One group of bars per category, one bar per series (comparisons).
+    GroupedBars,
+    /// One bar per category, stacked series segments (composition; series
+    /// values per category should sum to a meaningful total).
+    StackedBars,
+    /// One line per series over ordered categories (sweeps).
+    Lines,
+}
+
+/// One named series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend name.
+    pub name: String,
+    /// One value per category.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Series { name: name.into(), values }
+    }
+}
+
+/// A renderable chart: structured data plus both renderings (aligned text
+/// table, and a self-contained SVG).
+#[derive(Clone, Debug)]
+pub struct Chart {
+    /// Title (figure name).
+    pub title: String,
+    /// y-axis label.
+    pub y_label: String,
+    /// Category (x) labels.
+    pub categories: Vec<String>,
+    /// The series.
+    pub series: Vec<Series>,
+    /// The form.
+    pub kind: ChartKind,
+    /// Optional reference line (e.g. 1.0 for "baseline").
+    pub baseline: Option<f64>,
+    /// File stem used when writing SVGs.
+    pub slug: String,
+}
+
+impl Chart {
+    /// Checks internal consistency (every series has one value per
+    /// category, at most 6 series for the fixed palette).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.series.is_empty() {
+            return Err(format!("{}: no series", self.slug));
+        }
+        if self.series.len() > SERIES_COLORS.len() {
+            return Err(format!(
+                "{}: {} series exceeds the fixed categorical palette ({})",
+                self.slug,
+                self.series.len(),
+                SERIES_COLORS.len()
+            ));
+        }
+        for s in &self.series {
+            if s.values.len() != self.categories.len() {
+                return Err(format!(
+                    "{}: series '{}' has {} values for {} categories",
+                    self.slug,
+                    s.name,
+                    s.values.len(),
+                    self.categories.len()
+                ));
+            }
+            if s.values.iter().any(|v| !v.is_finite()) {
+                return Err(format!("{}: series '{}' has non-finite values", self.slug, s.name));
+            }
+        }
+        Ok(())
+    }
+
+    /// The table view: an aligned text table (always produced alongside the
+    /// SVG — identity is never carried by color alone).
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "== {} ==", self.title);
+        let cat_w = self.categories.iter().map(String::len).max().unwrap_or(4).max(4);
+        let mut header = format!("{:cat_w$}", "");
+        for ser in &self.series {
+            let _ = write!(header, " {:>10}", truncate(&ser.name, 10));
+        }
+        let _ = writeln!(s, "{header}");
+        for (i, c) in self.categories.iter().enumerate() {
+            let mut row = format!("{c:cat_w$}");
+            for ser in &self.series {
+                let _ = write!(row, " {:>10.3}", ser.values[i]);
+            }
+            let _ = writeln!(s, "{row}");
+        }
+        s
+    }
+
+    /// Renders a self-contained SVG (light mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Chart::validate`] would fail (construct charts through
+    /// the harness, which validates).
+    pub fn to_svg(&self) -> String {
+        self.validate().expect("chart is consistent");
+        let ncat = self.categories.len();
+        let nser = self.series.len();
+
+        // --- Layout ----------------------------------------------------
+        let (bar_w, gap_in, group_pad) = (14.0, 2.0, 14.0);
+        let group_w = match self.kind {
+            ChartKind::GroupedBars => nser as f64 * (bar_w + gap_in) + group_pad,
+            ChartKind::StackedBars => bar_w + group_pad,
+            ChartKind::Lines => 56.0,
+        };
+        let plot_w = (ncat as f64 * group_w).max(320.0);
+        let plot_h = 260.0;
+        let (ml, mr, mt, mb) = (56.0, 16.0, 56.0, 72.0);
+        let width = ml + plot_w + mr;
+        let height = mt + plot_h + mb;
+
+        // --- Scale -----------------------------------------------------
+        let max_v = match self.kind {
+            ChartKind::StackedBars => (0..ncat)
+                .map(|i| self.series.iter().map(|s| s.values[i]).sum::<f64>())
+                .fold(0.0f64, f64::max),
+            _ => self
+                .series
+                .iter()
+                .flat_map(|s| s.values.iter().copied())
+                .fold(0.0f64, f64::max),
+        }
+        .max(self.baseline.unwrap_or(0.0));
+        let y_max = nice_ceiling(max_v * 1.05);
+        let y = |v: f64| mt + plot_h - (v / y_max) * plot_h;
+
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}" font-family="system-ui, sans-serif">"#
+        );
+        let _ = write!(s, r#"<rect width="{width:.0}" height="{height:.0}" fill="{SURFACE}"/>"#);
+        // Title.
+        let _ = write!(
+            s,
+            r#"<text x="{ml}" y="22" font-size="14" font-weight="600" fill="{TEXT_PRIMARY}">{}</text>"#,
+            esc(&self.title)
+        );
+        // Legend (always, for >= 2 series).
+        if nser >= 2 {
+            let mut lx = ml;
+            for (k, ser) in self.series.iter().enumerate() {
+                let c = self.series_color(k);
+                let _ = write!(
+                    s,
+                    r#"<rect x="{lx}" y="32" width="10" height="10" rx="2" fill="{c}"/>"#
+                );
+                let _ = write!(
+                    s,
+                    r#"<text x="{:.0}" y="41" font-size="11" fill="{TEXT_SECONDARY}">{}</text>"#,
+                    lx + 14.0,
+                    esc(&ser.name)
+                );
+                lx += 14.0 + 7.0 * ser.name.len() as f64 + 16.0;
+            }
+        }
+        // Grid + y ticks.
+        let ticks = y_ticks(y_max);
+        for t in &ticks {
+            let ty = y(*t);
+            let _ = write!(
+                s,
+                r#"<line x1="{ml}" y1="{ty:.1}" x2="{:.1}" y2="{ty:.1}" stroke="{GRID}" stroke-width="1"/>"#,
+                ml + plot_w
+            );
+            let _ = write!(
+                s,
+                r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end" fill="{TEXT_SECONDARY}">{}</text>"#,
+                ml - 6.0,
+                ty + 4.0,
+                fmt_tick(*t)
+            );
+        }
+        // Reference line.
+        if let Some(b) = self.baseline {
+            let by = y(b);
+            let _ = write!(
+                s,
+                r#"<line x1="{ml}" y1="{by:.1}" x2="{:.1}" y2="{by:.1}" stroke="{TEXT_SECONDARY}" stroke-width="1" stroke-dasharray="4 3"/>"#,
+                ml + plot_w
+            );
+        }
+        // y label.
+        let _ = write!(
+            s,
+            r#"<text x="14" y="{:.0}" font-size="11" fill="{TEXT_SECONDARY}" transform="rotate(-90 14 {:.0})" text-anchor="middle">{}</text>"#,
+            mt + plot_h / 2.0,
+            mt + plot_h / 2.0,
+            esc(&self.y_label)
+        );
+
+        // --- Marks -------------------------------------------------------
+        match self.kind {
+            ChartKind::GroupedBars => {
+                for (i, _) in self.categories.iter().enumerate() {
+                    let gx = ml + i as f64 * group_w + group_pad / 2.0;
+                    for (k, ser) in self.series.iter().enumerate() {
+                        let v = ser.values[i];
+                        let x0 = gx + k as f64 * (bar_w + gap_in);
+                        let _ = write!(s, "{}", bar(x0, y(v), bar_w, y(0.0), self.series_color(k)));
+                    }
+                }
+            }
+            ChartKind::StackedBars => {
+                for (i, _) in self.categories.iter().enumerate() {
+                    let x0 = ml + i as f64 * group_w + group_pad / 2.0;
+                    let mut acc = 0.0;
+                    for (k, ser) in self.series.iter().enumerate() {
+                        let v = ser.values[i];
+                        let y_top = y(acc + v);
+                        let y_bot = (y(acc) - 2.0).max(y_top); // 2px surface gap
+                        let _ = write!(
+                            s,
+                            r#"<rect x="{x0:.1}" y="{y_top:.1}" width="{bar_w}" height="{:.1}" fill="{}"/>"#,
+                            (y_bot - y_top).max(0.0),
+                            self.series_color(k)
+                        );
+                        acc += v;
+                    }
+                }
+            }
+            ChartKind::Lines => {
+                for (k, ser) in self.series.iter().enumerate() {
+                    let c = self.series_color(k);
+                    let pts: Vec<(f64, f64)> = ser
+                        .values
+                        .iter()
+                        .enumerate()
+                        .map(|(i, v)| (ml + (i as f64 + 0.5) * group_w, y(*v)))
+                        .collect();
+                    let path: String = pts
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (px, py))| {
+                            format!("{}{px:.1} {py:.1}", if i == 0 { "M" } else { "L" })
+                        })
+                        .collect();
+                    let _ = write!(
+                        s,
+                        r#"<path d="{path}" fill="none" stroke="{c}" stroke-width="2"/>"#
+                    );
+                    for (px, py) in &pts {
+                        let _ = write!(
+                            s,
+                            r#"<circle cx="{px:.1}" cy="{py:.1}" r="4" fill="{c}" stroke="{SURFACE}" stroke-width="2"/>"#
+                        );
+                    }
+                    // Direct label at the line end (selective labeling).
+                    if let Some((px, py)) = pts.last() {
+                        let _ = write!(
+                            s,
+                            r#"<text x="{:.1}" y="{:.1}" font-size="11" fill="{TEXT_SECONDARY}">{}</text>"#,
+                            px + 8.0,
+                            py + 4.0,
+                            esc(&ser.name)
+                        );
+                    }
+                }
+            }
+        }
+
+        // x labels (rotated when dense).
+        let rotate = ncat > 8;
+        for (i, c) in self.categories.iter().enumerate() {
+            let cx = ml + (i as f64 + 0.5) * group_w;
+            let ty = mt + plot_h + 14.0;
+            if rotate {
+                let _ = write!(
+                    s,
+                    r#"<text x="{cx:.1}" y="{ty:.1}" font-size="10" fill="{TEXT_SECONDARY}" text-anchor="end" transform="rotate(-45 {cx:.1} {ty:.1})">{}</text>"#,
+                    esc(c)
+                );
+            } else {
+                let _ = write!(
+                    s,
+                    r#"<text x="{cx:.1}" y="{ty:.1}" font-size="11" fill="{TEXT_SECONDARY}" text-anchor="middle">{}</text>"#,
+                    esc(c)
+                );
+            }
+        }
+        // Baseline axis.
+        let _ = write!(
+            s,
+            r#"<line x1="{ml}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{TEXT_SECONDARY}" stroke-width="1"/>"#,
+            y(0.0),
+            ml + plot_w,
+            y(0.0)
+        );
+        s.push_str("</svg>");
+        s
+    }
+
+    fn series_color(&self, k: usize) -> &'static str {
+        // The off-chip / remainder segment of a stacked composition is
+        // neutral, not a categorical hue.
+        if self.kind == ChartKind::StackedBars
+            && k == self.series.len() - 1
+            && self.series[k].name.to_lowercase().contains("off")
+        {
+            return NEUTRAL;
+        }
+        SERIES_COLORS[k]
+    }
+}
+
+/// A bar with a 4px-rounded data end, anchored flat on the baseline.
+fn bar(x: f64, y_top: f64, w: f64, y_base: f64, color: &str) -> String {
+    let h = (y_base - y_top).max(0.0);
+    let r = 4.0f64.min(h).min(w / 2.0);
+    format!(
+        r#"<path d="M{x:.1} {y_base:.1} V{:.1} Q{x:.1} {y_top:.1} {:.1} {y_top:.1} H{:.1} Q{:.1} {y_top:.1} {:.1} {:.1} V{y_base:.1} Z" fill="{color}"/>"#,
+        y_top + r,
+        x + r,
+        x + w - r,
+        x + w,
+        x + w,
+        y_top + r,
+    )
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+/// Rounds up to a "nice" axis maximum (1/2/2.5/5 × 10^k).
+fn nice_ceiling(v: f64) -> f64 {
+    if v <= 0.0 {
+        return 1.0;
+    }
+    let mag = 10f64.powf(v.log10().floor());
+    for m in [1.0, 2.0, 2.5, 5.0, 10.0] {
+        if m * mag >= v {
+            return m * mag;
+        }
+    }
+    10.0 * mag
+}
+
+fn y_ticks(y_max: f64) -> Vec<f64> {
+    (0..=4).map(|i| y_max * i as f64 / 4.0).collect()
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v >= 100.0 || (v.fract() == 0.0 && v >= 10.0) {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(kind: ChartKind) -> Chart {
+        Chart {
+            title: "Sample".into(),
+            y_label: "IPC".into(),
+            categories: vec!["a".into(), "b".into(), "c".into()],
+            series: vec![
+                Series::new("OoO", vec![1.0, 2.0, 3.0]),
+                Series::new("DVR", vec![2.0, 3.0, 4.0]),
+            ],
+            kind,
+            baseline: Some(1.0),
+            slug: "sample".into(),
+        }
+    }
+
+    #[test]
+    fn validate_catches_mismatches() {
+        let mut c = sample(ChartKind::GroupedBars);
+        assert!(c.validate().is_ok());
+        c.series[0].values.pop();
+        assert!(c.validate().is_err());
+        c = sample(ChartKind::GroupedBars);
+        c.series[1].values[0] = f64::NAN;
+        assert!(c.validate().is_err());
+        c = sample(ChartKind::GroupedBars);
+        for k in 0..6 {
+            c.series.push(Series::new(format!("s{k}"), vec![1.0, 1.0, 1.0]));
+        }
+        assert!(c.validate().is_err(), "more series than the fixed palette must fail");
+    }
+
+    #[test]
+    fn svg_is_well_formed_for_every_kind() {
+        for kind in [ChartKind::GroupedBars, ChartKind::StackedBars, ChartKind::Lines] {
+            let svg = sample(kind).to_svg();
+            assert!(svg.starts_with("<svg"));
+            assert!(svg.ends_with("</svg>"));
+            // Balanced elements (every opened tag closes or self-closes).
+            assert_eq!(svg.matches("<svg").count(), svg.matches("</svg>").count());
+            assert!(svg.contains(SURFACE));
+            // Legend present for 2 series.
+            assert!(svg.contains("OoO"));
+        }
+    }
+
+    #[test]
+    fn colors_follow_fixed_order() {
+        let svg = sample(ChartKind::GroupedBars).to_svg();
+        let p1 = svg.find(SERIES_COLORS[0]).expect("slot 1 used");
+        let p2 = svg.find(SERIES_COLORS[1]).expect("slot 2 used");
+        assert!(p1 < p2, "slot order must be fixed");
+        assert!(!svg.contains(SERIES_COLORS[2]), "unused slots stay unused");
+    }
+
+    #[test]
+    fn offchip_stack_segment_is_neutral() {
+        let c = Chart {
+            title: "t".into(),
+            y_label: "%".into(),
+            categories: vec!["a".into()],
+            series: vec![
+                Series::new("L1", vec![0.5]),
+                Series::new("off-chip", vec![0.5]),
+            ],
+            kind: ChartKind::StackedBars,
+            baseline: None,
+            slug: "t".into(),
+        };
+        let svg = c.to_svg();
+        assert!(svg.contains(NEUTRAL));
+    }
+
+    #[test]
+    fn text_table_lists_all_cells() {
+        let t = sample(ChartKind::Lines).to_text();
+        assert!(t.contains("Sample"));
+        assert!(t.contains("a") && t.contains("c"));
+        assert!(t.contains("4.000"));
+    }
+
+    #[test]
+    fn nice_ceiling_behaves() {
+        assert_eq!(nice_ceiling(0.9), 1.0);
+        assert_eq!(nice_ceiling(3.2), 5.0);
+        assert_eq!(nice_ceiling(7.0), 10.0);
+        assert_eq!(nice_ceiling(120.0), 200.0);
+        assert_eq!(nice_ceiling(0.0), 1.0);
+    }
+
+    #[test]
+    fn escaping() {
+        let mut c = sample(ChartKind::GroupedBars);
+        c.title = "a<b & c".into();
+        let svg = c.to_svg();
+        assert!(svg.contains("a&lt;b &amp; c"));
+    }
+}

@@ -1,0 +1,732 @@
+//! # bench — figure/table regeneration harness for the DVR reproduction
+//!
+//! One entry point per table and figure of the paper (see DESIGN.md §3).
+//! The `figures` binary drives [`run_experiment`]; `--svg DIR` additionally
+//! renders each figure as a chart via [`chart::Chart`]. The Criterion
+//! benches reuse the same experiment code on reduced inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use chart::{Chart, ChartKind, Series};
+use dvr_sim::{simulate, SimConfig, SimReport, Technique};
+use workloads::{Benchmark, GraphInput, SizeClass, Workload};
+
+/// Shared experiment context: sizing knobs and a workload cache (building a
+/// paper-scale Kronecker graph costs seconds; every figure reuses it).
+pub struct Ctx {
+    /// Input size class.
+    pub size: SizeClass,
+    /// Instruction budget per run (the ROI length).
+    pub instrs: u64,
+    /// Seed for all synthetic inputs.
+    pub seed: u64,
+    cache: HashMap<(Benchmark, Option<GraphInput>), Workload>,
+}
+
+impl Ctx {
+    /// Creates a context.
+    pub fn new(size: SizeClass, instrs: u64, seed: u64) -> Self {
+        Ctx { size, instrs, seed, cache: HashMap::new() }
+    }
+
+    /// Builds (or fetches the cached) workload.
+    pub fn workload(&mut self, b: Benchmark, g: Option<GraphInput>) -> &Workload {
+        let key = (b, if b.is_gap() { g.or(Some(GraphInput::Kr)) } else { None });
+        let (size, seed) = (self.size, self.seed);
+        self.cache.entry(key).or_insert_with(|| b.build(key.1, size, seed))
+    }
+
+    /// Runs one (benchmark, input, technique) cell.
+    pub fn run(&mut self, b: Benchmark, g: Option<GraphInput>, t: Technique) -> SimReport {
+        let cfg = SimConfig::new(t).with_max_instructions(self.instrs);
+        let wl = self.workload(b, g).clone();
+        simulate(&wl, &cfg)
+    }
+
+    /// Runs with an explicit config (ROB sweeps, ablations).
+    pub fn run_cfg(&mut self, b: Benchmark, g: Option<GraphInput>, cfg: &SimConfig) -> SimReport {
+        let wl = self.workload(b, g).clone();
+        simulate(&wl, cfg)
+    }
+}
+
+/// A rendered experiment: the text report plus zero or more charts.
+#[derive(Clone, Debug, Default)]
+pub struct Experiment {
+    /// The aligned-table report (also the charts' accessible table view).
+    pub text: String,
+    /// Charts to render with `--svg`.
+    pub charts: Vec<Chart>,
+}
+
+impl Experiment {
+    fn text_only(text: String) -> Self {
+        Experiment { text, charts: vec![] }
+    }
+}
+
+/// The benchmark-input combinations of Figure 7 (GAP × 5 inputs, then the
+/// eight hpc-db benchmarks).
+pub fn fig7_combos() -> Vec<(Benchmark, Option<GraphInput>)> {
+    let mut v = Vec::new();
+    for b in Benchmark::GAP {
+        for g in GraphInput::ALL {
+            v.push((b, Some(g)));
+        }
+    }
+    for b in Benchmark::HPC_DB {
+        v.push((b, None));
+    }
+    v
+}
+
+/// The 13-benchmark set with GAP pinned to KR (used by Figures 2, 8, 9,
+/// 10, 11, 12 to bound runtime).
+pub fn combos_kr() -> Vec<(Benchmark, Option<GraphInput>)> {
+    Benchmark::ALL.iter().map(|&b| (b, b.is_gap().then_some(GraphInput::Kr))).collect()
+}
+
+/// Harmonic mean (the paper's average for speedups).
+pub fn hmean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.len() as f64 / xs.iter().map(|x| 1.0 / x.max(1e-12)).sum::<f64>()
+}
+
+/// Label for a combo.
+pub fn combo_name(b: Benchmark, g: Option<GraphInput>) -> String {
+    match g {
+        Some(g) if b.is_gap() => format!("{}_{}", b.name(), g.name()),
+        _ => b.name().to_string(),
+    }
+}
+
+/// All experiment names, in paper order.
+pub const EXPERIMENTS: [&str; 10] = [
+    "table1", "table2", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation",
+];
+
+/// Runs a named experiment, returning its printable report (text only).
+pub fn run_experiment(name: &str, ctx: &mut Ctx) -> String {
+    run_experiment_full(name, ctx).text
+}
+
+/// Runs a named experiment, returning text and charts.
+///
+/// Valid names: `table1`, `table2`, `fig2`, `fig7`, `fig8`, `fig9`,
+/// `fig10`, `fig11`, `fig12`, `ablation`, `all`.
+pub fn run_experiment_full(name: &str, ctx: &mut Ctx) -> Experiment {
+    match name {
+        "table1" => Experiment::text_only(table1()),
+        "table2" => Experiment::text_only(table2(ctx)),
+        "fig2" => fig2(ctx),
+        "fig7" => fig7(ctx),
+        "fig8" => fig8(ctx),
+        "fig9" => fig9(ctx),
+        "fig10" => fig10(ctx),
+        "fig11" => fig11(ctx),
+        "fig12" => fig12(ctx),
+        "ablation" => Experiment::text_only(ablation(ctx)),
+        "all" => {
+            let mut out = Experiment::default();
+            for n in EXPERIMENTS {
+                let e = run_experiment_full(n, ctx);
+                out.text.push_str(&e.text);
+                out.text.push('\n');
+                out.charts.extend(e.charts);
+            }
+            out
+        }
+        other => Experiment::text_only(format!("unknown experiment '{other}'\n")),
+    }
+}
+
+/// Table 1: the active baseline configuration.
+pub fn table1() -> String {
+    let cfg = SimConfig::new(Technique::Baseline);
+    let mut s = String::new();
+    let _ = writeln!(s, "== Table 1: baseline configuration ==");
+    let c = cfg.core;
+    let h = cfg.hierarchy;
+    let _ = writeln!(s, "ROB size               {}", c.rob_size);
+    let _ = writeln!(
+        s,
+        "Queue sizes            issue ({}), load ({}), store ({})",
+        c.iq_size, c.lq_size, c.sq_size
+    );
+    let _ = writeln!(s, "Processor width        {}-wide fetch/dispatch/commit", c.width);
+    let _ = writeln!(s, "Pipeline depth         {} front-end stages", c.frontend_penalty);
+    let _ = writeln!(s, "Branch predictor       TAGE + loop predictor (8 KB class)");
+    let _ = writeln!(
+        s,
+        "Functional units       {} int add, {} int mult, {} int div, {} ld ports, {} st ports",
+        c.int_alu, c.int_mul, c.int_div, c.load_ports, c.store_ports
+    );
+    let _ = writeln!(
+        s,
+        "L1 D-cache             {} KB, assoc {}, {}-cycle, {} MSHRs, stride prefetcher",
+        h.l1.size_bytes / 1024,
+        h.l1.assoc,
+        h.l1.latency,
+        h.mshrs
+    );
+    let _ = writeln!(
+        s,
+        "Private L2 cache       {} KB, assoc {}, {}-cycle",
+        h.l2.size_bytes / 1024,
+        h.l2.assoc,
+        h.l2.latency
+    );
+    let _ = writeln!(
+        s,
+        "Shared L3 cache        {} MB, assoc {}, {}-cycle",
+        h.l3.size_bytes / 1024 / 1024,
+        h.l3.assoc,
+        h.l3.latency
+    );
+    let _ = writeln!(
+        s,
+        "Memory                 {}-cycle min latency, 1 line / {} cycles bandwidth",
+        h.dram.min_latency, h.dram.cycles_per_line
+    );
+    s
+}
+
+/// Table 2: graph inputs and LLC MPKI aggregated over the five GAP
+/// benchmarks per input, on the baseline core.
+pub fn table2(ctx: &mut Ctx) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== Table 2: graph inputs (scaled surrogates) ==");
+    let _ = writeln!(s, "{:6} {:>10} {:>12} {:>10}", "Input", "Nodes", "Edges", "LLC MPKI");
+    for g in GraphInput::ALL {
+        let graph = g.generate(ctx.size.graph_scale_shift(), ctx.seed);
+        let (mut misses, mut instrs) = (0u64, 0u64);
+        for b in Benchmark::GAP {
+            let r = ctx.run(b, Some(g), Technique::Baseline);
+            misses += r.mem.dram_demand;
+            instrs += r.core.committed;
+        }
+        let mpki = 1000.0 * misses as f64 / instrs.max(1) as f64;
+        let _ = writeln!(s, "{:6} {:>10} {:>12} {:>10.1}", g.name(), graph.n, graph.m(), mpki);
+    }
+    s
+}
+
+const ROB_SWEEP: [usize; 5] = [128, 192, 224, 350, 512];
+
+/// Figure 2: OoO & VR performance vs ROB size (normalized to OoO-350) and
+/// full-window stall fraction.
+pub fn fig2(ctx: &mut Ctx) -> Experiment {
+    let combos = combos_kr();
+    // Baseline at 350 for normalization.
+    let base350: Vec<f64> =
+        combos.iter().map(|&(b, g)| ctx.run(b, g, Technique::Baseline).ipc).collect();
+    let mut ooo_pts = Vec::new();
+    let mut vr_pts = Vec::new();
+    let mut stall_pts = Vec::new();
+    for rob in ROB_SWEEP {
+        let mut ooo = Vec::new();
+        let mut vr = Vec::new();
+        let mut stall = Vec::new();
+        for (k, &(b, g)) in combos.iter().enumerate() {
+            let cfg = SimConfig::new(Technique::Baseline)
+                .with_rob(rob)
+                .with_max_instructions(ctx.instrs);
+            let rb = ctx.run_cfg(b, g, &cfg);
+            ooo.push(rb.ipc / base350[k]);
+            stall.push(rb.core.rob_full_stall_fraction());
+            let cfg =
+                SimConfig::new(Technique::Vr).with_rob(rob).with_max_instructions(ctx.instrs);
+            let rv = ctx.run_cfg(b, g, &cfg);
+            vr.push(rv.ipc / base350[k]);
+        }
+        ooo_pts.push(hmean(&ooo));
+        vr_pts.push(hmean(&vr));
+        stall_pts.push(stall.iter().sum::<f64>() / stall.len() as f64);
+    }
+
+    let cats: Vec<String> = ROB_SWEEP.iter().map(|r| r.to_string()).collect();
+    let perf = Chart {
+        title: "Figure 2: OoO & VR vs ROB size (norm. to OoO-350)".into(),
+        y_label: "normalized IPC (h-mean)".into(),
+        categories: cats.clone(),
+        series: vec![Series::new("OoO", ooo_pts.clone()), Series::new("VR", vr_pts.clone())],
+        kind: ChartKind::Lines,
+        baseline: Some(1.0),
+        slug: "fig02_perf".into(),
+    };
+    let stall = Chart {
+        title: "Figure 2 (right axis): full-window stall fraction".into(),
+        y_label: "fraction of cycles".into(),
+        categories: cats,
+        series: vec![Series::new("window-full", stall_pts.clone())],
+        kind: ChartKind::Lines,
+        baseline: None,
+        slug: "fig02_stall".into(),
+    };
+
+    let mut text = String::new();
+    let _ = writeln!(text, "== Figure 2: OoO & VR vs ROB size (norm. to OoO-350) ==");
+    let _ =
+        writeln!(text, "{:>6} {:>10} {:>10} {:>12}", "ROB", "OoO(norm)", "VR(norm)", "stall-frac");
+    for (i, rob) in ROB_SWEEP.iter().enumerate() {
+        let _ = writeln!(
+            text,
+            "{:>6} {:>10.3} {:>10.3} {:>12.3}",
+            rob, ooo_pts[i], vr_pts[i], stall_pts[i]
+        );
+    }
+    Experiment { text, charts: vec![perf, stall] }
+}
+
+/// Figure 7: speedup of each technique over the baseline, per
+/// benchmark-input combination.
+pub fn fig7(ctx: &mut Ctx) -> Experiment {
+    let combos = fig7_combos();
+    let mut cats = Vec::new();
+    let mut base_ipcs = Vec::new();
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); Technique::FIG7.len()];
+    for &(b, g) in &combos {
+        let base = ctx.run(b, g, Technique::Baseline);
+        cats.push(combo_name(b, g));
+        base_ipcs.push(base.ipc);
+        for (i, t) in Technique::FIG7.iter().enumerate() {
+            cols[i].push(ctx.run(b, g, *t).speedup_over(&base));
+        }
+    }
+
+    let mut text = String::new();
+    let _ = writeln!(text, "== Figure 7: normalized performance (speedup over OoO) ==");
+    let _ = writeln!(
+        text,
+        "{:16} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "benchmark", "OoO-IPC", "PRE", "IMP", "VR", "DVR", "Oracle"
+    );
+    for (k, c) in cats.iter().enumerate() {
+        let mut row = format!("{:16} {:>8.3}", c, base_ipcs[k]);
+        for col in &cols {
+            let _ = write!(row, " {:>7.2}", col[k]);
+        }
+        let _ = writeln!(text, "{row}");
+    }
+    let mut row = format!("{:16} {:>8}", "H-MEAN", "");
+    for col in &cols {
+        let _ = write!(row, " {:>7.2}", hmean(col));
+    }
+    let _ = writeln!(text, "{row}");
+
+    let chart = Chart {
+        title: "Figure 7: speedup over the OoO baseline".into(),
+        y_label: "speedup (x)".into(),
+        categories: cats,
+        series: Technique::FIG7
+            .iter()
+            .zip(&cols)
+            .map(|(t, col)| Series::new(t.name(), col.clone()))
+            .collect(),
+        kind: ChartKind::GroupedBars,
+        baseline: Some(1.0),
+        slug: "fig07_performance".into(),
+    };
+    Experiment { text, charts: vec![chart] }
+}
+
+/// Figure 8: the DVR breakdown (VR → Offload → +Discovery → +Nested).
+pub fn fig8(ctx: &mut Ctx) -> Experiment {
+    let combos = combos_kr();
+    let mut cats = Vec::new();
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); Technique::FIG8.len()];
+    for &(b, g) in &combos {
+        let base = ctx.run(b, g, Technique::Baseline);
+        cats.push(combo_name(b, g));
+        for (i, t) in Technique::FIG8.iter().enumerate() {
+            cols[i].push(ctx.run(b, g, *t).speedup_over(&base));
+        }
+    }
+
+    let names = ["VR", "Offload", "+Discovery", "DVR"];
+    let mut text = String::new();
+    let _ = writeln!(text, "== Figure 8: DVR breakdown (speedup over OoO) ==");
+    let _ = writeln!(
+        text,
+        "{:16} {:>7} {:>9} {:>11} {:>7}",
+        "benchmark", names[0], names[1], names[2], names[3]
+    );
+    for (k, c) in cats.iter().enumerate() {
+        let _ = writeln!(
+            text,
+            "{:16} {:>7.2} {:>9.2} {:>11.2} {:>7.2}",
+            c, cols[0][k], cols[1][k], cols[2][k], cols[3][k]
+        );
+    }
+    let _ = writeln!(
+        text,
+        "{:16} {:>7.2} {:>9.2} {:>11.2} {:>7.2}",
+        "H-MEAN",
+        hmean(&cols[0]),
+        hmean(&cols[1]),
+        hmean(&cols[2]),
+        hmean(&cols[3])
+    );
+
+    let chart = Chart {
+        title: "Figure 8: DVR breakdown (speedup over OoO)".into(),
+        y_label: "speedup (x)".into(),
+        categories: cats,
+        series: names
+            .iter()
+            .zip(&cols)
+            .map(|(n, col)| Series::new(*n, col.clone()))
+            .collect(),
+        kind: ChartKind::GroupedBars,
+        baseline: Some(1.0),
+        slug: "fig08_breakdown".into(),
+    };
+    Experiment { text, charts: vec![chart] }
+}
+
+/// Figure 9: memory-level parallelism (average MSHRs in use per cycle).
+pub fn fig9(ctx: &mut Ctx) -> Experiment {
+    let combos = combos_kr();
+    let techs = [Technique::Baseline, Technique::Vr, Technique::Dvr];
+    let mut cats = Vec::new();
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); techs.len()];
+    for &(b, g) in &combos {
+        cats.push(combo_name(b, g));
+        for (i, t) in techs.iter().enumerate() {
+            cols[i].push(ctx.run(b, g, *t).mlp);
+        }
+    }
+
+    let mut text = String::new();
+    let _ = writeln!(text, "== Figure 9: MLP (avg MSHRs used per cycle) ==");
+    let _ = writeln!(text, "{:16} {:>7} {:>7} {:>7}", "benchmark", "OoO", "VR", "DVR");
+    for (k, c) in cats.iter().enumerate() {
+        let _ =
+            writeln!(text, "{:16} {:>7.2} {:>7.2} {:>7.2}", c, cols[0][k], cols[1][k], cols[2][k]);
+    }
+    let n = cats.len() as f64;
+    let _ = writeln!(
+        text,
+        "{:16} {:>7.2} {:>7.2} {:>7.2}",
+        "MEAN",
+        cols[0].iter().sum::<f64>() / n,
+        cols[1].iter().sum::<f64>() / n,
+        cols[2].iter().sum::<f64>() / n
+    );
+
+    let chart = Chart {
+        title: "Figure 9: memory-level parallelism (MSHRs per cycle)".into(),
+        y_label: "avg MSHRs in use".into(),
+        categories: cats,
+        series: vec![
+            Series::new("OoO", cols[0].clone()),
+            Series::new("VR", cols[1].clone()),
+            Series::new("DVR", cols[2].clone()),
+        ],
+        kind: ChartKind::GroupedBars,
+        baseline: None,
+        slug: "fig09_mlp".into(),
+    };
+    Experiment { text, charts: vec![chart] }
+}
+
+/// Figure 10: DRAM reads normalized to the baseline, split into demand vs
+/// runahead traffic (accuracy/coverage).
+pub fn fig10(ctx: &mut Ctx) -> Experiment {
+    let combos = combos_kr();
+    let mut cats = Vec::new();
+    // Per technique: (demand fraction, runahead fraction), normalized to
+    // the baseline's total reads.
+    let mut vr_demand = Vec::new();
+    let mut vr_ra = Vec::new();
+    let mut dvr_demand = Vec::new();
+    let mut dvr_ra = Vec::new();
+    for &(b, g) in &combos {
+        let base = ctx.run(b, g, Technique::Baseline);
+        let vr = ctx.run(b, g, Technique::Vr);
+        let dvr = ctx.run(b, g, Technique::Dvr);
+        cats.push(combo_name(b, g));
+        let norm = base.mem.dram_reads().max(1) as f64;
+        vr_ra.push(vr.mem.dram_runahead() as f64 / norm);
+        vr_demand.push((vr.mem.dram_reads() - vr.mem.dram_runahead()) as f64 / norm);
+        dvr_ra.push(dvr.mem.dram_runahead() as f64 / norm);
+        dvr_demand.push((dvr.mem.dram_reads() - dvr.mem.dram_runahead()) as f64 / norm);
+    }
+
+    let mut text = String::new();
+    let _ = writeln!(text, "== Figure 10: DRAM accesses normalized to OoO (demand+runahead) ==");
+    let _ = writeln!(
+        text,
+        "{:16} {:>9} {:>9} {:>9} {:>9}",
+        "benchmark", "VR-total", "VR-ra%", "DVR-total", "DVR-ra%"
+    );
+    for (k, c) in cats.iter().enumerate() {
+        let vr_t = vr_demand[k] + vr_ra[k];
+        let dvr_t = dvr_demand[k] + dvr_ra[k];
+        let _ = writeln!(
+            text,
+            "{:16} {:>9.2} {:>8.0}% {:>9.2} {:>8.0}%",
+            c,
+            vr_t,
+            100.0 * vr_ra[k] / vr_t.max(1e-12),
+            dvr_t,
+            100.0 * dvr_ra[k] / dvr_t.max(1e-12),
+        );
+    }
+
+    let mk = |name: &str, demand: &[f64], ra: &[f64], slug: &str| Chart {
+        title: format!("Figure 10: {name} DRAM reads (normalized to OoO)"),
+        y_label: "DRAM line reads / OoO total".into(),
+        categories: cats.clone(),
+        series: vec![
+            Series::new("demand", demand.to_vec()),
+            Series::new("runahead", ra.to_vec()),
+        ],
+        kind: ChartKind::StackedBars,
+        baseline: Some(1.0),
+        slug: slug.into(),
+    };
+    Experiment {
+        text,
+        charts: vec![
+            mk("VR", &vr_demand, &vr_ra, "fig10_vr_traffic"),
+            mk("DVR", &dvr_demand, &dvr_ra, "fig10_dvr_traffic"),
+        ],
+    }
+}
+
+/// Figure 11: timeliness of DVR prefetches (where the main thread found
+/// the prefetched lines).
+pub fn fig11(ctx: &mut Ctx) -> Experiment {
+    let combos = combos_kr();
+    let mut cats = Vec::new();
+    let mut buckets: [Vec<f64>; 4] = Default::default();
+    for &(b, g) in &combos {
+        let r = ctx.run(b, g, Technique::Dvr);
+        cats.push(combo_name(b, g));
+        let t = r.timeliness().unwrap_or([0.0; 4]);
+        for (i, bv) in t.iter().enumerate() {
+            buckets[i].push(*bv);
+        }
+    }
+
+    let mut text = String::new();
+    let _ = writeln!(text, "== Figure 11: DVR prefetch timeliness ==");
+    let _ = writeln!(
+        text,
+        "{:16} {:>7} {:>7} {:>7} {:>9}",
+        "benchmark", "L1%", "L2%", "L3%", "off-chip%"
+    );
+    for (k, c) in cats.iter().enumerate() {
+        let _ = writeln!(
+            text,
+            "{:16} {:>6.0}% {:>6.0}% {:>6.0}% {:>8.0}%",
+            c,
+            100.0 * buckets[0][k],
+            100.0 * buckets[1][k],
+            100.0 * buckets[2][k],
+            100.0 * buckets[3][k]
+        );
+    }
+
+    let chart = Chart {
+        title: "Figure 11: DVR prefetch timeliness".into(),
+        y_label: "fraction of prefetched lines".into(),
+        categories: cats,
+        series: vec![
+            Series::new("L1", buckets[0].clone()),
+            Series::new("L2", buckets[1].clone()),
+            Series::new("L3", buckets[2].clone()),
+            Series::new("off-chip", buckets[3].clone()),
+        ],
+        kind: ChartKind::StackedBars,
+        baseline: None,
+        slug: "fig11_timeliness".into(),
+    };
+    Experiment { text, charts: vec![chart] }
+}
+
+/// Figure 12: DVR performance vs ROB size, normalized to OoO-350.
+pub fn fig12(ctx: &mut Ctx) -> Experiment {
+    let combos = combos_kr();
+    let base350: Vec<f64> =
+        combos.iter().map(|&(b, g)| ctx.run(b, g, Technique::Baseline).ipc).collect();
+    let mut dvr_pts = Vec::new();
+    let mut scaled_pts = Vec::new();
+    for rob in ROB_SWEEP {
+        let mut dvr = Vec::new();
+        let mut dvr_scaled = Vec::new();
+        for (k, &(b, g)) in combos.iter().enumerate() {
+            let cfg =
+                SimConfig::new(Technique::Dvr).with_rob(rob).with_max_instructions(ctx.instrs);
+            dvr.push(ctx.run_cfg(b, g, &cfg).ipc / base350[k]);
+            let cfg = SimConfig::new(Technique::Dvr)
+                .with_scaled_backend(rob)
+                .with_max_instructions(ctx.instrs);
+            dvr_scaled.push(ctx.run_cfg(b, g, &cfg).ipc / base350[k]);
+        }
+        dvr_pts.push(hmean(&dvr));
+        scaled_pts.push(hmean(&dvr_scaled));
+    }
+
+    let mut text = String::new();
+    let _ = writeln!(text, "== Figure 12: DVR vs ROB size (norm. to OoO-350) ==");
+    let _ = writeln!(text, "{:>6} {:>10} {:>12}", "ROB", "DVR(norm)", "DVR(scaled)");
+    for (i, rob) in ROB_SWEEP.iter().enumerate() {
+        let _ = writeln!(text, "{:>6} {:>10.3} {:>12.3}", rob, dvr_pts[i], scaled_pts[i]);
+    }
+
+    let chart = Chart {
+        title: "Figure 12: DVR vs ROB size (norm. to OoO-350)".into(),
+        y_label: "normalized IPC (h-mean)".into(),
+        categories: ROB_SWEEP.iter().map(|r| r.to_string()).collect(),
+        series: vec![
+            Series::new("DVR", dvr_pts),
+            Series::new("DVR scaled-backend", scaled_pts),
+        ],
+        kind: ChartKind::Lines,
+        baseline: Some(1.0),
+        slug: "fig12_dvr_rob".into(),
+    };
+    Experiment { text, charts: vec![chart] }
+}
+
+/// Our ablations: MSHR-count and lane-count sensitivity (including the
+/// paper's Section 6.1 "wider 256-element DVR" extension).
+pub fn ablation(ctx: &mut Ctx) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== Ablations: MSHR count sensitivity (DVR) ==");
+    let _ = writeln!(s, "{:16} {:>8} {:>9} {:>7}", "benchmark", "MSHRs", "DVR-IPC", "MLP");
+    for (b, g) in [(Benchmark::Hj8, None), (Benchmark::Bfs, Some(GraphInput::Kr))] {
+        for mshrs in [12usize, 24, 48] {
+            let cfg = SimConfig::new(Technique::Dvr)
+                .with_mshrs(mshrs)
+                .with_max_instructions(ctx.instrs);
+            let r = ctx.run_cfg(b, g, &cfg);
+            let _ = writeln!(
+                s,
+                "{:16} {:>8} {:>9.3} {:>7.2}",
+                combo_name(b, g),
+                mshrs,
+                r.ipc,
+                r.mlp
+            );
+        }
+    }
+    // Banked open-page DRAM (our extension): row-buffer locality matters
+    // more for the baseline's sequential streams than for hashed chains.
+    let _ = writeln!(s, "\n== Ablations: open-page banked DRAM (extension) ==");
+    let _ = writeln!(
+        s,
+        "{:16} {:>9} {:>9} {:>11} {:>11}",
+        "benchmark", "OoO-flat", "OoO-bank", "DVR-flat", "DVR-banked"
+    );
+    for (b, g) in [(Benchmark::Camel, None), (Benchmark::NasCg, None)] {
+        let mut row = format!("{:16}", combo_name(b, g));
+        for t in [Technique::Baseline, Technique::Dvr] {
+            let flat = ctx.run(b, g, t);
+            let cfg =
+                SimConfig::new(t).with_banked_dram().with_max_instructions(ctx.instrs);
+            let banked = ctx.run_cfg(b, g, &cfg);
+            let _ = write!(row, " {:>9.3} {:>9.3}", flat.ipc, banked.ipc);
+        }
+        let _ = writeln!(s, "{row}");
+    }
+
+    let _ = writeln!(s, "\n== Ablations: DVR lane count (Section 6.1 extension) ==");
+    let _ = writeln!(
+        s,
+        "{:16} {:>7} {:>9} {:>9} {:>8}",
+        "benchmark", "lanes", "DVR-IPC", "speedup", "Oracle"
+    );
+    for (b, g) in [
+        (Benchmark::NasCg, None),
+        (Benchmark::NasIs, None),
+        (Benchmark::Hj8, None),
+    ] {
+        let base = ctx.run(b, g, Technique::Baseline);
+        let oracle = ctx.run(b, g, Technique::Oracle).speedup_over(&base);
+        for lanes in [32usize, 64, 128, 256] {
+            let cfg = SimConfig::new(Technique::Dvr)
+                .with_dvr_lanes(lanes)
+                .with_max_instructions(ctx.instrs);
+            let r = ctx.run_cfg(b, g, &cfg);
+            let _ = writeln!(
+                s,
+                "{:16} {:>7} {:>9.3} {:>8.2}x {:>7.2}x",
+                combo_name(b, g),
+                lanes,
+                r.ipc,
+                r.speedup_over(&base),
+                oracle
+            );
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hmean_math() {
+        assert!((hmean(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((hmean(&[2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((hmean(&[1.0, 3.0]) - 1.5).abs() < 1e-12);
+        assert_eq!(hmean(&[]), 0.0);
+    }
+
+    #[test]
+    fn combo_sets_have_expected_sizes() {
+        assert_eq!(fig7_combos().len(), 5 * 5 + 8);
+        assert_eq!(combos_kr().len(), 13);
+    }
+
+    #[test]
+    fn table1_mentions_key_parameters() {
+        let t = table1();
+        assert!(t.contains("350"));
+        assert!(t.contains("MSHRs"));
+        assert!(t.contains("TAGE"));
+    }
+
+    #[test]
+    fn small_experiment_runs_and_charts_validate() {
+        let mut ctx = Ctx::new(SizeClass::Test, 20_000, 7);
+        let e = run_experiment_full("fig9", &mut ctx);
+        assert!(e.text.contains("bfs_KR"));
+        assert!(e.text.contains("MEAN"));
+        assert_eq!(e.charts.len(), 1);
+        for c in &e.charts {
+            c.validate().expect("chart consistent");
+            let svg = c.to_svg();
+            assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        }
+    }
+
+    #[test]
+    fn stacked_timeliness_fractions_are_sane() {
+        let mut ctx = Ctx::new(SizeClass::Test, 20_000, 7);
+        let e = run_experiment_full("fig11", &mut ctx);
+        let chart = &e.charts[0];
+        for k in 0..chart.categories.len() {
+            let sum: f64 = chart.series.iter().map(|s| s.values[k]).sum();
+            assert!(sum <= 1.0 + 1e-9, "fractions exceed 1 at {k}: {sum}");
+        }
+    }
+
+    #[test]
+    fn unknown_experiment_reports() {
+        let mut ctx = Ctx::new(SizeClass::Test, 1000, 7);
+        assert!(run_experiment("nope", &mut ctx).contains("unknown"));
+    }
+}

@@ -1,0 +1,154 @@
+//! The 32-entry stride detector (Section 4.4).
+//!
+//! Structurally the same table as the L1-D Reference Prediction Table, but
+//! owned by the runahead engines: each entry tracks a load PC, its previous
+//! address, the stride, a 2-bit saturating counter, and the *innermost* bit
+//! used by Discovery Mode's innermost-striding-load detection
+//! (Section 4.1.1).
+
+/// One stride-detector entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DetectorEntry {
+    /// Load PC.
+    pub pc: usize,
+    /// Previous address observed.
+    pub last_addr: u64,
+    /// Stride in bytes.
+    pub stride: i64,
+    /// 2-bit saturating confidence.
+    pub confidence: u8,
+    /// Innermost-candidate bit (set by Discovery Mode).
+    pub innermost: bool,
+}
+
+impl DetectorEntry {
+    /// Whether the entry has a confident non-zero stride.
+    pub fn is_confident(&self) -> bool {
+        self.confidence >= 2 && self.stride != 0
+    }
+}
+
+/// The stride detector: a 32-entry, direct-mapped table of striding loads.
+///
+/// # Example
+///
+/// ```
+/// use dvr_core::StrideDetector;
+/// let mut d = StrideDetector::new(32);
+/// d.observe(5, 0x100);
+/// d.observe(5, 0x108);
+/// assert!(d.observe(5, 0x110)); // confident from the third access
+/// assert_eq!(d.lookup(5).unwrap().stride, 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StrideDetector {
+    table: Vec<Option<DetectorEntry>>,
+}
+
+impl StrideDetector {
+    /// Creates a detector with `entries` slots (the paper uses 32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "detector must have at least one entry");
+        StrideDetector { table: vec![None; entries] }
+    }
+
+    /// Slot index for a PC (used as the innermost-bit register index).
+    pub fn slot(&self, pc: usize) -> usize {
+        pc % self.table.len()
+    }
+
+    /// Observes a load; returns whether the PC now has a confident stride.
+    pub fn observe(&mut self, pc: usize, addr: u64) -> bool {
+        let slot = self.slot(pc);
+        match &mut self.table[slot] {
+            Some(e) if e.pc == pc => {
+                let stride = addr.wrapping_sub(e.last_addr) as i64;
+                if stride == e.stride && stride != 0 {
+                    e.confidence = (e.confidence + 1).min(3);
+                } else {
+                    if e.confidence > 0 {
+                        e.confidence -= 1;
+                    }
+                    if e.confidence == 0 {
+                        e.stride = stride;
+                        e.confidence = 1;
+                    }
+                }
+                e.last_addr = addr;
+                e.is_confident()
+            }
+            slot_entry => {
+                *slot_entry = Some(DetectorEntry {
+                    pc,
+                    last_addr: addr,
+                    stride: 0,
+                    confidence: 0,
+                    innermost: false,
+                });
+                false
+            }
+        }
+    }
+
+    /// Looks up the entry for `pc`.
+    pub fn lookup(&self, pc: usize) -> Option<&DetectorEntry> {
+        self.table[self.slot(pc)].as_ref().filter(|e| e.pc == pc)
+    }
+
+    /// Marks/clears the innermost bit for `pc` (no-op if absent).
+    pub fn set_innermost(&mut self, pc: usize, innermost: bool) {
+        let slot = self.slot(pc);
+        if let Some(e) = &mut self.table[slot] {
+            if e.pc == pc {
+                e.innermost = innermost;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confident_after_three() {
+        let mut d = StrideDetector::new(32);
+        assert!(!d.observe(1, 0));
+        assert!(!d.observe(1, 64));
+        assert!(d.observe(1, 128));
+        let e = d.lookup(1).unwrap();
+        assert_eq!(e.stride, 64);
+        assert!(e.is_confident());
+    }
+
+    #[test]
+    fn irregular_never_confident() {
+        let mut d = StrideDetector::new(32);
+        for a in [3u64, 999, 17, 123_456, 42, 7] {
+            assert!(!d.observe(2, a));
+        }
+    }
+
+    #[test]
+    fn innermost_bit_round_trips() {
+        let mut d = StrideDetector::new(32);
+        d.observe(3, 0);
+        d.set_innermost(3, true);
+        assert!(d.lookup(3).unwrap().innermost);
+        d.set_innermost(3, false);
+        assert!(!d.lookup(3).unwrap().innermost);
+    }
+
+    #[test]
+    fn conflict_replaces() {
+        let mut d = StrideDetector::new(4);
+        d.observe(1, 0);
+        d.observe(5, 0); // same slot
+        assert!(d.lookup(1).is_none());
+        assert!(d.lookup(5).is_some());
+    }
+}

@@ -1,0 +1,576 @@
+//! Discovery Mode (paper Section 4.1).
+//!
+//! Once the stride detector reports a confident striding load, DVR follows
+//! the main thread's dispatch stream through one loop iteration to:
+//!
+//! 1. check the trigger is the *innermost* striding load (Section 4.1.1),
+//! 2. find dependent loads via the Vector Taint Tracker, latching the last
+//!    one into the Final-Load Register (Section 4.1.2), and
+//! 3. infer the loop bound from the compare feeding the backward branch
+//!    (Last-Compare Register + Seen-Branch Bit) and two register-file
+//!    checkpoints (Section 4.1.3).
+//!
+//! Discovery exits when the striding load dispatches again, yielding a
+//! [`DiscoveredChain`] the subthread is spawned from.
+
+use sim_isa::{Instr, Reg, NUM_REGS};
+use sim_ooo::DynInst;
+
+use crate::detector::StrideDetector;
+
+/// A dispatch-stream replica of the architectural register file.
+///
+/// Engines reconstruct main-thread register values in program order from
+/// the dispatched instructions' operand/result values — this is what lets
+/// Discovery Mode take its two "checkpoints of the architectural register
+/// file" without access to the rename hardware.
+#[derive(Clone, Copy, Debug)]
+pub struct ShadowRegs {
+    regs: [u64; NUM_REGS],
+}
+
+impl Default for ShadowRegs {
+    fn default() -> Self {
+        ShadowRegs::new()
+    }
+}
+
+impl ShadowRegs {
+    /// Creates an all-zero shadow file.
+    pub fn new() -> Self {
+        ShadowRegs { regs: [0; NUM_REGS] }
+    }
+
+    /// Updates the shadow with one dispatched instruction.
+    pub fn update(&mut self, di: &DynInst) {
+        for (k, r) in di.instr.srcs().enumerate() {
+            self.regs[r.index()] = di.src_values[k];
+        }
+        if let (Some(dst), Some(v)) = (di.instr.dst(), di.dst_value) {
+            self.regs[dst.index()] = v;
+        }
+    }
+
+    /// The reconstructed register values.
+    pub fn regs(&self) -> [u64; NUM_REGS] {
+        self.regs
+    }
+
+    /// One register's value.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+}
+
+/// The loop bound's source operand in the latched compare.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BoundSrc {
+    /// The bound lives in a register that stayed constant across discovery.
+    Reg(Reg),
+    /// The compare used an immediate bound.
+    Imm(i64),
+}
+
+/// Compare/induction info for loop-bound recomputation (used per-lane by
+/// Nested Vector Runahead).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CmpInfo {
+    /// The induction register (changed across discovery).
+    pub ind_reg: Reg,
+    /// Where the loop bound comes from.
+    pub bound: BoundSrc,
+    /// Per-iteration induction increment.
+    pub increment: i64,
+}
+
+impl CmpInfo {
+    /// Remaining iterations given current induction/bound values.
+    pub fn remaining(&self, ind: u64, bound: u64) -> u64 {
+        let inc = self.increment;
+        if inc == 0 {
+            return 0;
+        }
+        let diff = if inc > 0 {
+            (bound as i64).wrapping_sub(ind as i64)
+        } else {
+            (ind as i64).wrapping_sub(bound as i64)
+        };
+        if diff <= 0 {
+            0
+        } else {
+            (diff as u64).div_ceil(inc.unsigned_abs())
+        }
+    }
+}
+
+/// Everything Discovery Mode learned about one indirect chain.
+#[derive(Clone, Copy, Debug)]
+pub struct DiscoveredChain {
+    /// PC of the (innermost) striding load.
+    pub stride_pc: usize,
+    /// Its stride in bytes.
+    pub stride: i64,
+    /// A dependent-load chain exists (non-zero FLR at exit) — the
+    /// precondition for spawning the subthread at all.
+    pub has_dependent_load: bool,
+    /// The FLR termination PC, or `None` when intervening branches mean
+    /// each lane should run to the next stride iteration (footnote 1).
+    pub flr_pc: Option<usize>,
+    /// Remaining loop iterations inferred (capped at 128).
+    pub lanes: usize,
+    /// Whether the bound inference matched (else `lanes` is the 128 cap).
+    pub bound_known: bool,
+    /// PC of the backward loop branch, if identified.
+    pub loop_branch_pc: Option<usize>,
+    /// Compare/induction info for NDM, if identified.
+    pub cmp: Option<CmpInfo>,
+}
+
+/// Result of feeding one dispatched instruction to Discovery Mode.
+#[derive(Clone, Copy, Debug)]
+pub enum DiscoveryEvent {
+    /// Still following the iteration.
+    Continue,
+    /// Switched to a more-inner striding load and restarted.
+    Switched,
+    /// The striding load came around again: discovery complete. The
+    /// instruction that triggered this is the striding load's re-dispatch
+    /// (its address is the spawn point).
+    Finished(DiscoveredChain),
+    /// Discovery gave up (ran too long without closing the loop).
+    Aborted,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Lcr {
+    /// Compare source registers (second may be an immediate).
+    a: Reg,
+    b: Option<Reg>,
+    imm: Option<i64>,
+    dst: Reg,
+}
+
+/// Maximum instructions discovery will follow before giving up.
+const DISCOVERY_BUDGET: usize = 512;
+
+/// The Discovery Mode state machine.
+#[derive(Clone, Debug)]
+pub struct Discovery {
+    trigger_pc: usize,
+    stride: i64,
+    vtt: u16,
+    flr: Option<usize>,
+    had_flr: bool,
+    branch_after_flr: bool,
+    lcr: Option<Lcr>,
+    sbb: bool,
+    loop_branch: Option<usize>,
+    entry_regs: [u64; NUM_REGS],
+    /// One bit per detector slot: striding loads seen once already.
+    seen_strides: u64,
+    instrs: usize,
+}
+
+impl Discovery {
+    /// Starts discovery on a confident striding load whose destination
+    /// register seeds the taint tracker.
+    pub fn begin(trigger_pc: usize, stride: i64, trigger_dst: Reg, entry: &ShadowRegs) -> Self {
+        Discovery {
+            trigger_pc,
+            stride,
+            vtt: trigger_dst.bit(),
+            flr: None,
+            had_flr: false,
+            branch_after_flr: false,
+            lcr: None,
+            sbb: false,
+            loop_branch: None,
+            entry_regs: entry.regs(),
+            seen_strides: 0,
+            instrs: 0,
+        }
+    }
+
+    /// The PC being targeted.
+    pub fn trigger_pc(&self) -> usize {
+        self.trigger_pc
+    }
+
+    /// Feeds one dispatched instruction.
+    pub fn observe(
+        &mut self,
+        di: &DynInst,
+        detector: &StrideDetector,
+        shadow: &ShadowRegs,
+    ) -> DiscoveryEvent {
+        // Loop closed: the striding load dispatches again.
+        if di.pc == self.trigger_pc && self.instrs > 0 {
+            return DiscoveryEvent::Finished(self.finish(shadow));
+        }
+        self.instrs += 1;
+        if self.instrs > DISCOVERY_BUDGET {
+            return DiscoveryEvent::Aborted;
+        }
+
+        // Innermost-striding-load detection: a *different* confident
+        // striding load seen twice before the trigger returns is more inner
+        // — switch to it.
+        if di.is_load() && di.pc != self.trigger_pc {
+            if let Some(e) = detector.lookup(di.pc) {
+                if e.is_confident() {
+                    let bit = 1u64 << (detector.slot(di.pc) % 64);
+                    if self.seen_strides & bit != 0 {
+                        let dst = di.instr.dst().expect("loads have destinations");
+                        *self = Discovery::begin(di.pc, e.stride, dst, shadow);
+                        return DiscoveryEvent::Switched;
+                    }
+                    self.seen_strides |= bit;
+                }
+            }
+        }
+
+        // Vector Taint Tracker propagation.
+        let instr = di.instr;
+        let tainted_input = instr.srcs().any(|r| self.vtt & r.bit() != 0);
+        if let Instr::Load { addr, .. } = instr {
+            let addr_tainted = addr.regs().any(|r| self.vtt & r.bit() != 0);
+            if addr_tainted {
+                // Dependent load: latch the FLR, zero LCR and SBB.
+                self.flr = Some(di.pc);
+                self.had_flr = true;
+                self.branch_after_flr = false;
+                self.lcr = None;
+                self.sbb = false;
+            }
+        }
+        if let Some(dst) = instr.dst() {
+            if tainted_input {
+                self.vtt |= dst.bit();
+            } else {
+                self.vtt &= !dst.bit();
+            }
+        }
+
+        // Last-Compare Register.
+        if instr.is_compare() && !self.sbb {
+            self.lcr = match instr {
+                Instr::Alu { rd, ra, rb, .. } => {
+                    Some(Lcr { a: ra, b: Some(rb), imm: None, dst: rd })
+                }
+                Instr::AluImm { rd, ra, imm, .. } => {
+                    Some(Lcr { a: ra, b: None, imm: Some(imm), dst: rd })
+                }
+                _ => self.lcr,
+            };
+        }
+
+        // Seen-Branch Bit: a backward branch fed by the LCR closes the loop.
+        if let Instr::Branch { rs, target, .. } = instr {
+            let is_loop_back =
+                self.lcr.is_some_and(|l| l.dst == rs) && target <= self.trigger_pc && !self.sbb;
+            if is_loop_back {
+                self.sbb = true;
+                self.loop_branch = Some(di.pc);
+            } else if self.flr.is_some() {
+                // Footnote 1: other branches between the FLR and the loop
+                // branch mean divergent paths — suppress the FLR and let
+                // each lane run to the next stride iteration.
+                self.branch_after_flr = true;
+            }
+        }
+
+        DiscoveryEvent::Continue
+    }
+
+    fn finish(&self, shadow: &ShadowRegs) -> DiscoveredChain {
+        let mut lanes = crate::walker::ABSOLUTE_MAX_LANES;
+        let mut bound_known = false;
+        let mut cmp_info = None;
+
+        if let Some(lcr) = self.lcr {
+            // Checkpoint comparison: which compare input stayed constant?
+            let exit = shadow.regs();
+            let entry = self.entry_regs;
+            let candidate = match (lcr.b, lcr.imm) {
+                (Some(b), _) => {
+                    let (va0, va1) = (entry[lcr.a.index()], exit[lcr.a.index()]);
+                    let (vb0, vb1) = (entry[b.index()], exit[b.index()]);
+                    if va0 == va1 && vb0 != vb1 {
+                        Some((b, BoundSrc::Reg(lcr.a), va1, vb1, vb1.wrapping_sub(vb0) as i64))
+                    } else if vb0 == vb1 && va0 != va1 {
+                        Some((lcr.a, BoundSrc::Reg(b), vb1, va1, va1.wrapping_sub(va0) as i64))
+                    } else {
+                        None
+                    }
+                }
+                (None, Some(imm)) => {
+                    let (va0, va1) = (entry[lcr.a.index()], exit[lcr.a.index()]);
+                    if va0 != va1 {
+                        Some((
+                            lcr.a,
+                            BoundSrc::Imm(imm),
+                            imm as u64,
+                            va1,
+                            va1.wrapping_sub(va0) as i64,
+                        ))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            if let Some((ind_reg, bound_src, bound_val, ind_val, increment)) = candidate {
+                if increment != 0 {
+                    let info = CmpInfo { ind_reg, bound: bound_src, increment };
+                    lanes = info
+                        .remaining(ind_val, bound_val)
+                        .min(crate::walker::ABSOLUTE_MAX_LANES as u64)
+                        as usize;
+                    bound_known = true;
+                    cmp_info = Some(info);
+                }
+            }
+        }
+
+        DiscoveredChain {
+            stride_pc: self.trigger_pc,
+            stride: self.stride,
+            has_dependent_load: self.had_flr,
+            flr_pc: if self.branch_after_flr { None } else { self.flr },
+            lanes,
+            bound_known,
+            loop_branch_pc: self.loop_branch,
+            cmp: cmp_info,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_isa::{Asm, SparseMemory};
+    use sim_mem::{HierarchyConfig, MemoryHierarchy};
+    use sim_ooo::{CoreConfig, DynInst, EngineCtx, OooCore, RunaheadEngine};
+
+    /// Captures the dispatch stream of a program by running the real core
+    /// with a recording engine.
+    struct Recorder {
+        dis: Vec<DynInst>,
+    }
+
+    impl RunaheadEngine for Recorder {
+        fn name(&self) -> &'static str {
+            "recorder"
+        }
+        fn on_dispatch(&mut self, _ctx: &mut EngineCtx<'_>, di: &DynInst) {
+            self.dis.push(*di);
+        }
+    }
+
+    /// for (i = 5; i < 500; i++) { v = A[i]; w = B[v]; sum += w; }
+    fn loop_program() -> (sim_isa::Program, usize, usize) {
+        let mut asm = Asm::new();
+        let (a, b, i, n, v, w, sum, c) = (
+            Reg::R1,
+            Reg::R2,
+            Reg::R3,
+            Reg::R4,
+            Reg::R5,
+            Reg::R6,
+            Reg::R7,
+            Reg::R8,
+        );
+        asm.li(a, 0x10_0000);
+        asm.li(b, 0x20_0000);
+        asm.li(i, 5);
+        asm.li(n, 500);
+        let top = asm.here();
+        let stride_pc = asm.pc();
+        asm.ld8_idx(v, a, i, 3);
+        let flr_pc = asm.pc();
+        asm.ld8_idx(w, b, v, 3);
+        asm.add(sum, sum, w);
+        asm.addi(i, i, 1);
+        asm.slt(c, i, n);
+        asm.bnz(c, top);
+        asm.halt();
+        (asm.finish().unwrap(), stride_pc, flr_pc)
+    }
+
+    fn record(prog: &sim_isa::Program, max: u64) -> Vec<DynInst> {
+        let mut mem = SparseMemory::new();
+        for k in 0..4096u64 {
+            mem.write_u64(0x10_0000 + 8 * k, (k * 13) % 1024);
+        }
+        let mut core = OooCore::new(CoreConfig::default());
+        let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
+        let mut rec = Recorder { dis: vec![] };
+        core.run(prog, &mut mem, &mut hier, &mut rec, max);
+        rec.dis
+    }
+
+    fn drive_discovery(
+        prog: &sim_isa::Program,
+        stride_pc: usize,
+    ) -> (DiscoveredChain, Discovery) {
+        let dis = record(prog, 200);
+        let mut detector = StrideDetector::new(32);
+        let mut shadow = ShadowRegs::new();
+        let mut disc: Option<Discovery> = None;
+        for di in &dis {
+            shadow.update(di);
+            if di.is_load() {
+                detector.observe(di.pc, di.mem.unwrap().addr);
+            }
+            match &mut disc {
+                None => {
+                    if di.pc == stride_pc
+                        && detector.lookup(stride_pc).is_some_and(|e| e.is_confident())
+                    {
+                        disc = Some(Discovery::begin(
+                            stride_pc,
+                            detector.lookup(stride_pc).unwrap().stride,
+                            di.instr.dst().unwrap(),
+                            &shadow,
+                        ));
+                    }
+                }
+                Some(d) => match d.observe(di, &detector, &shadow) {
+                    DiscoveryEvent::Finished(chain) => return (chain, d.clone()),
+                    DiscoveryEvent::Aborted => panic!("discovery aborted"),
+                    _ => {}
+                },
+            }
+        }
+        panic!("discovery never finished");
+    }
+
+    #[test]
+    fn discovers_chain_and_loop_bound() {
+        let (prog, stride_pc, flr_pc) = loop_program();
+        let (chain, _) = drive_discovery(&prog, stride_pc);
+        assert_eq!(chain.stride_pc, stride_pc);
+        assert_eq!(chain.stride, 8);
+        assert!(chain.has_dependent_load);
+        assert_eq!(chain.flr_pc, Some(flr_pc));
+        assert!(chain.bound_known, "bound must be inferred from slt i, n");
+        // 500 total iterations; discovery starts after stride confidence
+        // (a few iterations in), so plenty remain: capped at the walker's
+        // absolute maximum (the engine clamps to its configured 128).
+        assert!(chain.lanes >= 128);
+        assert!(chain.loop_branch_pc.is_some());
+        let cmp = chain.cmp.expect("cmp info");
+        assert_eq!(cmp.increment, 1);
+    }
+
+    #[test]
+    fn short_loop_bound_is_exact() {
+        // for (i = 0; i < 12; i++) { v=A[i]; w=B[v]; }
+        let mut asm = Asm::new();
+        let (a, b, i, n, v, w, c) =
+            (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7);
+        asm.li(a, 0x10_0000);
+        asm.li(b, 0x20_0000);
+        asm.li(i, 0);
+        asm.li(n, 12);
+        let top = asm.here();
+        let stride_pc = asm.pc();
+        asm.ld8_idx(v, a, i, 3);
+        asm.ld8_idx(w, b, v, 3);
+        asm.addi(i, i, 1);
+        asm.slt(c, i, n);
+        asm.bnz(c, top);
+        asm.halt();
+        let prog = asm.finish().unwrap();
+        let (chain, _) = drive_discovery(&prog, stride_pc);
+        assert!(chain.bound_known);
+        // Discovery needs ~3 iterations for stride confidence + 1 iteration
+        // of following; the remaining count must be < 12 and exact.
+        assert!(chain.lanes > 0 && chain.lanes < 12, "lanes {}", chain.lanes);
+    }
+
+    #[test]
+    fn no_dependent_load_means_no_chain() {
+        // for (i..) { v = A[i]; sum += i; }  — nothing depends on v.
+        let mut asm = Asm::new();
+        let (a, i, n, v, sum, c) = (Reg::R1, Reg::R3, Reg::R4, Reg::R5, Reg::R7, Reg::R8);
+        asm.li(a, 0x10_0000);
+        asm.li(i, 0);
+        asm.li(n, 100);
+        let top = asm.here();
+        let stride_pc = asm.pc();
+        asm.ld8_idx(v, a, i, 3);
+        asm.add(sum, sum, i);
+        asm.addi(i, i, 1);
+        asm.slt(c, i, n);
+        asm.bnz(c, top);
+        asm.halt();
+        let prog = asm.finish().unwrap();
+        let (chain, _) = drive_discovery(&prog, stride_pc);
+        assert!(!chain.has_dependent_load);
+    }
+
+    #[test]
+    fn branch_between_flr_and_loop_suppresses_flr() {
+        // if (w & 1) { x = C[w]; }  between dependent load and loop branch.
+        let mut asm = Asm::new();
+        let (a, b, cc, i, n, v, w, f, c) = (
+            Reg::R1,
+            Reg::R2,
+            Reg::R9,
+            Reg::R3,
+            Reg::R4,
+            Reg::R5,
+            Reg::R6,
+            Reg::R10,
+            Reg::R7,
+        );
+        asm.li(a, 0x10_0000);
+        asm.li(b, 0x20_0000);
+        asm.li(cc, 0x30_0000);
+        asm.li(i, 0);
+        asm.li(n, 400);
+        let top = asm.here();
+        let stride_pc = asm.pc();
+        asm.ld8_idx(v, a, i, 3);
+        asm.ld8_idx(w, b, v, 3);
+        asm.andi(f, w, 1);
+        let skip = asm.label();
+        asm.bez(f, skip);
+        asm.ld8_idx(Reg::R11, cc, w, 3);
+        asm.bind(skip);
+        asm.addi(i, i, 1);
+        asm.slt(c, i, n);
+        asm.bnz(c, top);
+        asm.halt();
+        let prog = asm.finish().unwrap();
+        let (chain, _) = drive_discovery(&prog, stride_pc);
+        assert!(chain.has_dependent_load);
+        assert_eq!(chain.flr_pc, None, "divergent chain must suppress the FLR");
+    }
+
+    #[test]
+    fn shadow_regs_track_dispatch_values() {
+        let (prog, _, _) = loop_program();
+        let dis = record(&prog, 50);
+        let mut shadow = ShadowRegs::new();
+        for di in &dis {
+            shadow.update(di);
+            if let (Some(dst), Some(v)) = (di.instr.dst(), di.dst_value) {
+                assert_eq!(shadow.reg(dst), v);
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_remaining_math() {
+        let up = CmpInfo { ind_reg: Reg::R1, bound: BoundSrc::Imm(100), increment: 2 };
+        assert_eq!(up.remaining(90, 100), 5);
+        assert_eq!(up.remaining(100, 100), 0);
+        assert_eq!(up.remaining(101, 100), 0);
+        let down = CmpInfo { ind_reg: Reg::R1, bound: BoundSrc::Imm(0), increment: -1 };
+        assert_eq!(down.remaining(7, 0), 7);
+        let zero = CmpInfo { ind_reg: Reg::R1, bound: BoundSrc::Imm(0), increment: 0 };
+        assert_eq!(zero.remaining(5, 10), 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Edge-case tests: behaviours off the happy path — descending loops,
+//! NDM fallbacks, discovery aborts, store pressure, and degenerate
+//! configurations.
+
+use dvr_core::{DvrConfig, DvrEngine, VrEngine};
+use sim_isa::{Asm, Reg, SparseMemory};
+use sim_mem::{HierarchyConfig, MemoryHierarchy};
+use sim_ooo::{CoreConfig, OooCore, RunaheadEngine};
+
+fn run<E: RunaheadEngine>(
+    prog: &sim_isa::Program,
+    mem: &mut SparseMemory,
+    engine: &mut E,
+    max: u64,
+) -> sim_ooo::CoreStats {
+    let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
+    let mut core = OooCore::new(CoreConfig::default());
+    *core.run(prog, mem, &mut hier, engine, max)
+}
+
+/// A descending loop: `for (i = n-1; i != 0; i--) { v=A[i]; w=B[v]; }`.
+/// The stride is negative; DVR must still vectorize and prefetch.
+#[test]
+fn dvr_handles_negative_strides() {
+    let mut asm = Asm::new();
+    let (a, b, i, v, w) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5);
+    asm.li(a, 0x10_0000);
+    asm.li(b, 0x80_0000);
+    asm.li(i, 40_000);
+    let top = asm.here();
+    asm.ld8_idx(v, a, i, 3); // striding, stride -8
+    asm.andi(v, v, 0xFFFF);
+    asm.ld8_idx(w, b, v, 3); // dependent
+    asm.addi(i, i, -1);
+    asm.bnz(i, top);
+    asm.halt();
+    let prog = asm.finish().unwrap();
+
+    let mut mem = SparseMemory::new();
+    let mut x: u64 = 99;
+    for k in 0..40_001u64 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(17);
+        mem.write_u64(0x10_0000 + 8 * k, x >> 30);
+    }
+    let mut e = DvrEngine::default();
+    let stats = run(&prog, &mut mem, &mut e, 100_000);
+    assert!(stats.committed >= 100_000);
+    assert!(e.stats().episodes > 0, "DVR must trigger on a descending stride");
+    assert!(e.stats().lane_loads > 500, "lanes must issue: {:?}", e.stats());
+}
+
+/// A loop body longer than the 512-instruction discovery budget: discovery
+/// must abort cleanly (and keep aborting) without wedging the engine.
+#[test]
+fn discovery_aborts_on_giant_loop_bodies() {
+    let mut asm = Asm::new();
+    let (a, i, v) = (Reg::R1, Reg::R2, Reg::R3);
+    asm.li(a, 0x10_0000);
+    asm.li(i, 0);
+    let top = asm.here();
+    asm.ld8_idx(v, a, i, 3); // striding trigger
+    asm.ld8_idx(v, a, v, 3); // dependent (so discovery stays interested)
+    for _ in 0..600 {
+        asm.addi(Reg::R5, Reg::R5, 1); // body far beyond the budget
+    }
+    asm.addi(i, i, 1);
+    asm.jmp(top);
+    let prog = asm.finish().unwrap();
+
+    let mut mem = SparseMemory::new();
+    for k in 0..4096u64 {
+        mem.write_u64(0x10_0000 + 8 * k, k % 256);
+    }
+    let mut e = DvrEngine::default();
+    let stats = run(&prog, &mut mem, &mut e, 50_000);
+    assert!(stats.committed >= 50_000);
+    assert!(e.stats().discovery_aborts > 0, "giant bodies must abort discovery");
+    assert_eq!(e.stats().episodes, 0, "no spawn without completed discovery");
+}
+
+/// NDM with *no* outer striding load in range: falls back to the inner
+/// bound instead of spawning nothing.
+#[test]
+fn ndm_falls_back_without_outer_stride() {
+    // A short inner loop (bound 8) whose outer "loop" is irregular
+    // (pointer-chased), so NDM's scan finds no outer striding load.
+    let mut asm = Asm::new();
+    let (ptr, a, b, i, n, v, w, c) = (
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+    );
+    asm.li(ptr, 0x50_0000);
+    asm.li(b, 0x80_0000);
+    asm.li(n, 8);
+    let outer = asm.here();
+    asm.ld8(a, ptr, 0); // pointer chase: *not* a striding load
+    asm.li(i, 0);
+    let inner = asm.here();
+    asm.ld8_idx(v, a, i, 3); // inner striding load (bound 8 < 64)
+    asm.andi(v, v, 0xFFF);
+    asm.ld8_idx(w, b, v, 3); // dependent
+    asm.addi(i, i, 1);
+    asm.slt(c, i, n);
+    asm.bnz(c, inner);
+    asm.ld8(ptr, ptr, 8); // next node
+    asm.bnz(ptr, outer);
+    asm.halt();
+    let prog = asm.finish().unwrap();
+
+    // Build a linked list of blocks, each with an 8-element array.
+    let mut mem = SparseMemory::new();
+    let mut node = 0x50_0000u64;
+    let mut x: u64 = 5;
+    for k in 0..2000u64 {
+        let arr = 0x60_0000 + k * 64;
+        for j in 0..8 {
+            x = x.wrapping_mul(25214903917).wrapping_add(11);
+            mem.write_u64(arr + 8 * j, x >> 40);
+        }
+        mem.write_u64(node, arr);
+        let next = if k == 1999 { 0 } else { 0x50_0000 + (k + 1) * 16 };
+        mem.write_u64(node + 8, next);
+        node = next;
+        if next == 0 {
+            break;
+        }
+    }
+    let mut e = DvrEngine::default();
+    let stats = run(&prog, &mut mem, &mut e, 60_000);
+    assert!(stats.committed >= 60_000);
+    let s = e.stats();
+    assert!(s.ndm_episodes > 0, "short inner loop must attempt NDM: {s:?}");
+    // Fallback still prefetches the inner iterations it knows about.
+    assert!(s.lane_loads > 0, "fallback must issue lanes: {s:?}");
+}
+
+/// A store-dominated kernel saturates the store queue; the engines must
+/// not deadlock or corrupt results.
+#[test]
+fn store_pressure_is_survivable() {
+    let mut asm = Asm::new();
+    let (a, i, n, c) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4);
+    asm.li(a, 0x10_0000);
+    asm.li(i, 0);
+    asm.li(n, 50_000);
+    let top = asm.here();
+    for k in 0..8 {
+        asm.st8_idx(i, a, i, 3);
+        asm.addi(Reg::R5, Reg::R5, k);
+    }
+    asm.addi(i, i, 1);
+    asm.slt(c, i, n);
+    asm.bnz(c, top);
+    asm.halt();
+    let prog = asm.finish().unwrap();
+    let mut mem = SparseMemory::new();
+    let mut e = DvrEngine::default();
+    let stats = run(&prog, &mut mem, &mut e, 40_000);
+    assert!(stats.committed >= 40_000);
+    assert!(stats.stores > 10_000);
+}
+
+/// Tiny instruction budgets are honored exactly by every engine.
+#[test]
+fn tiny_budgets_are_exact() {
+    let mut asm = Asm::new();
+    asm.li(Reg::R1, 0x10_0000);
+    asm.li(Reg::R2, 0);
+    let top = asm.here();
+    asm.ld8_idx(Reg::R3, Reg::R1, Reg::R2, 3);
+    asm.addi(Reg::R2, Reg::R2, 1);
+    asm.jmp(top);
+    let prog = asm.finish().unwrap();
+    for budget in [1u64, 2, 7, 23] {
+        let mut mem = SparseMemory::new();
+        let mut e = VrEngine::default();
+        let stats = run(&prog, &mut mem, &mut e, budget);
+        assert!(
+            stats.committed >= budget && stats.committed < budget + 5,
+            "budget {budget} gave {}",
+            stats.committed
+        );
+    }
+}
+
+/// 256-lane DVR issues roughly twice the per-episode coverage of 128-lane
+/// on a long flat loop.
+#[test]
+fn wide_lanes_increase_per_episode_coverage() {
+    let mut asm = Asm::new();
+    let (a, b, i, n, v, w, c) =
+        (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7);
+    asm.li(a, 0x10_0000);
+    asm.li(b, 0x100_0000);
+    asm.li(i, 0);
+    asm.li(n, 1 << 20);
+    let top = asm.here();
+    asm.ld8_idx(v, a, i, 3);
+    asm.andi(v, v, 0xFFFFF);
+    asm.ld8_idx(w, b, v, 3);
+    asm.addi(i, i, 1);
+    asm.slt(c, i, n);
+    asm.bnz(c, top);
+    asm.halt();
+    let prog = asm.finish().unwrap();
+    let mut mem = SparseMemory::new();
+    let mut x: u64 = 3;
+    for k in 0..100_000u64 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        mem.write_u64(0x10_0000 + 8 * k, x >> 20);
+    }
+
+    let lanes_per_episode = |max_lanes: usize| {
+        let mut e = DvrEngine::new(DvrConfig { max_lanes, ..DvrConfig::default() });
+        let mut m = mem.clone();
+        run(&prog, &mut m, &mut e, 60_000);
+        let s = e.stats();
+        assert!(s.episodes > 0);
+        s.lanes_spawned as f64 / s.episodes as f64
+    };
+    let narrow = lanes_per_episode(128);
+    let wide = lanes_per_episode(256);
+    assert!(
+        wide > 1.5 * narrow,
+        "256-lane episodes must cover much more: {wide:.0} vs {narrow:.0}"
+    );
+}

@@ -1,0 +1,169 @@
+//! Engine-level integration tests: each runahead technique attached to the
+//! real core on real workloads, checking the paper's mechanism-level
+//! behaviours (not just end speedups).
+
+use dvr_core::{DvrConfig, DvrEngine, OracleEngine, PreEngine, VrEngine};
+use sim_mem::{HierarchyConfig, MemoryHierarchy, PrefetchSource};
+use sim_ooo::{CoreConfig, OooCore, RunaheadEngine};
+use workloads::{Benchmark, GraphInput, SizeClass};
+
+fn run_engine<E: RunaheadEngine>(
+    b: Benchmark,
+    g: Option<GraphInput>,
+    engine: &mut E,
+    instrs: u64,
+) -> (sim_ooo::CoreStats, sim_mem::MemStats) {
+    let wl = b.build(g, SizeClass::Small, 42);
+    let mut mem = wl.mem.clone();
+    let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
+    let mut core = OooCore::new(CoreConfig::default());
+    let stats = *core.run(&wl.prog, &mut mem, &mut hier, engine, instrs);
+    (stats, hier.stats().clone())
+}
+
+#[test]
+fn dvr_discovery_finds_dependent_chains_on_camel() {
+    let mut e = DvrEngine::new(DvrConfig::default());
+    run_engine(Benchmark::Camel, None, &mut e, 60_000);
+    let s = e.stats();
+    assert!(s.episodes > 10, "expected steady episodes, got {}", s.episodes);
+    assert_eq!(s.ndm_episodes, 0, "Camel's flat loop must not use NDM");
+    assert_eq!(s.no_dependent_chain, 0, "Camel always has a dependent chain");
+    assert!(s.lanes_spawned > 1000);
+}
+
+#[test]
+fn dvr_coverage_prevents_refetch_floods() {
+    let mut e = DvrEngine::new(DvrConfig::default());
+    let (core, _) = run_engine(Benchmark::Camel, None, &mut e, 60_000);
+    let s = e.stats();
+    // Lane loads should be within a small factor of the demand loads the
+    // main thread actually performs (3 per 35-instr iteration).
+    let approx_demand_loads = core.committed / 35 * 3;
+    assert!(
+        s.lane_loads < 4 * approx_demand_loads,
+        "coverage tracking failed: {} lane loads for ~{} demand loads",
+        s.lane_loads,
+        approx_demand_loads
+    );
+}
+
+#[test]
+fn dvr_innermost_switch_happens_on_nested_loops() {
+    // bfs has an outer striding load (the worklist) and an inner one (the
+    // edge list): when discovery starts from the outer one, it must switch
+    // to the more-inner stride at least sometimes.
+    let mut e = DvrEngine::new(DvrConfig::default());
+    run_engine(Benchmark::Bfs, Some(GraphInput::Kr), &mut e, 80_000);
+    assert!(
+        e.stats().innermost_switches > 0,
+        "nested loops must exercise innermost detection: {:?}",
+        e.stats()
+    );
+}
+
+#[test]
+fn ndm_gathers_iterations_across_outer_loops() {
+    // UR graphs have uniformly short inner loops: NDM must engage and must
+    // spawn more lanes than the inner bound alone would allow.
+    let mut e = DvrEngine::new(DvrConfig::default());
+    run_engine(Benchmark::Pr, Some(GraphInput::Ur), &mut e, 80_000);
+    let s = e.stats();
+    assert!(s.ndm_episodes > 0, "NDM must engage on UR: {s:?}");
+    assert!(
+        s.lanes_spawned / s.episodes.max(1) > 16,
+        "NDM should gather many lanes per episode: {s:?}"
+    );
+}
+
+#[test]
+fn offload_ablation_overfetches_relative_to_full_dvr() {
+    let mut full = DvrEngine::new(DvrConfig::default());
+    let (_, mem_full) = run_engine(Benchmark::Bfs, Some(GraphInput::Ur), &mut full, 80_000);
+    let mut off = DvrEngine::new(DvrConfig::offload_only());
+    let (_, mem_off) = run_engine(Benchmark::Bfs, Some(GraphInput::Ur), &mut off, 80_000);
+    let acc_full = mem_full.accuracy(PrefetchSource::Dvr).unwrap_or(1.0);
+    let acc_off = mem_off.accuracy(PrefetchSource::Dvr).unwrap_or(1.0);
+    assert!(
+        acc_full > acc_off,
+        "Discovery Mode must improve accuracy on short loops: full {acc_full:.2} vs offload {acc_off:.2}"
+    );
+}
+
+#[test]
+fn vr_only_runs_on_full_window_stalls() {
+    let mut e = VrEngine::default();
+    let (core, _) = run_engine(Benchmark::Hj8, None, &mut e, 60_000);
+    let s = *e.stats();
+    assert!(s.episodes > 0, "HJ8 must stall and trigger VR");
+    assert!(
+        s.episodes <= core.full_rob_stall_events,
+        "VR can only trigger on stall episodes ({} > {})",
+        s.episodes,
+        core.full_rob_stall_events
+    );
+    assert!(s.delayed_termination_cycles > 0);
+}
+
+#[test]
+fn vr_loses_divergent_lanes_dvr_does_not() {
+    let mut vr = VrEngine::default();
+    run_engine(Benchmark::Kangaroo, None, &mut vr, 60_000);
+    let mut dvr = DvrEngine::new(DvrConfig::default());
+    run_engine(Benchmark::Kangaroo, None, &mut dvr, 60_000);
+    // Kangaroo branches on random data: VR episodes (if any) mask lanes
+    // off; DVR reconverges. When VR never triggers (mispredict-bound), DVR
+    // must still diverge and cover.
+    if vr.stats().episodes > 0 {
+        assert!(vr.stats().lanes_lost > 0, "VR must lose lanes on Kangaroo");
+    }
+    assert!(dvr.stats().diverged_episodes > 0, "DVR must observe divergence");
+}
+
+#[test]
+fn pre_respects_interval_and_width() {
+    let mut e = PreEngine::default();
+    run_engine(Benchmark::Camel, None, &mut e, 60_000);
+    let s = *e.stats();
+    assert!(s.episodes > 0);
+    // Per-episode instruction count is bounded by the configured budget.
+    assert!(
+        s.instructions <= s.episodes * 320,
+        "{} instructions over {} episodes exceeds the resource bound",
+        s.instructions,
+        s.episodes
+    );
+}
+
+#[test]
+fn oracle_hides_misses_only() {
+    let mut e = OracleEngine::new();
+    let (_, mem) = run_engine(Benchmark::RandomAccess, None, &mut e, 60_000);
+    let s = *e.stats();
+    assert!(s.hidden_misses > 0);
+    assert!(s.natural_hits > 0);
+    // The Oracle performs normal accounting: demand loads recorded.
+    assert!(mem.demand_loads > 0);
+}
+
+#[test]
+fn engines_do_not_break_short_programs() {
+    // Degenerate program: no loops, no strides — every engine must be a
+    // no-op and the program must still complete.
+    let mut asm = sim_isa::Asm::new();
+    asm.li(sim_isa::Reg::R1, 5);
+    asm.addi(sim_isa::Reg::R1, sim_isa::Reg::R1, 1);
+    asm.halt();
+    let prog = asm.finish().unwrap();
+
+    fn drive<E: RunaheadEngine>(prog: &sim_isa::Program, e: &mut E) -> u64 {
+        let mut mem = sim_isa::SparseMemory::new();
+        let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
+        let mut core = OooCore::new(CoreConfig::default());
+        core.run(prog, &mut mem, &mut hier, e, 1000).committed
+    }
+    assert_eq!(drive(&prog, &mut DvrEngine::default()), 3);
+    assert_eq!(drive(&prog, &mut VrEngine::default()), 3);
+    assert_eq!(drive(&prog, &mut PreEngine::default()), 3);
+    assert_eq!(drive(&prog, &mut OracleEngine::new()), 3);
+}

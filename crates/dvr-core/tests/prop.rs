@@ -1,0 +1,243 @@
+//! Property-based tests on DVR's core data structures and invariants.
+
+use proptest::prelude::*;
+
+use dvr_core::{
+    stride_seeds, stride_seeds_from, walk_vectorized, CmpInfo, BoundSrc, DvrEngine, PreEngine,
+    StrideDetector, Termination, VrEngine, WalkPolicy, DivergenceMode,
+};
+use sim_isa::{Asm, Cpu, Reg, SparseMemory, NUM_REGS};
+use sim_mem::{HierarchyConfig, MemoryHierarchy};
+use sim_ooo::{CoreConfig, OooCore, RunaheadEngine};
+
+proptest! {
+    /// The stride detector becomes confident on any regular stride and
+    /// never on sufficiently irregular sequences.
+    #[test]
+    fn detector_confidence_tracks_regularity(
+        base in 0u64..1u64<<40,
+        stride in prop::sample::select(vec![1i64, 2, 4, 8, 64, 4096, -8, -64]),
+        n in 3usize..20,
+    ) {
+        let mut d = StrideDetector::new(32);
+        let mut addr = base;
+        let mut confident = false;
+        for _ in 0..n {
+            confident = d.observe(7, addr);
+            addr = addr.wrapping_add(stride as u64);
+        }
+        prop_assert!(confident, "regular stride must train");
+        prop_assert_eq!(d.lookup(7).unwrap().stride, stride);
+    }
+
+    #[test]
+    fn detector_rejects_random(addrs in prop::collection::vec(any::<u64>(), 4..24)) {
+        let mut d = StrideDetector::new(32);
+        let mut last_conf = false;
+        for a in &addrs {
+            last_conf = d.observe(3, *a);
+        }
+        // Random u64 addresses virtually never repeat a stride twice.
+        prop_assert!(!last_conf);
+    }
+
+    /// Lane seeds enumerate exactly the arithmetic sequence they promise.
+    #[test]
+    fn seeds_form_arithmetic_sequence(
+        trigger in 0u64..1u64<<40,
+        stride in prop::sample::select(vec![4i64, 8, 16, -8]),
+        first in 1u64..64,
+        count in 0usize..128,
+    ) {
+        let seeds = stride_seeds_from([0; NUM_REGS], trigger, stride, first, count);
+        prop_assert_eq!(seeds.len(), count.min(128));
+        for (i, s) in seeds.iter().enumerate() {
+            let want = trigger.wrapping_add(
+                (stride.wrapping_mul((first + i as u64) as i64)) as u64);
+            prop_assert_eq!(s.stride_addr, want);
+        }
+        // stride_seeds == stride_seeds_from with first = 1.
+        let a = stride_seeds([0; NUM_REGS], trigger, stride, count);
+        let b = stride_seeds_from([0; NUM_REGS], trigger, stride, 1, count);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.stride_addr, y.stride_addr);
+        }
+    }
+
+    /// Remaining-iteration math never underflows/overflows and is exact
+    /// for clean increments.
+    #[test]
+    fn cmp_remaining_is_safe(
+        ind in any::<u64>(),
+        bound in any::<u64>(),
+        inc in prop::sample::select(vec![-8i64, -1, 0, 1, 2, 8]),
+    ) {
+        let cmp = CmpInfo { ind_reg: Reg::R1, bound: BoundSrc::Imm(0), increment: inc };
+        let r = cmp.remaining(ind, bound);
+        prop_assert!(r <= u64::MAX / 2); // no wrap-around garbage
+        if inc == 1 && bound >= ind && bound - ind < 1 << 40 {
+            prop_assert_eq!(r, bound - ind);
+        }
+        if inc == 0 {
+            prop_assert_eq!(r, 0);
+        }
+    }
+
+    /// Walker invariants hold for arbitrary lane counts and timeouts:
+    /// issue_done <= end_cycle, both >= start, lane loads bounded by
+    /// lanes × instructions.
+    #[test]
+    fn walker_timing_invariants(
+        lanes in 1usize..128,
+        timeout in 1usize..64,
+        t0 in 0u64..1_000_000,
+        mode in prop::sample::select(vec![DivergenceMode::MaskOff, DivergenceMode::Reconverge]),
+    ) {
+        // for i { v = A[i]; w = B[v & 1023]; if w&1 { x = C[w & 1023] } }
+        let mut asm = Asm::new();
+        let (a, b, c_) = (Reg::R1, Reg::R2, Reg::R3);
+        let (i, v, w, f, x) = (Reg::R4, Reg::R5, Reg::R6, Reg::R7, Reg::R8);
+        asm.li(a, 0x10_0000);
+        asm.li(b, 0x20_0000);
+        asm.li(c_, 0x30_0000);
+        let top = asm.here();
+        let stride_pc = asm.pc();
+        asm.ld8_idx(v, a, i, 3);
+        asm.andi(v, v, 1023);
+        asm.ld8_idx(w, b, v, 3);
+        asm.andi(f, w, 1);
+        let skip = asm.label();
+        asm.bez(f, skip);
+        asm.andi(w, w, 1023);
+        asm.ld8_idx(x, c_, w, 3);
+        asm.bind(skip);
+        asm.addi(i, i, 1);
+        asm.jmp(top);
+        let prog = asm.finish().unwrap();
+
+        let mut mem = SparseMemory::new();
+        for k in 0..1024u64 {
+            mem.write_u64(0x10_0000 + 8 * k, k.wrapping_mul(2654435761) >> 13);
+            mem.write_u64(0x20_0000 + 8 * k, k.wrapping_mul(40503) >> 3);
+        }
+        let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
+        let seeds = stride_seeds([0; NUM_REGS], 0x10_0000, 8, lanes);
+        let policy = WalkPolicy { timeout, divergence: mode, ..WalkPolicy::dvr() };
+        let out = walk_vectorized(
+            &prog,
+            &mem,
+            &mut hier,
+            t0,
+            &seeds,
+            Termination { flr_pc: None, stride_pc },
+            &policy,
+        );
+        prop_assert!(out.issue_done >= t0);
+        prop_assert!(out.end_cycle >= out.issue_done);
+        prop_assert!(out.instructions <= timeout + 2);
+        prop_assert!(out.lane_loads <= (lanes * (timeout + 2)) as u64);
+        if mode == DivergenceMode::Reconverge {
+            // With an 8-deep stack and a single if, nothing is lost.
+            prop_assert_eq!(out.lanes_lost, 0);
+        }
+    }
+}
+
+/// Builds a two-level indirect loop whose parameters vary per proptest
+/// case, plus its memory image.
+fn indirect_loop(
+    table_bits: u32,
+    extra_ops: usize,
+    with_branch: bool,
+    iters: i64,
+) -> (sim_isa::Program, SparseMemory) {
+    let mask = (1i64 << table_bits) - 1;
+    let mut asm = Asm::new();
+    let (a, b, i, n, v, w, f, c) =
+        (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7, Reg::R8);
+    asm.li(a, 0x10_0000);
+    asm.li(b, 0x100_0000);
+    asm.li(i, 0);
+    asm.li(n, iters);
+    let top = asm.here();
+    asm.ld8_idx(v, a, i, 3);
+    asm.andi(v, v, mask);
+    asm.ld8_idx(w, b, v, 3);
+    if with_branch {
+        let skip = asm.label();
+        asm.andi(f, w, 1);
+        asm.bez(f, skip);
+        asm.st8_idx(w, b, v, 3);
+        asm.bind(skip);
+    }
+    for k in 0..extra_ops {
+        asm.alui(sim_isa::AluOp::Add, Reg::R9, Reg::R9, k as i64 + 1);
+    }
+    asm.addi(i, i, 1);
+    asm.slt(c, i, n);
+    asm.bnz(c, top);
+    asm.halt();
+    let prog = asm.finish().unwrap();
+
+    let mut mem = SparseMemory::new();
+    let mut x: u64 = 7;
+    for k in 0..20_000u64 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        mem.write_u64(0x10_0000 + 8 * k, x >> 17);
+        mem.write_u64(0x100_0000 + 8 * (k & ((1 << table_bits) - 1)), x >> 23);
+    }
+    (prog, mem)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Differential check: with ANY engine attached, the timed run commits
+    /// the same instruction count and leaves memory identical to the pure
+    /// functional execution — runahead is transparent to architecture.
+    #[test]
+    fn engines_are_architecturally_transparent(
+        table_bits in 8u32..14,
+        extra_ops in 0usize..12,
+        with_branch: bool,
+        iters in 300i64..1_500,
+    ) {
+        // Programs run to completion so fetch-time and commit-time memory
+        // states coincide at the end; then memory must equal the pure
+        // functional execution exactly, whatever engine was attached.
+        let (prog, mem0) = indirect_loop(table_bits, extra_ops, with_branch, iters);
+
+        let run_engine = |engine: &mut dyn RunaheadEngine| {
+            let mut mem = mem0.clone();
+            let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
+            let mut core = OooCore::new(CoreConfig::default());
+            let stats = *core.run(&prog, &mut mem, &mut hier, engine, u64::MAX);
+            (stats.committed, mem)
+        };
+
+        let mut fmem = mem0.clone();
+        let mut cpu = Cpu::new();
+        let fsteps = cpu.run(&prog, &mut fmem, u64::MAX).unwrap();
+        prop_assert!(cpu.is_halted());
+
+        let mut dvr = DvrEngine::default();
+        let mut vr = VrEngine::default();
+        let mut pre = PreEngine::default();
+        let mut null = sim_ooo::NullEngine;
+        let engines: [(&str, &mut dyn RunaheadEngine); 4] =
+            [("ooo", &mut null), ("dvr", &mut dvr), ("vr", &mut vr), ("pre", &mut pre)];
+        for (name, engine) in engines {
+            let (committed, mem) = run_engine(engine);
+            prop_assert_eq!(committed, fsteps, "{} retired a different count", name);
+            for k in 0..(1u64 << table_bits) {
+                let addr = 0x100_0000 + 8 * k;
+                prop_assert_eq!(
+                    mem.read_u64(addr),
+                    fmem.read_u64(addr),
+                    "{} diverged from functional at {:#x}", name, addr
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! `dvrsim` — run a benchmark (or your own `.s` kernel) on the simulator.
+//!
+//! ```text
+//! dvrsim --bench bfs --input kr --technique dvr
+//! dvrsim --bench camel --technique all --instrs 300000 --size paper
+//! dvrsim --asm kernel.s --technique dvr
+//! dvrsim --list
+//! ```
+
+use std::process::ExitCode;
+
+use dvr_sim::{simulate, SimConfig, SimReport, Technique};
+use workloads::{Benchmark, GraphInput, SizeClass, Workload};
+
+struct Options {
+    bench: Option<Benchmark>,
+    asm_path: Option<String>,
+    input: Option<GraphInput>,
+    techniques: Vec<Technique>,
+    size: SizeClass,
+    instrs: u64,
+    seed: u64,
+    rob: Option<usize>,
+    verbose: bool,
+    json: bool,
+}
+
+const USAGE: &str = "\
+usage: dvrsim [--list] (--bench NAME | --asm FILE.s) [options]
+
+options:
+  --bench NAME          benchmark (see --list)
+  --asm FILE.s          run a textual-assembly kernel instead
+  --input kr|ljn|ork|tw|ur   GAP graph input        (default: kr)
+  --technique NAME      ooo|pre|imp|vr|dvr|dvr-offload|dvr-discovery|oracle|all
+                                                    (default: all)
+  --size test|small|paper    input scale            (default: small)
+  --instrs N            ROI length                  (default: 200000)
+  --seed N              synthetic-input seed        (default: 42)
+  --rob N               override ROB size
+  --verbose             per-run engine detail
+  --json                emit one JSON object per run (stdout)
+";
+
+fn parse_technique(s: &str) -> Option<Vec<Technique>> {
+    Some(match s {
+        "ooo" | "baseline" => vec![Technique::Baseline],
+        "pre" => vec![Technique::Pre],
+        "imp" => vec![Technique::Imp],
+        "vr" => vec![Technique::Vr],
+        "dvr" => vec![Technique::Dvr],
+        "dvr-offload" => vec![Technique::DvrOffload],
+        "dvr-discovery" => vec![Technique::DvrDiscovery],
+        "oracle" => vec![Technique::Oracle],
+        "all" => {
+            let mut v = vec![Technique::Baseline];
+            v.extend(Technique::FIG7);
+            v
+        }
+        _ => return None,
+    })
+}
+
+fn parse_bench(s: &str) -> Option<Benchmark> {
+    Benchmark::ALL.iter().copied().find(|b| b.name().eq_ignore_ascii_case(s))
+}
+
+fn parse_input(s: &str) -> Option<GraphInput> {
+    GraphInput::ALL.iter().copied().find(|g| g.name().eq_ignore_ascii_case(s))
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut o = Options {
+        bench: None,
+        asm_path: None,
+        input: None,
+        techniques: parse_technique("all").expect("static"),
+        size: SizeClass::Small,
+        instrs: 200_000,
+        seed: 42,
+        rob: None,
+        verbose: false,
+        json: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i).cloned().ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                println!("benchmarks:");
+                for b in Benchmark::ALL {
+                    let inputs = if b.is_gap() { "  (takes --input)" } else { "" };
+                    println!("  {}{}", b.name(), inputs);
+                }
+                std::process::exit(0);
+            }
+            "--bench" => {
+                let v = value(&mut i)?;
+                o.bench = Some(parse_bench(&v).ok_or(format!("unknown benchmark '{v}'"))?);
+            }
+            "--asm" => o.asm_path = Some(value(&mut i)?),
+            "--input" => {
+                let v = value(&mut i)?;
+                o.input = Some(parse_input(&v).ok_or(format!("unknown input '{v}'"))?);
+            }
+            "--technique" => {
+                let v = value(&mut i)?;
+                o.techniques = parse_technique(&v).ok_or(format!("unknown technique '{v}'"))?;
+            }
+            "--size" => {
+                o.size = match value(&mut i)?.as_str() {
+                    "test" => SizeClass::Test,
+                    "small" => SizeClass::Small,
+                    "paper" => SizeClass::Paper,
+                    v => return Err(format!("unknown size '{v}'")),
+                };
+            }
+            "--instrs" => o.instrs = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => o.seed = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--rob" => o.rob = Some(value(&mut i)?.parse().map_err(|e| format!("{e}"))?),
+            "--verbose" => o.verbose = true,
+            "--json" => o.json = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+        i += 1;
+    }
+    if o.bench.is_none() && o.asm_path.is_none() {
+        return Err("one of --bench or --asm is required (try --list)".to_string());
+    }
+    Ok(o)
+}
+
+fn load_workload(o: &Options) -> Result<Workload, String> {
+    if let Some(path) = &o.asm_path {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let prog = sim_isa::parse_program(&text).map_err(|e| format!("{path}: {e}"))?;
+        return Ok(Workload {
+            name: path.clone(),
+            prog,
+            mem: sim_isa::SparseMemory::new(),
+            description: "user kernel (zero-initialized memory)".to_string(),
+            regions: vec![],
+        });
+    }
+    let b = o.bench.expect("validated in parse_args");
+    Ok(b.build(o.input, o.size, o.seed))
+}
+
+fn print_report(r: &SimReport, base_ipc: Option<f64>, verbose: bool) {
+    let speedup = base_ipc.map(|b| format!("{:>7.2}x", r.ipc / b)).unwrap_or_default();
+    println!(
+        "{:14} IPC {:>7.3}{} | MLP {:>5.2} | {:>5.1} MPKI | DRAM {:>8} | stall {:>4.0}%",
+        r.technique.name(),
+        r.ipc,
+        speedup,
+        r.mlp,
+        r.llc_mpki(),
+        r.mem.dram_reads(),
+        100.0 * r.core.rob_full_stall_fraction(),
+    );
+    if verbose && !r.engine.detail.is_empty() {
+        println!("               {}", r.engine.detail);
+    }
+    if verbose {
+        if let Some(t) = r.timeliness() {
+            println!(
+                "               timeliness L1 {:.0}% / L2 {:.0}% / L3 {:.0}% / off-chip {:.0}%",
+                100.0 * t[0],
+                100.0 * t[1],
+                100.0 * t[2],
+                100.0 * t[3]
+            );
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let o = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let wl = match load_workload(&o) {
+        Ok(wl) => wl,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !o.json {
+        println!("{} — {}", wl.name, wl.description);
+        println!(
+            "{} static instructions, {} byte memory image\n",
+            wl.prog.len(),
+            wl.mem.footprint_bytes()
+        );
+    }
+
+    let mut base_ipc = None;
+    for t in &o.techniques {
+        let mut cfg = SimConfig::new(*t).with_max_instructions(o.instrs);
+        if let Some(rob) = o.rob {
+            cfg = cfg.with_rob(rob);
+        }
+        let r = simulate(&wl, &cfg);
+        if *t == Technique::Baseline {
+            base_ipc = Some(r.ipc);
+        }
+        if o.json {
+            println!("{}", r.to_json());
+        } else {
+            print_report(&r, if *t == Technique::Baseline { None } else { base_ipc }, o.verbose);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,37 @@
+//! # dvr-sim — top-level simulator facade for the DVR reproduction
+//!
+//! Wires the substrates together — ISA ([`sim_isa`]), memory hierarchy
+//! ([`sim_mem`]), out-of-order core ([`sim_ooo`]), runahead engines
+//! ([`dvr_core`]), and benchmarks ([`workloads`]) — behind one call:
+//! [`simulate`]. This is the API the examples, integration tests, and the
+//! figure-regeneration harness consume.
+//!
+//! ## Example
+//!
+//! ```
+//! use dvr_sim::{simulate, SimConfig, Technique};
+//! use workloads::{Benchmark, GraphInput, SizeClass};
+//!
+//! let wl = Benchmark::Bfs.build(Some(GraphInput::Ur), SizeClass::Test, 42);
+//! let base = simulate(&wl, &SimConfig::new(Technique::Baseline).with_max_instructions(50_000));
+//! let dvr = simulate(&wl, &SimConfig::new(Technique::Dvr).with_max_instructions(50_000));
+//! assert!(base.ipc > 0.0);
+//! assert!(dvr.ipc > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod report;
+mod runner;
+
+pub use config::{SimConfig, Technique};
+pub use report::{EngineSummary, SimReport};
+pub use runner::{simulate, simulate_all, simulate_all_parallel};
+
+// Re-export the pieces users need to assemble custom setups.
+pub use dvr_core::{DvrConfig, DvrEngine, OracleEngine, PreEngine, VrEngine};
+pub use sim_mem::{HierarchyConfig, MemStats, MemoryHierarchy, PrefetchSource, TimelinessBucket};
+pub use sim_ooo::{CoreConfig, CoreStats, NullEngine, OooCore};
+pub use workloads::{Benchmark, GraphInput, SizeClass, Workload};

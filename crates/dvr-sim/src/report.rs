@@ -1,0 +1,200 @@
+//! Simulation results.
+
+use sim_mem::{MemStats, PrefetchSource};
+use sim_ooo::CoreStats;
+
+use crate::config::Technique;
+
+/// Technique-specific activity counters, normalized across engines.
+#[derive(Clone, Debug, Default)]
+pub struct EngineSummary {
+    /// Runahead episodes / subthread invocations (0 for Baseline/IMP).
+    pub episodes: u64,
+    /// Scalar-equivalent runahead loads issued.
+    pub runahead_loads: u64,
+    /// Nested (NDM) episodes (DVR only).
+    pub nested_episodes: u64,
+    /// Lanes lost to divergence (VR) / stack overflow (DVR).
+    pub lanes_lost: u64,
+    /// Free-form detail line for reports.
+    pub detail: String,
+}
+
+/// The result of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Technique simulated.
+    pub technique: Technique,
+    /// Workload name.
+    pub workload: String,
+    /// Core-side counters.
+    pub core: CoreStats,
+    /// Memory-side counters.
+    pub mem: MemStats,
+    /// Committed instructions per cycle.
+    pub ipc: f64,
+    /// Average MSHRs occupied per cycle (the paper's MLP metric, Fig. 9).
+    pub mlp: f64,
+    /// Engine activity.
+    pub engine: EngineSummary,
+}
+
+impl SimReport {
+    /// Speedup of this run relative to a baseline run of the same workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workloads differ (comparing apples to oranges).
+    pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
+        assert_eq!(
+            self.workload, baseline.workload,
+            "speedup must compare the same workload"
+        );
+        self.ipc / baseline.ipc
+    }
+
+    /// Total DRAM reads normalized to a baseline run (Figure 10's y-axis).
+    pub fn dram_reads_normalized(&self, baseline: &SimReport) -> f64 {
+        self.mem.dram_reads() as f64 / (baseline.mem.dram_reads().max(1)) as f64
+    }
+
+    /// Fraction of this run's DRAM reads issued by runahead engines.
+    pub fn runahead_traffic_fraction(&self) -> f64 {
+        let total = self.mem.dram_reads();
+        if total == 0 {
+            0.0
+        } else {
+            self.mem.dram_runahead() as f64 / total as f64
+        }
+    }
+
+    /// Timeliness buckets (L1/L2/L3/off-chip fractions) for this
+    /// technique's own prefetch source, if it issued any (Figure 11).
+    pub fn timeliness(&self) -> Option<[f64; 4]> {
+        let src = match self.technique {
+            Technique::Pre => PrefetchSource::Pre,
+            Technique::Imp => PrefetchSource::Imp,
+            Technique::Vr => PrefetchSource::Vr,
+            Technique::Dvr | Technique::DvrOffload | Technique::DvrDiscovery => {
+                PrefetchSource::Dvr
+            }
+            Technique::Baseline | Technique::Oracle => return None,
+        };
+        self.mem.timeliness(src)
+    }
+
+    /// LLC misses per kilo-instruction (Table 2's MPKI column).
+    pub fn llc_mpki(&self) -> f64 {
+        if self.core.committed == 0 {
+            0.0
+        } else {
+            1000.0 * self.mem.dram_demand as f64 / self.core.committed as f64
+        }
+    }
+
+    /// Serializes the report as a flat JSON object (for scripting around
+    /// `dvrsim --json`). Hand-rolled to keep the simulator dependency-free;
+    /// all values are numbers or plain ASCII names.
+    pub fn to_json(&self) -> String {
+        let t = self.timeliness().unwrap_or([0.0; 4]);
+        format!(
+            concat!(
+                "{{\"workload\":\"{}\",\"technique\":\"{}\",\"ipc\":{:.6},\"mlp\":{:.4},",
+                "\"cycles\":{},\"committed\":{},\"llc_mpki\":{:.3},",
+                "\"branch_mpki\":{:.3},\"window_full_frac\":{:.4},",
+                "\"commit_blocked_cycles\":{},\"demand_loads\":{},\"demand_stores\":{},",
+                "\"avg_demand_latency\":{:.2},\"dram_reads\":{},\"dram_demand\":{},",
+                "\"dram_runahead\":{},\"dram_writebacks\":{},",
+                "\"runahead_episodes\":{},\"runahead_loads\":{},\"nested_episodes\":{},",
+                "\"timeliness_l1\":{:.4},\"timeliness_l2\":{:.4},\"timeliness_l3\":{:.4},",
+                "\"timeliness_offchip\":{:.4}}}"
+            ),
+            escape_json(&self.workload),
+            self.technique.name(),
+            self.ipc,
+            self.mlp,
+            self.core.cycles,
+            self.core.committed,
+            self.llc_mpki(),
+            self.core.mpki(),
+            self.core.rob_full_stall_fraction(),
+            self.core.commit_blocked_engine_cycles,
+            self.mem.demand_loads,
+            self.mem.demand_stores,
+            self.mem.avg_demand_latency(),
+            self.mem.dram_reads(),
+            self.mem.dram_demand,
+            self.mem.dram_runahead(),
+            self.mem.dram_writebacks,
+            self.engine.episodes,
+            self.engine.runahead_loads,
+            self.engine.nested_episodes,
+            t[0],
+            t[1],
+            t[2],
+            t[3],
+        )
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(workload: &str, ipc: f64) -> SimReport {
+        SimReport {
+            technique: Technique::Baseline,
+            workload: workload.to_string(),
+            core: CoreStats::default(),
+            mem: MemStats::default(),
+            ipc,
+            mlp: 0.0,
+            engine: EngineSummary::default(),
+        }
+    }
+
+    #[test]
+    fn speedup_math() {
+        let base = report("bfs", 0.5);
+        let fast = report("bfs", 1.25);
+        assert!((fast.speedup_over(&base) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same workload")]
+    fn speedup_across_workloads_panics() {
+        let a = report("bfs", 1.0);
+        let b = report("pr", 1.0);
+        let _ = a.speedup_over(&b);
+    }
+
+    #[test]
+    fn traffic_fraction_handles_zero() {
+        let r = report("bfs", 1.0);
+        assert_eq!(r.runahead_traffic_fraction(), 0.0);
+        assert_eq!(r.llc_mpki(), 0.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut r = report("bfs\"KR\\", 1.5);
+        r.core.cycles = 100;
+        r.core.committed = 150;
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"ipc\":1.5"));
+        assert!(j.contains("\\\"KR\\\\"), "quotes/backslashes must be escaped: {j}");
+        assert_eq!(j.matches('{').count(), 1);
+    }
+}

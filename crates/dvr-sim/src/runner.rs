@@ -1,0 +1,196 @@
+//! The simulation runner.
+
+use dvr_core::{DvrConfig, DvrEngine, OracleEngine, PreEngine, VrEngine};
+use sim_mem::MemoryHierarchy;
+use sim_ooo::{NullEngine, OooCore};
+use workloads::Workload;
+
+use crate::config::{SimConfig, Technique};
+use crate::report::{EngineSummary, SimReport};
+
+/// Runs one workload under one configuration and returns the report.
+///
+/// The workload is not consumed: its memory image is cloned, so the same
+/// built workload can be replayed under every technique (deterministically
+/// identical initial state).
+pub fn simulate(workload: &Workload, cfg: &SimConfig) -> SimReport {
+    let mut mem = workload.mem.clone();
+    let mut hier = MemoryHierarchy::new(cfg.hierarchy);
+    let mut core = OooCore::new(cfg.core);
+
+    let engine_summary = match cfg.technique {
+        Technique::Baseline | Technique::Imp => {
+            let mut e = NullEngine;
+            core.run(&workload.prog, &mut mem, &mut hier, &mut e, cfg.max_instructions);
+            EngineSummary::default()
+        }
+        Technique::Pre => {
+            let mut e = PreEngine::default();
+            core.run(&workload.prog, &mut mem, &mut hier, &mut e, cfg.max_instructions);
+            let s = *e.stats();
+            EngineSummary {
+                episodes: s.episodes,
+                runahead_loads: s.prefetches,
+                detail: format!(
+                    "pre: {} instrs pre-executed, {} poisoned loads",
+                    s.instructions, s.poisoned_loads
+                ),
+                ..EngineSummary::default()
+            }
+        }
+        Technique::Vr => {
+            let mut e = VrEngine::default();
+            core.run(&workload.prog, &mut mem, &mut hier, &mut e, cfg.max_instructions);
+            let s = *e.stats();
+            EngineSummary {
+                episodes: s.episodes,
+                runahead_loads: s.lane_loads,
+                lanes_lost: s.lanes_lost,
+                detail: format!(
+                    "vr: {} no-stride stalls, {} delayed-termination cycles",
+                    s.no_stride_found, s.delayed_termination_cycles
+                ),
+                ..EngineSummary::default()
+            }
+        }
+        Technique::Dvr | Technique::DvrOffload | Technique::DvrDiscovery => {
+            let dcfg = match cfg.technique {
+                Technique::DvrOffload => {
+                    DvrConfig { discovery: false, nested: false, ..cfg.dvr }
+                }
+                Technique::DvrDiscovery => DvrConfig { nested: false, ..cfg.dvr },
+                _ => cfg.dvr,
+            };
+            let mut e = DvrEngine::new(dcfg);
+            core.run(&workload.prog, &mut mem, &mut hier, &mut e, cfg.max_instructions);
+            let s = *e.stats();
+            EngineSummary {
+                episodes: s.episodes,
+                runahead_loads: s.lane_loads,
+                nested_episodes: s.ndm_episodes,
+                detail: format!(
+                    "dvr: {} lanes spawned, {} diverged episodes, {} innermost switches, \
+                     {} chains without dependent loads",
+                    s.lanes_spawned, s.diverged_episodes, s.innermost_switches,
+                    s.no_dependent_chain
+                ),
+                ..EngineSummary::default()
+            }
+        }
+        Technique::Oracle => {
+            let mut e = OracleEngine::new();
+            core.run(&workload.prog, &mut mem, &mut hier, &mut e, cfg.max_instructions);
+            let s = *e.stats();
+            EngineSummary {
+                detail: format!(
+                    "oracle: {} misses hidden, {} natural hits",
+                    s.hidden_misses, s.natural_hits
+                ),
+                ..EngineSummary::default()
+            }
+        }
+    };
+
+    let core_stats = *core.stats();
+    let mem_stats = hier.stats().clone();
+    let cycles = core_stats.cycles.max(1);
+    SimReport {
+        technique: cfg.technique,
+        workload: workload.name.clone(),
+        ipc: core_stats.ipc(),
+        mlp: hier.mshr_busy_integral() as f64 / cycles as f64,
+        core: core_stats,
+        mem: mem_stats,
+        engine: engine_summary,
+    }
+}
+
+/// Convenience: run one workload under several techniques, sharing the
+/// built input.
+pub fn simulate_all(workload: &Workload, cfgs: &[SimConfig]) -> Vec<SimReport> {
+    cfgs.iter().map(|c| simulate(workload, c)).collect()
+}
+
+/// Like [`simulate_all`], but running configurations on OS threads
+/// (simulations are independent and deterministic, so results are identical
+/// to the serial version and returned in input order).
+///
+/// `threads = 0` uses the machine's available parallelism.
+pub fn simulate_all_parallel(
+    workload: &Workload,
+    cfgs: &[SimConfig],
+    threads: usize,
+) -> Vec<SimReport> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+    } else {
+        threads
+    };
+    if threads <= 1 || cfgs.len() <= 1 {
+        return simulate_all(workload, cfgs);
+    }
+    let mut out: Vec<Option<SimReport>> = vec![None; cfgs.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<&mut Option<SimReport>>> =
+        out.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(cfgs.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= cfgs.len() {
+                    break;
+                }
+                let r = simulate(workload, &cfgs[i]);
+                **slots[i].lock().expect("slot lock") = Some(r);
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("every slot filled")).collect()
+}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{Benchmark, SizeClass};
+
+    #[test]
+    fn baseline_run_produces_sane_numbers() {
+        let wl = Benchmark::NasIs.build(None, SizeClass::Test, 1);
+        let r = simulate(&wl, &SimConfig::new(Technique::Baseline).with_max_instructions(30_000));
+        assert!(r.ipc > 0.05 && r.ipc < 5.0, "ipc {}", r.ipc);
+        assert!(r.core.committed >= 29_000);
+        assert!(r.mem.demand_loads > 0);
+        assert!(r.mlp >= 0.0);
+    }
+
+    #[test]
+    fn workload_is_reusable_across_techniques() {
+        let wl = Benchmark::Camel.build(None, SizeClass::Test, 2);
+        let a = simulate(&wl, &SimConfig::new(Technique::Baseline).with_max_instructions(20_000));
+        let b = simulate(&wl, &SimConfig::new(Technique::Baseline).with_max_instructions(20_000));
+        assert_eq!(a.core.cycles, b.core.cycles, "simulation must be deterministic");
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let wl = Benchmark::NasIs.build(None, SizeClass::Test, 4);
+        let cfgs: Vec<SimConfig> = [Technique::Baseline, Technique::Vr, Technique::Dvr]
+            .into_iter()
+            .map(|t| SimConfig::new(t).with_max_instructions(10_000))
+            .collect();
+        let serial = simulate_all(&wl, &cfgs);
+        let parallel = simulate_all_parallel(&wl, &cfgs, 3);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.core.cycles, p.core.cycles);
+            assert_eq!(s.technique, p.technique);
+            assert_eq!(s.mem.dram_reads(), p.mem.dram_reads());
+        }
+    }
+
+    #[test]
+    fn dvr_reports_engine_activity() {
+        let wl = Benchmark::Camel.build(None, SizeClass::Small, 3);
+        let r = simulate(&wl, &SimConfig::new(Technique::Dvr).with_max_instructions(100_000));
+        assert!(r.engine.episodes > 0, "DVR must trigger on Camel: {:?}", r.engine);
+        assert!(r.engine.runahead_loads > 0);
+    }
+}

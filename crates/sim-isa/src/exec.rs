@@ -1,0 +1,456 @@
+//! Functional execution: the architectural CPU state and a per-lane
+//! interpreter used by the runahead engines.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::instr::{Instr, Program};
+use crate::mem::SparseMemory;
+use crate::reg::{NUM_REGS, Reg};
+
+/// A memory access performed by one executed instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemAccess {
+    /// Effective byte address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub width: u64,
+    /// `true` for stores, `false` for loads.
+    pub is_store: bool,
+    /// The value loaded or stored.
+    pub value: u64,
+}
+
+/// The outcome of executing one dynamic instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Step {
+    /// PC of the executed instruction.
+    pub pc: usize,
+    /// The executed instruction.
+    pub instr: Instr,
+    /// PC of the next instruction on the (architecturally correct) path.
+    pub next_pc: usize,
+    /// Memory access performed, if any.
+    pub mem: Option<MemAccess>,
+    /// For conditional branches, whether the branch was taken.
+    pub branch_taken: Option<bool>,
+    /// Value written to the destination register, if any.
+    pub dst_value: Option<u64>,
+}
+
+/// Result of [`Cpu::step`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepEvent {
+    /// An instruction executed.
+    Executed(Step),
+    /// The program halted (via [`Instr::Halt`] or running off the end).
+    Halted,
+}
+
+/// Error produced by the functional executor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecError {
+    /// The PC points outside the program and the program did not halt.
+    PcOutOfRange {
+        /// The offending PC.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::PcOutOfRange { pc } => write!(f, "pc {pc} out of program range"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+/// The architectural CPU state: 16 integer registers and a program counter.
+///
+/// `Cpu` executes instructions *functionally* and in order; the cycle-level
+/// timing is layered on top by `sim-ooo` (execute-at-fetch). See the crate
+/// docs for a full example.
+#[derive(Clone, Debug)]
+pub struct Cpu {
+    regs: [u64; NUM_REGS],
+    pc: usize,
+    halted: bool,
+    retired: u64,
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Cpu::new()
+    }
+}
+
+impl Cpu {
+    /// Creates a CPU with all registers zero and `pc = 0`.
+    pub fn new() -> Self {
+        Cpu { regs: [0; NUM_REGS], pc: 0, halted: false, retired: 0 }
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Whether the CPU has halted.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Reads an architectural register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes an architectural register.
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        self.regs[r.index()] = value;
+    }
+
+    /// A snapshot of the whole register file — used for Discovery Mode's
+    /// loop-bound checkpoints and to seed runahead lane contexts.
+    pub fn regs(&self) -> [u64; NUM_REGS] {
+        self.regs
+    }
+
+    /// Executes one instruction, updating registers, memory, and the PC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::PcOutOfRange`] only if the machine is driven
+    /// past a malformed program; well-formed programs end with
+    /// [`Instr::Halt`], reported as [`StepEvent::Halted`].
+    pub fn step(
+        &mut self,
+        prog: &Program,
+        mem: &mut SparseMemory,
+    ) -> Result<StepEvent, ExecError> {
+        if self.halted {
+            return Ok(StepEvent::Halted);
+        }
+        let pc = self.pc;
+        let instr = match prog.fetch(pc) {
+            Some(i) => *i,
+            None => {
+                return if pc == prog.len() {
+                    self.halted = true;
+                    Ok(StepEvent::Halted)
+                } else {
+                    Err(ExecError::PcOutOfRange { pc })
+                };
+            }
+        };
+
+        let mut next_pc = pc + 1;
+        let mut memacc = None;
+        let mut branch_taken = None;
+        let mut dst_value = None;
+
+        match instr {
+            Instr::Imm { rd, value } => {
+                self.regs[rd.index()] = value as u64;
+                dst_value = Some(value as u64);
+            }
+            Instr::Alu { op, rd, ra, rb } => {
+                let v = op.eval(self.regs[ra.index()], self.regs[rb.index()]);
+                self.regs[rd.index()] = v;
+                dst_value = Some(v);
+            }
+            Instr::AluImm { op, rd, ra, imm } => {
+                let v = op.eval(self.regs[ra.index()], imm as u64);
+                self.regs[rd.index()] = v;
+                dst_value = Some(v);
+            }
+            Instr::Load { rd, addr, width } => {
+                let a = addr.effective(|r| self.regs[r.index()]);
+                let v = mem.read(a, width.bytes());
+                self.regs[rd.index()] = v;
+                dst_value = Some(v);
+                memacc = Some(MemAccess { addr: a, width: width.bytes(), is_store: false, value: v });
+            }
+            Instr::Store { rs, addr, width } => {
+                let a = addr.effective(|r| self.regs[r.index()]);
+                let v = self.regs[rs.index()];
+                mem.write(a, width.bytes(), v);
+                memacc = Some(MemAccess { addr: a, width: width.bytes(), is_store: true, value: v });
+            }
+            Instr::Branch { cond, rs, target } => {
+                let taken = cond.taken(self.regs[rs.index()]);
+                branch_taken = Some(taken);
+                if taken {
+                    next_pc = target;
+                }
+            }
+            Instr::Jump { target } => {
+                next_pc = target;
+            }
+            Instr::Nop => {}
+            Instr::Halt => {
+                self.halted = true;
+                self.retired += 1;
+                return Ok(StepEvent::Executed(Step {
+                    pc,
+                    instr,
+                    next_pc: pc,
+                    mem: None,
+                    branch_taken: None,
+                    dst_value: None,
+                }));
+            }
+        }
+
+        self.pc = next_pc;
+        self.retired += 1;
+        Ok(StepEvent::Executed(Step { pc, instr, next_pc, mem: memacc, branch_taken, dst_value }))
+    }
+
+    /// Runs until halt or `max_steps`, returning the number of instructions
+    /// executed. Convenience for tests and functional validation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError`] from [`Cpu::step`].
+    pub fn run(
+        &mut self,
+        prog: &Program,
+        mem: &mut SparseMemory,
+        max_steps: u64,
+    ) -> Result<u64, ExecError> {
+        let mut n = 0;
+        while n < max_steps {
+            match self.step(prog, mem)? {
+                StepEvent::Executed(_) => n += 1,
+                StepEvent::Halted => break,
+            }
+        }
+        Ok(n)
+    }
+}
+
+/// The effect of executing one instruction in a *speculative runahead lane*:
+/// stores are suppressed (runahead is transient and must not perturb
+/// architectural memory), loads read the live memory image.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LaneEffect {
+    /// PC the lane proceeds to.
+    pub next_pc: usize,
+    /// The lane reached a `Halt` (or ran off the program).
+    pub halted: bool,
+    /// Load performed: `(address, width_bytes)`.
+    pub load: Option<(u64, u64)>,
+    /// Store suppressed, address still reported: `(address, width_bytes)`.
+    pub store: Option<(u64, u64)>,
+    /// For conditional branches, the lane-local outcome.
+    pub branch_taken: Option<bool>,
+}
+
+/// Executes the instruction at `pc` on a lane-private register file against
+/// the shared memory image, without writing memory.
+///
+/// This is the per-lane semantics of the vector-runahead subthread: each of
+/// the up-to-128 scalar-equivalent lanes interprets the same instruction on
+/// its own register context (Section 4.2 of the paper). Timing (gather
+/// splitting, MSHR allocation, masking) is handled by the engine in
+/// `dvr-core`; this function only provides values and control flow.
+pub fn exec_lane(
+    prog: &Program,
+    pc: usize,
+    regs: &mut [u64; NUM_REGS],
+    mem: &SparseMemory,
+) -> LaneEffect {
+    let instr = match prog.fetch(pc) {
+        Some(i) => *i,
+        None => {
+            return LaneEffect {
+                next_pc: pc,
+                halted: true,
+                load: None,
+                store: None,
+                branch_taken: None,
+            };
+        }
+    };
+    let mut eff = LaneEffect {
+        next_pc: pc + 1,
+        halted: false,
+        load: None,
+        store: None,
+        branch_taken: None,
+    };
+    match instr {
+        Instr::Imm { rd, value } => regs[rd.index()] = value as u64,
+        Instr::Alu { op, rd, ra, rb } => {
+            regs[rd.index()] = op.eval(regs[ra.index()], regs[rb.index()]);
+        }
+        Instr::AluImm { op, rd, ra, imm } => {
+            regs[rd.index()] = op.eval(regs[ra.index()], imm as u64);
+        }
+        Instr::Load { rd, addr, width } => {
+            let a = addr.effective(|r| regs[r.index()]);
+            regs[rd.index()] = mem.read(a, width.bytes());
+            eff.load = Some((a, width.bytes()));
+        }
+        Instr::Store { addr, width, .. } => {
+            let a = addr.effective(|r| regs[r.index()]);
+            eff.store = Some((a, width.bytes()));
+        }
+        Instr::Branch { cond, rs, target } => {
+            let taken = cond.taken(regs[rs.index()]);
+            eff.branch_taken = Some(taken);
+            if taken {
+                eff.next_pc = target;
+            }
+        }
+        Instr::Jump { target } => eff.next_pc = target,
+        Instr::Nop => {}
+        Instr::Halt => {
+            eff.halted = true;
+            eff.next_pc = pc;
+        }
+    }
+    eff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+
+    fn fib_program() -> Program {
+        // r1 = fib(10) iteratively
+        let mut asm = Asm::new();
+        let (a, b, t, i, n, c) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6);
+        asm.li(a, 0);
+        asm.li(b, 1);
+        asm.li(i, 0);
+        asm.li(n, 10);
+        let top = asm.here();
+        asm.add(t, a, b);
+        asm.mv(a, b);
+        asm.mv(b, t);
+        asm.addi(i, i, 1);
+        asm.slt(c, i, n);
+        asm.bnz(c, top);
+        asm.halt();
+        asm.finish().unwrap()
+    }
+
+    #[test]
+    fn fib_executes_correctly() {
+        let prog = fib_program();
+        let mut cpu = Cpu::new();
+        let mut mem = SparseMemory::new();
+        let n = cpu.run(&prog, &mut mem, 10_000).unwrap();
+        assert!(cpu.is_halted());
+        assert_eq!(cpu.reg(Reg::R1), 55); // fib(10)
+        assert_eq!(n, cpu.retired());
+    }
+
+    #[test]
+    fn memory_steps_report_accesses() {
+        let mut asm = Asm::new();
+        asm.li(Reg::R1, 0x1000);
+        asm.li(Reg::R2, 99);
+        asm.st8(Reg::R2, Reg::R1, 8);
+        asm.ld8(Reg::R3, Reg::R1, 8);
+        asm.halt();
+        let prog = asm.finish().unwrap();
+        let mut cpu = Cpu::new();
+        let mut mem = SparseMemory::new();
+
+        let mut accesses = vec![];
+        while let StepEvent::Executed(s) = cpu.step(&prog, &mut mem).unwrap() {
+            if let Some(m) = s.mem {
+                accesses.push(m);
+            }
+            if matches!(s.instr, Instr::Halt) {
+                break;
+            }
+        }
+        assert_eq!(accesses.len(), 2);
+        assert!(accesses[0].is_store);
+        assert_eq!(accesses[0].addr, 0x1008);
+        assert!(!accesses[1].is_store);
+        assert_eq!(accesses[1].value, 99);
+        assert_eq!(cpu.reg(Reg::R3), 99);
+    }
+
+    #[test]
+    fn running_off_the_end_halts() {
+        let mut asm = Asm::new();
+        asm.nop();
+        let prog = asm.finish().unwrap();
+        let mut cpu = Cpu::new();
+        let mut mem = SparseMemory::new();
+        assert!(matches!(cpu.step(&prog, &mut mem).unwrap(), StepEvent::Executed(_)));
+        assert!(matches!(cpu.step(&prog, &mut mem).unwrap(), StepEvent::Halted));
+        assert!(cpu.is_halted());
+    }
+
+    #[test]
+    fn pc_out_of_range_is_an_error() {
+        let mut asm = Asm::new();
+        asm.nop();
+        let prog = asm.finish().unwrap();
+        let mut cpu = Cpu::new();
+        cpu.pc = 17;
+        let mut mem = SparseMemory::new();
+        assert_eq!(cpu.step(&prog, &mut mem), Err(ExecError::PcOutOfRange { pc: 17 }));
+    }
+
+    #[test]
+    fn lane_exec_suppresses_stores() {
+        let mut asm = Asm::new();
+        asm.st8(Reg::R2, Reg::R1, 0);
+        asm.ld8(Reg::R3, Reg::R1, 0);
+        asm.halt();
+        let prog = asm.finish().unwrap();
+        let mem = SparseMemory::new();
+        let mut regs = [0u64; NUM_REGS];
+        regs[Reg::R1.index()] = 0x1000;
+        regs[Reg::R2.index()] = 55;
+
+        let e0 = exec_lane(&prog, 0, &mut regs, &mem);
+        assert_eq!(e0.store, Some((0x1000, 8)));
+        assert_eq!(e0.load, None);
+        // The store did not land: the load reads 0.
+        let e1 = exec_lane(&prog, e0.next_pc, &mut regs, &mem);
+        assert_eq!(e1.load, Some((0x1000, 8)));
+        assert_eq!(regs[Reg::R3.index()], 0);
+        let e2 = exec_lane(&prog, e1.next_pc, &mut regs, &mem);
+        assert!(e2.halted);
+    }
+
+    #[test]
+    fn lane_exec_branches_per_lane() {
+        let mut asm = Asm::new();
+        let skip = asm.label();
+        asm.bnz(Reg::R1, skip);
+        asm.li(Reg::R2, 7);
+        asm.bind(skip);
+        asm.halt();
+        let prog = asm.finish().unwrap();
+        let mem = SparseMemory::new();
+
+        let mut taken_lane = [0u64; NUM_REGS];
+        taken_lane[Reg::R1.index()] = 1;
+        let e = exec_lane(&prog, 0, &mut taken_lane, &mem);
+        assert_eq!(e.branch_taken, Some(true));
+        assert_eq!(e.next_pc, 2);
+
+        let mut fall_lane = [0u64; NUM_REGS];
+        let e = exec_lane(&prog, 0, &mut fall_lane, &mem);
+        assert_eq!(e.branch_taken, Some(false));
+        assert_eq!(e.next_pc, 1);
+    }
+}

@@ -1,0 +1,557 @@
+//! Instruction definitions and static programs.
+
+use std::fmt;
+
+use crate::reg::Reg;
+
+/// Arithmetic/logic operations.
+///
+/// The comparison operators (`Slt`, `Sltu`, `Seq`, `Sne`) write 0/1 into the
+/// destination register; the paper's Loop-Bound Detector treats them as the
+/// "compare instruction" feeding a backward branch (Section 4.1.3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sra,
+    /// Set if less-than (signed).
+    Slt,
+    /// Set if less-than (unsigned).
+    Sltu,
+    /// Set if equal.
+    Seq,
+    /// Set if not equal.
+    Sne,
+    /// Signed minimum.
+    Min,
+    /// Signed maximum.
+    Max,
+}
+
+impl AluOp {
+    /// Whether this operation is a comparison producing a 0/1 flag — the
+    /// kind of instruction the Loop-Bound Detector latches into the LCR.
+    pub fn is_compare(self) -> bool {
+        matches!(self, AluOp::Slt | AluOp::Sltu | AluOp::Seq | AluOp::Sne)
+    }
+
+    /// Evaluate the operation on two operand values.
+    ///
+    /// Division and remainder by zero follow the RISC-V convention
+    /// (`u64::MAX` and the dividend, respectively) rather than trapping.
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    u64::MAX
+                } else {
+                    ((a as i64).wrapping_div(b as i64)) as u64
+                }
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    a
+                } else {
+                    ((a as i64).wrapping_rem(b as i64)) as u64
+                }
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl(b as u32 & 63),
+            AluOp::Shr => a.wrapping_shr(b as u32 & 63),
+            AluOp::Sra => ((a as i64).wrapping_shr(b as u32 & 63)) as u64,
+            AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+            AluOp::Sltu => (a < b) as u64,
+            AluOp::Seq => (a == b) as u64,
+            AluOp::Sne => (a != b) as u64,
+            AluOp::Min => (a as i64).min(b as i64) as u64,
+            AluOp::Max => (a as i64).max(b as i64) as u64,
+        }
+    }
+
+    /// Nominal execution latency in cycles, mirroring the functional-unit
+    /// latencies of the paper's Table 1 (int add 1, int mult 3, int div 18).
+    pub fn latency(self) -> u32 {
+        match self {
+            AluOp::Mul => 3,
+            AluOp::Div | AluOp::Rem => 18,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Sra => "sra",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Seq => "seq",
+            AluOp::Sne => "sne",
+            AluOp::Min => "min",
+            AluOp::Max => "max",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Width of a memory access in bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MemWidth {
+    /// 1 byte.
+    B1,
+    /// 2 bytes.
+    B2,
+    /// 4 bytes.
+    B4,
+    /// 8 bytes.
+    B8,
+}
+
+impl MemWidth {
+    /// Access size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B1 => 1,
+            MemWidth::B2 => 2,
+            MemWidth::B4 => 4,
+            MemWidth::B8 => 8,
+        }
+    }
+}
+
+impl fmt::Display for MemWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bytes())
+    }
+}
+
+/// An effective-address expression: `base + (index << scale) + offset`.
+///
+/// The `index`/`scale` form is how indirect accesses (`edges[offsets[v]]`,
+/// `bucket[hash(key)]`) are expressed, and the address stream DVR's stride
+/// detector and taint tracker reason about.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MemAddr {
+    /// Base-address register.
+    pub base: Reg,
+    /// Optional index register, shifted left by `scale`.
+    pub index: Option<Reg>,
+    /// Left-shift applied to the index register (log2 of the element size).
+    pub scale: u8,
+    /// Constant byte offset.
+    pub offset: i64,
+}
+
+impl MemAddr {
+    /// `base + offset` addressing.
+    pub fn base(base: Reg, offset: i64) -> Self {
+        MemAddr { base, index: None, scale: 0, offset }
+    }
+
+    /// `base + (index << scale)` addressing.
+    pub fn indexed(base: Reg, index: Reg, scale: u8) -> Self {
+        MemAddr { base, index: Some(index), scale, offset: 0 }
+    }
+
+    /// Compute the effective address given a register-read function.
+    pub fn effective(&self, read: impl Fn(Reg) -> u64) -> u64 {
+        let mut a = read(self.base).wrapping_add(self.offset as u64);
+        if let Some(ix) = self.index {
+            a = a.wrapping_add(read(ix).wrapping_shl(self.scale as u32));
+        }
+        a
+    }
+
+    /// Registers read to form the address.
+    pub fn regs(&self) -> impl Iterator<Item = Reg> + '_ {
+        std::iter::once(self.base).chain(self.index)
+    }
+}
+
+impl fmt::Display for MemAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.index {
+            Some(ix) => write!(f, "[{} + {}<<{} + {}]", self.base, ix, self.scale, self.offset),
+            None => write!(f, "[{} + {}]", self.base, self.offset),
+        }
+    }
+}
+
+/// Condition of a conditional branch, testing a single register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BranchCond {
+    /// Taken if the register is zero.
+    Eqz,
+    /// Taken if the register is non-zero.
+    Nez,
+}
+
+impl BranchCond {
+    /// Evaluate the condition on a register value.
+    pub fn taken(self, v: u64) -> bool {
+        match self {
+            BranchCond::Eqz => v == 0,
+            BranchCond::Nez => v != 0,
+        }
+    }
+}
+
+impl fmt::Display for BranchCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BranchCond::Eqz => "bez",
+            BranchCond::Nez => "bnz",
+        })
+    }
+}
+
+/// A single static instruction.
+///
+/// Program counters are instruction indices into a [`Program`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Instr {
+    /// Load a 64-bit immediate into `rd`.
+    Imm {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate value.
+        value: i64,
+    },
+    /// Register-register ALU operation: `rd = ra op rb`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        ra: Reg,
+        /// Second source register.
+        rb: Reg,
+    },
+    /// Register-immediate ALU operation: `rd = ra op imm`.
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        ra: Reg,
+        /// Immediate operand.
+        imm: i64,
+    },
+    /// Load `width` bytes (zero-extended) from memory into `rd`.
+    Load {
+        /// Destination register.
+        rd: Reg,
+        /// Effective-address expression.
+        addr: MemAddr,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// Store the low `width` bytes of `rs` to memory.
+    Store {
+        /// Source register.
+        rs: Reg,
+        /// Effective-address expression.
+        addr: MemAddr,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// Conditional branch on a register.
+    Branch {
+        /// Condition.
+        cond: BranchCond,
+        /// Register tested.
+        rs: Reg,
+        /// Target program counter (instruction index).
+        target: usize,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Target program counter (instruction index).
+        target: usize,
+    },
+    /// No operation.
+    Nop,
+    /// Stop execution.
+    Halt,
+}
+
+impl Instr {
+    /// Destination register written by this instruction, if any.
+    pub fn dst(&self) -> Option<Reg> {
+        match *self {
+            Instr::Imm { rd, .. }
+            | Instr::Alu { rd, .. }
+            | Instr::AluImm { rd, .. }
+            | Instr::Load { rd, .. } => Some(rd),
+            _ => None,
+        }
+    }
+
+    /// Source registers read by this instruction (up to 3: two operands or
+    /// address registers, plus the store data register).
+    pub fn srcs(&self) -> SrcIter {
+        let mut regs = [None; 3];
+        match *self {
+            Instr::Alu { ra, rb, .. } => {
+                regs[0] = Some(ra);
+                regs[1] = Some(rb);
+            }
+            Instr::AluImm { ra, .. } => regs[0] = Some(ra),
+            Instr::Load { addr, .. } => {
+                regs[0] = Some(addr.base);
+                regs[1] = addr.index;
+            }
+            Instr::Store { rs, addr, .. } => {
+                regs[0] = Some(addr.base);
+                regs[1] = addr.index;
+                regs[2] = Some(rs);
+            }
+            Instr::Branch { rs, .. } => regs[0] = Some(rs),
+            _ => {}
+        }
+        SrcIter { regs, i: 0 }
+    }
+
+    /// Whether this is a load.
+    pub fn is_load(&self) -> bool {
+        matches!(self, Instr::Load { .. })
+    }
+
+    /// Whether this is a store.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Instr::Store { .. })
+    }
+
+    /// Whether this is a control-flow instruction (branch or jump).
+    pub fn is_control(&self) -> bool {
+        matches!(self, Instr::Branch { .. } | Instr::Jump { .. })
+    }
+
+    /// Whether this is a conditional branch.
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self, Instr::Branch { .. })
+    }
+
+    /// Whether this is a comparison ALU operation (see [`AluOp::is_compare`]).
+    pub fn is_compare(&self) -> bool {
+        match self {
+            Instr::Alu { op, .. } | Instr::AluImm { op, .. } => op.is_compare(),
+            _ => false,
+        }
+    }
+
+    /// Static branch/jump target, if this is a control instruction.
+    pub fn target(&self) -> Option<usize> {
+        match *self {
+            Instr::Branch { target, .. } | Instr::Jump { target } => Some(target),
+            _ => None,
+        }
+    }
+}
+
+/// Iterator over an instruction's source registers.
+///
+/// Produced by [`Instr::srcs`].
+#[derive(Clone, Debug)]
+pub struct SrcIter {
+    regs: [Option<Reg>; 3],
+    i: usize,
+}
+
+impl Iterator for SrcIter {
+    type Item = Reg;
+
+    fn next(&mut self) -> Option<Reg> {
+        while self.i < 3 {
+            let r = self.regs[self.i];
+            self.i += 1;
+            if r.is_some() {
+                return r;
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Imm { rd, value } => write!(f, "li {rd}, {value}"),
+            Instr::Alu { op, rd, ra, rb } => write!(f, "{op} {rd}, {ra}, {rb}"),
+            Instr::AluImm { op, rd, ra, imm } => write!(f, "{op}i {rd}, {ra}, {imm}"),
+            Instr::Load { rd, addr, width } => write!(f, "ld{width} {rd}, {addr}"),
+            Instr::Store { rs, addr, width } => write!(f, "st{width} {rs}, {addr}"),
+            Instr::Branch { cond, rs, target } => write!(f, "{cond} {rs}, @{target}"),
+            Instr::Jump { target } => write!(f, "jmp @{target}"),
+            Instr::Nop => f.write_str("nop"),
+            Instr::Halt => f.write_str("halt"),
+        }
+    }
+}
+
+/// A static program: a sequence of instructions with optional label names
+/// retained for debugging.
+///
+/// Construct one with [`Asm`](crate::Asm).
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    instrs: Vec<Instr>,
+    labels: Vec<(usize, String)>,
+}
+
+impl Program {
+    pub(crate) fn new(instrs: Vec<Instr>, labels: Vec<(usize, String)>) -> Self {
+        Program { instrs, labels }
+    }
+
+    /// The instruction at `pc`, or `None` past the end.
+    pub fn fetch(&self, pc: usize) -> Option<&Instr> {
+        self.instrs.get(pc)
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// All instructions in program order.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Label names bound while assembling, as `(pc, name)` pairs.
+    pub fn labels(&self) -> &[(usize, String)] {
+        &self.labels
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (pc, instr) in self.instrs.iter().enumerate() {
+            for (lpc, name) in &self.labels {
+                if *lpc == pc {
+                    writeln!(f, "{name}:")?;
+                }
+            }
+            writeln!(f, "  {pc:4}: {instr}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_eval_basics() {
+        assert_eq!(AluOp::Add.eval(2, 3), 5);
+        assert_eq!(AluOp::Sub.eval(2, 3), u64::MAX); // wraps
+        assert_eq!(AluOp::Mul.eval(1 << 40, 1 << 40), 0); // wraps
+        assert_eq!(AluOp::Slt.eval(u64::MAX, 0), 1); // -1 < 0 signed
+        assert_eq!(AluOp::Sltu.eval(u64::MAX, 0), 0);
+        assert_eq!(AluOp::Div.eval(7, 0), u64::MAX);
+        assert_eq!(AluOp::Rem.eval(7, 0), 7);
+        assert_eq!(AluOp::Div.eval((-7i64) as u64, 2), (-3i64) as u64);
+        assert_eq!(AluOp::Min.eval((-1i64) as u64, 5), (-1i64) as u64);
+        assert_eq!(AluOp::Max.eval((-1i64) as u64, 5), 5);
+        assert_eq!(AluOp::Sra.eval((-8i64) as u64, 1), (-4i64) as u64);
+        assert_eq!(AluOp::Shr.eval((-8i64) as u64, 1), ((-8i64) as u64) >> 1);
+    }
+
+    #[test]
+    fn compare_classification() {
+        assert!(AluOp::Slt.is_compare());
+        assert!(AluOp::Seq.is_compare());
+        assert!(!AluOp::Add.is_compare());
+        let i = Instr::Alu { op: AluOp::Slt, rd: Reg::R1, ra: Reg::R2, rb: Reg::R3 };
+        assert!(i.is_compare());
+    }
+
+    #[test]
+    fn effective_address() {
+        let a = MemAddr::indexed(Reg::R1, Reg::R2, 3);
+        let addr = a.effective(|r| match r {
+            Reg::R1 => 0x1000,
+            Reg::R2 => 5,
+            _ => 0,
+        });
+        assert_eq!(addr, 0x1000 + 5 * 8);
+
+        let b = MemAddr::base(Reg::R1, -16);
+        let addr = b.effective(|_| 0x1000);
+        assert_eq!(addr, 0x1000 - 16);
+    }
+
+    #[test]
+    fn srcs_and_dst() {
+        let ld = Instr::Load {
+            rd: Reg::R4,
+            addr: MemAddr::indexed(Reg::R1, Reg::R2, 3),
+            width: MemWidth::B8,
+        };
+        assert_eq!(ld.dst(), Some(Reg::R4));
+        let srcs: Vec<_> = ld.srcs().collect();
+        assert_eq!(srcs, vec![Reg::R1, Reg::R2]);
+
+        let st = Instr::Store {
+            rs: Reg::R5,
+            addr: MemAddr::base(Reg::R1, 0),
+            width: MemWidth::B4,
+        };
+        assert_eq!(st.dst(), None);
+        let srcs: Vec<_> = st.srcs().collect();
+        assert_eq!(srcs, vec![Reg::R1, Reg::R5]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let i = Instr::Load {
+            rd: Reg::R4,
+            addr: MemAddr::indexed(Reg::R1, Reg::R2, 3),
+            width: MemWidth::B8,
+        };
+        assert_eq!(i.to_string(), "ld8 r4, [r1 + r2<<3 + 0]");
+        assert_eq!(Instr::Halt.to_string(), "halt");
+    }
+
+    #[test]
+    fn latency_matches_table1() {
+        assert_eq!(AluOp::Add.latency(), 1);
+        assert_eq!(AluOp::Mul.latency(), 3);
+        assert_eq!(AluOp::Div.latency(), 18);
+    }
+}

@@ -1,0 +1,221 @@
+//! Byte-addressed sparse memory.
+
+use std::collections::HashMap;
+use std::fmt;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_SIZE - 1) as u64;
+
+/// A flat 64-bit byte-addressed memory, allocated in 4 KiB pages on first
+/// touch. Unwritten bytes read as zero.
+///
+/// This is the *functional* memory image shared by the main thread's
+/// executor and the runahead engines; timing is modelled separately in
+/// `sim-mem`.
+///
+/// # Example
+///
+/// ```
+/// use sim_isa::SparseMemory;
+/// let mut mem = SparseMemory::new();
+/// mem.write_u64(0xdead_0000, 42);
+/// assert_eq!(mem.read_u64(0xdead_0000), 42);
+/// assert_eq!(mem.read_u64(0x1234), 0); // untouched => zero
+/// ```
+#[derive(Clone, Default)]
+pub struct SparseMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        SparseMemory::default()
+    }
+
+    /// Number of 4 KiB pages currently allocated.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Resident footprint in bytes (allocated pages × page size).
+    pub fn footprint_bytes(&self) -> usize {
+        self.pages.len() * PAGE_SIZE
+    }
+
+    fn page(&self, addr: u64) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr >> PAGE_SHIFT)).map(|b| &**b)
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.page(addr) {
+            Some(p) => p[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        self.page_mut(addr)[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads `width` bytes (1, 2, 4, or 8) little-endian, zero-extended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4, or 8.
+    pub fn read(&self, addr: u64, width: u64) -> u64 {
+        assert!(matches!(width, 1 | 2 | 4 | 8), "invalid access width {width}");
+        let off = (addr & PAGE_MASK) as usize;
+        if off + width as usize <= PAGE_SIZE {
+            // Fast path: within one page.
+            match self.page(addr) {
+                Some(p) => {
+                    let mut v: u64 = 0;
+                    for k in (0..width as usize).rev() {
+                        v = (v << 8) | p[off + k] as u64;
+                    }
+                    v
+                }
+                None => 0,
+            }
+        } else {
+            let mut v: u64 = 0;
+            for k in (0..width).rev() {
+                v = (v << 8) | self.read_u8(addr.wrapping_add(k)) as u64;
+            }
+            v
+        }
+    }
+
+    /// Writes the low `width` bytes (1, 2, 4, or 8) of `value` little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4, or 8.
+    pub fn write(&mut self, addr: u64, width: u64, value: u64) {
+        assert!(matches!(width, 1 | 2 | 4 | 8), "invalid access width {width}");
+        let off = (addr & PAGE_MASK) as usize;
+        if off + width as usize <= PAGE_SIZE {
+            let p = self.page_mut(addr);
+            let bytes = value.to_le_bytes();
+            p[off..off + width as usize].copy_from_slice(&bytes[..width as usize]);
+        } else {
+            let mut v = value;
+            for k in 0..width {
+                self.write_u8(addr.wrapping_add(k), (v & 0xff) as u8);
+                v >>= 8;
+            }
+        }
+    }
+
+    /// Reads a 64-bit word.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read(addr, 8)
+    }
+
+    /// Writes a 64-bit word.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write(addr, 8, value);
+    }
+
+    /// Reads a 32-bit word (zero-extended).
+    pub fn read_u32(&self, addr: u64) -> u64 {
+        self.read(addr, 4)
+    }
+
+    /// Writes a 32-bit word.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        self.write(addr, 4, value as u64);
+    }
+
+    /// Writes a slice of u64 words starting at `addr` (convenience for
+    /// workload setup).
+    pub fn write_u64_slice(&mut self, addr: u64, values: &[u64]) {
+        for (k, v) in values.iter().enumerate() {
+            self.write_u64(addr + 8 * k as u64, *v);
+        }
+    }
+
+    /// Writes a slice of u32 words starting at `addr`.
+    pub fn write_u32_slice(&mut self, addr: u64, values: &[u32]) {
+        for (k, v) in values.iter().enumerate() {
+            self.write_u32(addr + 4 * k as u64, *v);
+        }
+    }
+}
+
+impl fmt::Debug for SparseMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SparseMemory")
+            .field("pages", &self.pages.len())
+            .field("footprint_bytes", &self.footprint_bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_default() {
+        let mem = SparseMemory::new();
+        assert_eq!(mem.read_u64(0), 0);
+        assert_eq!(mem.read(u64::MAX - 8, 8), 0);
+        assert_eq!(mem.page_count(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip_widths() {
+        let mut mem = SparseMemory::new();
+        mem.write(0x100, 1, 0xABCD); // truncates to 0xCD
+        assert_eq!(mem.read(0x100, 1), 0xCD);
+        mem.write(0x200, 2, 0x1234_5678);
+        assert_eq!(mem.read(0x200, 2), 0x5678);
+        mem.write(0x300, 4, 0xDEAD_BEEF_CAFE);
+        assert_eq!(mem.read(0x300, 4), 0xBEEF_CAFE);
+        mem.write(0x400, 8, u64::MAX - 1);
+        assert_eq!(mem.read(0x400, 8), u64::MAX - 1);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut mem = SparseMemory::new();
+        mem.write_u64(0x1000, 0x0807_0605_0403_0201);
+        for k in 0..8 {
+            assert_eq!(mem.read_u8(0x1000 + k), (k + 1) as u8);
+        }
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut mem = SparseMemory::new();
+        let addr = (1 << 12) - 3; // straddles the first page boundary
+        mem.write_u64(addr, 0x1122_3344_5566_7788);
+        assert_eq!(mem.read_u64(addr), 0x1122_3344_5566_7788);
+        assert_eq!(mem.page_count(), 2);
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let mut mem = SparseMemory::new();
+        mem.write_u64_slice(0x2000, &[1, 2, 3]);
+        assert_eq!(mem.read_u64(0x2008), 2);
+        mem.write_u32_slice(0x3000, &[7, 8]);
+        assert_eq!(mem.read_u32(0x3004), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid access width")]
+    fn invalid_width_panics() {
+        let mem = SparseMemory::new();
+        let _ = mem.read(0, 3);
+    }
+}

@@ -1,0 +1,439 @@
+//! A text-assembly parser: the inverse of the `Display` impls.
+//!
+//! Accepts the exact syntax the disassembler prints, plus named labels and
+//! comments, so kernels can live in `.s` files:
+//!
+//! ```text
+//! ; sum = a[0..8]
+//!     li r1, 4096
+//!     li r2, 0
+//!     li r3, 8
+//! top:
+//!     ld8 r5, [r1 + r2<<3 + 0]
+//!     add r4, r4, r5
+//!     addi r2, r2, 1
+//!     slt r6, r2, r3
+//!     bnz r6, top
+//!     halt
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::instr::{AluOp, BranchCond, Instr, MemAddr, MemWidth, Program};
+use crate::reg::Reg;
+
+/// Error produced when parsing a textual program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    let t = tok.trim().trim_end_matches(',');
+    let idx = t
+        .strip_prefix('r')
+        .and_then(|n| n.parse::<usize>().ok())
+        .ok_or_else(|| err(line, format!("expected register, got '{t}'")))?;
+    Reg::from_index(idx).ok_or_else(|| err(line, format!("register out of range: '{t}'")))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, ParseError> {
+    let t = tok.trim().trim_end_matches(',');
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        t.parse::<i64>()
+    }
+    .map_err(|_| err(line, format!("expected immediate, got '{t}'")))?;
+    Ok(if neg { -v } else { v })
+}
+
+fn alu_op(name: &str) -> Option<AluOp> {
+    Some(match name {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "div" => AluOp::Div,
+        "rem" => AluOp::Rem,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        "sra" => AluOp::Sra,
+        "slt" => AluOp::Slt,
+        "sltu" => AluOp::Sltu,
+        "seq" => AluOp::Seq,
+        "sne" => AluOp::Sne,
+        "min" => AluOp::Min,
+        "max" => AluOp::Max,
+        _ => return None,
+    })
+}
+
+fn parse_width(suffix: &str, line: usize) -> Result<MemWidth, ParseError> {
+    match suffix {
+        "1" => Ok(MemWidth::B1),
+        "2" => Ok(MemWidth::B2),
+        "4" => Ok(MemWidth::B4),
+        "8" => Ok(MemWidth::B8),
+        other => Err(err(line, format!("invalid access width '{other}'"))),
+    }
+}
+
+/// Parses `[rB + rI<<s + off]` or `[rB + off]`.
+fn parse_addr(text: &str, line: usize) -> Result<MemAddr, ParseError> {
+    let inner = text
+        .trim()
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected [address], got '{text}'")))?;
+    // Split on '+' but keep negative offsets intact (offsets are the last
+    // component and may be written as "+ -16").
+    let parts: Vec<&str> = inner.split('+').map(str::trim).collect();
+    match parts.as_slice() {
+        [base] => Ok(MemAddr::base(parse_reg(base, line)?, 0)),
+        [base, second] => {
+            let base = parse_reg(base, line)?;
+            if let Some((ix, sh)) = second.split_once("<<") {
+                let index = parse_reg(ix, line)?;
+                let scale: u8 = sh
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(line, format!("bad scale '{sh}'")))?;
+                Ok(MemAddr::indexed(base, index, scale))
+            } else {
+                Ok(MemAddr::base(base, parse_imm(second, line)?))
+            }
+        }
+        [base, index_part, off] => {
+            let base = parse_reg(base, line)?;
+            let (ix, sh) = index_part
+                .split_once("<<")
+                .ok_or_else(|| err(line, format!("expected rI<<s, got '{index_part}'")))?;
+            let index = parse_reg(ix, line)?;
+            let scale: u8 =
+                sh.trim().parse().map_err(|_| err(line, format!("bad scale '{sh}'")))?;
+            let offset = parse_imm(off, line)?;
+            Ok(MemAddr { base, index: Some(index), scale, offset })
+        }
+        _ => Err(err(line, format!("malformed address '{text}'"))),
+    }
+}
+
+/// A branch target: numeric `@N` or a named label resolved later.
+enum Target {
+    Pc(usize),
+    Label(String),
+}
+
+fn parse_target(tok: &str, line: usize) -> Result<Target, ParseError> {
+    let t = tok.trim();
+    if let Some(n) = t.strip_prefix('@') {
+        n.parse::<usize>()
+            .map(Target::Pc)
+            .map_err(|_| err(line, format!("bad numeric target '{t}'")))
+    } else if t.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') && !t.is_empty() {
+        Ok(Target::Label(t.to_string()))
+    } else {
+        Err(err(line, format!("bad branch target '{t}'")))
+    }
+}
+
+/// Parses a textual program.
+///
+/// Accepts everything [`Program`]'s `Display` prints (including optional
+/// `  NN:` line prefixes), plus named labels (`name:`), `;`/`#` comments,
+/// and blank lines.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending 1-based line number for
+/// unknown mnemonics, malformed operands, or unresolved labels.
+///
+/// # Example
+///
+/// ```
+/// let prog = sim_isa::parse_program("
+///     li r1, 10
+/// top:
+///     addi r1, r1, -1
+///     bnz r1, top
+///     halt
+/// ")?;
+/// assert_eq!(prog.len(), 4);
+/// let mut cpu = sim_isa::Cpu::new();
+/// let mut mem = sim_isa::SparseMemory::new();
+/// cpu.run(&prog, &mut mem, 1000)?;
+/// assert_eq!(cpu.reg(sim_isa::Reg::R1), 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    let mut instrs: Vec<Instr> = Vec::new();
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut label_list: Vec<(usize, String)> = Vec::new();
+    // (instr index, target, source line) fixups.
+    let mut fixups: Vec<(usize, Target, usize)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let mut code = raw;
+        if let Some(p) = code.find(';') {
+            code = &code[..p];
+        }
+        if let Some(p) = code.find('#') {
+            code = &code[..p];
+        }
+        let mut code = code.trim();
+        if code.is_empty() {
+            continue;
+        }
+        // Strip a disassembly "  12:" prefix (digits + colon + space).
+        if let Some((prefix, rest)) = code.split_once(':') {
+            let p = prefix.trim();
+            if !p.is_empty() && p.chars().all(|c| c.is_ascii_digit()) && !rest.trim().is_empty() {
+                code = rest.trim();
+            } else if rest.trim().is_empty() {
+                // A label line.
+                if p.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                    if labels.insert(p.to_string(), instrs.len()).is_some() {
+                        return Err(err(line, format!("duplicate label '{p}'")));
+                    }
+                    label_list.push((instrs.len(), p.to_string()));
+                    continue;
+                }
+                return Err(err(line, format!("bad label '{p}'")));
+            }
+        }
+
+        let (mnemonic, rest) = match code.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (code, ""),
+        };
+        let ops: Vec<&str> = if rest.is_empty() {
+            vec![]
+        } else {
+            // Split operands on commas outside brackets.
+            let mut out = Vec::new();
+            let mut depth = 0usize;
+            let mut start = 0usize;
+            for (i, c) in rest.char_indices() {
+                match c {
+                    '[' => depth += 1,
+                    ']' => depth = depth.saturating_sub(1),
+                    ',' if depth == 0 => {
+                        out.push(rest[start..i].trim());
+                        start = i + 1;
+                    }
+                    _ => {}
+                }
+            }
+            out.push(rest[start..].trim());
+            out
+        };
+
+        let need = |n: usize| -> Result<(), ParseError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(err(line, format!("'{mnemonic}' expects {n} operands, got {}", ops.len())))
+            }
+        };
+
+        let instr = match mnemonic {
+            "nop" => {
+                need(0)?;
+                Instr::Nop
+            }
+            "halt" => {
+                need(0)?;
+                Instr::Halt
+            }
+            "li" => {
+                need(2)?;
+                Instr::Imm { rd: parse_reg(ops[0], line)?, value: parse_imm(ops[1], line)? }
+            }
+            "jmp" => {
+                need(1)?;
+                fixups.push((instrs.len(), parse_target(ops[0], line)?, line));
+                Instr::Jump { target: 0 }
+            }
+            "bnz" | "bez" => {
+                need(2)?;
+                let cond = if mnemonic == "bnz" { BranchCond::Nez } else { BranchCond::Eqz };
+                fixups.push((instrs.len(), parse_target(ops[1], line)?, line));
+                Instr::Branch { cond, rs: parse_reg(ops[0], line)?, target: 0 }
+            }
+            m if m.starts_with("ld") => {
+                need(2)?;
+                Instr::Load {
+                    rd: parse_reg(ops[0], line)?,
+                    addr: parse_addr(ops[1], line)?,
+                    width: parse_width(&m[2..], line)?,
+                }
+            }
+            m if m.starts_with("st") => {
+                need(2)?;
+                Instr::Store {
+                    rs: parse_reg(ops[0], line)?,
+                    addr: parse_addr(ops[1], line)?,
+                    width: parse_width(&m[2..], line)?,
+                }
+            }
+            m => {
+                // ALU: "add" (3 regs) or "addi" (2 regs + imm).
+                if let Some(op) = alu_op(m) {
+                    need(3)?;
+                    Instr::Alu {
+                        op,
+                        rd: parse_reg(ops[0], line)?,
+                        ra: parse_reg(ops[1], line)?,
+                        rb: parse_reg(ops[2], line)?,
+                    }
+                } else if let Some(op) = m.strip_suffix('i').and_then(alu_op) {
+                    need(3)?;
+                    Instr::AluImm {
+                        op,
+                        rd: parse_reg(ops[0], line)?,
+                        ra: parse_reg(ops[1], line)?,
+                        imm: parse_imm(ops[2], line)?,
+                    }
+                } else {
+                    return Err(err(line, format!("unknown mnemonic '{m}'")));
+                }
+            }
+        };
+        instrs.push(instr);
+    }
+
+    for (at, target, line) in fixups {
+        let pc = match target {
+            Target::Pc(pc) => pc,
+            Target::Label(name) => *labels
+                .get(&name)
+                .ok_or_else(|| err(line, format!("undefined label '{name}'")))?,
+        };
+        if pc > instrs.len() {
+            return Err(err(line, format!("branch target {pc} out of range")));
+        }
+        match &mut instrs[at] {
+            Instr::Branch { target, .. } | Instr::Jump { target } => *target = pc,
+            _ => unreachable!("fixups attach to control instructions"),
+        }
+    }
+
+    Ok(Program::new(instrs, label_list))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Cpu;
+    use crate::mem::SparseMemory;
+
+    #[test]
+    fn parses_the_doc_example() {
+        let prog = parse_program(
+            "; sum = a[0..8]
+                 li r1, 4096
+                 li r2, 0
+                 li r3, 8
+             top:
+                 ld8 r5, [r1 + r2<<3 + 0]
+                 add r4, r4, r5
+                 addi r2, r2, 1
+                 slt r6, r2, r3
+                 bnz r6, top
+                 halt",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 9);
+        let mut mem = SparseMemory::new();
+        for k in 0..8u64 {
+            mem.write_u64(4096 + 8 * k, k);
+        }
+        let mut cpu = Cpu::new();
+        cpu.run(&prog, &mut mem, 10_000).unwrap();
+        assert_eq!(cpu.reg(Reg::R4), 28);
+    }
+
+    #[test]
+    fn roundtrips_disassembly() {
+        // Build with the programmatic assembler, print, re-parse, compare.
+        let mut asm = crate::Asm::new();
+        let l = asm.label();
+        asm.li(Reg::R1, -5);
+        asm.alui(AluOp::Xor, Reg::R2, Reg::R1, 0x7F);
+        asm.load(Reg::R3, MemAddr::indexed(Reg::R1, Reg::R2, 2), MemWidth::B4);
+        asm.store(Reg::R3, MemAddr::base(Reg::R1, -16), MemWidth::B8);
+        asm.bez(Reg::R3, l);
+        asm.bind(l);
+        asm.halt();
+        let prog = asm.finish().unwrap();
+        let text = prog.to_string();
+        let reparsed = parse_program(&text).unwrap();
+        assert_eq!(prog.instrs(), reparsed.instrs());
+    }
+
+    #[test]
+    fn numeric_targets_work() {
+        let p = parse_program("jmp @2\nnop\nhalt").unwrap();
+        assert_eq!(p.fetch(0).unwrap().target(), Some(2));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_program("nop\nfrobnicate r1\nhalt").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+
+        let e = parse_program("bnz r1, nowhere\nhalt").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+
+        let e = parse_program("li r99, 0").unwrap_err();
+        assert!(e.message.contains("register"));
+
+        let e = parse_program("add r1, r2").unwrap_err();
+        assert!(e.message.contains("3 operands"));
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let e = parse_program("x:\nnop\nx:\nhalt").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let p = parse_program("li r1, 0xFF\nli r2, -0x10\nhalt").unwrap();
+        assert_eq!(p.fetch(0), Some(&Instr::Imm { rd: Reg::R1, value: 255 }));
+        assert_eq!(p.fetch(1), Some(&Instr::Imm { rd: Reg::R2, value: -16 }));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = parse_program("\n  # comment only\n nop ; trailing\n\nhalt").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! Architectural integer registers.
+
+use std::fmt;
+
+/// Number of architectural integer registers.
+///
+/// Fixed at 16 so that DVR's Vector Taint Tracker is a single 16-bit
+/// register and the VRAT a 16-entry table, exactly as sized in the paper's
+/// hardware-overhead budget (Section 4.4).
+pub const NUM_REGS: usize = 16;
+
+/// An architectural integer register identifier (`R0`–`R15`).
+///
+/// All registers are general purpose; none is hard-wired to zero.
+///
+/// # Example
+///
+/// ```
+/// use sim_isa::Reg;
+/// let r = Reg::R3;
+/// assert_eq!(r.index(), 3);
+/// assert_eq!(Reg::from_index(3), Some(r));
+/// assert_eq!(r.to_string(), "r3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum Reg {
+    R0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+}
+
+impl Reg {
+    /// All registers in index order.
+    pub const ALL: [Reg; NUM_REGS] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// The register's index in `0..NUM_REGS`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Returns the register with the given index, or `None` if out of range.
+    pub fn from_index(index: usize) -> Option<Reg> {
+        Reg::ALL.get(index).copied()
+    }
+
+    /// A 16-bit mask with only this register's bit set — the representation
+    /// used by the Vector Taint Tracker.
+    pub fn bit(self) -> u16 {
+        1u16 << self.index()
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Reg::from_index(i), Some(*r));
+        }
+        assert_eq!(Reg::from_index(16), None);
+    }
+
+    #[test]
+    fn bits_are_disjoint_and_cover_u16() {
+        let mut acc: u16 = 0;
+        for r in Reg::ALL {
+            assert_eq!(acc & r.bit(), 0, "bit overlap at {r}");
+            acc |= r.bit();
+        }
+        assert_eq!(acc, u16::MAX);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(Reg::R15.to_string(), "r15");
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests for the ISA substrate.
+
+use proptest::prelude::*;
+use sim_isa::{parse_program, AluOp, Asm, Cpu, Instr, MemAddr, MemWidth, Reg, SparseMemory};
+
+proptest! {
+    /// Memory is a map: last write wins, disjoint writes do not interfere.
+    #[test]
+    fn memory_last_write_wins(
+        addr in 0u64..1_000_000,
+        v1 in any::<u64>(),
+        v2 in any::<u64>(),
+    ) {
+        let mut mem = SparseMemory::new();
+        mem.write_u64(addr, v1);
+        mem.write_u64(addr, v2);
+        prop_assert_eq!(mem.read_u64(addr), v2);
+    }
+
+    /// Reads/writes of every width round-trip modulo truncation.
+    #[test]
+    fn memory_width_roundtrip(
+        addr in 0u64..1_000_000,
+        value in any::<u64>(),
+        wsel in 0usize..4,
+    ) {
+        let width = [1u64, 2, 4, 8][wsel];
+        let mut mem = SparseMemory::new();
+        mem.write(addr, width, value);
+        let mask = if width == 8 { u64::MAX } else { (1u64 << (8 * width)) - 1 };
+        prop_assert_eq!(mem.read(addr, width), value & mask);
+    }
+
+    /// Writes at disjoint byte ranges are independent.
+    #[test]
+    fn memory_disjoint_writes(
+        a in 0u64..1_000_000,
+        gap in 8u64..64,
+        v1 in any::<u64>(),
+        v2 in any::<u64>(),
+    ) {
+        let b = a + gap;
+        let mut mem = SparseMemory::new();
+        mem.write_u64(a, v1);
+        mem.write_u64(b, v2);
+        prop_assert_eq!(mem.read_u64(b), v2);
+        if gap >= 8 {
+            prop_assert_eq!(mem.read_u64(a), v1);
+        }
+    }
+
+    /// ALU semantics agree with a native Rust reference model.
+    #[test]
+    fn alu_matches_reference(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(AluOp::Add.eval(a, b), a.wrapping_add(b));
+        prop_assert_eq!(AluOp::Sub.eval(a, b), a.wrapping_sub(b));
+        prop_assert_eq!(AluOp::Mul.eval(a, b), a.wrapping_mul(b));
+        prop_assert_eq!(AluOp::And.eval(a, b), a & b);
+        prop_assert_eq!(AluOp::Or.eval(a, b), a | b);
+        prop_assert_eq!(AluOp::Xor.eval(a, b), a ^ b);
+        prop_assert_eq!(AluOp::Slt.eval(a, b), ((a as i64) < (b as i64)) as u64);
+        prop_assert_eq!(AluOp::Sltu.eval(a, b), (a < b) as u64);
+        prop_assert_eq!(AluOp::Seq.eval(a, b), (a == b) as u64);
+        prop_assert_eq!(AluOp::Min.eval(a, b), (a as i64).min(b as i64) as u64);
+        prop_assert_eq!(AluOp::Max.eval(a, b), (a as i64).max(b as i64) as u64);
+    }
+
+    /// Shifts mask their amount like hardware (mod 64).
+    #[test]
+    fn shifts_mask_amount(a in any::<u64>(), s in 0u64..256) {
+        prop_assert_eq!(AluOp::Shl.eval(a, s), a.wrapping_shl(s as u32 & 63));
+        prop_assert_eq!(AluOp::Shr.eval(a, s), a.wrapping_shr(s as u32 & 63));
+    }
+
+    /// An assembled copy loop moves an arbitrary array through memory intact.
+    #[test]
+    fn assembled_memcpy_is_correct(data in prop::collection::vec(any::<u64>(), 1..64)) {
+        let src = 0x10_000u64;
+        let dst = 0x20_000u64;
+        let n = data.len() as i64;
+
+        let mut asm = Asm::new();
+        let (rs, rd, ri, rn, rt, rc) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6);
+        asm.li(rs, src as i64);
+        asm.li(rd, dst as i64);
+        asm.li(ri, 0);
+        asm.li(rn, n);
+        let top = asm.here();
+        asm.ld8_idx(rt, rs, ri, 3);
+        asm.st8_idx(rt, rd, ri, 3);
+        asm.addi(ri, ri, 1);
+        asm.slt(rc, ri, rn);
+        asm.bnz(rc, top);
+        asm.halt();
+        let prog = asm.finish().unwrap();
+
+        let mut mem = SparseMemory::new();
+        mem.write_u64_slice(src, &data);
+        let mut cpu = Cpu::new();
+        cpu.run(&prog, &mut mem, 1_000_000).unwrap();
+        prop_assert!(cpu.is_halted());
+        for (k, v) in data.iter().enumerate() {
+            prop_assert_eq!(mem.read_u64(dst + 8 * k as u64), *v);
+        }
+    }
+
+    /// Effective-address arithmetic matches the closed form.
+    #[test]
+    fn effective_address_closed_form(
+        base in any::<u64>(),
+        index in any::<u64>(),
+        scale in 0u8..4,
+        offset in -1024i64..1024,
+    ) {
+        let addr = MemAddr { base: Reg::R1, index: Some(Reg::R2), scale, offset };
+        let got = addr.effective(|r| if r == Reg::R1 { base } else { index });
+        let want = base
+            .wrapping_add(offset as u64)
+            .wrapping_add(index.wrapping_shl(scale as u32));
+        prop_assert_eq!(got, want);
+    }
+}
+
+/// Strategy producing an arbitrary valid instruction with resolvable
+/// targets within `len`.
+fn arb_instr(len: usize) -> impl Strategy<Value = Instr> {
+    let reg = (0usize..16).prop_map(|i| Reg::from_index(i).unwrap());
+    let op = prop::sample::select(vec![
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Sra,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Seq,
+        AluOp::Sne,
+        AluOp::Min,
+        AluOp::Max,
+    ]);
+    let width = prop::sample::select(vec![MemWidth::B1, MemWidth::B2, MemWidth::B4, MemWidth::B8]);
+    let addr = (reg.clone(), prop::option::of(reg.clone()), 0u8..4, -512i64..512).prop_map(
+        |(base, index, scale, offset)| MemAddr {
+            base,
+            // Scale is dead (and not printed) without an index register.
+            scale: if index.is_some() { scale } else { 0 },
+            index,
+            offset,
+        },
+    );
+    prop_oneof![
+        (reg.clone(), any::<i32>()).prop_map(|(rd, v)| Instr::Imm { rd, value: v as i64 }),
+        (op.clone(), reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(op, rd, ra, rb)| Instr::Alu { op, rd, ra, rb }),
+        (op, reg.clone(), reg.clone(), -1000i64..1000)
+            .prop_map(|(op, rd, ra, imm)| Instr::AluImm { op, rd, ra, imm }),
+        (reg.clone(), addr.clone(), width.clone())
+            .prop_map(|(rd, addr, width)| Instr::Load { rd, addr, width }),
+        (reg.clone(), addr, width).prop_map(|(rs, addr, width)| Instr::Store { rs, addr, width }),
+        (reg, 0usize..len.max(1)).prop_map(|(rs, target)| Instr::Branch {
+            cond: sim_isa::BranchCond::Nez,
+            rs,
+            target
+        }),
+        (0usize..len.max(1)).prop_map(|target| Instr::Jump { target }),
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+    ]
+}
+
+proptest! {
+    /// Disassembling any program and re-parsing it reproduces it exactly.
+    #[test]
+    fn disassembly_roundtrips(
+        instrs in (1usize..32)
+            .prop_flat_map(|len| prop::collection::vec(arb_instr(len), len)),
+    ) {
+        let mut asm = Asm::new();
+        for i in &instrs {
+            asm.emit(*i);
+        }
+        let prog = asm.finish().unwrap();
+        let text = prog.to_string();
+        let reparsed = parse_program(&text)
+            .unwrap_or_else(|e| panic!("failed to reparse:\n{text}\n{e}"));
+        prop_assert_eq!(prog.instrs(), reparsed.instrs());
+    }
+}

@@ -1,0 +1,567 @@
+//! The three-level cache hierarchy with MSHRs and DRAM.
+
+use std::collections::HashMap;
+
+use crate::cache::{Cache, CacheConfig};
+use crate::dram::{Dram, DramConfig};
+use crate::mshr::MshrFile;
+use crate::stats::{MemStats, TimelinessBucket};
+use crate::line_of;
+
+/// Which engine generated a prefetch — drives provenance accounting for
+/// Figures 10 and 11.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PrefetchSource {
+    /// The always-on L1-D stride prefetcher.
+    Stride,
+    /// The Indirect Memory Prefetcher baseline.
+    Imp,
+    /// Precise Runahead Execution.
+    Pre,
+    /// Vector Runahead.
+    Vr,
+    /// Decoupled Vector Runahead (this paper).
+    Dvr,
+    /// The hypothetical Oracle.
+    Oracle,
+}
+
+impl PrefetchSource {
+    /// Number of sources.
+    pub const COUNT: usize = 6;
+
+    /// All sources in index order.
+    pub const ALL: [PrefetchSource; Self::COUNT] = [
+        PrefetchSource::Stride,
+        PrefetchSource::Imp,
+        PrefetchSource::Pre,
+        PrefetchSource::Vr,
+        PrefetchSource::Dvr,
+        PrefetchSource::Oracle,
+    ];
+
+    /// Stable index for stats arrays.
+    pub fn index(self) -> usize {
+        match self {
+            PrefetchSource::Stride => 0,
+            PrefetchSource::Imp => 1,
+            PrefetchSource::Pre => 2,
+            PrefetchSource::Vr => 3,
+            PrefetchSource::Dvr => 4,
+            PrefetchSource::Oracle => 5,
+        }
+    }
+
+    /// Whether this source is a runahead engine (counted as "runahead mode"
+    /// DRAM traffic in Figure 10), as opposed to a hardware prefetcher.
+    pub fn is_runahead(self) -> bool {
+        matches!(self, PrefetchSource::Pre | PrefetchSource::Vr | PrefetchSource::Dvr)
+    }
+}
+
+/// Who is asking for a line and why.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessClass {
+    /// The main thread's architectural loads and stores.
+    Demand,
+    /// A speculative fetch on behalf of a prefetch engine. Runahead-engine
+    /// loads use this too: their fills carry the engine's provenance.
+    Prefetch(PrefetchSource),
+}
+
+/// The level that satisfied an access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HitLevel {
+    /// Ready in the L1-D.
+    L1,
+    /// Ready in the L2.
+    L2,
+    /// Ready in the L3.
+    L3,
+    /// Fetched from DRAM.
+    Mem,
+    /// Present but still in flight (merged into an outstanding MSHR).
+    InFlight,
+}
+
+impl HitLevel {
+    fn stats_index(self) -> usize {
+        match self {
+            HitLevel::L1 => 0,
+            HitLevel::L2 => 1,
+            HitLevel::L3 => 2,
+            HitLevel::Mem => 3,
+            // In-flight merges are counted separately.
+            HitLevel::InFlight => 3,
+        }
+    }
+}
+
+/// Outcome of a load or store.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Access {
+    /// Cycle at which the data is available to the requester.
+    pub complete_at: u64,
+    /// Which level satisfied the request.
+    pub level: HitLevel,
+}
+
+/// Outcome of a (droppable) prefetch request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PrefetchResult {
+    /// The line was already in the L1 (or in flight) — nothing to do.
+    Present,
+    /// No free MSHR: the prefetch was dropped.
+    Dropped,
+    /// The prefetch was issued and will complete at the given cycle.
+    Issued {
+        /// Fill completion cycle.
+        complete_at: u64,
+    },
+}
+
+/// Configuration of the whole hierarchy (defaults = paper Table 1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HierarchyConfig {
+    /// L1-D geometry/latency.
+    pub l1: CacheConfig,
+    /// Private L2 geometry/latency.
+    pub l2: CacheConfig,
+    /// Shared L3 geometry/latency.
+    pub l3: CacheConfig,
+    /// Number of L1-D MSHRs.
+    pub mshrs: usize,
+    /// Maximum MSHRs usable by prefetch-class requests at once (demand may
+    /// always use all of them). Keeps speculative traffic from starving the
+    /// main thread.
+    pub mshr_prefetch_cap: usize,
+    /// DRAM timing.
+    pub dram: DramConfig,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig {
+            l1: CacheConfig { size_bytes: 32 * 1024, assoc: 8, latency: 4 },
+            l2: CacheConfig { size_bytes: 256 * 1024, assoc: 8, latency: 8 },
+            l3: CacheConfig { size_bytes: 8 * 1024 * 1024, assoc: 16, latency: 30 },
+            mshrs: 24,
+            mshr_prefetch_cap: 20,
+            dram: DramConfig::default(),
+        }
+    }
+}
+
+/// The memory hierarchy: L1-D → L2 → L3 → DRAM with MSHR-limited misses.
+///
+/// Tag-only (data values live in the functional memory); mostly-inclusive
+/// fills (a DRAM fill installs the line at every level); LRU everywhere.
+/// Dirty lines write back one level down on eviction and consume DRAM
+/// bandwidth when leaving the L3. See the crate docs for an example.
+#[derive(Clone, Debug)]
+pub struct MemoryHierarchy {
+    cfg: HierarchyConfig,
+    l1: Cache,
+    l2: Cache,
+    l3: Cache,
+    mshr: MshrFile,
+    dram: Dram,
+    /// Lines brought in by a prefetch and not yet demanded.
+    pending_prefetch: HashMap<u64, PrefetchSource>,
+    stats: MemStats,
+}
+
+impl MemoryHierarchy {
+    /// Creates an empty hierarchy.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        MemoryHierarchy {
+            cfg,
+            l1: Cache::new(cfg.l1),
+            l2: Cache::new(cfg.l2),
+            l3: Cache::new(cfg.l3),
+            mshr: MshrFile::with_prefetch_cap(cfg.mshrs, cfg.mshr_prefetch_cap.min(cfg.mshrs)),
+            dram: Dram::new(cfg.dram),
+            pending_prefetch: HashMap::new(),
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> HierarchyConfig {
+        self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// MSHR occupancy integral so far (for MLP = integral / cycles).
+    pub fn mshr_busy_integral(&self) -> u64 {
+        self.mshr.busy_integral()
+    }
+
+    /// Number of MSHRs in use at `cycle`.
+    pub fn mshrs_in_use(&self, cycle: u64) -> usize {
+        self.mshr.in_use(cycle)
+    }
+
+    /// Whether a prefetch-class MSHR is free at `cycle` (prefetchers check
+    /// before issuing).
+    pub fn mshr_free(&self, cycle: u64) -> bool {
+        self.mshr.has_free(cycle, true)
+    }
+
+    /// Performs a load at `cycle`. Demand and runahead loads *wait* for an
+    /// MSHR when the file is full.
+    pub fn load(&mut self, cycle: u64, addr: u64, class: AccessClass) -> Access {
+        let acc = self.access(cycle, addr, class, false);
+        if matches!(class, AccessClass::Demand) {
+            self.stats.demand_latency_sum += acc.complete_at.saturating_sub(cycle);
+        }
+        acc
+    }
+
+    /// Performs a store at `cycle` (write-allocate; marks the line dirty).
+    pub fn store(&mut self, cycle: u64, addr: u64, class: AccessClass) -> Access {
+        self.access(cycle, addr, class, true)
+    }
+
+    /// Issues a droppable prefetch of `addr`'s line into the L1-D.
+    ///
+    /// Unlike [`MemoryHierarchy::load`], this never waits: if the line is
+    /// already present (or in flight) it returns [`PrefetchResult::Present`];
+    /// if no MSHR is free it returns [`PrefetchResult::Dropped`].
+    pub fn prefetch(&mut self, cycle: u64, addr: u64, src: PrefetchSource) -> PrefetchResult {
+        let line = line_of(addr);
+        if self.l1.contains(line) {
+            return PrefetchResult::Present;
+        }
+        if self.mshr.try_alloc(cycle, true).is_none() {
+            self.stats.prefetch_dropped[src.index()] += 1;
+            return PrefetchResult::Dropped;
+        }
+        let access = self.access(cycle, addr, AccessClass::Prefetch(src), false);
+        PrefetchResult::Issued { complete_at: access.complete_at }
+    }
+
+    fn access(&mut self, cycle: u64, addr: u64, class: AccessClass, is_store: bool) -> Access {
+        let line = line_of(addr);
+        let demand = matches!(class, AccessClass::Demand);
+        if demand {
+            if is_store {
+                self.stats.demand_stores += 1;
+            } else {
+                self.stats.demand_loads += 1;
+            }
+        }
+
+        // L1 probe.
+        if let Some(p) = self.l1.probe(line) {
+            if is_store {
+                self.l1.mark_dirty(line);
+            }
+            return if p.ready_at <= cycle {
+                if demand {
+                    self.note_first_use(line, TimelinessBucket::L1);
+                    self.stats.record_demand_level(HitLevel::L1.stats_index());
+                }
+                Access { complete_at: cycle + self.l1.latency(), level: HitLevel::L1 }
+            } else {
+                // In flight: merge into the outstanding miss.
+                if demand {
+                    self.note_first_use(line, TimelinessBucket::OffChip);
+                    self.stats.demand_inflight += 1;
+                }
+                Access { complete_at: p.ready_at, level: HitLevel::InFlight }
+            };
+        }
+
+        // L1 miss: allocate an MSHR (waiting if the class is saturated).
+        let is_prefetch = matches!(class, AccessClass::Prefetch(_));
+        let start = self.mshr.alloc_blocking(cycle, is_prefetch);
+        let l1_lat = self.l1.latency();
+
+        // L2 probe.
+        let (complete_at, level) = if let Some(p) = self.l2.probe(line) {
+            let ready = (start + l1_lat + self.l2.latency()).max(p.ready_at);
+            let level = if p.ready_at > cycle { HitLevel::InFlight } else { HitLevel::L2 };
+            (ready, level)
+        } else if let Some(p) = self.l3.probe(line) {
+            let ready = (start + l1_lat + self.l2.latency() + self.l3.latency()).max(p.ready_at);
+            // Fill L2 on the way up.
+            self.fill(Tier::L2, line, ready);
+            let level = if p.ready_at > cycle { HitLevel::InFlight } else { HitLevel::L3 };
+            (ready, level)
+        } else {
+            // DRAM.
+            let issue = start + l1_lat + self.l2.latency() + self.l3.latency();
+            let ready = self.dram.request_line(issue, line);
+            match class {
+                AccessClass::Demand => self.stats.dram_demand += 1,
+                AccessClass::Prefetch(src) => self.stats.dram_prefetch[src.index()] += 1,
+            }
+            self.fill(Tier::L3, line, ready);
+            self.fill(Tier::L2, line, ready);
+            (ready, HitLevel::Mem)
+        };
+
+        // Install into L1 in all miss cases.
+        self.fill(Tier::L1, line, complete_at);
+        if is_store {
+            self.l1.mark_dirty(line);
+        }
+        self.mshr.commit(start, complete_at, is_prefetch);
+
+        match class {
+            AccessClass::Demand => {
+                let bucket = match level {
+                    HitLevel::L2 => Some(TimelinessBucket::L2),
+                    HitLevel::L3 => Some(TimelinessBucket::L3),
+                    HitLevel::Mem | HitLevel::InFlight => Some(TimelinessBucket::OffChip),
+                    HitLevel::L1 => None,
+                };
+                if let Some(b) = bucket {
+                    self.note_first_use(line, b);
+                }
+                if level == HitLevel::InFlight {
+                    self.stats.demand_inflight += 1;
+                } else {
+                    self.stats.record_demand_level(level.stats_index());
+                }
+            }
+            AccessClass::Prefetch(src) => {
+                // Record provenance for the newly fetched line. A re-fetch
+                // of a line that is still pending (fetched before, evicted,
+                // never demanded) keeps its original tracking entry so
+                // issued = used + unused holds per source.
+                if let std::collections::hash_map::Entry::Vacant(e) =
+                    self.pending_prefetch.entry(line)
+                {
+                    e.insert(src);
+                    self.stats.prefetch_issued[src.index()] += 1;
+                }
+            }
+        }
+
+        Access { complete_at, level }
+    }
+
+    /// Marks the first demand use of a prefetched line into its bucket.
+    fn note_first_use(&mut self, line: u64, bucket: TimelinessBucket) {
+        if let Some(src) = self.pending_prefetch.remove(&line) {
+            self.stats.record_found(src, bucket);
+        }
+    }
+
+    fn fill(&mut self, tier: Tier, line: u64, ready_at: u64) {
+        let evicted = match tier {
+            Tier::L1 => self.l1.insert(line, false, ready_at),
+            Tier::L2 => self.l2.insert(line, false, ready_at),
+            Tier::L3 => self.l3.insert(line, false, ready_at),
+        };
+        if let Some((victim, dirty)) = evicted {
+            match tier {
+                Tier::L1 => {
+                    if dirty {
+                        // Write back into L2 (install if absent).
+                        if !self.l2.mark_dirty(victim) {
+                            self.l2.insert(victim, true, ready_at);
+                        }
+                    }
+                }
+                Tier::L2 => {
+                    if dirty && !self.l3.mark_dirty(victim) {
+                        self.l3.insert(victim, true, ready_at);
+                    }
+                }
+                Tier::L3 => {
+                    if dirty {
+                        self.dram.writeback(ready_at);
+                        self.stats.dram_writebacks += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finalizes end-of-run accounting: any prefetched-but-never-used lines
+    /// become `OffChip`/wasted. Call once when simulation ends.
+    pub fn finalize(&mut self) {
+        for (_, src) in self.pending_prefetch.drain() {
+            self.stats.prefetch_unused[src.index()] += 1;
+        }
+    }
+
+    /// Direct read access to the L1-D (tests, diagnostics).
+    pub fn l1(&self) -> &Cache {
+        &self.l1
+    }
+
+    /// Direct read access to the L2.
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Direct read access to the L3.
+    pub fn l3(&self) -> &Cache {
+        &self.l3
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Tier {
+    L1,
+    L2,
+    L3,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hier() -> MemoryHierarchy {
+        MemoryHierarchy::new(HierarchyConfig::default())
+    }
+
+    #[test]
+    fn cold_miss_goes_to_dram_then_hits_l1() {
+        let mut m = hier();
+        let a = m.load(0, 0x1234, AccessClass::Demand);
+        assert_eq!(a.level, HitLevel::Mem);
+        // l1(4) + l2(8) + l3(30) = 42, aligned up to the 45-cycle DRAM
+        // slot, + 200 DRAM latency.
+        assert_eq!(a.complete_at, 245);
+        let b = m.load(300, 0x1234, AccessClass::Demand);
+        assert_eq!(b.level, HitLevel::L1);
+        assert_eq!(b.complete_at, 304);
+    }
+
+    #[test]
+    fn inflight_access_merges() {
+        let mut m = hier();
+        let a = m.load(0, 0x1234, AccessClass::Demand);
+        let b = m.load(10, 0x1234, AccessClass::Demand);
+        assert_eq!(b.level, HitLevel::InFlight);
+        assert_eq!(b.complete_at, a.complete_at);
+        assert_eq!(m.stats().demand_inflight, 1);
+    }
+
+    #[test]
+    fn same_line_different_addr_hits() {
+        let mut m = hier();
+        let a = m.load(0, 0x1000, AccessClass::Demand);
+        let b = m.load(a.complete_at, 0x1038, AccessClass::Demand); // same 64B line
+        assert_eq!(b.level, HitLevel::L1);
+    }
+
+    #[test]
+    fn prefetch_then_demand_hits_l1_and_buckets() {
+        let mut m = hier();
+        match m.prefetch(0, 0x2000, PrefetchSource::Dvr) {
+            PrefetchResult::Issued { complete_at } => {
+                let a = m.load(complete_at + 1, 0x2000, AccessClass::Demand);
+                assert_eq!(a.level, HitLevel::L1);
+            }
+            other => panic!("expected Issued, got {other:?}"),
+        }
+        m.finalize();
+        let t = m.stats().timeliness(PrefetchSource::Dvr).unwrap();
+        assert_eq!(t[0], 1.0);
+        assert_eq!(m.stats().accuracy(PrefetchSource::Dvr), Some(1.0));
+    }
+
+    #[test]
+    fn early_demand_on_prefetched_line_counts_offchip() {
+        let mut m = hier();
+        let PrefetchResult::Issued { complete_at } = m.prefetch(0, 0x2000, PrefetchSource::Vr)
+        else {
+            panic!("expected Issued");
+        };
+        // Demand arrives while the prefetch is still in flight.
+        let a = m.load(5, 0x2000, AccessClass::Demand);
+        assert_eq!(a.level, HitLevel::InFlight);
+        assert_eq!(a.complete_at, complete_at);
+        m.finalize();
+        let t = m.stats().timeliness(PrefetchSource::Vr).unwrap();
+        assert_eq!(t[3], 1.0); // off-chip bucket
+    }
+
+    #[test]
+    fn unused_prefetch_is_wasted() {
+        let mut m = hier();
+        m.prefetch(0, 0x2000, PrefetchSource::Vr);
+        m.finalize();
+        assert_eq!(m.stats().wasted(PrefetchSource::Vr), 1);
+        assert_eq!(m.stats().accuracy(PrefetchSource::Vr), Some(0.0));
+    }
+
+    #[test]
+    fn prefetch_to_present_line_is_a_noop() {
+        let mut m = hier();
+        let a = m.load(0, 0x2000, AccessClass::Demand);
+        let r = m.prefetch(a.complete_at, 0x2000, PrefetchSource::Stride);
+        assert_eq!(r, PrefetchResult::Present);
+        assert_eq!(m.stats().prefetch_issued[PrefetchSource::Stride.index()], 0);
+    }
+
+    #[test]
+    fn prefetch_drops_when_mshrs_full() {
+        let cfg = HierarchyConfig { mshrs: 2, ..HierarchyConfig::default() };
+        let mut m = MemoryHierarchy::new(cfg);
+        m.load(0, 0x10_000, AccessClass::Demand);
+        m.load(0, 0x20_000, AccessClass::Demand);
+        let r = m.prefetch(0, 0x30_000, PrefetchSource::Stride);
+        assert_eq!(r, PrefetchResult::Dropped);
+        assert_eq!(m.stats().prefetch_dropped[PrefetchSource::Stride.index()], 1);
+    }
+
+    #[test]
+    fn demand_waits_for_mshr_when_full() {
+        let cfg = HierarchyConfig { mshrs: 1, ..HierarchyConfig::default() };
+        let mut m = MemoryHierarchy::new(cfg);
+        let a = m.load(0, 0x10_000, AccessClass::Demand);
+        let b = m.load(0, 0x20_000, AccessClass::Demand);
+        assert!(b.complete_at >= a.complete_at, "second miss serialized behind the MSHR");
+    }
+
+    #[test]
+    fn dram_bandwidth_contends_across_misses() {
+        let mut m = hier();
+        let a = m.load(0, 0x10_000, AccessClass::Demand);
+        let b = m.load(0, 0x20_000, AccessClass::Demand);
+        assert_eq!(b.complete_at, a.complete_at + 5);
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_l2() {
+        let mut m = hier();
+        // Fill more than the L1 (32KB = 512 lines) with distinct lines.
+        let mut t = 0;
+        for i in 0..1024u64 {
+            let a = m.load(t, i * 64 * 1024, AccessClass::Demand); // distinct sets? use big stride
+            t = a.complete_at;
+        }
+        // Re-touch the first line: should be L2 or L3 (or Mem), not L1.
+        let a = m.load(t, 0, AccessClass::Demand);
+        assert_ne!(a.level, HitLevel::L1);
+    }
+
+    #[test]
+    fn runahead_dram_traffic_is_attributed() {
+        let mut m = hier();
+        m.load(0, 0x90_000, AccessClass::Prefetch(PrefetchSource::Dvr));
+        assert_eq!(m.stats().dram_runahead(), 1);
+        assert_eq!(m.stats().dram_demand, 0);
+    }
+
+    #[test]
+    fn store_allocates_and_dirties() {
+        let mut m = hier();
+        let a = m.store(0, 0x5000, AccessClass::Demand);
+        assert_eq!(a.level, HitLevel::Mem);
+        assert_eq!(m.stats().demand_stores, 1);
+        let b = m.store(a.complete_at, 0x5000, AccessClass::Demand);
+        assert_eq!(b.level, HitLevel::L1);
+    }
+}

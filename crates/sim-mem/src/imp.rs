@@ -1,0 +1,307 @@
+//! IMP — the Indirect Memory Prefetcher baseline (Yu et al., MICRO 2015).
+//!
+//! IMP pairs a *striding index stream* `A[i]` with *indirect consumers*
+//! whose address is an affine function of the index value:
+//! `addr = base + (A[i] << shift)`. Once a pairing is confident, it walks
+//! the index stream ahead of the core and prefetches the indirect targets.
+//!
+//! Per the DVR paper's characterization, IMP catches simple one-level
+//! indirection (`cc`, `Camel`, `NAS-IS`, `RandomAccess`) but not chains with
+//! complex address calculation (hashing, multi-level) — a property this
+//! model reproduces structurally: only affine value→address relations are
+//! learnable.
+
+use sim_isa::SparseMemory;
+
+/// IMP configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ImpConfig {
+    /// Index-stream table entries.
+    pub streams: usize,
+    /// How many index elements ahead to prefetch the indirect target.
+    pub lookahead: u64,
+    /// Indirect candidates verified before prefetching begins.
+    pub confidence_threshold: u8,
+}
+
+impl Default for ImpConfig {
+    fn default() -> Self {
+        ImpConfig { streams: 16, lookahead: 8, confidence_threshold: 2 }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct IndexStream {
+    pc: usize,
+    last_addr: u64,
+    stride: i64,
+    confidence: u8,
+    width: u64,
+    last_value: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct IndirectPattern {
+    stream_pc: usize,
+    consumer_pc: usize,
+    shift: u8,
+    base: u64,
+    confidence: u8,
+}
+
+/// The IMP prefetcher state machine.
+///
+/// The core drives it with every demand load (`pc`, address, loaded value,
+/// width, and whether the access missed the L1). It returns the prefetch
+/// addresses to issue.
+///
+/// # Example
+///
+/// ```
+/// use sim_isa::SparseMemory;
+/// use sim_mem::{ImpConfig, ImpPrefetcher};
+///
+/// let mut mem = SparseMemory::new();
+/// // Index array A at 0x1000 with values 3,1,4,1,5,...; table B at 0x100000.
+/// for (i, v) in [3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3].iter().enumerate() {
+///     mem.write_u64(0x1000 + 8 * i as u64, *v);
+/// }
+/// let mut imp = ImpPrefetcher::new(ImpConfig { lookahead: 2, ..ImpConfig::default() });
+/// let mut prefetches = vec![];
+/// for i in 0..8u64 {
+///     let a_addr = 0x1000 + 8 * i;
+///     let v = mem.read_u64(a_addr);
+///     prefetches.extend(imp.observe_load(10, a_addr, v, 8, false, &mem)); // A[i]
+///     let b_addr = 0x100000 + (v << 3);
+///     prefetches.extend(imp.observe_load(20, b_addr, 0, 8, true, &mem)); // B[A[i]]
+/// }
+/// // After a few iterations IMP predicts B[A[i+2]] addresses.
+/// assert!(prefetches.contains(&(0x100000 + (5u64 << 3))));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ImpPrefetcher {
+    cfg: ImpConfig,
+    streams: Vec<Option<IndexStream>>,
+    patterns: Vec<IndirectPattern>,
+    /// Most recently updated confident stream (candidate producer for new
+    /// indirect patterns).
+    last_stream_slot: Option<usize>,
+}
+
+const SHIFTS: [u8; 4] = [0, 1, 2, 3];
+const MAX_PATTERNS: usize = 16;
+
+impl ImpPrefetcher {
+    /// Creates an IMP with the given configuration.
+    pub fn new(cfg: ImpConfig) -> Self {
+        ImpPrefetcher {
+            cfg,
+            streams: vec![None; cfg.streams],
+            patterns: Vec::new(),
+            last_stream_slot: None,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> ImpConfig {
+        self.cfg
+    }
+
+    /// Number of confident indirect patterns learned so far.
+    pub fn learned_patterns(&self) -> usize {
+        self.patterns.iter().filter(|p| p.confidence >= self.cfg.confidence_threshold).count()
+    }
+
+    /// Observes one demand load and returns prefetch addresses to issue.
+    ///
+    /// `mem` is the functional memory image, used to read *future* index
+    /// values (hardware IMP snoops them from prefetched fill data).
+    pub fn observe_load(
+        &mut self,
+        pc: usize,
+        addr: u64,
+        value: u64,
+        width: u64,
+        was_miss: bool,
+        mem: &SparseMemory,
+    ) -> Vec<u64> {
+        let mut out = Vec::new();
+
+        // 1. On a miss by a PC other than the current index stream's, try to
+        //    pair it with that stream's most recent value. This runs before
+        //    training so `last_value` is the producer value of *this*
+        //    iteration, not one polluted by the consumer itself.
+        if was_miss {
+            if let Some(ss) = self.last_stream_slot {
+                if let Some(stream) = self.streams[ss] {
+                    if stream.pc != pc {
+                        self.learn_pattern(stream.pc, pc, stream.last_value, addr);
+                    }
+                }
+            }
+        }
+
+        // 2. Train the index-stream table.
+        let slot = pc % self.streams.len();
+        let mut stream_updated = false;
+        match &mut self.streams[slot] {
+            Some(s) if s.pc == pc => {
+                let stride = addr.wrapping_sub(s.last_addr) as i64;
+                if stride == s.stride && stride != 0 {
+                    s.confidence = (s.confidence + 1).min(3);
+                } else {
+                    if s.confidence > 0 {
+                        s.confidence -= 1;
+                    }
+                    if s.confidence == 0 {
+                        s.stride = stride;
+                        s.confidence = 1;
+                    }
+                }
+                s.last_addr = addr;
+                s.last_value = value;
+                s.width = width;
+                if s.confidence >= 2 && s.stride != 0 {
+                    self.last_stream_slot = Some(slot);
+                    stream_updated = true;
+                }
+            }
+            _ => {
+                self.streams[slot] = Some(IndexStream {
+                    pc,
+                    last_addr: addr,
+                    stride: 0,
+                    confidence: 0,
+                    width,
+                    last_value: value,
+                });
+            }
+        }
+
+        // 3. If the updated stream feeds confident patterns, prefetch ahead.
+        if stream_updated {
+            if let Some(stream) = self.streams[slot] {
+                let threshold = self.cfg.confidence_threshold;
+                for p in &self.patterns {
+                    if p.stream_pc == stream.pc && p.confidence >= threshold {
+                        // Read the future index value functionally and
+                        // compute the indirect target.
+                        let future_addr = stream
+                            .last_addr
+                            .wrapping_add((stream.stride * self.cfg.lookahead as i64) as u64);
+                        let future_value = mem.read(future_addr, stream.width);
+                        out.push(p.base.wrapping_add(future_value << p.shift));
+                    }
+                }
+            }
+        }
+
+        out
+    }
+
+    fn learn_pattern(&mut self, stream_pc: usize, consumer_pc: usize, value: u64, addr: u64) {
+        for shift in SHIFTS {
+            let base = addr.wrapping_sub(value << shift);
+            if let Some(p) = self.patterns.iter_mut().find(|p| {
+                p.stream_pc == stream_pc && p.consumer_pc == consumer_pc && p.shift == shift
+            }) {
+                if p.base == base {
+                    p.confidence = (p.confidence + 1).min(3);
+                } else if p.confidence > 0 {
+                    p.confidence -= 1;
+                } else {
+                    p.base = base;
+                    p.confidence = 1;
+                }
+            } else if self.patterns.len() < MAX_PATTERNS {
+                self.patterns.push(IndirectPattern {
+                    stream_pc,
+                    consumer_pc,
+                    shift,
+                    base,
+                    confidence: 1,
+                });
+            }
+        }
+        // Drop candidates that can no longer distinguish themselves.
+        self.patterns.retain(|p| p.confidence > 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive IMP with a classic B[A[i]] pattern and check it starts
+    /// prefetching the right lines.
+    #[test]
+    fn learns_simple_indirection() {
+        let mut mem = SparseMemory::new();
+        // Pseudo-random (non-striding) index values.
+        let mut x: u64 = 12345;
+        let values: Vec<u64> = (0..64)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) % 1024
+            })
+            .collect();
+        mem.write_u64_slice(0x1000, &values);
+        let b_base = 0x50_0000u64;
+
+        let mut imp = ImpPrefetcher::new(ImpConfig { lookahead: 4, ..ImpConfig::default() });
+        let mut predicted = vec![];
+        for i in 0..32u64 {
+            let a_addr = 0x1000 + 8 * i;
+            let v = mem.read_u64(a_addr);
+            predicted.extend(imp.observe_load(100, a_addr, v, 8, false, &mem));
+            let b_addr = b_base + (v << 3);
+            predicted.extend(imp.observe_load(200, b_addr, 0, 8, true, &mem));
+        }
+        assert!(imp.learned_patterns() >= 1);
+        // Every prediction must be a correct future B address.
+        let valid: std::collections::HashSet<u64> =
+            values.iter().map(|v| b_base + (v << 3)).collect();
+        assert!(!predicted.is_empty());
+        for p in &predicted {
+            assert!(valid.contains(p), "IMP predicted a wrong address {p:#x}");
+        }
+    }
+
+    /// A hashed indirection (nonlinear in the index value) must not train.
+    #[test]
+    fn cannot_learn_hashed_indirection() {
+        let mut mem = SparseMemory::new();
+        let values: Vec<u64> = (0..64).map(|i| i * 13 % 509).collect();
+        mem.write_u64_slice(0x1000, &values);
+        let b_base = 0x50_0000u64;
+        let hash = |v: u64| (v.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % 4096;
+
+        let mut imp = ImpPrefetcher::new(ImpConfig::default());
+        let mut predicted = vec![];
+        for i in 0..48u64 {
+            let a_addr = 0x1000 + 8 * i;
+            let v = mem.read_u64(a_addr);
+            predicted.extend(imp.observe_load(100, a_addr, v, 8, false, &mem));
+            let b_addr = b_base + (hash(v) << 3);
+            predicted.extend(imp.observe_load(200, b_addr, 0, 8, true, &mem));
+        }
+        assert_eq!(
+            imp.learned_patterns(),
+            0,
+            "IMP must not become confident on hashed indirection"
+        );
+        assert!(predicted.is_empty());
+    }
+
+    #[test]
+    fn no_pairing_with_own_stream() {
+        let mut mem = SparseMemory::new();
+        let mut imp = ImpPrefetcher::new(ImpConfig::default());
+        // A pure stride stream missing every time must not pair with itself.
+        for i in 0..32u64 {
+            imp.observe_load(5, 0x1000 + 64 * i, i, 8, true, &mem);
+        }
+        assert_eq!(imp.learned_patterns(), 0);
+        let _ = &mut mem;
+    }
+}

@@ -1,0 +1,180 @@
+//! Memory-system statistics backing Figures 9, 10, and 11.
+
+use crate::hierarchy::PrefetchSource;
+
+/// Where the main thread eventually found a prefetched line — the buckets of
+/// the paper's timeliness plot (Figure 11).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TimelinessBucket {
+    /// Found ready in the L1-D.
+    L1,
+    /// Evicted to (and found in) the L2.
+    L2,
+    /// Evicted to (and found in) the L3.
+    L3,
+    /// Still in flight from memory, refetched from DRAM, or never used
+    /// (an inaccurate prefetch).
+    OffChip,
+}
+
+impl TimelinessBucket {
+    /// All buckets, in Figure 11 order.
+    pub const ALL: [TimelinessBucket; 4] =
+        [TimelinessBucket::L1, TimelinessBucket::L2, TimelinessBucket::L3, TimelinessBucket::OffChip];
+
+    fn index(self) -> usize {
+        match self {
+            TimelinessBucket::L1 => 0,
+            TimelinessBucket::L2 => 1,
+            TimelinessBucket::L3 => 2,
+            TimelinessBucket::OffChip => 3,
+        }
+    }
+}
+
+const SOURCES: usize = PrefetchSource::COUNT;
+
+/// Counters accumulated by [`MemoryHierarchy`](crate::MemoryHierarchy).
+///
+/// All counts are events, not rates; the harness divides by cycles or
+/// instructions as the figures require.
+#[derive(Clone, Debug, Default)]
+pub struct MemStats {
+    /// Demand loads issued.
+    pub demand_loads: u64,
+    /// Demand stores issued.
+    pub demand_stores: u64,
+    /// Demand accesses that hit ready in L1/L2/L3 or missed to memory:
+    /// indices 0..4 = L1, L2, L3, Mem.
+    pub demand_hits: [u64; 4],
+    /// Demand accesses that found the line still in flight (MSHR merge).
+    pub demand_inflight: u64,
+    /// Sum over demand loads of `(complete_at - request_cycle)` — divide by
+    /// `demand_loads` for the average load latency the main thread saw.
+    pub demand_latency_sum: u64,
+    /// DRAM line reads triggered by demand accesses.
+    pub dram_demand: u64,
+    /// DRAM line reads triggered by each prefetch source.
+    pub dram_prefetch: [u64; SOURCES],
+    /// DRAM writebacks of dirty lines.
+    pub dram_writebacks: u64,
+    /// Prefetches issued per source (that actually fetched a missing line).
+    pub prefetch_issued: [u64; SOURCES],
+    /// Prefetches dropped per source (no free MSHR).
+    pub prefetch_dropped: [u64; SOURCES],
+    /// First demand touch of a prefetched line, bucketed per Figure 11.
+    pub prefetch_found: [[u64; 4]; SOURCES],
+    /// Prefetched lines never demanded before the end of the run
+    /// (finalized into `OffChip` by [`MemStats::wasted`]).
+    pub prefetch_unused: [u64; SOURCES],
+}
+
+impl MemStats {
+    /// Average latency observed by demand loads, in cycles.
+    pub fn avg_demand_latency(&self) -> f64 {
+        if self.demand_loads == 0 {
+            0.0
+        } else {
+            self.demand_latency_sum as f64 / self.demand_loads as f64
+        }
+    }
+
+    /// Total DRAM line reads (demand + all prefetch sources).
+    pub fn dram_reads(&self) -> u64 {
+        self.dram_demand + self.dram_prefetch.iter().sum::<u64>()
+    }
+
+    /// DRAM reads attributable to runahead engines (PRE/VR/DVR), the
+    /// "runahead mode" slice of Figure 10.
+    pub fn dram_runahead(&self) -> u64 {
+        PrefetchSource::ALL
+            .iter()
+            .filter(|s| s.is_runahead())
+            .map(|s| self.dram_prefetch[s.index()])
+            .sum()
+    }
+
+    /// Records a demand hit at a level index (0=L1..3=Mem).
+    pub(crate) fn record_demand_level(&mut self, level_idx: usize) {
+        self.demand_hits[level_idx] += 1;
+    }
+
+    /// Records where a prefetched line was found on first use.
+    pub(crate) fn record_found(&mut self, src: PrefetchSource, bucket: TimelinessBucket) {
+        self.prefetch_found[src.index()][bucket.index()] += 1;
+    }
+
+    /// Prefetches per source that were issued but never used.
+    pub fn wasted(&self, src: PrefetchSource) -> u64 {
+        self.prefetch_unused[src.index()]
+    }
+
+    /// Timeliness fractions for a source in Figure 11 order
+    /// (L1, L2, L3, off-chip), where off-chip includes unused prefetches.
+    ///
+    /// Returns `None` if the source issued no prefetches.
+    pub fn timeliness(&self, src: PrefetchSource) -> Option<[f64; 4]> {
+        let i = src.index();
+        let found = self.prefetch_found[i];
+        let total: u64 = found.iter().sum::<u64>() + self.prefetch_unused[i];
+        if total == 0 {
+            return None;
+        }
+        let t = total as f64;
+        Some([
+            found[0] as f64 / t,
+            found[1] as f64 / t,
+            found[2] as f64 / t,
+            (found[3] + self.prefetch_unused[i]) as f64 / t,
+        ])
+    }
+
+    /// Fraction of issued prefetches that were eventually used (accuracy).
+    pub fn accuracy(&self, src: PrefetchSource) -> Option<f64> {
+        let i = src.index();
+        let used: u64 = self.prefetch_found[i].iter().sum();
+        let total = used + self.prefetch_unused[i];
+        if total == 0 {
+            None
+        } else {
+            Some(used as f64 / total as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeliness_fractions_sum_to_one() {
+        let mut s = MemStats::default();
+        let src = PrefetchSource::Dvr;
+        s.record_found(src, TimelinessBucket::L1);
+        s.record_found(src, TimelinessBucket::L1);
+        s.record_found(src, TimelinessBucket::L3);
+        s.prefetch_unused[src.index()] = 1;
+        let t = s.timeliness(src).unwrap();
+        assert!((t.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((t[0] - 0.5).abs() < 1e-12);
+        assert!((t[3] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_source_reports_none() {
+        let s = MemStats::default();
+        assert!(s.timeliness(PrefetchSource::Stride).is_none());
+        assert!(s.accuracy(PrefetchSource::Stride).is_none());
+    }
+
+    #[test]
+    fn runahead_traffic_excludes_hw_prefetchers() {
+        let mut s = MemStats::default();
+        s.dram_prefetch[PrefetchSource::Stride.index()] = 5;
+        s.dram_prefetch[PrefetchSource::Dvr.index()] = 7;
+        s.dram_prefetch[PrefetchSource::Vr.index()] = 2;
+        s.dram_demand = 100;
+        assert_eq!(s.dram_runahead(), 9);
+        assert_eq!(s.dram_reads(), 114);
+    }
+}

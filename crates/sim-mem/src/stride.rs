@@ -1,0 +1,207 @@
+//! Reference Prediction Table (RPT) stride prefetcher.
+//!
+//! The always-on L1-D prefetcher of the paper's Table 1 (16 streams), and
+//! the stride-detection substrate DVR's trigger reuses (Section 4.1.1): each
+//! entry tracks a load PC, its last address, the observed stride, and a
+//! 2-bit saturating confidence counter — exactly the fields costed in the
+//! paper's hardware-overhead budget (Section 4.4).
+
+/// One RPT entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StrideEntry {
+    /// Load PC that owns this stream.
+    pub pc: usize,
+    /// Last address observed for this PC.
+    pub last_addr: u64,
+    /// Current stride in bytes (0 until two observations).
+    pub stride: i64,
+    /// 2-bit saturating confidence (0–3).
+    pub confidence: u8,
+}
+
+impl StrideEntry {
+    /// Whether the stream is confident enough to act on (counter ≥ 2) and
+    /// actually striding.
+    pub fn is_confident(&self) -> bool {
+        self.confidence >= 2 && self.stride != 0
+    }
+}
+
+/// Result of training the RPT on one load.
+#[derive(Clone, Debug, Default)]
+pub struct StrideUpdate {
+    /// The load's stream is confident and striding.
+    pub confident: bool,
+    /// The stride in bytes (meaningful when `confident`).
+    pub stride: i64,
+    /// Prefetch addresses the prefetcher wants issued.
+    pub prefetches: Vec<u64>,
+}
+
+/// A direct-mapped RPT stride prefetcher.
+///
+/// Training is driven by the core on every demand load; the returned
+/// [`StrideUpdate::prefetches`] are issued by the caller through
+/// [`MemoryHierarchy::prefetch`](crate::MemoryHierarchy::prefetch) (which
+/// drops them when no MSHR is free).
+///
+/// # Example
+///
+/// ```
+/// use sim_mem::StridePrefetcher;
+/// let mut sp = StridePrefetcher::new(32, 2, 4);
+/// sp.train(7, 0x1000);
+/// sp.train(7, 0x1008); // stride learned
+/// sp.train(7, 0x1010); // confidence 2 -> confident
+/// let upd = sp.train(7, 0x1018);
+/// assert!(upd.confident);
+/// assert_eq!(upd.stride, 8);
+/// assert_eq!(upd.prefetches, vec![0x1018 + 4 * 8, 0x1018 + 5 * 8]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StridePrefetcher {
+    table: Vec<Option<StrideEntry>>,
+    degree: u64,
+    distance: u64,
+}
+
+impl StridePrefetcher {
+    /// Creates an RPT with `entries` slots, issuing `degree` prefetches per
+    /// confident access starting `distance` strides ahead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize, degree: u64, distance: u64) -> Self {
+        assert!(entries > 0, "RPT must have at least one entry");
+        StridePrefetcher { table: vec![None; entries], degree, distance }
+    }
+
+    /// The paper's configuration: 32 entries, degree 2, distance 4.
+    pub fn paper_default() -> Self {
+        StridePrefetcher::new(32, 2, 4)
+    }
+
+    fn slot(&self, pc: usize) -> usize {
+        pc % self.table.len()
+    }
+
+    /// Looks up the stream for `pc` without training it.
+    pub fn lookup(&self, pc: usize) -> Option<&StrideEntry> {
+        self.table[self.slot(pc)].as_ref().filter(|e| e.pc == pc)
+    }
+
+    /// Trains the table on a demand load and returns the prefetches (if
+    /// any) this access triggers.
+    pub fn train(&mut self, pc: usize, addr: u64) -> StrideUpdate {
+        let slot = self.slot(pc);
+        let entry = &mut self.table[slot];
+        match entry {
+            Some(e) if e.pc == pc => {
+                let new_stride = addr.wrapping_sub(e.last_addr) as i64;
+                if new_stride == e.stride && new_stride != 0 {
+                    e.confidence = (e.confidence + 1).min(3);
+                } else {
+                    if e.confidence > 0 {
+                        e.confidence -= 1;
+                    }
+                    // Adopt the new stride once confidence has drained.
+                    if e.confidence == 0 {
+                        e.stride = new_stride;
+                        e.confidence = 1;
+                    }
+                }
+                e.last_addr = addr;
+                let confident = e.is_confident();
+                let stride = e.stride;
+                let mut prefetches = Vec::new();
+                if confident {
+                    for k in 0..self.degree {
+                        let delta = stride.wrapping_mul((self.distance + k) as i64);
+                        prefetches.push(addr.wrapping_add(delta as u64));
+                    }
+                }
+                StrideUpdate { confident, stride, prefetches }
+            }
+            _ => {
+                // Allocate (direct-mapped replacement).
+                *entry = Some(StrideEntry { pc, last_addr: addr, stride: 0, confidence: 0 });
+                StrideUpdate::default()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_stride_after_three_accesses() {
+        let mut sp = StridePrefetcher::new(32, 1, 1);
+        assert!(!sp.train(1, 100).confident);
+        assert!(!sp.train(1, 108).confident); // stride set, confidence 1
+        let u = sp.train(1, 116);
+        assert!(u.confident);
+        assert_eq!(u.stride, 8);
+        assert_eq!(u.prefetches, vec![124]);
+    }
+
+    #[test]
+    fn negative_strides_work() {
+        let mut sp = StridePrefetcher::new(32, 1, 2);
+        sp.train(1, 1000);
+        sp.train(1, 992);
+        let u = sp.train(1, 984);
+        assert!(u.confident);
+        assert_eq!(u.stride, -8);
+        assert_eq!(u.prefetches, vec![984 - 16]);
+    }
+
+    #[test]
+    fn random_pattern_never_becomes_confident() {
+        let mut sp = StridePrefetcher::new(32, 2, 4);
+        let addrs = [5u64, 900, 17, 23_000, 4, 88, 1_000_000, 3];
+        for a in addrs {
+            let u = sp.train(2, a);
+            assert!(!u.confident, "random addresses must not train the RPT");
+        }
+    }
+
+    #[test]
+    fn conflicting_pcs_evict_each_other() {
+        let mut sp = StridePrefetcher::new(4, 1, 1);
+        sp.train(0, 100);
+        sp.train(0, 108);
+        // pc=4 maps to the same slot, evicting pc=0.
+        sp.train(4, 5000);
+        assert!(sp.lookup(0).is_none());
+        assert!(sp.lookup(4).is_some());
+    }
+
+    #[test]
+    fn stride_change_retrains() {
+        let mut sp = StridePrefetcher::new(32, 1, 1);
+        sp.train(1, 0);
+        sp.train(1, 8);
+        sp.train(1, 16);
+        assert!(sp.lookup(1).unwrap().is_confident());
+        // Switch to stride 64: confidence drains, then the new stride trains.
+        sp.train(1, 80);
+        sp.train(1, 144);
+        sp.train(1, 208);
+        sp.train(1, 272);
+        let e = sp.lookup(1).unwrap();
+        assert_eq!(e.stride, 64);
+        assert!(e.is_confident());
+    }
+
+    #[test]
+    fn zero_stride_is_not_confident() {
+        let mut sp = StridePrefetcher::new(32, 1, 1);
+        for _ in 0..5 {
+            let u = sp.train(1, 4096);
+            assert!(!u.confident);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the memory hierarchy.
+
+use proptest::prelude::*;
+use sim_mem::{
+    Access, AccessClass, Cache, CacheConfig, HierarchyConfig, HitLevel, MemoryHierarchy,
+    StridePrefetcher, line_of,
+};
+
+proptest! {
+    /// A cache never reports more resident lines than its capacity, and a
+    /// line just inserted is always found.
+    #[test]
+    fn cache_capacity_invariant(lines in prop::collection::vec(0u64..10_000, 1..200)) {
+        let cfg = CacheConfig { size_bytes: 64 * 64, assoc: 4, latency: 1 };
+        let capacity = (cfg.size_bytes / 64) as usize;
+        let mut c = Cache::new(cfg);
+        for l in &lines {
+            c.insert(*l, false, 0);
+            prop_assert!(c.contains(*l));
+            prop_assert!(c.resident_lines() <= capacity);
+        }
+    }
+
+    /// Completion times never precede the request cycle, and a repeat access
+    /// after completion is an L1 hit.
+    #[test]
+    fn hierarchy_latency_monotonicity(addrs in prop::collection::vec(0u64..1u64<<24, 1..60)) {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::default());
+        let mut cycle = 0u64;
+        for a in &addrs {
+            let Access { complete_at, .. } = m.load(cycle, *a, AccessClass::Demand);
+            prop_assert!(complete_at > cycle);
+            cycle = complete_at;
+            let again = m.load(cycle, *a, AccessClass::Demand);
+            prop_assert_eq!(again.level, HitLevel::L1);
+            prop_assert_eq!(again.complete_at, cycle + 4);
+            cycle = again.complete_at;
+        }
+    }
+
+    /// Demand hit counters exactly partition demand accesses.
+    #[test]
+    fn hierarchy_stats_partition(
+        addrs in prop::collection::vec(0u64..1u64<<20, 1..100),
+        gap in 1u64..300,
+    ) {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::default());
+        let mut cycle = 0u64;
+        for a in &addrs {
+            m.load(cycle, *a, AccessClass::Demand);
+            cycle += gap;
+        }
+        let s = m.stats();
+        let total: u64 = s.demand_hits.iter().sum::<u64>() + s.demand_inflight;
+        prop_assert_eq!(total, addrs.len() as u64);
+        prop_assert_eq!(s.demand_loads, addrs.len() as u64);
+    }
+
+    /// The stride prefetcher's predictions always lie on the learned stream.
+    #[test]
+    fn stride_predictions_on_stream(
+        base in 0u64..1u64<<30,
+        stride in prop::sample::select(vec![1i64, 4, 8, 16, 64, -8, -64]),
+        n in 4usize..40,
+    ) {
+        let mut sp = StridePrefetcher::new(32, 2, 4);
+        let mut addr = base;
+        for _ in 0..n {
+            let upd = sp.train(9, addr);
+            for p in &upd.prefetches {
+                // Prediction must be k strides ahead for some k >= 1.
+                let delta = p.wrapping_sub(addr) as i64;
+                prop_assert_eq!(delta % stride, 0);
+                prop_assert!(delta / stride >= 1);
+            }
+            addr = addr.wrapping_add(stride as u64);
+        }
+    }
+
+    /// Prefetch accounting: issued = used + unused after finalize.
+    #[test]
+    fn prefetch_accounting_balances(addrs in prop::collection::vec(0u64..1u64<<22, 1..60)) {
+        use sim_mem::PrefetchSource;
+        let mut m = MemoryHierarchy::new(HierarchyConfig::default());
+        let mut cycle = 0;
+        // Prefetch everything, then demand only even-indexed addresses.
+        for a in &addrs {
+            m.prefetch(cycle, *a, PrefetchSource::Dvr);
+            cycle += 10;
+        }
+        cycle += 100_000;
+        for a in addrs.iter().step_by(2) {
+            let acc = m.load(cycle, *a, AccessClass::Demand);
+            cycle = acc.complete_at;
+        }
+        m.finalize();
+        let s = m.stats();
+        let i = PrefetchSource::Dvr.index();
+        let used: u64 = s.prefetch_found[i].iter().sum();
+        prop_assert_eq!(used + s.prefetch_unused[i], s.prefetch_issued[i]);
+    }
+
+    /// Line address helper is consistent with 64-byte lines.
+    #[test]
+    fn line_addressing(addr in any::<u64>()) {
+        prop_assert_eq!(line_of(addr), addr / 64);
+        prop_assert_eq!(line_of(addr), line_of(addr & !63));
+    }
+}

@@ -1,0 +1,844 @@
+//! The cycle-level out-of-order core timing model.
+//!
+//! Execution-driven, execute-at-fetch: the functional [`Cpu`] runs the
+//! architecturally correct path at the fetch frontier; the timing model
+//! tracks register dependencies, structural hazards (ROB/IQ/LSQ capacity,
+//! functional units, L1 ports), memory latencies through the shared
+//! [`MemoryHierarchy`], and branch-misprediction redirects (fetch stalls
+//! from resolution plus the 15-cycle front-end refill).
+
+use std::collections::VecDeque;
+
+use sim_isa::{AluOp, Cpu, Instr, MemAccess, Program, SparseMemory, NUM_REGS};
+use sim_mem::{AccessClass, HitLevel, ImpConfig, ImpPrefetcher, MemoryHierarchy, PrefetchSource,
+    StridePrefetcher};
+
+use crate::branch::TagePredictor;
+use crate::config::CoreConfig;
+use crate::engine::{ArchSnapshot, EngineCtx, RunaheadEngine};
+use crate::stats::CoreStats;
+
+/// A dynamic (fetched) instruction, carrying both functional outcomes and
+/// timing state.
+#[derive(Clone, Copy, Debug)]
+pub struct DynInst {
+    /// Global sequence number (program order).
+    pub seq: u64,
+    /// Static PC.
+    pub pc: usize,
+    /// The instruction.
+    pub instr: Instr,
+    /// Memory access performed (loads/stores).
+    pub mem: Option<MemAccess>,
+    /// Branch outcome for conditional branches.
+    pub branch_taken: Option<bool>,
+    /// Operand values, aligned with [`Instr::srcs`] order.
+    pub src_values: [u64; 3],
+    /// Value written to the destination register, if any.
+    pub dst_value: Option<u64>,
+    /// Whether the direction predictor mispredicted this branch.
+    pub mispredicted: bool,
+    /// Producer sequence numbers for each source operand.
+    deps: [Option<u64>; 3],
+    /// Issued to execution.
+    issued: bool,
+    /// Completion cycle (`u64::MAX` until issued).
+    complete_at: u64,
+}
+
+impl DynInst {
+    /// Whether this is a load.
+    pub fn is_load(&self) -> bool {
+        self.instr.is_load()
+    }
+
+    /// Whether this is a store.
+    pub fn is_store(&self) -> bool {
+        self.instr.is_store()
+    }
+
+    /// Completion cycle (meaningful once issued).
+    pub fn complete_at(&self) -> u64 {
+        self.complete_at
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum FuClass {
+    Alu,
+    Mul,
+    Div,
+    Load,
+    Store,
+}
+
+fn fu_class(instr: &Instr) -> FuClass {
+    match instr {
+        Instr::Load { .. } => FuClass::Load,
+        Instr::Store { .. } => FuClass::Store,
+        Instr::Alu { op, .. } | Instr::AluImm { op, .. } => match op {
+            AluOp::Mul => FuClass::Mul,
+            AluOp::Div | AluOp::Rem => FuClass::Div,
+            _ => FuClass::Alu,
+        },
+        _ => FuClass::Alu,
+    }
+}
+
+fn exec_latency(instr: &Instr) -> u64 {
+    match instr {
+        Instr::Alu { op, .. } | Instr::AluImm { op, .. } => op.latency() as u64,
+        _ => 1,
+    }
+}
+
+/// The out-of-order core.
+///
+/// Drive it with [`OooCore::run`], which simulates until the program halts
+/// or an instruction budget is reached.
+///
+/// # Example
+///
+/// ```
+/// use sim_isa::{Asm, Reg, SparseMemory};
+/// use sim_mem::{HierarchyConfig, MemoryHierarchy};
+/// use sim_ooo::{CoreConfig, NullEngine, OooCore};
+///
+/// let mut asm = Asm::new();
+/// asm.li(Reg::R1, 4);
+/// let top = asm.here();
+/// asm.addi(Reg::R1, Reg::R1, -1);
+/// asm.bnz(Reg::R1, top);
+/// asm.halt();
+/// let prog = asm.finish()?;
+///
+/// let mut core = OooCore::new(CoreConfig::default());
+/// let mut mem = SparseMemory::new();
+/// let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
+/// let stats = core.run(&prog, &mut mem, &mut hier, &mut NullEngine, 1_000_000);
+/// assert_eq!(stats.committed, 10); // li + 4x(addi+bnz) + halt
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct OooCore {
+    cfg: CoreConfig,
+    cpu: Cpu,
+    bp: TagePredictor,
+    stride_pf: Option<StridePrefetcher>,
+    imp: Option<ImpPrefetcher>,
+
+    cycle: u64,
+    seq_next: u64,
+    head_seq: u64,
+    rob: VecDeque<DynInst>,
+    unissued: VecDeque<u64>,
+    fetchq: VecDeque<DynInst>,
+    rename: [Option<u64>; NUM_REGS],
+    /// In-flight stores `(seq, addr, width)` for forwarding, in program order.
+    pending_stores: VecDeque<(u64, u64, u64)>,
+    /// Post-commit store buffer: recently retired store addresses still
+    /// forwardable to younger loads (drained write combining).
+    retired_stores: VecDeque<u64>,
+    loads_in_rob: usize,
+    stores_in_rob: usize,
+
+    fetch_blocked_on: Option<u64>,
+    fetch_stall_until: u64,
+    commit_block_until: u64,
+    stall_episode_armed: bool,
+    rob_full_counted_this_cycle: bool,
+
+    stats: CoreStats,
+}
+
+impl OooCore {
+    /// Creates a core in its reset state.
+    pub fn new(cfg: CoreConfig) -> Self {
+        OooCore {
+            cfg,
+            cpu: Cpu::new(),
+            bp: TagePredictor::default(),
+            stride_pf: cfg.stride_prefetcher.then(StridePrefetcher::paper_default),
+            imp: cfg.imp_prefetcher.then(|| ImpPrefetcher::new(ImpConfig::default())),
+            cycle: 0,
+            seq_next: 0,
+            head_seq: 0,
+            rob: VecDeque::with_capacity(cfg.rob_size + 1),
+            unissued: VecDeque::new(),
+            fetchq: VecDeque::new(),
+            rename: [None; NUM_REGS],
+            pending_stores: VecDeque::new(),
+            retired_stores: VecDeque::new(),
+            loads_in_rob: 0,
+            stores_in_rob: 0,
+            fetch_blocked_on: None,
+            fetch_stall_until: 0,
+            commit_block_until: 0,
+            stall_episode_armed: true,
+            rob_full_counted_this_cycle: false,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> CoreConfig {
+        self.cfg
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// The branch predictor (for inspection).
+    pub fn branch_predictor(&self) -> &TagePredictor {
+        &self.bp
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Runs the program until it halts or `max_instrs` commit.
+    ///
+    /// Returns the accumulated statistics. The same core must not be reused
+    /// for a second program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the functional executor faults (malformed program) or the
+    /// pipeline deadlocks (a model bug).
+    pub fn run<E: RunaheadEngine + ?Sized>(
+        &mut self,
+        prog: &Program,
+        mem: &mut SparseMemory,
+        hier: &mut MemoryHierarchy,
+        engine: &mut E,
+        max_instrs: u64,
+    ) -> &CoreStats {
+        let mut last_commit_cycle = 0u64;
+        while self.stats.committed < max_instrs {
+            self.cycle += 1;
+            self.rob_full_counted_this_cycle = false;
+            let committed_before = self.stats.committed;
+
+            self.commit(hier);
+            self.issue(prog, mem, hier, engine);
+            self.dispatch(prog, mem, hier, engine);
+            self.fetch(prog, mem);
+
+            if self.stats.committed > committed_before {
+                last_commit_cycle = self.cycle;
+            } else {
+                assert!(
+                    self.cycle - last_commit_cycle < 2_000_000,
+                    "pipeline deadlock at cycle {} (head: {:?})",
+                    self.cycle,
+                    self.rob.front()
+                );
+            }
+
+            if self.cpu.is_halted() && self.fetchq.is_empty() && self.rob.is_empty() {
+                break;
+            }
+        }
+        self.stats.cycles = self.cycle;
+        hier.finalize();
+        &self.stats
+    }
+
+    fn commit(&mut self, hier: &mut MemoryHierarchy) {
+        // Engine-imposed commit block (VR delayed termination).
+        if self.commit_block_until > self.cycle {
+            if let Some(head) = self.rob.front() {
+                if head.issued && head.complete_at <= self.cycle {
+                    self.stats.commit_blocked_engine_cycles += 1;
+                }
+            }
+            return;
+        }
+        let mut n = 0;
+        while n < self.cfg.width {
+            let Some(head) = self.rob.front() else { break };
+            if !head.issued || head.complete_at > self.cycle {
+                break;
+            }
+            let di = self.rob.pop_front().expect("head exists");
+            self.head_seq += 1;
+            if let Some(dst) = di.instr.dst() {
+                if self.rename[dst.index()] == Some(di.seq) {
+                    self.rename[dst.index()] = None;
+                }
+            }
+            if di.is_load() {
+                self.loads_in_rob -= 1;
+            }
+            if di.is_store() {
+                self.stores_in_rob -= 1;
+                let m = di.mem.expect("store has a memory access");
+                hier.store(self.cycle, m.addr, AccessClass::Demand);
+                // Stores commit in order; move the forwarding entry into the
+                // post-commit store buffer.
+                if let Some(pos) = self.pending_stores.iter().position(|(s, _, _)| *s == di.seq) {
+                    self.pending_stores.remove(pos);
+                }
+                self.retired_stores.push_back(m.addr);
+                if self.retired_stores.len() > 64 {
+                    self.retired_stores.pop_front();
+                }
+            }
+            if di.instr.is_cond_branch() {
+                self.stats.cond_branches += 1;
+                if di.mispredicted {
+                    self.stats.branch_mispredicts += 1;
+                }
+            }
+            self.stats.committed += 1;
+            n += 1;
+        }
+    }
+
+    fn issue<E: RunaheadEngine + ?Sized>(
+        &mut self,
+        prog: &Program,
+        mem: &SparseMemory,
+        hier: &mut MemoryHierarchy,
+        engine: &mut E,
+    ) {
+        let mut slots = self.cfg.issue_width;
+        let mut alu = self.cfg.int_alu;
+        let mut mul = self.cfg.int_mul;
+        let mut div = self.cfg.int_div;
+        let mut ld = self.cfg.load_ports;
+        let mut st = self.cfg.store_ports;
+
+        let mut i = 0;
+        let mut scanned = 0;
+        while i < self.unissued.len() && scanned < self.cfg.iq_size && slots > 0 {
+            scanned += 1;
+            let seq = self.unissued[i];
+            let idx = (seq - self.head_seq) as usize;
+
+            // Check functional-unit availability for this class.
+            let class = fu_class(&self.rob[idx].instr);
+            let unit = match class {
+                FuClass::Alu => &mut alu,
+                FuClass::Mul => &mut mul,
+                FuClass::Div => &mut div,
+                FuClass::Load => &mut ld,
+                FuClass::Store => &mut st,
+            };
+            if *unit == 0 {
+                i += 1;
+                continue;
+            }
+
+            if !self.deps_ready(idx) {
+                i += 1;
+                continue;
+            }
+
+            // Loads: memory-dependence check against older in-flight stores.
+            let mut forward = false;
+            if self.rob[idx].is_load() {
+                match self.store_dependence(seq, self.rob[idx].mem.expect("load access").addr) {
+                    StoreDep::None => {}
+                    StoreDep::Forward => forward = true,
+                    StoreDep::NotReady => {
+                        i += 1;
+                        continue;
+                    }
+                }
+            }
+
+            // Issue it.
+            *unit -= 1;
+            slots -= 1;
+            let cycle = self.cycle;
+            let di = &mut self.rob[idx];
+            di.issued = true;
+            let instr = di.instr;
+            let m = di.mem;
+            let pcv = di.pc;
+            let complete_at = if instr.is_load() {
+                let m = m.expect("load access");
+                self.stats.loads += 1;
+                if forward {
+                    self.stats.store_forwards += 1;
+                    cycle + 1
+                } else {
+                    let mut ctx = EngineCtx {
+                        cycle,
+                        prog,
+                        frontier: ArchSnapshot::of(&self.cpu),
+                        mem,
+                        hier,
+                    };
+                    match engine.override_load(&mut ctx, m.addr) {
+                        Some(lat) => cycle + lat,
+                        None => {
+                            let acc = hier.load(cycle, m.addr, AccessClass::Demand);
+                            // Hardware prefetchers train on demand loads.
+                            if let Some(sp) = &mut self.stride_pf {
+                                for p in sp.train(pcv, m.addr).prefetches {
+                                    hier.prefetch(cycle, p, PrefetchSource::Stride);
+                                }
+                            }
+                            if let Some(imp) = &mut self.imp {
+                                let was_miss = acc.level != HitLevel::L1;
+                                for p in
+                                    imp.observe_load(pcv, m.addr, m.value, m.width, was_miss, mem)
+                                {
+                                    hier.prefetch(cycle, p, PrefetchSource::Imp);
+                                }
+                            }
+                            acc.complete_at
+                        }
+                    }
+                }
+            } else if instr.is_store() {
+                self.stats.stores += 1;
+                cycle + 1
+            } else {
+                cycle + exec_latency(&instr)
+            };
+            let di = &mut self.rob[idx];
+            di.complete_at = complete_at;
+
+            // A resolving mispredicted branch redirects fetch.
+            if di.mispredicted && self.fetch_blocked_on == Some(seq) {
+                self.fetch_stall_until = complete_at + self.cfg.frontend_penalty;
+                self.fetch_blocked_on = None;
+            }
+
+            self.unissued.remove(i);
+        }
+    }
+
+    fn deps_ready(&self, idx: usize) -> bool {
+        let di = &self.rob[idx];
+        for dep in di.deps.iter().flatten() {
+            if *dep >= self.head_seq {
+                let p = &self.rob[(*dep - self.head_seq) as usize];
+                if !p.issued || p.complete_at > self.cycle {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn store_dependence(&self, load_seq: u64, addr: u64) -> StoreDep {
+        // Scan youngest-first for the most recent older store to this address.
+        for (sseq, saddr, _) in self.pending_stores.iter().rev() {
+            if *sseq >= load_seq {
+                continue;
+            }
+            if *saddr == addr {
+                let idx = (*sseq - self.head_seq) as usize;
+                let s = &self.rob[idx];
+                return if s.issued && s.complete_at <= self.cycle {
+                    StoreDep::Forward
+                } else {
+                    StoreDep::NotReady
+                };
+            }
+        }
+        if self.retired_stores.contains(&addr) {
+            return StoreDep::Forward;
+        }
+        StoreDep::None
+    }
+
+    fn dispatch<E: RunaheadEngine + ?Sized>(
+        &mut self,
+        prog: &Program,
+        mem: &SparseMemory,
+        hier: &mut MemoryHierarchy,
+        engine: &mut E,
+    ) {
+        if self.rob.len() < self.cfg.rob_size {
+            self.stall_episode_armed = true;
+        }
+        let mut n = 0;
+        while n < self.cfg.width {
+            if self.fetchq.is_empty() {
+                break;
+            }
+            let next_is_load = self.fetchq.front().is_some_and(DynInst::is_load);
+            let next_is_store = self.fetchq.front().is_some_and(DynInst::is_store);
+            // The instruction window is full when the ROB — or, for
+            // load-heavy code, the LQ/SQ — cannot accept the next
+            // instruction. All three back-pressure dispatch and constitute
+            // the classic runahead trigger when a load miss blocks the head.
+            let window_full = self.rob.len() >= self.cfg.rob_size
+                || (next_is_load && self.loads_in_rob >= self.cfg.lq_size)
+                || (next_is_store && self.stores_in_rob >= self.cfg.sq_size);
+            if window_full {
+                self.note_window_full(prog, mem, hier, engine);
+                break;
+            }
+
+            let mut di = self.fetchq.pop_front().expect("nonempty");
+            for (k, r) in di.instr.srcs().enumerate() {
+                di.deps[k] = self.rename[r.index()];
+            }
+            if let Some(dst) = di.instr.dst() {
+                self.rename[dst.index()] = Some(di.seq);
+            }
+            if di.is_load() {
+                self.loads_in_rob += 1;
+            }
+            if di.is_store() {
+                self.stores_in_rob += 1;
+                let m = di.mem.expect("store access");
+                self.pending_stores.push_back((di.seq, m.addr, m.width));
+            }
+
+            {
+                let mut ctx = EngineCtx {
+                    cycle: self.cycle,
+                    prog,
+                    frontier: ArchSnapshot::of(&self.cpu),
+                    mem,
+                    hier,
+                };
+                engine.on_dispatch(&mut ctx, &di);
+            }
+
+            self.unissued.push_back(di.seq);
+            self.rob.push_back(di);
+            n += 1;
+        }
+    }
+
+    fn note_window_full<E: RunaheadEngine + ?Sized>(
+        &mut self,
+        prog: &Program,
+        mem: &SparseMemory,
+        hier: &mut MemoryHierarchy,
+        engine: &mut E,
+    ) {
+        if !self.rob_full_counted_this_cycle {
+            self.stats.rob_full_stall_cycles += 1;
+            self.rob_full_counted_this_cycle = true;
+        }
+        let Some(head) = self.rob.front() else { return };
+        // The classic runahead trigger: a *long-latency* load blocks the
+        // head (an L2-hit blip does not send the core into runahead).
+        let head_pending_load =
+            head.is_load() && head.issued && head.complete_at > self.cycle + 30;
+        if head_pending_load && self.stall_episode_armed {
+            self.stall_episode_armed = false;
+            self.stats.full_rob_stall_events += 1;
+            let head_complete = head.complete_at;
+            let mut ctx = EngineCtx {
+                cycle: self.cycle,
+                prog,
+                frontier: ArchSnapshot::of(&self.cpu),
+                mem,
+                hier,
+            };
+            let block = engine.on_full_rob_stall(&mut ctx, head_complete);
+            self.commit_block_until = self.commit_block_until.max(block);
+        }
+    }
+
+    fn fetch(&mut self, prog: &Program, mem: &mut SparseMemory) {
+        if self.cpu.is_halted()
+            || self.fetch_blocked_on.is_some()
+            || self.cycle < self.fetch_stall_until
+        {
+            return;
+        }
+        let mut n = 0;
+        while n < self.cfg.width && self.fetchq.len() < self.cfg.fetch_queue {
+            let pc = self.cpu.pc();
+            let Some(instr) = prog.fetch(pc).copied() else {
+                // Off the end: the functional step below will report Halted.
+                let _ = self.cpu.step(prog, mem);
+                break;
+            };
+            let mut src_values = [0u64; 3];
+            for (k, r) in instr.srcs().enumerate() {
+                src_values[k] = self.cpu.reg(r);
+            }
+            match self.cpu.step(prog, mem) {
+                Ok(sim_isa::StepEvent::Executed(step)) => {
+                    let mut di = DynInst {
+                        seq: self.seq_next,
+                        pc,
+                        instr: step.instr,
+                        mem: step.mem,
+                        branch_taken: step.branch_taken,
+                        src_values,
+                        dst_value: step.dst_value,
+                        mispredicted: false,
+                        deps: [None; 3],
+                        issued: false,
+                        complete_at: u64::MAX,
+                    };
+                    self.seq_next += 1;
+                    let mut stop = false;
+                    if let Some(taken) = step.branch_taken {
+                        let predicted = self.bp.predict(pc);
+                        self.bp.update(pc, taken, predicted);
+                        if predicted != taken {
+                            di.mispredicted = true;
+                            self.fetch_blocked_on = Some(di.seq);
+                            stop = true;
+                        }
+                    }
+                    self.fetchq.push_back(di);
+                    n += 1;
+                    if stop {
+                        break;
+                    }
+                }
+                Ok(sim_isa::StepEvent::Halted) => break,
+                Err(e) => panic!("functional execution fault: {e}"),
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum StoreDep {
+    /// No older in-flight store to this address.
+    None,
+    /// An older store has executed: forward its data.
+    Forward,
+    /// An older store to the same address has not executed yet.
+    NotReady,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::NullEngine;
+    use sim_isa::{Asm, Reg};
+    use sim_mem::HierarchyConfig;
+
+    fn run_program(prog: &Program, mem: &mut SparseMemory, max: u64) -> CoreStats {
+        let mut core = OooCore::new(CoreConfig::default());
+        let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
+        *core.run(prog, mem, &mut hier, &mut NullEngine, max)
+    }
+
+    #[test]
+    fn straight_line_alu_reaches_high_ipc() {
+        let mut asm = Asm::new();
+        // 64 independent chains of adds interleaved: plenty of ILP.
+        for i in 0..500 {
+            let r = Reg::from_index(1 + (i % 8)).unwrap();
+            asm.addi(r, r, 1);
+        }
+        asm.halt();
+        let prog = asm.finish().unwrap();
+        let mut mem = SparseMemory::new();
+        let stats = run_program(&prog, &mut mem, 1_000_000);
+        assert_eq!(stats.committed, 501);
+        assert!(stats.ipc() > 3.0, "IPC {} too low for pure ILP", stats.ipc());
+    }
+
+    #[test]
+    fn serial_dependency_chain_limits_ipc() {
+        let mut asm = Asm::new();
+        for _ in 0..500 {
+            asm.addi(Reg::R1, Reg::R1, 1); // one long chain
+        }
+        asm.halt();
+        let prog = asm.finish().unwrap();
+        let mut mem = SparseMemory::new();
+        let stats = run_program(&prog, &mut mem, 1_000_000);
+        assert!(stats.ipc() < 1.2, "serial chain must be ~1 IPC, got {}", stats.ipc());
+    }
+
+    #[test]
+    fn program_result_is_architecturally_correct() {
+        // Timing model must not perturb functional results.
+        let mut asm = Asm::new();
+        let (acc, i, n, t, c) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5);
+        asm.li(acc, 0);
+        asm.li(i, 0);
+        asm.li(n, 100);
+        let top = asm.here();
+        asm.mul(t, i, i);
+        asm.add(acc, acc, t);
+        asm.addi(i, i, 1);
+        asm.slt(c, i, n);
+        asm.bnz(c, top);
+        asm.li(Reg::R8, 0x9000);
+        asm.st8(acc, Reg::R8, 0);
+        asm.halt();
+        let prog = asm.finish().unwrap();
+        let mut mem = SparseMemory::new();
+        run_program(&prog, &mut mem, 10_000_000);
+        let expect: u64 = (0..100u64).map(|x| x * x).sum();
+        assert_eq!(mem.read_u64(0x9000), expect);
+    }
+
+    #[test]
+    fn dependent_misses_fill_the_rob() {
+        // A pointer chase: each load depends on the previous one; misses
+        // serialize and the ROB backs up behind them.
+        let mut asm = Asm::new();
+        let (p, i, n, c) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4);
+        asm.li(p, 0x10_0000);
+        asm.li(i, 0);
+        asm.li(n, 200);
+        let top = asm.here();
+        asm.ld8(p, p, 0);
+        asm.addi(i, i, 1);
+        asm.slt(c, i, n);
+        asm.bnz(c, top);
+        asm.halt();
+        let prog = asm.finish().unwrap();
+
+        // Build a pointer chain spanning many distinct lines.
+        let mut mem = SparseMemory::new();
+        let mut addr = 0x10_0000u64;
+        let mut x: u64 = 1;
+        for _ in 0..256 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let next = 0x10_0000 + ((x >> 20) & 0xFFFF) * 64;
+            mem.write_u64(addr, next);
+            addr = next;
+        }
+        let stats = run_program(&prog, &mut mem, 10_000_000);
+        assert!(stats.ipc() < 0.5, "pointer chase should be memory-bound, IPC {}", stats.ipc());
+        assert!(stats.loads >= 200);
+    }
+
+    #[test]
+    fn store_forwarding_works() {
+        let mut asm = Asm::new();
+        asm.li(Reg::R1, 0x8000);
+        asm.li(Reg::R2, 1234);
+        asm.st8(Reg::R2, Reg::R1, 0);
+        asm.ld8(Reg::R3, Reg::R1, 0); // should forward, not miss to DRAM
+        asm.halt();
+        let prog = asm.finish().unwrap();
+        let mut mem = SparseMemory::new();
+        let stats = run_program(&prog, &mut mem, 1000);
+        assert_eq!(stats.store_forwards, 1);
+        assert!(stats.cycles < 100, "forwarded load must not wait for DRAM");
+    }
+
+    #[test]
+    fn branch_mispredicts_cost_cycles() {
+        // Data-dependent unpredictable branches vs. perfectly biased ones.
+        let run_with_pattern = |values: &[u64]| -> (u64, u64) {
+            let mut asm = Asm::new();
+            let (base, i, n, v, c) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5);
+            asm.li(base, 0x4_0000);
+            asm.li(i, 0);
+            asm.li(n, values.len() as i64);
+            let top = asm.here();
+            let skip = asm.label();
+            asm.ld8_idx(v, base, i, 3);
+            asm.bez(v, skip);
+            asm.addi(Reg::R6, Reg::R6, 1);
+            asm.bind(skip);
+            asm.addi(i, i, 1);
+            asm.slt(c, i, n);
+            asm.bnz(c, top);
+            asm.halt();
+            let prog = asm.finish().unwrap();
+            let mut mem = SparseMemory::new();
+            mem.write_u64_slice(0x4_0000, values);
+            let stats = run_program(&prog, &mut mem, 10_000_000);
+            (stats.cycles, stats.branch_mispredicts)
+        };
+
+        let biased: Vec<u64> = vec![1; 4096];
+        let mut x: u64 = 88172645463325252;
+        let random: Vec<u64> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x & 1
+            })
+            .collect();
+        let (cycles_biased, mp_biased) = run_with_pattern(&biased);
+        let (cycles_random, mp_random) = run_with_pattern(&random);
+        assert!(mp_random > mp_biased * 10, "{mp_random} vs {mp_biased}");
+        assert!(cycles_random > cycles_biased, "{cycles_random} vs {cycles_biased}");
+    }
+
+    #[test]
+    fn rob_full_stall_detected_on_memory_bound_code() {
+        let mut asm = Asm::new();
+        let (base, i, n, v, c) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5);
+        asm.li(base, 0x20_0000);
+        asm.li(i, 0);
+        asm.li(n, 2000);
+        let top = asm.here();
+        // A dependent chain long enough to block the ROB head.
+        asm.ld8_idx(v, base, i, 3);
+        asm.ld8_idx(v, base, v, 3);
+        asm.addi(i, i, 1);
+        asm.slt(c, i, n);
+        asm.bnz(c, top);
+        asm.halt();
+        let prog = asm.finish().unwrap();
+        let mut mem = SparseMemory::new();
+        // Pseudo-random in-range indices over a DRAM-sized region.
+        let mut x: u64 = 7;
+        let vals: Vec<u64> = (0..4096)
+            .map(|_| {
+                x = x.wrapping_mul(25214903917).wrapping_add(11);
+                (x >> 16) % 4096
+            })
+            .collect();
+        mem.write_u64_slice(0x20_0000, &vals);
+
+        let mut core = OooCore::new(CoreConfig::default());
+        let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
+        let stats = *core.run(&prog, &mut mem, &mut hier, &mut NullEngine, 10_000_000);
+        assert!(stats.full_rob_stall_events > 0, "expected full-ROB stalls");
+        assert!(stats.rob_full_stall_cycles > 0);
+    }
+
+    #[test]
+    fn smaller_rob_stalls_more() {
+        let build = || {
+            let mut asm = Asm::new();
+            let (base, i, n, v, c) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5);
+            asm.li(base, 0x20_0000);
+            asm.li(i, 0);
+            asm.li(n, 1000);
+            let top = asm.here();
+            asm.ld8_idx(v, base, i, 3);
+            asm.ld8_idx(v, base, v, 3);
+            asm.addi(i, i, 1);
+            asm.slt(c, i, n);
+            asm.bnz(c, top);
+            asm.halt();
+            asm.finish().unwrap()
+        };
+        let mut fractions = vec![];
+        for rob in [64usize, 350] {
+            let prog = build();
+            let mut mem = SparseMemory::new();
+            let mut x: u64 = 7;
+            let vals: Vec<u64> = (0..4096)
+                .map(|_| {
+                    x = x.wrapping_mul(25214903917).wrapping_add(11);
+                    (x >> 16) % 4096
+                })
+                .collect();
+            mem.write_u64_slice(0x20_0000, &vals);
+            let mut core = OooCore::new(CoreConfig::with_rob(rob));
+            let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
+            let stats = *core.run(&prog, &mut mem, &mut hier, &mut NullEngine, 10_000_000);
+            fractions.push(stats.rob_full_stall_fraction());
+        }
+        assert!(
+            fractions[0] > fractions[1],
+            "64-entry ROB should stall more than 350: {fractions:?}"
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! Synthetic graph generation (Table 2 surrogates).
+//!
+//! The paper evaluates the GAP suite on five inputs: Kron (KR), LiveJournal
+//! (LJN), Orkut (ORK), Twitter (TW), and Urand (UR). The real crawls are
+//! not redistributable, so we generate synthetic surrogates that preserve
+//! the properties DVR is sensitive to: the *degree distribution* (inner-loop
+//! trip counts — short uniform degrees on UR, heavy power-law tails on
+//! KR/TW) and a *working set larger than the 8 MB LLC* (scaled ~1000× down
+//! from Table 2; see DESIGN.md §2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A directed graph in Compressed Sparse Row form.
+///
+/// `offsets` has `n + 1` entries; the neighbours of vertex `v` are
+/// `edges[offsets[v]..offsets[v+1]]`.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    /// Vertex count.
+    pub n: usize,
+    /// Per-vertex edge offsets (`n + 1` entries).
+    pub offsets: Vec<u64>,
+    /// Flattened destination lists.
+    pub edges: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds a CSR from an edge list (duplicates kept, self-loops kept).
+    pub fn from_edges(n: usize, edge_list: &[(u32, u32)]) -> Self {
+        let mut degree = vec![0u64; n];
+        for (u, _) in edge_list {
+            degree[*u as usize] += 1;
+        }
+        let mut offsets = vec![0u64; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut edges = vec![0u32; edge_list.len()];
+        for (u, v) in edge_list {
+            edges[cursor[*u as usize] as usize] = *v;
+            cursor[*u as usize] += 1;
+        }
+        Csr { n, offsets, edges }
+    }
+
+    /// Edge count.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Neighbours of `v`.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.edges[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// A breadth-first traversal from `src`; returns per-vertex depth
+    /// (`u32::MAX` = unreached). Used host-side to set up frontier-based
+    /// kernels (bfs, bc, sssp).
+    pub fn bfs_depths(&self, src: usize) -> Vec<u32> {
+        let mut depth = vec![u32::MAX; self.n];
+        depth[src] = 0;
+        let mut frontier = vec![src as u32];
+        let mut d = 0;
+        while !frontier.is_empty() {
+            let mut next = vec![];
+            for &v in &frontier {
+                for &u in self.neighbors(v as usize) {
+                    if depth[u as usize] == u32::MAX {
+                        depth[u as usize] = d + 1;
+                        next.push(u);
+                    }
+                }
+            }
+            frontier = next;
+            d += 1;
+        }
+        depth
+    }
+
+    /// The depth whose frontier is largest, with that frontier — the most
+    /// representative single top-down step.
+    pub fn largest_frontier(&self, src: usize) -> (u32, Vec<u32>) {
+        let depth = self.bfs_depths(src);
+        let max_d = depth.iter().filter(|&&d| d != u32::MAX).copied().max().unwrap_or(0);
+        let mut best = (0u32, 0usize);
+        for d in 0..=max_d {
+            let count = depth.iter().filter(|&&x| x == d).count();
+            if count > best.1 {
+                best = (d, count);
+            }
+        }
+        let frontier: Vec<u32> = (0..self.n as u32).filter(|&v| depth[v as usize] == best.0).collect();
+        (best.0, frontier)
+    }
+}
+
+/// Generates a uniform-random graph: every edge endpoint uniform over `n`.
+pub fn uniform(n: usize, edges: usize, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let list: Vec<(u32, u32)> = (0..edges)
+        .map(|_| (rng.random_range(0..n as u32), rng.random_range(0..n as u32)))
+        .collect();
+    Csr::from_edges(n, &list)
+}
+
+/// Generates an RMAT (Kronecker-style power-law) graph.
+///
+/// `(a, b, c)` are the recursive quadrant probabilities (the fourth is
+/// `1 - a - b - c`); Graph500 uses `(0.57, 0.19, 0.19)`.
+pub fn rmat(scale: u32, edges_per_vertex: usize, a: f64, b: f64, c: f64, seed: u64) -> Csr {
+    let n = 1usize << scale;
+    let m = n * edges_per_vertex;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut list = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.random();
+            if r < a {
+                // top-left
+            } else if r < a + b {
+                v |= 1;
+            } else if r < a + b + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        list.push((u as u32, v as u32));
+    }
+    Csr::from_edges(n, &list)
+}
+
+/// The paper's five GAP inputs (Table 2), as synthetic surrogates.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum GraphInput {
+    /// Kron: Graph500-parameter RMAT, heavy power-law skew.
+    Kr,
+    /// LiveJournal surrogate: moderate-skew RMAT.
+    Ljn,
+    /// Orkut surrogate: dense moderate-skew RMAT.
+    Ork,
+    /// Twitter surrogate: high-skew RMAT.
+    Tw,
+    /// Urand: uniform random — uniformly small degrees (the paper's
+    /// "vertices smaller than the 128-edge target" case).
+    Ur,
+}
+
+impl GraphInput {
+    /// All inputs in Table 2 order.
+    pub const ALL: [GraphInput; 5] =
+        [GraphInput::Kr, GraphInput::Ljn, GraphInput::Ork, GraphInput::Tw, GraphInput::Ur];
+
+    /// Short lowercase name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphInput::Kr => "KR",
+            GraphInput::Ljn => "LJN",
+            GraphInput::Ork => "ORK",
+            GraphInput::Tw => "TW",
+            GraphInput::Ur => "UR",
+        }
+    }
+
+    /// Generates the surrogate at a size scale.
+    ///
+    /// `scale_shift` subtracts from the default log2 vertex count: 0 is the
+    /// "paper" (scaled-down ~1000×) size, larger values shrink further for
+    /// tests.
+    pub fn generate(self, scale_shift: u32, seed: u64) -> Csr {
+        let s = |base: u32| base.saturating_sub(scale_shift).max(6);
+        match self {
+            GraphInput::Kr => rmat(s(17), 16, 0.57, 0.19, 0.19, seed ^ 0x4b52),
+            GraphInput::Ljn => rmat(s(16), 14, 0.48, 0.22, 0.22, seed ^ 0x4c4a),
+            GraphInput::Ork => rmat(s(15), 60, 0.45, 0.22, 0.22, seed ^ 0x4f52),
+            GraphInput::Tw => rmat(s(16), 24, 0.57, 0.19, 0.19, seed ^ 0x5457),
+            GraphInput::Ur => {
+                let n = 1usize << s(17);
+                uniform(n, n * 16, seed ^ 0x5552)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_roundtrip() {
+        let g = Csr::from_edges(4, &[(0, 1), (0, 2), (1, 3), (3, 0)]);
+        assert_eq!(g.n, 4);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[3]);
+        assert_eq!(g.neighbors(2), &[] as &[u32]);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn bfs_depths_are_correct() {
+        // 0 -> 1 -> 2 -> 3, plus shortcut 0 -> 2
+        let g = Csr::from_edges(5, &[(0, 1), (1, 2), (2, 3), (0, 2)]);
+        let d = g.bfs_depths(0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], 1);
+        assert_eq!(d[3], 2);
+        assert_eq!(d[4], u32::MAX);
+    }
+
+    #[test]
+    fn uniform_has_uniformish_degrees() {
+        let g = uniform(1024, 16 * 1024, 1);
+        assert_eq!(g.m(), 16 * 1024);
+        let max_deg = (0..g.n).map(|v| g.degree(v)).max().unwrap();
+        // Poisson(16): max degree stays small.
+        assert!(max_deg < 64, "uniform max degree {max_deg}");
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(10, 16, 0.57, 0.19, 0.19, 2);
+        let mut degs: Vec<usize> = (0..g.n).map(|v| g.degree(v)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        // Power law: the top vertex has far more than the mean degree.
+        assert!(degs[0] > 16 * 8, "rmat top degree {} not skewed", degs[0]);
+        // And many vertices have low degree.
+        let low = degs.iter().filter(|&&d| d < 8).count();
+        assert!(low > g.n / 4);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = GraphInput::Kr.generate(7, 42);
+        let b = GraphInput::Kr.generate(7, 42);
+        assert_eq!(a.edges, b.edges);
+        let c = GraphInput::Kr.generate(7, 43);
+        assert_ne!(a.edges, c.edges);
+    }
+
+    #[test]
+    fn largest_frontier_nonempty() {
+        let g = GraphInput::Ur.generate(8, 5);
+        let (_, frontier) = g.largest_frontier(0);
+        assert!(!frontier.is_empty());
+    }
+
+    #[test]
+    fn inputs_have_distinct_shapes() {
+        let kr = GraphInput::Kr.generate(8, 1);
+        let ur = GraphInput::Ur.generate(8, 1);
+        let max_kr = (0..kr.n).map(|v| kr.degree(v)).max().unwrap();
+        let max_ur = (0..ur.n).map(|v| ur.degree(v)).max().unwrap();
+        assert!(
+            max_kr > 4 * max_ur,
+            "KR must be far more skewed than UR ({max_kr} vs {max_ur})"
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! # workloads — the 13 evaluated benchmarks of the DVR paper
+//!
+//! Graph analytics (GAP: bc, bfs, cc, pr, sssp on five graph inputs),
+//! database, and HPC kernels (hpc-db: Camel, Graph500, HJ2, HJ8, Kangaroo,
+//! NAS-CG, NAS-IS, RandomAccess), re-expressed for the simulator ISA with
+//! synthetic inputs sized per DESIGN.md §2/§7.
+//!
+//! ## Example
+//!
+//! ```
+//! use workloads::{Benchmark, GraphInput, SizeClass};
+//!
+//! let wl = Benchmark::Bfs.build(Some(GraphInput::Ur), SizeClass::Test, 42);
+//! assert_eq!(wl.name, "bfs");
+//! assert!(wl.prog.len() > 10);
+//! // The workload is ready to run on the simulator:
+//! let mut cpu = sim_isa::Cpu::new();
+//! let mut mem = wl.mem.clone();
+//! cpu.run(&wl.prog, &mut mem, 10_000)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gap;
+pub mod graphs;
+pub mod hpcdb;
+mod suite;
+
+pub use gap::RESULT_ADDR;
+pub use graphs::{rmat, uniform, Csr, GraphInput};
+pub use suite::{Benchmark, Layout, SizeClass, Workload};

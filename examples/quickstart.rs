@@ -1,0 +1,46 @@
+//! Quickstart: simulate one benchmark under the baseline core and under
+//! Decoupled Vector Runahead, and compare.
+//!
+//! ```text
+//! cargo run --release -p dvr-sim --example quickstart
+//! ```
+
+use dvr_sim::{simulate, SimConfig, Technique};
+use workloads::{Benchmark, SizeClass};
+
+fn main() {
+    // Build the paper's Figure-1 workload (Camel: C[hash(B[hash(A[i])])]++)
+    // at a reduced size so this example runs in seconds.
+    let workload = Benchmark::Camel.build(None, SizeClass::Small, 42);
+    println!("workload : {} — {}", workload.name, workload.description);
+    println!("program  : {} static instructions", workload.prog.len());
+
+    // Run 200k instructions on the Table-1 baseline out-of-order core...
+    let base_cfg = SimConfig::new(Technique::Baseline).with_max_instructions(200_000);
+    let base = simulate(&workload, &base_cfg);
+    println!(
+        "\nbaseline : IPC {:.3} | MLP {:.1} | {:.0}% cycles window-full | {} DRAM reads",
+        base.ipc,
+        base.mlp,
+        100.0 * base.core.rob_full_stall_fraction(),
+        base.mem.dram_reads(),
+    );
+
+    // ...and with the DVR subthread attached.
+    let dvr_cfg = SimConfig::new(Technique::Dvr).with_max_instructions(200_000);
+    let dvr = simulate(&workload, &dvr_cfg);
+    println!(
+        "DVR      : IPC {:.3} | MLP {:.1} | {} subthread episodes | {} lane loads",
+        dvr.ipc, dvr.mlp, dvr.engine.episodes, dvr.engine.runahead_loads,
+    );
+    println!("\nspeedup  : {:.2}x", dvr.speedup_over(&base));
+    if let Some(t) = dvr.timeliness() {
+        println!(
+            "timeliness: {:.0}% of prefetched lines found in L1, {:.0}% L2, {:.0}% L3, {:.0}% off-chip",
+            100.0 * t[0],
+            100.0 * t[1],
+            100.0 * t[2],
+            100.0 * t[3]
+        );
+    }
+}

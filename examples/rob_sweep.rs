@@ -1,0 +1,36 @@
+//! Reproduce the paper's headline trend (Figures 2 and 12) on one
+//! benchmark: VR's benefit shrinks as the ROB grows, DVR's does not.
+//!
+//! ```text
+//! cargo run --release -p dvr-sim --example rob_sweep
+//! ```
+
+use dvr_sim::{simulate, SimConfig, Technique};
+use workloads::{Benchmark, SizeClass};
+
+fn main() {
+    let wl = Benchmark::Hj2.build(None, SizeClass::Small, 42);
+    let instrs = 150_000;
+
+    // Normalize everything to the 350-entry-ROB baseline, as the paper does.
+    let base350 = simulate(
+        &wl,
+        &SimConfig::new(Technique::Baseline).with_rob(350).with_max_instructions(instrs),
+    );
+
+    println!("HJ2, normalized to OoO with a 350-entry ROB\n");
+    println!("{:>6} {:>10} {:>10} {:>10}", "ROB", "OoO", "VR", "DVR");
+    for rob in [128usize, 192, 224, 350, 512] {
+        let mut row = format!("{rob:>6}");
+        for t in [Technique::Baseline, Technique::Vr, Technique::Dvr] {
+            let cfg = SimConfig::new(t).with_rob(rob).with_max_instructions(instrs);
+            let r = simulate(&wl, &cfg);
+            row.push_str(&format!(" {:>10.3}", r.ipc / base350.ipc));
+        }
+        println!("{row}");
+    }
+    println!(
+        "\nExpected shape (paper Figs 2 & 12): the OoO column grows with ROB size, \
+         VR's advantage over it shrinks, DVR's advantage persists."
+    );
+}

@@ -1,0 +1,133 @@
+//! Cross-crate integration tests: the whole stack (ISA → core → hierarchy →
+//! engines → workloads) driven through the public `dvr-sim` API.
+
+use dvr_sim::{simulate, SimConfig, Technique};
+use workloads::{Benchmark, GraphInput, SizeClass};
+
+const INSTRS: u64 = 40_000;
+
+fn cfg(t: Technique) -> SimConfig {
+    SimConfig::new(t).with_max_instructions(INSTRS)
+}
+
+#[test]
+fn every_technique_completes_on_bfs() {
+    let wl = Benchmark::Bfs.build(Some(GraphInput::Ur), SizeClass::Test, 7);
+    for t in [
+        Technique::Baseline,
+        Technique::Pre,
+        Technique::Imp,
+        Technique::Vr,
+        Technique::Dvr,
+        Technique::DvrOffload,
+        Technique::DvrDiscovery,
+        Technique::Oracle,
+    ] {
+        let r = simulate(&wl, &cfg(t));
+        assert!(r.ipc > 0.0, "{} produced zero IPC", t.name());
+        assert!(r.core.committed > 0);
+        assert!(r.core.cycles > 0);
+    }
+}
+
+#[test]
+fn simulation_is_deterministic_end_to_end() {
+    let wl = Benchmark::Sssp.build(Some(GraphInput::Kr), SizeClass::Test, 3);
+    let a = simulate(&wl, &cfg(Technique::Dvr));
+    let b = simulate(&wl, &cfg(Technique::Dvr));
+    assert_eq!(a.core.cycles, b.core.cycles);
+    assert_eq!(a.mem.dram_reads(), b.mem.dram_reads());
+    assert_eq!(a.engine.episodes, b.engine.episodes);
+}
+
+#[test]
+fn timing_never_perturbs_architectural_results() {
+    // The same workload must compute the same memory values under a purely
+    // functional run and under every timing configuration.
+    let wl = Benchmark::NasIs.build(None, SizeClass::Test, 5);
+    let hist = wl.region("hist");
+
+    // Functional reference.
+    let mut fmem = wl.mem.clone();
+    let mut cpu = sim_isa::Cpu::new();
+    cpu.run(&wl.prog, &mut fmem, 50_000_000).expect("functional run");
+    assert!(cpu.is_halted());
+
+    for t in [Technique::Baseline, Technique::Vr, Technique::Dvr] {
+        let mut mem = wl.mem.clone();
+        let mut hier = dvr_sim::MemoryHierarchy::new(dvr_sim::HierarchyConfig::default());
+        let mut core = dvr_sim::OooCore::new(dvr_sim::CoreConfig::default());
+        match t {
+            Technique::Vr => {
+                let mut e = dvr_sim::VrEngine::default();
+                core.run(&wl.prog, &mut mem, &mut hier, &mut e, u64::MAX);
+            }
+            Technique::Dvr => {
+                let mut e = dvr_sim::DvrEngine::default();
+                core.run(&wl.prog, &mut mem, &mut hier, &mut e, u64::MAX);
+            }
+            _ => {
+                let mut e = dvr_sim::NullEngine;
+                core.run(&wl.prog, &mut mem, &mut hier, &mut e, u64::MAX);
+            }
+        }
+        for k in (0..1024u64).step_by(17) {
+            assert_eq!(
+                mem.read_u64(hist + 8 * k),
+                fmem.read_u64(hist + 8 * k),
+                "{} diverged from functional execution at hist[{k}]",
+                t.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn stats_are_internally_consistent() {
+    let wl = Benchmark::Camel.build(None, SizeClass::Test, 11);
+    let r = simulate(&wl, &cfg(Technique::Dvr));
+    // Demand hit buckets partition demand accesses.
+    let buckets: u64 = r.mem.demand_hits.iter().sum::<u64>() + r.mem.demand_inflight;
+    assert_eq!(buckets, r.mem.demand_loads + r.mem.demand_stores);
+    // IPC is committed/cycles.
+    assert!((r.ipc - r.core.committed as f64 / r.core.cycles as f64).abs() < 1e-12);
+    // Prefetch accounting balances.
+    for src in dvr_sim::PrefetchSource::ALL {
+        let used: u64 = r.mem.prefetch_found[src.index()].iter().sum();
+        assert_eq!(
+            used + r.mem.prefetch_unused[src.index()],
+            r.mem.prefetch_issued[src.index()],
+            "prefetch accounting for {src:?}"
+        );
+    }
+}
+
+#[test]
+fn all_workloads_build_at_every_size() {
+    for size in [SizeClass::Test, SizeClass::Small] {
+        for b in Benchmark::ALL {
+            let wl = b.build(None, size, 1);
+            assert!(!wl.prog.is_empty(), "{} empty at {size:?}", wl.name);
+            assert!(!wl.regions.is_empty());
+        }
+    }
+}
+
+#[test]
+fn gap_benchmarks_accept_every_input() {
+    for b in Benchmark::GAP {
+        for g in GraphInput::ALL {
+            let wl = b.build(Some(g), SizeClass::Test, 2);
+            let r = simulate(&wl, &SimConfig::new(Technique::Baseline).with_max_instructions(5_000));
+            assert!(r.core.committed > 0, "{} on {}", b.name(), g.name());
+        }
+    }
+}
+
+#[test]
+fn instruction_budget_is_respected() {
+    let wl = Benchmark::Pr.build(Some(GraphInput::Kr), SizeClass::Test, 9);
+    let r = simulate(&wl, &SimConfig::new(Technique::Baseline).with_max_instructions(12_345));
+    // The core stops within one commit-width of the budget.
+    assert!(r.core.committed >= 12_345 && r.core.committed < 12_345 + 5);
+}

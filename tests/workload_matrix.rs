@@ -1,0 +1,97 @@
+//! Every benchmark × a representative technique set must run to the
+//! instruction budget without deadlock, and expose the access patterns its
+//! description promises.
+
+use dvr_sim::{simulate, SimConfig, Technique};
+use workloads::{Benchmark, GraphInput, SizeClass};
+
+#[test]
+fn full_matrix_runs() {
+    for b in Benchmark::ALL {
+        let g = b.is_gap().then_some(GraphInput::Ur);
+        let wl = b.build(g, SizeClass::Test, 31);
+        for t in [Technique::Baseline, Technique::Vr, Technique::Dvr] {
+            let r = simulate(&wl, &SimConfig::new(t).with_max_instructions(15_000));
+            assert!(
+                r.core.committed >= 10_000 || r.core.cycles > 0,
+                "{} under {} committed only {}",
+                wl.name,
+                t.name(),
+                r.core.committed
+            );
+        }
+    }
+}
+
+#[test]
+fn memory_intensity_is_in_the_papers_regime() {
+    // Indirect-access benchmarks at paper scale must be memory-intense, but
+    // not absurdly so: > 2 and < 120 LLC misses per kilo-instruction on the
+    // baseline (Table 2's aggregates are 18-61 for graphs).
+    for (b, g) in [
+        (Benchmark::Camel, None),
+        (Benchmark::Hj8, None),
+        (Benchmark::RandomAccess, None),
+        (Benchmark::Bfs, Some(GraphInput::Kr)),
+    ] {
+        let wl = b.build(g, SizeClass::Paper, 42);
+        let r = simulate(&wl, &SimConfig::new(Technique::Baseline).with_max_instructions(100_000));
+        let mpki = r.llc_mpki();
+        assert!(
+            (2.0..120.0).contains(&mpki),
+            "{}: LLC MPKI {mpki:.1} outside the plausible range",
+            wl.name
+        );
+    }
+}
+
+#[test]
+fn dvr_triggers_on_every_indirect_benchmark() {
+    // Every benchmark in the suite has a striding load feeding an indirect
+    // chain; DVR must find it.
+    for b in Benchmark::ALL {
+        let g = b.is_gap().then_some(GraphInput::Kr);
+        let wl = b.build(g, SizeClass::Small, 42);
+        let r = simulate(&wl, &SimConfig::new(Technique::Dvr).with_max_instructions(60_000));
+        assert!(
+            r.engine.episodes > 0,
+            "DVR never triggered on {} ({:?})",
+            wl.name,
+            r.engine
+        );
+        assert!(r.engine.runahead_loads > 0, "no runahead loads on {}", wl.name);
+    }
+}
+
+#[test]
+fn divergent_benchmarks_diverge_under_dvr() {
+    // Kangaroo and bfs have data-dependent branches inside the chain; the
+    // walker must report divergence there, and must not on Camel.
+    let diverging = Benchmark::Kangaroo.build(None, SizeClass::Small, 42);
+    let straight = Benchmark::Camel.build(None, SizeClass::Small, 42);
+    let rd = simulate(&diverging, &SimConfig::new(Technique::Dvr).with_max_instructions(60_000));
+    let rs = simulate(&straight, &SimConfig::new(Technique::Dvr).with_max_instructions(60_000));
+    assert!(rd.engine.detail.contains("diverged"), "stats detail should mention divergence");
+    // Camel's chain is branch-free: no diverged episodes.
+    assert!(
+        rs.engine.detail.starts_with("dvr: ") && rs.engine.detail.contains(" 0 diverged"),
+        "Camel must not diverge: {}",
+        rs.engine.detail
+    );
+}
+
+#[test]
+fn graph_inputs_change_behaviour() {
+    // KR (power-law) and UR (uniform) must behave measurably differently
+    // under DVR on the same kernel: UR's short inner loops force NDM.
+    let kr = Benchmark::Pr.build(Some(GraphInput::Kr), SizeClass::Small, 42);
+    let ur = Benchmark::Pr.build(Some(GraphInput::Ur), SizeClass::Small, 42);
+    let rkr = simulate(&kr, &SimConfig::new(Technique::Dvr).with_max_instructions(80_000));
+    let rur = simulate(&ur, &SimConfig::new(Technique::Dvr).with_max_instructions(80_000));
+    assert!(
+        rur.engine.nested_episodes > rkr.engine.nested_episodes,
+        "UR ({} NDM) must use nested runahead more than KR ({} NDM)",
+        rur.engine.nested_episodes,
+        rkr.engine.nested_episodes
+    );
+}
