@@ -20,13 +20,30 @@ fn bench_ctx() -> Ctx {
 fn experiment_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("experiments");
     group.sample_size(10);
-    for exp in
-        ["table2", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation"]
-    {
+    for exp in ["table2", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation"] {
         group.bench_function(format!("{exp}_reduced"), |b| {
             b.iter(|| {
                 let mut ctx = bench_ctx();
                 black_box(run_experiment(exp, &mut ctx))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The parallel experiment engine: the same reduced fig8 serial vs fanned
+/// out over worker threads (identical output, lower wall-clock on
+/// multi-core hosts).
+fn parallel_engine_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_engine");
+    group.sample_size(10);
+    for threads in [1usize, 0] {
+        let label =
+            if threads == 1 { "fig8_threads1".to_string() } else { "fig8_threads_all".to_string() };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut ctx = bench_ctx().with_threads(threads);
+                black_box(run_experiment("fig8", &mut ctx))
             })
         });
     }
@@ -67,8 +84,7 @@ fn ablation_benches(c: &mut Criterion) {
                     ..dvr_sim::DvrConfig::default()
                 });
                 let mut core = dvr_sim::OooCore::new(dvr_sim::CoreConfig::default());
-                let mut hier =
-                    dvr_sim::MemoryHierarchy::new(dvr_sim::HierarchyConfig::default());
+                let mut hier = dvr_sim::MemoryHierarchy::new(dvr_sim::HierarchyConfig::default());
                 let mut mem = wl.mem.clone();
                 core.run(&wl.prog, &mut mem, &mut hier, &mut engine, 20_000);
                 black_box(core.stats().ipc())
@@ -86,5 +102,11 @@ fn ablation_benches(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, experiment_benches, technique_benches, ablation_benches);
+criterion_group!(
+    benches,
+    experiment_benches,
+    parallel_engine_benches,
+    technique_benches,
+    ablation_benches
+);
 criterion_main!(benches);

@@ -3,50 +3,87 @@
 //! for the baseline, VR, and DVR on two representative benchmarks.
 //! Used while calibrating the model (see EXPERIMENTS.md); kept as a
 //! debugging aid.
+//!
+//! `--threads N` fans the technique×benchmark runs over worker threads
+//! (0 = all cores); the report is printed in the same fixed order either
+//! way.
+
+use dvr_sim::{parallel_map, simulate, PrefetchSource, SimConfig, Technique};
+use workloads::{Benchmark, SizeClass};
 
 fn main() {
-    use dvr_sim::{simulate, PrefetchSource, SimConfig, Technique};
-    use workloads::{Benchmark, SizeClass};
-
-    for t in [Technique::Baseline, Technique::Vr, Technique::Dvr] {
-        for (b, n) in [(Benchmark::Hj8, 300_000u64), (Benchmark::Camel, 300_000)] {
-            let wl = b.build(None, SizeClass::Paper, 42);
-            let r = simulate(&wl, &SimConfig::new(t).with_max_instructions(n));
-            let h = r.mem.demand_hits;
-            let total: u64 = h.iter().sum::<u64>() + r.mem.demand_inflight;
-            println!(
-                "{:10} {:8} ipc={:.3} cyc={} L1={:.2} L2={:.2} L3={:.2} Mem={:.2} InFl={:.2} \
-                 dram(dem={} ra={}) commit_blocked={} stall_frac={:.2}",
-                wl.name,
-                t.name(),
-                r.ipc,
-                r.core.cycles,
-                h[0] as f64 / total as f64,
-                h[1] as f64 / total as f64,
-                h[2] as f64 / total as f64,
-                h[3] as f64 / total as f64,
-                r.mem.demand_inflight as f64 / total as f64,
-                r.mem.dram_demand,
-                r.mem.dram_runahead(),
-                r.core.commit_blocked_engine_cycles,
-                r.core.rob_full_stall_fraction(),
-            );
-            println!(
-                "           avg_demand_lat={:.1} mlp={:.2} loads={} mispred_mpki={:.1}",
-                r.mem.avg_demand_latency(),
-                r.mlp,
-                r.mem.demand_loads,
-                r.core.mpki()
-            );
-            let src = if t == Technique::Vr { PrefetchSource::Vr } else { PrefetchSource::Dvr };
-            if let Some(tl) = r.mem.timeliness(src) {
-                println!(
-                    "           prefetch: issued={} acc={:.2} timeliness L1={:.2} L2={:.2} L3={:.2} off={:.2}",
-                    r.mem.prefetch_issued[src.index()],
-                    r.mem.accuracy(src).unwrap_or(0.0),
-                    tl[0], tl[1], tl[2], tl[3]
-                );
+    let mut threads: usize = 1;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                threads = args.next().and_then(|v| v.parse().ok()).expect("numeric --threads");
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
             }
         }
+    }
+
+    let benches = [(Benchmark::Hj8, 300_000u64), (Benchmark::Camel, 300_000)];
+    let workloads: Vec<_> =
+        benches.iter().map(|&(b, _)| b.build(None, SizeClass::Paper, 42)).collect();
+
+    // One cell per (technique, benchmark), in print order.
+    let cells: Vec<(Technique, usize)> = [Technique::Baseline, Technique::Vr, Technique::Dvr]
+        .into_iter()
+        .flat_map(|t| (0..benches.len()).map(move |k| (t, k)))
+        .collect();
+    let reports = parallel_map(cells.len(), threads, |i| {
+        let (t, k) = cells[i];
+        simulate(&workloads[k], &SimConfig::new(t).with_max_instructions(benches[k].1))
+    });
+
+    for ((t, k), r) in cells.into_iter().zip(reports) {
+        let wl = &workloads[k];
+        let h = r.mem.demand_hits;
+        let total: u64 = h.iter().sum::<u64>() + r.mem.demand_inflight;
+        println!(
+            "{:10} {:8} ipc={:.3} cyc={} L1={:.2} L2={:.2} L3={:.2} Mem={:.2} InFl={:.2} \
+             dram(dem={} ra={}) commit_blocked={} stall_frac={:.2}",
+            wl.name,
+            t.name(),
+            r.ipc,
+            r.core.cycles,
+            h[0] as f64 / total as f64,
+            h[1] as f64 / total as f64,
+            h[2] as f64 / total as f64,
+            h[3] as f64 / total as f64,
+            r.mem.demand_inflight as f64 / total as f64,
+            r.mem.dram_demand,
+            r.mem.dram_runahead(),
+            r.core.commit_blocked_engine_cycles,
+            r.core.rob_full_stall_fraction(),
+        );
+        println!(
+            "           avg_demand_lat={:.1} mlp={:.2} loads={} mispred_mpki={:.1}",
+            r.mem.avg_demand_latency(),
+            r.mlp,
+            r.mem.demand_loads,
+            r.core.mpki()
+        );
+        let src = if t == Technique::Vr { PrefetchSource::Vr } else { PrefetchSource::Dvr };
+        if let Some(tl) = r.mem.timeliness(src) {
+            println!(
+                "           prefetch: issued={} acc={:.2} timeliness L1={:.2} L2={:.2} L3={:.2} off={:.2}",
+                r.mem.prefetch_issued[src.index()],
+                r.mem.accuracy(src).unwrap_or(0.0),
+                tl[0], tl[1], tl[2], tl[3]
+            );
+        }
+        // Per-cell simulation cost — stderr, like all timing output.
+        eprintln!(
+            "[diag] {} {}: {:.2}M simulated instrs/host-second ({:.2}s)",
+            wl.name,
+            t.name(),
+            r.sim_instrs_per_host_second() / 1e6,
+            r.host_seconds
+        );
     }
 }

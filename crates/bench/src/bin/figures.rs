@@ -8,6 +8,8 @@
 //!   --size test|small|paper   input scale          (default: paper)
 //!   --instrs N                ROI length per run   (default: 500000)
 //!   --seed N                  synthetic-input seed (default: 42)
+//!   --threads N               simulation worker threads; 0 = all cores
+//!                             (default: 1; output is identical either way)
 //!   --svg DIR                 also render each figure as an SVG chart
 //! ```
 
@@ -20,6 +22,7 @@ fn main() {
     let mut size = SizeClass::Paper;
     let mut instrs: u64 = 500_000;
     let mut seed: u64 = 42;
+    let mut threads: usize = 1;
     let mut svg_dir: Option<String> = None;
 
     let mut i = 0;
@@ -45,6 +48,10 @@ fn main() {
                 i += 1;
                 seed = args[i].parse().expect("numeric --seed");
             }
+            "--threads" => {
+                i += 1;
+                threads = args[i].parse().expect("numeric --threads");
+            }
             "--svg" => {
                 i += 1;
                 svg_dir = Some(args[i].clone());
@@ -58,7 +65,7 @@ fn main() {
         i += 1;
     }
 
-    let mut ctx = Ctx::new(size, instrs, seed);
+    let mut ctx = Ctx::new(size, instrs, seed).with_threads(threads);
     let t0 = std::time::Instant::now();
     let result = run_experiment_full(&experiment, &mut ctx);
     print!("{}", result.text);
@@ -70,5 +77,12 @@ fn main() {
             eprintln!("[figures] wrote {path}");
         }
     }
-    eprintln!("[figures] {experiment} done in {:?}", t0.elapsed());
+    // Timing goes to stderr: stdout must stay byte-identical across
+    // --threads settings.
+    eprintln!(
+        "[figures] {experiment} done in {:?} on {} thread(s): {}",
+        t0.elapsed(),
+        dvr_sim::resolve_threads(threads),
+        ctx.throughput_summary()
+    );
 }

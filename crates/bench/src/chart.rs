@@ -12,8 +12,7 @@ use std::fmt::Write as _;
 
 /// Categorical palette, light mode, in its validated fixed order
 /// (worst adjacent CVD ΔE 24.2 — verified with the palette validator).
-const SERIES_COLORS: [&str; 6] =
-    ["#2a78d6", "#1baf7a", "#eda100", "#008300", "#4a3aa7", "#e34948"];
+const SERIES_COLORS: [&str; 6] = ["#2a78d6", "#1baf7a", "#eda100", "#008300", "#4a3aa7", "#e34948"];
 /// Neutral segment color for "everything else" stack parts (off-chip).
 const NEUTRAL: &str = "#9b9a94";
 const SURFACE: &str = "#fcfcfb";
@@ -155,11 +154,7 @@ impl Chart {
             ChartKind::StackedBars => (0..ncat)
                 .map(|i| self.series.iter().map(|s| s.values[i]).sum::<f64>())
                 .fold(0.0f64, f64::max),
-            _ => self
-                .series
-                .iter()
-                .flat_map(|s| s.values.iter().copied())
-                .fold(0.0f64, f64::max),
+            _ => self.series.iter().flat_map(|s| s.values.iter().copied()).fold(0.0f64, f64::max),
         }
         .max(self.baseline.unwrap_or(0.0));
         let y_max = nice_ceiling(max_v * 1.05);
@@ -463,10 +458,7 @@ mod tests {
             title: "t".into(),
             y_label: "%".into(),
             categories: vec!["a".into()],
-            series: vec![
-                Series::new("L1", vec![0.5]),
-                Series::new("off-chip", vec![0.5]),
-            ],
+            series: vec![Series::new("L1", vec![0.5]), Series::new("off-chip", vec![0.5])],
             kind: ChartKind::StackedBars,
             baseline: None,
             slug: "t".into(),

@@ -12,13 +12,36 @@ pub mod chart;
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use chart::{Chart, ChartKind, Series};
-use dvr_sim::{simulate, SimConfig, SimReport, Technique};
+use dvr_sim::{parallel_map, simulate, SimConfig, SimReport, Technique};
 use workloads::{Benchmark, GraphInput, SizeClass, Workload};
 
-/// Shared experiment context: sizing knobs and a workload cache (building a
-/// paper-scale Kronecker graph costs seconds; every figure reuses it).
+/// One experiment cell: a (benchmark, input) pair simulated under one
+/// configuration. Experiments enumerate their cells up front so
+/// [`Ctx::run_batch`] can fan them out over worker threads.
+#[derive(Clone, Copy, Debug)]
+pub struct Cell {
+    /// The benchmark to run.
+    pub benchmark: Benchmark,
+    /// Graph input (GAP benchmarks only).
+    pub input: Option<GraphInput>,
+    /// Full simulation configuration.
+    pub cfg: SimConfig,
+}
+
+impl Cell {
+    /// Creates a cell.
+    pub fn new(benchmark: Benchmark, input: Option<GraphInput>, cfg: SimConfig) -> Self {
+        Cell { benchmark, input, cfg }
+    }
+}
+
+/// Shared experiment context: sizing knobs, the worker-thread count, and a
+/// workload cache (building a paper-scale Kronecker graph costs seconds;
+/// every figure reuses it). Workloads are built once and shared immutably
+/// via [`Arc`] — each simulation clones only the memory image it mutates.
 pub struct Ctx {
     /// Input size class.
     pub size: SizeClass,
@@ -26,33 +49,106 @@ pub struct Ctx {
     pub instrs: u64,
     /// Seed for all synthetic inputs.
     pub seed: u64,
-    cache: HashMap<(Benchmark, Option<GraphInput>), Workload>,
+    /// Worker threads for [`Ctx::run_batch`] (`0` = available
+    /// parallelism). Results are independent of this setting.
+    pub threads: usize,
+    cache: HashMap<(Benchmark, Option<GraphInput>), Arc<Workload>>,
+    runs: u64,
+    sim_committed: u64,
+    sim_seconds: f64,
 }
 
 impl Ctx {
-    /// Creates a context.
+    /// Creates a serial (one-thread) context.
     pub fn new(size: SizeClass, instrs: u64, seed: u64) -> Self {
-        Ctx { size, instrs, seed, cache: HashMap::new() }
+        Ctx {
+            size,
+            instrs,
+            seed,
+            threads: 1,
+            cache: HashMap::new(),
+            runs: 0,
+            sim_committed: 0,
+            sim_seconds: 0.0,
+        }
     }
 
-    /// Builds (or fetches the cached) workload.
-    pub fn workload(&mut self, b: Benchmark, g: Option<GraphInput>) -> &Workload {
+    /// Sets the worker-thread count (`0` = available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Builds (or fetches the cached) workload, shared immutably.
+    pub fn workload(&mut self, b: Benchmark, g: Option<GraphInput>) -> Arc<Workload> {
         let key = (b, if b.is_gap() { g.or(Some(GraphInput::Kr)) } else { None });
         let (size, seed) = (self.size, self.seed);
-        self.cache.entry(key).or_insert_with(|| b.build(key.1, size, seed))
+        Arc::clone(self.cache.entry(key).or_insert_with(|| Arc::new(b.build(key.1, size, seed))))
+    }
+
+    /// The default per-cell configuration for a technique.
+    fn tcfg(&self, t: Technique) -> SimConfig {
+        SimConfig::new(t).with_max_instructions(self.instrs)
     }
 
     /// Runs one (benchmark, input, technique) cell.
     pub fn run(&mut self, b: Benchmark, g: Option<GraphInput>, t: Technique) -> SimReport {
-        let cfg = SimConfig::new(t).with_max_instructions(self.instrs);
-        let wl = self.workload(b, g).clone();
-        simulate(&wl, &cfg)
+        let cfg = self.tcfg(t);
+        self.run_cfg(b, g, &cfg)
     }
 
     /// Runs with an explicit config (ROB sweeps, ablations).
     pub fn run_cfg(&mut self, b: Benchmark, g: Option<GraphInput>, cfg: &SimConfig) -> SimReport {
-        let wl = self.workload(b, g).clone();
-        simulate(&wl, cfg)
+        let wl = self.workload(b, g);
+        let r = simulate(&wl, cfg);
+        self.account(std::slice::from_ref(&r));
+        r
+    }
+
+    /// Runs a batch of cells on up to [`Ctx::threads`] worker threads and
+    /// returns the reports **in cell order**.
+    ///
+    /// Distinct workloads are built once, serially, before the fan-out;
+    /// the workers then share them immutably. Simulation is deterministic,
+    /// so the returned reports — and any text rendered from them — are
+    /// byte-identical for every thread count.
+    pub fn run_batch(&mut self, cells: &[Cell]) -> Vec<SimReport> {
+        let jobs: Vec<Arc<Workload>> =
+            cells.iter().map(|c| self.workload(c.benchmark, c.input)).collect();
+        let reports =
+            parallel_map(cells.len(), self.threads, |i| simulate(&jobs[i], &cells[i].cfg));
+        self.account(&reports);
+        reports
+    }
+
+    fn account(&mut self, reports: &[SimReport]) {
+        for r in reports {
+            self.runs += 1;
+            self.sim_committed += r.core.committed;
+            self.sim_seconds += r.host_seconds;
+        }
+    }
+
+    /// Aggregate simulation cost over every run through this context:
+    /// `(runs, committed instructions, seconds inside simulate())`.
+    /// Seconds are summed per-run host time (CPU time when batches run on
+    /// several threads, wall time when serial).
+    pub fn throughput_totals(&self) -> (u64, u64, f64) {
+        (self.runs, self.sim_committed, self.sim_seconds)
+    }
+
+    /// One-line aggregate throughput summary (for stderr diagnostics —
+    /// never part of experiment text, which must stay deterministic).
+    pub fn throughput_summary(&self) -> String {
+        let (runs, instrs, secs) = self.throughput_totals();
+        let ips = if secs > 0.0 { instrs as f64 / secs / 1e6 } else { 0.0 };
+        format!(
+            "{} runs, {:.1}M instrs simulated in {:.2}s simulate() time ({:.2}M instr/s)",
+            runs,
+            instrs as f64 / 1e6,
+            secs,
+            ips
+        )
     }
 }
 
@@ -109,9 +205,8 @@ pub fn combo_name(b: Benchmark, g: Option<GraphInput>) -> String {
 }
 
 /// All experiment names, in paper order.
-pub const EXPERIMENTS: [&str; 10] = [
-    "table1", "table2", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation",
-];
+pub const EXPERIMENTS: [&str; 10] =
+    ["table1", "table2", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation"];
 
 /// Runs a named experiment, returning its printable report (text only).
 pub fn run_experiment(name: &str, ctx: &mut Ctx) -> String {
@@ -205,11 +300,17 @@ pub fn table2(ctx: &mut Ctx) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "== Table 2: graph inputs (scaled surrogates) ==");
     let _ = writeln!(s, "{:6} {:>10} {:>12} {:>10}", "Input", "Nodes", "Edges", "LLC MPKI");
+    let cells: Vec<Cell> = GraphInput::ALL
+        .into_iter()
+        .flat_map(|g| Benchmark::GAP.into_iter().map(move |b| (b, g)))
+        .map(|(b, g)| Cell::new(b, Some(g), ctx.tcfg(Technique::Baseline)))
+        .collect();
+    let mut rep = ctx.run_batch(&cells).into_iter();
     for g in GraphInput::ALL {
         let graph = g.generate(ctx.size.graph_scale_shift(), ctx.seed);
         let (mut misses, mut instrs) = (0u64, 0u64);
-        for b in Benchmark::GAP {
-            let r = ctx.run(b, Some(g), Technique::Baseline);
+        for _ in Benchmark::GAP {
+            let r = rep.next().expect("one report per cell");
             misses += r.mem.dram_demand;
             instrs += r.core.committed;
         }
@@ -225,26 +326,30 @@ const ROB_SWEEP: [usize; 5] = [128, 192, 224, 350, 512];
 /// full-window stall fraction.
 pub fn fig2(ctx: &mut Ctx) -> Experiment {
     let combos = combos_kr();
-    // Baseline at 350 for normalization.
-    let base350: Vec<f64> =
-        combos.iter().map(|&(b, g)| ctx.run(b, g, Technique::Baseline).ipc).collect();
+    // Baseline at 350 for normalization, then the (OoO, VR) pair per ROB
+    // point per combo — all enumerated up front so the batch can fan out.
+    let mut cells: Vec<Cell> =
+        combos.iter().map(|&(b, g)| Cell::new(b, g, ctx.tcfg(Technique::Baseline))).collect();
+    for rob in ROB_SWEEP {
+        for &(b, g) in &combos {
+            cells.push(Cell::new(b, g, ctx.tcfg(Technique::Baseline).with_rob(rob)));
+            cells.push(Cell::new(b, g, ctx.tcfg(Technique::Vr).with_rob(rob)));
+        }
+    }
+    let mut rep = ctx.run_batch(&cells).into_iter();
+    let base350: Vec<f64> = combos.iter().map(|_| rep.next().expect("baseline cell").ipc).collect();
     let mut ooo_pts = Vec::new();
     let mut vr_pts = Vec::new();
     let mut stall_pts = Vec::new();
-    for rob in ROB_SWEEP {
+    for _rob in ROB_SWEEP {
         let mut ooo = Vec::new();
         let mut vr = Vec::new();
         let mut stall = Vec::new();
-        for (k, &(b, g)) in combos.iter().enumerate() {
-            let cfg = SimConfig::new(Technique::Baseline)
-                .with_rob(rob)
-                .with_max_instructions(ctx.instrs);
-            let rb = ctx.run_cfg(b, g, &cfg);
+        for (k, _) in combos.iter().enumerate() {
+            let rb = rep.next().expect("OoO cell");
             ooo.push(rb.ipc / base350[k]);
             stall.push(rb.core.rob_full_stall_fraction());
-            let cfg =
-                SimConfig::new(Technique::Vr).with_rob(rob).with_max_instructions(ctx.instrs);
-            let rv = ctx.run_cfg(b, g, &cfg);
+            let rv = rep.next().expect("VR cell");
             vr.push(rv.ipc / base350[k]);
         }
         ooo_pts.push(hmean(&ooo));
@@ -290,15 +395,23 @@ pub fn fig2(ctx: &mut Ctx) -> Experiment {
 /// benchmark-input combination.
 pub fn fig7(ctx: &mut Ctx) -> Experiment {
     let combos = fig7_combos();
+    let mut cells = Vec::new();
+    for &(b, g) in &combos {
+        cells.push(Cell::new(b, g, ctx.tcfg(Technique::Baseline)));
+        for &t in &Technique::FIG7 {
+            cells.push(Cell::new(b, g, ctx.tcfg(t)));
+        }
+    }
+    let mut rep = ctx.run_batch(&cells).into_iter();
     let mut cats = Vec::new();
     let mut base_ipcs = Vec::new();
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); Technique::FIG7.len()];
     for &(b, g) in &combos {
-        let base = ctx.run(b, g, Technique::Baseline);
+        let base = rep.next().expect("baseline cell");
         cats.push(combo_name(b, g));
         base_ipcs.push(base.ipc);
-        for (i, t) in Technique::FIG7.iter().enumerate() {
-            cols[i].push(ctx.run(b, g, *t).speedup_over(&base));
+        for (i, _) in Technique::FIG7.iter().enumerate() {
+            cols[i].push(rep.next().expect("technique cell").speedup_over(&base));
         }
     }
 
@@ -341,13 +454,21 @@ pub fn fig7(ctx: &mut Ctx) -> Experiment {
 /// Figure 8: the DVR breakdown (VR → Offload → +Discovery → +Nested).
 pub fn fig8(ctx: &mut Ctx) -> Experiment {
     let combos = combos_kr();
+    let mut cells = Vec::new();
+    for &(b, g) in &combos {
+        cells.push(Cell::new(b, g, ctx.tcfg(Technique::Baseline)));
+        for &t in &Technique::FIG8 {
+            cells.push(Cell::new(b, g, ctx.tcfg(t)));
+        }
+    }
+    let mut rep = ctx.run_batch(&cells).into_iter();
     let mut cats = Vec::new();
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); Technique::FIG8.len()];
     for &(b, g) in &combos {
-        let base = ctx.run(b, g, Technique::Baseline);
+        let base = rep.next().expect("baseline cell");
         cats.push(combo_name(b, g));
-        for (i, t) in Technique::FIG8.iter().enumerate() {
-            cols[i].push(ctx.run(b, g, *t).speedup_over(&base));
+        for (i, _) in Technique::FIG8.iter().enumerate() {
+            cols[i].push(rep.next().expect("technique cell").speedup_over(&base));
         }
     }
 
@@ -380,11 +501,7 @@ pub fn fig8(ctx: &mut Ctx) -> Experiment {
         title: "Figure 8: DVR breakdown (speedup over OoO)".into(),
         y_label: "speedup (x)".into(),
         categories: cats,
-        series: names
-            .iter()
-            .zip(&cols)
-            .map(|(n, col)| Series::new(*n, col.clone()))
-            .collect(),
+        series: names.iter().zip(&cols).map(|(n, col)| Series::new(*n, col.clone())).collect(),
         kind: ChartKind::GroupedBars,
         baseline: Some(1.0),
         slug: "fig08_breakdown".into(),
@@ -396,12 +513,15 @@ pub fn fig8(ctx: &mut Ctx) -> Experiment {
 pub fn fig9(ctx: &mut Ctx) -> Experiment {
     let combos = combos_kr();
     let techs = [Technique::Baseline, Technique::Vr, Technique::Dvr];
+    let cells: Vec<Cell> =
+        combos.iter().flat_map(|&(b, g)| techs.map(|t| Cell::new(b, g, ctx.tcfg(t)))).collect();
+    let mut rep = ctx.run_batch(&cells).into_iter();
     let mut cats = Vec::new();
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); techs.len()];
     for &(b, g) in &combos {
         cats.push(combo_name(b, g));
-        for (i, t) in techs.iter().enumerate() {
-            cols[i].push(ctx.run(b, g, *t).mlp);
+        for (i, _) in techs.iter().enumerate() {
+            cols[i].push(rep.next().expect("technique cell").mlp);
         }
     }
 
@@ -449,10 +569,18 @@ pub fn fig10(ctx: &mut Ctx) -> Experiment {
     let mut vr_ra = Vec::new();
     let mut dvr_demand = Vec::new();
     let mut dvr_ra = Vec::new();
+    let cells: Vec<Cell> = combos
+        .iter()
+        .flat_map(|&(b, g)| {
+            [Technique::Baseline, Technique::Vr, Technique::Dvr]
+                .map(|t| Cell::new(b, g, ctx.tcfg(t)))
+        })
+        .collect();
+    let mut rep = ctx.run_batch(&cells).into_iter();
     for &(b, g) in &combos {
-        let base = ctx.run(b, g, Technique::Baseline);
-        let vr = ctx.run(b, g, Technique::Vr);
-        let dvr = ctx.run(b, g, Technique::Dvr);
+        let base = rep.next().expect("baseline cell");
+        let vr = rep.next().expect("VR cell");
+        let dvr = rep.next().expect("DVR cell");
         cats.push(combo_name(b, g));
         let norm = base.mem.dram_reads().max(1) as f64;
         vr_ra.push(vr.mem.dram_runahead() as f64 / norm);
@@ -486,10 +614,7 @@ pub fn fig10(ctx: &mut Ctx) -> Experiment {
         title: format!("Figure 10: {name} DRAM reads (normalized to OoO)"),
         y_label: "DRAM line reads / OoO total".into(),
         categories: cats.clone(),
-        series: vec![
-            Series::new("demand", demand.to_vec()),
-            Series::new("runahead", ra.to_vec()),
-        ],
+        series: vec![Series::new("demand", demand.to_vec()), Series::new("runahead", ra.to_vec())],
         kind: ChartKind::StackedBars,
         baseline: Some(1.0),
         slug: slug.into(),
@@ -509,8 +634,11 @@ pub fn fig11(ctx: &mut Ctx) -> Experiment {
     let combos = combos_kr();
     let mut cats = Vec::new();
     let mut buckets: [Vec<f64>; 4] = Default::default();
+    let cells: Vec<Cell> =
+        combos.iter().map(|&(b, g)| Cell::new(b, g, ctx.tcfg(Technique::Dvr))).collect();
+    let mut rep = ctx.run_batch(&cells).into_iter();
     for &(b, g) in &combos {
-        let r = ctx.run(b, g, Technique::Dvr);
+        let r = rep.next().expect("DVR cell");
         cats.push(combo_name(b, g));
         let t = r.timeliness().unwrap_or([0.0; 4]);
         for (i, bv) in t.iter().enumerate() {
@@ -557,21 +685,24 @@ pub fn fig11(ctx: &mut Ctx) -> Experiment {
 /// Figure 12: DVR performance vs ROB size, normalized to OoO-350.
 pub fn fig12(ctx: &mut Ctx) -> Experiment {
     let combos = combos_kr();
-    let base350: Vec<f64> =
-        combos.iter().map(|&(b, g)| ctx.run(b, g, Technique::Baseline).ipc).collect();
+    let mut cells: Vec<Cell> =
+        combos.iter().map(|&(b, g)| Cell::new(b, g, ctx.tcfg(Technique::Baseline))).collect();
+    for rob in ROB_SWEEP {
+        for &(b, g) in &combos {
+            cells.push(Cell::new(b, g, ctx.tcfg(Technique::Dvr).with_rob(rob)));
+            cells.push(Cell::new(b, g, ctx.tcfg(Technique::Dvr).with_scaled_backend(rob)));
+        }
+    }
+    let mut rep = ctx.run_batch(&cells).into_iter();
+    let base350: Vec<f64> = combos.iter().map(|_| rep.next().expect("baseline cell").ipc).collect();
     let mut dvr_pts = Vec::new();
     let mut scaled_pts = Vec::new();
-    for rob in ROB_SWEEP {
+    for _rob in ROB_SWEEP {
         let mut dvr = Vec::new();
         let mut dvr_scaled = Vec::new();
-        for (k, &(b, g)) in combos.iter().enumerate() {
-            let cfg =
-                SimConfig::new(Technique::Dvr).with_rob(rob).with_max_instructions(ctx.instrs);
-            dvr.push(ctx.run_cfg(b, g, &cfg).ipc / base350[k]);
-            let cfg = SimConfig::new(Technique::Dvr)
-                .with_scaled_backend(rob)
-                .with_max_instructions(ctx.instrs);
-            dvr_scaled.push(ctx.run_cfg(b, g, &cfg).ipc / base350[k]);
+        for (k, _) in combos.iter().enumerate() {
+            dvr.push(rep.next().expect("DVR cell").ipc / base350[k]);
+            dvr_scaled.push(rep.next().expect("scaled cell").ipc / base350[k]);
         }
         dvr_pts.push(hmean(&dvr));
         scaled_pts.push(hmean(&dvr_scaled));
@@ -588,10 +719,7 @@ pub fn fig12(ctx: &mut Ctx) -> Experiment {
         title: "Figure 12: DVR vs ROB size (norm. to OoO-350)".into(),
         y_label: "normalized IPC (h-mean)".into(),
         categories: ROB_SWEEP.iter().map(|r| r.to_string()).collect(),
-        series: vec![
-            Series::new("DVR", dvr_pts),
-            Series::new("DVR scaled-backend", scaled_pts),
-        ],
+        series: vec![Series::new("DVR", dvr_pts), Series::new("DVR scaled-backend", scaled_pts)],
         kind: ChartKind::Lines,
         baseline: Some(1.0),
         slug: "fig12_dvr_rob".into(),
@@ -602,23 +730,45 @@ pub fn fig12(ctx: &mut Ctx) -> Experiment {
 /// Our ablations: MSHR-count and lane-count sensitivity (including the
 /// paper's Section 6.1 "wider 256-element DVR" extension).
 pub fn ablation(ctx: &mut Ctx) -> String {
+    const MSHR_COMBOS: [(Benchmark, Option<GraphInput>); 2] =
+        [(Benchmark::Hj8, None), (Benchmark::Bfs, Some(GraphInput::Kr))];
+    const MSHR_SWEEP: [usize; 3] = [12, 24, 48];
+    const DRAM_COMBOS: [(Benchmark, Option<GraphInput>); 2] =
+        [(Benchmark::Camel, None), (Benchmark::NasCg, None)];
+    const LANE_COMBOS: [(Benchmark, Option<GraphInput>); 3] =
+        [(Benchmark::NasCg, None), (Benchmark::NasIs, None), (Benchmark::Hj8, None)];
+    const LANE_SWEEP: [usize; 4] = [32, 64, 128, 256];
+
+    // All three ablation sections, enumerated in output order.
+    let mut cells = Vec::new();
+    for (b, g) in MSHR_COMBOS {
+        for mshrs in MSHR_SWEEP {
+            cells.push(Cell::new(b, g, ctx.tcfg(Technique::Dvr).with_mshrs(mshrs)));
+        }
+    }
+    for (b, g) in DRAM_COMBOS {
+        for t in [Technique::Baseline, Technique::Dvr] {
+            cells.push(Cell::new(b, g, ctx.tcfg(t)));
+            cells.push(Cell::new(b, g, ctx.tcfg(t).with_banked_dram()));
+        }
+    }
+    for (b, g) in LANE_COMBOS {
+        cells.push(Cell::new(b, g, ctx.tcfg(Technique::Baseline)));
+        cells.push(Cell::new(b, g, ctx.tcfg(Technique::Oracle)));
+        for lanes in LANE_SWEEP {
+            cells.push(Cell::new(b, g, ctx.tcfg(Technique::Dvr).with_dvr_lanes(lanes)));
+        }
+    }
+    let mut rep = ctx.run_batch(&cells).into_iter();
+
     let mut s = String::new();
     let _ = writeln!(s, "== Ablations: MSHR count sensitivity (DVR) ==");
     let _ = writeln!(s, "{:16} {:>8} {:>9} {:>7}", "benchmark", "MSHRs", "DVR-IPC", "MLP");
-    for (b, g) in [(Benchmark::Hj8, None), (Benchmark::Bfs, Some(GraphInput::Kr))] {
-        for mshrs in [12usize, 24, 48] {
-            let cfg = SimConfig::new(Technique::Dvr)
-                .with_mshrs(mshrs)
-                .with_max_instructions(ctx.instrs);
-            let r = ctx.run_cfg(b, g, &cfg);
-            let _ = writeln!(
-                s,
-                "{:16} {:>8} {:>9.3} {:>7.2}",
-                combo_name(b, g),
-                mshrs,
-                r.ipc,
-                r.mlp
-            );
+    for (b, g) in MSHR_COMBOS {
+        for mshrs in MSHR_SWEEP {
+            let r = rep.next().expect("MSHR cell");
+            let _ =
+                writeln!(s, "{:16} {:>8} {:>9.3} {:>7.2}", combo_name(b, g), mshrs, r.ipc, r.mlp);
         }
     }
     // Banked open-page DRAM (our extension): row-buffer locality matters
@@ -629,13 +779,11 @@ pub fn ablation(ctx: &mut Ctx) -> String {
         "{:16} {:>9} {:>9} {:>11} {:>11}",
         "benchmark", "OoO-flat", "OoO-bank", "DVR-flat", "DVR-banked"
     );
-    for (b, g) in [(Benchmark::Camel, None), (Benchmark::NasCg, None)] {
+    for (b, g) in DRAM_COMBOS {
         let mut row = format!("{:16}", combo_name(b, g));
-        for t in [Technique::Baseline, Technique::Dvr] {
-            let flat = ctx.run(b, g, t);
-            let cfg =
-                SimConfig::new(t).with_banked_dram().with_max_instructions(ctx.instrs);
-            let banked = ctx.run_cfg(b, g, &cfg);
+        for _t in [Technique::Baseline, Technique::Dvr] {
+            let flat = rep.next().expect("flat cell");
+            let banked = rep.next().expect("banked cell");
             let _ = write!(row, " {:>9.3} {:>9.3}", flat.ipc, banked.ipc);
         }
         let _ = writeln!(s, "{row}");
@@ -647,18 +795,11 @@ pub fn ablation(ctx: &mut Ctx) -> String {
         "{:16} {:>7} {:>9} {:>9} {:>8}",
         "benchmark", "lanes", "DVR-IPC", "speedup", "Oracle"
     );
-    for (b, g) in [
-        (Benchmark::NasCg, None),
-        (Benchmark::NasIs, None),
-        (Benchmark::Hj8, None),
-    ] {
-        let base = ctx.run(b, g, Technique::Baseline);
-        let oracle = ctx.run(b, g, Technique::Oracle).speedup_over(&base);
-        for lanes in [32usize, 64, 128, 256] {
-            let cfg = SimConfig::new(Technique::Dvr)
-                .with_dvr_lanes(lanes)
-                .with_max_instructions(ctx.instrs);
-            let r = ctx.run_cfg(b, g, &cfg);
+    for (b, g) in LANE_COMBOS {
+        let base = rep.next().expect("baseline cell");
+        let oracle = rep.next().expect("oracle cell").speedup_over(&base);
+        for lanes in LANE_SWEEP {
+            let r = rep.next().expect("lane cell");
             let _ = writeln!(
                 s,
                 "{:16} {:>7} {:>9.3} {:>8.2}x {:>7.2}x",
@@ -711,6 +852,39 @@ mod tests {
             let svg = c.to_svg();
             assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
         }
+    }
+
+    #[test]
+    fn fig8_text_is_identical_across_thread_counts() {
+        let serial = {
+            let mut ctx = Ctx::new(SizeClass::Test, 10_000, 7).with_threads(1);
+            run_experiment_full("fig8", &mut ctx)
+        };
+        let parallel = {
+            let mut ctx = Ctx::new(SizeClass::Test, 10_000, 7).with_threads(4);
+            run_experiment_full("fig8", &mut ctx)
+        };
+        assert_eq!(serial.text, parallel.text, "experiment text must not depend on threads");
+        assert_eq!(
+            serial.charts.iter().map(Chart::to_svg).collect::<Vec<_>>(),
+            parallel.charts.iter().map(Chart::to_svg).collect::<Vec<_>>(),
+            "rendered charts must not depend on threads"
+        );
+    }
+
+    #[test]
+    fn batch_reports_come_back_in_cell_order() {
+        let mut ctx = Ctx::new(SizeClass::Test, 5_000, 7).with_threads(3);
+        let cells: Vec<Cell> = [Technique::Baseline, Technique::Vr, Technique::Dvr]
+            .map(|t| Cell::new(Benchmark::NasIs, None, ctx.tcfg(t)))
+            .to_vec();
+        let reports = ctx.run_batch(&cells);
+        let techs: Vec<Technique> = reports.iter().map(|r| r.technique).collect();
+        assert_eq!(techs, vec![Technique::Baseline, Technique::Vr, Technique::Dvr]);
+        let (runs, instrs, secs) = ctx.throughput_totals();
+        assert_eq!(runs, 3);
+        assert!(instrs > 0 && secs > 0.0);
+        assert!(ctx.throughput_summary().contains("3 runs"));
     }
 
     #[test]

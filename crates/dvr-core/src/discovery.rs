@@ -370,16 +370,8 @@ mod tests {
     /// for (i = 5; i < 500; i++) { v = A[i]; w = B[v]; sum += w; }
     fn loop_program() -> (sim_isa::Program, usize, usize) {
         let mut asm = Asm::new();
-        let (a, b, i, n, v, w, sum, c) = (
-            Reg::R1,
-            Reg::R2,
-            Reg::R3,
-            Reg::R4,
-            Reg::R5,
-            Reg::R6,
-            Reg::R7,
-            Reg::R8,
-        );
+        let (a, b, i, n, v, w, sum, c) =
+            (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7, Reg::R8);
         asm.li(a, 0x10_0000);
         asm.li(b, 0x20_0000);
         asm.li(i, 5);
@@ -409,10 +401,7 @@ mod tests {
         rec.dis
     }
 
-    fn drive_discovery(
-        prog: &sim_isa::Program,
-        stride_pc: usize,
-    ) -> (DiscoveredChain, Discovery) {
+    fn drive_discovery(prog: &sim_isa::Program, stride_pc: usize) -> (DiscoveredChain, Discovery) {
         let dis = record(prog, 200);
         let mut detector = StrideDetector::new(32);
         let mut shadow = ShadowRegs::new();
@@ -467,8 +456,7 @@ mod tests {
     fn short_loop_bound_is_exact() {
         // for (i = 0; i < 12; i++) { v=A[i]; w=B[v]; }
         let mut asm = Asm::new();
-        let (a, b, i, n, v, w, c) =
-            (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7);
+        let (a, b, i, n, v, w, c) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7);
         asm.li(a, 0x10_0000);
         asm.li(b, 0x20_0000);
         asm.li(i, 0);
@@ -514,17 +502,8 @@ mod tests {
     fn branch_between_flr_and_loop_suppresses_flr() {
         // if (w & 1) { x = C[w]; }  between dependent load and loop branch.
         let mut asm = Asm::new();
-        let (a, b, cc, i, n, v, w, f, c) = (
-            Reg::R1,
-            Reg::R2,
-            Reg::R9,
-            Reg::R3,
-            Reg::R4,
-            Reg::R5,
-            Reg::R6,
-            Reg::R10,
-            Reg::R7,
-        );
+        let (a, b, cc, i, n, v, w, f, c) =
+            (Reg::R1, Reg::R2, Reg::R9, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R10, Reg::R7);
         asm.li(a, 0x10_0000);
         asm.li(b, 0x20_0000);
         asm.li(cc, 0x30_0000);

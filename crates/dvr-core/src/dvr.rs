@@ -207,8 +207,9 @@ impl DvrEngine {
             let seeds = stride_seeds_from(regs, trigger_addr, chain.stride, first, count);
             self.covered.insert(
                 chain.stride_pc,
-                trigger_addr
-                    .wrapping_add((chain.stride.wrapping_mul((first + count as u64) as i64)) as u64),
+                trigger_addr.wrapping_add(
+                    (chain.stride.wrapping_mul((first + count as u64) as i64)) as u64,
+                ),
             );
             let out = walk_vectorized(
                 ctx.prog,
@@ -381,8 +382,8 @@ impl DvrEngine {
                     break;
                 }
                 let mut sr = lr;
-                sr[cmp.ind_reg.index()] =
-                    sr[cmp.ind_reg.index()].wrapping_add((cmp.increment.wrapping_mul(k as i64)) as u64);
+                sr[cmp.ind_reg.index()] = sr[cmp.ind_reg.index()]
+                    .wrapping_add((cmp.increment.wrapping_mul(k as i64)) as u64);
                 inner_seeds.push(LaneSeed {
                     regs: sr,
                     stride_addr: addr0.wrapping_add((chain.stride.wrapping_mul(k as i64)) as u64),

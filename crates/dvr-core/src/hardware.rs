@@ -136,14 +136,7 @@ impl fmt::Display for HardwareBudget {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{:24} {:>7} {:>7}  derivation", "structure", "bits", "bytes")?;
         for e in &self.entries {
-            writeln!(
-                f,
-                "{:24} {:>7} {:>7}  {}",
-                e.name,
-                e.bits,
-                e.bits.div_ceil(8),
-                e.derivation
-            )?;
+            writeln!(f, "{:24} {:>7} {:>7}  {}", e.name, e.bits, e.bits.div_ceil(8), e.derivation)?;
         }
         writeln!(f, "{:24} {:>7} {:>7}", "TOTAL", self.total_bits(), self.total_bytes())
     }

@@ -61,9 +61,7 @@ mod vr;
 mod walker;
 
 pub use detector::{DetectorEntry, StrideDetector};
-pub use discovery::{
-    BoundSrc, CmpInfo, DiscoveredChain, Discovery, DiscoveryEvent, ShadowRegs,
-};
+pub use discovery::{BoundSrc, CmpInfo, DiscoveredChain, Discovery, DiscoveryEvent, ShadowRegs};
 pub use dvr::{DvrConfig, DvrEngine, DvrStats};
 pub use hardware::{BudgetEntry, HardwareBudget};
 pub use oracle::{OracleEngine, OracleStats};
@@ -71,6 +69,6 @@ pub use pre::{PreConfig, PreEngine, PreStats};
 pub use vr::{VrConfig, VrEngine, VrStats};
 pub use walker::{
     fixup_address_regs, stride_seeds, stride_seeds_from, walk_scalar_until, walk_vectorized,
-    DivergenceMode,
-    LaneSeed, Termination, WalkOutcome, WalkPolicy, ABSOLUTE_MAX_LANES, MAX_LANES, VECTOR_WIDTH,
+    DivergenceMode, LaneSeed, Termination, WalkOutcome, WalkPolicy, ABSOLUTE_MAX_LANES, MAX_LANES,
+    VECTOR_WIDTH,
 };

@@ -67,7 +67,12 @@ impl Default for VrEngine {
 impl VrEngine {
     /// Creates a VR engine.
     pub fn new(cfg: VrConfig) -> Self {
-        VrEngine { cfg, detector: StrideDetector::new(32), shadow: ShadowRegs::new(), stats: VrStats::default() }
+        VrEngine {
+            cfg,
+            detector: StrideDetector::new(32),
+            shadow: ShadowRegs::new(),
+            stats: VrStats::default(),
+        }
     }
 
     /// Counters accumulated so far.
@@ -100,9 +105,7 @@ impl RunaheadEngine for VrEngine {
             ctx.frontier.pc,
             self.cfg.scan_budget,
             None,
-            |pc, instr, _| {
-                instr.is_load() && detector.lookup(pc).is_some_and(|e| e.is_confident())
-            },
+            |pc, instr, _| instr.is_load() && detector.lookup(pc).is_some_and(|e| e.is_confident()),
         );
         let Some(stride_pc) = found else {
             self.stats.no_stride_found += 1;

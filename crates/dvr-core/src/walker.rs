@@ -267,8 +267,7 @@ pub fn walk_vectorized(
         // independent loads overlap.
         let uops = if tainted { (n.div_ceil(VECTOR_WIDTH)) as u64 } else { 1 };
         let issue_span = uops.div_ceil(policy.issue_rate as u64).max(1);
-        let srcs_ready =
-            instr.srcs().map(|r| reg_ready[r.index()]).max().unwrap_or(issue_cursor);
+        let srcs_ready = instr.srcs().map(|r| reg_ready[r.index()]).max().unwrap_or(issue_cursor);
         let start = issue_cursor.max(srcs_ready);
 
         // Execute per lane.
@@ -288,8 +287,7 @@ pub fn walk_vectorized(
         issue_cursor = start + issue_span;
         out.issue_done = out.issue_done.max(issue_cursor);
         if let Some(dst) = instr.dst() {
-            reg_ready[dst.index()] =
-                if instr.is_load() { load_done } else { start + issue_span };
+            reg_ready[dst.index()] = if instr.is_load() { load_done } else { start + issue_span };
         }
         out.end_cycle = out.end_cycle.max(load_done);
 
@@ -425,17 +423,8 @@ mod tests {
     /// Program: for i { v = A[i]; w = B[v]; C_flag = w&1; if flag { x = D[w] } }
     fn chain_program() -> (Program, usize, usize) {
         let mut asm = Asm::new();
-        let (a, b, d, i, n, v, w, c, f) = (
-            Reg::R1,
-            Reg::R2,
-            Reg::R3,
-            Reg::R4,
-            Reg::R5,
-            Reg::R6,
-            Reg::R7,
-            Reg::R8,
-            Reg::R9,
-        );
+        let (a, b, d, i, n, v, w, c, f) =
+            (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7, Reg::R8, Reg::R9);
         asm.li(a, 0x10_0000);
         asm.li(b, 0x20_0000);
         asm.li(d, 0x30_0000);
@@ -686,11 +675,7 @@ mod tests {
         let mut asm = Asm::new();
         asm.li(Reg::R1, 0x5000);
         let stride_pc = asm.pc();
-        asm.load(
-            Reg::R2,
-            sim_isa::MemAddr::indexed(Reg::R1, Reg::R3, 2),
-            MemWidth::B4,
-        );
+        asm.load(Reg::R2, sim_isa::MemAddr::indexed(Reg::R1, Reg::R3, 2), MemWidth::B4);
         asm.halt();
         let prog = asm.finish().unwrap();
         let mut mem = SparseMemory::new();

@@ -85,16 +85,8 @@ fn ndm_falls_back_without_outer_stride() {
     // A short inner loop (bound 8) whose outer "loop" is irregular
     // (pointer-chased), so NDM's scan finds no outer striding load.
     let mut asm = Asm::new();
-    let (ptr, a, b, i, n, v, w, c) = (
-        Reg::R1,
-        Reg::R2,
-        Reg::R3,
-        Reg::R4,
-        Reg::R5,
-        Reg::R6,
-        Reg::R7,
-        Reg::R8,
-    );
+    let (ptr, a, b, i, n, v, w, c) =
+        (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7, Reg::R8);
     asm.li(ptr, 0x50_0000);
     asm.li(b, 0x80_0000);
     asm.li(n, 8);
@@ -194,8 +186,7 @@ fn tiny_budgets_are_exact() {
 #[test]
 fn wide_lanes_increase_per_episode_coverage() {
     let mut asm = Asm::new();
-    let (a, b, i, n, v, w, c) =
-        (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7);
+    let (a, b, i, n, v, w, c) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7);
     asm.li(a, 0x10_0000);
     asm.li(b, 0x100_0000);
     asm.li(i, 0);

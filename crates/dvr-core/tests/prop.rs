@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use dvr_core::{
-    stride_seeds, stride_seeds_from, walk_vectorized, CmpInfo, BoundSrc, DvrEngine, PreEngine,
-    StrideDetector, Termination, VrEngine, WalkPolicy, DivergenceMode,
+    stride_seeds, stride_seeds_from, walk_vectorized, BoundSrc, CmpInfo, DivergenceMode, DvrEngine,
+    PreEngine, StrideDetector, Termination, VrEngine, WalkPolicy,
 };
 use sim_isa::{Asm, Cpu, Reg, SparseMemory, NUM_REGS};
 use sim_mem::{HierarchyConfig, MemoryHierarchy};

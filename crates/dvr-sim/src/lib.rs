@@ -28,7 +28,7 @@ mod runner;
 
 pub use config::{SimConfig, Technique};
 pub use report::{EngineSummary, SimReport};
-pub use runner::{simulate, simulate_all, simulate_all_parallel};
+pub use runner::{parallel_map, resolve_threads, simulate, simulate_all, simulate_all_parallel};
 
 // Re-export the pieces users need to assemble custom setups.
 pub use dvr_core::{DvrConfig, DvrEngine, OracleEngine, PreEngine, VrEngine};

@@ -35,21 +35,31 @@ pub struct SimReport {
     pub ipc: f64,
     /// Average MSHRs occupied per cycle (the paper's MLP metric, Fig. 9).
     pub mlp: f64,
+    /// Host wall-clock seconds spent inside [`crate::simulate`] for this
+    /// run (simulation cost, not simulated time).
+    pub host_seconds: f64,
     /// Engine activity.
     pub engine: EngineSummary,
 }
 
 impl SimReport {
+    /// Simulator throughput: simulated (committed) instructions per host
+    /// second. `0.0` when the run was too short for the clock to resolve.
+    pub fn sim_instrs_per_host_second(&self) -> f64 {
+        if self.host_seconds > 0.0 {
+            self.core.committed as f64 / self.host_seconds
+        } else {
+            0.0
+        }
+    }
+
     /// Speedup of this run relative to a baseline run of the same workload.
     ///
     /// # Panics
     ///
     /// Panics if the workloads differ (comparing apples to oranges).
     pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
-        assert_eq!(
-            self.workload, baseline.workload,
-            "speedup must compare the same workload"
-        );
+        assert_eq!(self.workload, baseline.workload, "speedup must compare the same workload");
         self.ipc / baseline.ipc
     }
 
@@ -75,9 +85,7 @@ impl SimReport {
             Technique::Pre => PrefetchSource::Pre,
             Technique::Imp => PrefetchSource::Imp,
             Technique::Vr => PrefetchSource::Vr,
-            Technique::Dvr | Technique::DvrOffload | Technique::DvrDiscovery => {
-                PrefetchSource::Dvr
-            }
+            Technique::Dvr | Technique::DvrOffload | Technique::DvrDiscovery => PrefetchSource::Dvr,
             Technique::Baseline | Technique::Oracle => return None,
         };
         self.mem.timeliness(src)
@@ -107,7 +115,8 @@ impl SimReport {
                 "\"dram_runahead\":{},\"dram_writebacks\":{},",
                 "\"runahead_episodes\":{},\"runahead_loads\":{},\"nested_episodes\":{},",
                 "\"timeliness_l1\":{:.4},\"timeliness_l2\":{:.4},\"timeliness_l3\":{:.4},",
-                "\"timeliness_offchip\":{:.4}}}"
+                "\"timeliness_offchip\":{:.4},",
+                "\"host_seconds\":{:.6},\"sim_instrs_per_host_second\":{:.0}}}"
             ),
             escape_json(&self.workload),
             self.technique.name(),
@@ -133,6 +142,8 @@ impl SimReport {
             t[1],
             t[2],
             t[3],
+            self.host_seconds,
+            self.sim_instrs_per_host_second(),
         )
     }
 }
@@ -160,8 +171,18 @@ mod tests {
             mem: MemStats::default(),
             ipc,
             mlp: 0.0,
+            host_seconds: 0.0,
             engine: EngineSummary::default(),
         }
+    }
+
+    #[test]
+    fn throughput_handles_zero_time() {
+        let mut r = report("bfs", 1.0);
+        assert_eq!(r.sim_instrs_per_host_second(), 0.0);
+        r.core.committed = 1_000_000;
+        r.host_seconds = 0.5;
+        assert!((r.sim_instrs_per_host_second() - 2_000_000.0).abs() < 1e-6);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::report::{EngineSummary, SimReport};
 /// built workload can be replayed under every technique (deterministically
 /// identical initial state).
 pub fn simulate(workload: &Workload, cfg: &SimConfig) -> SimReport {
+    let t0 = std::time::Instant::now();
     let mut mem = workload.mem.clone();
     let mut hier = MemoryHierarchy::new(cfg.hierarchy);
     let mut core = OooCore::new(cfg.core);
@@ -55,9 +56,7 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> SimReport {
         }
         Technique::Dvr | Technique::DvrOffload | Technique::DvrDiscovery => {
             let dcfg = match cfg.technique {
-                Technique::DvrOffload => {
-                    DvrConfig { discovery: false, nested: false, ..cfg.dvr }
-                }
+                Technique::DvrOffload => DvrConfig { discovery: false, nested: false, ..cfg.dvr },
                 Technique::DvrDiscovery => DvrConfig { nested: false, ..cfg.dvr },
                 _ => cfg.dvr,
             };
@@ -71,7 +70,9 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> SimReport {
                 detail: format!(
                     "dvr: {} lanes spawned, {} diverged episodes, {} innermost switches, \
                      {} chains without dependent loads",
-                    s.lanes_spawned, s.diverged_episodes, s.innermost_switches,
+                    s.lanes_spawned,
+                    s.diverged_episodes,
+                    s.innermost_switches,
                     s.no_dependent_chain
                 ),
                 ..EngineSummary::default()
@@ -99,6 +100,7 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> SimReport {
         workload: workload.name.clone(),
         ipc: core_stats.ipc(),
         mlp: hier.mshr_busy_integral() as f64 / cycles as f64,
+        host_seconds: t0.elapsed().as_secs_f64(),
         core: core_stats,
         mem: mem_stats,
         engine: engine_summary,
@@ -111,6 +113,67 @@ pub fn simulate_all(workload: &Workload, cfgs: &[SimConfig]) -> Vec<SimReport> {
     cfgs.iter().map(|c| simulate(workload, c)).collect()
 }
 
+/// Resolves a user-facing thread-count knob: `0` means "use the machine's
+/// available parallelism", anything else is taken literally.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Maps `f` over `0..n` on up to `threads` scoped OS threads (`0` = all
+/// available cores) and returns the results **in index order**.
+///
+/// Work is distributed by an atomic work-stealing index, so threads that
+/// draw short items move on to the next one immediately. Each worker
+/// collects `(index, value)` pairs locally — no per-slot locking — and the
+/// results are reassembled after the join. With deterministic `f` the
+/// output is identical for every thread count, including `threads == 1`,
+/// which runs inline without spawning.
+///
+/// # Panics
+///
+/// Panics (propagating the payload) if `f` panics on any worker.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = resolve_threads(threads).min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    });
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, v) in parts.into_iter().flatten() {
+        out[i] = Some(v);
+    }
+    out.into_iter().map(|v| v.expect("every index produced exactly once")).collect()
+}
+
 /// Like [`simulate_all`], but running configurations on OS threads
 /// (simulations are independent and deterministic, so results are identical
 /// to the serial version and returned in input order).
@@ -121,31 +184,7 @@ pub fn simulate_all_parallel(
     cfgs: &[SimConfig],
     threads: usize,
 ) -> Vec<SimReport> {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map(usize::from).unwrap_or(1)
-    } else {
-        threads
-    };
-    if threads <= 1 || cfgs.len() <= 1 {
-        return simulate_all(workload, cfgs);
-    }
-    let mut out: Vec<Option<SimReport>> = vec![None; cfgs.len()];
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<&mut Option<SimReport>>> =
-        out.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(cfgs.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= cfgs.len() {
-                    break;
-                }
-                let r = simulate(workload, &cfgs[i]);
-                **slots[i].lock().expect("slot lock") = Some(r);
-            });
-        }
-    });
-    out.into_iter().map(|r| r.expect("every slot filled")).collect()
+    parallel_map(cfgs.len(), threads, |i| simulate(workload, &cfgs[i]))
 }
 #[cfg(test)]
 mod tests {
@@ -184,6 +223,23 @@ mod tests {
             assert_eq!(s.technique, p.technique);
             assert_eq!(s.mem.dram_reads(), p.mem.dram_reads());
         }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_for_any_thread_count() {
+        for threads in [0, 1, 2, 3, 7, 64] {
+            let v = parallel_map(17, threads, |i| i * i);
+            assert_eq!(v, (0..17).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+        assert!(parallel_map(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn simulation_reports_host_time() {
+        let wl = Benchmark::NasIs.build(None, SizeClass::Test, 1);
+        let r = simulate(&wl, &SimConfig::new(Technique::Baseline).with_max_instructions(30_000));
+        assert!(r.host_seconds > 0.0);
+        assert!(r.sim_instrs_per_host_second() > 0.0);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::fmt;
 
 use crate::instr::{Instr, Program};
 use crate::mem::SparseMemory;
-use crate::reg::{NUM_REGS, Reg};
+use crate::reg::{Reg, NUM_REGS};
 
 /// A memory access performed by one executed instruction.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -130,11 +130,7 @@ impl Cpu {
     /// Returns [`ExecError::PcOutOfRange`] only if the machine is driven
     /// past a malformed program; well-formed programs end with
     /// [`Instr::Halt`], reported as [`StepEvent::Halted`].
-    pub fn step(
-        &mut self,
-        prog: &Program,
-        mem: &mut SparseMemory,
-    ) -> Result<StepEvent, ExecError> {
+    pub fn step(&mut self, prog: &Program, mem: &mut SparseMemory) -> Result<StepEvent, ExecError> {
         if self.halted {
             return Ok(StepEvent::Halted);
         }
@@ -176,13 +172,15 @@ impl Cpu {
                 let v = mem.read(a, width.bytes());
                 self.regs[rd.index()] = v;
                 dst_value = Some(v);
-                memacc = Some(MemAccess { addr: a, width: width.bytes(), is_store: false, value: v });
+                memacc =
+                    Some(MemAccess { addr: a, width: width.bytes(), is_store: false, value: v });
             }
             Instr::Store { rs, addr, width } => {
                 let a = addr.effective(|r| self.regs[r.index()]);
                 let v = self.regs[rs.index()];
                 mem.write(a, width.bytes(), v);
-                memacc = Some(MemAccess { addr: a, width: width.bytes(), is_store: true, value: v });
+                memacc =
+                    Some(MemAccess { addr: a, width: width.bytes(), is_store: true, value: v });
             }
             Instr::Branch { cond, rs, target } => {
                 let taken = cond.taken(self.regs[rs.index()]);
@@ -280,13 +278,8 @@ pub fn exec_lane(
             };
         }
     };
-    let mut eff = LaneEffect {
-        next_pc: pc + 1,
-        halted: false,
-        load: None,
-        store: None,
-        branch_taken: None,
-    };
+    let mut eff =
+        LaneEffect { next_pc: pc + 1, halted: false, load: None, store: None, branch_taken: None };
     match instr {
         Instr::Imm { rd, value } => regs[rd.index()] = value as u64,
         Instr::Alu { op, rd, ra, rb } => {

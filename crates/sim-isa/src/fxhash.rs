@@ -1,0 +1,118 @@
+//! A minimal FxHash-style hasher for hot-path integer-keyed maps.
+//!
+//! The simulator's inner loops key hash maps by page numbers and cache-line
+//! addresses — small integers with entropy in the low bits. `SipHash` (the
+//! `std` default) burns most of its time establishing keyed-hash security
+//! the simulator does not need. This multiplicative hasher (the rustc
+//! `FxHasher` recipe: xor, multiply by a 64-bit constant, rotate) hashes a
+//! `u64` key in a couple of cycles and keeps the low-bit entropy the
+//! `HashMap` bucket index uses.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative word-at-a-time hasher (FxHash recipe). Not DoS-resistant
+/// — only use for keys the simulation itself generates.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// 2^64 / phi, the classic Fibonacci-hashing multiplier.
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+const ROTATE: u32 = 26;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path, only taken for non-integer keys: fold whole words,
+        // then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s (stateless, so hashes are
+/// deterministic across runs and threads — unlike `RandomState`).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`]; drop-in for integer-keyed hot paths.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn deterministic_and_distinguishing() {
+        let b = FxBuildHasher::default();
+        assert_eq!(b.hash_one(42u64), b.hash_one(42u64));
+        assert_ne!(b.hash_one(42u64), b.hash_one(43u64));
+        // Page numbers differing only in high bits must still differ.
+        assert_ne!(b.hash_one(1u64 << 40), b.hash_one(1u64 << 41));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for k in 0..1000u64 {
+            m.insert(k * 4096, k as u32);
+        }
+        for k in 0..1000u64 {
+            assert_eq!(m.get(&(k * 4096)), Some(&(k as u32)));
+        }
+        assert_eq!(m.get(&1), None);
+    }
+
+    #[test]
+    fn byte_stream_matches_tail_handling() {
+        let b = FxBuildHasher::default();
+        // Same prefix, different tails must hash differently.
+        assert_ne!(b.hash_one([1u8; 9]), b.hash_one([1u8; 10]));
+    }
+}

@@ -527,11 +527,7 @@ mod tests {
         let srcs: Vec<_> = ld.srcs().collect();
         assert_eq!(srcs, vec![Reg::R1, Reg::R2]);
 
-        let st = Instr::Store {
-            rs: Reg::R5,
-            addr: MemAddr::base(Reg::R1, 0),
-            width: MemWidth::B4,
-        };
+        let st = Instr::Store { rs: Reg::R5, addr: MemAddr::base(Reg::R1, 0), width: MemWidth::B4 };
         assert_eq!(st.dst(), None);
         let srcs: Vec<_> = st.srcs().collect();
         assert_eq!(srcs, vec![Reg::R1, Reg::R5]);

@@ -55,14 +55,16 @@
 
 mod asm;
 mod exec;
+pub mod fxhash;
 mod instr;
 mod mem;
 mod parse;
 mod reg;
 
 pub use asm::{Asm, AsmError, Label};
-pub use exec::{Cpu, ExecError, LaneEffect, MemAccess, Step, StepEvent, exec_lane};
+pub use exec::{exec_lane, Cpu, ExecError, LaneEffect, MemAccess, Step, StepEvent};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use instr::{AluOp, BranchCond, Instr, MemAddr, MemWidth, Program};
 pub use mem::SparseMemory;
 pub use parse::{parse_program, ParseError};
-pub use reg::{NUM_REGS, Reg};
+pub use reg::{Reg, NUM_REGS};

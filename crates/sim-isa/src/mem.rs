@@ -1,11 +1,18 @@
 //! Byte-addressed sparse memory.
 
-use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::fxhash::FxHashMap;
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u64 = (PAGE_SIZE - 1) as u64;
+
+/// Sentinel for "no page cached" in [`SparseMemory::last`]. Unreachable as
+/// a real entry: it would need page number `u32::MAX` *and* slot
+/// `u32::MAX`, and only pages below `u32::MAX` are ever cached.
+const NO_CACHE: u64 = u64::MAX;
 
 /// A flat 64-bit byte-addressed memory, allocated in 4 KiB pages on first
 /// touch. Unwritten bytes read as zero.
@@ -13,6 +20,14 @@ const PAGE_MASK: u64 = (PAGE_SIZE - 1) as u64;
 /// This is the *functional* memory image shared by the main thread's
 /// executor and the runahead engines; timing is modelled separately in
 /// `sim-mem`.
+///
+/// Pages live in a flat slot vector; a hash map (FxHash — page-number keys
+/// need no SipHash) translates page number → slot, and a one-entry cache
+/// remembers the last translation so the common page-local access streams
+/// skip the map entirely. The cache is an [`AtomicU64`] (packed
+/// `page << 32 | slot`, relaxed ordering) so reads through `&self` can
+/// refresh it while the type stays `Sync` for sharing built workloads
+/// across simulation threads.
 ///
 /// # Example
 ///
@@ -23,33 +38,83 @@ const PAGE_MASK: u64 = (PAGE_SIZE - 1) as u64;
 /// assert_eq!(mem.read_u64(0xdead_0000), 42);
 /// assert_eq!(mem.read_u64(0x1234), 0); // untouched => zero
 /// ```
-#[derive(Clone, Default)]
+#[derive(Default)]
 pub struct SparseMemory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    /// Page payloads, indexed by slot.
+    slots: Vec<Box<[u8; PAGE_SIZE]>>,
+    /// Page number → slot index.
+    map: FxHashMap<u64, u32>,
+    /// Last successful translation, packed `page << 32 | slot`.
+    last: AtomicU64,
+}
+
+impl Clone for SparseMemory {
+    fn clone(&self) -> Self {
+        // Slot indices are position-based, so the cached translation stays
+        // valid in the clone; the atomic itself cannot be derived `Clone`.
+        SparseMemory {
+            slots: self.slots.clone(),
+            map: self.map.clone(),
+            last: AtomicU64::new(self.last.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl SparseMemory {
     /// Creates an empty memory.
     pub fn new() -> Self {
-        SparseMemory::default()
+        SparseMemory {
+            slots: Vec::new(),
+            map: FxHashMap::default(),
+            last: AtomicU64::new(NO_CACHE),
+        }
     }
 
     /// Number of 4 KiB pages currently allocated.
     pub fn page_count(&self) -> usize {
-        self.pages.len()
+        self.slots.len()
     }
 
     /// Resident footprint in bytes (allocated pages × page size).
     pub fn footprint_bytes(&self) -> usize {
-        self.pages.len() * PAGE_SIZE
+        self.slots.len() * PAGE_SIZE
     }
 
+    /// Translates `page` to its slot, consulting the one-entry cache first.
+    #[inline]
+    fn slot_of(&self, page: u64) -> Option<usize> {
+        let packed = self.last.load(Ordering::Relaxed);
+        if packed >> 32 == page && packed != NO_CACHE {
+            return Some((packed & 0xffff_ffff) as usize);
+        }
+        let slot = *self.map.get(&page)?;
+        if page < u32::MAX as u64 {
+            self.last.store(page << 32 | slot as u64, Ordering::Relaxed);
+        }
+        Some(slot as usize)
+    }
+
+    #[inline]
     fn page(&self, addr: u64) -> Option<&[u8; PAGE_SIZE]> {
-        self.pages.get(&(addr >> PAGE_SHIFT)).map(|b| &**b)
+        self.slot_of(addr >> PAGE_SHIFT).map(|s| &*self.slots[s])
     }
 
+    #[inline]
     fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
-        self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+        let page = addr >> PAGE_SHIFT;
+        let slot = match self.slot_of(page) {
+            Some(s) => s,
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(Box::new([0u8; PAGE_SIZE]));
+                self.map.insert(page, s);
+                if page < u32::MAX as u64 {
+                    *self.last.get_mut() = page << 32 | s as u64;
+                }
+                s as usize
+            }
+        };
+        &mut self.slots[slot]
     }
 
     /// Reads one byte.
@@ -77,11 +142,9 @@ impl SparseMemory {
             // Fast path: within one page.
             match self.page(addr) {
                 Some(p) => {
-                    let mut v: u64 = 0;
-                    for k in (0..width as usize).rev() {
-                        v = (v << 8) | p[off + k] as u64;
-                    }
-                    v
+                    let mut buf = [0u8; 8];
+                    buf[..width as usize].copy_from_slice(&p[off..off + width as usize]);
+                    u64::from_le_bytes(buf)
                 }
                 None => 0,
             }
@@ -154,7 +217,7 @@ impl SparseMemory {
 impl fmt::Debug for SparseMemory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SparseMemory")
-            .field("pages", &self.pages.len())
+            .field("pages", &self.slots.len())
             .field("footprint_bytes", &self.footprint_bytes())
             .finish()
     }
@@ -200,6 +263,50 @@ mod tests {
         let addr = (1 << 12) - 3; // straddles the first page boundary
         mem.write_u64(addr, 0x1122_3344_5566_7788);
         assert_eq!(mem.read_u64(addr), 0x1122_3344_5566_7788);
+        assert_eq!(mem.page_count(), 2);
+    }
+
+    #[test]
+    fn straddle_read_of_cached_page_sees_both_pages() {
+        let mut mem = SparseMemory::new();
+        // Populate two adjacent pages, then make page 0 the cached entry.
+        mem.write_u8(0x0ffd, 0xAA);
+        mem.write_u64(0x1000, 0x0807_0605_0403_0201);
+        assert_eq!(mem.read_u8(0x10), 0); // caches page 0
+                                          // An 8-byte read starting 3 bytes before the boundary must combine
+                                          // the cached page with its (uncached) successor byte by byte.
+        assert_eq!(mem.read_u64(0x0ffd), 0x0504_0302_0100_00AA);
+        // And the same straddle via write: overwrite across the boundary
+        // while the *second* page is the cached one.
+        assert_eq!(mem.read_u8(0x1010), 0); // caches page 1
+        mem.write_u64(0x0ffd, 0x1122_3344_5566_7788);
+        assert_eq!(mem.read_u64(0x0ffd), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn clone_is_independent_after_caching() {
+        let mut a = SparseMemory::new();
+        a.write_u64(0x2000, 7);
+        assert_eq!(a.read_u64(0x2000), 7); // warm the one-entry cache
+        let mut b = a.clone();
+        b.write_u64(0x2000, 99); // hits the cached translation in the clone
+        b.write_u64(0x5000, 1); // grows the clone's slot vector
+        assert_eq!(a.read_u64(0x2000), 7, "clone writes must not alias the original");
+        assert_eq!(a.read_u64(0x5000), 0);
+        assert_eq!(b.read_u64(0x2000), 99);
+        a.write_u64(0x2000, 13);
+        assert_eq!(b.read_u64(0x2000), 99, "original writes must not alias the clone");
+    }
+
+    #[test]
+    fn huge_addresses_bypass_the_cache_correctly() {
+        let mut mem = SparseMemory::new();
+        let hi = (u32::MAX as u64) << PAGE_SHIFT; // page number == u32::MAX
+        mem.write_u64(hi, 0xfeed);
+        mem.write_u64(0x3000, 0xbeef);
+        assert_eq!(mem.read_u64(hi), 0xfeed);
+        assert_eq!(mem.read_u64(0x3000), 0xbeef);
+        assert_eq!(mem.read_u64(hi), 0xfeed);
         assert_eq!(mem.page_count(), 2);
     }
 

@@ -118,10 +118,8 @@ fn parse_addr(text: &str, line: usize) -> Result<MemAddr, ParseError> {
             let base = parse_reg(base, line)?;
             if let Some((ix, sh)) = second.split_once("<<") {
                 let index = parse_reg(ix, line)?;
-                let scale: u8 = sh
-                    .trim()
-                    .parse()
-                    .map_err(|_| err(line, format!("bad scale '{sh}'")))?;
+                let scale: u8 =
+                    sh.trim().parse().map_err(|_| err(line, format!("bad scale '{sh}'")))?;
                 Ok(MemAddr::indexed(base, index, scale))
             } else {
                 Ok(MemAddr::base(base, parse_imm(second, line)?))
@@ -330,9 +328,9 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
     for (at, target, line) in fixups {
         let pc = match target {
             Target::Pc(pc) => pc,
-            Target::Label(name) => *labels
-                .get(&name)
-                .ok_or_else(|| err(line, format!("undefined label '{name}'")))?,
+            Target::Label(name) => {
+                *labels.get(&name).ok_or_else(|| err(line, format!("undefined label '{name}'")))?
+            }
         };
         if pc > instrs.len() {
             return Err(err(line, format!("branch target {pc} out of range")));

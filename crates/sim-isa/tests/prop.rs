@@ -160,8 +160,11 @@ fn arb_instr(len: usize) -> impl Strategy<Value = Instr> {
             .prop_map(|(op, rd, ra, rb)| Instr::Alu { op, rd, ra, rb }),
         (op, reg.clone(), reg.clone(), -1000i64..1000)
             .prop_map(|(op, rd, ra, imm)| Instr::AluImm { op, rd, ra, imm }),
-        (reg.clone(), addr.clone(), width.clone())
-            .prop_map(|(rd, addr, width)| Instr::Load { rd, addr, width }),
+        (reg.clone(), addr.clone(), width.clone()).prop_map(|(rd, addr, width)| Instr::Load {
+            rd,
+            addr,
+            width
+        }),
         (reg.clone(), addr, width).prop_map(|(rs, addr, width)| Instr::Store { rs, addr, width }),
         (reg, 0usize..len.max(1)).prop_map(|(rs, target)| Instr::Branch {
             cond: sim_isa::BranchCond::Nez,

@@ -1,7 +1,5 @@
 //! DRAM: fixed minimum latency plus a request-based bandwidth model.
 
-use std::collections::HashMap;
-
 /// DRAM timing parameters.
 ///
 /// The paper's Table 1: 50 ns minimum latency (200 cycles at 4 GHz) and
@@ -66,8 +64,11 @@ impl DramConfig {
 #[derive(Clone, Debug)]
 pub struct Dram {
     cfg: DramConfig,
-    /// Union-find "next maybe-free slot" forest over occupied slot indices.
-    next_free: HashMap<u64, u64>,
+    /// Busy slot indices as sorted, disjoint, non-adjacent `[start, end)`
+    /// intervals. Requests mostly arrive at monotonically increasing
+    /// cycles, so nearly every acquisition extends the last interval —
+    /// a bounds check and an increment, no hashing.
+    busy: Vec<(u64, u64)>,
     /// Open row per bank (open-page mode only).
     open_rows: Vec<Option<u64>>,
     reads: u64,
@@ -80,7 +81,7 @@ impl Dram {
     pub fn new(cfg: DramConfig) -> Self {
         Dram {
             cfg,
-            next_free: HashMap::new(),
+            busy: Vec::new(),
             open_rows: vec![None; cfg.banks],
             reads: 0,
             writes: 0,
@@ -93,19 +94,51 @@ impl Dram {
         self.cfg
     }
 
-    /// Finds the first free slot index at or after `idx` (path-compressed).
+    /// Takes the first free slot index at or after `idx`.
     fn acquire_slot(&mut self, idx: u64) -> u64 {
-        let mut i = idx;
-        let mut chain = Vec::new();
-        while let Some(&n) = self.next_free.get(&i) {
-            chain.push(i);
-            i = n;
+        // Fast path: at or past the busy frontier.
+        match self.busy.last_mut() {
+            None => {
+                self.busy.push((idx, idx + 1));
+                return idx;
+            }
+            Some(last) => {
+                if idx == last.1 {
+                    last.1 += 1;
+                    return idx;
+                }
+                if idx > last.1 {
+                    self.busy.push((idx, idx + 1));
+                    return idx;
+                }
+            }
         }
-        for c in chain {
-            self.next_free.insert(c, i);
+        // General case: find the interval at or before `idx`.
+        let p = self.busy.partition_point(|&(s, _)| s <= idx);
+        if p > 0 && idx < self.busy[p - 1].1 {
+            // Inside a busy interval: take its end slot (free, since
+            // intervals are kept non-adjacent) and extend.
+            let slot = self.busy[p - 1].1;
+            self.busy[p - 1].1 = slot + 1;
+            if p < self.busy.len() && self.busy[p].0 == slot + 1 {
+                self.busy[p - 1].1 = self.busy[p].1;
+                self.busy.remove(p);
+            }
+            return slot;
         }
-        self.next_free.insert(i, i + 1);
-        i
+        // `idx` itself is free; claim it, coalescing with neighbours.
+        let left = p > 0 && self.busy[p - 1].1 == idx;
+        let right = p < self.busy.len() && self.busy[p].0 == idx + 1;
+        match (left, right) {
+            (true, true) => {
+                self.busy[p - 1].1 = self.busy[p].1;
+                self.busy.remove(p);
+            }
+            (true, false) => self.busy[p - 1].1 = idx + 1,
+            (false, true) => self.busy[p].0 = idx,
+            (false, false) => self.busy.insert(p, (idx, idx + 1)),
+        }
+        idx
     }
 
     /// Issues a line read at `cycle`; returns the completion cycle.

@@ -1,12 +1,12 @@
 //! The three-level cache hierarchy with MSHRs and DRAM.
 
-use std::collections::HashMap;
+use sim_isa::FxHashMap;
 
 use crate::cache::{Cache, CacheConfig};
 use crate::dram::{Dram, DramConfig};
+use crate::line_of;
 use crate::mshr::MshrFile;
 use crate::stats::{MemStats, TimelinessBucket};
-use crate::line_of;
 
 /// Which engine generated a prefetch — drives provenance accounting for
 /// Figures 10 and 11.
@@ -167,7 +167,7 @@ pub struct MemoryHierarchy {
     mshr: MshrFile,
     dram: Dram,
     /// Lines brought in by a prefetch and not yet demanded.
-    pending_prefetch: HashMap<u64, PrefetchSource>,
+    pending_prefetch: FxHashMap<u64, PrefetchSource>,
     stats: MemStats,
 }
 
@@ -181,7 +181,7 @@ impl MemoryHierarchy {
             l3: Cache::new(cfg.l3),
             mshr: MshrFile::with_prefetch_cap(cfg.mshrs, cfg.mshr_prefetch_cap.min(cfg.mshrs)),
             dram: Dram::new(cfg.dram),
-            pending_prefetch: HashMap::new(),
+            pending_prefetch: FxHashMap::default(),
             stats: MemStats::default(),
         }
     }

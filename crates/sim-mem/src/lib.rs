@@ -45,13 +45,12 @@ mod stride;
 pub use cache::{Cache, CacheConfig};
 pub use dram::{Dram, DramConfig};
 pub use hierarchy::{
-    Access, AccessClass, HierarchyConfig, HitLevel, MemoryHierarchy, PrefetchResult,
-    PrefetchSource,
+    Access, AccessClass, HierarchyConfig, HitLevel, MemoryHierarchy, PrefetchResult, PrefetchSource,
 };
 pub use imp::{ImpConfig, ImpPrefetcher};
 pub use mshr::MshrFile;
 pub use stats::{MemStats, TimelinessBucket};
-pub use stride::{StrideEntry, StridePrefetcher, StrideUpdate};
+pub use stride::{StrideEntry, StridePrefetcher, StrideUpdate, MAX_DEGREE};
 
 /// Cache-line size in bytes (64 B throughout the hierarchy).
 pub const LINE_BYTES: u64 = 64;

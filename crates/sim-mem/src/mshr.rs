@@ -236,8 +236,8 @@ mod tests {
         let mut m = MshrFile::with_prefetch_cap(4, 1);
         m.commit(0, 500, true); // the one prefetch slot, busy until 500
         m.commit(0, 50, false); // demand, done at 50
-        // A prefetch must wait for the *prefetch* entry to free, not the
-        // demand one.
+                                // A prefetch must wait for the *prefetch* entry to free, not the
+                                // demand one.
         assert_eq!(m.alloc_blocking(10, true), 500);
     }
 

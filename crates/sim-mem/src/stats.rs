@@ -19,8 +19,12 @@ pub enum TimelinessBucket {
 
 impl TimelinessBucket {
     /// All buckets, in Figure 11 order.
-    pub const ALL: [TimelinessBucket; 4] =
-        [TimelinessBucket::L1, TimelinessBucket::L2, TimelinessBucket::L3, TimelinessBucket::OffChip];
+    pub const ALL: [TimelinessBucket; 4] = [
+        TimelinessBucket::L1,
+        TimelinessBucket::L2,
+        TimelinessBucket::L3,
+        TimelinessBucket::OffChip,
+    ];
 
     fn index(self) -> usize {
         match self {

@@ -27,6 +27,10 @@ impl StrideEntry {
     }
 }
 
+/// Maximum prefetch degree the RPT supports (inline buffer bound — this
+/// sits on the per-demand-load hot path, so no heap allocation).
+pub const MAX_DEGREE: usize = 8;
+
 /// Result of training the RPT on one load.
 #[derive(Clone, Debug, Default)]
 pub struct StrideUpdate {
@@ -34,8 +38,15 @@ pub struct StrideUpdate {
     pub confident: bool,
     /// The stride in bytes (meaningful when `confident`).
     pub stride: i64,
+    buf: [u64; MAX_DEGREE],
+    len: u8,
+}
+
+impl StrideUpdate {
     /// Prefetch addresses the prefetcher wants issued.
-    pub prefetches: Vec<u64>,
+    pub fn prefetches(&self) -> &[u64] {
+        &self.buf[..self.len as usize]
+    }
 }
 
 /// A direct-mapped RPT stride prefetcher.
@@ -56,7 +67,7 @@ pub struct StrideUpdate {
 /// let upd = sp.train(7, 0x1018);
 /// assert!(upd.confident);
 /// assert_eq!(upd.stride, 8);
-/// assert_eq!(upd.prefetches, vec![0x1018 + 4 * 8, 0x1018 + 5 * 8]);
+/// assert_eq!(upd.prefetches(), &[0x1018 + 4 * 8, 0x1018 + 5 * 8]);
 /// ```
 #[derive(Clone, Debug)]
 pub struct StridePrefetcher {
@@ -71,9 +82,10 @@ impl StridePrefetcher {
     ///
     /// # Panics
     ///
-    /// Panics if `entries` is zero.
+    /// Panics if `entries` is zero or `degree` exceeds [`MAX_DEGREE`].
     pub fn new(entries: usize, degree: u64, distance: u64) -> Self {
         assert!(entries > 0, "RPT must have at least one entry");
+        assert!(degree as usize <= MAX_DEGREE, "degree {degree} exceeds {MAX_DEGREE}");
         StridePrefetcher { table: vec![None; entries], degree, distance }
     }
 
@@ -114,14 +126,16 @@ impl StridePrefetcher {
                 e.last_addr = addr;
                 let confident = e.is_confident();
                 let stride = e.stride;
-                let mut prefetches = Vec::new();
+                let mut buf = [0u64; MAX_DEGREE];
+                let mut len = 0u8;
                 if confident {
                     for k in 0..self.degree {
                         let delta = stride.wrapping_mul((self.distance + k) as i64);
-                        prefetches.push(addr.wrapping_add(delta as u64));
+                        buf[len as usize] = addr.wrapping_add(delta as u64);
+                        len += 1;
                     }
                 }
-                StrideUpdate { confident, stride, prefetches }
+                StrideUpdate { confident, stride, buf, len }
             }
             _ => {
                 // Allocate (direct-mapped replacement).
@@ -144,7 +158,7 @@ mod tests {
         let u = sp.train(1, 116);
         assert!(u.confident);
         assert_eq!(u.stride, 8);
-        assert_eq!(u.prefetches, vec![124]);
+        assert_eq!(u.prefetches(), &[124]);
     }
 
     #[test]
@@ -155,7 +169,7 @@ mod tests {
         let u = sp.train(1, 984);
         assert!(u.confident);
         assert_eq!(u.stride, -8);
-        assert_eq!(u.prefetches, vec![984 - 16]);
+        assert_eq!(u.prefetches(), &[984 - 16]);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use sim_mem::{
-    Access, AccessClass, Cache, CacheConfig, HierarchyConfig, HitLevel, MemoryHierarchy,
-    StridePrefetcher, line_of,
+    line_of, Access, AccessClass, Cache, CacheConfig, HierarchyConfig, HitLevel, MemoryHierarchy,
+    StridePrefetcher,
 };
 
 proptest! {
@@ -67,7 +67,7 @@ proptest! {
         let mut addr = base;
         for _ in 0..n {
             let upd = sp.train(9, addr);
-            for p in &upd.prefetches {
+            for p in upd.prefetches() {
                 // Prediction must be k strides ahead for some k >= 1.
                 let delta = p.wrapping_sub(addr) as i64;
                 prop_assert_eq!(delta % stride, 0);

@@ -28,7 +28,12 @@ pub struct TageConfig {
 impl Default for TageConfig {
     fn default() -> Self {
         // ~8 KB total: 4K x 2b base (1 KB) + 4 x 1K x ~14b tagged (~7 KB).
-        TageConfig { base_bits: 12, tagged_bits: 10, tag_bits: 9, history_lengths: [4, 16, 64, 130] }
+        TageConfig {
+            base_bits: 12,
+            tagged_bits: 10,
+            tag_bits: 9,
+            history_lengths: [4, 16, 64, 130],
+        }
     }
 }
 

@@ -9,9 +9,11 @@
 
 use std::collections::VecDeque;
 
-use sim_isa::{AluOp, Cpu, Instr, MemAccess, Program, SparseMemory, NUM_REGS};
-use sim_mem::{AccessClass, HitLevel, ImpConfig, ImpPrefetcher, MemoryHierarchy, PrefetchSource,
-    StridePrefetcher};
+use sim_isa::{AluOp, Cpu, FxHashMap, Instr, MemAccess, Program, SparseMemory, NUM_REGS};
+use sim_mem::{
+    AccessClass, HitLevel, ImpConfig, ImpPrefetcher, MemoryHierarchy, PrefetchSource,
+    StridePrefetcher,
+};
 
 use crate::branch::TagePredictor;
 use crate::config::CoreConfig;
@@ -40,6 +42,9 @@ pub struct DynInst {
     pub mispredicted: bool,
     /// Producer sequence numbers for each source operand.
     deps: [Option<u64>; 3],
+    /// Functional-unit class, computed once at fetch (the issue scan reads
+    /// it every cycle).
+    class: FuClass,
     /// Issued to execution.
     issued: bool,
     /// Completion cycle (`u64::MAX` until issued).
@@ -131,7 +136,15 @@ pub struct OooCore {
     seq_next: u64,
     head_seq: u64,
     rob: VecDeque<DynInst>,
-    unissued: VecDeque<u64>,
+    /// Completion calendar aligned with `rob` (same push/pop order):
+    /// `complete_at` once issued, `u64::MAX` before. Dependency checks walk
+    /// this compact table instead of the full [`DynInst`] entries.
+    sched: VecDeque<u64>,
+    /// Issue-queue scan list: `(seq, blocking)` where `blocking` memoizes
+    /// the producer that failed the last wakeup check (`u64::MAX` = none
+    /// known). While that producer is still incomplete the scan skips the
+    /// full dependency walk for this entry.
+    unissued: Vec<(u64, u64)>,
     fetchq: VecDeque<DynInst>,
     rename: [Option<u64>; NUM_REGS],
     /// In-flight stores `(seq, addr, width)` for forwarding, in program order.
@@ -139,6 +152,9 @@ pub struct OooCore {
     /// Post-commit store buffer: recently retired store addresses still
     /// forwardable to younger loads (drained write combining).
     retired_stores: VecDeque<u64>,
+    /// Multiplicity index over `retired_stores` so the forwarding check is
+    /// a hash probe, not a 64-entry scan.
+    retired_index: FxHashMap<u64, u32>,
     loads_in_rob: usize,
     stores_in_rob: usize,
 
@@ -164,11 +180,13 @@ impl OooCore {
             seq_next: 0,
             head_seq: 0,
             rob: VecDeque::with_capacity(cfg.rob_size + 1),
-            unissued: VecDeque::new(),
+            sched: VecDeque::with_capacity(cfg.rob_size + 1),
+            unissued: Vec::with_capacity(cfg.rob_size + 1),
             fetchq: VecDeque::new(),
             rename: [None; NUM_REGS],
             pending_stores: VecDeque::new(),
             retired_stores: VecDeque::new(),
+            retired_index: FxHashMap::default(),
             loads_in_rob: 0,
             stores_in_rob: 0,
             fetch_blocked_on: None,
@@ -265,6 +283,7 @@ impl OooCore {
                 break;
             }
             let di = self.rob.pop_front().expect("head exists");
+            self.sched.pop_front();
             self.head_seq += 1;
             if let Some(dst) = di.instr.dst() {
                 if self.rename[dst.index()] == Some(di.seq) {
@@ -284,8 +303,14 @@ impl OooCore {
                     self.pending_stores.remove(pos);
                 }
                 self.retired_stores.push_back(m.addr);
+                *self.retired_index.entry(m.addr).or_insert(0) += 1;
                 if self.retired_stores.len() > 64 {
-                    self.retired_stores.pop_front();
+                    let old = self.retired_stores.pop_front().expect("len > 64");
+                    let n = self.retired_index.get_mut(&old).expect("indexed");
+                    *n -= 1;
+                    if *n == 0 {
+                        self.retired_index.remove(&old);
+                    }
                 }
             }
             if di.instr.is_cond_branch() {
@@ -313,15 +338,35 @@ impl OooCore {
         let mut ld = self.cfg.load_ports;
         let mut st = self.cfg.store_ports;
 
-        let mut i = 0;
+        // Single compacting pass over the scan list: entries that stay
+        // unissued are written back at `w`, issued ones are dropped. All
+        // skip conditions below are side-effect-free, so the set of
+        // instructions issued each cycle — and therefore every timing
+        // outcome — is identical to checking them in any other order.
+        let len = self.unissued.len();
+        let mut r = 0;
+        let mut w = 0;
         let mut scanned = 0;
-        while i < self.unissued.len() && scanned < self.cfg.iq_size && slots > 0 {
+        while r < len && scanned < self.cfg.iq_size && slots > 0 {
             scanned += 1;
-            let seq = self.unissued[i];
+            let (seq, blocking) = self.unissued[r];
             let idx = (seq - self.head_seq) as usize;
 
+            // Wakeup filter: while the producer that blocked this entry on
+            // the previous scan is still incomplete, the full dependency
+            // walk cannot pass — skip without touching the ROB entry.
+            if blocking != u64::MAX
+                && blocking >= self.head_seq
+                && self.sched[(blocking - self.head_seq) as usize] > self.cycle
+            {
+                self.unissued[w] = (seq, blocking);
+                w += 1;
+                r += 1;
+                continue;
+            }
+
             // Check functional-unit availability for this class.
-            let class = fu_class(&self.rob[idx].instr);
+            let class = self.rob[idx].class;
             let unit = match class {
                 FuClass::Alu => &mut alu,
                 FuClass::Mul => &mut mul,
@@ -330,23 +375,29 @@ impl OooCore {
                 FuClass::Store => &mut st,
             };
             if *unit == 0 {
-                i += 1;
+                self.unissued[w] = (seq, blocking);
+                w += 1;
+                r += 1;
                 continue;
             }
 
-            if !self.deps_ready(idx) {
-                i += 1;
+            if let Some(dep) = self.first_unready_dep(idx) {
+                self.unissued[w] = (seq, dep);
+                w += 1;
+                r += 1;
                 continue;
             }
 
             // Loads: memory-dependence check against older in-flight stores.
             let mut forward = false;
-            if self.rob[idx].is_load() {
+            if class == FuClass::Load {
                 match self.store_dependence(seq, self.rob[idx].mem.expect("load access").addr) {
                     StoreDep::None => {}
                     StoreDep::Forward => forward = true,
                     StoreDep::NotReady => {
-                        i += 1;
+                        self.unissued[w] = (seq, blocking);
+                        w += 1;
+                        r += 1;
                         continue;
                     }
                 }
@@ -355,33 +406,29 @@ impl OooCore {
             // Issue it.
             *unit -= 1;
             slots -= 1;
+            r += 1;
             let cycle = self.cycle;
             let di = &mut self.rob[idx];
             di.issued = true;
             let instr = di.instr;
             let m = di.mem;
             let pcv = di.pc;
-            let complete_at = if instr.is_load() {
+            let complete_at = if class == FuClass::Load {
                 let m = m.expect("load access");
                 self.stats.loads += 1;
                 if forward {
                     self.stats.store_forwards += 1;
                     cycle + 1
                 } else {
-                    let mut ctx = EngineCtx {
-                        cycle,
-                        prog,
-                        frontier: ArchSnapshot::of(&self.cpu),
-                        mem,
-                        hier,
-                    };
+                    let mut ctx =
+                        EngineCtx { cycle, prog, frontier: ArchSnapshot::of(&self.cpu), mem, hier };
                     match engine.override_load(&mut ctx, m.addr) {
                         Some(lat) => cycle + lat,
                         None => {
                             let acc = hier.load(cycle, m.addr, AccessClass::Demand);
                             // Hardware prefetchers train on demand loads.
                             if let Some(sp) = &mut self.stride_pf {
-                                for p in sp.train(pcv, m.addr).prefetches {
+                                for &p in sp.train(pcv, m.addr).prefetches() {
                                     hier.prefetch(cycle, p, PrefetchSource::Stride);
                                 }
                             }
@@ -397,7 +444,7 @@ impl OooCore {
                         }
                     }
                 }
-            } else if instr.is_store() {
+            } else if class == FuClass::Store {
                 self.stats.stores += 1;
                 cycle + 1
             } else {
@@ -405,28 +452,29 @@ impl OooCore {
             };
             let di = &mut self.rob[idx];
             di.complete_at = complete_at;
+            self.sched[idx] = complete_at;
 
             // A resolving mispredicted branch redirects fetch.
             if di.mispredicted && self.fetch_blocked_on == Some(seq) {
                 self.fetch_stall_until = complete_at + self.cfg.frontend_penalty;
                 self.fetch_blocked_on = None;
             }
-
-            self.unissued.remove(i);
+        }
+        if r > w {
+            self.unissued.copy_within(r..len, w);
+            self.unissued.truncate(w + (len - r));
         }
     }
 
-    fn deps_ready(&self, idx: usize) -> bool {
-        let di = &self.rob[idx];
-        for dep in di.deps.iter().flatten() {
-            if *dep >= self.head_seq {
-                let p = &self.rob[(*dep - self.head_seq) as usize];
-                if !p.issued || p.complete_at > self.cycle {
-                    return false;
-                }
+    /// First source operand whose producer has not completed, if any
+    /// (`None` means the instruction is ready to issue).
+    fn first_unready_dep(&self, idx: usize) -> Option<u64> {
+        for dep in self.rob[idx].deps.iter().flatten() {
+            if *dep >= self.head_seq && self.sched[(*dep - self.head_seq) as usize] > self.cycle {
+                return Some(*dep);
             }
         }
-        true
+        None
     }
 
     fn store_dependence(&self, load_seq: u64, addr: u64) -> StoreDep {
@@ -437,15 +485,14 @@ impl OooCore {
             }
             if *saddr == addr {
                 let idx = (*sseq - self.head_seq) as usize;
-                let s = &self.rob[idx];
-                return if s.issued && s.complete_at <= self.cycle {
+                return if self.sched[idx] <= self.cycle {
                     StoreDep::Forward
                 } else {
                     StoreDep::NotReady
                 };
             }
         }
-        if self.retired_stores.contains(&addr) {
+        if self.retired_index.contains_key(&addr) {
             return StoreDep::Forward;
         }
         StoreDep::None
@@ -507,7 +554,8 @@ impl OooCore {
                 engine.on_dispatch(&mut ctx, &di);
             }
 
-            self.unissued.push_back(di.seq);
+            self.unissued.push((di.seq, u64::MAX));
+            self.sched.push_back(u64::MAX);
             self.rob.push_back(di);
             n += 1;
         }
@@ -527,8 +575,7 @@ impl OooCore {
         let Some(head) = self.rob.front() else { return };
         // The classic runahead trigger: a *long-latency* load blocks the
         // head (an L2-hit blip does not send the core into runahead).
-        let head_pending_load =
-            head.is_load() && head.issued && head.complete_at > self.cycle + 30;
+        let head_pending_load = head.is_load() && head.issued && head.complete_at > self.cycle + 30;
         if head_pending_load && self.stall_episode_armed {
             self.stall_episode_armed = false;
             self.stats.full_rob_stall_events += 1;
@@ -576,6 +623,7 @@ impl OooCore {
                         dst_value: step.dst_value,
                         mispredicted: false,
                         deps: [None; 3],
+                        class: fu_class(&step.instr),
                         issued: false,
                         complete_at: u64::MAX,
                     };

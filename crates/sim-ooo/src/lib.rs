@@ -27,8 +27,8 @@ mod loop_pred;
 mod stats;
 
 pub use branch::{TageConfig, TagePredictor};
-pub use loop_pred::LoopPredictor;
 pub use config::CoreConfig;
 pub use core::{DynInst, OooCore};
 pub use engine::{ArchSnapshot, EngineCtx, NullEngine, RunaheadEngine};
+pub use loop_pred::LoopPredictor;
 pub use stats::CoreStats;

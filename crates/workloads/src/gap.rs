@@ -153,17 +153,8 @@ pub fn pr(input: GraphInput, size: SizeClass, seed: u64) -> Workload {
     // r5 v, r6 n, r7 i, r8 e_end, r9 u, r10 sum, r11 ru, r13 c, r15 tmp
     let mut asm = Asm::new();
     let (roffs, redges, rrank, rnew) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4);
-    let (v, n, i, e_end, u, sum, ru, c, tmp) = (
-        Reg::R5,
-        Reg::R6,
-        Reg::R7,
-        Reg::R8,
-        Reg::R9,
-        Reg::R10,
-        Reg::R11,
-        Reg::R13,
-        Reg::R15,
-    );
+    let (v, n, i, e_end, u, sum, ru, c, tmp) =
+        (Reg::R5, Reg::R6, Reg::R7, Reg::R8, Reg::R9, Reg::R10, Reg::R11, Reg::R13, Reg::R15);
     asm.li(roffs, offs as i64);
     asm.li(redges, edges as i64);
     asm.li(rrank, rank as i64);
@@ -225,17 +216,8 @@ pub fn cc(input: GraphInput, size: SizeClass, seed: u64) -> Workload {
     // r10 cv, r11 cu, r13 c, r15 tmp
     let mut asm = Asm::new();
     let (roffs, redges, rcomp) = (Reg::R1, Reg::R2, Reg::R3);
-    let (v, n, i, e_end, u, cv, cu, c, tmp) = (
-        Reg::R5,
-        Reg::R6,
-        Reg::R7,
-        Reg::R8,
-        Reg::R9,
-        Reg::R10,
-        Reg::R11,
-        Reg::R13,
-        Reg::R15,
-    );
+    let (v, n, i, e_end, u, cv, cu, c, tmp) =
+        (Reg::R5, Reg::R6, Reg::R7, Reg::R8, Reg::R9, Reg::R10, Reg::R11, Reg::R13, Reg::R15);
     asm.li(roffs, offs as i64);
     asm.li(redges, edges as i64);
     asm.li(rcomp, comp as i64);
@@ -517,8 +499,11 @@ mod tests {
         let cpu = run_functional(&mut wl, 400_000_000);
         assert!(cpu.is_halted());
         for v in 0..g.n.min(500) {
-            let want: u64 =
-                g.neighbors(v).iter().map(|&u| ranks[u as usize]).fold(0u64, |a, b| a.wrapping_add(b));
+            let want: u64 = g
+                .neighbors(v)
+                .iter()
+                .map(|&u| ranks[u as usize])
+                .fold(0u64, |a, b| a.wrapping_add(b));
             assert_eq!(wl.mem.read_u64(newrank + 8 * v as u64), want, "vertex {v}");
         }
     }

@@ -96,7 +96,8 @@ impl Csr {
                 best = (d, count);
             }
         }
-        let frontier: Vec<u32> = (0..self.n as u32).filter(|&v| depth[v as usize] == best.0).collect();
+        let frontier: Vec<u32> =
+            (0..self.n as u32).filter(|&v| depth[v as usize] == best.0).collect();
         (best.0, frontier)
     }
 }
@@ -263,9 +264,6 @@ mod tests {
         let ur = GraphInput::Ur.generate(8, 1);
         let max_kr = (0..kr.n).map(|v| kr.degree(v)).max().unwrap();
         let max_ur = (0..ur.n).map(|v| ur.degree(v)).max().unwrap();
-        assert!(
-            max_kr > 4 * max_ur,
-            "KR must be far more skewed than UR ({max_kr} vs {max_ur})"
-        );
+        assert!(max_kr > 4 * max_ur, "KR must be far more skewed than UR ({max_kr} vs {max_ur})");
     }
 }

@@ -152,9 +152,7 @@ pub fn hashjoin(levels: usize, size: SizeClass, seed: u64) -> Workload {
         name: format!("HJ{levels}"),
         prog: asm.finish().expect("hashjoin assembles"),
         mem,
-        description: format!(
-            "hash-join probe: {levels} chained bucket-element loads per tuple"
-        ),
+        description: format!("hash-join probe: {levels} chained bucket-element loads per tuple"),
         regions: vec![("keys".into(), keys), ("table".into(), ht), ("out".into(), out)],
     }
 }
@@ -292,8 +290,7 @@ pub fn nas_cg(size: SizeClass, seed: u64) -> Workload {
         name: "NAS-CG".to_string(),
         prog: asm.finish().expect("nas-cg assembles"),
         mem,
-        description: "CSR SpMV: col/val stride streams, x[col] indirect gather per row"
-            .to_string(),
+        description: "CSR SpMV: col/val stride streams, x[col] indirect gather per row".to_string(),
         regions: vec![
             ("offsets".into(), offs),
             ("cols".into(), cols),
@@ -426,7 +423,8 @@ mod tests {
         let before = random_access(SizeClass::Test, 3);
         let t = before.region("T");
         let table = SizeClass::Test.elems(1 << 21);
-        let zeros_before = (0..table).filter(|k| before.mem.read_u64(t + 8 * *k as u64) == 0).count();
+        let zeros_before =
+            (0..table).filter(|k| before.mem.read_u64(t + 8 * *k as u64) == 0).count();
         let wl = runs_to_halt(before);
         let zeros_after = (0..table).filter(|k| wl.mem.read_u64(t + 8 * *k as u64) == 0).count();
         assert_ne!(zeros_before, zeros_after, "table must change");
@@ -445,8 +443,7 @@ mod tests {
     #[test]
     fn kangaroo_has_branches_in_chain() {
         let wl = kangaroo(SizeClass::Test, 5);
-        let branches =
-            wl.prog.instrs().iter().filter(|i| i.is_cond_branch()).count();
+        let branches = wl.prog.instrs().iter().filter(|i| i.is_cond_branch()).count();
         assert!(branches >= 4, "3 hop branches + loop branch, got {branches}");
         runs_to_halt(wl);
     }

@@ -36,7 +36,8 @@ fn main() {
         println!("  covered-window skips     {}", d.covered_skips);
 
         // Compare against the baseline for context.
-        let base = simulate(&wl, &SimConfig::new(Technique::Baseline).with_max_instructions(150_000));
+        let base =
+            simulate(&wl, &SimConfig::new(Technique::Baseline).with_max_instructions(150_000));
         println!("  speedup over OoO         {:.2}x", stats.ipc() / base.ipc);
         println!();
     }

@@ -92,12 +92,6 @@ fn main() {
         Technique::Oracle,
     ] {
         let r = simulate(&wl, &SimConfig::new(t).with_max_instructions(150_000));
-        println!(
-            "{:>10} {:>8.3} {:>8.2}x {:>7.1}",
-            t.name(),
-            r.ipc,
-            r.speedup_over(&base),
-            r.mlp
-        );
+        println!("{:>10} {:>8.3} {:>8.2}x {:>7.1}", t.name(), r.ipc, r.speedup_over(&base), r.mlp);
     }
 }

@@ -118,7 +118,8 @@ fn gap_benchmarks_accept_every_input() {
     for b in Benchmark::GAP {
         for g in GraphInput::ALL {
             let wl = b.build(Some(g), SizeClass::Test, 2);
-            let r = simulate(&wl, &SimConfig::new(Technique::Baseline).with_max_instructions(5_000));
+            let r =
+                simulate(&wl, &SimConfig::new(Technique::Baseline).with_max_instructions(5_000));
             assert!(r.core.committed > 0, "{} on {}", b.name(), g.name());
         }
     }

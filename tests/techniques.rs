@@ -47,10 +47,7 @@ fn dvr_is_more_accurate_than_vr() {
     let vr_acc = vr.mem.accuracy(dvr_sim::PrefetchSource::Vr);
     let dvr_acc = dvr.mem.accuracy(dvr_sim::PrefetchSource::Dvr);
     if let (Some(v), Some(d)) = (vr_acc, dvr_acc) {
-        assert!(
-            d >= v - 0.05,
-            "DVR accuracy {d:.2} must not trail VR {v:.2} on short-loop UR"
-        );
+        assert!(d >= v - 0.05, "DVR accuracy {d:.2} must not trail VR {v:.2} on short-loop UR");
     }
 }
 
@@ -66,10 +63,7 @@ fn pre_is_poisoned_beyond_first_indirection() {
     core.run(&wl.prog, &mut mem, &mut hier, &mut pre, 100_000);
     let s = pre.stats();
     assert!(s.episodes > 0, "PRE must trigger on Camel");
-    assert!(
-        s.poisoned_loads > 0,
-        "Camel's second-level loads must be INV-poisoned in PRE"
-    );
+    assert!(s.poisoned_loads > 0, "Camel's second-level loads must be INV-poisoned in PRE");
 }
 
 /// Section 3 observation 2: VR's delayed termination blocks commit; DVR

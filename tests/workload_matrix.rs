@@ -53,12 +53,7 @@ fn dvr_triggers_on_every_indirect_benchmark() {
         let g = b.is_gap().then_some(GraphInput::Kr);
         let wl = b.build(g, SizeClass::Small, 42);
         let r = simulate(&wl, &SimConfig::new(Technique::Dvr).with_max_instructions(60_000));
-        assert!(
-            r.engine.episodes > 0,
-            "DVR never triggered on {} ({:?})",
-            wl.name,
-            r.engine
-        );
+        assert!(r.engine.episodes > 0, "DVR never triggered on {} ({:?})", wl.name, r.engine);
         assert!(r.engine.runahead_loads > 0, "no runahead loads on {}", wl.name);
     }
 }

@@ -1,0 +1,575 @@
+//! Vendored offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach crates.io, so this workspace vendors a
+//! deterministic mini-implementation of the proptest API its test suites
+//! use: the [`proptest!`] macro, [`Strategy`] combinators (`prop_map`,
+//! `prop_flat_map`, tuples, ranges, [`Just`]), `prop::collection::vec`,
+//! `prop::sample::select`, `prop::option::of`, [`prop_oneof!`], and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! - **No shrinking.** A failing case reports its seed and values; rerunning
+//!   is deterministic, so the failure reproduces exactly.
+//! - **Deterministic seeding.** Each test function derives its RNG seed from
+//!   its own name, so runs are reproducible across machines and reorderings.
+//! - `proptest-regressions` files are ignored.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Per-test-case RNG: xoshiro-free SplitMix64 (speed is irrelevant here,
+/// determinism is everything).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// A failed property-test case.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+/// Runner configuration (`cases` is the only knob this stand-in honors).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A value generator. Unlike upstream there is no shrinking: `generate`
+/// produces one value per call.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed alternative strategies ([`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; at least one arm is required.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let k = rng.below(self.arms.len() as u64) as usize;
+        self.arms[k].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for [`Arbitrary`] types; see [`any`].
+#[derive(Clone, Debug, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+ $(,)?))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+/// Combinator namespaces mirroring upstream's `prop::` module tree.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::{Range, RangeInclusive};
+
+        /// Length specification for [`vec`]: an exact size or a range.
+        #[derive(Clone, Debug)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize, // exclusive
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n + 1 }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                SizeRange { lo: r.start, hi: r.end }
+            }
+        }
+
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> Self {
+                SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+            }
+        }
+
+        /// Generates `Vec`s with length drawn from `len` and elements from
+        /// `element`.
+        pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, len: len.into() }
+        }
+
+        /// See [`vec`].
+        #[derive(Clone, Debug)]
+        pub struct VecStrategy<S> {
+            element: S,
+            len: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let span = (self.len.hi - self.len.lo).max(1) as u64;
+                let n = self.len.lo + rng.below(span) as usize;
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+
+        /// Uniformly selects one of the given values.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select needs at least one option");
+            Select { options }
+        }
+
+        /// See [`select`].
+        #[derive(Clone, Debug)]
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.options[rng.below(self.options.len() as u64) as usize].clone()
+            }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use crate::{Strategy, TestRng};
+
+        /// Generates `None` about a quarter of the time, `Some` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        /// See [`of`].
+        #[derive(Clone, Debug)]
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.inner.generate(rng))
+                }
+            }
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Derives a stable RNG seed from a test's name.
+pub fn seed_of(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `cases` deterministic cases of `body`, panicking with diagnostics on
+/// the first failure. Used by the [`proptest!`] macro; not public API.
+pub fn run_cases<F: FnMut(&mut TestRng, u32) -> Result<(), TestCaseError>>(
+    name: &str,
+    cases: u32,
+    mut body: F,
+) {
+    let mut rng = TestRng::seed_from_u64(seed_of(name));
+    for case in 0..cases {
+        if let Err(e) = body(&mut rng, case) {
+            panic!("proptest '{name}' failed at case {case}/{cases}: {e}");
+        }
+    }
+}
+
+/// Asserts a condition inside a property, recording a failure instead of
+/// unwinding.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), __a, __b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), __a, __b
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a == __b {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __a
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among alternative strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(::std::boxed::Box::new($arm) as $crate::BoxedStrategy<_>),+])
+    };
+}
+
+/// Declares deterministic property tests; see the crate docs for the
+/// differences from upstream proptest.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]: splits off one test fn at a
+/// time and hands its argument list to [`__proptest_one!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_one! { ($cfg) [$(#[$meta])*] fn $name () ($($args)*) $body }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Internal argument normalizer: rewrites both `pat in strategy` and the
+/// `name: Type` (= `name in any::<Type>()`) forms into `(pat => strategy)`
+/// pairs, then emits the test function.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_one {
+    // All arguments normalized: emit the function.
+    (($cfg:expr) [$(#[$meta:meta])*] fn $name:ident ($(($p:pat => $s:expr))*) () $body:block) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __strats = ($($s,)*);
+            $crate::run_cases(stringify!($name), __cfg.cases, |__rng, _case| {
+                let ($($p,)*) = $crate::Strategy::generate(&__strats, __rng);
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+    };
+    // `pat in strategy` (last argument, optional trailing comma).
+    (($cfg:expr) [$($meta:tt)*] fn $name:ident ($($done:tt)*) ($p:pat in $s:expr $(,)?) $body:block) => {
+        $crate::__proptest_one! { ($cfg) [$($meta)*] fn $name ($($done)* ($p => $s)) () $body }
+    };
+    // `pat in strategy`, more arguments follow.
+    (($cfg:expr) [$($meta:tt)*] fn $name:ident ($($done:tt)*) ($p:pat in $s:expr, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_one! { ($cfg) [$($meta)*] fn $name ($($done)* ($p => $s)) ($($rest)*) $body }
+    };
+    // `name: Type` (last argument, optional trailing comma).
+    (($cfg:expr) [$($meta:tt)*] fn $name:ident ($($done:tt)*) ($p:ident: $t:ty $(,)?) $body:block) => {
+        $crate::__proptest_one! { ($cfg) [$($meta)*] fn $name ($($done)* ($p => $crate::any::<$t>())) () $body }
+    };
+    // `name: Type`, more arguments follow.
+    (($cfg:expr) [$($meta:tt)*] fn $name:ident ($($done:tt)*) ($p:ident: $t:ty, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_one! { ($cfg) [$($meta)*] fn $name ($($done)* ($p => $crate::any::<$t>())) ($($rest)*) $body }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = (3u64..10).generate(&mut rng);
+            assert!((3..10).contains(&v));
+            let o = prop::sample::select(vec![1, 2, 3]).generate(&mut rng);
+            assert!([1, 2, 3].contains(&o));
+            let xs = prop::collection::vec(0u32..5, 2..6).generate(&mut rng);
+            assert!(xs.len() >= 2 && xs.len() < 6);
+            let m = (0u8..4).prop_map(|x| x * 2).generate(&mut rng);
+            assert!(m % 2 == 0 && m < 8);
+            let u = prop_oneof![Just(1u8), Just(2u8)].generate(&mut rng);
+            assert!(u == 1u8 || u == 2u8);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_roundtrip(a in 0u64..100, b in any::<u64>()) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(a + 1, a + 1);
+            prop_assert_ne!(b, b.wrapping_add(1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_number() {
+        crate::run_cases("x", 4, |_rng, case| {
+            prop_assert!(case < 2, "boom at {case}");
+            Ok(())
+        });
+    }
+}
