@@ -86,7 +86,7 @@ fn ablation_benches(c: &mut Criterion) {
                 let mut core = dvr_sim::OooCore::new(dvr_sim::CoreConfig::default());
                 let mut hier = dvr_sim::MemoryHierarchy::new(dvr_sim::HierarchyConfig::default());
                 let mut mem = wl.mem.clone();
-                core.run(&wl.prog, &mut mem, &mut hier, &mut engine, 20_000);
+                core.run(&wl.prog, &mut mem, &mut hier, &mut engine, 20_000).expect("run failed");
                 black_box(core.stats().ipc())
             })
         });

@@ -6,19 +6,22 @@
 //!
 //! `--threads N` fans the technique×benchmark runs over worker threads
 //! (0 = all cores); the report is printed in the same fixed order either
-//! way.
+//! way. `--keep-going` prints a FAILED line for a crashed or failed run
+//! instead of aborting the probe.
 
-use dvr_sim::{parallel_map, simulate, PrefetchSource, SimConfig, Technique};
+use dvr_sim::{simulate, try_parallel_map, PrefetchSource, SimConfig, Technique};
 use workloads::{Benchmark, SizeClass};
 
 fn main() {
     let mut threads: usize = 1;
+    let mut keep_going = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--threads" => {
                 threads = args.next().and_then(|v| v.parse().ok()).expect("numeric --threads");
             }
+            "--keep-going" => keep_going = true,
             other => {
                 eprintln!("unknown option {other}");
                 std::process::exit(2);
@@ -35,13 +38,32 @@ fn main() {
         .into_iter()
         .flat_map(|t| (0..benches.len()).map(move |k| (t, k)))
         .collect();
-    let reports = parallel_map(cells.len(), threads, |i| {
+    let results = try_parallel_map(cells.len(), threads, |i| {
         let (t, k) = cells[i];
         simulate(&workloads[k], &SimConfig::new(t).with_max_instructions(benches[k].1))
     });
 
-    for ((t, k), r) in cells.into_iter().zip(reports) {
+    for ((t, k), result) in cells.into_iter().zip(results) {
         let wl = &workloads[k];
+        let r = match result {
+            Ok(r) => r,
+            Err(e) => {
+                if !keep_going {
+                    eprintln!("diag: {} {} crashed: {e}", wl.name, t.name());
+                    std::process::exit(1);
+                }
+                println!("{:10} {:8} FAILED: {e}", wl.name, t.name());
+                continue;
+            }
+        };
+        if let Some(e) = r.outcome.error() {
+            if !keep_going {
+                eprintln!("diag: {} {} failed: {e}", wl.name, t.name());
+                std::process::exit(1);
+            }
+            println!("{:10} {:8} FAILED ({}): {e}", wl.name, t.name(), e.kind());
+            continue;
+        }
         let h = r.mem.demand_hits;
         let total: u64 = h.iter().sum::<u64>() + r.mem.demand_inflight;
         println!(

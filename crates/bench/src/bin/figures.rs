@@ -11,7 +11,14 @@
 //!   --threads N               simulation worker threads; 0 = all cores
 //!                             (default: 1; output is identical either way)
 //!   --svg DIR                 also render each figure as an SVG chart
+//!   --keep-going              don't abort on a failed cell: mark it in the
+//!                             output (text section + chart ✕) and continue
+//!   --force-fail LABEL        panic the cell with this combo/technique
+//!                             label (failure-path smoke testing)
 //! ```
+//!
+//! Exit status: 0 on success; without `--keep-going` a failed cell aborts
+//! the process with a diagnostic naming the cell.
 
 use bench::{run_experiment_full, Ctx};
 use workloads::SizeClass;
@@ -24,6 +31,8 @@ fn main() {
     let mut seed: u64 = 42;
     let mut threads: usize = 1;
     let mut svg_dir: Option<String> = None;
+    let mut keep_going = false;
+    let mut force_fail: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -56,6 +65,11 @@ fn main() {
                 i += 1;
                 svg_dir = Some(args[i].clone());
             }
+            "--keep-going" => keep_going = true,
+            "--force-fail" => {
+                i += 1;
+                force_fail = Some(args[i].clone());
+            }
             other if !other.starts_with("--") => experiment = other.to_string(),
             other => {
                 eprintln!("unknown option {other}");
@@ -65,7 +79,10 @@ fn main() {
         i += 1;
     }
 
-    let mut ctx = Ctx::new(size, instrs, seed).with_threads(threads);
+    let mut ctx = Ctx::new(size, instrs, seed).with_threads(threads).with_keep_going(keep_going);
+    if let Some(label) = force_fail {
+        ctx = ctx.with_force_fail(label);
+    }
     let t0 = std::time::Instant::now();
     let result = run_experiment_full(&experiment, &mut ctx);
     print!("{}", result.text);
@@ -85,4 +102,7 @@ fn main() {
         dvr_sim::resolve_threads(threads),
         ctx.throughput_summary()
     );
+    if !ctx.failures().is_empty() {
+        eprintln!("[figures] {} cell(s) failed (marked in the output)", ctx.failures().len());
+    }
 }

@@ -15,6 +15,8 @@ use std::fmt::Write as _;
 const SERIES_COLORS: [&str; 6] = ["#2a78d6", "#1baf7a", "#eda100", "#008300", "#4a3aa7", "#e34948"];
 /// Neutral segment color for "everything else" stack parts (off-chip).
 const NEUTRAL: &str = "#9b9a94";
+/// Marker color for categories whose cells failed (keep-going runs).
+const FAILED_MARK: &str = "#e34948";
 const SURFACE: &str = "#fcfcfb";
 const GRID: &str = "#f0efec";
 const TEXT_PRIMARY: &str = "#0b0b0b";
@@ -66,6 +68,9 @@ pub struct Chart {
     pub baseline: Option<f64>,
     /// File stem used when writing SVGs.
     pub slug: String,
+    /// Category indices whose cells failed in a keep-going run; rendered
+    /// as a red ✕ above the category (values there are placeholders).
+    pub failed: Vec<usize>,
 }
 
 impl Chart {
@@ -100,6 +105,14 @@ impl Chart {
             if s.values.iter().any(|v| !v.is_finite()) {
                 return Err(format!("{}: series '{}' has non-finite values", self.slug, s.name));
             }
+        }
+        if let Some(&i) = self.failed.iter().find(|&&i| i >= self.categories.len()) {
+            return Err(format!(
+                "{}: failed marker {} out of range ({} categories)",
+                self.slug,
+                i,
+                self.categories.len()
+            ));
         }
         Ok(())
     }
@@ -295,6 +308,16 @@ impl Chart {
             }
         }
 
+        // Failed-cell markers (keep-going runs): a red ✕ above the category.
+        for &i in &self.failed {
+            let cx = ml + (i as f64 + 0.5) * group_w;
+            let _ = write!(
+                s,
+                r#"<text x="{cx:.1}" y="{:.1}" font-size="14" font-weight="700" text-anchor="middle" fill="{FAILED_MARK}">&#x2715;</text>"#,
+                mt + 14.0
+            );
+        }
+
         // x labels (rotated when dense).
         let rotate = ncat > 8;
         for (i, c) in self.categories.iter().enumerate() {
@@ -410,6 +433,7 @@ mod tests {
             kind,
             baseline: Some(1.0),
             slug: "sample".into(),
+            failed: vec![],
         }
     }
 
@@ -462,9 +486,22 @@ mod tests {
             kind: ChartKind::StackedBars,
             baseline: None,
             slug: "t".into(),
+            failed: vec![],
         };
         let svg = c.to_svg();
         assert!(svg.contains(NEUTRAL));
+    }
+
+    #[test]
+    fn failed_markers_render_and_validate() {
+        let mut c = sample(ChartKind::GroupedBars);
+        c.failed = vec![1];
+        c.validate().expect("in-range marker is fine");
+        let svg = c.to_svg();
+        assert!(svg.contains(FAILED_MARK), "marker color present");
+        assert!(svg.contains("&#x2715;"), "cross glyph present");
+        c.failed = vec![3];
+        assert!(c.validate().is_err(), "marker past the last category must fail");
     }
 
     #[test]

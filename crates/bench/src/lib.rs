@@ -15,7 +15,10 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use chart::{Chart, ChartKind, Series};
-use dvr_sim::{parallel_map, simulate, SimConfig, SimReport, Technique};
+use dvr_sim::{
+    simulate, try_parallel_map, CoreStats, EngineSummary, MemStats, RunOutcome, SimConfig,
+    SimError, SimReport, Technique,
+};
 use workloads::{Benchmark, GraphInput, SizeClass, Workload};
 
 /// One experiment cell: a (benchmark, input) pair simulated under one
@@ -36,6 +39,21 @@ impl Cell {
     pub fn new(benchmark: Benchmark, input: Option<GraphInput>, cfg: SimConfig) -> Self {
         Cell { benchmark, input, cfg }
     }
+
+    /// Diagnostic label: `combo/technique` (e.g. `bfs_KR/DVR`).
+    pub fn label(&self) -> String {
+        format!("{}/{}", combo_name(self.benchmark, self.input), self.cfg.technique.name())
+    }
+}
+
+/// A cell that failed during a keep-going batch (worker panic or a typed
+/// simulation error such as a watchdog deadlock).
+#[derive(Clone, Debug)]
+pub struct CellFailure {
+    /// The cell's `combo/technique` label.
+    pub label: String,
+    /// What went wrong.
+    pub message: String,
 }
 
 /// Shared experiment context: sizing knobs, the worker-thread count, and a
@@ -52,7 +70,14 @@ pub struct Ctx {
     /// Worker threads for [`Ctx::run_batch`] (`0` = available
     /// parallelism). Results are independent of this setting.
     pub threads: usize,
+    /// When set, failed cells are recorded and replaced by zero-IPC
+    /// placeholder reports instead of aborting the batch.
+    pub keep_going: bool,
+    /// Test/CI hook: a cell whose [`Cell::label`] equals this panics in the
+    /// worker instead of simulating.
+    pub force_fail: Option<String>,
     cache: HashMap<(Benchmark, Option<GraphInput>), Arc<Workload>>,
+    failures: Vec<CellFailure>,
     runs: u64,
     sim_committed: u64,
     sim_seconds: f64,
@@ -66,7 +91,10 @@ impl Ctx {
             instrs,
             seed,
             threads: 1,
+            keep_going: false,
+            force_fail: None,
             cache: HashMap::new(),
+            failures: Vec::new(),
             runs: 0,
             sim_committed: 0,
             sim_seconds: 0.0,
@@ -77,6 +105,24 @@ impl Ctx {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Records failed cells and keeps going instead of aborting the batch.
+    pub fn with_keep_going(mut self, keep_going: bool) -> Self {
+        self.keep_going = keep_going;
+        self
+    }
+
+    /// Forces the cell with the given [`Cell::label`] to panic (CI smoke
+    /// tests for the failure paths).
+    pub fn with_force_fail(mut self, label: impl Into<String>) -> Self {
+        self.force_fail = Some(label.into());
+        self
+    }
+
+    /// Every cell failure recorded so far (keep-going mode only).
+    pub fn failures(&self) -> &[CellFailure] {
+        &self.failures
     }
 
     /// Builds (or fetches the cached) workload, shared immutably.
@@ -112,11 +158,50 @@ impl Ctx {
     /// the workers then share them immutably. Simulation is deterministic,
     /// so the returned reports — and any text rendered from them — are
     /// byte-identical for every thread count.
+    ///
+    /// Each cell is panic-isolated (with one retry). A cell that panics, or
+    /// whose run ends in a typed failure ([`SimReport::outcome`]), either
+    /// aborts the batch with a diagnostic naming the cell (the default), or
+    /// — with [`Ctx::keep_going`] — is recorded in [`Ctx::failures`] and
+    /// replaced by a zero-IPC placeholder so the rest of the figure still
+    /// renders.
+    ///
+    /// # Panics
+    ///
+    /// Without `keep_going`, panics on the first failed cell, naming its
+    /// index and label and carrying the underlying diagnostic (for a
+    /// deadlock, the full watchdog snapshot).
     pub fn run_batch(&mut self, cells: &[Cell]) -> Vec<SimReport> {
         let jobs: Vec<Arc<Workload>> =
             cells.iter().map(|c| self.workload(c.benchmark, c.input)).collect();
-        let reports =
-            parallel_map(cells.len(), self.threads, |i| simulate(&jobs[i], &cells[i].cfg));
+        let labels: Vec<String> = cells.iter().map(Cell::label).collect();
+        let force_fail = self.force_fail.clone();
+        let results = try_parallel_map(cells.len(), self.threads, |i| {
+            if force_fail.as_deref() == Some(labels[i].as_str()) {
+                panic!("forced failure requested for cell '{}'", labels[i]);
+            }
+            simulate(&jobs[i], &cells[i].cfg)
+        });
+        let mut reports = Vec::with_capacity(cells.len());
+        for (i, result) in results.into_iter().enumerate() {
+            let report = match result {
+                Ok(r) => r,
+                Err(e) => {
+                    if !self.keep_going {
+                        panic!("cell {i} ({}) failed: {e}", labels[i]);
+                    }
+                    failed_report(&cells[i], &jobs[i].name, SimError::Panic { message: e.message })
+                }
+            };
+            if let Some(err) = report.outcome.error() {
+                if !self.keep_going {
+                    panic!("cell {i} ({}) failed: {err}", labels[i]);
+                }
+                self.failures
+                    .push(CellFailure { label: labels[i].clone(), message: err.to_string() });
+            }
+            reports.push(report);
+        }
         self.account(&reports);
         reports
     }
@@ -149,6 +234,32 @@ impl Ctx {
             secs,
             ips
         )
+    }
+}
+
+/// A zero-IPC placeholder standing in for a cell that produced no report
+/// (worker panic). Downstream math must survive it: `speedup_over` and the
+/// figure normalizers treat a zero-IPC baseline as 0.
+fn failed_report(cell: &Cell, workload_name: &str, err: SimError) -> SimReport {
+    SimReport {
+        technique: cell.cfg.technique,
+        workload: workload_name.to_string(),
+        core: CoreStats::default(),
+        mem: MemStats::default(),
+        ipc: 0.0,
+        mlp: 0.0,
+        host_seconds: 0.0,
+        engine: EngineSummary::default(),
+        outcome: RunOutcome::Failed(err),
+    }
+}
+
+/// Normalizes an IPC against a baseline that may come from a failed cell.
+fn norm(ipc: f64, base: f64) -> f64 {
+    if base <= 0.0 {
+        0.0
+    } else {
+        ipc / base
     }
 }
 
@@ -217,8 +328,22 @@ pub fn run_experiment(name: &str, ctx: &mut Ctx) -> String {
 ///
 /// Valid names: `table1`, `table2`, `fig2`, `fig7`, `fig8`, `fig9`,
 /// `fig10`, `fig11`, `fig12`, `ablation`, `all`.
+///
+/// In keep-going mode, cells that failed during the experiment are listed
+/// in a trailing text section and their categories marked on the charts.
 pub fn run_experiment_full(name: &str, ctx: &mut Ctx) -> Experiment {
-    match name {
+    if name == "all" {
+        let mut out = Experiment::default();
+        for n in EXPERIMENTS {
+            let e = run_experiment_full(n, ctx);
+            out.text.push_str(&e.text);
+            out.text.push('\n');
+            out.charts.extend(e.charts);
+        }
+        return out;
+    }
+    let mark = ctx.failures.len();
+    let mut e = match name {
         "table1" => Experiment::text_only(table1()),
         "table2" => Experiment::text_only(table2(ctx)),
         "fig2" => fig2(ctx),
@@ -229,17 +354,35 @@ pub fn run_experiment_full(name: &str, ctx: &mut Ctx) -> Experiment {
         "fig11" => fig11(ctx),
         "fig12" => fig12(ctx),
         "ablation" => Experiment::text_only(ablation(ctx)),
-        "all" => {
-            let mut out = Experiment::default();
-            for n in EXPERIMENTS {
-                let e = run_experiment_full(n, ctx);
-                out.text.push_str(&e.text);
-                out.text.push('\n');
-                out.charts.extend(e.charts);
-            }
-            out
-        }
         other => Experiment::text_only(format!("unknown experiment '{other}'\n")),
+    };
+    annotate_failures(&mut e, &ctx.failures[mark..]);
+    e
+}
+
+/// Appends a failed-cells section to the experiment text and marks failed
+/// categories (matched by the `combo/` prefix of the failure label) on its
+/// charts.
+fn annotate_failures(e: &mut Experiment, failures: &[CellFailure]) {
+    if failures.is_empty() {
+        return;
+    }
+    let _ = writeln!(e.text, "-- {} FAILED cell(s), shown as 0 above --", failures.len());
+    for f in failures {
+        let _ = writeln!(e.text, "   {}: {}", f.label, f.message);
+    }
+    for chart in &mut e.charts {
+        chart.failed = chart
+            .categories
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                failures.iter().any(|f| {
+                    f.label.strip_prefix(c.as_str()).is_some_and(|rest| rest.starts_with('/'))
+                })
+            })
+            .map(|(i, _)| i)
+            .collect();
     }
 }
 
@@ -347,10 +490,10 @@ pub fn fig2(ctx: &mut Ctx) -> Experiment {
         let mut stall = Vec::new();
         for (k, _) in combos.iter().enumerate() {
             let rb = rep.next().expect("OoO cell");
-            ooo.push(rb.ipc / base350[k]);
+            ooo.push(norm(rb.ipc, base350[k]));
             stall.push(rb.core.rob_full_stall_fraction());
             let rv = rep.next().expect("VR cell");
-            vr.push(rv.ipc / base350[k]);
+            vr.push(norm(rv.ipc, base350[k]));
         }
         ooo_pts.push(hmean(&ooo));
         vr_pts.push(hmean(&vr));
@@ -366,6 +509,7 @@ pub fn fig2(ctx: &mut Ctx) -> Experiment {
         kind: ChartKind::Lines,
         baseline: Some(1.0),
         slug: "fig02_perf".into(),
+        failed: vec![],
     };
     let stall = Chart {
         title: "Figure 2 (right axis): full-window stall fraction".into(),
@@ -375,6 +519,7 @@ pub fn fig2(ctx: &mut Ctx) -> Experiment {
         kind: ChartKind::Lines,
         baseline: None,
         slug: "fig02_stall".into(),
+        failed: vec![],
     };
 
     let mut text = String::new();
@@ -447,6 +592,7 @@ pub fn fig7(ctx: &mut Ctx) -> Experiment {
         kind: ChartKind::GroupedBars,
         baseline: Some(1.0),
         slug: "fig07_performance".into(),
+        failed: vec![],
     };
     Experiment { text, charts: vec![chart] }
 }
@@ -505,6 +651,7 @@ pub fn fig8(ctx: &mut Ctx) -> Experiment {
         kind: ChartKind::GroupedBars,
         baseline: Some(1.0),
         slug: "fig08_breakdown".into(),
+        failed: vec![],
     };
     Experiment { text, charts: vec![chart] }
 }
@@ -554,6 +701,7 @@ pub fn fig9(ctx: &mut Ctx) -> Experiment {
         kind: ChartKind::GroupedBars,
         baseline: None,
         slug: "fig09_mlp".into(),
+        failed: vec![],
     };
     Experiment { text, charts: vec![chart] }
 }
@@ -618,6 +766,7 @@ pub fn fig10(ctx: &mut Ctx) -> Experiment {
         kind: ChartKind::StackedBars,
         baseline: Some(1.0),
         slug: slug.into(),
+        failed: vec![],
     };
     Experiment {
         text,
@@ -678,6 +827,7 @@ pub fn fig11(ctx: &mut Ctx) -> Experiment {
         kind: ChartKind::StackedBars,
         baseline: None,
         slug: "fig11_timeliness".into(),
+        failed: vec![],
     };
     Experiment { text, charts: vec![chart] }
 }
@@ -701,8 +851,8 @@ pub fn fig12(ctx: &mut Ctx) -> Experiment {
         let mut dvr = Vec::new();
         let mut dvr_scaled = Vec::new();
         for (k, _) in combos.iter().enumerate() {
-            dvr.push(rep.next().expect("DVR cell").ipc / base350[k]);
-            dvr_scaled.push(rep.next().expect("scaled cell").ipc / base350[k]);
+            dvr.push(norm(rep.next().expect("DVR cell").ipc, base350[k]));
+            dvr_scaled.push(norm(rep.next().expect("scaled cell").ipc, base350[k]));
         }
         dvr_pts.push(hmean(&dvr));
         scaled_pts.push(hmean(&dvr_scaled));
@@ -723,6 +873,7 @@ pub fn fig12(ctx: &mut Ctx) -> Experiment {
         kind: ChartKind::Lines,
         baseline: Some(1.0),
         slug: "fig12_dvr_rob".into(),
+        failed: vec![],
     };
     Experiment { text, charts: vec![chart] }
 }
@@ -870,6 +1021,64 @@ mod tests {
             parallel.charts.iter().map(Chart::to_svg).collect::<Vec<_>>(),
             "rendered charts must not depend on threads"
         );
+    }
+
+    #[test]
+    fn keep_going_replaces_failed_cells_and_records_them() {
+        let mut ctx = Ctx::new(SizeClass::Test, 5_000, 7)
+            .with_threads(2)
+            .with_keep_going(true)
+            .with_force_fail("NAS-IS/VR");
+        let cells: Vec<Cell> = [Technique::Baseline, Technique::Vr, Technique::Dvr]
+            .map(|t| Cell::new(Benchmark::NasIs, None, ctx.tcfg(t)))
+            .to_vec();
+        let reports = ctx.run_batch(&cells);
+        assert_eq!(reports.len(), 3, "failed cell must still occupy its slot");
+        assert!(reports[0].outcome.is_complete());
+        assert_eq!(reports[1].outcome.kind(), "panic");
+        assert_eq!(reports[1].ipc, 0.0);
+        assert!(reports[2].outcome.is_complete());
+        assert_eq!(ctx.failures().len(), 1);
+        assert_eq!(ctx.failures()[0].label, "NAS-IS/VR");
+        assert!(ctx.failures()[0].message.contains("forced failure"));
+    }
+
+    #[test]
+    #[should_panic(expected = "NAS-IS/VR")]
+    fn fail_fast_batch_names_the_failed_cell() {
+        let mut ctx = Ctx::new(SizeClass::Test, 5_000, 7).with_force_fail("NAS-IS/VR");
+        let cells = vec![Cell::new(Benchmark::NasIs, None, ctx.tcfg(Technique::Vr))];
+        let _ = ctx.run_batch(&cells);
+    }
+
+    #[test]
+    fn keep_going_experiment_marks_failures_in_text_and_chart() {
+        let mut ctx = Ctx::new(SizeClass::Test, 10_000, 7)
+            .with_keep_going(true)
+            .with_force_fail("bfs_KR/DVR");
+        let e = run_experiment_full("fig9", &mut ctx);
+        assert!(e.text.contains("FAILED cell(s)"), "{}", e.text);
+        assert!(e.text.contains("bfs_KR/DVR"), "{}", e.text);
+        let chart = &e.charts[0];
+        assert_eq!(chart.failed.len(), 1, "one category marked: {:?}", chart.failed);
+        assert_eq!(chart.categories[chart.failed[0]], "bfs_KR");
+        chart.validate().expect("chart with failure markers stays consistent");
+        assert!(chart.to_svg().contains("&#x2715;"), "cross marker rendered");
+    }
+
+    #[test]
+    fn keep_going_output_is_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let mut ctx = Ctx::new(SizeClass::Test, 10_000, 7)
+                .with_threads(threads)
+                .with_keep_going(true)
+                .with_force_fail("NAS-IS/VR");
+            run_experiment_full("fig8", &mut ctx)
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert!(serial.text.contains("FAILED cell(s)"));
+        assert_eq!(serial.text, parallel.text, "failure paths must stay deterministic");
     }
 
     #[test]

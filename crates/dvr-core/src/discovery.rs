@@ -397,7 +397,7 @@ mod tests {
         let mut core = OooCore::new(CoreConfig::default());
         let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
         let mut rec = Recorder { dis: vec![] };
-        core.run(prog, &mut mem, &mut hier, &mut rec, max);
+        core.run(prog, &mut mem, &mut hier, &mut rec, max).expect("run failed");
         rec.dis
     }
 

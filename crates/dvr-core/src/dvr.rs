@@ -244,8 +244,11 @@ impl DvrEngine {
         let prog = ctx.prog;
         let mem = ctx.mem;
         let inner_pc = chain.stride_pc;
-        let loop_b = chain.loop_branch_pc.expect("checked by caller");
-        let cmp = chain.cmp.expect("checked by caller");
+        // Callers only hand over bound-known chains, but a malformed chain
+        // must degrade to "no spawn", not bring down a whole sweep.
+        let (Some(loop_b), Some(cmp)) = (chain.loop_branch_pc, chain.cmp) else {
+            return ctx.cycle;
+        };
         let mut t = ctx.cycle;
 
         // --- NDM phase 1: scalar walk with the loop branch forced
@@ -318,7 +321,9 @@ impl DvrEngine {
 
         // --- NDM phase 2: vectorize the outer striding load by 16 and run
         // each outer lane's dependents down to the inner striding load. ---
-        let outer_instr = *prog.fetch(outer_pc).expect("outer pc fetched above");
+        let Some(outer_instr) = prog.fetch(outer_pc).copied() else {
+            return t;
+        };
         let Instr::Load { rd: outer_rd, width: outer_w, .. } = outer_instr else {
             return t;
         };
@@ -437,20 +442,27 @@ impl RunaheadEngine for DvrEngine {
         match &mut self.phase {
             Phase::Idle => {
                 if confident {
-                    let m = di.mem.expect("confident implies load");
-                    let entry = self.detector.lookup(di.pc).expect("just observed");
+                    // A confident trigger always comes from an observed load
+                    // with a destination; if any of that is missing the
+                    // trigger degrades to "no spawn" rather than crashing a
+                    // whole sweep.
+                    let Some(m) = di.mem else { return };
+                    let Some(stride) = self.detector.lookup(di.pc).map(|e| e.stride) else {
+                        return;
+                    };
                     if self.cfg.discovery {
+                        let Some(dst) = di.instr.dst() else { return };
                         self.phase = Phase::Discovering(Box::new(Discovery::begin(
                             di.pc,
-                            entry.stride,
-                            di.instr.dst().expect("loads have destinations"),
+                            stride,
+                            dst,
                             &self.shadow,
                         )));
                     } else {
                         // Offload ablation: vectorize immediately, blindly.
                         let chain = DiscoveredChain {
                             stride_pc: di.pc,
-                            stride: entry.stride,
+                            stride,
                             has_dependent_load: true,
                             flr_pc: None,
                             lanes: self.cfg.max_lanes,
@@ -474,7 +486,9 @@ impl RunaheadEngine for DvrEngine {
                 DiscoveryEvent::Finished(chain) => {
                     self.phase = Phase::Idle;
                     if chain.has_dependent_load {
-                        let m = di.mem.expect("finish fires on the stride load");
+                        // Finish fires on the stride load; without its access
+                        // there is nothing to seed lanes from, so skip.
+                        let Some(m) = di.mem else { return };
                         self.spawn(ctx, m.addr, &chain);
                         // Mark in the detector for diagnostics.
                         self.detector.set_innermost(chain.stride_pc, true);

@@ -43,7 +43,7 @@
 //! let mut engine = DvrEngine::new(DvrConfig::default());
 //! let mut core = OooCore::new(CoreConfig::default());
 //! let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
-//! core.run(&prog, &mut mem, &mut hier, &mut engine, 200_000);
+//! core.run(&prog, &mut mem, &mut hier, &mut engine, 200_000)?;
 //! assert!(engine.stats().episodes > 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```

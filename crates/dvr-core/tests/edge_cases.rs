@@ -15,7 +15,7 @@ fn run<E: RunaheadEngine>(
 ) -> sim_ooo::CoreStats {
     let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
     let mut core = OooCore::new(CoreConfig::default());
-    *core.run(prog, mem, &mut hier, engine, max)
+    *core.run(prog, mem, &mut hier, engine, max).expect("run failed")
 }
 
 /// A descending loop: `for (i = n-1; i != 0; i--) { v=A[i]; w=B[v]; }`.

@@ -17,7 +17,7 @@ fn run_engine<E: RunaheadEngine>(
     let mut mem = wl.mem.clone();
     let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
     let mut core = OooCore::new(CoreConfig::default());
-    let stats = *core.run(&wl.prog, &mut mem, &mut hier, engine, instrs);
+    let stats = *core.run(&wl.prog, &mut mem, &mut hier, engine, instrs).expect("run failed");
     (stats, hier.stats().clone())
 }
 
@@ -160,7 +160,7 @@ fn engines_do_not_break_short_programs() {
         let mut mem = sim_isa::SparseMemory::new();
         let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
         let mut core = OooCore::new(CoreConfig::default());
-        core.run(prog, &mut mem, &mut hier, e, 1000).committed
+        core.run(prog, &mut mem, &mut hier, e, 1000).expect("run failed").committed
     }
     assert_eq!(drive(&prog, &mut DvrEngine::default()), 3);
     assert_eq!(drive(&prog, &mut VrEngine::default()), 3);

@@ -212,7 +212,7 @@ proptest! {
             let mut mem = mem0.clone();
             let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
             let mut core = OooCore::new(CoreConfig::default());
-            let stats = *core.run(&prog, &mut mem, &mut hier, engine, u64::MAX);
+            let stats = *core.run(&prog, &mut mem, &mut hier, engine, u64::MAX).expect("run failed");
             (stats.committed, mem)
         };
 

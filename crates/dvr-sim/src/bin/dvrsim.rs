@@ -9,7 +9,7 @@
 
 use std::process::ExitCode;
 
-use dvr_sim::{simulate, SimConfig, SimReport, Technique};
+use dvr_sim::{simulate, FaultConfig, SimConfig, SimReport, Technique};
 use workloads::{Benchmark, GraphInput, SizeClass, Workload};
 
 struct Options {
@@ -21,6 +21,8 @@ struct Options {
     instrs: u64,
     seed: u64,
     rob: Option<usize>,
+    inject: Option<FaultConfig>,
+    watchdog: Option<u64>,
     verbose: bool,
     json: bool,
 }
@@ -38,9 +40,41 @@ options:
   --instrs N            ROI length                  (default: 200000)
   --seed N              synthetic-input seed        (default: 42)
   --rob N               override ROB size
+  --inject SPEC         deterministic fault injection; SPEC is comma-separated
+                        key=value pairs: seed=N, drop=N (1-in-N demand misses
+                        never complete), delay=N (1-in-N DRAM reads delayed),
+                        delay-cycles=N, poison=N (1-in-N prefetches dropped),
+                        fatal=N (fail on the Nth demand access)
+  --watchdog N          cycles without a commit before the run is declared
+                        deadlocked (0 disables; default 2000000)
   --verbose             per-run engine detail
   --json                emit one JSON object per run (stdout)
+
+exit status: 0 if every run completed, 1 if any run failed.
 ";
+
+fn parse_inject(spec: &str) -> Result<FaultConfig, String> {
+    let mut f = FaultConfig::default();
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (k, v) =
+            part.split_once('=').ok_or(format!("bad --inject entry '{part}' (want key=value)"))?;
+        let n: u64 = v.parse().map_err(|e| format!("--inject {k}: {e}"))?;
+        match k {
+            "seed" => f.seed = n,
+            "drop" => f.drop_demand_1_in = n,
+            "delay" => f.delay_dram_1_in = n,
+            "delay-cycles" => f.delay_cycles = n,
+            "poison" => f.poison_prefetch_1_in = n,
+            "fatal" => f.fatal_at_demand_access = n,
+            _ => {
+                return Err(format!(
+                    "unknown --inject key '{k}' (seed, drop, delay, delay-cycles, poison, fatal)"
+                ))
+            }
+        }
+    }
+    Ok(f)
+}
 
 fn parse_technique(s: &str) -> Option<Vec<Technique>> {
     Some(match s {
@@ -79,6 +113,8 @@ fn parse_args() -> Result<Options, String> {
         instrs: 200_000,
         seed: 42,
         rob: None,
+        inject: None,
+        watchdog: None,
         verbose: false,
         json: false,
     };
@@ -122,6 +158,8 @@ fn parse_args() -> Result<Options, String> {
             "--instrs" => o.instrs = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => o.seed = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--rob" => o.rob = Some(value(&mut i)?.parse().map_err(|e| format!("{e}"))?),
+            "--inject" => o.inject = Some(parse_inject(&value(&mut i)?)?),
+            "--watchdog" => o.watchdog = Some(value(&mut i)?.parse().map_err(|e| format!("{e}"))?),
             "--verbose" => o.verbose = true,
             "--json" => o.json = true,
             "--help" | "-h" => {
@@ -207,10 +245,17 @@ fn main() -> ExitCode {
     }
 
     let mut base_ipc = None;
+    let mut failed = 0usize;
     for t in &o.techniques {
         let mut cfg = SimConfig::new(*t).with_max_instructions(o.instrs);
         if let Some(rob) = o.rob {
             cfg = cfg.with_rob(rob);
+        }
+        if let Some(fault) = o.inject {
+            cfg = cfg.with_faults(fault);
+        }
+        if let Some(w) = o.watchdog {
+            cfg = cfg.with_watchdog_cycles(w);
         }
         let r = simulate(&wl, &cfg);
         if *t == Technique::Baseline {
@@ -221,6 +266,16 @@ fn main() -> ExitCode {
         } else {
             print_report(&r, if *t == Technique::Baseline { None } else { base_ipc }, o.verbose);
         }
+        if let Some(e) = r.outcome.error() {
+            failed += 1;
+            if !o.json {
+                println!("               FAILED ({}): {e}", e.kind());
+            }
+        }
+    }
+    if failed > 0 {
+        eprintln!("{failed} of {} runs failed", o.techniques.len());
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

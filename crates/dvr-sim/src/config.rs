@@ -136,6 +136,26 @@ impl SimConfig {
         self.hierarchy.dram = sim_mem::DramConfig::banked();
         self
     }
+
+    /// Enables deterministic fault injection in the memory hierarchy (see
+    /// `sim_mem::FaultConfig`).
+    pub fn with_faults(mut self, fault: sim_mem::FaultConfig) -> Self {
+        self.hierarchy.fault = Some(fault);
+        self
+    }
+
+    /// Overrides the forward-progress watchdog threshold (cycles without a
+    /// commit before the run fails with a deadlock snapshot; `0` disables).
+    pub fn with_watchdog_cycles(mut self, cycles: u64) -> Self {
+        self.core.watchdog_cycles = cycles;
+        self
+    }
+
+    /// Caps the run at a total cycle budget (`0` = unlimited).
+    pub fn with_cycle_budget(mut self, cycles: u64) -> Self {
+        self.core.max_cycles = cycles;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +174,18 @@ mod tests {
         assert_eq!(cfg.core.rob_size, 128);
         assert_eq!(cfg.hierarchy.mshrs, 8);
         assert_eq!(cfg.technique, Technique::Vr);
+    }
+
+    #[test]
+    fn robustness_knobs_compose() {
+        let cfg = SimConfig::new(Technique::Baseline)
+            .with_faults(sim_mem::FaultConfig::seeded(7).with_drop(100))
+            .with_watchdog_cycles(50_000)
+            .with_cycle_budget(1_000_000);
+        assert!(cfg.hierarchy.fault.expect("fault config set").is_active());
+        assert_eq!(cfg.core.watchdog_cycles, 50_000);
+        assert_eq!(cfg.core.max_cycles, 1_000_000);
+        assert!(SimConfig::new(Technique::Baseline).hierarchy.fault.is_none());
     }
 
     #[test]

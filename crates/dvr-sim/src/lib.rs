@@ -27,11 +27,17 @@ mod report;
 mod runner;
 
 pub use config::{SimConfig, Technique};
-pub use report::{EngineSummary, SimReport};
-pub use runner::{parallel_map, resolve_threads, simulate, simulate_all, simulate_all_parallel};
+pub use report::{EngineSummary, RunOutcome, SimReport};
+pub use runner::{
+    parallel_map, resolve_threads, simulate, simulate_all, simulate_all_parallel, try_parallel_map,
+    CellError,
+};
 
 // Re-export the pieces users need to assemble custom setups.
 pub use dvr_core::{DvrConfig, DvrEngine, OracleEngine, PreEngine, VrEngine};
-pub use sim_mem::{HierarchyConfig, MemStats, MemoryHierarchy, PrefetchSource, TimelinessBucket};
-pub use sim_ooo::{CoreConfig, CoreStats, NullEngine, OooCore};
+pub use sim_mem::{
+    FaultConfig, FaultEvent, FaultKind, HierarchyConfig, MemStats, MemoryHierarchy, PrefetchSource,
+    TimelinessBucket,
+};
+pub use sim_ooo::{CoreConfig, CoreStats, DeadlockSnapshot, NullEngine, OooCore, SimError};
 pub use workloads::{Benchmark, GraphInput, SizeClass, Workload};

@@ -1,9 +1,45 @@
 //! Simulation results.
 
 use sim_mem::{MemStats, PrefetchSource};
-use sim_ooo::CoreStats;
+use sim_ooo::{CoreStats, SimError};
 
 use crate::config::Technique;
+
+/// How a simulation run ended.
+///
+/// A failed run still carries a full [`SimReport`]: the statistics up to
+/// the failure point are coherent, and batch harnesses record the cell as
+/// data instead of aborting the sweep.
+#[derive(Clone, PartialEq, Debug)]
+pub enum RunOutcome {
+    /// The run finished (program halted or the instruction budget hit).
+    Complete,
+    /// The run failed with a typed error.
+    Failed(SimError),
+}
+
+impl RunOutcome {
+    /// Whether the run completed.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, RunOutcome::Complete)
+    }
+
+    /// The error, if the run failed.
+    pub fn error(&self) -> Option<&SimError> {
+        match self {
+            RunOutcome::Complete => None,
+            RunOutcome::Failed(e) => Some(e),
+        }
+    }
+
+    /// Stable machine-readable label ("complete" or the error kind).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RunOutcome::Complete => "complete",
+            RunOutcome::Failed(e) => e.kind(),
+        }
+    }
+}
 
 /// Technique-specific activity counters, normalized across engines.
 #[derive(Clone, Debug, Default)]
@@ -40,6 +76,8 @@ pub struct SimReport {
     pub host_seconds: f64,
     /// Engine activity.
     pub engine: EngineSummary,
+    /// How the run ended; statistics above are partial when it failed.
+    pub outcome: RunOutcome,
 }
 
 impl SimReport {
@@ -55,11 +93,17 @@ impl SimReport {
 
     /// Speedup of this run relative to a baseline run of the same workload.
     ///
+    /// Returns `0.0` when the baseline has no measurable IPC (e.g. a failed
+    /// cell in a `--keep-going` sweep), keeping downstream figures finite.
+    ///
     /// # Panics
     ///
     /// Panics if the workloads differ (comparing apples to oranges).
     pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
         assert_eq!(self.workload, baseline.workload, "speedup must compare the same workload");
+        if baseline.ipc <= 0.0 {
+            return 0.0;
+        }
         self.ipc / baseline.ipc
     }
 
@@ -116,7 +160,8 @@ impl SimReport {
                 "\"runahead_episodes\":{},\"runahead_loads\":{},\"nested_episodes\":{},",
                 "\"timeliness_l1\":{:.4},\"timeliness_l2\":{:.4},\"timeliness_l3\":{:.4},",
                 "\"timeliness_offchip\":{:.4},",
-                "\"host_seconds\":{:.6},\"sim_instrs_per_host_second\":{:.0}}}"
+                "\"host_seconds\":{:.6},\"sim_instrs_per_host_second\":{:.0},",
+                "\"outcome\":\"{}\",\"error\":\"{}\"}}"
             ),
             escape_json(&self.workload),
             self.technique.name(),
@@ -144,6 +189,8 @@ impl SimReport {
             t[3],
             self.host_seconds,
             self.sim_instrs_per_host_second(),
+            self.outcome.kind(),
+            self.outcome.error().map(|e| escape_json(&e.to_string())).unwrap_or_default(),
         )
     }
 }
@@ -173,6 +220,7 @@ mod tests {
             mlp: 0.0,
             host_seconds: 0.0,
             engine: EngineSummary::default(),
+            outcome: RunOutcome::Complete,
         }
     }
 
@@ -216,6 +264,26 @@ mod tests {
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"ipc\":1.5"));
         assert!(j.contains("\\\"KR\\\\"), "quotes/backslashes must be escaped: {j}");
+        assert!(j.contains("\"outcome\":\"complete\",\"error\":\"\""));
         assert_eq!(j.matches('{').count(), 1);
+    }
+
+    #[test]
+    fn failed_outcome_serializes_its_kind_and_message() {
+        let mut r = report("bfs", 0.0);
+        r.outcome = RunOutcome::Failed(SimError::CycleBudgetExceeded { cycle: 500, budget: 500 });
+        assert_eq!(r.outcome.kind(), "cycle_budget_exceeded");
+        assert!(!r.outcome.is_complete());
+        let j = r.to_json();
+        assert!(j.contains("\"outcome\":\"cycle_budget_exceeded\""), "{j}");
+        assert!(j.contains("budget"), "error message must be present: {j}");
+        assert_eq!(j.matches('{').count(), 1);
+    }
+
+    #[test]
+    fn zero_ipc_baseline_yields_zero_speedup() {
+        let base = report("bfs", 0.0);
+        let fast = report("bfs", 1.25);
+        assert_eq!(fast.speedup_over(&base), 0.0);
     }
 }

@@ -1,35 +1,60 @@
 //! The simulation runner.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use dvr_core::{DvrConfig, DvrEngine, OracleEngine, PreEngine, VrEngine};
 use sim_mem::MemoryHierarchy;
-use sim_ooo::{NullEngine, OooCore};
+use sim_ooo::{CoreStats, NullEngine, OooCore, SimError};
 use workloads::Workload;
 
 use crate::config::{SimConfig, Technique};
-use crate::report::{EngineSummary, SimReport};
+use crate::report::{EngineSummary, RunOutcome, SimReport};
+
+fn outcome_of(result: Result<&CoreStats, SimError>) -> RunOutcome {
+    match result {
+        Ok(_) => RunOutcome::Complete,
+        Err(e) => RunOutcome::Failed(e),
+    }
+}
 
 /// Runs one workload under one configuration and returns the report.
 ///
 /// The workload is not consumed: its memory image is cloned, so the same
 /// built workload can be replayed under every technique (deterministically
 /// identical initial state).
+///
+/// A run that fails (watchdog, budget, injected fault, ...) still returns a
+/// report: counters reflect the state at the failure point and
+/// [`SimReport::outcome`] carries the typed error.
 pub fn simulate(workload: &Workload, cfg: &SimConfig) -> SimReport {
     let t0 = std::time::Instant::now();
     let mut mem = workload.mem.clone();
     let mut hier = MemoryHierarchy::new(cfg.hierarchy);
     let mut core = OooCore::new(cfg.core);
 
-    let engine_summary = match cfg.technique {
+    let (engine_summary, outcome) = match cfg.technique {
         Technique::Baseline | Technique::Imp => {
             let mut e = NullEngine;
-            core.run(&workload.prog, &mut mem, &mut hier, &mut e, cfg.max_instructions);
-            EngineSummary::default()
+            let outcome = outcome_of(core.run(
+                &workload.prog,
+                &mut mem,
+                &mut hier,
+                &mut e,
+                cfg.max_instructions,
+            ));
+            (EngineSummary::default(), outcome)
         }
         Technique::Pre => {
             let mut e = PreEngine::default();
-            core.run(&workload.prog, &mut mem, &mut hier, &mut e, cfg.max_instructions);
+            let outcome = outcome_of(core.run(
+                &workload.prog,
+                &mut mem,
+                &mut hier,
+                &mut e,
+                cfg.max_instructions,
+            ));
             let s = *e.stats();
-            EngineSummary {
+            let summary = EngineSummary {
                 episodes: s.episodes,
                 runahead_loads: s.prefetches,
                 detail: format!(
@@ -37,13 +62,20 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> SimReport {
                     s.instructions, s.poisoned_loads
                 ),
                 ..EngineSummary::default()
-            }
+            };
+            (summary, outcome)
         }
         Technique::Vr => {
             let mut e = VrEngine::default();
-            core.run(&workload.prog, &mut mem, &mut hier, &mut e, cfg.max_instructions);
+            let outcome = outcome_of(core.run(
+                &workload.prog,
+                &mut mem,
+                &mut hier,
+                &mut e,
+                cfg.max_instructions,
+            ));
             let s = *e.stats();
-            EngineSummary {
+            let summary = EngineSummary {
                 episodes: s.episodes,
                 runahead_loads: s.lane_loads,
                 lanes_lost: s.lanes_lost,
@@ -52,7 +84,8 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> SimReport {
                     s.no_stride_found, s.delayed_termination_cycles
                 ),
                 ..EngineSummary::default()
-            }
+            };
+            (summary, outcome)
         }
         Technique::Dvr | Technique::DvrOffload | Technique::DvrDiscovery => {
             let dcfg = match cfg.technique {
@@ -61,9 +94,15 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> SimReport {
                 _ => cfg.dvr,
             };
             let mut e = DvrEngine::new(dcfg);
-            core.run(&workload.prog, &mut mem, &mut hier, &mut e, cfg.max_instructions);
+            let outcome = outcome_of(core.run(
+                &workload.prog,
+                &mut mem,
+                &mut hier,
+                &mut e,
+                cfg.max_instructions,
+            ));
             let s = *e.stats();
-            EngineSummary {
+            let summary = EngineSummary {
                 episodes: s.episodes,
                 runahead_loads: s.lane_loads,
                 nested_episodes: s.ndm_episodes,
@@ -76,19 +115,27 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> SimReport {
                     s.no_dependent_chain
                 ),
                 ..EngineSummary::default()
-            }
+            };
+            (summary, outcome)
         }
         Technique::Oracle => {
             let mut e = OracleEngine::new();
-            core.run(&workload.prog, &mut mem, &mut hier, &mut e, cfg.max_instructions);
+            let outcome = outcome_of(core.run(
+                &workload.prog,
+                &mut mem,
+                &mut hier,
+                &mut e,
+                cfg.max_instructions,
+            ));
             let s = *e.stats();
-            EngineSummary {
+            let summary = EngineSummary {
                 detail: format!(
                     "oracle: {} misses hidden, {} natural hits",
                     s.hidden_misses, s.natural_hits
                 ),
                 ..EngineSummary::default()
-            }
+            };
+            (summary, outcome)
         }
     };
 
@@ -104,6 +151,7 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> SimReport {
         core: core_stats,
         mem: mem_stats,
         engine: engine_summary,
+        outcome,
     }
 }
 
@@ -123,6 +171,123 @@ pub fn resolve_threads(threads: usize) -> usize {
     }
 }
 
+/// A failed cell in a batched parallel run.
+///
+/// Produced by [`try_parallel_map`] when a work item panics (twice — each
+/// cell gets one retry) or when a worker thread dies without reporting a
+/// result for an index it claimed.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CellError {
+    /// Index of the failed work item.
+    pub index: usize,
+    /// Worker thread that ran the item (`usize::MAX` when unknown — the
+    /// worker died before reporting).
+    pub worker: usize,
+    /// The panic payload, rendered as text.
+    pub message: String,
+    /// Whether the failure survived the automatic retry.
+    pub retried: bool,
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let worker = if self.worker == usize::MAX {
+            "unknown worker".to_string()
+        } else {
+            format!("worker {}", self.worker)
+        };
+        let retried = if self.retried { ", retried once" } else { "" };
+        write!(f, "cell {} failed on {worker}{retried}: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for CellError {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Like [`parallel_map`], but isolating panics: each cell runs under
+/// `catch_unwind`, gets **one retry**, and failures come back as
+/// [`CellError`]s in the result vector instead of tearing down the whole
+/// batch. A worker that dies without reporting a claimed index yields a
+/// `CellError` naming that index with `worker == usize::MAX`.
+///
+/// The retry assumes `f` is idempotent — true for the deterministic
+/// simulations this crate runs.
+pub fn try_parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<Result<T, CellError>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let run_cell = |i: usize, worker: usize| -> Result<T, CellError> {
+        let mut first_failure = None;
+        for _attempt in 0..2 {
+            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(v) => return Ok(v),
+                Err(payload) => first_failure = Some(panic_message(payload.as_ref())),
+            }
+        }
+        Err(CellError {
+            index: i,
+            worker,
+            message: first_failure.unwrap_or_default(),
+            retried: true,
+        })
+    };
+    let threads = resolve_threads(threads).min(n);
+    if threads <= 1 {
+        return (0..n).map(|i| run_cell(i, 0)).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, Result<T, CellError>)>> = std::thread::scope(|scope| {
+        let next = &next;
+        let run_cell = &run_cell;
+        let workers: Vec<_> = (0..threads)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, run_cell(i, w)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        // A worker can only die on a non-unwinding abort (run_cell catches
+        // panics); joining still never blocks forever, and missing indices
+        // are reported as CellErrors below.
+        workers.into_iter().filter_map(|w| w.join().ok()).collect()
+    });
+    let mut out: Vec<Option<Result<T, CellError>>> = (0..n).map(|_| None).collect();
+    for (i, v) in parts.into_iter().flatten() {
+        out[i] = Some(v);
+    }
+    out.into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| {
+                Err(CellError {
+                    index: i,
+                    worker: usize::MAX,
+                    message: "worker died without reporting a result for this cell".to_string(),
+                    retried: false,
+                })
+            })
+        })
+        .collect()
+}
+
 /// Maps `f` over `0..n` on up to `threads` scoped OS threads (`0` = all
 /// available cores) and returns the results **in index order**.
 ///
@@ -133,45 +298,26 @@ pub fn resolve_threads(threads: usize) -> usize {
 /// output is identical for every thread count, including `threads == 1`,
 /// which runs inline without spawning.
 ///
+/// Built on [`try_parallel_map`], so a transiently panicking cell is
+/// retried once before the batch fails.
+///
 /// # Panics
 ///
-/// Panics (propagating the payload) if `f` panics on any worker.
+/// Panics with a message naming the failed cell index and worker if any
+/// cell still fails after its retry. Callers that need partial results
+/// should use [`try_parallel_map`] instead.
 pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = resolve_threads(threads).min(n);
-    if threads <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, f(i)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        workers
-            .into_iter()
-            .map(|w| w.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-            .collect()
-    });
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    for (i, v) in parts.into_iter().flatten() {
-        out[i] = Some(v);
-    }
-    out.into_iter().map(|v| v.expect("every index produced exactly once")).collect()
+    try_parallel_map(n, threads, f)
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(e) => panic!("parallel_map: {e}"),
+        })
+        .collect()
 }
 
 /// Like [`simulate_all`], but running configurations on OS threads
@@ -240,6 +386,68 @@ mod tests {
         let r = simulate(&wl, &SimConfig::new(Technique::Baseline).with_max_instructions(30_000));
         assert!(r.host_seconds > 0.0);
         assert!(r.sim_instrs_per_host_second() > 0.0);
+    }
+
+    #[test]
+    fn completed_runs_report_a_complete_outcome() {
+        let wl = Benchmark::NasIs.build(None, SizeClass::Test, 1);
+        let r = simulate(&wl, &SimConfig::new(Technique::Baseline).with_max_instructions(10_000));
+        assert!(r.outcome.is_complete(), "{:?}", r.outcome);
+        assert_eq!(r.outcome.kind(), "complete");
+    }
+
+    #[test]
+    fn exhausted_cycle_budget_fails_with_partial_stats() {
+        let wl = Benchmark::NasIs.build(None, SizeClass::Test, 1);
+        let cfg = SimConfig::new(Technique::Baseline).with_cycle_budget(2_000);
+        let r = simulate(&wl, &cfg);
+        assert_eq!(r.outcome.kind(), "cycle_budget_exceeded", "{:?}", r.outcome);
+        assert_eq!(r.core.cycles, 2_000, "stats must reflect the failure point");
+        assert!(r.core.committed > 0, "partial progress must be visible");
+        assert!(r.to_json().contains("\"outcome\":\"cycle_budget_exceeded\""));
+    }
+
+    #[test]
+    fn try_parallel_map_retries_once_then_reports_the_cell() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for threads in [1, 4] {
+            let attempts: Vec<AtomicUsize> = (0..8).map(|_| AtomicUsize::new(0)).collect();
+            let out = try_parallel_map(8, threads, |i| {
+                let attempt = attempts[i].fetch_add(1, Ordering::SeqCst);
+                // Cell 3 fails once then recovers; cell 5 always fails.
+                if i == 3 && attempt == 0 {
+                    panic!("transient failure");
+                }
+                if i == 5 {
+                    panic!("permanent failure in cell five");
+                }
+                i * 10
+            });
+            for (i, r) in out.iter().enumerate() {
+                match r {
+                    Ok(v) => assert_eq!(*v, i * 10, "threads={threads}"),
+                    Err(e) => {
+                        assert_eq!(i, 5, "only cell 5 may fail (threads={threads}): {e}");
+                        assert_eq!(e.index, 5);
+                        assert!(e.retried);
+                        assert!(e.message.contains("permanent failure"), "{e}");
+                    }
+                }
+            }
+            assert_eq!(attempts[3].load(Ordering::SeqCst), 2, "cell 3 must be retried");
+            assert_eq!(attempts[5].load(Ordering::SeqCst), 2, "cell 5 gets exactly one retry");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cell 2 failed")]
+    fn parallel_map_panic_names_the_failed_cell() {
+        let _ = parallel_map(4, 1, |i| {
+            if i == 2 {
+                panic!("boom");
+            }
+            i
+        });
     }
 
     #[test]

@@ -80,6 +80,31 @@ impl SparseMemory {
         self.slots.len() * PAGE_SIZE
     }
 
+    /// An order-independent digest of the architectural memory contents.
+    ///
+    /// Two memories with identical byte contents produce identical
+    /// checksums regardless of page allocation order, so tests can assert
+    /// that two runs ended in the same architectural state (e.g. that
+    /// prefetch-path fault injection never perturbs it). All-zero pages
+    /// hash like absent pages: untouched bytes read as zero either way.
+    pub fn checksum(&self) -> u64 {
+        let mut sum = 0u64;
+        for (&page, &slot) in &self.map {
+            let bytes = &self.slots[slot as usize];
+            if bytes.iter().all(|&b| b == 0) {
+                continue;
+            }
+            let mut h = 0xcbf2_9ce4_8422_2325u64 ^ page.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            for &b in bytes.iter() {
+                h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+            }
+            // XOR-combine per-page digests so map iteration order cannot
+            // matter.
+            sum ^= h;
+        }
+        sum
+    }
+
     /// Translates `page` to its slot, consulting the one-entry cache first.
     #[inline]
     fn slot_of(&self, page: u64) -> Option<usize> {
@@ -233,6 +258,26 @@ mod tests {
         assert_eq!(mem.read_u64(0), 0);
         assert_eq!(mem.read(u64::MAX - 8, 8), 0);
         assert_eq!(mem.page_count(), 0);
+    }
+
+    #[test]
+    fn checksum_tracks_contents_not_allocation() {
+        let mut a = SparseMemory::new();
+        let mut b = SparseMemory::new();
+        assert_eq!(a.checksum(), b.checksum());
+        // Same contents written in a different page-allocation order.
+        a.write_u64(0x10_0000, 7);
+        a.write_u64(0x2000, 9);
+        b.write_u64(0x2000, 9);
+        b.write_u64(0x10_0000, 7);
+        assert_eq!(a.checksum(), b.checksum());
+        // A page that was touched but holds only zeros is equivalent to an
+        // untouched one.
+        a.write_u64(0x50_0000, 0);
+        assert_eq!(a.checksum(), b.checksum());
+        // Content changes show up.
+        b.write_u8(0x2001, 1);
+        assert_ne!(a.checksum(), b.checksum());
     }
 
     #[test]

@@ -197,6 +197,12 @@ impl Dram {
     pub fn row_hits(&self) -> u64 {
         self.row_hits
     }
+
+    /// Number of busy intervals in the slot calendar (a cheap congestion
+    /// signal for deadlock diagnostics).
+    pub fn calendar_intervals(&self) -> usize {
+        self.busy.len()
+    }
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@ use sim_isa::FxHashMap;
 
 use crate::cache::{Cache, CacheConfig};
 use crate::dram::{Dram, DramConfig};
+use crate::fault::{FaultConfig, FaultEvent, FaultState, NEVER_COMPLETES};
 use crate::line_of;
 use crate::mshr::MshrFile;
 use crate::stats::{MemStats, TimelinessBucket};
@@ -137,6 +138,8 @@ pub struct HierarchyConfig {
     pub mshr_prefetch_cap: usize,
     /// DRAM timing.
     pub dram: DramConfig,
+    /// Seeded fault injection, or `None` for a fault-free hierarchy.
+    pub fault: Option<FaultConfig>,
 }
 
 impl Default for HierarchyConfig {
@@ -148,6 +151,7 @@ impl Default for HierarchyConfig {
             mshrs: 24,
             mshr_prefetch_cap: 20,
             dram: DramConfig::default(),
+            fault: None,
         }
     }
 }
@@ -168,6 +172,8 @@ pub struct MemoryHierarchy {
     dram: Dram,
     /// Lines brought in by a prefetch and not yet demanded.
     pending_prefetch: FxHashMap<u64, PrefetchSource>,
+    /// Fault-injection state (None when injection is disabled).
+    fault: Option<FaultState>,
     stats: MemStats,
 }
 
@@ -182,6 +188,7 @@ impl MemoryHierarchy {
             mshr: MshrFile::with_prefetch_cap(cfg.mshrs, cfg.mshr_prefetch_cap.min(cfg.mshrs)),
             dram: Dram::new(cfg.dram),
             pending_prefetch: FxHashMap::default(),
+            fault: cfg.fault.map(FaultState::new),
             stats: MemStats::default(),
         }
     }
@@ -212,12 +219,33 @@ impl MemoryHierarchy {
         self.mshr.has_free(cycle, true)
     }
 
+    /// Number of busy intervals in the DRAM slot calendar (for deadlock
+    /// diagnostics).
+    pub fn dram_calendar_depth(&self) -> usize {
+        self.dram.calendar_intervals()
+    }
+
+    /// Takes the pending fatal injected fault, if one has been armed by the
+    /// fault-injection engine. The core polls this once per cycle and
+    /// aborts the run with `SimError::InjectedFault` when it fires.
+    pub fn take_fault(&mut self) -> Option<FaultEvent> {
+        let ev = self.fault.as_mut().and_then(FaultState::take_fatal);
+        if ev.is_some() {
+            self.stats.injected_fatal += 1;
+        }
+        ev
+    }
+
     /// Performs a load at `cycle`. Demand and runahead loads *wait* for an
     /// MSHR when the file is full.
     pub fn load(&mut self, cycle: u64, addr: u64, class: AccessClass) -> Access {
         let acc = self.access(cycle, addr, class, false);
         if matches!(class, AccessClass::Demand) {
-            self.stats.demand_latency_sum += acc.complete_at.saturating_sub(cycle);
+            // Saturating: a wedged line (injected drop) reports a
+            // NEVER_COMPLETES latency, and repeated merges on it would
+            // overflow the accumulator.
+            self.stats.demand_latency_sum =
+                self.stats.demand_latency_sum.saturating_add(acc.complete_at.saturating_sub(cycle));
         }
         acc
     }
@@ -237,6 +265,16 @@ impl MemoryHierarchy {
         if self.l1.contains(line) {
             return PrefetchResult::Present;
         }
+        // Fault injection: a poisoned prefetch is discarded before it
+        // touches the hierarchy — the line simply never arrives. This is
+        // timing-only by construction: no fill, no MSHR, no state change.
+        if let Some(f) = &mut self.fault {
+            if f.poison_prefetch() {
+                self.stats.injected_poisons += 1;
+                self.stats.prefetch_dropped[src.index()] += 1;
+                return PrefetchResult::Dropped;
+            }
+        }
         if self.mshr.try_alloc(cycle, true).is_none() {
             self.stats.prefetch_dropped[src.index()] += 1;
             return PrefetchResult::Dropped;
@@ -253,6 +291,9 @@ impl MemoryHierarchy {
                 self.stats.demand_stores += 1;
             } else {
                 self.stats.demand_loads += 1;
+            }
+            if let Some(f) = &mut self.fault {
+                f.note_demand_access(cycle, line);
             }
         }
 
@@ -283,7 +324,7 @@ impl MemoryHierarchy {
         let l1_lat = self.l1.latency();
 
         // L2 probe.
-        let (complete_at, level) = if let Some(p) = self.l2.probe(line) {
+        let (mut complete_at, level) = if let Some(p) = self.l2.probe(line) {
             let ready = (start + l1_lat + self.l2.latency()).max(p.ready_at);
             let level = if p.ready_at > cycle { HitLevel::InFlight } else { HitLevel::L2 };
             (ready, level)
@@ -296,7 +337,13 @@ impl MemoryHierarchy {
         } else {
             // DRAM.
             let issue = start + l1_lat + self.l2.latency() + self.l3.latency();
-            let ready = self.dram.request_line(issue, line);
+            let mut ready = self.dram.request_line(issue, line);
+            if let Some(f) = &mut self.fault {
+                if let Some(extra) = f.dram_delay() {
+                    self.stats.injected_delays += 1;
+                    ready += extra;
+                }
+            }
             match class {
                 AccessClass::Demand => self.stats.dram_demand += 1,
                 AccessClass::Prefetch(src) => self.stats.dram_prefetch[src.index()] += 1,
@@ -305,6 +352,18 @@ impl MemoryHierarchy {
             self.fill(Tier::L2, line, ready);
             (ready, HitLevel::Mem)
         };
+
+        // Fault injection: a dropped demand response never completes. The
+        // fill stays in flight forever, so the requester (and anything
+        // merging into the miss) wedges — the core's watchdog reports it.
+        if demand {
+            if let Some(f) = &mut self.fault {
+                if f.drop_demand_response() {
+                    self.stats.injected_drops += 1;
+                    complete_at = NEVER_COMPLETES;
+                }
+            }
+        }
 
         // Install into L1 in all miss cases.
         self.fill(Tier::L1, line, complete_at);
@@ -553,6 +612,60 @@ mod tests {
         m.load(0, 0x90_000, AccessClass::Prefetch(PrefetchSource::Dvr));
         assert_eq!(m.stats().dram_runahead(), 1);
         assert_eq!(m.stats().dram_demand, 0);
+    }
+
+    #[test]
+    fn injected_drop_never_completes() {
+        let fault = Some(crate::FaultConfig::seeded(1).with_drop(1));
+        let mut m = MemoryHierarchy::new(HierarchyConfig { fault, ..HierarchyConfig::default() });
+        let a = m.load(0, 0x1234, AccessClass::Demand);
+        assert_eq!(a.complete_at, super::NEVER_COMPLETES);
+        assert_eq!(m.stats().injected_drops, 1);
+        // A merge into the dropped miss inherits the never-completing fill.
+        let b = m.load(10, 0x1234, AccessClass::Demand);
+        assert_eq!(b.level, HitLevel::InFlight);
+        assert_eq!(b.complete_at, super::NEVER_COMPLETES);
+    }
+
+    #[test]
+    fn injected_delay_adds_exactly_the_configured_cycles() {
+        let fault = Some(crate::FaultConfig::seeded(1).with_delay(1, 777));
+        let mut m = MemoryHierarchy::new(HierarchyConfig { fault, ..HierarchyConfig::default() });
+        let a = m.load(0, 0x1234, AccessClass::Demand);
+        let clean = hier().load(0, 0x1234, AccessClass::Demand);
+        assert_eq!(a.complete_at, clean.complete_at + 777);
+        assert_eq!(m.stats().injected_delays, 1);
+    }
+
+    #[test]
+    fn poisoned_prefetch_is_discarded_without_side_effects() {
+        let fault = Some(crate::FaultConfig::seeded(1).with_poison(1));
+        let mut m = MemoryHierarchy::new(HierarchyConfig { fault, ..HierarchyConfig::default() });
+        let r = m.prefetch(0, 0x2000, PrefetchSource::Dvr);
+        assert_eq!(r, PrefetchResult::Dropped);
+        assert_eq!(m.stats().injected_poisons, 1);
+        assert_eq!(m.stats().prefetch_issued[PrefetchSource::Dvr.index()], 0);
+        assert_eq!(m.mshrs_in_use(0), 0, "poison must not hold an MSHR");
+        // The demand path is untouched: the line misses to DRAM as if the
+        // prefetch had never been issued.
+        let a = m.load(0, 0x2000, AccessClass::Demand);
+        let clean = hier().load(0, 0x2000, AccessClass::Demand);
+        assert_eq!(a.complete_at, clean.complete_at);
+        assert_eq!(a.level, HitLevel::Mem);
+    }
+
+    #[test]
+    fn fatal_fault_arms_on_the_nth_demand_access_and_fires_once() {
+        let fault = Some(crate::FaultConfig::seeded(1).with_fatal_at(2));
+        let mut m = MemoryHierarchy::new(HierarchyConfig { fault, ..HierarchyConfig::default() });
+        m.load(5, 0x1000, AccessClass::Demand);
+        assert!(m.take_fault().is_none());
+        m.load(9, 0x2000, AccessClass::Demand);
+        let ev = m.take_fault().expect("2nd demand access arms the fault");
+        assert_eq!(ev.cycle, 9);
+        assert_eq!(ev.line, crate::line_of(0x2000));
+        assert_eq!(m.stats().injected_fatal, 1);
+        assert!(m.take_fault().is_none());
     }
 
     #[test]

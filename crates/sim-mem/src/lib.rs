@@ -36,6 +36,7 @@
 
 mod cache;
 mod dram;
+mod fault;
 mod hierarchy;
 mod imp;
 mod mshr;
@@ -44,6 +45,7 @@ mod stride;
 
 pub use cache::{Cache, CacheConfig};
 pub use dram::{Dram, DramConfig};
+pub use fault::{FaultConfig, FaultEvent, FaultKind};
 pub use hierarchy::{
     Access, AccessClass, HierarchyConfig, HitLevel, MemoryHierarchy, PrefetchResult, PrefetchSource,
 };

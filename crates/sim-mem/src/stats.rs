@@ -71,6 +71,14 @@ pub struct MemStats {
     /// Prefetched lines never demanded before the end of the run
     /// (finalized into `OffChip` by [`MemStats::wasted`]).
     pub prefetch_unused: [u64; SOURCES],
+    /// Injected faults: demand responses dropped (never complete).
+    pub injected_drops: u64,
+    /// Injected faults: DRAM reads delayed.
+    pub injected_delays: u64,
+    /// Injected faults: prefetches poisoned (discarded).
+    pub injected_poisons: u64,
+    /// Injected faults: fatal events delivered to the core.
+    pub injected_fatal: u64,
 }
 
 impl MemStats {

@@ -37,6 +37,19 @@ pub struct CoreConfig {
     pub stride_prefetcher: bool,
     /// Whether the IMP indirect prefetcher is enabled.
     pub imp_prefetcher: bool,
+    /// Forward-progress watchdog: if no instruction commits for this many
+    /// cycles the run fails with [`SimError::Deadlock`](crate::SimError)
+    /// and a diagnostic snapshot. `0` disables the watchdog.
+    pub watchdog_cycles: u64,
+    /// Hard cycle budget: the run fails with
+    /// [`SimError::CycleBudgetExceeded`](crate::SimError) past this many
+    /// cycles. `0` = unlimited.
+    pub max_cycles: u64,
+    /// Wall-clock budget in host milliseconds (checked coarsely, every
+    /// 64 Ki cycles). `0` = unlimited.
+    pub max_wall_ms: u64,
+    /// Architectural-memory footprint cap in bytes. `0` = unlimited.
+    pub mem_cap_bytes: u64,
 }
 
 impl Default for CoreConfig {
@@ -57,6 +70,10 @@ impl Default for CoreConfig {
             store_ports: 1,
             stride_prefetcher: true,
             imp_prefetcher: false,
+            watchdog_cycles: 2_000_000,
+            max_cycles: 0,
+            max_wall_ms: 0,
+            mem_cap_bytes: 0,
         }
     }
 }
@@ -102,6 +119,10 @@ mod tests {
         assert_eq!(c.frontend_penalty, 15);
         assert_eq!(c.int_alu, 4);
         assert!(c.stride_prefetcher);
+        assert_eq!(c.watchdog_cycles, 2_000_000);
+        assert_eq!(c.max_cycles, 0);
+        assert_eq!(c.max_wall_ms, 0);
+        assert_eq!(c.mem_cap_bytes, 0);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use sim_mem::{
 use crate::branch::TagePredictor;
 use crate::config::CoreConfig;
 use crate::engine::{ArchSnapshot, EngineCtx, RunaheadEngine};
+use crate::error::{DeadlockSnapshot, SimError};
 use crate::stats::CoreStats;
 
 /// A dynamic (fetched) instruction, carrying both functional outcomes and
@@ -120,7 +121,7 @@ fn exec_latency(instr: &Instr) -> u64 {
 /// let mut core = OooCore::new(CoreConfig::default());
 /// let mut mem = SparseMemory::new();
 /// let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
-/// let stats = core.run(&prog, &mut mem, &mut hier, &mut NullEngine, 1_000_000);
+/// let stats = core.run(&prog, &mut mem, &mut hier, &mut NullEngine, 1_000_000)?;
 /// assert_eq!(stats.committed, 10); // li + 4x(addi+bnz) + halt
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -163,6 +164,9 @@ pub struct OooCore {
     commit_block_until: u64,
     stall_episode_armed: bool,
     rob_full_counted_this_cycle: bool,
+    /// Set once [`OooCore::run`] returns; a second call fails with
+    /// [`SimError::CoreReused`] instead of silently corrupting stats.
+    finished: bool,
 
     stats: CoreStats,
 }
@@ -194,6 +198,7 @@ impl OooCore {
             commit_block_until: 0,
             stall_episode_armed: true,
             rob_full_counted_this_cycle: false,
+            finished: false,
             stats: CoreStats::default(),
         }
     }
@@ -220,13 +225,18 @@ impl OooCore {
 
     /// Runs the program until it halts or `max_instrs` commit.
     ///
-    /// Returns the accumulated statistics. The same core must not be reused
-    /// for a second program.
+    /// Returns the accumulated statistics.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the functional executor faults (malformed program) or the
-    /// pipeline deadlocks (a model bug).
+    /// Every failure mode is reported as a [`SimError`] instead of a
+    /// panic: a functional executor fault ([`SimError::ExecFault`]), a
+    /// wedged pipeline caught by the forward-progress watchdog
+    /// ([`SimError::Deadlock`], with a diagnostic snapshot), an exceeded
+    /// cycle/wall-clock/memory budget, a fatal injected fault from the
+    /// fault-injection harness, or a second call on the same core
+    /// ([`SimError::CoreReused`]). Statistics up to the failure point stay
+    /// readable through [`OooCore::stats`] either way.
     pub fn run<E: RunaheadEngine + ?Sized>(
         &mut self,
         prog: &Program,
@@ -234,7 +244,29 @@ impl OooCore {
         hier: &mut MemoryHierarchy,
         engine: &mut E,
         max_instrs: u64,
-    ) -> &CoreStats {
+    ) -> Result<&CoreStats, SimError> {
+        if self.finished {
+            return Err(SimError::CoreReused);
+        }
+        self.finished = true;
+        let result = self.run_inner(prog, mem, hier, engine, max_instrs);
+        // Finalization happens on both paths so partial statistics are
+        // coherent (cycles set, unused prefetches accounted) even when the
+        // run failed.
+        self.stats.cycles = self.cycle;
+        hier.finalize();
+        result.map(|()| &self.stats)
+    }
+
+    fn run_inner<E: RunaheadEngine + ?Sized>(
+        &mut self,
+        prog: &Program,
+        mem: &mut SparseMemory,
+        hier: &mut MemoryHierarchy,
+        engine: &mut E,
+        max_instrs: u64,
+    ) -> Result<(), SimError> {
+        let wall_start = (self.cfg.max_wall_ms != 0).then(std::time::Instant::now);
         let mut last_commit_cycle = 0u64;
         while self.stats.committed < max_instrs {
             self.cycle += 1;
@@ -244,26 +276,75 @@ impl OooCore {
             self.commit(hier);
             self.issue(prog, mem, hier, engine);
             self.dispatch(prog, mem, hier, engine);
-            self.fetch(prog, mem);
+            self.fetch(prog, mem)?;
+
+            if let Some(ev) = hier.take_fault() {
+                return Err(SimError::InjectedFault(ev));
+            }
 
             if self.stats.committed > committed_before {
                 last_commit_cycle = self.cycle;
-            } else {
-                assert!(
-                    self.cycle - last_commit_cycle < 2_000_000,
-                    "pipeline deadlock at cycle {} (head: {:?})",
-                    self.cycle,
-                    self.rob.front()
-                );
+            } else if self.cfg.watchdog_cycles != 0
+                && self.cycle - last_commit_cycle >= self.cfg.watchdog_cycles
+            {
+                return Err(SimError::Deadlock(Box::new(self.snapshot(hier, last_commit_cycle))));
+            }
+
+            if self.cfg.max_cycles != 0 && self.cycle >= self.cfg.max_cycles {
+                return Err(SimError::CycleBudgetExceeded {
+                    cycle: self.cycle,
+                    budget: self.cfg.max_cycles,
+                });
+            }
+            // The wall-clock and footprint checks are amortized: both cost
+            // more than a cycle of simulation, so probing every cycle would
+            // dominate the hot loop.
+            if self.cycle & 0xFFFF == 0 {
+                if let Some(start) = wall_start {
+                    let elapsed_ms = start.elapsed().as_millis() as u64;
+                    if elapsed_ms > self.cfg.max_wall_ms {
+                        return Err(SimError::WallClockExceeded {
+                            elapsed_ms,
+                            budget_ms: self.cfg.max_wall_ms,
+                        });
+                    }
+                }
+                if self.cfg.mem_cap_bytes != 0 {
+                    let bytes = mem.footprint_bytes() as u64;
+                    if bytes > self.cfg.mem_cap_bytes {
+                        return Err(SimError::MemoryCapExceeded {
+                            bytes,
+                            cap: self.cfg.mem_cap_bytes,
+                        });
+                    }
+                }
             }
 
             if self.cpu.is_halted() && self.fetchq.is_empty() && self.rob.is_empty() {
                 break;
             }
         }
-        self.stats.cycles = self.cycle;
-        hier.finalize();
-        &self.stats
+        Ok(())
+    }
+
+    /// Captures the pipeline state for a deadlock diagnostic.
+    fn snapshot(&self, hier: &MemoryHierarchy, last_commit_cycle: u64) -> DeadlockSnapshot {
+        DeadlockSnapshot {
+            cycle: self.cycle,
+            last_commit_cycle,
+            committed: self.stats.committed,
+            rob_len: self.rob.len(),
+            rob_head: self.rob.front().map(|di| {
+                format!(
+                    "seq {} pc {} {:?} (issued: {}, complete_at: {})",
+                    di.seq, di.pc, di.instr, di.issued, di.complete_at
+                )
+            }),
+            iq_unissued: self.unissued.len(),
+            fetchq_len: self.fetchq.len(),
+            mshrs_in_use: hier.mshrs_in_use(self.cycle),
+            dram_calendar_depth: hier.dram_calendar_depth(),
+        }
     }
 
     fn commit(&mut self, hier: &mut MemoryHierarchy) {
@@ -592,20 +673,25 @@ impl OooCore {
         }
     }
 
-    fn fetch(&mut self, prog: &Program, mem: &mut SparseMemory) {
+    fn fetch(&mut self, prog: &Program, mem: &mut SparseMemory) -> Result<(), SimError> {
         if self.cpu.is_halted()
             || self.fetch_blocked_on.is_some()
             || self.cycle < self.fetch_stall_until
         {
-            return;
+            return Ok(());
         }
         let mut n = 0;
         while n < self.cfg.width && self.fetchq.len() < self.cfg.fetch_queue {
             let pc = self.cpu.pc();
             let Some(instr) = prog.fetch(pc).copied() else {
-                // Off the end: the functional step below will report Halted.
-                let _ = self.cpu.step(prog, mem);
-                break;
+                // Off the end: the functional step reports Halted for a
+                // clean fall-through and PcOutOfRange for a wild jump.
+                match self.cpu.step(prog, mem) {
+                    Err(e) => {
+                        return Err(SimError::ExecFault { pc, cycle: self.cycle, source: e });
+                    }
+                    Ok(_) => break,
+                }
             };
             let mut src_values = [0u64; 3];
             for (k, r) in instr.srcs().enumerate() {
@@ -645,9 +731,10 @@ impl OooCore {
                     }
                 }
                 Ok(sim_isa::StepEvent::Halted) => break,
-                Err(e) => panic!("functional execution fault: {e}"),
+                Err(e) => return Err(SimError::ExecFault { pc, cycle: self.cycle, source: e }),
             }
         }
+        Ok(())
     }
 }
 
@@ -671,7 +758,7 @@ mod tests {
     fn run_program(prog: &Program, mem: &mut SparseMemory, max: u64) -> CoreStats {
         let mut core = OooCore::new(CoreConfig::default());
         let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
-        *core.run(prog, mem, &mut hier, &mut NullEngine, max)
+        *core.run(prog, mem, &mut hier, &mut NullEngine, max).expect("run failed")
     }
 
     #[test]
@@ -845,9 +932,83 @@ mod tests {
 
         let mut core = OooCore::new(CoreConfig::default());
         let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
-        let stats = *core.run(&prog, &mut mem, &mut hier, &mut NullEngine, 10_000_000);
+        let stats =
+            *core.run(&prog, &mut mem, &mut hier, &mut NullEngine, 10_000_000).expect("run failed");
         assert!(stats.full_rob_stall_events > 0, "expected full-ROB stalls");
         assert!(stats.rob_full_stall_cycles > 0);
+    }
+
+    #[test]
+    fn watchdog_reports_deadlock_with_snapshot() {
+        // Drop every demand-miss response: the first missing load never
+        // completes, commit wedges at the ROB head, and the watchdog must
+        // return a structured diagnostic instead of panicking.
+        let mut asm = Asm::new();
+        asm.li(Reg::R1, 0x10_0000);
+        asm.ld8(Reg::R2, Reg::R1, 0);
+        asm.addi(Reg::R2, Reg::R2, 1);
+        asm.halt();
+        let prog = asm.finish().unwrap();
+        let mut mem = SparseMemory::new();
+        let cfg = CoreConfig { watchdog_cycles: 10_000, ..CoreConfig::default() };
+        let mut core = OooCore::new(cfg);
+        let fault = Some(sim_mem::FaultConfig::seeded(1).with_drop(1));
+        let mut hier =
+            MemoryHierarchy::new(HierarchyConfig { fault, ..HierarchyConfig::default() });
+        let err = core
+            .run(&prog, &mut mem, &mut hier, &mut NullEngine, 1_000_000)
+            .expect_err("dropped response must wedge the pipeline");
+        let crate::SimError::Deadlock(snap) = err else {
+            panic!("expected Deadlock, got {err:?}");
+        };
+        assert!(snap.cycle >= 10_000);
+        assert!(snap.cycle - snap.last_commit_cycle >= 10_000);
+        assert!(snap.rob_len >= 1);
+        let head = snap.rob_head.as_deref().expect("a load blocks the head");
+        assert!(head.contains("Load"), "head should be the wedged load: {head}");
+        assert!(snap.mshrs_in_use >= 1, "the dropped miss still holds its MSHR");
+        // Partial stats stay coherent after the failure.
+        assert_eq!(core.stats().cycles, snap.cycle);
+    }
+
+    #[test]
+    fn watchdog_can_be_disabled_but_cycle_budget_still_binds() {
+        let mut asm = Asm::new();
+        asm.li(Reg::R1, 0x10_0000);
+        asm.ld8(Reg::R2, Reg::R1, 0);
+        asm.halt();
+        let prog = asm.finish().unwrap();
+        let mut mem = SparseMemory::new();
+        let cfg = CoreConfig { watchdog_cycles: 0, max_cycles: 30_000, ..CoreConfig::default() };
+        let mut core = OooCore::new(cfg);
+        let fault = Some(sim_mem::FaultConfig::seeded(1).with_drop(1));
+        let mut hier =
+            MemoryHierarchy::new(HierarchyConfig { fault, ..HierarchyConfig::default() });
+        let err = core
+            .run(&prog, &mut mem, &mut hier, &mut NullEngine, 1_000_000)
+            .expect_err("cycle budget must trip");
+        assert!(
+            matches!(err, crate::SimError::CycleBudgetExceeded { cycle: 30_000, budget: 30_000 }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn reusing_a_core_is_an_error() {
+        let mut asm = Asm::new();
+        asm.addi(Reg::R1, Reg::R1, 1);
+        asm.halt();
+        let prog = asm.finish().unwrap();
+        let mut mem = SparseMemory::new();
+        let mut core = OooCore::new(CoreConfig::default());
+        let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
+        core.run(&prog, &mut mem, &mut hier, &mut NullEngine, 1_000).expect("first run");
+        let committed = core.stats().committed;
+        let err = core
+            .run(&prog, &mut mem, &mut hier, &mut NullEngine, 1_000)
+            .expect_err("second run must be rejected");
+        assert_eq!(err, crate::SimError::CoreReused);
+        assert_eq!(core.stats().committed, committed, "stats untouched by the rejected call");
     }
 
     #[test]
@@ -881,7 +1042,9 @@ mod tests {
             mem.write_u64_slice(0x20_0000, &vals);
             let mut core = OooCore::new(CoreConfig::with_rob(rob));
             let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
-            let stats = *core.run(&prog, &mut mem, &mut hier, &mut NullEngine, 10_000_000);
+            let stats = *core
+                .run(&prog, &mut mem, &mut hier, &mut NullEngine, 10_000_000)
+                .expect("run failed");
             fractions.push(stats.rob_full_stall_fraction());
         }
         assert!(

@@ -23,6 +23,7 @@ mod branch;
 mod config;
 mod core;
 mod engine;
+mod error;
 mod loop_pred;
 mod stats;
 
@@ -30,5 +31,6 @@ pub use branch::{TageConfig, TagePredictor};
 pub use config::CoreConfig;
 pub use core::{DynInst, OooCore};
 pub use engine::{ArchSnapshot, EngineCtx, NullEngine, RunaheadEngine};
+pub use error::{DeadlockSnapshot, SimError};
 pub use loop_pred::LoopPredictor;
 pub use stats::CoreStats;

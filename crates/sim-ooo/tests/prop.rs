@@ -127,7 +127,7 @@ proptest! {
         let mut tmem = init_mem();
         let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
         let mut core = OooCore::new(CoreConfig::default());
-        let stats = *core.run(&prog, &mut tmem, &mut hier, &mut NullEngine, u64::MAX);
+        let stats = *core.run(&prog, &mut tmem, &mut hier, &mut NullEngine, u64::MAX).unwrap();
 
         prop_assert_eq!(stats.committed, fsteps);
         for k in 0..256u64 {
@@ -151,7 +151,7 @@ proptest! {
             let mut mem = init_mem();
             let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
             let mut core = OooCore::new(CoreConfig::with_rob(rob));
-            core.run(&prog, &mut mem, &mut hier, &mut NullEngine, u64::MAX).ipc()
+            core.run(&prog, &mut mem, &mut hier, &mut NullEngine, u64::MAX).unwrap().ipc()
         };
         let small = run(32);
         let big = run(350);

@@ -23,7 +23,8 @@ fn main() {
         let mut core = OooCore::new(CoreConfig::default());
         let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
         let mut mem = wl.mem.clone();
-        let stats = *core.run(&wl.prog, &mut mem, &mut hier, &mut engine, 150_000);
+        let stats =
+            *core.run(&wl.prog, &mut mem, &mut hier, &mut engine, 150_000).expect("run failed");
 
         let d = engine.stats();
         println!("  IPC                      {:.3}", stats.ipc());

@@ -13,4 +13,22 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test -q =="
 cargo test -q
 
+echo "== fault smoke: dvr-sim fault/watchdog suite =="
+cargo test -q -p dvr-sim --test faults
+
+echo "== fault smoke: figures --keep-going with a forced-fail cell =="
+# One cell is forced to panic; keep-going must exit 0, render the rest of
+# the figure, and mark the failed cell in the output.
+out="$(cargo run -q -p bench --bin figures -- fig9 --size test --instrs 10000 \
+    --keep-going --force-fail 'bfs_KR/DVR' 2>/dev/null)"
+echo "$out" | grep -q 'FAILED cell(s)' || { echo "missing failure marker"; exit 1; }
+echo "$out" | grep -q 'bfs_KR/DVR' || { echo "failed cell not named"; exit 1; }
+echo "$out" | grep -q 'NAS-IS' || { echo "remaining cells did not render"; exit 1; }
+
+echo "== fault smoke: the same forced failure aborts without --keep-going =="
+if cargo run -q -p bench --bin figures -- fig9 --size test --instrs 10000 \
+    --force-fail 'bfs_KR/DVR' >/dev/null 2>&1; then
+  echo "fail-fast run unexpectedly succeeded"; exit 1
+fi
+
 echo "All checks passed."

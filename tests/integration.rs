@@ -60,15 +60,15 @@ fn timing_never_perturbs_architectural_results() {
         match t {
             Technique::Vr => {
                 let mut e = dvr_sim::VrEngine::default();
-                core.run(&wl.prog, &mut mem, &mut hier, &mut e, u64::MAX);
+                core.run(&wl.prog, &mut mem, &mut hier, &mut e, u64::MAX).expect("run failed");
             }
             Technique::Dvr => {
                 let mut e = dvr_sim::DvrEngine::default();
-                core.run(&wl.prog, &mut mem, &mut hier, &mut e, u64::MAX);
+                core.run(&wl.prog, &mut mem, &mut hier, &mut e, u64::MAX).expect("run failed");
             }
             _ => {
                 let mut e = dvr_sim::NullEngine;
-                core.run(&wl.prog, &mut mem, &mut hier, &mut e, u64::MAX);
+                core.run(&wl.prog, &mut mem, &mut hier, &mut e, u64::MAX).expect("run failed");
             }
         }
         for k in (0..1024u64).step_by(17) {

@@ -60,7 +60,7 @@ fn pre_is_poisoned_beyond_first_indirection() {
     let mut hier = dvr_sim::MemoryHierarchy::new(dvr_sim::HierarchyConfig::default());
     let mut core = dvr_sim::OooCore::new(dvr_sim::CoreConfig::default());
     let mut pre = dvr_sim::PreEngine::default();
-    core.run(&wl.prog, &mut mem, &mut hier, &mut pre, 100_000);
+    core.run(&wl.prog, &mut mem, &mut hier, &mut pre, 100_000).expect("run failed");
     let s = pre.stats();
     assert!(s.episodes > 0, "PRE must trigger on Camel");
     assert!(s.poisoned_loads > 0, "Camel's second-level loads must be INV-poisoned in PRE");
