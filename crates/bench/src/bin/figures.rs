@@ -15,10 +15,13 @@
 //!                             output (text section + chart ✕) and continue
 //!   --force-fail LABEL        panic the cell with this combo/technique
 //!                             label (failure-path smoke testing)
+//!   --sanitize                run every cell under the cycle-model invariant
+//!                             sanitizer (stderr summary; stdout unchanged)
 //! ```
 //!
 //! Exit status: 0 on success; without `--keep-going` a failed cell aborts
-//! the process with a diagnostic naming the cell.
+//! the process with a diagnostic naming the cell; with `--sanitize` any
+//! invariant violation exits 1.
 
 use bench::{run_experiment_full, Ctx};
 use workloads::SizeClass;
@@ -33,6 +36,7 @@ fn main() {
     let mut svg_dir: Option<String> = None;
     let mut keep_going = false;
     let mut force_fail: Option<String> = None;
+    let mut sanitize = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -66,6 +70,7 @@ fn main() {
                 svg_dir = Some(args[i].clone());
             }
             "--keep-going" => keep_going = true,
+            "--sanitize" => sanitize = true,
             "--force-fail" => {
                 i += 1;
                 force_fail = Some(args[i].clone());
@@ -79,7 +84,10 @@ fn main() {
         i += 1;
     }
 
-    let mut ctx = Ctx::new(size, instrs, seed).with_threads(threads).with_keep_going(keep_going);
+    let mut ctx = Ctx::new(size, instrs, seed)
+        .with_threads(threads)
+        .with_keep_going(keep_going)
+        .with_sanitize(sanitize);
     if let Some(label) = force_fail {
         ctx = ctx.with_force_fail(label);
     }
@@ -104,5 +112,12 @@ fn main() {
     );
     if !ctx.failures().is_empty() {
         eprintln!("[figures] {} cell(s) failed (marked in the output)", ctx.failures().len());
+    }
+    if sanitize {
+        let (checks, violations) = ctx.sanitize_totals();
+        eprintln!("[figures] sanitize: {checks} invariant checks, {violations} violations");
+        if violations > 0 {
+            std::process::exit(1);
+        }
     }
 }

@@ -76,11 +76,17 @@ pub struct Ctx {
     /// Test/CI hook: a cell whose [`Cell::label`] equals this panics in the
     /// worker instead of simulating.
     pub force_fail: Option<String>,
+    /// Run every cell under the cycle-model invariant sanitizer. Checks are
+    /// timing-neutral, so figure text stays byte-identical; violation totals
+    /// surface through [`Ctx::sanitize_totals`].
+    pub sanitize: bool,
     cache: HashMap<(Benchmark, Option<GraphInput>), Arc<Workload>>,
     failures: Vec<CellFailure>,
     runs: u64,
     sim_committed: u64,
     sim_seconds: f64,
+    san_checks: u64,
+    san_violations: u64,
 }
 
 impl Ctx {
@@ -93,11 +99,14 @@ impl Ctx {
             threads: 1,
             keep_going: false,
             force_fail: None,
+            sanitize: false,
             cache: HashMap::new(),
             failures: Vec::new(),
             runs: 0,
             sim_committed: 0,
             sim_seconds: 0.0,
+            san_checks: 0,
+            san_violations: 0,
         }
     }
 
@@ -120,6 +129,13 @@ impl Ctx {
         self
     }
 
+    /// Runs every cell under the cycle-model invariant sanitizer (see
+    /// [`dvr_sim::SimConfig::with_sanitize`]).
+    pub fn with_sanitize(mut self, sanitize: bool) -> Self {
+        self.sanitize = sanitize;
+        self
+    }
+
     /// Every cell failure recorded so far (keep-going mode only).
     pub fn failures(&self) -> &[CellFailure] {
         &self.failures
@@ -134,7 +150,7 @@ impl Ctx {
 
     /// The default per-cell configuration for a technique.
     fn tcfg(&self, t: Technique) -> SimConfig {
-        SimConfig::new(t).with_max_instructions(self.instrs)
+        SimConfig::new(t).with_max_instructions(self.instrs).with_sanitize(self.sanitize)
     }
 
     /// Runs one (benchmark, input, technique) cell.
@@ -211,7 +227,17 @@ impl Ctx {
             self.runs += 1;
             self.sim_committed += r.core.committed;
             self.sim_seconds += r.host_seconds;
+            if let Some(san) = &r.sanitizer {
+                self.san_checks += san.checks;
+                self.san_violations += san.violations;
+            }
         }
+    }
+
+    /// Aggregate sanitizer counts over every run: `(checks, violations)`.
+    /// Both zero unless [`Ctx::sanitize`] was set.
+    pub fn sanitize_totals(&self) -> (u64, u64) {
+        (self.san_checks, self.san_violations)
     }
 
     /// Aggregate simulation cost over every run through this context:
@@ -251,6 +277,7 @@ fn failed_report(cell: &Cell, workload_name: &str, err: SimError) -> SimReport {
         host_seconds: 0.0,
         engine: EngineSummary::default(),
         outcome: RunOutcome::Failed(err),
+        sanitizer: None,
     }
 }
 
@@ -1105,6 +1132,20 @@ mod tests {
             let sum: f64 = chart.series.iter().map(|s| s.values[k]).sum();
             assert!(sum <= 1.0 + 1e-9, "fractions exceed 1 at {k}: {sum}");
         }
+    }
+
+    #[test]
+    fn sanitized_experiment_is_clean_and_text_identical() {
+        let plain = {
+            let mut ctx = Ctx::new(SizeClass::Test, 10_000, 7);
+            run_experiment("fig9", &mut ctx)
+        };
+        let mut ctx = Ctx::new(SizeClass::Test, 10_000, 7).with_sanitize(true);
+        let sane = run_experiment("fig9", &mut ctx);
+        let (checks, violations) = ctx.sanitize_totals();
+        assert!(checks > 0, "sanitizer must have run");
+        assert_eq!(violations, 0, "cycle-model invariants must hold");
+        assert_eq!(plain, sane, "sanitizer must not perturb experiment text");
     }
 
     #[test]

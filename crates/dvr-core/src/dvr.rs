@@ -19,9 +19,7 @@
 //! keeps committing while the subthread prefetches — the two properties the
 //! paper's Figure 8 attributes most of the speedup to.
 
-use std::collections::HashMap;
-
-use sim_isa::{exec_lane, Instr, NUM_REGS};
+use sim_isa::{exec_lane, FxHashMap, Instr, NUM_REGS};
 use sim_mem::{AccessClass, PrefetchSource};
 use sim_ooo::{DynInst, EngineCtx, RunaheadEngine};
 
@@ -118,7 +116,7 @@ pub struct DvrEngine {
     /// Per-striding-load prefetch frontier: the next *iteration index
     /// offset* is derived from this next-uncovered address, so back-to-back
     /// episodes extend coverage instead of re-prefetching it.
-    covered: HashMap<usize, u64>,
+    covered: FxHashMap<usize, u64>,
     stats: DvrStats,
 }
 
@@ -137,7 +135,7 @@ impl DvrEngine {
             shadow: ShadowRegs::new(),
             phase: Phase::Idle,
             busy_until: 0,
-            covered: HashMap::new(),
+            covered: FxHashMap::default(),
             stats: DvrStats::default(),
         }
     }

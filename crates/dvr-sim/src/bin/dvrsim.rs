@@ -4,6 +4,9 @@
 //! dvrsim --bench bfs --input kr --technique dvr
 //! dvrsim --bench camel --technique all --instrs 300000 --size paper
 //! dvrsim --asm kernel.s --technique dvr
+//! dvrsim --bench bfs --sanitize
+//! dvrsim lint --all
+//! dvrsim lint --asm kernel.s
 //! dvrsim --list
 //! ```
 
@@ -23,12 +26,14 @@ struct Options {
     rob: Option<usize>,
     inject: Option<FaultConfig>,
     watchdog: Option<u64>,
+    sanitize: bool,
     verbose: bool,
     json: bool,
 }
 
 const USAGE: &str = "\
 usage: dvrsim [--list] (--bench NAME | --asm FILE.s) [options]
+       dvrsim lint (--all | --bench NAME | --asm FILE.s) [--size S] [--seed N] [--verbose]
 
 options:
   --bench NAME          benchmark (see --list)
@@ -47,10 +52,16 @@ options:
                         fatal=N (fail on the Nth demand access)
   --watchdog N          cycles without a commit before the run is declared
                         deadlocked (0 disables; default 2000000)
+  --sanitize            run the cycle-model invariant sanitizer (summary on
+                        stderr; stdout/JSON output is byte-identical)
   --verbose             per-run engine detail
   --json                emit one JSON object per run (stdout)
 
-exit status: 0 if every run completed, 1 if any run failed.
+the `lint` subcommand statically analyzes assembled programs (CFG, dataflow,
+loop classification) instead of simulating; `lint --all` checks every
+benchmark in the suite.
+
+exit status: 0 if every run completed (lint: no errors), 1 otherwise.
 ";
 
 fn parse_inject(spec: &str) -> Result<FaultConfig, String> {
@@ -115,6 +126,7 @@ fn parse_args() -> Result<Options, String> {
         rob: None,
         inject: None,
         watchdog: None,
+        sanitize: false,
         verbose: false,
         json: false,
     };
@@ -160,6 +172,7 @@ fn parse_args() -> Result<Options, String> {
             "--rob" => o.rob = Some(value(&mut i)?.parse().map_err(|e| format!("{e}"))?),
             "--inject" => o.inject = Some(parse_inject(&value(&mut i)?)?),
             "--watchdog" => o.watchdog = Some(value(&mut i)?.parse().map_err(|e| format!("{e}"))?),
+            "--sanitize" => o.sanitize = true,
             "--verbose" => o.verbose = true,
             "--json" => o.json = true,
             "--help" | "-h" => {
@@ -220,7 +233,137 @@ fn print_report(r: &SimReport, base_ipc: Option<f64>, verbose: bool) {
     }
 }
 
+/// `dvrsim lint`: static analysis of assembled programs — CFG + dataflow
+/// diagnostics plus the Discovery-Mode loop-classification report.
+fn lint_main(args: &[String]) -> ExitCode {
+    let mut all = false;
+    let mut bench: Option<Benchmark> = None;
+    let mut asm: Option<String> = None;
+    let mut size = SizeClass::Test;
+    let mut seed = 42u64;
+    let mut verbose = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => all = true,
+            "--verbose" => verbose = true,
+            "--bench" | "--asm" | "--size" | "--seed" => {
+                let Some(v) = args.get(i + 1).cloned() else {
+                    eprintln!("error: {} needs a value", args[i]);
+                    return ExitCode::from(2);
+                };
+                match args[i].as_str() {
+                    "--bench" => match parse_bench(&v) {
+                        Some(b) => bench = Some(b),
+                        None => {
+                            eprintln!("error: unknown benchmark '{v}'");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--asm" => asm = Some(v),
+                    "--size" => {
+                        size = match v.as_str() {
+                            "test" => SizeClass::Test,
+                            "small" => SizeClass::Small,
+                            "paper" => SizeClass::Paper,
+                            _ => {
+                                eprintln!("error: unknown size '{v}'");
+                                return ExitCode::from(2);
+                            }
+                        };
+                    }
+                    _ => match v.parse() {
+                        Ok(n) => seed = n,
+                        Err(e) => {
+                            eprintln!("error: --seed: {e}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                }
+                i += 1;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown lint option '{other}'\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let programs: Vec<(String, sim_isa::Program)> = if all {
+        Benchmark::ALL
+            .iter()
+            .map(|b| {
+                let wl = b.build(None, size, seed);
+                (wl.name, wl.prog)
+            })
+            .collect()
+    } else if let Some(b) = bench {
+        let wl = b.build(None, size, seed);
+        vec![(wl.name, wl.prog)]
+    } else if let Some(path) = asm {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match sim_isa::parse_program(&text) {
+            Ok(prog) => vec![(path, prog)],
+            Err(e) => {
+                eprintln!("{path}: error[parse]: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        eprintln!("error: lint needs --all, --bench NAME, or --asm FILE.s\n\n{USAGE}");
+        return ExitCode::from(2);
+    };
+
+    let mut total_errors = 0usize;
+    let mut total_warnings = 0usize;
+    for (name, prog) in &programs {
+        let report = sim_lint::analyze(prog);
+        println!(
+            "{name}: {} instrs, {} loops, {} errors, {} warnings",
+            prog.len(),
+            report.loops.len(),
+            report.errors(),
+            report.warnings()
+        );
+        for d in &report.diags {
+            println!("  {}", d.render(Some(prog)));
+        }
+        if verbose || !report.loops.is_empty() {
+            for l in &report.loops {
+                println!("  {}", l.describe(Some(prog)));
+            }
+        }
+        total_errors += report.errors();
+        total_warnings += report.warnings();
+    }
+    println!(
+        "lint: {} program{} checked, {total_errors} errors, {total_warnings} warnings",
+        programs.len(),
+        if programs.len() == 1 { "" } else { "s" }
+    );
+    if total_errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("lint") {
+        return lint_main(&argv[1..]);
+    }
     let o = match parse_args() {
         Ok(o) => o,
         Err(e) => {
@@ -257,6 +400,9 @@ fn main() -> ExitCode {
         if let Some(w) = o.watchdog {
             cfg = cfg.with_watchdog_cycles(w);
         }
+        if o.sanitize {
+            cfg = cfg.with_sanitize(true);
+        }
         let r = simulate(&wl, &cfg);
         if *t == Technique::Baseline {
             base_ipc = Some(r.ipc);
@@ -265,6 +411,17 @@ fn main() -> ExitCode {
             println!("{}", r.to_json());
         } else {
             print_report(&r, if *t == Technique::Baseline { None } else { base_ipc }, o.verbose);
+        }
+        // The sanitizer speaks only on stderr so stdout (and especially
+        // --json) stays byte-identical with the sanitizer on or off.
+        if let Some(san) = &r.sanitizer {
+            eprintln!("sanitize[{}]: {}", r.technique.name(), san.summary());
+            if !san.is_clean() {
+                for m in &san.first {
+                    eprintln!("sanitize[{}]:   {m}", r.technique.name());
+                }
+                failed += 1;
+            }
         }
         if let Some(e) = r.outcome.error() {
             failed += 1;

@@ -156,6 +156,16 @@ impl SimConfig {
         self.core.max_cycles = cycles;
         self
     }
+
+    /// Enables the cycle-model invariant sanitizer: read-only structural
+    /// checks inside the core and hierarchy every cycle, plus an
+    /// architectural-state digest diff against a fresh functional replay at
+    /// the end of the run. Timing-neutral by construction; findings land in
+    /// [`SimReport::sanitizer`](crate::SimReport).
+    pub fn with_sanitize(mut self, on: bool) -> Self {
+        self.core.sanitize = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +196,12 @@ mod tests {
         assert_eq!(cfg.core.watchdog_cycles, 50_000);
         assert_eq!(cfg.core.max_cycles, 1_000_000);
         assert!(SimConfig::new(Technique::Baseline).hierarchy.fault.is_none());
+    }
+
+    #[test]
+    fn sanitize_defaults_off() {
+        assert!(!SimConfig::new(Technique::Dvr).core.sanitize);
+        assert!(SimConfig::new(Technique::Dvr).with_sanitize(true).core.sanitize);
     }
 
     #[test]

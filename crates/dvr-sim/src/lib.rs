@@ -35,9 +35,11 @@ pub use runner::{
 
 // Re-export the pieces users need to assemble custom setups.
 pub use dvr_core::{DvrConfig, DvrEngine, OracleEngine, PreEngine, VrEngine};
+pub use sim_lint;
 pub use sim_mem::{
     FaultConfig, FaultEvent, FaultKind, HierarchyConfig, MemStats, MemoryHierarchy, PrefetchSource,
     TimelinessBucket,
 };
+pub use sim_ooo::SanitizeReport;
 pub use sim_ooo::{CoreConfig, CoreStats, DeadlockSnapshot, NullEngine, OooCore, SimError};
 pub use workloads::{Benchmark, GraphInput, SizeClass, Workload};

@@ -1,7 +1,7 @@
 //! Simulation results.
 
 use sim_mem::{MemStats, PrefetchSource};
-use sim_ooo::{CoreStats, SimError};
+use sim_ooo::{CoreStats, SanitizeReport, SimError};
 
 use crate::config::Technique;
 
@@ -78,6 +78,11 @@ pub struct SimReport {
     pub engine: EngineSummary,
     /// How the run ended; statistics above are partial when it failed.
     pub outcome: RunOutcome,
+    /// Invariant-sanitizer ledger (`Some` only when the run was configured
+    /// with [`SimConfig::with_sanitize`](crate::SimConfig::with_sanitize)).
+    /// Deliberately **not** part of [`SimReport::to_json`]: sanitized and
+    /// unsanitized runs must serialize byte-identically.
+    pub sanitizer: Option<SanitizeReport>,
 }
 
 impl SimReport {
@@ -221,6 +226,7 @@ mod tests {
             host_seconds: 0.0,
             engine: EngineSummary::default(),
             outcome: RunOutcome::Complete,
+            sanitizer: None,
         }
     }
 

@@ -4,7 +4,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use dvr_core::{DvrConfig, DvrEngine, OracleEngine, PreEngine, VrEngine};
 use sim_mem::MemoryHierarchy;
-use sim_ooo::{CoreStats, NullEngine, OooCore, SimError};
+use sim_ooo::{CoreStats, NullEngine, OooCore, SanitizeReport, SimError};
 use workloads::Workload;
 
 use crate::config::{SimConfig, Technique};
@@ -15,6 +15,49 @@ fn outcome_of(result: Result<&CoreStats, SimError>) -> RunOutcome {
         Ok(_) => RunOutcome::Complete,
         Err(e) => RunOutcome::Failed(e),
     }
+}
+
+/// The prefetch-is-timing-only check: replays the workload on a fresh
+/// functional [`sim_isa::Cpu`] for exactly as many instructions as the
+/// timing core fetched, then diffs architectural registers and the memory
+/// checksum. The timing core executes at fetch and engines only *read*
+/// memory, so any divergence means a timing structure leaked into
+/// architectural state.
+///
+/// Valid for every [`RunOutcome`] — even a failed run has functionally
+/// executed every instruction it fetched.
+fn digest_check(
+    workload: &Workload,
+    core: &OooCore,
+    timing_mem: &sim_isa::SparseMemory,
+) -> SanitizeReport {
+    let mut san = SanitizeReport::default();
+    let mut replay_mem = workload.mem.clone();
+    let mut cpu = sim_isa::Cpu::new();
+    let steps = core.functional_retired();
+    let replayed = cpu.run(&workload.prog, &mut replay_mem, steps);
+    match replayed {
+        Ok(n) => {
+            san.check(n == steps, || {
+                format!("digest: functional replay halted after {n} of {steps} instructions")
+            });
+            let (got, want) = (core.functional_regs(), cpu.regs());
+            san.check(got == want, || {
+                let r = (0..got.len()).find(|&i| got[i] != want[i]).unwrap_or(0);
+                format!(
+                    "digest: architectural r{r} diverged (timing {:#x}, functional {:#x})",
+                    got[r], want[r]
+                )
+            });
+            san.check(timing_mem.checksum() == replay_mem.checksum(), || {
+                "digest: architectural memory checksum diverged from functional replay \
+                 (a timing-only structure wrote architectural memory)"
+                    .to_string()
+            });
+        }
+        Err(e) => san.check(false, || format!("digest: functional replay faulted: {e}")),
+    }
+    san
 }
 
 /// Runs one workload under one configuration and returns the report.
@@ -139,6 +182,14 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> SimReport {
         }
     };
 
+    let sanitizer = if cfg.core.sanitize {
+        let digest = digest_check(workload, &core, &mem);
+        core.sanitize_report_mut().merge(&digest);
+        Some(core.sanitize_report().clone())
+    } else {
+        None
+    };
+
     let core_stats = *core.stats();
     let mem_stats = hier.stats().clone();
     let cycles = core_stats.cycles.max(1);
@@ -152,6 +203,7 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> SimReport {
         mem: mem_stats,
         engine: engine_summary,
         outcome,
+        sanitizer,
     }
 }
 
@@ -448,6 +500,24 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn sanitized_run_is_clean_and_byte_identical() {
+        let wl = Benchmark::Camel.build(None, SizeClass::Test, 5);
+        let cfg = SimConfig::new(Technique::Dvr).with_max_instructions(30_000);
+        let plain = simulate(&wl, &cfg);
+        let sane = simulate(&wl, &cfg.with_sanitize(true));
+        let san = sane.sanitizer.as_ref().expect("sanitizer ledger attached");
+        assert!(san.is_clean(), "{}", san.summary());
+        assert!(san.checks > 0);
+        assert!(plain.sanitizer.is_none());
+        // Byte-identical reports modulo wall-clock fields.
+        let strip = |mut r: SimReport| {
+            r.host_seconds = 0.0;
+            r.to_json()
+        };
+        assert_eq!(strip(plain), strip(sane));
     }
 
     #[test]

@@ -425,11 +425,23 @@ impl fmt::Display for Instr {
 pub struct Program {
     instrs: Vec<Instr>,
     labels: Vec<(usize, String)>,
+    /// 1-based source line per instruction (empty when the program was
+    /// built programmatically rather than parsed from text).
+    lines: Vec<usize>,
 }
 
 impl Program {
     pub(crate) fn new(instrs: Vec<Instr>, labels: Vec<(usize, String)>) -> Self {
-        Program { instrs, labels }
+        Program { instrs, labels, lines: Vec::new() }
+    }
+
+    pub(crate) fn with_lines(
+        instrs: Vec<Instr>,
+        labels: Vec<(usize, String)>,
+        lines: Vec<usize>,
+    ) -> Self {
+        debug_assert_eq!(instrs.len(), lines.len());
+        Program { instrs, labels, lines }
     }
 
     /// The instruction at `pc`, or `None` past the end.
@@ -455,6 +467,18 @@ impl Program {
     /// Label names bound while assembling, as `(pc, name)` pairs.
     pub fn labels(&self) -> &[(usize, String)] {
         &self.labels
+    }
+
+    /// 1-based source line of the instruction at `pc`, when the program was
+    /// parsed from text ([`parse_program`](crate::parse_program)). Programs
+    /// built with [`Asm`](crate::Asm) have no source lines.
+    pub fn source_line(&self, pc: usize) -> Option<usize> {
+        self.lines.get(pc).copied()
+    }
+
+    /// Name of the label bound exactly at `pc`, if any.
+    pub fn label_at(&self, pc: usize) -> Option<&str> {
+        self.labels.iter().find(|(lpc, _)| *lpc == pc).map(|(_, n)| n.as_str())
     }
 }
 

@@ -189,6 +189,7 @@ fn parse_target(tok: &str, line: usize) -> Result<Target, ParseError> {
 /// ```
 pub fn parse_program(text: &str) -> Result<Program, ParseError> {
     let mut instrs: Vec<Instr> = Vec::new();
+    let mut lines: Vec<usize> = Vec::new();
     let mut labels: HashMap<String, usize> = HashMap::new();
     let mut label_list: Vec<(usize, String)> = Vec::new();
     // (instr index, target, source line) fixups.
@@ -323,6 +324,7 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
             }
         };
         instrs.push(instr);
+        lines.push(line);
     }
 
     for (at, target, line) in fixups {
@@ -341,7 +343,7 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
         }
     }
 
-    Ok(Program::new(instrs, label_list))
+    Ok(Program::with_lines(instrs, label_list, lines))
 }
 
 #[cfg(test)]
@@ -414,6 +416,22 @@ mod tests {
 
         let e = parse_program("add r1, r2").unwrap_err();
         assert!(e.message.contains("3 operands"));
+    }
+
+    #[test]
+    fn source_lines_recorded() {
+        let p = parse_program("; comment\nli r1, 1\n\ntop:\naddi r1, r1, -1\nbnz r1, top\nhalt")
+            .unwrap();
+        assert_eq!(p.source_line(0), Some(2)); // li
+        assert_eq!(p.source_line(1), Some(5)); // addi (label line doesn't count)
+        assert_eq!(p.source_line(3), Some(7)); // halt
+        assert_eq!(p.source_line(4), None);
+        assert_eq!(p.label_at(1), Some("top"));
+
+        // Programmatically assembled programs carry no line info.
+        let mut asm = crate::Asm::new();
+        asm.halt();
+        assert_eq!(asm.finish().unwrap().source_line(0), None);
     }
 
     #[test]

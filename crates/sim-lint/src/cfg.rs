@@ -1,0 +1,165 @@
+//! Control-flow graph construction over a static instruction sequence.
+//!
+//! Program counters are instruction indices; a basic block is a maximal
+//! half-open pc range `[start, end)` entered only at `start` and left only
+//! at `end - 1`. Falling off the end of the program (`pc == len`) is the
+//! ISA's clean-halt convention and is modelled as an edge to a virtual exit,
+//! not as a block.
+
+use sim_isa::Instr;
+
+/// A basic block: the half-open pc range `[start, end)`.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// First pc of the block.
+    pub start: usize,
+    /// One past the last pc of the block.
+    pub end: usize,
+    /// Successor block indices (deduplicated, ascending).
+    pub succs: Vec<usize>,
+    /// Whether the block can leave the program (halt, fall off the end, or
+    /// jump to `pc == len`).
+    pub exits: bool,
+}
+
+/// A control-flow graph: the program partitioned into basic blocks.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Blocks in ascending pc order; block 0 (when present) is the entry.
+    pub blocks: Vec<Block>,
+    /// Predecessor block indices per block (deduplicated, ascending).
+    pub preds: Vec<Vec<usize>>,
+    block_of: Vec<usize>,
+}
+
+impl Cfg {
+    /// Partitions `instrs` into basic blocks and wires the edges.
+    ///
+    /// Targets past `instrs.len()` produce no edge — the analyzer reports
+    /// them as [`BadBranchTarget`](crate::LintKind::BadBranchTarget)
+    /// separately.
+    pub fn build(instrs: &[Instr]) -> Cfg {
+        let len = instrs.len();
+        if len == 0 {
+            return Cfg { blocks: Vec::new(), preds: Vec::new(), block_of: Vec::new() };
+        }
+
+        // Leaders: entry, every in-range control target, and every
+        // instruction after a control transfer or halt.
+        let mut leader = vec![false; len];
+        leader[0] = true;
+        for (pc, instr) in instrs.iter().enumerate() {
+            if instr.is_control() || matches!(instr, Instr::Halt) {
+                if let Some(t) = instr.target() {
+                    if t < len {
+                        leader[t] = true;
+                    }
+                }
+                if pc + 1 < len {
+                    leader[pc + 1] = true;
+                }
+            }
+        }
+
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; len];
+        for pc in 0..len {
+            if leader[pc] {
+                blocks.push(Block { start: pc, end: pc, succs: Vec::new(), exits: false });
+            }
+            block_of[pc] = blocks.len() - 1;
+            let b = blocks.last_mut().expect("pc 0 is a leader");
+            b.end = pc + 1;
+        }
+
+        let n = blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        for (bi, block) in blocks.iter_mut().enumerate() {
+            let last_pc = block.end - 1;
+            let mut succs = Vec::new();
+            let mut exits = false;
+            let mut edge = |pc: usize| {
+                if pc < len {
+                    succs.push(block_of[pc]);
+                } else if pc == len {
+                    exits = true;
+                }
+                // pc > len: malformed target, no edge.
+            };
+            match instrs[last_pc] {
+                Instr::Halt => exits = true,
+                Instr::Jump { target } => edge(target),
+                Instr::Branch { target, .. } => {
+                    edge(target);
+                    edge(last_pc + 1);
+                }
+                _ => edge(last_pc + 1),
+            }
+            succs.sort_unstable();
+            succs.dedup();
+            for &s in &succs {
+                preds[s].push(bi);
+            }
+            block.succs = succs;
+            block.exits = exits;
+        }
+        for p in &mut preds {
+            p.sort_unstable();
+            p.dedup();
+        }
+
+        Cfg { blocks, preds, block_of }
+    }
+
+    /// Index of the block containing `pc`.
+    pub fn block_of(&self, pc: usize) -> usize {
+        self.block_of[pc]
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the CFG has no blocks (empty program).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_isa::parse_program;
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let p = parse_program("nop\nnop\nhalt").unwrap();
+        let cfg = Cfg::build(p.instrs());
+        assert_eq!(cfg.len(), 1);
+        assert_eq!(cfg.blocks[0].start, 0);
+        assert_eq!(cfg.blocks[0].end, 3);
+        assert!(cfg.blocks[0].exits);
+        assert!(cfg.blocks[0].succs.is_empty());
+    }
+
+    #[test]
+    fn loop_splits_blocks() {
+        let p = parse_program("li r1, 3\ntop:\naddi r1, r1, -1\nbnz r1, top\nhalt").unwrap();
+        let cfg = Cfg::build(p.instrs());
+        // [li] [addi, bnz] [halt]
+        assert_eq!(cfg.len(), 3);
+        assert_eq!(cfg.blocks[1].succs, vec![1, 2]);
+        assert_eq!(cfg.preds[1], vec![0, 1]);
+        assert!(cfg.blocks[2].exits);
+    }
+
+    #[test]
+    fn fall_off_the_end_is_an_exit() {
+        let p = parse_program("bnz r1, @2\nnop").unwrap();
+        let cfg = Cfg::build(p.instrs());
+        assert_eq!(cfg.len(), 2);
+        assert!(cfg.blocks[0].exits); // branch to pc 2 == len
+        assert!(cfg.blocks[1].exits); // falls off the end
+    }
+}

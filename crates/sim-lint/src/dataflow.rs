@@ -1,0 +1,231 @@
+//! Dataflow analyses over the CFG: dominators, reachability, and a
+//! reaching-definitions variant that tracks may-uninitialized registers.
+
+use sim_isa::Instr;
+
+use crate::cfg::Cfg;
+
+/// A dense bitset over block indices (programs are small; a few words).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BlockSet {
+    words: Vec<u64>,
+}
+
+impl BlockSet {
+    /// An empty set sized for `n` blocks.
+    pub fn empty(n: usize) -> Self {
+        BlockSet { words: vec![0; n.div_ceil(64)] }
+    }
+
+    /// A full set over `n` blocks.
+    pub fn full(n: usize) -> Self {
+        let mut s = Self::empty(n);
+        for (i, w) in s.words.iter_mut().enumerate() {
+            let remaining = n.saturating_sub(i * 64);
+            *w = if remaining >= 64 { u64::MAX } else { (1u64 << remaining) - 1 };
+        }
+        s
+    }
+
+    /// Tests membership.
+    pub fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 != 0
+    }
+
+    /// Inserts `i`; returns whether it was newly added.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        let added = *w & bit == 0;
+        *w |= bit;
+        added
+    }
+
+    /// Intersects with `other` in place; returns whether anything changed.
+    pub fn intersect(&mut self, other: &BlockSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a & b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+}
+
+/// Blocks reachable from the entry (block 0).
+pub fn reachable(cfg: &Cfg) -> BlockSet {
+    let mut seen = BlockSet::empty(cfg.len());
+    if cfg.is_empty() {
+        return seen;
+    }
+    let mut work = vec![0usize];
+    seen.insert(0);
+    while let Some(b) = work.pop() {
+        for &s in &cfg.blocks[b].succs {
+            if seen.insert(s) {
+                work.push(s);
+            }
+        }
+    }
+    seen
+}
+
+/// Iterative dominator sets: `doms[b]` contains every block that dominates
+/// `b` (including `b` itself). Unreachable blocks keep the full set, which
+/// conservatively keeps them out of back-edge detection.
+pub fn dominators(cfg: &Cfg) -> Vec<BlockSet> {
+    let n = cfg.len();
+    let mut doms: Vec<BlockSet> = (0..n).map(|_| BlockSet::full(n)).collect();
+    if n == 0 {
+        return doms;
+    }
+    doms[0] = BlockSet::empty(n);
+    doms[0].insert(0);
+    let reach = reachable(cfg);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 1..n {
+            if !reach.contains(b) {
+                continue;
+            }
+            let mut new = BlockSet::full(n);
+            for &p in &cfg.preds[b] {
+                if reach.contains(p) {
+                    new.intersect(&doms[p]);
+                }
+            }
+            new.insert(b);
+            if new != doms[b] {
+                doms[b] = new;
+                changed = true;
+            }
+        }
+    }
+    doms
+}
+
+/// Result of the may-uninitialized analysis.
+pub struct UninitAnalysis {
+    /// Per-block entry state: bit `r` set means register `r` may still be
+    /// unwritten on some path reaching the block.
+    pub entry: Vec<u16>,
+    /// `(pc, reg_index)` pairs where a possibly-unwritten register is read,
+    /// deduplicated and sorted by pc then register.
+    pub reads: Vec<(usize, usize)>,
+}
+
+fn transfer(instrs: &[Instr], start: usize, end: usize, mut mask: u16) -> u16 {
+    for instr in &instrs[start..end] {
+        if let Some(rd) = instr.dst() {
+            mask &= !rd.bit();
+        }
+    }
+    mask
+}
+
+/// Forward may-analysis over 16-bit register masks: a register is
+/// "may-uninit" at a point if the virtual all-registers-uninitialized
+/// definition at the entry reaches it along some path. The union meet makes
+/// this the classic reaching-definitions formulation restricted to that one
+/// pseudo-definition per register.
+pub fn may_uninit(cfg: &Cfg, instrs: &[Instr]) -> UninitAnalysis {
+    let n = cfg.len();
+    let mut entry = vec![0u16; n];
+    if n == 0 {
+        return UninitAnalysis { entry, reads: Vec::new() };
+    }
+    entry[0] = u16::MAX;
+    let mut work: Vec<usize> = (0..n).collect();
+    while let Some(b) = work.pop() {
+        let out = transfer(instrs, cfg.blocks[b].start, cfg.blocks[b].end, entry[b]);
+        for &s in &cfg.blocks[b].succs {
+            let merged = entry[s] | out;
+            if merged != entry[s] {
+                entry[s] = merged;
+                if !work.contains(&s) {
+                    work.push(s);
+                }
+            }
+        }
+    }
+
+    let reach = reachable(cfg);
+    let mut reads = Vec::new();
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        if !reach.contains(b) {
+            continue;
+        }
+        let mut mask = entry[b];
+        for (off, instr) in instrs[block.start..block.end].iter().enumerate() {
+            for src in instr.srcs() {
+                if mask & src.bit() != 0 {
+                    reads.push((block.start + off, src.index()));
+                }
+            }
+            if let Some(rd) = instr.dst() {
+                mask &= !rd.bit();
+            }
+        }
+    }
+    reads.sort_unstable();
+    reads.dedup();
+    UninitAnalysis { entry, reads }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_isa::parse_program;
+
+    fn cfg_of(text: &str) -> (Cfg, Vec<Instr>) {
+        let p = parse_program(text).unwrap();
+        (Cfg::build(p.instrs()), p.instrs().to_vec())
+    }
+
+    #[test]
+    fn dominators_of_a_diamond() {
+        // 0: branch -> (1 | 2) -> 3
+        let (cfg, _) = cfg_of("bnz r1, @3\nnop\njmp @4\nnop\nhalt");
+        // blocks: [bnz][nop jmp][nop][halt]
+        assert_eq!(cfg.len(), 4);
+        let doms = dominators(&cfg);
+        assert!(doms[3].contains(0));
+        assert!(!doms[3].contains(1));
+        assert!(!doms[3].contains(2));
+    }
+
+    #[test]
+    fn loop_head_dominates_latch() {
+        let (cfg, _) = cfg_of("li r1, 3\ntop:\naddi r1, r1, -1\nbnz r1, top\nhalt");
+        let doms = dominators(&cfg);
+        assert!(doms[1].contains(1));
+        assert!(doms[1].contains(0));
+    }
+
+    #[test]
+    fn uninit_read_detected_and_cleared() {
+        let (cfg, instrs) = cfg_of("add r3, r1, r2\nli r1, 1\nadd r4, r1, r1\nhalt");
+        let a = may_uninit(&cfg, &instrs);
+        // r1 and r2 read uninitialized at pc 0; r1 is clean at pc 2.
+        assert_eq!(a.reads, vec![(0, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn join_keeps_may_uninit() {
+        // r2 written on only one side of the diamond -> still may-uninit after.
+        let (cfg, instrs) = cfg_of("li r1, 1\nbnz r1, @3\nli r2, 7\nadd r3, r2, r2\nhalt");
+        let a = may_uninit(&cfg, &instrs);
+        assert!(a.reads.contains(&(3, 2)));
+    }
+
+    #[test]
+    fn bitset_full_and_intersect() {
+        let mut a = BlockSet::full(70);
+        assert!(a.contains(69));
+        let b = BlockSet::empty(70);
+        assert!(a.intersect(&b));
+        assert!(!a.contains(0));
+    }
+}

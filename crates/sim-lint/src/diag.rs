@@ -1,0 +1,122 @@
+//! Typed diagnostics produced by the analyzer.
+
+use std::fmt;
+
+use sim_isa::Program;
+
+use crate::loops::LoopInfo;
+
+/// How serious a finding is.
+///
+/// Only [`Severity::Error`] findings make a program "fail" the lint:
+/// registers are architecturally zero-initialized and unreachable code is
+/// legal, so those are warnings, while a branch outside the program or a
+/// loop with no exit path can never be correct.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Suspicious but well-defined; the program still runs.
+    Warning,
+    /// The program is malformed or can never terminate.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The kind of defect a diagnostic reports.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum LintKind {
+    /// A register is read on some path before any instruction writes it.
+    UninitRead,
+    /// A basic block no path from the entry can reach.
+    UnreachableBlock,
+    /// A branch or jump target past the end of the program (`== len` is a
+    /// legal fall-off-the-end halt; `> len` is not).
+    BadBranchTarget,
+    /// A control-flow loop with no exit edge — the program can never halt.
+    InfiniteLoop,
+}
+
+impl LintKind {
+    /// The default severity for this kind of finding.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintKind::UninitRead | LintKind::UnreachableBlock => Severity::Warning,
+            LintKind::BadBranchTarget | LintKind::InfiniteLoop => Severity::Error,
+        }
+    }
+
+    /// Stable kebab-case name used in rendered diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintKind::UninitRead => "uninit-read",
+            LintKind::UnreachableBlock => "unreachable-block",
+            LintKind::BadBranchTarget => "bad-branch-target",
+            LintKind::InfiniteLoop => "infinite-loop",
+        }
+    }
+}
+
+/// One finding, anchored to the program counter of the offending
+/// instruction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// What kind of defect this is.
+    pub kind: LintKind,
+    /// How serious it is (see [`LintKind::severity`]).
+    pub severity: Severity,
+    /// Program counter (instruction index) of the offending instruction.
+    pub pc: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub(crate) fn new(kind: LintKind, pc: usize, message: String) -> Self {
+        Diagnostic { kind, severity: kind.severity(), pc, message }
+    }
+
+    /// Renders the diagnostic, pointing at the workload source line when the
+    /// program was parsed from text (satellite of the assembler-diagnostics
+    /// work: `Program::source_line`).
+    pub fn render(&self, prog: Option<&Program>) -> String {
+        let loc = match prog.and_then(|p| p.source_line(self.pc)) {
+            Some(line) => format!("pc {} (line {})", self.pc, line),
+            None => format!("pc {}", self.pc),
+        };
+        format!("{}[{}] {}: {}", self.severity, self.kind.name(), loc, self.message)
+    }
+}
+
+/// Everything the analyzer found for one program.
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// All findings, sorted by program counter then kind.
+    pub diags: Vec<Diagnostic>,
+    /// Natural loops with their Discovery-Mode conformance classification,
+    /// sorted by loop-head program counter.
+    pub loops: Vec<LoopInfo>,
+}
+
+impl LintReport {
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.diags.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.diags.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+
+    /// Whether the program is free of error-severity findings.
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+}

@@ -1,0 +1,344 @@
+//! Natural-loop extraction and the Discovery-Mode conformance pass.
+//!
+//! DVR's Discovery Mode (paper Section 4.1.3) vectorizes a loop only when
+//! it can recover, from the dynamic instruction stream, (a) a striding
+//! induction variable, (b) the cmp + backward-branch loop-bound idiom, and
+//! (c) the load chain hanging off the induction variable. This module
+//! recovers the same structure statically so `dvrsim lint` can predict
+//! which loops DVR will be able to runahead down.
+
+use std::fmt;
+
+use sim_isa::{AluOp, Instr, Program, Reg};
+
+use crate::cfg::Cfg;
+use crate::dataflow::{dominators, BlockSet};
+
+/// Static prediction of how DVR's Discovery Mode will treat a loop.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LoopClass {
+    /// Striding induction + cmp+branch bound + striding loads + dependent
+    /// loads: the indirect-chain pattern DVR vectorizes end to end.
+    VectorizableChain,
+    /// Striding induction + cmp+branch bound + striding loads, no dependent
+    /// chain: vector runahead degenerates to stride prefetching.
+    VectorizableStride,
+    /// Striding induction + cmp+branch bound but no loads addressed by the
+    /// induction variable: nothing for runahead to prefetch.
+    CounterOnly,
+    /// The loop bound follows the cmp+branch idiom but no single-step
+    /// induction register exists; Discovery's stride detector never fires.
+    NoInduction,
+    /// The backward branch is not fed by a compare (e.g. a pointer chase
+    /// testing a loaded value): the Loop-Bound Detector cannot latch a trip
+    /// count.
+    IrregularControl,
+}
+
+impl fmt::Display for LoopClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LoopClass::VectorizableChain => "vectorizable-chain",
+            LoopClass::VectorizableStride => "vectorizable-stride",
+            LoopClass::CounterOnly => "counter-only",
+            LoopClass::NoInduction => "no-induction",
+            LoopClass::IrregularControl => "irregular-control",
+        })
+    }
+}
+
+/// One natural loop (back edges merged by head) and what the conformance
+/// pass found in it.
+#[derive(Clone, Debug)]
+pub struct LoopInfo {
+    /// Program counter of the loop head (first instruction of the head
+    /// block).
+    pub head_pc: usize,
+    /// Program counter of the latch — the backward branch closing the loop
+    /// (the largest-pc back-edge source when several exist).
+    pub latch_pc: usize,
+    /// Block indices forming the loop body, ascending.
+    pub body: Vec<usize>,
+    /// Striding induction register and its per-iteration step, when exactly
+    /// one in-loop definition of the register exists and it is
+    /// `r = r + imm` / `r = r - imm`.
+    pub induction: Option<(Reg, i64)>,
+    /// Pc of the compare feeding the latch branch, when the cmp+branch
+    /// idiom holds.
+    pub cmp_pc: Option<usize>,
+    /// Pcs of loads addressed through the induction register.
+    pub striding_loads: Vec<usize>,
+    /// Pcs of loads addressed through a value chained off a striding load.
+    pub dependent_loads: Vec<usize>,
+    /// Number of stores in the body (memory progress).
+    pub stores: usize,
+    /// Whether any body block has an edge leaving the loop (or exiting the
+    /// program).
+    pub has_exit: bool,
+    /// The resulting Discovery-Mode classification.
+    pub class: LoopClass,
+}
+
+impl LoopInfo {
+    /// One-line deterministic description; with a [`Program`], the head is
+    /// annotated with its label name.
+    pub fn describe(&self, prog: Option<&Program>) -> String {
+        let label = prog
+            .and_then(|p| p.label_at(self.head_pc))
+            .map(|n| format!("({n})"))
+            .unwrap_or_default();
+        let induction = match self.induction {
+            Some((r, step)) => format!("{r}{step:+}"),
+            None => "-".to_string(),
+        };
+        format!(
+            "loop@{}{} latch@{} blocks={} induction={} cmp-branch={} \
+             striding-loads={} dependent-loads={} stores={} class={}",
+            self.head_pc,
+            label,
+            self.latch_pc,
+            self.body.len(),
+            induction,
+            if self.cmp_pc.is_some() { "yes" } else { "no" },
+            self.striding_loads.len(),
+            self.dependent_loads.len(),
+            self.stores,
+            self.class,
+        )
+    }
+}
+
+/// Finds natural loops (back edges `u -> h` with `h` dominating `u`,
+/// merged by head `h`) and classifies each for Discovery-Mode conformance.
+pub fn find_loops(cfg: &Cfg, instrs: &[Instr]) -> Vec<LoopInfo> {
+    let n = cfg.len();
+    let doms = dominators(cfg);
+
+    // head block -> latch blocks.
+    let mut heads: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (u, block) in cfg.blocks.iter().enumerate() {
+        for &h in &block.succs {
+            if doms[u].contains(h) {
+                match heads.iter_mut().find(|(head, _)| *head == h) {
+                    Some((_, latches)) => latches.push(u),
+                    None => heads.push((h, vec![u])),
+                }
+            }
+        }
+    }
+    heads.sort_unstable_by_key(|(h, _)| cfg.blocks[*h].start);
+
+    heads
+        .into_iter()
+        .map(|(head, latches)| {
+            // Natural-loop body: head plus everything reaching a latch
+            // without passing through the head.
+            let mut body = BlockSet::empty(n);
+            body.insert(head);
+            let mut work: Vec<usize> = Vec::new();
+            for &l in &latches {
+                if body.insert(l) {
+                    work.push(l);
+                }
+            }
+            while let Some(b) = work.pop() {
+                for &p in &cfg.preds[b] {
+                    if body.insert(p) {
+                        work.push(p);
+                    }
+                }
+            }
+            let body: Vec<usize> = (0..n).filter(|&b| body.contains(b)).collect();
+            let latch = latches.iter().copied().max().expect("at least one latch");
+            classify(cfg, instrs, head, latch, body)
+        })
+        .collect()
+}
+
+fn body_pcs<'a>(cfg: &'a Cfg, body: &'a [usize]) -> impl Iterator<Item = usize> + 'a {
+    body.iter().flat_map(move |&b| cfg.blocks[b].start..cfg.blocks[b].end)
+}
+
+fn classify(cfg: &Cfg, instrs: &[Instr], head: usize, latch: usize, body: Vec<usize>) -> LoopInfo {
+    let head_pc = cfg.blocks[head].start;
+    let latch_pc = cfg.blocks[latch].end - 1;
+
+    // Per-register definition counts inside the body.
+    let mut defs = [0usize; 16];
+    let mut stores = 0usize;
+    for pc in body_pcs(cfg, &body) {
+        if let Some(rd) = instrs[pc].dst() {
+            defs[rd.index()] += 1;
+        }
+        if instrs[pc].is_store() {
+            stores += 1;
+        }
+    }
+
+    // Striding induction: the register's only in-loop definition is
+    // `r = r +/- imm` — exactly what Discovery's stride detector locks on.
+    let mut induction: Option<(Reg, i64)> = None;
+    for pc in body_pcs(cfg, &body) {
+        if let Instr::AluImm { op, rd, ra, imm } = instrs[pc] {
+            let step = match op {
+                AluOp::Add => imm,
+                AluOp::Sub => -imm,
+                _ => continue,
+            };
+            if rd == ra && defs[rd.index()] == 1 && induction.is_none() {
+                induction = Some((rd, step));
+            }
+        }
+    }
+
+    // cmp+branch idiom: the latch is a conditional backward branch to the
+    // head, fed by a compare defined in the body.
+    let mut cmp_pc = None;
+    if let Instr::Branch { rs, target, .. } = instrs[latch_pc] {
+        if target == head_pc {
+            cmp_pc = body_pcs(cfg, &body)
+                .filter(|&pc| instrs[pc].is_compare() && instrs[pc].dst() == Some(rs))
+                .last();
+        }
+    }
+
+    // Loads addressed through the induction register stride; values chained
+    // off them taint further loads (the Vector Taint Tracker, statically).
+    let mut striding_loads = Vec::new();
+    let mut taint: u16 = 0;
+    if let Some((ind, _)) = induction {
+        for pc in body_pcs(cfg, &body) {
+            if let Instr::Load { rd, addr, .. } = instrs[pc] {
+                if addr.regs().any(|r| r == ind) {
+                    striding_loads.push(pc);
+                    taint |= rd.bit();
+                }
+            }
+        }
+    }
+    let mut dependent_loads = Vec::new();
+    if taint != 0 {
+        loop {
+            let mut changed = false;
+            for pc in body_pcs(cfg, &body) {
+                let tainted_src = match instrs[pc] {
+                    Instr::Alu { ra, rb, .. } => taint & (ra.bit() | rb.bit()) != 0,
+                    Instr::AluImm { ra, .. } => taint & ra.bit() != 0,
+                    Instr::Load { addr, .. } => addr.regs().any(|r| taint & r.bit() != 0),
+                    _ => false,
+                };
+                if tainted_src {
+                    if let Some(rd) = instrs[pc].dst() {
+                        if taint & rd.bit() == 0 {
+                            taint |= rd.bit();
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for pc in body_pcs(cfg, &body) {
+            if let Instr::Load { addr, .. } = instrs[pc] {
+                if addr.regs().any(|r| taint & r.bit() != 0) && !striding_loads.contains(&pc) {
+                    dependent_loads.push(pc);
+                }
+            }
+        }
+    }
+
+    // An exit is any body-block edge that leaves the loop or the program.
+    let has_exit = body
+        .iter()
+        .any(|&b| cfg.blocks[b].exits || cfg.blocks[b].succs.iter().any(|s| !body.contains(s)));
+
+    let class = if cmp_pc.is_none() {
+        LoopClass::IrregularControl
+    } else if induction.is_none() {
+        LoopClass::NoInduction
+    } else if !dependent_loads.is_empty() {
+        LoopClass::VectorizableChain
+    } else if !striding_loads.is_empty() {
+        LoopClass::VectorizableStride
+    } else {
+        LoopClass::CounterOnly
+    };
+
+    LoopInfo {
+        head_pc,
+        latch_pc,
+        body,
+        induction,
+        cmp_pc,
+        striding_loads,
+        dependent_loads,
+        stores,
+        has_exit,
+        class,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_isa::parse_program;
+
+    fn loops_of(text: &str) -> Vec<LoopInfo> {
+        let p = parse_program(text).unwrap();
+        let cfg = Cfg::build(p.instrs());
+        find_loops(&cfg, p.instrs())
+    }
+
+    #[test]
+    fn stride_loop_classifies_as_stride() {
+        let l = loops_of(
+            "li r1, 4096\nli r2, 0\nli r3, 8\ntop:\nld8 r5, [r1 + r2<<3 + 0]\n\
+             addi r2, r2, 1\nslt r6, r2, r3\nbnz r6, top\nhalt",
+        );
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].induction.map(|(r, s)| (r.index(), s)), Some((2, 1)));
+        assert!(l[0].cmp_pc.is_some());
+        assert_eq!(l[0].striding_loads.len(), 1);
+        assert_eq!(l[0].class, LoopClass::VectorizableStride);
+        assert!(l[0].has_exit);
+    }
+
+    #[test]
+    fn indirect_chain_classifies_as_chain() {
+        // val = data[idx[i]] — the a[b[i]] idiom DVR targets.
+        let l = loops_of(
+            "li r1, 4096\nli r2, 8192\nli r3, 0\nli r4, 100\ntop:\n\
+             ld8 r5, [r1 + r3<<3 + 0]\nld8 r6, [r2 + r5<<3 + 0]\n\
+             addi r3, r3, 1\nslt r7, r3, r4\nbnz r7, top\nhalt",
+        );
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].class, LoopClass::VectorizableChain);
+        assert_eq!(l[0].striding_loads.len(), 1);
+        assert_eq!(l[0].dependent_loads.len(), 1);
+    }
+
+    #[test]
+    fn pointer_chase_is_irregular() {
+        // while (p) p = *p; — no compare feeds the branch.
+        let l = loops_of("li r1, 4096\ntop:\nld8 r1, [r1 + 0]\nbnz r1, top\nhalt");
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].class, LoopClass::IrregularControl);
+    }
+
+    #[test]
+    fn counter_loop_is_counter_only() {
+        let l = loops_of("li r1, 0\ntop:\naddi r1, r1, 1\nslt r2, r1, r1\nbnz r2, top\nhalt");
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].class, LoopClass::CounterOnly);
+    }
+
+    #[test]
+    fn dead_loop_has_no_exit() {
+        let l = loops_of("top:\njmp top");
+        assert_eq!(l.len(), 1);
+        assert!(!l[0].has_exit);
+        assert_eq!(l[0].stores, 0);
+    }
+}

@@ -178,6 +178,35 @@ impl Cache {
     pub fn resident_lines(&self) -> usize {
         self.ways.iter().filter(|w| w.valid).count()
     }
+
+    /// Read-only structural self-check for the `--sanitize` mode: every
+    /// valid line must map to the set holding it, a set must not hold the
+    /// same line twice, and LRU stamps can never run ahead of the probe
+    /// tick. Returns one message per violated invariant.
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for set in 0..self.sets {
+            let ways = &self.ways[set * self.cfg.assoc..(set + 1) * self.cfg.assoc];
+            for (i, w) in ways.iter().enumerate() {
+                if !w.valid {
+                    continue;
+                }
+                if (w.tag as usize) & (self.sets - 1) != set {
+                    out.push(format!("cache: line {} resident in wrong set {set}", w.tag));
+                }
+                if w.lru > self.tick {
+                    out.push(format!(
+                        "cache: line {} LRU stamp {} ahead of tick {}",
+                        w.tag, w.lru, self.tick
+                    ));
+                }
+                if ways[..i].iter().any(|o| o.valid && o.tag == w.tag) {
+                    out.push(format!("cache: line {} duplicated in set {set}", w.tag));
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -452,6 +452,21 @@ impl MemoryHierarchy {
         }
     }
 
+    /// Read-only invariant sweep for the `--sanitize` mode: MSHR
+    /// allocate/release balance every call, plus the per-set cache scans
+    /// ([`Cache::check_invariants`]) when `deep` is set — those walk every
+    /// way, so the core amortizes them over thousands of cycles. Taking
+    /// `&self` guarantees the check cannot perturb timing.
+    pub fn check_invariants(&self, cycle: u64, deep: bool) -> Vec<String> {
+        let mut out = self.mshr.check_invariants(cycle);
+        if deep {
+            for (name, cache) in [("L1", &self.l1), ("L2", &self.l2), ("L3", &self.l3)] {
+                out.extend(cache.check_invariants().into_iter().map(|m| format!("{name} {m}")));
+            }
+        }
+        out
+    }
+
     /// Direct read access to the L1-D (tests, diagnostics).
     pub fn l1(&self) -> &Cache {
         &self.l1
@@ -666,6 +681,18 @@ mod tests {
         assert_eq!(ev.line, crate::line_of(0x2000));
         assert_eq!(m.stats().injected_fatal, 1);
         assert!(m.take_fault().is_none());
+    }
+
+    #[test]
+    fn invariant_sweep_is_clean_after_traffic() {
+        let mut m = hier();
+        let mut t = 0;
+        for i in 0..2048u64 {
+            let a = m.load(t, i * 4096, AccessClass::Demand);
+            m.prefetch(t, i * 4096 + 64, PrefetchSource::Stride);
+            t = a.complete_at;
+        }
+        assert!(m.check_invariants(t, true).is_empty());
     }
 
     #[test]

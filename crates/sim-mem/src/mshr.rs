@@ -164,6 +164,32 @@ impl MshrFile {
     pub fn peak(&self) -> usize {
         self.peak
     }
+
+    /// Read-only allocate/release balance check for the `--sanitize` mode:
+    /// tracked entries and live occupancy can never exceed capacity (every
+    /// allocation is paired with a completion time; the blocking allocator
+    /// reuses or replaces slots rather than growing the file). The
+    /// prefetch-class cap is deliberately *not* asserted here: the bounded
+    /// wait in [`MshrFile::alloc_blocking`] may give up after a few rounds,
+    /// transiently exceeding it by design.
+    pub fn check_invariants(&self, cycle: u64) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.ends.len() > self.capacity {
+            out.push(format!(
+                "mshr: {} tracked entries exceed capacity {}",
+                self.ends.len(),
+                self.capacity
+            ));
+        }
+        let used = self.in_use(cycle);
+        if used > self.capacity {
+            out.push(format!("mshr: {used} live entries exceed capacity {}", self.capacity));
+        }
+        if self.peak > self.capacity {
+            out.push(format!("mshr: peak {} exceeds capacity {}", self.peak, self.capacity));
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -50,6 +50,11 @@ pub struct CoreConfig {
     pub max_wall_ms: u64,
     /// Architectural-memory footprint cap in bytes. `0` = unlimited.
     pub mem_cap_bytes: u64,
+    /// Run the cycle-model invariant sanitizer: read-only structural checks
+    /// over the ROB/rename/LSQ each cycle plus amortized MSHR/cache sweeps,
+    /// reported through [`OooCore::sanitize_report`](crate::OooCore).
+    /// Checks are side-effect-free, so enabling this never changes timing.
+    pub sanitize: bool,
 }
 
 impl Default for CoreConfig {
@@ -74,6 +79,7 @@ impl Default for CoreConfig {
             max_cycles: 0,
             max_wall_ms: 0,
             mem_cap_bytes: 0,
+            sanitize: false,
         }
     }
 }

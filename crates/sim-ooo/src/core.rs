@@ -19,6 +19,7 @@ use crate::branch::TagePredictor;
 use crate::config::CoreConfig;
 use crate::engine::{ArchSnapshot, EngineCtx, RunaheadEngine};
 use crate::error::{DeadlockSnapshot, SimError};
+use crate::sanitize::SanitizeReport;
 use crate::stats::CoreStats;
 
 /// A dynamic (fetched) instruction, carrying both functional outcomes and
@@ -168,6 +169,8 @@ pub struct OooCore {
     /// [`SimError::CoreReused`] instead of silently corrupting stats.
     finished: bool,
 
+    /// Invariant-sanitizer ledger (populated when `cfg.sanitize` is set).
+    san: SanitizeReport,
     stats: CoreStats,
 }
 
@@ -199,6 +202,7 @@ impl OooCore {
             stall_episode_armed: true,
             rob_full_counted_this_cycle: false,
             finished: false,
+            san: SanitizeReport::default(),
             stats: CoreStats::default(),
         }
     }
@@ -253,6 +257,9 @@ impl OooCore {
         // Finalization happens on both paths so partial statistics are
         // coherent (cycles set, unused prefetches accounted) even when the
         // run failed.
+        if self.cfg.sanitize {
+            self.sanitize_deep(hier);
+        }
         self.stats.cycles = self.cycle;
         hier.finalize();
         result.map(|()| &self.stats)
@@ -280,6 +287,14 @@ impl OooCore {
 
             if let Some(ev) = hier.take_fault() {
                 return Err(SimError::InjectedFault(ev));
+            }
+
+            if self.cfg.sanitize {
+                self.sanitize_cycle(hier);
+                // The per-set cache sweeps walk every way; amortize them.
+                if self.cycle & 0xFFF == 0 {
+                    self.sanitize_deep(hier);
+                }
             }
 
             if self.stats.committed > committed_before {
@@ -325,6 +340,159 @@ impl OooCore {
             }
         }
         Ok(())
+    }
+
+    /// The invariant-sanitizer ledger (populated when
+    /// [`CoreConfig::sanitize`] is set).
+    pub fn sanitize_report(&self) -> &SanitizeReport {
+        &self.san
+    }
+
+    /// Mutable ledger access, for folding in checks the core cannot run
+    /// itself (the runner's architectural-state digest diff).
+    pub fn sanitize_report_mut(&mut self) -> &mut SanitizeReport {
+        &mut self.san
+    }
+
+    /// Instructions the functional executor has retired at the fetch
+    /// frontier (the replay length for the digest check).
+    pub fn functional_retired(&self) -> u64 {
+        self.cpu.retired()
+    }
+
+    /// The functional executor's architectural register file.
+    pub fn functional_regs(&self) -> [u64; NUM_REGS] {
+        self.cpu.regs()
+    }
+
+    /// One read-only structural sweep of the pipeline. Every condition is
+    /// computed from `&self` state; findings go to the ledger only, so the
+    /// sweep cannot perturb timing.
+    fn sanitize_cycle(&mut self, hier: &MemoryHierarchy) {
+        // Take the ledger out so the checks below can borrow `self` freely.
+        let mut san = std::mem::take(&mut self.san);
+        let cycle = self.cycle;
+
+        // ROB / completion-calendar alignment and capacity.
+        san.check(self.rob.len() == self.sched.len(), || {
+            format!(
+                "cycle {cycle}: rob len {} != completion calendar len {}",
+                self.rob.len(),
+                self.sched.len()
+            )
+        });
+        san.check(self.rob.len() <= self.cfg.rob_size, || {
+            format!("cycle {cycle}: rob holds {} > {} entries", self.rob.len(), self.cfg.rob_size)
+        });
+
+        // Age ordering: sequence numbers are contiguous from the head, the
+        // calendar mirrors each entry's completion time, and nothing is
+        // "complete" without having issued.
+        let mut loads = 0usize;
+        let mut stores = 0usize;
+        let mut unissued_in_rob = 0usize;
+        for (i, di) in self.rob.iter().enumerate() {
+            san.check(di.seq == self.head_seq + i as u64, || {
+                format!(
+                    "cycle {cycle}: rob[{i}] seq {} breaks age order (head seq {})",
+                    di.seq, self.head_seq
+                )
+            });
+            san.check(self.sched[i] == di.complete_at, || {
+                format!(
+                    "cycle {cycle}: calendar[{i}] = {} but rob entry completes at {}",
+                    self.sched[i], di.complete_at
+                )
+            });
+            san.check(di.issued || di.complete_at == u64::MAX, || {
+                format!("cycle {cycle}: rob[{i}] has a completion time but never issued")
+            });
+            loads += di.is_load() as usize;
+            stores += di.is_store() as usize;
+            unissued_in_rob += !di.issued as usize;
+        }
+
+        // LQ/SQ counters balance against the ROB contents and capacity.
+        san.check(loads == self.loads_in_rob, || {
+            format!("cycle {cycle}: LQ counter {} but {loads} loads in rob", self.loads_in_rob)
+        });
+        san.check(stores == self.stores_in_rob, || {
+            format!("cycle {cycle}: SQ counter {} but {stores} stores in rob", self.stores_in_rob)
+        });
+        san.check(self.loads_in_rob <= self.cfg.lq_size, || {
+            format!("cycle {cycle}: LQ over capacity: {} > {}", self.loads_in_rob, self.cfg.lq_size)
+        });
+        san.check(self.stores_in_rob <= self.cfg.sq_size, || {
+            format!(
+                "cycle {cycle}: SQ over capacity: {} > {}",
+                self.stores_in_rob, self.cfg.sq_size
+            )
+        });
+
+        // The issue-queue scan list holds exactly the unissued ROB entries.
+        san.check(unissued_in_rob == self.unissued.len(), || {
+            format!(
+                "cycle {cycle}: {} unissued rob entries but {} scan-list entries",
+                unissued_in_rob,
+                self.unissued.len()
+            )
+        });
+        for &(seq, _) in &self.unissued {
+            let idx = seq.wrapping_sub(self.head_seq) as usize;
+            let ok = seq >= self.head_seq && idx < self.rob.len() && !self.rob[idx].issued;
+            san.check(ok, || {
+                format!("cycle {cycle}: scan-list seq {seq} is not a live unissued entry")
+            });
+        }
+
+        // Rename table points at live producers of the right register.
+        for (r, slot) in self.rename.iter().enumerate() {
+            if let Some(seq) = *slot {
+                let idx = seq.wrapping_sub(self.head_seq) as usize;
+                let ok = seq >= self.head_seq
+                    && idx < self.rob.len()
+                    && self.rob[idx].instr.dst().map(|d| d.index()) == Some(r);
+                san.check(ok, || {
+                    format!("cycle {cycle}: rename[r{r}] = {seq} is not a live producer of r{r}")
+                });
+            }
+        }
+
+        // In-flight stores: program order, alive, and actually stores.
+        let mut prev: Option<u64> = None;
+        for &(seq, _, _) in &self.pending_stores {
+            let idx = seq.wrapping_sub(self.head_seq) as usize;
+            let ok = seq >= self.head_seq && idx < self.rob.len() && self.rob[idx].is_store();
+            san.check(ok, || format!("cycle {cycle}: pending store seq {seq} is not a live store"));
+            san.check(prev.is_none_or(|p| p < seq), || {
+                format!("cycle {cycle}: pending stores out of program order at seq {seq}")
+            });
+            prev = Some(seq);
+        }
+
+        // Post-commit store buffer and its multiplicity index agree.
+        san.check(self.retired_stores.len() <= 64, || {
+            format!("cycle {cycle}: post-commit store buffer overflow")
+        });
+        let indexed: u32 = self.retired_index.values().sum();
+        san.check(indexed as usize == self.retired_stores.len(), || {
+            format!(
+                "cycle {cycle}: retired-store index counts {indexed} but buffer holds {}",
+                self.retired_stores.len()
+            )
+        });
+
+        // MSHR allocate/release balance.
+        san.absorb(hier.check_invariants(cycle, false));
+        self.san = san;
+    }
+
+    /// The amortized sweep: per-set cache consistency on top of the MSHR
+    /// balance. Run every 4 Ki cycles and once at the end of the run.
+    fn sanitize_deep(&mut self, hier: &MemoryHierarchy) {
+        let mut san = std::mem::take(&mut self.san);
+        san.absorb(hier.check_invariants(self.cycle, true));
+        self.san = san;
     }
 
     /// Captures the pipeline state for a deadlock diagnostic.
@@ -1009,6 +1177,57 @@ mod tests {
             .expect_err("second run must be rejected");
         assert_eq!(err, crate::SimError::CoreReused);
         assert_eq!(core.stats().committed, committed, "stats untouched by the rejected call");
+    }
+
+    #[test]
+    fn sanitizer_is_clean_and_timing_neutral() {
+        let build = || {
+            let mut asm = Asm::new();
+            let (base, i, n, v, c) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5);
+            asm.li(base, 0x20_0000);
+            asm.li(i, 0);
+            asm.li(n, 500);
+            let top = asm.here();
+            asm.ld8_idx(v, base, i, 3);
+            asm.ld8_idx(v, base, v, 3);
+            asm.st8(v, base, 0x8000);
+            asm.addi(i, i, 1);
+            asm.slt(c, i, n);
+            asm.bnz(c, top);
+            asm.halt();
+            asm.finish().unwrap()
+        };
+        let build_mem = || {
+            let mut mem = SparseMemory::new();
+            let mut x: u64 = 7;
+            let vals: Vec<u64> = (0..4096)
+                .map(|_| {
+                    x = x.wrapping_mul(25214903917).wrapping_add(11);
+                    (x >> 16) % 4096
+                })
+                .collect();
+            mem.write_u64_slice(0x20_0000, &vals);
+            mem
+        };
+        let mut results = vec![];
+        for sanitize in [false, true] {
+            let prog = build();
+            let mut mem = build_mem();
+            let mut core = OooCore::new(CoreConfig { sanitize, ..CoreConfig::default() });
+            let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
+            let stats = *core
+                .run(&prog, &mut mem, &mut hier, &mut NullEngine, 10_000_000)
+                .expect("run failed");
+            if sanitize {
+                let report = core.sanitize_report();
+                assert!(report.is_clean(), "violations: {:?}", report.first);
+                assert!(report.checks > 0);
+            } else {
+                assert_eq!(core.sanitize_report().checks, 0, "sanitizer must stay off");
+            }
+            results.push((stats.cycles, stats.committed, stats.loads, stats.branch_mispredicts));
+        }
+        assert_eq!(results[0], results[1], "sanitizer changed timing");
     }
 
     #[test]

@@ -25,6 +25,7 @@ mod core;
 mod engine;
 mod error;
 mod loop_pred;
+mod sanitize;
 mod stats;
 
 pub use branch::{TageConfig, TagePredictor};
@@ -33,4 +34,5 @@ pub use core::{DynInst, OooCore};
 pub use engine::{ArchSnapshot, EngineCtx, NullEngine, RunaheadEngine};
 pub use error::{DeadlockSnapshot, SimError};
 pub use loop_pred::LoopPredictor;
+pub use sanitize::SanitizeReport;
 pub use stats::CoreStats;

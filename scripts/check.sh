@@ -31,4 +31,24 @@ if cargo run -q -p bench --bin figures -- fig9 --size test --instrs 10000 \
   echo "fail-fast run unexpectedly succeeded"; exit 1
 fi
 
+echo "== lint-workloads: dvrsim lint --all must report zero errors =="
+lint_out="$(cargo run -q -p dvr-sim --bin dvrsim -- lint --all)"
+echo "$lint_out" | grep -q ', 0 errors,' || { echo "lint reported errors:"; echo "$lint_out"; exit 1; }
+echo "$lint_out" | grep -q '13 programs checked' || { echo "lint did not cover the full suite"; exit 1; }
+
+echo "== sanitize smoke: sanitized run is clean and byte-identical =="
+# host_seconds / sim_instrs_per_host_second are wall clock; strip them
+# before diffing — everything else must match to the byte.
+strip_clock() { sed -E 's/"host_seconds":[0-9.eE+-]+,"sim_instrs_per_host_second":[0-9.eE+-]+,//'; }
+plain="$(cargo run -q -p dvr-sim --bin dvrsim -- --bench NAS-IS --size test \
+    --technique dvr --instrs 20000 --json | strip_clock)"
+sane="$(cargo run -q -p dvr-sim --bin dvrsim -- --bench NAS-IS --size test \
+    --technique dvr --instrs 20000 --json --sanitize | strip_clock)"
+[ "$plain" = "$sane" ] || { echo "sanitized JSON diverged from plain run"; exit 1; }
+
+echo "== sanitize smoke: one figure cell under the sanitizer =="
+san_err="$(cargo run -q -p bench --bin figures -- fig9 --size test --instrs 10000 \
+    --sanitize 2>&1 >/dev/null)"
+echo "$san_err" | grep -q ' 0 violations' || { echo "sanitizer reported violations:"; echo "$san_err"; exit 1; }
+
 echo "All checks passed."

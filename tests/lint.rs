@@ -1,0 +1,141 @@
+//! Static-analysis (sim-lint) integration tests: every shipped workload
+//! must lint error-free, hand-written bad programs must trigger the
+//! expected typed diagnostics, the Discovery-Mode loop classification is
+//! pinned by a golden file, and a full simulation under `--sanitize` must
+//! be violation-free and byte-identical to the unsanitized run.
+
+use dvr_sim::sim_lint::{analyze, analyze_instrs, LintKind, LoopClass};
+use dvr_sim::{simulate, SimConfig, Technique};
+use sim_isa::{parse_program, Instr};
+use workloads::{Benchmark, SizeClass};
+
+/// The parameters the golden file was generated under (`dvrsim lint --all`
+/// defaults). The program text of a benchmark kernel does not depend on the
+/// size class — only its data does — but pin both for reproducibility.
+const SIZE: SizeClass = SizeClass::Test;
+const SEED: u64 = 42;
+
+#[test]
+fn every_workload_lints_error_free() {
+    for b in Benchmark::ALL {
+        let wl = b.build(None, SIZE, SEED);
+        let r = analyze(&wl.prog);
+        assert!(
+            r.is_clean(),
+            "{}: {} lint errors: {:?}",
+            wl.name,
+            r.errors(),
+            r.diags.iter().map(|d| d.render(Some(&wl.prog))).collect::<Vec<_>>()
+        );
+        assert!(!r.loops.is_empty(), "{}: kernel should contain at least one loop", wl.name);
+    }
+}
+
+#[test]
+fn uninitialized_register_read_is_flagged_at_its_source_line() {
+    let p = parse_program(
+        "; r7 is never written before the read\n\
+         li r1, 64\n\
+         add r2, r7, r1\n\
+         halt",
+    )
+    .unwrap();
+    let r = analyze(&p);
+    assert!(r.is_clean(), "uninit reads are warnings, not errors");
+    let d = r.diags.iter().find(|d| d.kind == LintKind::UninitRead).expect("uninit-read");
+    assert_eq!(d.pc, 1);
+    let rendered = d.render(Some(&p));
+    assert!(rendered.contains("warning[uninit-read]"), "{rendered}");
+    assert!(rendered.contains("line 3"), "span must point at the workload line: {rendered}");
+    assert!(rendered.contains("r7"), "{rendered}");
+}
+
+#[test]
+fn dead_loop_is_an_infinite_loop_error() {
+    let p = parse_program(
+        "li r1, 1\n\
+         spin:\n\
+         addi r1, r1, 1\n\
+         jmp spin\n\
+         halt",
+    )
+    .unwrap();
+    let r = analyze(&p);
+    assert!(!r.is_clean());
+    let d = r.diags.iter().find(|d| d.kind == LintKind::InfiniteLoop).expect("infinite-loop");
+    assert!(d.message.contains("no exit path"), "{}", d.message);
+    assert!(d.message.contains("no memory progress"), "{}", d.message);
+    // The trailing halt is unreachable — also reported, as a warning.
+    assert!(r.diags.iter().any(|d| d.kind == LintKind::UnreachableBlock));
+}
+
+#[test]
+fn out_of_range_branch_target_is_an_error() {
+    // The parser already rejects out-of-range targets with a typed error...
+    let err = parse_program("jmp 99\nhalt").unwrap_err();
+    assert!(err.to_string().contains("99"), "{err}");
+    // ...and the analyzer catches programs assembled in memory.
+    let r = analyze_instrs(&[Instr::Jump { target: 99 }, Instr::Halt]);
+    assert_eq!(r.errors(), 1);
+    assert_eq!(r.diags[0].kind, LintKind::BadBranchTarget);
+}
+
+#[test]
+fn discovery_classification_matches_golden_file() {
+    let golden_path =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/discovery_classes.txt");
+    let mut lines = Vec::new();
+    for b in Benchmark::ALL {
+        let wl = b.build(None, SIZE, SEED);
+        let r = analyze(&wl.prog);
+        for l in &r.loops {
+            lines.push(format!("{}: {}", wl.name, l.describe(Some(&wl.prog))));
+        }
+    }
+    let got = lines.join("\n") + "\n";
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(golden_path, &got).expect("write golden");
+        return;
+    }
+    let want =
+        std::fs::read_to_string(golden_path).expect("golden file exists (BLESS=1 to regenerate)");
+    assert_eq!(
+        got, want,
+        "Discovery-Mode loop classification drifted; run with BLESS=1 to re-bless after review"
+    );
+}
+
+#[test]
+fn golden_file_promises_vectorizable_chains() {
+    // The paper's core claim: the irregular suite is dominated by
+    // dependent-load chains DVR can vectorize. The static classifier must
+    // agree for the flagship kernels.
+    for b in [Benchmark::Camel, Benchmark::NasIs, Benchmark::RandomAccess] {
+        let wl = b.build(None, SIZE, SEED);
+        let r = analyze(&wl.prog);
+        assert!(
+            r.loops.iter().any(|l| l.class == LoopClass::VectorizableChain),
+            "{}: expected a vectorizable-chain loop, got {:?}",
+            wl.name,
+            r.loops.iter().map(|l| l.class).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn sanitized_simulation_is_clean_and_report_identical() {
+    let wl = Benchmark::NasIs.build(None, SizeClass::Small, SEED);
+    for t in [Technique::Baseline, Technique::Dvr] {
+        let cfg = SimConfig::new(t).with_max_instructions(50_000);
+        let plain = simulate(&wl, &cfg);
+        let sane = simulate(&wl, &cfg.with_sanitize(true));
+        let san = sane.sanitizer.as_ref().expect("ledger attached when sanitizing");
+        assert!(san.is_clean(), "{}: {}", t.name(), san.summary());
+        assert!(san.checks > 1_000, "{}: suspiciously few checks: {}", t.name(), san.checks);
+        let strip = |mut r: dvr_sim::SimReport| {
+            r.host_seconds = 0.0; // wall clock is the only nondeterministic field
+            r.to_json()
+        };
+        assert_eq!(strip(plain), strip(sane), "{}: sanitizer must not perturb results", t.name());
+    }
+}
