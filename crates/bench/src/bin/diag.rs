@@ -7,14 +7,17 @@
 //! `--threads N` fans the technique×benchmark runs over worker threads
 //! (0 = all cores); the report is printed in the same fixed order either
 //! way. `--keep-going` prints a FAILED line for a crashed or failed run
-//! instead of aborting the probe.
+//! instead of aborting the probe. `--audit` instead prints the full
+//! static-vs-dynamic Discovery audit for the probe benchmarks (see
+//! `dvrsim audit` for the whole suite).
 
-use dvr_sim::{simulate, try_parallel_map, PrefetchSource, SimConfig, Technique};
+use dvr_sim::{audit_benchmark, simulate, try_parallel_map, PrefetchSource, SimConfig, Technique};
 use workloads::{Benchmark, SizeClass};
 
 fn main() {
     let mut threads: usize = 1;
     let mut keep_going = false;
+    let mut audit = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -22,6 +25,7 @@ fn main() {
                 threads = args.next().and_then(|v| v.parse().ok()).expect("numeric --threads");
             }
             "--keep-going" => keep_going = true,
+            "--audit" => audit = true,
             other => {
                 eprintln!("unknown option {other}");
                 std::process::exit(2);
@@ -30,6 +34,17 @@ fn main() {
     }
 
     let benches = [(Benchmark::Hj8, 300_000u64), (Benchmark::Camel, 300_000)];
+
+    if audit {
+        let mut clean = true;
+        for &(b, instrs) in &benches {
+            let r = audit_benchmark(b, SizeClass::Paper, 42, instrs);
+            print!("{}", r.render());
+            clean &= r.is_clean();
+        }
+        std::process::exit(if clean { 0 } else { 1 });
+    }
+
     let workloads: Vec<_> =
         benches.iter().map(|&(b, _)| b.build(None, SizeClass::Paper, 42)).collect();
 

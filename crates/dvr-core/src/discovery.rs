@@ -153,6 +153,14 @@ struct Lcr {
 /// Maximum instructions discovery will follow before giving up.
 const DISCOVERY_BUDGET: usize = 512;
 
+/// Cap on recorded dependent loads per discovery pass (hardware analogue:
+/// a small observation buffer next to the taint tracker).
+const MAX_DEP_RECORDS: usize = 32;
+
+/// Saturation depth for the taint-depth counters, matching the static
+/// analyzer's chase-depth cap.
+const MAX_DEP_DEPTH: u8 = 8;
+
 /// The Discovery Mode state machine.
 #[derive(Clone, Debug)]
 pub struct Discovery {
@@ -169,6 +177,14 @@ pub struct Discovery {
     /// One bit per detector slot: striding loads seen once already.
     seen_strides: u64,
     instrs: usize,
+    /// Per-register taint depth: loads deep from the trigger's value (the
+    /// trigger's own destination is depth 0). Meaningful only where the
+    /// corresponding `vtt` bit is set.
+    taint_depth: [u8; NUM_REGS],
+    /// Dependent loads observed this pass: `(pc, depth)`, depth 1 = address
+    /// uses the trigger's value directly. First-seen order, deduplicated by
+    /// pc keeping the deepest observation, capped at [`MAX_DEP_RECORDS`].
+    dep_loads: Vec<(usize, u8)>,
 }
 
 impl Discovery {
@@ -188,6 +204,27 @@ impl Discovery {
             entry_regs: entry.regs(),
             seen_strides: 0,
             instrs: 0,
+            taint_depth: [0; NUM_REGS],
+            dep_loads: Vec::new(),
+        }
+    }
+
+    /// The dependent loads observed so far (see `dep_loads` field docs).
+    pub fn dep_loads(&self) -> &[(usize, u8)] {
+        &self.dep_loads
+    }
+
+    /// Moves the dependent-load observations out (used by the engine when
+    /// a pass finishes, before the state machine resets).
+    pub fn take_dep_loads(&mut self) -> Vec<(usize, u8)> {
+        std::mem::take(&mut self.dep_loads)
+    }
+
+    fn record_dep(&mut self, pc: usize, depth: u8) {
+        if let Some(e) = self.dep_loads.iter_mut().find(|e| e.0 == pc) {
+            e.1 = e.1.max(depth);
+        } else if self.dep_loads.len() < MAX_DEP_RECORDS {
+            self.dep_loads.push((pc, depth));
         }
     }
 
@@ -229,13 +266,24 @@ impl Discovery {
             }
         }
 
-        // Vector Taint Tracker propagation.
+        // Vector Taint Tracker propagation, with a depth counter riding
+        // along each taint bit (observation only — depths never feed a
+        // spawn or timing decision).
         let instr = di.instr;
         let tainted_input = instr.srcs().any(|r| self.vtt & r.bit() != 0);
+        let mut dst_depth = instr
+            .srcs()
+            .filter(|r| self.vtt & r.bit() != 0)
+            .map(|r| self.taint_depth[r.index()])
+            .max()
+            .unwrap_or(0);
         if let Instr::Load { addr, .. } = instr {
             let addr_tainted = addr.regs().any(|r| self.vtt & r.bit() != 0);
             if addr_tainted {
                 // Dependent load: latch the FLR, zero LCR and SBB.
+                let depth = dst_depth.saturating_add(1).min(MAX_DEP_DEPTH);
+                self.record_dep(di.pc, depth);
+                dst_depth = depth;
                 self.flr = Some(di.pc);
                 self.had_flr = true;
                 self.branch_after_flr = false;
@@ -246,6 +294,7 @@ impl Discovery {
         if let Some(dst) = instr.dst() {
             if tainted_input {
                 self.vtt |= dst.bit();
+                self.taint_depth[dst.index()] = dst_depth;
             } else {
                 self.vtt &= !dst.bit();
             }

@@ -25,6 +25,7 @@ use sim_ooo::{DynInst, EngineCtx, RunaheadEngine};
 
 use crate::detector::StrideDetector;
 use crate::discovery::{BoundSrc, DiscoveredChain, Discovery, DiscoveryEvent, ShadowRegs};
+use crate::trace::{DvrTrace, TraceEvent};
 use crate::walker::{
     fixup_address_regs, stride_seeds, stride_seeds_from, walk_vectorized, LaneSeed, Termination,
     WalkPolicy, MAX_LANES, VECTOR_WIDTH,
@@ -118,6 +119,10 @@ pub struct DvrEngine {
     /// episodes extend coverage instead of re-prefetching it.
     covered: FxHashMap<usize, u64>,
     stats: DvrStats,
+    /// Event buffer for the static-vs-dynamic audit; `None` (the default)
+    /// emits nothing. Tracing is an observer: no event computation feeds a
+    /// timing decision, so reports are identical with or without it.
+    trace: Option<Box<DvrTrace>>,
 }
 
 impl Default for DvrEngine {
@@ -137,6 +142,29 @@ impl DvrEngine {
             busy_until: 0,
             covered: FxHashMap::default(),
             stats: DvrStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Starts recording Discovery/spawn events into an audit trace.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Box::default());
+    }
+
+    /// Takes the recorded trace, leaving tracing enabled with an empty
+    /// buffer. `None` if tracing was never enabled.
+    pub fn take_trace(&mut self) -> Option<DvrTrace> {
+        self.trace.as_mut().map(|t| std::mem::take(&mut **t))
+    }
+
+    /// The recorded trace so far, when tracing is enabled.
+    pub fn trace(&self) -> Option<&DvrTrace> {
+        self.trace.as_deref()
+    }
+
+    fn emit(&mut self, ev: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.events.push(ev());
         }
     }
 
@@ -186,6 +214,7 @@ impl DvrEngine {
 
         let end = if use_ndm {
             self.stats.ndm_episodes += 1;
+            self.emit(|| TraceEvent::Spawn { pc: chain.stride_pc, lanes, nested: true });
             self.nested_spawn(ctx, trigger_addr, chain)
         } else {
             if lanes == 0 {
@@ -195,8 +224,10 @@ impl DvrEngine {
             let first = self.first_uncovered(chain.stride_pc, trigger_addr, chain.stride);
             if first > lanes as u64 {
                 self.stats.covered_skips += 1;
+                self.emit(|| TraceEvent::CoveredSkip { pc: chain.stride_pc });
                 return;
             }
+            self.emit(|| TraceEvent::Spawn { pc: chain.stride_pc, lanes, nested: false });
             let count = lanes - (first as usize - 1);
             let mut regs = self.shadow.regs();
             if let Some(instr) = ctx.prog.fetch(chain.stride_pc) {
@@ -456,6 +487,7 @@ impl RunaheadEngine for DvrEngine {
                             dst,
                             &self.shadow,
                         )));
+                        self.emit(|| TraceEvent::DiscoveryBegin { pc: di.pc, stride });
                     } else {
                         // Offload ablation: vectorize immediately, blindly.
                         let chain = DiscoveredChain {
@@ -472,29 +504,48 @@ impl RunaheadEngine for DvrEngine {
                     }
                 }
             }
-            Phase::Discovering(d) => match d.observe(di, &self.detector, &self.shadow) {
-                DiscoveryEvent::Continue => {}
-                DiscoveryEvent::Switched => {
-                    self.stats.innermost_switches += 1;
-                }
-                DiscoveryEvent::Aborted => {
-                    self.stats.discovery_aborts += 1;
-                    self.phase = Phase::Idle;
-                }
-                DiscoveryEvent::Finished(chain) => {
-                    self.phase = Phase::Idle;
-                    if chain.has_dependent_load {
-                        // Finish fires on the stride load; without its access
-                        // there is nothing to seed lanes from, so skip.
-                        let Some(m) = di.mem else { return };
-                        self.spawn(ctx, m.addr, &chain);
-                        // Mark in the detector for diagnostics.
-                        self.detector.set_innermost(chain.stride_pc, true);
-                    } else {
-                        self.stats.no_dependent_chain += 1;
+            Phase::Discovering(d) => {
+                let from_pc = d.trigger_pc();
+                match d.observe(di, &self.detector, &self.shadow) {
+                    DiscoveryEvent::Continue => {}
+                    DiscoveryEvent::Switched => {
+                        self.stats.innermost_switches += 1;
+                        let to_pc = d.trigger_pc();
+                        if let Some(t) = self.trace.as_mut() {
+                            t.events.push(TraceEvent::DiscoverySwitch { from_pc, to_pc });
+                        }
+                    }
+                    DiscoveryEvent::Aborted => {
+                        self.stats.discovery_aborts += 1;
+                        self.phase = Phase::Idle;
+                        self.emit(|| TraceEvent::DiscoveryAbort { pc: from_pc });
+                    }
+                    DiscoveryEvent::Finished(chain) => {
+                        let dep_loads = d.take_dep_loads();
+                        self.phase = Phase::Idle;
+                        if chain.has_dependent_load {
+                            self.emit(|| TraceEvent::DiscoveryEnd {
+                                pc: chain.stride_pc,
+                                stride: chain.stride,
+                                flr_pc: chain.flr_pc,
+                                lanes: chain.lanes,
+                                bound_known: chain.bound_known,
+                                dep_loads,
+                            });
+                            // Finish fires on the stride load; without its
+                            // access there is nothing to seed lanes from, so
+                            // skip.
+                            let Some(m) = di.mem else { return };
+                            self.spawn(ctx, m.addr, &chain);
+                            // Mark in the detector for diagnostics.
+                            self.detector.set_innermost(chain.stride_pc, true);
+                        } else {
+                            self.stats.no_dependent_chain += 1;
+                            self.emit(|| TraceEvent::NoDependentChain { pc: chain.stride_pc });
+                        }
                     }
                 }
-            },
+            }
         }
     }
 }

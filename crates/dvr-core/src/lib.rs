@@ -57,6 +57,7 @@ mod dvr;
 mod hardware;
 mod oracle;
 mod pre;
+mod trace;
 mod vr;
 mod walker;
 
@@ -66,6 +67,7 @@ pub use dvr::{DvrConfig, DvrEngine, DvrStats};
 pub use hardware::{BudgetEntry, HardwareBudget};
 pub use oracle::{OracleEngine, OracleStats};
 pub use pre::{PreConfig, PreEngine, PreStats};
+pub use trace::{DvrTrace, PcSummary, TraceEvent};
 pub use vr::{VrConfig, VrEngine, VrStats};
 pub use walker::{
     fixup_address_regs, stride_seeds, stride_seeds_from, walk_scalar_until, walk_vectorized,

@@ -1,0 +1,197 @@
+//! Gated DVR event tracing for the static-vs-dynamic Discovery audit.
+//!
+//! When enabled (see [`DvrEngine::enable_trace`](crate::DvrEngine)), the
+//! engine records one [`TraceEvent`] per Discovery/spawn decision. Tracing
+//! is an observer only: events are *emitted* solely when the trace buffer
+//! exists, and nothing the engine computes for an event feeds back into a
+//! timing decision, so a traced run's `SimReport` is byte-identical to an
+//! untraced one (test-enforced by the audit suite).
+
+use sim_isa::FxHashMap;
+
+/// One dynamic Discovery/spawn decision.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TraceEvent {
+    /// Discovery Mode entered on a confident striding load.
+    DiscoveryBegin {
+        /// Trigger load pc.
+        pc: usize,
+        /// Detector stride at entry, in bytes.
+        stride: i64,
+    },
+    /// Discovery switched to a more-inner striding load.
+    DiscoverySwitch {
+        /// The trigger being abandoned.
+        from_pc: usize,
+        /// The inner striding load taking over.
+        to_pc: usize,
+    },
+    /// Discovery ran out of budget without closing the loop.
+    DiscoveryAbort {
+        /// The trigger that never came around.
+        pc: usize,
+    },
+    /// Discovery closed the loop but found no dependent load; no spawn.
+    NoDependentChain {
+        /// The trigger load pc.
+        pc: usize,
+    },
+    /// Discovery closed the loop with a dependent chain.
+    DiscoveryEnd {
+        /// The trigger load pc.
+        pc: usize,
+        /// Its stride in bytes.
+        stride: i64,
+        /// Final-Load Register at exit (`None` = suppressed by divergence).
+        flr_pc: Option<usize>,
+        /// Inferred remaining iterations (capped).
+        lanes: usize,
+        /// Whether the loop-bound inference matched.
+        bound_known: bool,
+        /// Dependent loads the Vector Taint Tracker saw: `(pc, depth)`,
+        /// depth 1 = addressed directly off the trigger's value.
+        dep_loads: Vec<(usize, u8)>,
+    },
+    /// A vector-runahead subthread was spawned.
+    Spawn {
+        /// The striding load the lanes are seeded from.
+        pc: usize,
+        /// Scalar-equivalent lanes requested.
+        lanes: usize,
+        /// Whether Nested Vector Runahead handled the episode.
+        nested: bool,
+    },
+    /// A spawn was skipped because a prior episode already covered the
+    /// lanes.
+    CoveredSkip {
+        /// The striding load pc.
+        pc: usize,
+    },
+}
+
+/// Per-trigger-pc aggregation of a trace, for the audit diff.
+#[derive(Clone, Debug, Default)]
+pub struct PcSummary {
+    /// Discovery entries targeting this pc.
+    pub discoveries: u64,
+    /// Discoveries abandoned by a switch to an inner load.
+    pub switched_away: u64,
+    /// Discoveries that switched *to* this pc.
+    pub switched_to: u64,
+    /// Budget-exhaustion aborts.
+    pub aborts: u64,
+    /// Loop closures with no dependent load.
+    pub no_dep_chain: u64,
+    /// Loop closures with a dependent chain.
+    pub chains: u64,
+    /// Subthread spawns.
+    pub spawns: u64,
+    /// Nested (NDM) spawns among them.
+    pub nested_spawns: u64,
+    /// Covered-frontier spawn skips.
+    pub covered_skips: u64,
+    /// Strides observed at `DiscoveryBegin`/`DiscoveryEnd` (deduplicated).
+    pub strides: Vec<i64>,
+    /// Deepest observed taint depth per dependent-load pc.
+    pub dep_loads: FxHashMap<usize, u8>,
+}
+
+/// The event buffer the engine fills when tracing is enabled.
+#[derive(Clone, Debug, Default)]
+pub struct DvrTrace {
+    /// Every event, in dispatch order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl DvrTrace {
+    /// Aggregates the event stream per trigger pc. Keys are every pc that
+    /// appears as a Discovery trigger or spawn root.
+    pub fn summarize(&self) -> FxHashMap<usize, PcSummary> {
+        let mut out: FxHashMap<usize, PcSummary> = FxHashMap::default();
+        let note_stride = |s: &mut PcSummary, stride: i64| {
+            if !s.strides.contains(&stride) {
+                s.strides.push(stride);
+            }
+        };
+        for ev in &self.events {
+            match ev {
+                TraceEvent::DiscoveryBegin { pc, stride } => {
+                    let s = out.entry(*pc).or_default();
+                    s.discoveries += 1;
+                    note_stride(s, *stride);
+                }
+                TraceEvent::DiscoverySwitch { from_pc, to_pc } => {
+                    out.entry(*from_pc).or_default().switched_away += 1;
+                    out.entry(*to_pc).or_default().switched_to += 1;
+                }
+                TraceEvent::DiscoveryAbort { pc } => {
+                    out.entry(*pc).or_default().aborts += 1;
+                }
+                TraceEvent::NoDependentChain { pc } => {
+                    out.entry(*pc).or_default().no_dep_chain += 1;
+                }
+                TraceEvent::DiscoveryEnd { pc, stride, dep_loads, .. } => {
+                    let s = out.entry(*pc).or_default();
+                    s.chains += 1;
+                    note_stride(s, *stride);
+                    for &(dpc, depth) in dep_loads {
+                        let slot = s.dep_loads.entry(dpc).or_insert(0);
+                        *slot = (*slot).max(depth);
+                    }
+                }
+                TraceEvent::Spawn { pc, nested, .. } => {
+                    let s = out.entry(*pc).or_default();
+                    s.spawns += 1;
+                    if *nested {
+                        s.nested_spawns += 1;
+                    }
+                }
+                TraceEvent::CoveredSkip { pc } => {
+                    out.entry(*pc).or_default().covered_skips += 1;
+                }
+            }
+        }
+        for s in out.values_mut() {
+            s.strides.sort_unstable();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_aggregates_per_pc() {
+        let tr = DvrTrace {
+            events: vec![
+                TraceEvent::DiscoveryBegin { pc: 5, stride: 8 },
+                TraceEvent::DiscoverySwitch { from_pc: 5, to_pc: 9 },
+                TraceEvent::DiscoveryBegin { pc: 9, stride: 8 },
+                TraceEvent::DiscoveryEnd {
+                    pc: 9,
+                    stride: 8,
+                    flr_pc: Some(10),
+                    lanes: 64,
+                    bound_known: true,
+                    dep_loads: vec![(10, 1), (11, 2)],
+                },
+                TraceEvent::Spawn { pc: 9, lanes: 64, nested: false },
+                TraceEvent::DiscoveryBegin { pc: 9, stride: 8 },
+                TraceEvent::NoDependentChain { pc: 9 },
+                TraceEvent::CoveredSkip { pc: 9 },
+            ],
+        };
+        let sum = tr.summarize();
+        assert_eq!(sum[&5].switched_away, 1);
+        assert_eq!(sum[&9].switched_to, 1);
+        assert_eq!(sum[&9].discoveries, 2);
+        assert_eq!(sum[&9].chains, 1);
+        assert_eq!(sum[&9].spawns, 1);
+        assert_eq!(sum[&9].no_dep_chain, 1);
+        assert_eq!(sum[&9].covered_skips, 1);
+        assert_eq!(sum[&9].dep_loads[&11], 2);
+        assert_eq!(sum[&9].strides, vec![8]);
+    }
+}

@@ -33,7 +33,8 @@ struct Options {
 
 const USAGE: &str = "\
 usage: dvrsim [--list] (--bench NAME | --asm FILE.s) [options]
-       dvrsim lint (--all | --bench NAME | --asm FILE.s) [--size S] [--seed N] [--verbose]
+       dvrsim lint (--all | --bench NAME | --asm FILE.s) [--size S] [--seed N] [--verbose] [--json]
+       dvrsim audit (--all | --bench NAME) [--size S] [--seed N] [--instrs N] [--json]
 
 options:
   --bench NAME          benchmark (see --list)
@@ -61,7 +62,12 @@ the `lint` subcommand statically analyzes assembled programs (CFG, dataflow,
 loop classification) instead of simulating; `lint --all` checks every
 benchmark in the suite.
 
-exit status: 0 if every run completed (lint: no errors), 1 otherwise.
+the `audit` subcommand diffs the static DVR coverage prediction against a
+traced simulation's actual Discovery decisions and classifies every
+divergence; unexplained divergences fail the audit.
+
+exit status: 0 if every run completed (lint: no errors; audit: no
+unexplained divergences), 1 otherwise.
 ";
 
 fn parse_inject(spec: &str) -> Result<FaultConfig, String> {
@@ -242,11 +248,13 @@ fn lint_main(args: &[String]) -> ExitCode {
     let mut size = SizeClass::Test;
     let mut seed = 42u64;
     let mut verbose = false;
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--all" => all = true,
             "--verbose" => verbose = true,
+            "--json" => json = true,
             "--bench" | "--asm" | "--size" | "--seed" => {
                 let Some(v) = args.get(i + 1).cloned() else {
                     eprintln!("error: {} needs a value", args[i]);
@@ -329,30 +337,137 @@ fn lint_main(args: &[String]) -> ExitCode {
     let mut total_warnings = 0usize;
     for (name, prog) in &programs {
         let report = sim_lint::analyze(prog);
-        println!(
-            "{name}: {} instrs, {} loops, {} errors, {} warnings",
-            prog.len(),
-            report.loops.len(),
-            report.errors(),
-            report.warnings()
-        );
-        for d in &report.diags {
-            println!("  {}", d.render(Some(prog)));
-        }
-        if verbose || !report.loops.is_empty() {
-            for l in &report.loops {
-                println!("  {}", l.describe(Some(prog)));
+        if json {
+            println!("{}", report.to_json(name, Some(prog)));
+        } else {
+            println!(
+                "{name}: {} instrs, {} loops, {} errors, {} warnings",
+                prog.len(),
+                report.loops.len(),
+                report.errors(),
+                report.warnings()
+            );
+            for d in &report.diags {
+                println!("  {}", d.render(Some(prog)));
+            }
+            if verbose || !report.loops.is_empty() {
+                for l in &report.loops {
+                    println!("  {}", l.describe(Some(prog)));
+                }
             }
         }
         total_errors += report.errors();
         total_warnings += report.warnings();
     }
-    println!(
-        "lint: {} program{} checked, {total_errors} errors, {total_warnings} warnings",
-        programs.len(),
-        if programs.len() == 1 { "" } else { "s" }
-    );
+    if !json {
+        println!(
+            "lint: {} program{} checked, {total_errors} errors, {total_warnings} warnings",
+            programs.len(),
+            if programs.len() == 1 { "" } else { "s" }
+        );
+    }
     if total_errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `dvrsim audit`: static-vs-dynamic Discovery audit — predict DVR's
+/// coverage statically, trace what the engine actually did, and diff.
+fn audit_main(args: &[String]) -> ExitCode {
+    let mut all = false;
+    let mut bench: Option<Benchmark> = None;
+    let mut size = SizeClass::Test;
+    let mut seed = 42u64;
+    let mut instrs = 60_000u64;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => all = true,
+            "--json" => json = true,
+            "--bench" | "--size" | "--seed" | "--instrs" => {
+                let Some(v) = args.get(i + 1).cloned() else {
+                    eprintln!("error: {} needs a value", args[i]);
+                    return ExitCode::from(2);
+                };
+                match args[i].as_str() {
+                    "--bench" => match parse_bench(&v) {
+                        Some(b) => bench = Some(b),
+                        None => {
+                            eprintln!("error: unknown benchmark '{v}'");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--size" => {
+                        size = match v.as_str() {
+                            "test" => SizeClass::Test,
+                            "small" => SizeClass::Small,
+                            "paper" => SizeClass::Paper,
+                            _ => {
+                                eprintln!("error: unknown size '{v}'");
+                                return ExitCode::from(2);
+                            }
+                        };
+                    }
+                    "--seed" => match v.parse() {
+                        Ok(n) => seed = n,
+                        Err(e) => {
+                            eprintln!("error: --seed: {e}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    _ => match v.parse() {
+                        Ok(n) => instrs = n,
+                        Err(e) => {
+                            eprintln!("error: --instrs: {e}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                }
+                i += 1;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown audit option '{other}'\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let benches: Vec<Benchmark> = if all {
+        Benchmark::ALL.to_vec()
+    } else if let Some(b) = bench {
+        vec![b]
+    } else {
+        eprintln!("error: audit needs --all or --bench NAME\n\n{USAGE}");
+        return ExitCode::from(2);
+    };
+
+    let mut unexplained = 0usize;
+    let mut total = 0usize;
+    for b in &benches {
+        let r = dvr_sim::audit_benchmark(*b, size, seed, instrs);
+        if json {
+            println!("{}", r.to_json());
+        } else {
+            print!("{}", r.render());
+        }
+        total += r.divergences.len();
+        unexplained += r.unexplained();
+    }
+    if !json {
+        println!(
+            "audit: {} benchmark{} checked, {total} divergences, {unexplained} unexplained",
+            benches.len(),
+            if benches.len() == 1 { "" } else { "s" }
+        );
+    }
+    if unexplained > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
@@ -363,6 +478,9 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("lint") {
         return lint_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("audit") {
+        return audit_main(&argv[1..]);
     }
     let o = match parse_args() {
         Ok(o) => o,

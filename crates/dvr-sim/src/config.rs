@@ -79,6 +79,10 @@ pub struct SimConfig {
     pub dvr: DvrConfig,
     /// Instruction budget (the ROI length).
     pub max_instructions: u64,
+    /// Record a [`dvr_core::DvrTrace`] of Discovery/spawn events into
+    /// [`SimReport::dvr_trace`](crate::SimReport) (DVR techniques only).
+    /// Timing-neutral: the traced run's report serializes byte-identically.
+    pub trace_dvr: bool,
 }
 
 impl SimConfig {
@@ -93,7 +97,15 @@ impl SimConfig {
             technique,
             dvr: DvrConfig::default(),
             max_instructions: 2_000_000,
+            trace_dvr: false,
         }
+    }
+
+    /// Enables DVR event tracing for the static-vs-dynamic Discovery audit
+    /// (see [`SimReport::dvr_trace`](crate::SimReport)).
+    pub fn with_dvr_trace(mut self, on: bool) -> Self {
+        self.trace_dvr = on;
+        self
     }
 
     /// Overrides the ROB size (Figures 2 and 12).

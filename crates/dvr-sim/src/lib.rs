@@ -22,10 +22,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
 mod config;
 mod report;
 mod runner;
 
+pub use audit::{audit_benchmark, AuditReport, Divergence, DivergenceKind, Justification};
 pub use config::{SimConfig, Technique};
 pub use report::{EngineSummary, RunOutcome, SimReport};
 pub use runner::{
@@ -34,7 +36,7 @@ pub use runner::{
 };
 
 // Re-export the pieces users need to assemble custom setups.
-pub use dvr_core::{DvrConfig, DvrEngine, OracleEngine, PreEngine, VrEngine};
+pub use dvr_core::{DvrConfig, DvrEngine, DvrTrace, OracleEngine, PreEngine, TraceEvent, VrEngine};
 pub use sim_lint;
 pub use sim_mem::{
     FaultConfig, FaultEvent, FaultKind, HierarchyConfig, MemStats, MemoryHierarchy, PrefetchSource,

@@ -83,6 +83,13 @@ pub struct SimReport {
     /// Deliberately **not** part of [`SimReport::to_json`]: sanitized and
     /// unsanitized runs must serialize byte-identically.
     pub sanitizer: Option<SanitizeReport>,
+    /// DVR Discovery/spawn event trace (`Some` only when the run was
+    /// configured with
+    /// [`SimConfig::with_dvr_trace`](crate::SimConfig::with_dvr_trace) and
+    /// the technique is a DVR variant). Like `sanitizer`, deliberately
+    /// **not** part of [`SimReport::to_json`]: traced and untraced runs
+    /// must serialize byte-identically.
+    pub dvr_trace: Option<dvr_core::DvrTrace>,
 }
 
 impl SimReport {
@@ -227,6 +234,7 @@ mod tests {
             engine: EngineSummary::default(),
             outcome: RunOutcome::Complete,
             sanitizer: None,
+            dvr_trace: None,
         }
     }
 

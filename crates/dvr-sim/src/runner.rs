@@ -74,6 +74,7 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> SimReport {
     let mut mem = workload.mem.clone();
     let mut hier = MemoryHierarchy::new(cfg.hierarchy);
     let mut core = OooCore::new(cfg.core);
+    let mut dvr_trace = None;
 
     let (engine_summary, outcome) = match cfg.technique {
         Technique::Baseline | Technique::Imp => {
@@ -137,6 +138,9 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> SimReport {
                 _ => cfg.dvr,
             };
             let mut e = DvrEngine::new(dcfg);
+            if cfg.trace_dvr {
+                e.enable_trace();
+            }
             let outcome = outcome_of(core.run(
                 &workload.prog,
                 &mut mem,
@@ -144,6 +148,7 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> SimReport {
                 &mut e,
                 cfg.max_instructions,
             ));
+            dvr_trace = e.take_trace();
             let s = *e.stats();
             let summary = EngineSummary {
                 episodes: s.episodes,
@@ -204,6 +209,7 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> SimReport {
         engine: engine_summary,
         outcome,
         sanitizer,
+        dvr_trace,
     }
 }
 

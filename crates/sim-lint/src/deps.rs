@@ -1,0 +1,271 @@
+//! Memory dependence pass: dependent-load chains per natural loop and
+//! may-alias edges between stores and vectorizable loads.
+//!
+//! The chain machinery is the static mirror of Discovery Mode's Vector
+//! Taint Tracker: a per-register taint lattice seeded at one striding
+//! ("root") load and propagated through in-loop arithmetic, so every load
+//! whose address turns tainted is a dependent load, annotated with its
+//! chain depth. The alias pass leans on the workload `Layout` invariant —
+//! distinct resolved base addresses name disjoint regions — and reports a
+//! may-alias edge whenever it cannot prove a store and a load apart; those
+//! are exactly the store-conflict cases that would have to invalidate DVR
+//! lanes in a writeback-capable runahead.
+
+use sim_isa::{Instr, Reg, NUM_REGS};
+
+use crate::addr::{AddrAnalysis, AddrClass, MemOp, MAX_CHASE_DEPTH};
+use crate::cfg::Cfg;
+use crate::loops::LoopInfo;
+
+/// Why a store/load pair could not be proven disjoint.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AliasReason {
+    /// Identical static address expression — a read-modify-write of the
+    /// same location every iteration.
+    ReadModifyWrite,
+    /// Both accesses resolve to the same base region.
+    SameRegion,
+    /// At least one side's base region could not be resolved.
+    UnknownRegion,
+}
+
+impl std::fmt::Display for AliasReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AliasReason::ReadModifyWrite => "read-modify-write",
+            AliasReason::SameRegion => "same-region",
+            AliasReason::UnknownRegion => "unknown-region",
+        })
+    }
+}
+
+/// A may-alias edge from an in-loop store to an in-loop load.
+#[derive(Clone, Debug)]
+pub struct AliasEdge {
+    /// Program counter of the store.
+    pub store_pc: usize,
+    /// Program counter of the load.
+    pub load_pc: usize,
+    /// Why the pair may alias.
+    pub reason: AliasReason,
+}
+
+/// Per-loop dependence summary, parallel to the `loops` slice.
+#[derive(Clone, Debug, Default)]
+pub struct LoopDeps {
+    /// Longest static dependent-load chain in the loop (0 = affine loads
+    /// only, 1 = `a[b[i]]`, saturating at
+    /// [`MAX_CHASE_DEPTH`](crate::MAX_CHASE_DEPTH)).
+    pub chain_depth: usize,
+    /// Store→load pairs that could not be proven disjoint, for loads that
+    /// are vectorizable (affine striding or pointer-chase).
+    pub alias_edges: Vec<AliasEdge>,
+}
+
+/// Runs the dependence pass over every loop.
+pub fn analyze_deps(addr: &AddrAnalysis, loops: &[LoopInfo]) -> Vec<LoopDeps> {
+    loops
+        .iter()
+        .enumerate()
+        .map(|(li, _)| {
+            let ops: Vec<&MemOp> = addr.mem_ops.iter().filter(|m| m.loop_idx == Some(li)).collect();
+            let chain_depth = ops
+                .iter()
+                .filter(|m| !m.is_store)
+                .filter_map(|m| match m.class {
+                    AddrClass::PointerChase { depth } => Some(depth),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0);
+
+            let mut alias_edges = Vec::new();
+            for store in ops.iter().filter(|m| m.is_store) {
+                for load in ops.iter().filter(|m| !m.is_store) {
+                    let vectorizable = match load.class {
+                        AddrClass::Affine { stride } => stride != 0,
+                        AddrClass::PointerChase { .. } => true,
+                        AddrClass::Irregular => false,
+                    };
+                    if !vectorizable {
+                        continue;
+                    }
+                    if let Some(reason) = may_alias(store, load) {
+                        alias_edges.push(AliasEdge {
+                            store_pc: store.pc,
+                            load_pc: load.pc,
+                            reason,
+                        });
+                    }
+                }
+            }
+            alias_edges.sort_by_key(|e| (e.store_pc, e.load_pc));
+            LoopDeps { chain_depth, alias_edges }
+        })
+        .collect()
+}
+
+/// Disjointness test. `None` = provably disjoint; `Some(reason)` = may
+/// alias. Distinct resolved base addresses are taken to name distinct
+/// workload regions (the `Layout` allocator never overlaps regions, and
+/// every kernel masks indices to its own region) — this is the one
+/// unsoundness the audit's `alias-unsound` divergence class exists to
+/// cross-check dynamically.
+fn may_alias(store: &MemOp, load: &MemOp) -> Option<AliasReason> {
+    match (store.region_base, load.region_base) {
+        (Some(s), Some(l)) if s != l => None,
+        (Some(_), Some(_)) => Some(AliasReason::SameRegion),
+        _ => Some(AliasReason::UnknownRegion),
+    }
+}
+
+/// Refines a [`AliasReason::SameRegion`] edge to
+/// [`AliasReason::ReadModifyWrite`] when the two accesses share one static
+/// address expression.
+pub fn refine_rmw(instrs: &[Instr], edge: &mut AliasEdge) {
+    let addr_of = |pc: usize| match instrs[pc] {
+        Instr::Load { addr, .. } | Instr::Store { addr, .. } => Some(addr),
+        _ => None,
+    };
+    if edge.reason == AliasReason::SameRegion {
+        if let (Some(a), Some(b)) = (addr_of(edge.store_pc), addr_of(edge.load_pc)) {
+            if a == b {
+                edge.reason = AliasReason::ReadModifyWrite;
+            }
+        }
+    }
+}
+
+/// Dependent loads hanging off the root load at `root_pc` within loop `l`:
+/// `(pc, depth)` pairs, depth 1 = address uses the root's value directly.
+/// This is the static mirror of the Vector Taint Tracker, with a depth per
+/// register instead of one bit.
+pub fn dependents_of(
+    cfg: &Cfg,
+    instrs: &[Instr],
+    l: &LoopInfo,
+    root_pc: usize,
+) -> Vec<(usize, usize)> {
+    let body_pcs: Vec<usize> =
+        l.body.iter().flat_map(|&b| cfg.blocks[b].start..cfg.blocks[b].end).collect();
+    // depth[r] = Some(d): r may hold a value d loads deep from the root
+    // (the root's own value is depth 0).
+    let mut depth: [Option<usize>; NUM_REGS] = [None; NUM_REGS];
+    let root_dst = match instrs[root_pc] {
+        Instr::Load { rd, .. } => rd,
+        _ => return Vec::new(),
+    };
+    depth[root_dst.index()] = Some(0);
+
+    let tainted = |depth: &[Option<usize>; NUM_REGS], r: Reg| depth[r.index()];
+    loop {
+        let mut changed = false;
+        for &pc in &body_pcs {
+            if pc == root_pc {
+                continue;
+            }
+            let from_srcs: Option<usize> = match instrs[pc] {
+                Instr::Alu { ra, rb, .. } => {
+                    [tainted(&depth, ra), tainted(&depth, rb)].into_iter().flatten().max()
+                }
+                Instr::AluImm { ra, .. } => tainted(&depth, ra),
+                Instr::Load { addr, .. } => addr
+                    .regs()
+                    .filter_map(|r| tainted(&depth, r))
+                    .max()
+                    .map(|d| (d + 1).min(MAX_CHASE_DEPTH)),
+                _ => None,
+            };
+            if let (Some(d), Some(rd)) = (from_srcs, instrs[pc].dst()) {
+                let slot = &mut depth[rd.index()];
+                if slot.is_none_or(|cur| d > cur) {
+                    *slot = Some(d);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut deps = Vec::new();
+    for &pc in &body_pcs {
+        if pc == root_pc || !instrs[pc].is_load() {
+            continue;
+        }
+        if let Instr::Load { addr, .. } = instrs[pc] {
+            if let Some(d) = addr.regs().filter_map(|r| tainted(&depth, r)).max() {
+                deps.push((pc, (d + 1).min(MAX_CHASE_DEPTH)));
+            }
+        }
+    }
+    deps.sort_unstable();
+    deps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::analyze_addresses;
+    use crate::dfg::DefUseGraph;
+    use crate::loops::find_loops;
+    use sim_isa::parse_program;
+
+    fn run(text: &str) -> (Cfg, Vec<Instr>, AddrAnalysis, Vec<LoopInfo>, Vec<LoopDeps>) {
+        let p = parse_program(text).unwrap();
+        let instrs = p.instrs().to_vec();
+        let cfg = Cfg::build(&instrs);
+        let dfg = DefUseGraph::build(&cfg, &instrs);
+        let loops = find_loops(&cfg, &instrs);
+        let addr = analyze_addresses(&cfg, &instrs, &dfg, &loops);
+        let deps = analyze_deps(&addr, &loops);
+        (cfg, instrs, addr, loops, deps)
+    }
+
+    #[test]
+    fn chain_depth_counts_the_longest_chain() {
+        let (.., deps) =
+            run("li r1, 4096\nli r2, 8192\nli r8, 12288\nli r3, 0\nli r4, 100\ntop:\n\
+             ld8 r5, [r1 + r3<<3 + 0]\nld8 r6, [r2 + r5<<3 + 0]\nld8 r9, [r8 + r6<<3 + 0]\n\
+             addi r3, r3, 1\nslt r7, r3, r4\nbnz r7, top\nhalt");
+        assert_eq!(deps[0].chain_depth, 2);
+    }
+
+    #[test]
+    fn disjoint_regions_do_not_alias() {
+        // Store to region C, load from region A: provably apart.
+        let (.., deps) = run("li r1, 4096\nli r2, 8192\nli r3, 0\nli r4, 100\ntop:\n\
+             ld8 r5, [r1 + r3<<3 + 0]\nst8 r5, [r2 + r3<<3 + 0]\n\
+             addi r3, r3, 1\nslt r7, r3, r4\nbnz r7, top\nhalt");
+        assert!(deps[0].alias_edges.is_empty());
+    }
+
+    #[test]
+    fn same_region_store_aliases_chase_load() {
+        // C[h]++ against a load from C — the DVR store-conflict case.
+        let (instrs, deps) = {
+            let (_, instrs, _, _, deps) =
+                run("li r1, 4096\nli r2, 8192\nli r3, 0\nli r4, 100\ntop:\n\
+                 ld8 r5, [r1 + r3<<3 + 0]\nld8 r6, [r2 + r5<<3 + 0]\naddi r6, r6, 1\n\
+                 st8 r6, [r2 + r5<<3 + 0]\naddi r3, r3, 1\nslt r7, r3, r4\nbnz r7, top\nhalt");
+            (instrs, deps)
+        };
+        assert_eq!(deps[0].alias_edges.len(), 1);
+        let mut e = deps[0].alias_edges[0].clone();
+        assert_eq!((e.store_pc, e.load_pc), (7, 5));
+        assert_eq!(e.reason, AliasReason::SameRegion);
+        refine_rmw(&instrs, &mut e);
+        assert_eq!(e.reason, AliasReason::ReadModifyWrite);
+    }
+
+    #[test]
+    fn dependents_track_depth_per_root() {
+        let (cfg, instrs, _, loops, _) =
+            run("li r1, 4096\nli r2, 8192\nli r8, 12288\nli r3, 0\nli r4, 100\ntop:\n\
+             ld8 r5, [r1 + r3<<3 + 0]\nld8 r6, [r2 + r5<<3 + 0]\nld8 r9, [r8 + r6<<3 + 0]\n\
+             addi r3, r3, 1\nslt r7, r3, r4\nbnz r7, top\nhalt");
+        let deps = dependents_of(&cfg, &instrs, &loops[0], 5);
+        assert_eq!(deps, vec![(6, 1), (7, 2)]);
+    }
+}

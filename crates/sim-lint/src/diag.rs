@@ -119,4 +119,51 @@ impl LintReport {
     pub fn is_clean(&self) -> bool {
         self.errors() == 0
     }
+
+    /// Serializes the report as one flat JSON object (for `dvrsim lint
+    /// --json`). Hand-rolled to keep the analyzer dependency-free.
+    pub fn to_json(&self, name: &str, prog: Option<&Program>) -> String {
+        use std::fmt::Write;
+        let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let mut out = format!(
+            "{{\"program\":\"{}\",\"errors\":{},\"warnings\":{},\"diags\":[",
+            escape(name),
+            self.errors(),
+            self.warnings()
+        );
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let line = prog
+                .and_then(|p| p.source_line(d.pc))
+                .map(|l| l.to_string())
+                .unwrap_or_else(|| "null".to_string());
+            let _ = write!(
+                out,
+                "{{\"kind\":\"{}\",\"severity\":\"{}\",\"pc\":{},\"line\":{},\"message\":\"{}\"}}",
+                d.kind.name(),
+                d.severity,
+                d.pc,
+                line,
+                escape(&d.message)
+            );
+        }
+        out.push_str("],\"loops\":[");
+        for (i, l) in self.loops.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                concat!(
+                    "{{\"head_pc\":{},\"latch_pc\":{},\"class\":\"{}\",",
+                    "\"striding_loads\":{:?},\"dependent_loads\":{:?},\"stores\":{}}}"
+                ),
+                l.head_pc, l.latch_pc, l.class, l.striding_loads, l.dependent_loads, l.stores
+            );
+        }
+        out.push_str("]}");
+        out
+    }
 }

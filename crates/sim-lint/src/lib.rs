@@ -46,17 +46,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod addr;
 mod cfg;
 mod dataflow;
+mod deps;
+mod dfg;
 mod diag;
 mod loops;
+mod predict;
 
 use sim_isa::{Instr, Program, Reg};
 
+pub use addr::{analyze_addresses, AddrAnalysis, AddrClass, LoopAddr, MemOp, MAX_CHASE_DEPTH};
 pub use cfg::{Block, Cfg};
 pub use dataflow::{dominators, may_uninit, reachable, BlockSet, UninitAnalysis};
+pub use deps::{analyze_deps, dependents_of, refine_rmw, AliasEdge, AliasReason, LoopDeps};
+pub use dfg::{const_of_defs, const_use, known_constants, DefSet, DefUseGraph, UseSite};
 pub use diag::{Diagnostic, LintKind, LintReport, Severity};
 pub use loops::{find_loops, LoopClass, LoopInfo};
+pub use predict::{
+    predict_coverage, CoveragePrediction, PredictedChain, SkipReason, DETECTOR_SLOTS,
+    MIN_TRIPS_TO_SPAWN,
+};
 
 /// Analyzes a program and returns every diagnostic plus the loop
 /// classification. Equivalent to [`analyze_instrs`] on `prog.instrs()`.

@@ -1,0 +1,298 @@
+//! Static DVR coverage prediction.
+//!
+//! Combines the address classes, dependence chains, and trip counts into a
+//! per-benchmark prediction of what Discovery Mode should do: which static
+//! loads it will lock onto as striding triggers, which dependent chains it
+//! will vectorize (and how deep they are), and which triggers it will *not*
+//! spawn from, with a typed reason mirroring the dynamic engine's actual
+//! decision logic (no dependent chain, innermost-switching, stride-detector
+//! warm-up, detector slot conflicts). The `dvrsim audit` subcommand diffs
+//! this prediction against the engine's event trace.
+
+use sim_isa::Instr;
+
+use crate::addr::{AddrAnalysis, AddrClass};
+use crate::cfg::Cfg;
+use crate::deps::{dependents_of, refine_rmw, AliasEdge, LoopDeps};
+use crate::loops::LoopInfo;
+
+/// The number of stride-detector slots the dynamic engine uses; triggers
+/// whose pcs collide modulo this evict each other and never gain
+/// confidence.
+pub const DETECTOR_SLOTS: usize = 32;
+
+/// Iterations a loop must run for the detector to reach confidence (three
+/// equal strides after the first observation) and Discovery to follow one
+/// full iteration and still have a future iteration left to prefetch.
+pub const MIN_TRIPS_TO_SPAWN: u64 = 6;
+
+/// Why a statically striding load with (or without) a chain is predicted
+/// *not* to spawn a vector-runahead subthread.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SkipReason {
+    /// No load's address depends on this trigger's value: Discovery
+    /// finishes with an empty Final-Load Register and records
+    /// `no_dependent_chain`.
+    NoDependentLoads,
+    /// A nested inner loop contains its own striding load; Discovery's
+    /// innermost-striding-load check switches to it before the outer
+    /// trigger comes around.
+    ShadowedByInner {
+        /// The inner striding load that wins the switch.
+        inner_stride_pc: usize,
+    },
+    /// The loop's static trip count is below the detector-warmup +
+    /// discovery-iteration minimum ([`MIN_TRIPS_TO_SPAWN`]).
+    TooFewIterations {
+        /// The inferred trip count.
+        trips: u64,
+    },
+    /// Another striding load in the same loop nest maps to the same
+    /// direct-mapped detector slot; the two evict each other every
+    /// observation and neither reaches confidence.
+    DetectorSlotConflict {
+        /// The conflicting load.
+        with_pc: usize,
+    },
+}
+
+impl std::fmt::Display for SkipReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SkipReason::NoDependentLoads => f.write_str("no-dependent-loads"),
+            SkipReason::ShadowedByInner { inner_stride_pc } => {
+                write!(f, "shadowed-by-inner@{inner_stride_pc}")
+            }
+            SkipReason::TooFewIterations { trips } => write!(f, "too-few-iterations({trips})"),
+            SkipReason::DetectorSlotConflict { with_pc } => {
+                write!(f, "detector-slot-conflict@{with_pc}")
+            }
+        }
+    }
+}
+
+/// One statically predicted Discovery chain, rooted at a striding load.
+#[derive(Clone, Debug)]
+pub struct PredictedChain {
+    /// Index of the root's innermost loop in the `loops` slice.
+    pub loop_idx: usize,
+    /// Head pc of that loop.
+    pub loop_head: usize,
+    /// The striding (root) load.
+    pub stride_pc: usize,
+    /// Its static per-iteration stride in bytes.
+    pub stride: i64,
+    /// Dependent loads `(pc, depth)` the Vector Taint Tracker should find,
+    /// depth 1 = addressed directly off the root's value.
+    pub dependents: Vec<(usize, usize)>,
+    /// Longest dependent depth (0 when `dependents` is empty).
+    pub chain_depth: usize,
+    /// Static trip count of the loop, when inferred.
+    pub trip_count: Option<u64>,
+    /// Store→load may-alias edges landing on this chain's loads.
+    pub alias_edges: Vec<AliasEdge>,
+    /// Whether Discovery is predicted to spawn a subthread off this root.
+    pub expect_spawn: bool,
+    /// When `expect_spawn` is false, why.
+    pub skip: Option<SkipReason>,
+}
+
+/// The full static prediction for one program.
+#[derive(Clone, Debug, Default)]
+pub struct CoveragePrediction {
+    /// Every striding-load root, ascending by `(loop_head, stride_pc)`.
+    pub chains: Vec<PredictedChain>,
+}
+
+impl CoveragePrediction {
+    /// Roots predicted to spawn.
+    pub fn expected_spawns(&self) -> impl Iterator<Item = &PredictedChain> {
+        self.chains.iter().filter(|c| c.expect_spawn)
+    }
+
+    /// The chain rooted at `stride_pc`, if predicted.
+    pub fn chain_at(&self, stride_pc: usize) -> Option<&PredictedChain> {
+        self.chains.iter().find(|c| c.stride_pc == stride_pc)
+    }
+}
+
+/// Whether loop `inner`'s body is strictly contained in loop `outer`'s.
+fn strictly_nested(outer: &LoopInfo, inner: &LoopInfo) -> bool {
+    inner.body.len() < outer.body.len() && inner.body.iter().all(|b| outer.body.contains(b))
+}
+
+/// Builds the coverage prediction from the earlier passes' results.
+pub fn predict_coverage(
+    cfg: &Cfg,
+    instrs: &[Instr],
+    loops: &[LoopInfo],
+    addr: &AddrAnalysis,
+    deps: &[LoopDeps],
+) -> CoveragePrediction {
+    // Roots: loads whose address is affine with a non-zero stride relative
+    // to their innermost loop — exactly what the dynamic stride detector
+    // can become confident about.
+    let roots: Vec<(usize, usize, i64)> = addr
+        .mem_ops
+        .iter()
+        .filter(|m| !m.is_store)
+        .filter_map(|m| match (m.loop_idx, m.class) {
+            (Some(li), AddrClass::Affine { stride }) if stride != 0 => Some((m.pc, li, stride)),
+            _ => None,
+        })
+        .collect();
+
+    let mut chains = Vec::new();
+    for &(pc, li, stride) in &roots {
+        let l = &loops[li];
+        let dependents = dependents_of(cfg, instrs, l, pc);
+        let chain_depth = dependents.iter().map(|&(_, d)| d).max().unwrap_or(0);
+        let trip_count = addr.loop_addr[li].trip_count;
+
+        // Alias edges landing on this chain's loads (root included).
+        let mut alias_edges: Vec<AliasEdge> = deps[li]
+            .alias_edges
+            .iter()
+            .filter(|e| e.load_pc == pc || dependents.iter().any(|&(d, _)| d == e.load_pc))
+            .cloned()
+            .collect();
+        for e in &mut alias_edges {
+            refine_rmw(instrs, e);
+        }
+
+        // Skip analysis, in the order the dynamic engine's decisions fire:
+        // a switch pre-empts the spawn decision, which pre-empts everything
+        // the spawn would have done.
+        let shadow = loops
+            .iter()
+            .enumerate()
+            .filter(|(lj, inner)| *lj != li && strictly_nested(l, inner))
+            .flat_map(|(lj, inner)| {
+                // Inner striding loads only shadow if the inner loop can
+                // iterate at least twice per invocation (the switch needs
+                // the inner pc seen twice within one discovery pass).
+                let runs_twice = addr.loop_addr[lj].trip_count.is_none_or(|t| t >= 2);
+                roots
+                    .iter()
+                    .filter(move |&&(rpc, rli, _)| {
+                        runs_twice && rli == lj && crate::addr::pc_in_loop(cfg, inner, rpc)
+                    })
+                    .map(|&(rpc, ..)| rpc)
+            })
+            .min();
+        let conflict = roots
+            .iter()
+            .filter(|&&(opc, oli, _)| {
+                opc != pc
+                    && opc % DETECTOR_SLOTS == pc % DETECTOR_SLOTS
+                    && (oli == li
+                        || strictly_nested(&loops[oli], l)
+                        || strictly_nested(l, &loops[oli]))
+            })
+            .map(|&(opc, ..)| opc)
+            .min();
+
+        let skip = if dependents.is_empty() {
+            Some(SkipReason::NoDependentLoads)
+        } else if let Some(inner_stride_pc) = shadow {
+            Some(SkipReason::ShadowedByInner { inner_stride_pc })
+        } else if let Some(with_pc) = conflict {
+            Some(SkipReason::DetectorSlotConflict { with_pc })
+        } else {
+            trip_count
+                .filter(|&t| t < MIN_TRIPS_TO_SPAWN)
+                .map(|trips| SkipReason::TooFewIterations { trips })
+        };
+
+        chains.push(PredictedChain {
+            loop_idx: li,
+            loop_head: l.head_pc,
+            stride_pc: pc,
+            stride,
+            dependents,
+            chain_depth,
+            trip_count,
+            alias_edges,
+            expect_spawn: skip.is_none(),
+            skip,
+        });
+    }
+    chains.sort_by_key(|c| (c.loop_head, c.stride_pc));
+    CoveragePrediction { chains }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::analyze_addresses;
+    use crate::deps::analyze_deps;
+    use crate::dfg::DefUseGraph;
+    use crate::loops::find_loops;
+    use sim_isa::parse_program;
+
+    fn predict(text: &str) -> CoveragePrediction {
+        let p = parse_program(text).unwrap();
+        let instrs = p.instrs().to_vec();
+        let cfg = Cfg::build(&instrs);
+        let dfg = DefUseGraph::build(&cfg, &instrs);
+        let loops = find_loops(&cfg, &instrs);
+        let addr = analyze_addresses(&cfg, &instrs, &dfg, &loops);
+        let deps = analyze_deps(&addr, &loops);
+        predict_coverage(&cfg, &instrs, &loops, &addr, &deps)
+    }
+
+    #[test]
+    fn chain_root_expects_spawn() {
+        let p = predict(
+            "li r1, 4096\nli r2, 8192\nli r3, 0\nli r4, 1000\ntop:\n\
+             ld8 r5, [r1 + r3<<3 + 0]\nld8 r6, [r2 + r5<<3 + 0]\n\
+             addi r3, r3, 1\nslt r7, r3, r4\nbnz r7, top\nhalt",
+        );
+        assert_eq!(p.chains.len(), 1);
+        let c = &p.chains[0];
+        assert_eq!(c.stride_pc, 4);
+        assert!(c.expect_spawn);
+        assert_eq!(c.dependents, vec![(5, 1)]);
+        assert_eq!(c.chain_depth, 1);
+        assert_eq!(c.trip_count, Some(1000));
+    }
+
+    #[test]
+    fn bare_stride_skips_with_no_dependents() {
+        let p = predict(
+            "li r1, 4096\nli r3, 0\nli r4, 1000\ntop:\n\
+             ld8 r5, [r1 + r3<<3 + 0]\nadd r6, r6, r5\n\
+             addi r3, r3, 1\nslt r7, r3, r4\nbnz r7, top\nhalt",
+        );
+        assert_eq!(p.chains.len(), 1);
+        assert_eq!(p.chains[0].skip, Some(SkipReason::NoDependentLoads));
+        assert!(!p.chains[0].expect_spawn);
+    }
+
+    #[test]
+    fn short_loop_skips_with_too_few_iterations() {
+        let p = predict(
+            "li r1, 4096\nli r2, 8192\nli r3, 0\nli r4, 3\ntop:\n\
+             ld8 r5, [r1 + r3<<3 + 0]\nld8 r6, [r2 + r5<<3 + 0]\n\
+             addi r3, r3, 1\nslt r7, r3, r4\nbnz r7, top\nhalt",
+        );
+        assert_eq!(p.chains[0].skip, Some(SkipReason::TooFewIterations { trips: 3 }));
+    }
+
+    #[test]
+    fn outer_root_is_shadowed_by_inner() {
+        // Outer loop strides A and chains through B; the inner loop strides
+        // C with its own chain. The inner striding load wins the switch.
+        let p = predict(
+            "li r1, 4096\nli r2, 8192\nli r8, 12288\nli r9, 16384\nli r3, 0\nli r4, 100\n\
+             outer:\nld8 r5, [r1 + r3<<3 + 0]\nld8 r6, [r2 + r5<<3 + 0]\nli r10, 0\n\
+             inner:\nld8 r11, [r8 + r10<<3 + 0]\nld8 r12, [r9 + r11<<3 + 0]\n\
+             addi r10, r10, 1\nslt r13, r10, r6\nbnz r13, inner\n\
+             addi r3, r3, 1\nslt r7, r3, r4\nbnz r7, outer\nhalt",
+        );
+        let outer = p.chain_at(6).expect("outer root");
+        let inner = p.chain_at(9).expect("inner root");
+        assert!(inner.expect_spawn, "{inner:?}");
+        assert_eq!(outer.skip, Some(SkipReason::ShadowedByInner { inner_stride_pc: 9 }));
+    }
+}

@@ -36,6 +36,13 @@ lint_out="$(cargo run -q -p dvr-sim --bin dvrsim -- lint --all)"
 echo "$lint_out" | grep -q ', 0 errors,' || { echo "lint reported errors:"; echo "$lint_out"; exit 1; }
 echo "$lint_out" | grep -q '13 programs checked' || { echo "lint did not cover the full suite"; exit 1; }
 
+echo "== lint-audit: dvrsim audit --all must PASS with zero unexplained =="
+audit_out="$(cargo run -q -p dvr-sim --bin dvrsim -- audit --all)"
+if echo "$audit_out" | grep -q 'FAIL'; then
+  echo "audit reported unexplained divergences:"; echo "$audit_out"; exit 1
+fi
+[ "$(echo "$audit_out" | grep -c '^PASS$')" = 13 ] || { echo "audit did not cover the full suite"; exit 1; }
+
 echo "== sanitize smoke: sanitized run is clean and byte-identical =="
 # host_seconds / sim_instrs_per_host_second are wall clock; strip them
 # before diffing — everything else must match to the byte.

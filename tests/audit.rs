@@ -1,0 +1,110 @@
+//! Static-vs-dynamic Discovery audit tests: every benchmark's audit report
+//! is pinned by a golden file with zero unexplained divergences, and the
+//! event-trace hook is timing-neutral — a traced run's `SimReport`
+//! serializes byte-identically to an untraced one (the `--sanitize`
+//! convention from the sanitizer and fault-injection PRs).
+
+use dvr_sim::{audit_benchmark, simulate, SimConfig, Technique};
+use workloads::{Benchmark, SizeClass};
+
+/// The parameters the golden files were generated under (`dvrsim audit`
+/// defaults).
+const SIZE: SizeClass = SizeClass::Test;
+const SEED: u64 = 42;
+const INSTRS: u64 = 60_000;
+
+/// Golden-file slug for a benchmark ("NAS-CG" -> "nas_cg").
+fn slug(b: Benchmark) -> String {
+    b.name().to_lowercase().replace('-', "_")
+}
+
+#[test]
+fn audit_matches_golden_files_with_zero_unexplained() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden");
+    let bless = std::env::var_os("BLESS").is_some();
+    for b in Benchmark::ALL {
+        let report = audit_benchmark(b, SIZE, SEED, INSTRS);
+        assert_eq!(
+            report.unexplained(),
+            0,
+            "{}: every divergence must carry a typed justification:\n{}",
+            b.name(),
+            report.render()
+        );
+        assert!(report.is_clean());
+        let got = report.render();
+        let path = format!("{dir}/audit_{}.txt", slug(b));
+        if bless {
+            std::fs::write(&path, &got).expect("write golden");
+            continue;
+        }
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{path}: {e} (BLESS=1 to generate)"));
+        assert_eq!(
+            got,
+            want,
+            "{}: audit report drifted; run with BLESS=1 to re-bless after review",
+            b.name()
+        );
+    }
+}
+
+#[test]
+fn audit_finds_real_discovery_activity() {
+    // The audit is vacuous if the trace never records anything. The
+    // flagship dependent-load kernels must both predict and observe
+    // vectorization, and the predictions must agree.
+    for b in [Benchmark::Camel, Benchmark::NasIs, Benchmark::RandomAccess] {
+        let r = audit_benchmark(b, SIZE, SEED, INSTRS);
+        let expected: Vec<usize> =
+            r.chains.iter().filter(|c| c.expect_spawn).map(|c| c.stride_pc).collect();
+        assert!(!expected.is_empty(), "{}: no static spawn roots", b.name());
+        for pc in &expected {
+            let spawned = r.dynamic.iter().any(|(p, d)| p == pc && d.spawns + d.covered_skips > 0);
+            assert!(spawned, "{}: predicted root pc={pc} never spawned\n{}", b.name(), r.render());
+        }
+    }
+}
+
+#[test]
+fn trace_hook_is_timing_neutral() {
+    // Tracing must observe, never perturb: the report of a traced run is
+    // byte-identical (modulo wall clock) to an untraced one.
+    let wl = Benchmark::Camel.build(None, SizeClass::Small, SEED);
+    let cfg = SimConfig::new(Technique::Dvr).with_max_instructions(50_000);
+    let plain = simulate(&wl, &cfg);
+    let traced = simulate(&wl, &cfg.with_dvr_trace(true));
+    assert!(plain.dvr_trace.is_none());
+    let trace = traced.dvr_trace.as_ref().expect("trace attached when enabled");
+    assert!(!trace.events.is_empty(), "Camel must exercise Discovery");
+    assert_eq!(plain.core.cycles, traced.core.cycles, "tracing changed timing");
+    let strip = |mut r: dvr_sim::SimReport| {
+        r.host_seconds = 0.0; // wall clock is the only nondeterministic field
+        r.to_json()
+    };
+    assert_eq!(strip(plain), strip(traced), "tracing must not perturb the report");
+}
+
+#[test]
+fn trace_only_attaches_to_dvr_runs() {
+    // Requesting a trace under a technique with no Discovery engine is a
+    // no-op, not an error.
+    let wl = Benchmark::Bfs.build(None, SIZE, SEED);
+    let cfg =
+        SimConfig::new(Technique::Baseline).with_max_instructions(20_000).with_dvr_trace(true);
+    let r = simulate(&wl, &cfg);
+    assert!(r.dvr_trace.is_none());
+    assert!(r.core.cycles > 0);
+}
+
+#[test]
+fn audit_json_is_well_formed_and_consistent() {
+    let r = audit_benchmark(Benchmark::NasIs, SIZE, SEED, INSTRS);
+    let json = r.to_json();
+    assert!(json.starts_with("{\"bench\":\"NAS-IS\""), "{json}");
+    assert!(json.ends_with(&format!("\"unexplained\":{}}}", r.unexplained())), "{json}");
+    // Every divergence kind renders with its kebab-case name.
+    for d in &r.divergences {
+        assert!(json.contains(&format!("\"kind\":\"{}\"", d.kind)), "{json}");
+    }
+}

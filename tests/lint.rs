@@ -51,6 +51,29 @@ fn uninitialized_register_read_is_flagged_at_its_source_line() {
 }
 
 #[test]
+fn spanless_program_diagnostics_fall_back_to_pc_only_labels() {
+    // Programs built through the `Asm` DSL carry no source text, so
+    // diagnostics must render a clean pc-only location (and `--json` must
+    // emit a null line), not a bogus line number.
+    use sim_isa::{Asm, Reg};
+    let mut asm = Asm::new();
+    asm.li(Reg::R1, 64);
+    asm.add(Reg::R2, Reg::R7, Reg::R1); // r7 never written -> uninit-read
+    asm.halt();
+    let p = asm.finish().unwrap();
+    assert!(p.source_line(1).is_none(), "DSL-built programs have no spans");
+    let r = analyze(&p);
+    let d = r.diags.iter().find(|d| d.kind == LintKind::UninitRead).expect("uninit-read");
+    let rendered = d.render(Some(&p));
+    assert!(rendered.contains("pc 1"), "{rendered}");
+    assert!(!rendered.contains("line"), "span-less render must not invent a line: {rendered}");
+    // Rendering with no program at all behaves identically.
+    assert_eq!(rendered, d.render(None));
+    let json = r.to_json("dsl", Some(&p));
+    assert!(json.contains("\"line\":null"), "{json}");
+}
+
+#[test]
 fn dead_loop_is_an_infinite_loop_error() {
     let p = parse_program(
         "li r1, 1\n\
