@@ -17,6 +17,12 @@
 //!                             label (failure-path smoke testing)
 //!   --sanitize                run every cell under the cycle-model invariant
 //!                             sanitizer (stderr summary; stdout unchanged)
+//!   --sample                  run every cell sampled (functional fast-forward
+//!                             with warming between seeded detailed intervals)
+//!                             instead of exactly — several-fold faster, with
+//!                             the statistical error EXPERIMENTS.md describes
+//!   --sample-period N         sampling period in instructions (implies
+//!                             --sample; default 20000)
 //! ```
 //!
 //! Exit status: 0 on success; without `--keep-going` a failed cell aborts
@@ -37,6 +43,8 @@ fn main() {
     let mut keep_going = false;
     let mut force_fail: Option<String> = None;
     let mut sanitize = false;
+    let mut sample = false;
+    let mut sample_period: Option<u64> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -71,6 +79,11 @@ fn main() {
             }
             "--keep-going" => keep_going = true,
             "--sanitize" => sanitize = true,
+            "--sample" => sample = true,
+            "--sample-period" => {
+                i += 1;
+                sample_period = Some(args[i].parse().expect("numeric --sample-period"));
+            }
             "--force-fail" => {
                 i += 1;
                 force_fail = Some(args[i].clone());
@@ -88,6 +101,13 @@ fn main() {
         .with_threads(threads)
         .with_keep_going(keep_going)
         .with_sanitize(sanitize);
+    if sample || sample_period.is_some() {
+        let mut scfg = dvr_sim::SampleConfig::default();
+        if let Some(p) = sample_period {
+            scfg = scfg.with_period(p);
+        }
+        ctx = ctx.with_sample(scfg);
+    }
     if let Some(label) = force_fail {
         ctx = ctx.with_force_fail(label);
     }

@@ -16,8 +16,8 @@ use std::sync::Arc;
 
 use chart::{Chart, ChartKind, Series};
 use dvr_sim::{
-    simulate, try_parallel_map, CoreStats, EngineSummary, MemStats, RunOutcome, SimConfig,
-    SimError, SimReport, Technique,
+    simulate, simulate_sampled, try_parallel_map, CoreStats, EngineSummary, MemStats, RunOutcome,
+    SampleConfig, SimConfig, SimError, SimReport, Technique,
 };
 use workloads::{Benchmark, GraphInput, SizeClass, Workload};
 
@@ -80,6 +80,13 @@ pub struct Ctx {
     /// timing-neutral, so figure text stays byte-identical; violation totals
     /// surface through [`Ctx::sanitize_totals`].
     pub sanitize: bool,
+    /// When set, every cell runs sampled ([`dvr_sim::simulate_sampled`])
+    /// instead of exactly: functional fast-forward with warming between
+    /// seeded detailed intervals. Figure numbers then carry the sampling
+    /// error the config's confidence intervals describe, in exchange for a
+    /// several-fold host-time speedup. Sampled runs are deterministic, so
+    /// output stays byte-identical across thread counts.
+    pub sample: Option<SampleConfig>,
     cache: HashMap<(Benchmark, Option<GraphInput>), Arc<Workload>>,
     failures: Vec<CellFailure>,
     runs: u64,
@@ -100,6 +107,7 @@ impl Ctx {
             keep_going: false,
             force_fail: None,
             sanitize: false,
+            sample: None,
             cache: HashMap::new(),
             failures: Vec::new(),
             runs: 0,
@@ -136,6 +144,13 @@ impl Ctx {
         self
     }
 
+    /// Runs every cell sampled with the given configuration (see
+    /// [`Ctx::sample`]).
+    pub fn with_sample(mut self, scfg: SampleConfig) -> Self {
+        self.sample = Some(scfg);
+        self
+    }
+
     /// Every cell failure recorded so far (keep-going mode only).
     pub fn failures(&self) -> &[CellFailure] {
         &self.failures
@@ -162,7 +177,10 @@ impl Ctx {
     /// Runs with an explicit config (ROB sweeps, ablations).
     pub fn run_cfg(&mut self, b: Benchmark, g: Option<GraphInput>, cfg: &SimConfig) -> SimReport {
         let wl = self.workload(b, g);
-        let r = simulate(&wl, cfg);
+        let r = match self.sample {
+            Some(scfg) => simulate_sampled(&wl, cfg, &scfg),
+            None => simulate(&wl, cfg),
+        };
         self.account(std::slice::from_ref(&r));
         r
     }
@@ -192,11 +210,15 @@ impl Ctx {
             cells.iter().map(|c| self.workload(c.benchmark, c.input)).collect();
         let labels: Vec<String> = cells.iter().map(Cell::label).collect();
         let force_fail = self.force_fail.clone();
+        let sample = self.sample;
         let results = try_parallel_map(cells.len(), self.threads, |i| {
             if force_fail.as_deref() == Some(labels[i].as_str()) {
                 panic!("forced failure requested for cell '{}'", labels[i]);
             }
-            simulate(&jobs[i], &cells[i].cfg)
+            match sample {
+                Some(scfg) => simulate_sampled(&jobs[i], &cells[i].cfg, &scfg),
+                None => simulate(&jobs[i], &cells[i].cfg),
+            }
         });
         let mut reports = Vec::with_capacity(cells.len());
         for (i, result) in results.into_iter().enumerate() {
@@ -225,7 +247,9 @@ impl Ctx {
     fn account(&mut self, reports: &[SimReport]) {
         for r in reports {
             self.runs += 1;
-            self.sim_committed += r.core.committed;
+            // Covered instructions: committed for exact runs, fast-forward +
+            // detailed for sampled ones (the honest throughput numerator).
+            self.sim_committed += r.simulated_instructions;
             self.sim_seconds += r.host_seconds;
             if let Some(san) = &r.sanitizer {
                 self.san_checks += san.checks;
@@ -241,7 +265,9 @@ impl Ctx {
     }
 
     /// Aggregate simulation cost over every run through this context:
-    /// `(runs, committed instructions, seconds inside simulate())`.
+    /// `(runs, covered instructions, seconds inside simulate())`. Covered
+    /// means committed for exact runs and fast-forward + detailed for
+    /// sampled ones.
     /// Seconds are summed per-run host time (CPU time when batches run on
     /// several threads, wall time when serial).
     pub fn throughput_totals(&self) -> (u64, u64, f64) {
@@ -274,7 +300,9 @@ fn failed_report(cell: &Cell, workload_name: &str, err: SimError) -> SimReport {
         mem: MemStats::default(),
         ipc: 0.0,
         mlp: 0.0,
+        simulated_instructions: 0,
         host_seconds: 0.0,
+        sampling: None,
         engine: EngineSummary::default(),
         outcome: RunOutcome::Failed(err),
         sanitizer: None,

@@ -12,7 +12,10 @@
 
 use std::process::ExitCode;
 
-use dvr_sim::{simulate, FaultConfig, SimConfig, SimReport, Technique};
+use dvr_sim::{
+    parallel_map, simulate, simulate_sampled, FaultConfig, Placement, SampleConfig, SimConfig,
+    SimReport, Technique,
+};
 use workloads::{Benchmark, GraphInput, SizeClass, Workload};
 
 struct Options {
@@ -35,6 +38,9 @@ const USAGE: &str = "\
 usage: dvrsim [--list] (--bench NAME | --asm FILE.s) [options]
        dvrsim lint (--all | --bench NAME | --asm FILE.s) [--size S] [--seed N] [--verbose] [--json]
        dvrsim audit (--all | --bench NAME) [--size S] [--seed N] [--instrs N] [--json]
+       dvrsim sample (--all | --bench NAME) [--technique T] [--size S] [--instrs N]
+                     [--interval N] [--warmup N] [--period N] [--placement systematic|random]
+                     [--sample-seed N] [--no-exact] [--threads N] [--json]
 
 options:
   --bench NAME          benchmark (see --list)
@@ -66,8 +72,15 @@ the `audit` subcommand diffs the static DVR coverage prediction against a
 traced simulation's actual Discovery decisions and classifies every
 divergence; unexplained divergences fail the audit.
 
+the `sample` subcommand runs checkpointed sampled simulation (functional
+fast-forward with cache/branch-predictor warming between seeded detailed
+intervals) and, unless --no-exact, an exact run of the same region for
+comparison; a sampled mean whose 95% confidence interval misses the exact
+IPC fails the command.
+
 exit status: 0 if every run completed (lint: no errors; audit: no
-unexplained divergences), 1 otherwise.
+unexplained divergences; sample: every CI contains the exact IPC),
+1 otherwise.
 ";
 
 fn parse_inject(spec: &str) -> Result<FaultConfig, String> {
@@ -214,7 +227,7 @@ fn load_workload(o: &Options) -> Result<Workload, String> {
 fn print_report(r: &SimReport, base_ipc: Option<f64>, verbose: bool) {
     let speedup = base_ipc.map(|b| format!("{:>7.2}x", r.ipc / b)).unwrap_or_default();
     println!(
-        "{:14} IPC {:>7.3}{} | MLP {:>5.2} | {:>5.1} MPKI | DRAM {:>8} | stall {:>4.0}%",
+        "{:14} IPC {:>7.3}{} | MLP {:>5.2} | {:>5.1} MPKI | DRAM {:>8} | stall {:>4.0}% | {:>5.2} Mi/s",
         r.technique.name(),
         r.ipc,
         speedup,
@@ -222,6 +235,7 @@ fn print_report(r: &SimReport, base_ipc: Option<f64>, verbose: bool) {
         r.llc_mpki(),
         r.mem.dram_reads(),
         100.0 * r.core.rob_full_stall_fraction(),
+        r.host_minstr_per_sec(),
     );
     if verbose && !r.engine.detail.is_empty() {
         println!("               {}", r.engine.detail);
@@ -295,7 +309,7 @@ fn lint_main(args: &[String]) -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             other => {
-                eprintln!("error: unknown lint option '{other}'\n\n{USAGE}");
+                eprintln!("error: unknown lint option '{other}' (see 'dvrsim --help')");
                 return ExitCode::from(2);
             }
         }
@@ -433,7 +447,7 @@ fn audit_main(args: &[String]) -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             other => {
-                eprintln!("error: unknown audit option '{other}'\n\n{USAGE}");
+                eprintln!("error: unknown audit option '{other}' (see 'dvrsim --help')");
                 return ExitCode::from(2);
             }
         }
@@ -474,6 +488,192 @@ fn audit_main(args: &[String]) -> ExitCode {
     }
 }
 
+/// `dvrsim sample`: checkpointed sampled simulation — functional
+/// fast-forward with warming between seeded detailed intervals, reported
+/// with a 95% confidence interval and (by default) validated against an
+/// exact run of the same region.
+fn sample_main(args: &[String]) -> ExitCode {
+    let mut all = false;
+    let mut bench: Option<Benchmark> = None;
+    let mut input: Option<GraphInput> = None;
+    let mut techniques = vec![Technique::Baseline];
+    let mut size = SizeClass::Small;
+    let mut seed = 42u64;
+    let mut instrs = 200_000u64;
+    let mut scfg = SampleConfig::default();
+    let mut no_exact = false;
+    let mut json = false;
+    let mut threads = 1usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => all = true,
+            "--no-exact" => no_exact = true,
+            "--json" => json = true,
+            "--bench" | "--input" | "--technique" | "--size" | "--seed" | "--instrs"
+            | "--interval" | "--warmup" | "--period" | "--placement" | "--sample-seed"
+            | "--threads" => {
+                let Some(v) = args.get(i + 1).cloned() else {
+                    eprintln!("error: {} needs a value", args[i]);
+                    return ExitCode::from(2);
+                };
+                let parse_u64 = |flag: &str, v: &str| -> Result<u64, ExitCode> {
+                    v.parse().map_err(|e| {
+                        eprintln!("error: {flag}: {e}");
+                        ExitCode::from(2)
+                    })
+                };
+                match args[i].as_str() {
+                    "--bench" => match parse_bench(&v) {
+                        Some(b) => bench = Some(b),
+                        None => {
+                            eprintln!("error: unknown benchmark '{v}'");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--input" => match parse_input(&v) {
+                        Some(g) => input = Some(g),
+                        None => {
+                            eprintln!("error: unknown input '{v}'");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--technique" => match parse_technique(&v) {
+                        Some(t) => techniques = t,
+                        None => {
+                            eprintln!("error: unknown technique '{v}'");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--size" => {
+                        size = match v.as_str() {
+                            "test" => SizeClass::Test,
+                            "small" => SizeClass::Small,
+                            "paper" => SizeClass::Paper,
+                            _ => {
+                                eprintln!("error: unknown size '{v}'");
+                                return ExitCode::from(2);
+                            }
+                        };
+                    }
+                    "--placement" => {
+                        scfg.placement = match v.as_str() {
+                            "systematic" => Placement::Systematic,
+                            "random" => Placement::Random,
+                            _ => {
+                                eprintln!("error: unknown placement '{v}'");
+                                return ExitCode::from(2);
+                            }
+                        };
+                    }
+                    flag => {
+                        let n = match parse_u64(flag, &v) {
+                            Ok(n) => n,
+                            Err(code) => return code,
+                        };
+                        match flag {
+                            "--seed" => seed = n,
+                            "--instrs" => instrs = n,
+                            "--interval" => scfg.interval = n,
+                            "--warmup" => scfg.warmup = n,
+                            "--period" => scfg.period = n,
+                            "--sample-seed" => scfg.seed = n,
+                            "--threads" => threads = n as usize,
+                            _ => unreachable!("covered by the outer match"),
+                        }
+                    }
+                }
+                i += 1;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown sample option '{other}' (see 'dvrsim --help')");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let benches: Vec<Benchmark> = if all {
+        Benchmark::ALL.to_vec()
+    } else if let Some(b) = bench {
+        vec![b]
+    } else {
+        eprintln!("error: sample needs --all or --bench NAME (see 'dvrsim --help')");
+        return ExitCode::from(2);
+    };
+    if let Err(e) = scfg.with_max_instructions(instrs).validate() {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
+
+    let cells: Vec<(Benchmark, Technique)> =
+        benches.iter().flat_map(|b| techniques.iter().map(move |t| (*b, *t))).collect();
+    let results = parallel_map(cells.len(), threads, |i| {
+        let (b, t) = cells[i];
+        let wl = b.build(b.is_gap().then(|| input.unwrap_or(GraphInput::Kr)), size, seed);
+        let cfg = SimConfig::new(t).with_max_instructions(instrs);
+        let sampled = simulate_sampled(&wl, &cfg, &scfg);
+        let exact = (!no_exact).then(|| simulate(&wl, &cfg));
+        (sampled, exact)
+    });
+
+    let mut failed = 0usize;
+    for (sampled, exact) in &results {
+        if json {
+            println!("{}", sampled.to_json());
+        }
+        let Some(s) = &sampled.sampling else {
+            let e = sampled.outcome.error().map(|e| e.to_string()).unwrap_or_default();
+            eprintln!("{} {}: sampled run failed: {e}", sampled.workload, sampled.technique.name());
+            failed += 1;
+            continue;
+        };
+        match exact {
+            Some(exact) => {
+                let within = (exact.ipc - s.ipc_mean).abs() <= s.ipc_ci95;
+                if !json {
+                    println!(
+                        "{:16} {:14} exact {:.4}  sampled {:.4} +/- {:.4} (n={:3})  \
+                         err {:+.2}%  {}  host speedup {:.1}x",
+                        sampled.workload,
+                        sampled.technique.name(),
+                        exact.ipc,
+                        s.ipc_mean,
+                        s.ipc_ci95,
+                        s.intervals,
+                        100.0 * (s.ipc_mean - exact.ipc) / exact.ipc.max(1e-12),
+                        if within { "within CI" } else { "OUTSIDE CI" },
+                        exact.host_seconds / sampled.host_seconds.max(1e-9),
+                    );
+                }
+                if !within || !exact.outcome.is_complete() {
+                    failed += 1;
+                }
+            }
+            None if !json => {
+                println!(
+                    "{:16} {:14} sampled {:.4} +/- {:.4} (n={:3})  {:.2} Minstr/s",
+                    sampled.workload,
+                    sampled.technique.name(),
+                    s.ipc_mean,
+                    s.ipc_ci95,
+                    s.intervals,
+                    sampled.host_minstr_per_sec(),
+                );
+            }
+            None => {}
+        }
+    }
+    if failed > 0 {
+        eprintln!("sample: {failed} of {} runs failed or missed their CI", results.len());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("lint") {
@@ -481,6 +681,9 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("audit") {
         return audit_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("sample") {
+        return sample_main(&argv[1..]);
     }
     let o = match parse_args() {
         Ok(o) => o,

@@ -26,14 +26,16 @@ mod audit;
 mod config;
 mod report;
 mod runner;
+mod sample;
 
 pub use audit::{audit_benchmark, AuditReport, Divergence, DivergenceKind, Justification};
 pub use config::{SimConfig, Technique};
-pub use report::{EngineSummary, RunOutcome, SimReport};
+pub use report::{EngineSummary, RunOutcome, SamplingSummary, SimReport};
 pub use runner::{
     parallel_map, resolve_threads, simulate, simulate_all, simulate_all_parallel, try_parallel_map,
     CellError,
 };
+pub use sample::{engine_factory, simulate_sampled};
 
 // Re-export the pieces users need to assemble custom setups.
 pub use dvr_core::{DvrConfig, DvrEngine, DvrTrace, OracleEngine, PreEngine, TraceEvent, VrEngine};
@@ -44,4 +46,5 @@ pub use sim_mem::{
 };
 pub use sim_ooo::SanitizeReport;
 pub use sim_ooo::{CoreConfig, CoreStats, DeadlockSnapshot, NullEngine, OooCore, SimError};
+pub use sim_sample::{Placement, SampleConfig, SampledReport};
 pub use workloads::{Benchmark, GraphInput, SizeClass, Workload};

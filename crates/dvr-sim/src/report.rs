@@ -56,6 +56,39 @@ pub struct EngineSummary {
     pub detail: String,
 }
 
+/// Summary of a sampled run's statistics, attached to a [`SimReport`] by
+/// [`crate::simulate_sampled`]. All fields are deterministic (no wall
+/// clock), so sampled reports stay byte-identical across thread counts.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SamplingSummary {
+    /// Number of measured detailed intervals.
+    pub intervals: usize,
+    /// Configured measured-interval length (instructions).
+    pub interval_len: u64,
+    /// Configured detailed-warmup length (instructions).
+    pub warmup_len: u64,
+    /// Configured period length (instructions).
+    pub period: u64,
+    /// Placement policy name (`"systematic"` or `"random"`).
+    pub placement: &'static str,
+    /// Placement seed.
+    pub seed: u64,
+    /// Mean of per-interval IPCs (the report's headline `ipc`).
+    pub ipc_mean: f64,
+    /// Unbiased sample variance of per-interval IPCs.
+    pub ipc_variance: f64,
+    /// Half-width of the 95% confidence interval on the mean IPC.
+    pub ipc_ci95: f64,
+    /// Mean of per-interval MLPs.
+    pub mlp_mean: f64,
+    /// Instructions committed inside measured intervals.
+    pub detailed_instructions: u64,
+    /// Instructions committed inside discarded warmups.
+    pub warmup_instructions: u64,
+    /// Instructions covered by functional fast-forward.
+    pub ffwd_instructions: u64,
+}
+
 /// The result of one simulation run.
 #[derive(Clone, Debug)]
 pub struct SimReport {
@@ -71,9 +104,16 @@ pub struct SimReport {
     pub ipc: f64,
     /// Average MSHRs occupied per cycle (the paper's MLP metric, Fig. 9).
     pub mlp: f64,
+    /// Instructions the run covered architecturally: committed instructions
+    /// for an exact run, total retired (fast-forward + detailed) for a
+    /// sampled one. The numerator of [`SimReport::host_minstr_per_sec`].
+    pub simulated_instructions: u64,
     /// Host wall-clock seconds spent inside [`crate::simulate`] for this
     /// run (simulation cost, not simulated time).
     pub host_seconds: f64,
+    /// Sampling statistics (`Some` only for [`crate::simulate_sampled`]
+    /// runs).
+    pub sampling: Option<SamplingSummary>,
     /// Engine activity.
     pub engine: EngineSummary,
     /// How the run ended; statistics above are partial when it failed.
@@ -98,6 +138,19 @@ impl SimReport {
     pub fn sim_instrs_per_host_second(&self) -> f64 {
         if self.host_seconds > 0.0 {
             self.core.committed as f64 / self.host_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Simulator throughput in millions of *covered* instructions per host
+    /// second ([`SimReport::simulated_instructions`] per second / 1e6).
+    /// Unlike [`SimReport::sim_instrs_per_host_second`] this credits a
+    /// sampled run for its fast-forwarded instructions, which is the point
+    /// of sampling. `0.0` when the clock did not resolve.
+    pub fn host_minstr_per_sec(&self) -> f64 {
+        if self.host_seconds > 0.0 {
+            self.simulated_instructions as f64 / self.host_seconds / 1e6
         } else {
             0.0
         }
@@ -161,6 +214,32 @@ impl SimReport {
     /// all values are numbers or plain ASCII names.
     pub fn to_json(&self) -> String {
         let t = self.timeliness().unwrap_or([0.0; 4]);
+        let sampling = match &self.sampling {
+            None => String::new(),
+            Some(s) => format!(
+                concat!(
+                    "\"sampling\":{{\"intervals\":{},\"interval_len\":{},\"warmup_len\":{},",
+                    "\"period\":{},\"placement\":\"{}\",\"seed\":{},\"ipc_mean\":{:.6},",
+                    "\"ipc_variance\":{:.6},\"ipc_ci95\":{},\"mlp_mean\":{:.4},",
+                    "\"detailed_instructions\":{},\"warmup_instructions\":{},",
+                    "\"ffwd_instructions\":{}}},"
+                ),
+                s.intervals,
+                s.interval_len,
+                s.warmup_len,
+                s.period,
+                s.placement,
+                s.seed,
+                s.ipc_mean,
+                s.ipc_variance,
+                // A single-interval run has an unbounded CI: JSON null.
+                if s.ipc_ci95.is_finite() { format!("{:.6}", s.ipc_ci95) } else { "null".into() },
+                s.mlp_mean,
+                s.detailed_instructions,
+                s.warmup_instructions,
+                s.ffwd_instructions,
+            ),
+        };
         format!(
             concat!(
                 "{{\"workload\":\"{}\",\"technique\":\"{}\",\"ipc\":{:.6},\"mlp\":{:.4},",
@@ -171,8 +250,9 @@ impl SimReport {
                 "\"dram_runahead\":{},\"dram_writebacks\":{},",
                 "\"runahead_episodes\":{},\"runahead_loads\":{},\"nested_episodes\":{},",
                 "\"timeliness_l1\":{:.4},\"timeliness_l2\":{:.4},\"timeliness_l3\":{:.4},",
-                "\"timeliness_offchip\":{:.4},",
+                "\"timeliness_offchip\":{:.4},\"simulated_instructions\":{},{}",
                 "\"host_seconds\":{:.6},\"sim_instrs_per_host_second\":{:.0},",
+                "\"host_minstr_per_sec\":{:.3},",
                 "\"outcome\":\"{}\",\"error\":\"{}\"}}"
             ),
             escape_json(&self.workload),
@@ -199,8 +279,11 @@ impl SimReport {
             t[1],
             t[2],
             t[3],
+            self.simulated_instructions,
+            sampling,
             self.host_seconds,
             self.sim_instrs_per_host_second(),
+            self.host_minstr_per_sec(),
             self.outcome.kind(),
             self.outcome.error().map(|e| escape_json(&e.to_string())).unwrap_or_default(),
         )
@@ -230,7 +313,9 @@ mod tests {
             mem: MemStats::default(),
             ipc,
             mlp: 0.0,
+            simulated_instructions: 0,
             host_seconds: 0.0,
+            sampling: None,
             engine: EngineSummary::default(),
             outcome: RunOutcome::Complete,
             sanitizer: None,
@@ -242,9 +327,42 @@ mod tests {
     fn throughput_handles_zero_time() {
         let mut r = report("bfs", 1.0);
         assert_eq!(r.sim_instrs_per_host_second(), 0.0);
+        assert_eq!(r.host_minstr_per_sec(), 0.0);
         r.core.committed = 1_000_000;
+        r.simulated_instructions = 5_000_000;
         r.host_seconds = 0.5;
         assert!((r.sim_instrs_per_host_second() - 2_000_000.0).abs() < 1e-6);
+        assert!((r.host_minstr_per_sec() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_section_serializes_when_present() {
+        let mut r = report("bfs", 1.0);
+        assert!(!r.to_json().contains("\"sampling\""));
+        r.sampling = Some(SamplingSummary {
+            intervals: 4,
+            interval_len: 1000,
+            warmup_len: 500,
+            period: 5000,
+            placement: "systematic",
+            seed: 42,
+            ipc_mean: 1.0,
+            ipc_variance: 0.01,
+            ipc_ci95: 0.2,
+            mlp_mean: 3.0,
+            detailed_instructions: 4000,
+            warmup_instructions: 2000,
+            ffwd_instructions: 14_000,
+        });
+        let j = r.to_json();
+        assert!(j.contains("\"sampling\":{\"intervals\":4,"), "{j}");
+        assert!(j.contains("\"ipc_ci95\":0.200000"), "{j}");
+        assert!(j.contains("\"simulated_instructions\":0,\"sampling\""), "{j}");
+        assert_eq!(j.matches('{').count(), 2);
+        assert_eq!(j.matches('}').count(), 2);
+        // An unbounded CI is JSON null, not "inf".
+        r.sampling.as_mut().unwrap().ipc_ci95 = f64::INFINITY;
+        assert!(r.to_json().contains("\"ipc_ci95\":null"));
     }
 
     #[test]

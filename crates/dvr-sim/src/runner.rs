@@ -203,7 +203,9 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> SimReport {
         workload: workload.name.clone(),
         ipc: core_stats.ipc(),
         mlp: hier.mshr_busy_integral() as f64 / cycles as f64,
+        simulated_instructions: core_stats.committed,
         host_seconds: t0.elapsed().as_secs_f64(),
+        sampling: None,
         core: core_stats,
         mem: mem_stats,
         engine: engine_summary,

@@ -1,0 +1,214 @@
+//! Sampled simulation: wires the [`sim_sample`] driver into the
+//! technique/report facade.
+//!
+//! [`simulate_sampled`] is the sampled counterpart of
+//! [`simulate`](crate::simulate): same workload, same [`SimConfig`], but
+//! only the seeded detailed intervals pay cycle-level cost — the rest of
+//! the region of interest is covered by the functional fast-forward
+//! executor with cache and branch-predictor warming. The headline `ipc`
+//! becomes the mean of per-interval IPCs and the report carries a
+//! [`SamplingSummary`] with the variance and 95% confidence interval.
+
+use sim_ooo::{RunaheadEngine, SimError};
+use sim_sample::{run_sampled, Placement, SampleConfig, SampleError};
+use workloads::Workload;
+
+use crate::config::{SimConfig, Technique};
+use crate::report::{EngineSummary, RunOutcome, SamplingSummary, SimReport};
+
+/// Builds a fresh runahead engine for one detailed interval, mirroring the
+/// technique dispatch of [`simulate`](crate::simulate) (including the
+/// Figure 8 ablation overrides).
+///
+/// The sampling driver constructs a new engine per detailed interval, so
+/// engine state — including DVR's runahead subthread — quiesces (is
+/// dropped) cleanly at every interval boundary.
+pub fn engine_factory(cfg: &SimConfig) -> Box<dyn RunaheadEngine> {
+    use dvr_core::{DvrConfig, DvrEngine, OracleEngine, PreEngine, VrEngine};
+    match cfg.technique {
+        Technique::Baseline | Technique::Imp => Box::new(sim_ooo::NullEngine),
+        Technique::Pre => Box::new(PreEngine::default()),
+        Technique::Vr => Box::new(VrEngine::default()),
+        Technique::Dvr | Technique::DvrOffload | Technique::DvrDiscovery => {
+            let dcfg = match cfg.technique {
+                Technique::DvrOffload => DvrConfig { discovery: false, nested: false, ..cfg.dvr },
+                Technique::DvrDiscovery => DvrConfig { nested: false, ..cfg.dvr },
+                _ => cfg.dvr,
+            };
+            Box::new(DvrEngine::new(dcfg))
+        }
+        Technique::Oracle => Box::new(OracleEngine::new()),
+    }
+}
+
+fn failed(e: SampleError) -> RunOutcome {
+    RunOutcome::Failed(match e {
+        SampleError::Sim(e) => e,
+        // A fast-forward fault is the same malformed-program condition the
+        // detailed core reports, just caught outside a cycle loop.
+        SampleError::Exec(source) => SimError::ExecFault { pc: 0, cycle: 0, source },
+        SampleError::Config(msg) => {
+            SimError::Panic { message: format!("invalid sample config: {msg}") }
+        }
+    })
+}
+
+fn placement_name(p: Placement) -> &'static str {
+    match p {
+        Placement::Systematic => "systematic",
+        Placement::Random => "random",
+    }
+}
+
+/// Runs one workload sampled under one configuration and returns a report.
+///
+/// The region of interest is [`SimConfig::max_instructions`] — it
+/// overrides whatever `scfg` carries, so exact and sampled runs of the
+/// same `SimConfig` always cover the same region. In the returned report:
+///
+/// - `ipc` is the mean of per-interval IPCs, `mlp` the mean of
+///   per-interval MLPs;
+/// - `core`/`mem` counters cover detailed execution only (functional
+///   warming contributes no demand traffic by construction);
+/// - `simulated_instructions` is the total instructions retired across
+///   the region (fast-forward + detailed), the honest numerator for
+///   [`SimReport::host_minstr_per_sec`];
+/// - `sampling` carries the per-interval statistics
+///   ([`SamplingSummary`]).
+///
+/// Engine activity counters reset with each interval's fresh engine, so
+/// [`EngineSummary`] reports only a detail line for sampled runs.
+///
+/// Like [`simulate`](crate::simulate), failures come back as data: a
+/// report with [`RunOutcome::Failed`] and zeroed statistics.
+pub fn simulate_sampled(workload: &Workload, cfg: &SimConfig, scfg: &SampleConfig) -> SimReport {
+    let t0 = std::time::Instant::now();
+    let scfg = scfg.with_max_instructions(cfg.max_instructions);
+    let result = run_sampled(&workload.prog, &workload.mem, cfg.core, cfg.hierarchy, &scfg, || {
+        engine_factory(cfg)
+    });
+    let mut report = SimReport {
+        technique: cfg.technique,
+        workload: workload.name.clone(),
+        core: Default::default(),
+        mem: Default::default(),
+        ipc: 0.0,
+        mlp: 0.0,
+        simulated_instructions: 0,
+        host_seconds: 0.0,
+        sampling: None,
+        engine: EngineSummary::default(),
+        outcome: RunOutcome::Complete,
+        sanitizer: None,
+        dvr_trace: None,
+    };
+    match result {
+        Ok(run) => {
+            let r = &run.report;
+            report.ipc = r.ipc_mean;
+            report.mlp = r.mlp_mean;
+            report.simulated_instructions = r.total_retired;
+            report.core = run.core;
+            report.mem = run.mem;
+            report.sampling = Some(SamplingSummary {
+                intervals: r.interval_count(),
+                interval_len: scfg.interval,
+                warmup_len: scfg.warmup,
+                period: scfg.period,
+                placement: placement_name(scfg.placement),
+                seed: scfg.seed,
+                ipc_mean: r.ipc_mean,
+                ipc_variance: r.ipc_variance,
+                ipc_ci95: r.ipc_ci95,
+                mlp_mean: r.mlp_mean,
+                detailed_instructions: r.detailed_instructions,
+                warmup_instructions: r.warmup_instructions,
+                ffwd_instructions: r.ffwd_instructions,
+            });
+            report.engine.detail = format!(
+                "sampled: {} intervals of {} instrs, fresh engine per interval",
+                r.interval_count(),
+                scfg.interval
+            );
+        }
+        Err(e) => report.outcome = failed(e),
+    }
+    report.host_seconds = t0.elapsed().as_secs_f64();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{Benchmark, SizeClass};
+
+    fn scfg() -> SampleConfig {
+        SampleConfig::default().with_interval(2_000).with_warmup(1_000).with_period(20_000)
+    }
+
+    #[test]
+    fn sampled_report_carries_statistics() {
+        let wl = Benchmark::NasIs.build(None, SizeClass::Test, 1);
+        let cfg = SimConfig::new(Technique::Baseline).with_max_instructions(200_000);
+        let r = simulate_sampled(&wl, &cfg, &scfg());
+        assert!(r.outcome.is_complete(), "{:?}", r.outcome);
+        let s = r.sampling.as_ref().expect("sampling section");
+        assert!(s.intervals >= 2, "{s:?}");
+        assert!(r.ipc > 0.0 && (r.ipc - s.ipc_mean).abs() < 1e-12);
+        assert!(s.ipc_ci95.is_finite());
+        assert!(r.simulated_instructions >= s.detailed_instructions + s.warmup_instructions);
+        assert!(r.to_json().contains("\"sampling\":{"));
+    }
+
+    #[test]
+    fn sampled_run_is_deterministic_and_far_cheaper_in_detail() {
+        let wl = Benchmark::Camel.build(None, SizeClass::Test, 3);
+        let cfg = SimConfig::new(Technique::Dvr).with_max_instructions(200_000);
+        let a = simulate_sampled(&wl, &cfg, &scfg());
+        let b = simulate_sampled(&wl, &cfg, &scfg());
+        assert_eq!(a.core.cycles, b.core.cycles);
+        assert_eq!(a.sampling, b.sampling);
+        // Detailed execution covers a small fraction of the region.
+        let s = a.sampling.unwrap();
+        assert!(s.detailed_instructions + s.warmup_instructions < a.simulated_instructions / 2);
+    }
+
+    #[test]
+    fn sampled_ci_contains_exact_ipc() {
+        // Small size: the statistical contract is tuned for real working
+        // sets (the tiny Test inputs are all transient, which no sampling
+        // regime represents well).
+        let wl = Benchmark::NasIs.build(None, SizeClass::Small, 1);
+        let cfg = SimConfig::new(Technique::Baseline).with_max_instructions(200_000);
+        let exact = crate::simulate(&wl, &cfg);
+        let sampled = simulate_sampled(&wl, &cfg, &scfg());
+        let s = sampled.sampling.as_ref().unwrap();
+        assert!(
+            (exact.ipc - s.ipc_mean).abs() <= s.ipc_ci95,
+            "exact {} outside sampled {} +/- {}",
+            exact.ipc,
+            s.ipc_mean,
+            s.ipc_ci95
+        );
+    }
+
+    #[test]
+    fn invalid_config_comes_back_as_failed_outcome() {
+        let wl = Benchmark::NasIs.build(None, SizeClass::Test, 1);
+        let cfg = SimConfig::new(Technique::Baseline).with_max_instructions(50_000);
+        let r = simulate_sampled(&wl, &cfg, &SampleConfig::default().with_interval(0));
+        assert_eq!(r.outcome.kind(), "panic");
+        assert!(r.outcome.error().unwrap().to_string().contains("sample config"));
+        assert!(r.sampling.is_none());
+    }
+
+    #[test]
+    fn engine_factory_matches_technique() {
+        for t in [Technique::Baseline, Technique::Pre, Technique::Vr, Technique::Dvr] {
+            // Factories must be constructible repeatedly (one per interval).
+            let cfg = SimConfig::new(t);
+            let _ = engine_factory(&cfg);
+            let _ = engine_factory(&cfg);
+        }
+    }
+}

@@ -233,6 +233,139 @@ impl Cpu {
         }
         Ok(n)
     }
+
+    /// Functional fast-forward: runs like [`Cpu::run`] but streams every
+    /// memory access and conditional-branch outcome through a [`WarmSink`].
+    ///
+    /// This is the sampling subsystem's warming mode — instructions retire
+    /// architecturally without the OoO engine while the sink trains cache
+    /// tags/LRU and branch-predictor tables, so a later detailed interval
+    /// starts from warm microarchitectural state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError`] from [`Cpu::step`].
+    pub fn run_warming<S: WarmSink>(
+        &mut self,
+        prog: &Program,
+        mem: &mut SparseMemory,
+        max_steps: u64,
+        sink: &mut S,
+    ) -> Result<u64, ExecError> {
+        let mut n = 0;
+        while n < max_steps {
+            match self.step(prog, mem)? {
+                StepEvent::Executed(s) => {
+                    n += 1;
+                    if let Some(m) = s.mem {
+                        if m.is_store {
+                            sink.store(s.pc, m.addr, m.width);
+                        } else {
+                            sink.load(s.pc, m.addr, m.width);
+                        }
+                    }
+                    if let Some(taken) = s.branch_taken {
+                        sink.branch(s.pc, taken);
+                    }
+                }
+                StepEvent::Halted => break,
+            }
+        }
+        Ok(n)
+    }
+
+    /// Saves the complete architectural CPU state.
+    pub fn checkpoint(&self) -> CpuCheckpoint {
+        CpuCheckpoint { regs: self.regs, pc: self.pc, halted: self.halted, retired: self.retired }
+    }
+
+    /// Reconstructs a CPU from a checkpoint. Resuming from the restored CPU
+    /// (against restored memory) is byte-identical to never having stopped.
+    pub fn from_checkpoint(ck: &CpuCheckpoint) -> Self {
+        Cpu { regs: ck.regs, pc: ck.pc, halted: ck.halted, retired: ck.retired }
+    }
+}
+
+/// Observer for the functional fast-forward mode ([`Cpu::run_warming`]):
+/// receives every architectural memory access and conditional-branch outcome
+/// so microarchitectural state (cache tags, predictor tables) can be warmed
+/// without cycle-level simulation. All methods default to no-ops.
+pub trait WarmSink {
+    /// A demand load of `width` bytes at `addr`, issued by the instruction
+    /// at `pc`.
+    fn load(&mut self, pc: usize, addr: u64, width: u64) {
+        let _ = (pc, addr, width);
+    }
+    /// A demand store of `width` bytes at `addr`, issued by the instruction
+    /// at `pc`.
+    fn store(&mut self, pc: usize, addr: u64, width: u64) {
+        let _ = (pc, addr, width);
+    }
+    /// A conditional branch at `pc` resolved `taken`.
+    fn branch(&mut self, pc: usize, taken: bool) {
+        let _ = (pc, taken);
+    }
+}
+
+/// A [`WarmSink`] that discards everything — pure fast-forward.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullWarmSink;
+
+impl WarmSink for NullWarmSink {}
+
+/// A serializable snapshot of the architectural CPU state (register file,
+/// PC, halt flag, retirement count).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CpuCheckpoint {
+    /// The architectural register file.
+    pub regs: [u64; NUM_REGS],
+    /// The program counter.
+    pub pc: usize,
+    /// Whether the CPU had halted.
+    pub halted: bool,
+    /// Instructions retired when the checkpoint was taken.
+    pub retired: u64,
+}
+
+/// Version/magic tag prefixed to serialized checkpoints.
+const CPU_CKPT_MAGIC: u32 = 0x4456_5243; // "DVRC"
+
+impl CpuCheckpoint {
+    /// Serializes the checkpoint to a deterministic little-endian byte image.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + NUM_REGS * 8 + 8 + 1 + 8);
+        out.extend_from_slice(&CPU_CKPT_MAGIC.to_le_bytes());
+        for r in &self.regs {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.pc as u64).to_le_bytes());
+        out.push(self.halted as u8);
+        out.extend_from_slice(&self.retired.to_le_bytes());
+        out
+    }
+
+    /// Deserializes a checkpoint produced by [`CpuCheckpoint::to_bytes`].
+    /// Returns `None` on a truncated or foreign byte image.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let expect = 4 + NUM_REGS * 8 + 8 + 1 + 8;
+        if bytes.len() != expect || bytes[..4] != CPU_CKPT_MAGIC.to_le_bytes() {
+            return None;
+        }
+        let mut off = 4;
+        let mut u64_at = |bytes: &[u8]| {
+            let v = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+            off += 8;
+            v
+        };
+        let mut regs = [0u64; NUM_REGS];
+        for r in &mut regs {
+            *r = u64_at(bytes);
+        }
+        let pc = u64_at(bytes) as usize;
+        let halted = bytes[off] != 0;
+        let retired = u64::from_le_bytes(bytes[off + 1..off + 9].try_into().unwrap());
+        Some(CpuCheckpoint { regs, pc, halted, retired })
+    }
 }
 
 /// The effect of executing one instruction in a *speculative runahead lane*:
@@ -399,6 +532,93 @@ mod tests {
         cpu.pc = 17;
         let mut mem = SparseMemory::new();
         assert_eq!(cpu.step(&prog, &mut mem), Err(ExecError::PcOutOfRange { pc: 17 }));
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted() {
+        let prog = fib_program();
+        // Uninterrupted reference run.
+        let mut ref_cpu = Cpu::new();
+        let mut ref_mem = SparseMemory::new();
+        ref_cpu.run(&prog, &mut ref_mem, 10_000).unwrap();
+
+        // Checkpoint mid-run, round-trip through bytes, resume.
+        let mut cpu = Cpu::new();
+        let mut mem = SparseMemory::new();
+        cpu.run(&prog, &mut mem, 17).unwrap();
+        let ck = cpu.checkpoint();
+        let bytes = ck.to_bytes();
+        let back = CpuCheckpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, ck);
+        let mut resumed = Cpu::from_checkpoint(&back);
+        resumed.run(&prog, &mut mem, 10_000).unwrap();
+        assert_eq!(resumed.regs(), ref_cpu.regs());
+        assert_eq!(resumed.pc(), ref_cpu.pc());
+        assert_eq!(resumed.retired(), ref_cpu.retired());
+        assert_eq!(resumed.is_halted(), ref_cpu.is_halted());
+    }
+
+    #[test]
+    fn checkpoint_bytes_reject_corruption() {
+        let ck = Cpu::new().checkpoint();
+        let mut bytes = ck.to_bytes();
+        assert!(CpuCheckpoint::from_bytes(&bytes[1..]).is_none());
+        bytes[0] ^= 0xff;
+        assert!(CpuCheckpoint::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn warming_run_streams_accesses_and_branches() {
+        #[derive(Default)]
+        struct Tally {
+            loads: u64,
+            stores: u64,
+            branches: u64,
+            taken: u64,
+        }
+        impl WarmSink for Tally {
+            fn load(&mut self, _pc: usize, _addr: u64, _width: u64) {
+                self.loads += 1;
+            }
+            fn store(&mut self, _pc: usize, _addr: u64, _width: u64) {
+                self.stores += 1;
+            }
+            fn branch(&mut self, _pc: usize, taken: bool) {
+                self.branches += 1;
+                self.taken += taken as u64;
+            }
+        }
+
+        let mut asm = Asm::new();
+        let (base, i, n, t, c) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5);
+        asm.li(base, 0x1000);
+        asm.li(i, 0);
+        asm.li(n, 4);
+        let top = asm.here();
+        asm.st8_idx(t, base, i, 3);
+        asm.ld8_idx(t, base, i, 3);
+        asm.addi(i, i, 1);
+        asm.slt(c, i, n);
+        asm.bnz(c, top);
+        asm.halt();
+        let prog = asm.finish().unwrap();
+
+        let mut cpu = Cpu::new();
+        let mut mem = SparseMemory::new();
+        let mut sink = Tally::default();
+        cpu.run_warming(&prog, &mut mem, 10_000, &mut sink).unwrap();
+        assert!(cpu.is_halted());
+        assert_eq!(sink.loads, 4);
+        assert_eq!(sink.stores, 4);
+        assert_eq!(sink.branches, 4);
+        assert_eq!(sink.taken, 3);
+
+        // The warming run is architecturally identical to a plain run.
+        let mut plain = Cpu::new();
+        let mut plain_mem = SparseMemory::new();
+        plain.run(&prog, &mut plain_mem, 10_000).unwrap();
+        assert_eq!(plain.regs(), cpu.regs());
+        assert_eq!(plain_mem.checksum(), mem.checksum());
     }
 
     #[test]

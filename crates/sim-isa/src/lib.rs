@@ -62,9 +62,12 @@ mod parse;
 mod reg;
 
 pub use asm::{Asm, AsmError, Label};
-pub use exec::{exec_lane, Cpu, ExecError, LaneEffect, MemAccess, Step, StepEvent};
+pub use exec::{
+    exec_lane, Cpu, CpuCheckpoint, ExecError, LaneEffect, MemAccess, NullWarmSink, Step, StepEvent,
+    WarmSink,
+};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use instr::{AluOp, BranchCond, Instr, MemAddr, MemWidth, Program};
-pub use mem::SparseMemory;
+pub use mem::{MemoryCheckpoint, SparseMemory};
 pub use parse::{parse_program, ParseError};
 pub use reg::{Reg, NUM_REGS};

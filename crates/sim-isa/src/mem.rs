@@ -237,6 +237,103 @@ impl SparseMemory {
             self.write_u32(addr + 4 * k as u64, *v);
         }
     }
+
+    /// Captures the pages of `self` that differ from `base` as a sparse
+    /// delta checkpoint.
+    ///
+    /// `base` is typically the pristine workload image this memory evolved
+    /// from (writes only ever allocate pages, so every page of `base` is
+    /// still present in `self`). Pages absent from `base` compare against
+    /// zeros, so a checkpoint against `SparseMemory::new()` captures every
+    /// non-zero page.
+    pub fn checkpoint_delta(&self, base: &SparseMemory) -> MemoryCheckpoint {
+        let zero = [0u8; PAGE_SIZE];
+        let mut pages: Vec<(u64, Box<[u8; PAGE_SIZE]>)> = Vec::new();
+        for (&page, &slot) in &self.map {
+            let cur: &[u8; PAGE_SIZE] = &self.slots[slot as usize];
+            let was: &[u8; PAGE_SIZE] = match base.map.get(&page) {
+                Some(&s) => &base.slots[s as usize],
+                None => &zero,
+            };
+            if cur[..] != was[..] {
+                pages.push((page, Box::new(*cur)));
+            }
+        }
+        // Map iteration order is nondeterministic; sort so serialized
+        // checkpoints are byte-identical across runs.
+        pages.sort_unstable_by_key(|&(p, _)| p);
+        MemoryCheckpoint { pages }
+    }
+
+    /// Reconstructs the checkpointed memory: a clone of `base` with the
+    /// delta's pages applied. Inverse of [`SparseMemory::checkpoint_delta`]
+    /// (for a delta taken against the same `base`).
+    pub fn restore_from(base: &SparseMemory, delta: &MemoryCheckpoint) -> SparseMemory {
+        let mut mem = base.clone();
+        for (page, bytes) in &delta.pages {
+            *mem.page_mut(page << PAGE_SHIFT) = **bytes;
+        }
+        mem
+    }
+}
+
+/// A sparse dirty-page delta of a [`SparseMemory`] against a base image —
+/// the memory half of an architectural checkpoint. Serializable and
+/// deterministic (pages are stored in ascending page-number order).
+#[derive(Clone, PartialEq, Eq)]
+pub struct MemoryCheckpoint {
+    /// `(page_number, page_bytes)` pairs, sorted by page number.
+    pages: Vec<(u64, Box<[u8; PAGE_SIZE]>)>,
+}
+
+/// Version/magic tag prefixed to serialized memory checkpoints.
+const MEM_CKPT_MAGIC: u32 = 0x4456_524d; // "DVRM"
+
+impl MemoryCheckpoint {
+    /// Number of pages captured in the delta.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Serializes the delta to a deterministic little-endian byte image.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 8 + self.pages.len() * (8 + PAGE_SIZE));
+        out.extend_from_slice(&MEM_CKPT_MAGIC.to_le_bytes());
+        out.extend_from_slice(&(self.pages.len() as u64).to_le_bytes());
+        for (page, bytes) in &self.pages {
+            out.extend_from_slice(&page.to_le_bytes());
+            out.extend_from_slice(&bytes[..]);
+        }
+        out
+    }
+
+    /// Deserializes a delta produced by [`MemoryCheckpoint::to_bytes`].
+    /// Returns `None` on a truncated or foreign byte image.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 12 || bytes[..4] != MEM_CKPT_MAGIC.to_le_bytes() {
+            return None;
+        }
+        let n = u64::from_le_bytes(bytes[4..12].try_into().unwrap()) as usize;
+        if bytes.len() != 12 + n * (8 + PAGE_SIZE) {
+            return None;
+        }
+        let mut pages = Vec::with_capacity(n);
+        let mut off = 12;
+        for _ in 0..n {
+            let page = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+            let mut payload = Box::new([0u8; PAGE_SIZE]);
+            payload.copy_from_slice(&bytes[off + 8..off + 8 + PAGE_SIZE]);
+            pages.push((page, payload));
+            off += 8 + PAGE_SIZE;
+        }
+        Some(MemoryCheckpoint { pages })
+    }
+}
+
+impl fmt::Debug for MemoryCheckpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemoryCheckpoint").field("pages", &self.pages.len()).finish()
+    }
 }
 
 impl fmt::Debug for SparseMemory {
@@ -369,5 +466,43 @@ mod tests {
     fn invalid_width_panics() {
         let mem = SparseMemory::new();
         let _ = mem.read(0, 3);
+    }
+
+    #[test]
+    fn checkpoint_delta_roundtrip() {
+        let mut base = SparseMemory::new();
+        base.write_u64(0x1000, 1);
+        base.write_u64(0x20_0000, 2);
+
+        let mut run = base.clone();
+        run.write_u64(0x20_0000, 99); // modify an existing page
+        run.write_u64(0x50_0000, 7); // allocate a new page
+        run.write_u64(0x9000, 0); // touched but still all-zero
+
+        let delta = run.checkpoint_delta(&base);
+        // Only genuinely-changed pages are captured: the modified page and
+        // the new non-zero page (the all-zero page matches the zero base).
+        assert_eq!(delta.page_count(), 2);
+
+        let bytes = delta.to_bytes();
+        let back = MemoryCheckpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, delta);
+        assert_eq!(back.to_bytes(), bytes, "serialization must be deterministic");
+
+        let restored = SparseMemory::restore_from(&base, &back);
+        assert_eq!(restored.checksum(), run.checksum());
+        assert_eq!(restored.read_u64(0x1000), 1);
+        assert_eq!(restored.read_u64(0x20_0000), 99);
+        assert_eq!(restored.read_u64(0x50_0000), 7);
+    }
+
+    #[test]
+    fn checkpoint_bytes_reject_corruption() {
+        let mem = SparseMemory::new();
+        let delta = mem.checkpoint_delta(&mem);
+        let mut bytes = delta.to_bytes();
+        assert!(MemoryCheckpoint::from_bytes(&bytes[..4]).is_none());
+        bytes[0] ^= 0xff;
+        assert!(MemoryCheckpoint::from_bytes(&bytes).is_none());
     }
 }

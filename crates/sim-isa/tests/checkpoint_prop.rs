@@ -1,0 +1,65 @@
+//! Property test for architectural checkpoints: saving at a *random*
+//! retirement point, round-tripping through bytes, restoring, and
+//! resuming must reproduce the uninterrupted run exactly — digest-for-
+//! digest — on every workload in the suite.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use sim_isa::{Cpu, CpuCheckpoint, MemoryCheckpoint, SparseMemory};
+use workloads::{Benchmark, GraphInput, SizeClass, Workload};
+
+/// How far each run executes. Small enough to keep the property cheap,
+/// long enough that every benchmark is deep inside its kernel.
+const TOTAL: u64 = 40_000;
+
+fn suite() -> &'static Vec<Workload> {
+    static SUITE: OnceLock<Vec<Workload>> = OnceLock::new();
+    SUITE.get_or_init(|| {
+        Benchmark::ALL
+            .into_iter()
+            .map(|b| b.build(b.is_gap().then_some(GraphInput::Kr), SizeClass::Small, 42))
+            .collect()
+    })
+}
+
+/// One number summarising the complete architectural state.
+fn digest(cpu: &Cpu, mem: &SparseMemory) -> (u64, usize, u64, [u64; sim_isa::NUM_REGS], u64) {
+    (cpu.retired(), cpu.pc(), if cpu.is_halted() { 1 } else { 0 }, cpu.regs(), mem.checksum())
+}
+
+proptest! {
+    // Each case runs two full functional executions; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Checkpoint at a random split point, serialize, restore, resume:
+    /// the final architectural digest matches the uninterrupted run.
+    #[test]
+    fn checkpoint_restore_resume_matches_uninterrupted(
+        which in 0usize..13,
+        permille in 50u64..950,
+    ) {
+        let wl = &suite()[which];
+        let split = TOTAL * permille / 1000;
+
+        // Uninterrupted reference.
+        let mut ref_cpu = Cpu::new();
+        let mut ref_mem = wl.mem.clone();
+        ref_cpu.run(&wl.prog, &mut ref_mem, TOTAL).unwrap();
+
+        // Interrupted run: stop at `split`, checkpoint through bytes.
+        let mut cpu = Cpu::new();
+        let mut mem = wl.mem.clone();
+        let done = cpu.run(&wl.prog, &mut mem, split).unwrap();
+        let cpu_ck = CpuCheckpoint::from_bytes(&cpu.checkpoint().to_bytes())
+            .expect("cpu image parses");
+        let mem_ck = MemoryCheckpoint::from_bytes(&mem.checkpoint_delta(&wl.mem).to_bytes())
+            .expect("mem image parses");
+        let mut cpu = Cpu::from_checkpoint(&cpu_ck);
+        let mut mem = SparseMemory::restore_from(&wl.mem, &mem_ck);
+        prop_assert_eq!(cpu.retired(), done);
+        cpu.run(&wl.prog, &mut mem, TOTAL - done).unwrap();
+
+        prop_assert_eq!(digest(&cpu, &mem), digest(&ref_cpu, &ref_mem), "{}", wl.name);
+    }
+}

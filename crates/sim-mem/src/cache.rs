@@ -179,6 +179,20 @@ impl Cache {
         self.ways.iter().filter(|w| w.valid).count()
     }
 
+    /// Settles all in-flight fills: clamps every valid line's readiness to
+    /// cycle 0, as if all outstanding fills had completed.
+    ///
+    /// Used at sampling interval boundaries, where the next detailed core
+    /// restarts its cycle counter at 0 while resident lines still carry
+    /// absolute `ready_at` stamps from the previous interval's clock.
+    pub fn quiesce(&mut self) {
+        for w in &mut self.ways {
+            if w.valid {
+                w.ready_at = 0;
+            }
+        }
+    }
+
     /// Read-only structural self-check for the `--sanitize` mode: every
     /// valid line must map to the set holding it, a set must not hold the
     /// same line twice, and LRU stamps can never run ahead of the probe

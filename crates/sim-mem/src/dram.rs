@@ -203,6 +203,17 @@ impl Dram {
     pub fn calendar_intervals(&self) -> usize {
         self.busy.len()
     }
+
+    /// Drains the slot calendar and closes all open rows, returning the
+    /// channel to an idle state. Read/write/row-hit counters are preserved.
+    ///
+    /// Used at sampling interval boundaries: calendar slots are absolute
+    /// cycles of the previous interval's clock and must not contend with
+    /// the next interval's cycle-0 restart.
+    pub fn quiesce(&mut self) {
+        self.busy.clear();
+        self.open_rows.iter_mut().for_each(|r| *r = None);
+    }
 }
 
 #[cfg(test)]

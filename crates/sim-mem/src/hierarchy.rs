@@ -452,6 +452,78 @@ impl MemoryHierarchy {
         }
     }
 
+    /// Functional-warming touch: installs `addr`'s line throughout the
+    /// hierarchy as if a demand access had long completed, training tags
+    /// and LRU without engaging MSHRs, DRAM bandwidth, or demand statistics.
+    ///
+    /// This is the cache half of SMARTS-style functional warming: the
+    /// fast-forward executor streams every architectural access through
+    /// here so detailed intervals start from warm cache state. Dirty
+    /// evictions cascade down silently (warming models residency, not
+    /// writeback bandwidth).
+    pub fn warm_touch(&mut self, addr: u64, is_store: bool) {
+        let line = line_of(addr);
+        if self.l1.probe(line).is_none() {
+            if self.l2.probe(line).is_none() {
+                if self.l3.probe(line).is_none() {
+                    self.warm_fill(Tier::L3, line);
+                }
+                self.warm_fill(Tier::L2, line);
+            }
+            self.warm_fill(Tier::L1, line);
+        }
+        if is_store {
+            self.l1.mark_dirty(line);
+        }
+    }
+
+    /// [`MemoryHierarchy::fill`] for warming: `ready_at` is always 0 and
+    /// dirty L3 victims vanish without consuming DRAM bandwidth or
+    /// writeback statistics.
+    fn warm_fill(&mut self, tier: Tier, line: u64) {
+        let evicted = match tier {
+            Tier::L1 => self.l1.insert(line, false, 0),
+            Tier::L2 => self.l2.insert(line, false, 0),
+            Tier::L3 => self.l3.insert(line, false, 0),
+        };
+        if let Some((victim, dirty)) = evicted {
+            if dirty {
+                match tier {
+                    Tier::L1 => {
+                        if !self.l2.mark_dirty(victim) {
+                            self.l2.insert(victim, true, 0);
+                        }
+                    }
+                    Tier::L2 => {
+                        if !self.l3.mark_dirty(victim) {
+                            self.l3.insert(victim, true, 0);
+                        }
+                    }
+                    Tier::L3 => {}
+                }
+            }
+        }
+    }
+
+    /// Drains all in-flight timing state at a sampling interval boundary:
+    /// cache fills settle ([`Cache::quiesce`]), outstanding MSHRs release
+    /// ([`MshrFile::quiesce`]), and the DRAM calendar empties
+    /// ([`Dram::quiesce`]).
+    ///
+    /// Each detailed interval runs on a fresh core whose cycle counter
+    /// restarts at 0, while the hierarchy's timestamps are absolute cycles
+    /// of the previous interval's clock; without this drain, stale
+    /// far-future completion times would wedge the next interval. Warm
+    /// state (tags, LRU, dirty bits, prefetch provenance) and all
+    /// cumulative statistics survive.
+    pub fn quiesce(&mut self) {
+        self.l1.quiesce();
+        self.l2.quiesce();
+        self.l3.quiesce();
+        self.mshr.quiesce();
+        self.dram.quiesce();
+    }
+
     /// Read-only invariant sweep for the `--sanitize` mode: MSHR
     /// allocate/release balance every call, plus the per-set cache scans
     /// ([`Cache::check_invariants`]) when `deep` is set — those walk every
@@ -703,5 +775,53 @@ mod tests {
         assert_eq!(m.stats().demand_stores, 1);
         let b = m.store(a.complete_at, 0x5000, AccessClass::Demand);
         assert_eq!(b.level, HitLevel::L1);
+    }
+
+    #[test]
+    fn warm_touch_installs_without_stats_or_mshrs() {
+        let mut m = hier();
+        m.warm_touch(0x7000, false);
+        m.warm_touch(0x8000, true);
+        assert!(m.l1().contains(crate::line_of(0x7000)));
+        assert!(m.l3().contains(crate::line_of(0x8000)));
+        assert_eq!(m.stats().demand_loads, 0);
+        assert_eq!(m.stats().demand_stores, 0);
+        assert_eq!(m.stats().dram_demand, 0);
+        assert_eq!(m.mshrs_in_use(0), 0);
+        assert_eq!(m.mshr_busy_integral(), 0);
+        assert_eq!(m.dram_calendar_depth(), 0);
+        // A warmed line hits in the L1 at cycle 0 — no residual latency.
+        let a = m.load(0, 0x7000, AccessClass::Demand);
+        assert_eq!(a.level, HitLevel::L1);
+    }
+
+    #[test]
+    fn warm_eviction_cascades_without_dram_writebacks() {
+        let mut m = hier();
+        // Dirty a line, then stream enough distinct lines through warming
+        // to evict it from every level.
+        m.warm_touch(0, true);
+        for i in 1..200_000u64 {
+            m.warm_touch(i * 64, false);
+        }
+        assert_eq!(m.stats().dram_writebacks, 0);
+        assert!(m.check_invariants(0, true).is_empty());
+    }
+
+    #[test]
+    fn quiesce_settles_inflight_state_but_keeps_residency() {
+        let mut m = hier();
+        let a = m.load(0, 0x9000, AccessClass::Demand);
+        assert!(a.complete_at > 0);
+        assert!(m.mshrs_in_use(1) > 0);
+        assert!(m.dram_calendar_depth() > 0);
+        m.quiesce();
+        assert_eq!(m.mshrs_in_use(1), 0);
+        assert_eq!(m.dram_calendar_depth(), 0);
+        // The line is still resident and now instantly ready: a new clock
+        // starting at cycle 0 sees an L1 hit, not an in-flight merge.
+        let b = m.load(0, 0x9000, AccessClass::Demand);
+        assert_eq!(b.level, HitLevel::L1);
+        assert!(m.check_invariants(0, true).is_empty());
     }
 }

@@ -165,6 +165,17 @@ impl MshrFile {
         self.peak
     }
 
+    /// Releases every outstanding entry, as if all in-flight misses had
+    /// completed. The cumulative counters (occupancy integral, allocation
+    /// and peak statistics) are preserved.
+    ///
+    /// Used at sampling interval boundaries: entry completion times are
+    /// absolute cycles of the previous interval's clock and would otherwise
+    /// block the next interval's cycle-0 restart for its entire length.
+    pub fn quiesce(&mut self) {
+        self.ends.clear();
+    }
+
     /// Read-only allocate/release balance check for the `--sanitize` mode:
     /// tracked entries and live occupancy can never exceed capacity (every
     /// allocation is paired with a completion time; the blocking allocator

@@ -207,6 +207,22 @@ impl OooCore {
         }
     }
 
+    /// Creates a core whose architectural CPU and branch predictor start
+    /// from the given (typically checkpointed or warmed) state instead of
+    /// reset. Microarchitectural state (ROB, queues, cycle counter) still
+    /// starts empty — this is how the sampling driver threads one
+    /// architectural thread through a sequence of detailed intervals.
+    pub fn with_state(cfg: CoreConfig, cpu: Cpu, bp: TagePredictor) -> Self {
+        OooCore { cpu, bp, ..OooCore::new(cfg) }
+    }
+
+    /// Consumes the core and returns the architectural CPU and branch
+    /// predictor, so a sampling driver can carry them into the next
+    /// fast-forward or detailed interval.
+    pub fn into_state(self) -> (Cpu, TagePredictor) {
+        (self.cpu, self.bp)
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> CoreConfig {
         self.cfg
@@ -265,6 +281,44 @@ impl OooCore {
         result.map(|()| &self.stats)
     }
 
+    /// Like [`OooCore::run`], but **resumable**: commits `max_instrs`
+    /// *more* instructions (or fewer, if the program halts) and returns
+    /// with the pipeline live, so a later `run_segment` call continues the
+    /// same warm pipeline and cycle stream. Sampled simulation measures an
+    /// interval in the very pipeline its detailed warmup filled — tearing
+    /// the core down between warmup and measurement would charge every
+    /// interval a pipeline refill the uninterrupted run never pays.
+    ///
+    /// Statistics are cumulative across segments; callers measure a
+    /// segment by diffing [`OooCore::stats`] snapshots. End-of-run
+    /// accounting ([`MemoryHierarchy::finalize`]) is *not* performed here —
+    /// run it once when detailed execution for the region ends.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the failure modes of [`OooCore::run`], except that only a
+    /// core sealed by a completed [`OooCore::run`] reports
+    /// [`SimError::CoreReused`].
+    pub fn run_segment<E: RunaheadEngine + ?Sized>(
+        &mut self,
+        prog: &Program,
+        mem: &mut SparseMemory,
+        hier: &mut MemoryHierarchy,
+        engine: &mut E,
+        max_instrs: u64,
+    ) -> Result<&CoreStats, SimError> {
+        if self.finished {
+            return Err(SimError::CoreReused);
+        }
+        let target = self.stats.committed.saturating_add(max_instrs);
+        let result = self.run_inner(prog, mem, hier, engine, target);
+        if self.cfg.sanitize {
+            self.sanitize_deep(hier);
+        }
+        self.stats.cycles = self.cycle;
+        result.map(|()| &self.stats)
+    }
+
     fn run_inner<E: RunaheadEngine + ?Sized>(
         &mut self,
         prog: &Program,
@@ -274,7 +328,9 @@ impl OooCore {
         max_instrs: u64,
     ) -> Result<(), SimError> {
         let wall_start = (self.cfg.max_wall_ms != 0).then(std::time::Instant::now);
-        let mut last_commit_cycle = 0u64;
+        // Starts at the current cycle (not 0) so a resumed segment doesn't
+        // inherit phantom commit-free cycles from earlier segments.
+        let mut last_commit_cycle = self.cycle;
         while self.stats.committed < max_instrs {
             self.cycle += 1;
             self.rob_full_counted_this_cycle = false;

@@ -1,0 +1,370 @@
+//! The sampling driver: alternates fast-forward, warmup, and measured
+//! detailed intervals over one program.
+
+use std::error::Error;
+use std::fmt;
+
+use sim_isa::{Cpu, ExecError, Program, SparseMemory};
+use sim_mem::{HierarchyConfig, MemStats, MemoryHierarchy};
+use sim_ooo::{CoreConfig, CoreStats, OooCore, RunaheadEngine, SimError, TagePredictor};
+
+use crate::config::{Placement, SampleConfig};
+use crate::rng::SplitMix64;
+use crate::stats::{IntervalStat, SampledReport};
+use crate::warm::WarmingSink;
+
+/// Failure of a sampled run.
+#[derive(Debug)]
+pub enum SampleError {
+    /// The sampling configuration is inconsistent.
+    Config(String),
+    /// The functional fast-forward executor faulted.
+    Exec(ExecError),
+    /// A detailed interval failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for SampleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SampleError::Config(msg) => write!(f, "invalid sample config: {msg}"),
+            SampleError::Exec(e) => write!(f, "fast-forward fault: {e}"),
+            SampleError::Sim(e) => write!(f, "detailed interval failed: {e}"),
+        }
+    }
+}
+
+impl Error for SampleError {}
+
+impl From<ExecError> for SampleError {
+    fn from(e: ExecError) -> Self {
+        SampleError::Exec(e)
+    }
+}
+
+impl From<SimError> for SampleError {
+    fn from(e: SimError) -> Self {
+        SampleError::Sim(e)
+    }
+}
+
+/// The result of a sampled run: the statistical report plus the aggregate
+/// detailed-mode counters a `SimReport` is built from.
+#[derive(Clone, Debug)]
+pub struct SampledRun {
+    /// Per-interval samples and their aggregation.
+    pub report: SampledReport,
+    /// Core counters summed over *measured* intervals only.
+    pub core: CoreStats,
+    /// Hierarchy counters accumulated over all detailed execution
+    /// (warmup + measured; functional warming contributes nothing).
+    pub mem: MemStats,
+    /// MSHR-occupancy integral accumulated inside measured intervals.
+    pub measured_mshr_integral: u64,
+    /// Whether the program ran to completion (halted) within the region
+    /// of interest.
+    pub halted: bool,
+}
+
+fn accumulate(into: &mut CoreStats, s: &CoreStats) {
+    into.cycles += s.cycles;
+    into.committed += s.committed;
+    into.rob_full_stall_cycles += s.rob_full_stall_cycles;
+    into.full_rob_stall_events += s.full_rob_stall_events;
+    into.commit_blocked_engine_cycles += s.commit_blocked_engine_cycles;
+    into.cond_branches += s.cond_branches;
+    into.branch_mispredicts += s.branch_mispredicts;
+    into.loads += s.loads;
+    into.stores += s.stores;
+    into.store_forwards += s.store_forwards;
+}
+
+/// Field-wise `after - before` of two cumulative-counter snapshots (a
+/// measured segment inside one core's run).
+fn delta(after: &CoreStats, before: &CoreStats) -> CoreStats {
+    CoreStats {
+        cycles: after.cycles - before.cycles,
+        committed: after.committed - before.committed,
+        rob_full_stall_cycles: after.rob_full_stall_cycles - before.rob_full_stall_cycles,
+        full_rob_stall_events: after.full_rob_stall_events - before.full_rob_stall_events,
+        commit_blocked_engine_cycles: after.commit_blocked_engine_cycles
+            - before.commit_blocked_engine_cycles,
+        cond_branches: after.cond_branches - before.cond_branches,
+        branch_mispredicts: after.branch_mispredicts - before.branch_mispredicts,
+        loads: after.loads - before.loads,
+        stores: after.stores - before.stores,
+        store_forwards: after.store_forwards - before.store_forwards,
+    }
+}
+
+/// Runs `prog` sampled: functional fast-forward with warming between
+/// seeded detailed intervals, per [`SampleConfig`].
+///
+/// One architectural thread (CPU + memory image) runs the whole program
+/// exactly once; only the fraction inside detailed intervals pays
+/// cycle-level cost. `make_engine` supplies a fresh runahead engine per
+/// detailed interval — engine state (including DVR's runahead subthread)
+/// dies with its interval, which is how the engine "quiesces cleanly" at
+/// interval boundaries. The hierarchy and branch predictor stay warm
+/// across the run; in-flight hierarchy timing drains at each boundary
+/// ([`MemoryHierarchy::quiesce`]).
+///
+/// Everything is deterministic: same program, configs, and seed produce a
+/// bit-identical [`SampledRun`] regardless of host or thread count.
+///
+/// # Errors
+///
+/// [`SampleError::Config`] for inconsistent configurations, otherwise the
+/// first fast-forward or detailed-interval failure.
+pub fn run_sampled<F>(
+    prog: &Program,
+    base_mem: &SparseMemory,
+    core_cfg: CoreConfig,
+    hier_cfg: HierarchyConfig,
+    scfg: &SampleConfig,
+    mut make_engine: F,
+) -> Result<SampledRun, SampleError>
+where
+    F: FnMut() -> Box<dyn RunaheadEngine>,
+{
+    scfg.validate().map_err(SampleError::Config)?;
+
+    let mut mem = base_mem.clone();
+    let mut cpu = Cpu::new();
+    let mut bp = TagePredictor::default();
+    let mut hier = MemoryHierarchy::new(hier_cfg);
+    let mut rng = SplitMix64::new(scfg.seed);
+
+    let roi = scfg.max_instructions;
+    // Offsets of the measured interval inside its period: at least `warmup`
+    // in (so the warmup fits in the same period), at most flush with the
+    // period's end.
+    let slack = scfg.period - scfg.warmup - scfg.interval;
+    let systematic_off = scfg.warmup + rng.next_below(slack + 1);
+
+    let mut intervals = Vec::new();
+    let mut agg = CoreStats::default();
+    let mut warmup_total = 0u64;
+    let mut measured_integral = 0u64;
+
+    for k in 0..scfg.periods() {
+        if cpu.is_halted() {
+            break;
+        }
+        let off = match scfg.placement {
+            Placement::Systematic => systematic_off,
+            Placement::Random => scfg.warmup + rng.next_below(slack + 1),
+        };
+        let measure_at = k * scfg.period + off;
+        if measure_at >= roi {
+            break;
+        }
+
+        // 1. Functional fast-forward (with warming) to the warmup start.
+        let warm_at = measure_at - scfg.warmup;
+        if cpu.retired() < warm_at {
+            let todo = warm_at - cpu.retired();
+            let mut sink = WarmingSink::new(&mut hier, &mut bp);
+            cpu.run_warming(prog, &mut mem, todo, &mut sink)?;
+            if cpu.is_halted() {
+                break;
+            }
+        }
+
+        // 2+3. One detailed core per period: the discarded warmup and the
+        // measured interval share it (via resumable segments), so
+        // measurement starts from the warm pipeline the warmup filled
+        // instead of charging every interval a pipeline refill. The
+        // previous period's frontier may already have overshot into (or
+        // past) the warmup window, so budgets are relative to the actual
+        // position.
+        hier.quiesce();
+        let mut core = OooCore::with_state(core_cfg, cpu, bp);
+        let mut engine = make_engine();
+        let warmup_budget = measure_at.saturating_sub(core.functional_retired());
+        if warmup_budget > 0 {
+            core.run_segment(prog, &mut mem, &mut hier, engine.as_mut(), warmup_budget)?;
+        }
+        let warm_snap = *core.stats();
+        warmup_total += warm_snap.committed;
+        // A commit shortfall means the program halted inside the warmup.
+        let budget = scfg.interval.min(roi.saturating_sub(core.functional_retired()));
+        if warm_snap.committed < warmup_budget || budget == 0 {
+            (cpu, bp) = core.into_state();
+            break;
+        }
+
+        let integral_before = hier.mshr_busy_integral();
+        let start_retired = core.functional_retired();
+        core.run_segment(prog, &mut mem, &mut hier, engine.as_mut(), budget)?;
+        let st = delta(core.stats(), &warm_snap);
+        let integral_delta = hier.mshr_busy_integral() - integral_before;
+        intervals.push(IntervalStat {
+            start_retired,
+            committed: st.committed,
+            cycles: st.cycles,
+            ipc: st.ipc(),
+            mlp: integral_delta as f64 / st.cycles.max(1) as f64,
+        });
+        accumulate(&mut agg, &st);
+        measured_integral += integral_delta;
+        (cpu, bp) = core.into_state();
+    }
+
+    // Cover the tail of the region functionally so `total_retired` spans
+    // the full ROI (and the program gets to halt if it can).
+    if !cpu.is_halted() && cpu.retired() < roi {
+        let todo = roi - cpu.retired();
+        let mut sink = WarmingSink::new(&mut hier, &mut bp);
+        cpu.run_warming(prog, &mut mem, todo, &mut sink)?;
+    }
+    hier.quiesce();
+    hier.finalize();
+
+    let halted = cpu.is_halted();
+    let report = SampledReport::from_intervals(intervals, warmup_total, cpu.retired());
+    Ok(SampledRun {
+        report,
+        core: agg,
+        mem: hier.stats().clone(),
+        measured_mshr_integral: measured_integral,
+        halted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_isa::{Asm, Reg};
+    use sim_ooo::NullEngine;
+
+    /// A strided-load loop long enough for several periods.
+    fn strided_loop() -> (Program, SparseMemory) {
+        let mut asm = Asm::new();
+        let (base, i, n, t, c) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5);
+        asm.li(base, 0x10_000);
+        asm.li(i, 0);
+        asm.li(n, 100_000);
+        let top = asm.here();
+        asm.ld8_idx(t, base, i, 3);
+        asm.addi(i, i, 1);
+        asm.slt(c, i, n);
+        asm.bnz(c, top);
+        asm.halt();
+        (asm.finish().unwrap(), SparseMemory::new())
+    }
+
+    fn scfg() -> SampleConfig {
+        SampleConfig::default()
+            .with_interval(5_000)
+            .with_warmup(2_000)
+            .with_period(25_000)
+            .with_max_instructions(200_000)
+    }
+
+    #[test]
+    fn sampled_run_measures_every_period() {
+        let (prog, mem) = strided_loop();
+        let run = run_sampled(
+            &prog,
+            &mem,
+            CoreConfig::default(),
+            HierarchyConfig::default(),
+            &scfg(),
+            || Box::new(NullEngine),
+        )
+        .unwrap();
+        assert_eq!(run.report.interval_count(), 8);
+        assert!(run.report.ipc_mean > 0.0);
+        assert!(run.report.ipc_ci95.is_finite());
+        assert_eq!(
+            run.report.detailed_instructions
+                + run.report.warmup_instructions
+                + run.report.ffwd_instructions,
+            run.report.total_retired
+        );
+        assert!(run.report.ffwd_instructions > run.report.detailed_instructions);
+    }
+
+    #[test]
+    fn sampled_run_is_deterministic() {
+        let (prog, mem) = strided_loop();
+        let go = || {
+            run_sampled(
+                &prog,
+                &mem,
+                CoreConfig::default(),
+                HierarchyConfig::default(),
+                &scfg(),
+                || Box::new(NullEngine),
+            )
+            .unwrap()
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.core.cycles, b.core.cycles);
+        assert_eq!(a.measured_mshr_integral, b.measured_mshr_integral);
+    }
+
+    #[test]
+    fn random_placement_stays_within_periods() {
+        let (prog, mem) = strided_loop();
+        let cfg = scfg().with_placement(Placement::Random).with_seed(7);
+        let run = run_sampled(
+            &prog,
+            &mem,
+            CoreConfig::default(),
+            HierarchyConfig::default(),
+            &cfg,
+            || Box::new(NullEngine),
+        )
+        .unwrap();
+        assert!(run.report.interval_count() >= 7);
+        for (k, s) in run.report.intervals.iter().enumerate() {
+            assert!(s.start_retired >= k as u64 * cfg.period + cfg.warmup);
+            assert!(s.start_retired < (k as u64 + 1) * cfg.period);
+        }
+    }
+
+    #[test]
+    fn short_program_halts_cleanly() {
+        let mut asm = Asm::new();
+        asm.li(Reg::R1, 10);
+        let top = asm.here();
+        asm.addi(Reg::R1, Reg::R1, -1);
+        asm.bnz(Reg::R1, top);
+        asm.halt();
+        let prog = asm.finish().unwrap();
+        let run = run_sampled(
+            &prog,
+            &SparseMemory::new(),
+            CoreConfig::default(),
+            HierarchyConfig::default(),
+            &SampleConfig::default()
+                .with_interval(10)
+                .with_warmup(0)
+                .with_period(20)
+                .with_max_instructions(1_000),
+            || Box::new(NullEngine),
+        )
+        .unwrap();
+        assert!(run.halted);
+        assert!(run.report.total_retired < 1_000);
+    }
+
+    #[test]
+    fn invalid_config_is_reported() {
+        let (prog, mem) = strided_loop();
+        let err = run_sampled(
+            &prog,
+            &mem,
+            CoreConfig::default(),
+            HierarchyConfig::default(),
+            &SampleConfig::default().with_interval(0),
+            || Box::new(NullEngine),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SampleError::Config(_)));
+    }
+}

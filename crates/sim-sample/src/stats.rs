@@ -1,0 +1,185 @@
+//! Per-interval samples and their statistical aggregation.
+
+/// Measurements from one detailed interval.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct IntervalStat {
+    /// Retired-instruction position at which measurement began.
+    pub start_retired: u64,
+    /// Instructions committed by the detailed core during measurement.
+    pub committed: u64,
+    /// Cycles the measured interval took.
+    pub cycles: u64,
+    /// Interval IPC (`committed / cycles`).
+    pub ipc: f64,
+    /// Interval MLP (MSHR-occupancy integral delta per cycle).
+    pub mlp: f64,
+}
+
+/// Two-sided 97.5% Student-t quantile for `df` degrees of freedom (i.e.
+/// the multiplier for a 95% confidence interval). Falls back to the normal
+/// approximation 1.96 above 30 degrees of freedom.
+pub fn student_t_975(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[df - 1],
+        _ => 1.96,
+    }
+}
+
+/// The statistical result of a sampled run: per-interval samples plus
+/// their aggregation into a mean IPC with a 95% confidence interval.
+///
+/// The CI treats interval IPCs as independent draws from the program's
+/// IPC distribution (the SMARTS assumption): half-width
+/// `t_{0.975,n-1} * sqrt(variance / n)`. With fewer than two intervals the
+/// variance is undefined and the half-width reports infinity — configure
+/// the run for at least two periods.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct SampledReport {
+    /// The per-interval samples, in measurement order.
+    pub intervals: Vec<IntervalStat>,
+    /// Mean of per-interval IPCs.
+    pub ipc_mean: f64,
+    /// Unbiased sample variance of per-interval IPCs.
+    pub ipc_variance: f64,
+    /// Half-width of the 95% confidence interval on the mean IPC.
+    pub ipc_ci95: f64,
+    /// Mean of per-interval MLPs.
+    pub mlp_mean: f64,
+    /// Instructions committed inside measured intervals.
+    pub detailed_instructions: u64,
+    /// Instructions committed inside discarded detailed warmups.
+    pub warmup_instructions: u64,
+    /// Instructions covered by functional fast-forward (including any
+    /// frontier overshoot of detailed intervals).
+    pub ffwd_instructions: u64,
+    /// Total instructions retired across the whole run.
+    pub total_retired: u64,
+    /// Cycles spent inside measured intervals.
+    pub detailed_cycles: u64,
+}
+
+impl SampledReport {
+    /// Aggregates interval samples into the summary statistics.
+    pub fn from_intervals(
+        intervals: Vec<IntervalStat>,
+        warmup_instructions: u64,
+        total_retired: u64,
+    ) -> Self {
+        let n = intervals.len();
+        let detailed_instructions: u64 = intervals.iter().map(|s| s.committed).sum();
+        let detailed_cycles: u64 = intervals.iter().map(|s| s.cycles).sum();
+        let ffwd_instructions =
+            total_retired.saturating_sub(detailed_instructions + warmup_instructions);
+        let (ipc_mean, ipc_variance, mlp_mean) = if n == 0 {
+            (0.0, 0.0, 0.0)
+        } else {
+            let mean = intervals.iter().map(|s| s.ipc).sum::<f64>() / n as f64;
+            let mlp = intervals.iter().map(|s| s.mlp).sum::<f64>() / n as f64;
+            let var = if n < 2 {
+                0.0
+            } else {
+                intervals.iter().map(|s| (s.ipc - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+            };
+            (mean, var, mlp)
+        };
+        let ipc_ci95 = if n < 2 {
+            f64::INFINITY
+        } else {
+            student_t_975(n - 1) * (ipc_variance / n as f64).sqrt()
+        };
+        SampledReport {
+            intervals,
+            ipc_mean,
+            ipc_variance,
+            ipc_ci95,
+            mlp_mean,
+            detailed_instructions,
+            warmup_instructions,
+            ffwd_instructions,
+            total_retired,
+            detailed_cycles,
+        }
+    }
+
+    /// Number of measured intervals.
+    pub fn interval_count(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether the 95% confidence interval contains `ipc`.
+    pub fn ci_contains(&self, ipc: f64) -> bool {
+        (ipc - self.ipc_mean).abs() <= self.ipc_ci95
+    }
+
+    /// Signed relative error of the sampled mean against an exact IPC.
+    pub fn relative_error(&self, exact_ipc: f64) -> f64 {
+        if exact_ipc == 0.0 {
+            0.0
+        } else {
+            (self.ipc_mean - exact_ipc) / exact_ipc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(ipc: f64) -> IntervalStat {
+        IntervalStat {
+            start_retired: 0,
+            committed: 1000,
+            cycles: (1000.0 / ipc) as u64,
+            ipc,
+            mlp: 2.0,
+        }
+    }
+
+    #[test]
+    fn t_table_endpoints() {
+        assert_eq!(student_t_975(0), f64::INFINITY);
+        assert!((student_t_975(1) - 12.706).abs() < 1e-9);
+        assert!((student_t_975(30) - 2.042).abs() < 1e-9);
+        assert!((student_t_975(31) - 1.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregation_matches_closed_form() {
+        let r = SampledReport::from_intervals(
+            vec![sample(1.0), sample(2.0), sample(3.0)],
+            500,
+            100_000,
+        );
+        assert!((r.ipc_mean - 2.0).abs() < 1e-12);
+        assert!((r.ipc_variance - 1.0).abs() < 1e-12);
+        // t_{0.975,2} * sqrt(1/3)
+        assert!((r.ipc_ci95 - 4.303 * (1.0f64 / 3.0).sqrt()).abs() < 1e-9);
+        assert_eq!(r.detailed_instructions, 3000);
+        assert_eq!(r.warmup_instructions, 500);
+        assert_eq!(r.ffwd_instructions, 100_000 - 3500);
+        assert!(r.ci_contains(2.5));
+        assert!(!r.ci_contains(4.5));
+        assert!((r.relative_error(2.5) + 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_interval_has_unbounded_ci() {
+        let r = SampledReport::from_intervals(vec![sample(1.5)], 0, 10_000);
+        assert_eq!(r.ipc_ci95, f64::INFINITY);
+        assert!(r.ci_contains(100.0));
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = SampledReport::from_intervals(vec![], 0, 0);
+        assert_eq!(r.ipc_mean, 0.0);
+        assert_eq!(r.interval_count(), 0);
+        assert_eq!(r.relative_error(0.0), 0.0);
+    }
+}

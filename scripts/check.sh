@@ -44,9 +44,9 @@ fi
 [ "$(echo "$audit_out" | grep -c '^PASS$')" = 13 ] || { echo "audit did not cover the full suite"; exit 1; }
 
 echo "== sanitize smoke: sanitized run is clean and byte-identical =="
-# host_seconds / sim_instrs_per_host_second are wall clock; strip them
-# before diffing — everything else must match to the byte.
-strip_clock() { sed -E 's/"host_seconds":[0-9.eE+-]+,"sim_instrs_per_host_second":[0-9.eE+-]+,//'; }
+# host_seconds / sim_instrs_per_host_second / host_minstr_per_sec are wall
+# clock; strip them before diffing — everything else must match to the byte.
+strip_clock() { sed -E 's/"host_seconds":[0-9.eE+-]+,"sim_instrs_per_host_second":[0-9.eE+-]+,"host_minstr_per_sec":[0-9.eE+-]+,//'; }
 plain="$(cargo run -q -p dvr-sim --bin dvrsim -- --bench NAS-IS --size test \
     --technique dvr --instrs 20000 --json | strip_clock)"
 sane="$(cargo run -q -p dvr-sim --bin dvrsim -- --bench NAS-IS --size test \
@@ -57,5 +57,17 @@ echo "== sanitize smoke: one figure cell under the sanitizer =="
 san_err="$(cargo run -q -p bench --bin figures -- fig9 --size test --instrs 10000 \
     --sanitize 2>&1 >/dev/null)"
 echo "$san_err" | grep -q ' 0 violations' || { echo "sanitizer reported violations:"; echo "$san_err"; exit 1; }
+
+echo "== sample smoke: sampled IPC within its CI of the exact IPC =="
+# `dvrsim sample` exits non-zero when any cell's 95% CI misses the exact
+# IPC, so the exit status IS the check.
+cargo run -q -p dvr-sim --bin dvrsim -- sample --bench bfs >/dev/null
+
+echo "== sample smoke: sampled runs byte-identical across --threads 1/4 =="
+s1="$(cargo run -q -p dvr-sim --bin dvrsim -- sample --all --no-exact --size test \
+    --instrs 60000 --json --threads 1 | strip_clock)"
+s4="$(cargo run -q -p dvr-sim --bin dvrsim -- sample --all --no-exact --size test \
+    --instrs 60000 --json --threads 4 | strip_clock)"
+[ "$s1" = "$s4" ] || { echo "sampled JSON diverged across thread counts"; exit 1; }
 
 echo "All checks passed."

@@ -1,0 +1,124 @@
+//! Sampled-simulation acceptance tests: architectural checkpoints
+//! round-trip on every benchmark, sampled confidence intervals contain
+//! the exact IPC, and sampled runs are byte-identical regardless of
+//! host-thread count.
+
+use dvr_sim::{parallel_map, simulate, simulate_sampled, SampleConfig, SimConfig, Technique};
+use sim_isa::{Cpu, CpuCheckpoint, MemoryCheckpoint, SparseMemory};
+use workloads::{Benchmark, GraphInput, SizeClass, Workload};
+
+fn build(b: Benchmark) -> Workload {
+    b.build(b.is_gap().then_some(GraphInput::Kr), SizeClass::Small, 42)
+}
+
+/// Acceptance criterion: saving a checkpoint mid-run, serializing it to
+/// bytes, restoring, and resuming is indistinguishable from never having
+/// stopped — registers, retirement count, PC, and the full memory image
+/// all match the uninterrupted run, on all 13 benchmarks.
+#[test]
+fn checkpoint_roundtrip_is_exact_on_every_benchmark() {
+    const TOTAL: u64 = 80_000;
+    const SPLIT: u64 = 37_411; // deliberately unaligned mid-run point
+
+    for b in Benchmark::ALL {
+        let wl = build(b);
+
+        // Uninterrupted reference run.
+        let mut ref_cpu = Cpu::new();
+        let mut ref_mem = wl.mem.clone();
+        ref_cpu.run(&wl.prog, &mut ref_mem, TOTAL).unwrap();
+
+        // Run to the split point and checkpoint.
+        let mut cpu = Cpu::new();
+        let mut mem = wl.mem.clone();
+        let done = cpu.run(&wl.prog, &mut mem, SPLIT).unwrap();
+        let cpu_ck = cpu.checkpoint();
+        let mem_ck = mem.checkpoint_delta(&wl.mem);
+        drop((cpu, mem));
+
+        // Serialization must be lossless and deterministic.
+        let cpu_bytes = cpu_ck.to_bytes();
+        let mem_bytes = mem_ck.to_bytes();
+        let cpu_ck = CpuCheckpoint::from_bytes(&cpu_bytes).expect("cpu image parses");
+        let mem_ck = MemoryCheckpoint::from_bytes(&mem_bytes).expect("mem image parses");
+        assert_eq!(cpu_bytes, cpu_ck.to_bytes(), "{}: cpu image round-trips", wl.name);
+        assert_eq!(mem_bytes, mem_ck.to_bytes(), "{}: mem image round-trips", wl.name);
+
+        // Restore and resume to the same total.
+        let mut cpu = Cpu::from_checkpoint(&cpu_ck);
+        let mut mem = SparseMemory::restore_from(&wl.mem, &mem_ck);
+        assert_eq!(cpu.retired(), done, "{}: restored retirement count", wl.name);
+        cpu.run(&wl.prog, &mut mem, TOTAL - done).unwrap();
+
+        assert_eq!(cpu.regs(), ref_cpu.regs(), "{}: registers diverged", wl.name);
+        assert_eq!(cpu.pc(), ref_cpu.pc(), "{}: PC diverged", wl.name);
+        assert_eq!(cpu.retired(), ref_cpu.retired(), "{}: retirement diverged", wl.name);
+        assert_eq!(mem.checksum(), ref_mem.checksum(), "{}: memory diverged", wl.name);
+        assert_eq!(mem.page_count(), ref_mem.page_count(), "{}: page count diverged", wl.name);
+    }
+}
+
+/// Acceptance criterion: for all 13 benchmarks at small size, the sampled
+/// 95% confidence interval contains the IPC of the exact run under the
+/// default sampling configuration.
+#[test]
+fn sampled_ci_contains_exact_ipc_on_every_benchmark() {
+    let mut misses = Vec::new();
+    for b in Benchmark::ALL {
+        let wl = build(b);
+        let cfg = SimConfig::new(Technique::Baseline).with_max_instructions(200_000);
+        let exact = simulate(&wl, &cfg);
+        let sampled = simulate_sampled(&wl, &cfg, &SampleConfig::default());
+        assert!(sampled.outcome.is_complete(), "{}: {:?}", wl.name, sampled.outcome);
+        let s = sampled.sampling.as_ref().expect("sampling section");
+        if (exact.ipc - s.ipc_mean).abs() > s.ipc_ci95 {
+            misses.push(format!(
+                "{}: exact {:.4} outside sampled {:.4} +/- {:.4} (n={})",
+                wl.name, exact.ipc, s.ipc_mean, s.ipc_ci95, s.intervals
+            ));
+        }
+    }
+    assert!(misses.is_empty(), "CI misses:\n{}", misses.join("\n"));
+}
+
+/// Reports with the wall-clock fields zeroed: everything that remains
+/// must be bit-identical across repeated runs and host-thread counts.
+fn normalized_json(mut r: dvr_sim::SimReport) -> String {
+    r.host_seconds = 0.0;
+    r.to_json()
+}
+
+fn sampled_cell(i: usize) -> String {
+    let b = Benchmark::ALL[i];
+    let wl = build(b);
+    let cfg = SimConfig::new(Technique::Baseline).with_max_instructions(60_000);
+    normalized_json(simulate_sampled(&wl, &cfg, &SampleConfig::default()))
+}
+
+/// Sampling must be a pure function of (workload, config, seed): the same
+/// cells dispatched on 1 and 4 worker threads produce byte-identical
+/// reports once wall-clock fields are stripped.
+#[test]
+fn sampled_runs_are_byte_identical_across_thread_counts() {
+    let n = Benchmark::ALL.len();
+    let serial = parallel_map(n, 1, sampled_cell);
+    let threaded = parallel_map(n, 4, sampled_cell);
+    assert_eq!(serial, threaded);
+    // And across repeated invocations on the same thread count.
+    assert_eq!(serial, parallel_map(n, 4, sampled_cell));
+}
+
+/// DVR's runahead subthread must quiesce cleanly at interval boundaries:
+/// a sampled DVR run completes, is deterministic, and still reports the
+/// memory-level parallelism the technique exists to create.
+#[test]
+fn sampled_dvr_quiesces_at_interval_boundaries() {
+    let wl = Benchmark::Bfs.build(Some(GraphInput::Kr), SizeClass::Small, 42);
+    let cfg = SimConfig::new(Technique::Dvr).with_max_instructions(100_000);
+    let a = simulate_sampled(&wl, &cfg, &SampleConfig::default());
+    let b = simulate_sampled(&wl, &cfg, &SampleConfig::default());
+    assert!(a.outcome.is_complete(), "{:?}", a.outcome);
+    assert_eq!(a.sampling, b.sampling);
+    assert_eq!(a.core.cycles, b.core.cycles);
+    assert!(a.mlp > 0.0);
+}
