@@ -23,13 +23,26 @@
 //!                             the statistical error EXPERIMENTS.md describes
 //!   --sample-period N         sampling period in instructions (implies
 //!                             --sample; default 20000)
+//!   --sample-threads N        in-process threads for each sampled cell's
+//!                             measure phase; 0 = all cores (default: 1;
+//!                             output is byte-identical either way)
+//!   --jobs N                  fan each plain sampled cell's measure phase
+//!                             across N `dvrsim sample-worker` processes
+//!                             (output byte-identical; swept cells fall
+//!                             back to --sample-threads)
+//!   --bench-json DIR          persist the perf trajectory as
+//!                             DIR/BENCH_<experiment>.json: wall seconds per
+//!                             figure, aggregate simulation throughput, and a
+//!                             sequential-vs-parallel sample wall-clock probe
 //! ```
 //!
 //! Exit status: 0 on success; without `--keep-going` a failed cell aborts
 //! the process with a diagnostic naming the cell; with `--sanitize` any
 //! invariant violation exits 1.
 
-use bench::{run_experiment_full, Ctx};
+use std::fmt::Write as _;
+
+use bench::{run_experiment_full, sample_speedup_probe, Ctx, Experiment, EXPERIMENTS};
 use workloads::SizeClass;
 
 fn main() {
@@ -45,6 +58,9 @@ fn main() {
     let mut sanitize = false;
     let mut sample = false;
     let mut sample_period: Option<u64> = None;
+    let mut sample_threads: usize = 1;
+    let mut jobs: usize = 0;
+    let mut bench_json: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -73,9 +89,21 @@ fn main() {
                 i += 1;
                 threads = args[i].parse().expect("numeric --threads");
             }
+            "--sample-threads" => {
+                i += 1;
+                sample_threads = args[i].parse().expect("numeric --sample-threads");
+            }
+            "--jobs" => {
+                i += 1;
+                jobs = args[i].parse().expect("numeric --jobs");
+            }
             "--svg" => {
                 i += 1;
                 svg_dir = Some(args[i].clone());
+            }
+            "--bench-json" => {
+                i += 1;
+                bench_json = Some(args[i].clone());
             }
             "--keep-going" => keep_going = true,
             "--sanitize" => sanitize = true,
@@ -100,7 +128,9 @@ fn main() {
     let mut ctx = Ctx::new(size, instrs, seed)
         .with_threads(threads)
         .with_keep_going(keep_going)
-        .with_sanitize(sanitize);
+        .with_sanitize(sanitize)
+        .with_sample_threads(sample_threads)
+        .with_jobs(jobs);
     if sample || sample_period.is_some() {
         let mut scfg = dvr_sim::SampleConfig::default();
         if let Some(p) = sample_period {
@@ -108,11 +138,34 @@ fn main() {
         }
         ctx = ctx.with_sample(scfg);
     }
+    if jobs > 0 && bench::dvrsim_binary().is_none() {
+        eprintln!(
+            "[figures] --jobs {jobs}: no dvrsim binary next to this executable; \
+             sampled cells will run in-process"
+        );
+    }
     if let Some(label) = force_fail {
         ctx = ctx.with_force_fail(label);
     }
+
+    // Run each experiment separately so the trajectory JSON can attribute
+    // wall seconds per figure; the concatenated stdout is byte-identical
+    // to what a single run_experiment_full("all") produces.
+    let names: Vec<&str> =
+        if experiment == "all" { EXPERIMENTS.to_vec() } else { vec![experiment.as_str()] };
     let t0 = std::time::Instant::now();
-    let result = run_experiment_full(&experiment, &mut ctx);
+    let mut result = Experiment::default();
+    let mut timings: Vec<(&str, f64)> = Vec::new();
+    for name in &names {
+        let t = std::time::Instant::now();
+        let e = run_experiment_full(name, &mut ctx);
+        timings.push((name, t.elapsed().as_secs_f64()));
+        result.text.push_str(&e.text);
+        if experiment == "all" {
+            result.text.push('\n');
+        }
+        result.charts.extend(e.charts);
+    }
     print!("{}", result.text);
     if let Some(dir) = svg_dir {
         std::fs::create_dir_all(&dir).expect("create --svg directory");
@@ -122,6 +175,7 @@ fn main() {
             eprintln!("[figures] wrote {path}");
         }
     }
+    let total_wall = t0.elapsed().as_secs_f64();
     // Timing goes to stderr: stdout must stay byte-identical across
     // --threads settings.
     eprintln!(
@@ -130,6 +184,10 @@ fn main() {
         dvr_sim::resolve_threads(threads),
         ctx.throughput_summary()
     );
+    if let Some(dir) = bench_json {
+        let path = write_bench_json(&dir, &experiment, &mut ctx, &timings, total_wall, jobs);
+        eprintln!("[figures] wrote {path}");
+    }
     if !ctx.failures().is_empty() {
         eprintln!("[figures] {} cell(s) failed (marked in the output)", ctx.failures().len());
     }
@@ -140,4 +198,69 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+/// Persists the run's perf trajectory as `DIR/BENCH_<experiment>.json`:
+/// wall seconds per figure, aggregate host throughput, and a
+/// sequential-vs-4-thread sampled wall-clock probe. Returns the path.
+fn write_bench_json(
+    dir: &str,
+    experiment: &str,
+    ctx: &mut Ctx,
+    timings: &[(&str, f64)],
+    total_wall: f64,
+    jobs: usize,
+) -> String {
+    let (runs, sim_instrs, sim_secs) = ctx.throughput_totals();
+    let minstr_per_sec = if sim_secs > 0.0 { sim_instrs as f64 / sim_secs / 1e6 } else { 0.0 };
+    let probe = sample_speedup_probe(ctx, 4);
+    eprintln!(
+        "[figures] sample probe: {} x{} instrs sequential {:.2}s vs {}-thread {:.2}s ({:.2}x)",
+        probe.bench,
+        probe.instrs,
+        probe.sequential_seconds,
+        probe.threads,
+        probe.parallel_seconds,
+        probe.speedup
+    );
+    let host_cores = std::thread::available_parallelism().map_or(0, usize::from);
+    let mut j = String::new();
+    let _ = write!(
+        j,
+        "{{\"experiment\":\"{experiment}\",\"size\":\"{:?}\",\"instrs\":{},\"seed\":{},\
+         \"threads\":{},\"sample_threads\":{},\"jobs\":{jobs},\"sampled\":{},\
+         \"host_cores\":{host_cores},",
+        ctx.size,
+        ctx.instrs,
+        ctx.seed,
+        ctx.threads,
+        ctx.sample_threads,
+        ctx.sample.is_some()
+    );
+    let _ = write!(j, "\"figures\":[");
+    for (k, (name, secs)) in timings.iter().enumerate() {
+        let sep = if k + 1 == timings.len() { "" } else { "," };
+        let _ = write!(j, "{{\"name\":\"{name}\",\"wall_seconds\":{secs:.3}}}{sep}");
+    }
+    let _ = write!(
+        j,
+        "],\"total_wall_seconds\":{total_wall:.3},\"runs\":{runs},\
+         \"simulated_minstr\":{:.3},\"host_minstr_per_sec\":{minstr_per_sec:.3},",
+        sim_instrs as f64 / 1e6
+    );
+    let _ = write!(
+        j,
+        "\"sample_probe\":{{\"bench\":\"{}\",\"instrs\":{},\"sequential_seconds\":{:.3},\
+         \"parallel_seconds\":{:.3},\"threads\":{},\"speedup\":{:.3}}}}}",
+        probe.bench,
+        probe.instrs,
+        probe.sequential_seconds,
+        probe.parallel_seconds,
+        probe.threads,
+        probe.speedup
+    );
+    std::fs::create_dir_all(dir).expect("create --bench-json directory");
+    let path = format!("{dir}/BENCH_{experiment}.json");
+    std::fs::write(&path, j).expect("write BENCH json");
+    path
 }

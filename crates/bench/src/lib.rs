@@ -12,12 +12,15 @@ pub mod chart;
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use chart::{Chart, ChartKind, Series};
 use dvr_sim::{
-    simulate, simulate_sampled, try_parallel_map, CoreStats, EngineSummary, MemStats, RunOutcome,
-    SampleConfig, SimConfig, SimError, SimReport, Technique,
+    measure_periods_via_workers, merge_periods, sample_emit, sampled_report_from, simulate,
+    simulate_sampled, simulate_sampled_threads, try_parallel_map, CoreStats, EngineSummary,
+    MemStats, RunOutcome, SampleConfig, SimConfig, SimError, SimReport, Technique,
 };
 use workloads::{Benchmark, GraphInput, SizeClass, Workload};
 
@@ -87,6 +90,18 @@ pub struct Ctx {
     /// several-fold host-time speedup. Sampled runs are deterministic, so
     /// output stays byte-identical across thread counts.
     pub sample: Option<SampleConfig>,
+    /// In-process worker threads for the measure phase *inside* each
+    /// sampled cell (`0` = available parallelism). Independent of
+    /// [`Ctx::threads`], which fans out across cells; reports are
+    /// byte-identical for every setting.
+    pub sample_threads: usize,
+    /// When nonzero and sampling, plain Table 1 cells fan their measure
+    /// phase across this many `dvrsim sample-worker` processes (the binary
+    /// is located next to the running executable). Swept configurations the
+    /// worker cannot rebuild from its command line, and sanitized runs,
+    /// fall back to the in-process path; either way the reports are
+    /// byte-identical, so figure output does not depend on this knob.
+    pub jobs: usize,
     cache: HashMap<(Benchmark, Option<GraphInput>), Arc<Workload>>,
     failures: Vec<CellFailure>,
     runs: u64,
@@ -108,6 +123,8 @@ impl Ctx {
             force_fail: None,
             sanitize: false,
             sample: None,
+            sample_threads: 1,
+            jobs: 0,
             cache: HashMap::new(),
             failures: Vec::new(),
             runs: 0,
@@ -151,6 +168,19 @@ impl Ctx {
         self
     }
 
+    /// Sets the per-cell measure-phase thread count (see
+    /// [`Ctx::sample_threads`]).
+    pub fn with_sample_threads(mut self, threads: usize) -> Self {
+        self.sample_threads = threads;
+        self
+    }
+
+    /// Sets the worker-process count for sampled cells (see [`Ctx::jobs`]).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
     /// Every cell failure recorded so far (keep-going mode only).
     pub fn failures(&self) -> &[CellFailure] {
         &self.failures
@@ -177,12 +207,26 @@ impl Ctx {
     /// Runs with an explicit config (ROB sweeps, ablations).
     pub fn run_cfg(&mut self, b: Benchmark, g: Option<GraphInput>, cfg: &SimConfig) -> SimReport {
         let wl = self.workload(b, g);
-        let r = match self.sample {
-            Some(scfg) => simulate_sampled(&wl, cfg, &scfg),
+        let r = match self.sample_dispatch() {
+            Some(d) => simulate_sampled_cell(&wl, &Cell::new(b, g, *cfg), &d),
             None => simulate(&wl, cfg),
         };
         self.account(std::slice::from_ref(&r));
         r
+    }
+
+    /// Resolves the sampling knobs into one dispatch description shared by
+    /// every cell of a batch (`None` when running exactly).
+    fn sample_dispatch(&self) -> Option<SampleDispatch> {
+        let scfg = self.sample?;
+        let worker = (self.jobs > 0).then(|| dvrsim_binary().map(|p| (p, self.jobs))).flatten();
+        Some(SampleDispatch {
+            scfg,
+            threads: self.sample_threads,
+            worker,
+            size: self.size,
+            seed: self.seed,
+        })
     }
 
     /// Runs a batch of cells on up to [`Ctx::threads`] worker threads and
@@ -210,13 +254,13 @@ impl Ctx {
             cells.iter().map(|c| self.workload(c.benchmark, c.input)).collect();
         let labels: Vec<String> = cells.iter().map(Cell::label).collect();
         let force_fail = self.force_fail.clone();
-        let sample = self.sample;
+        let dispatch = self.sample_dispatch();
         let results = try_parallel_map(cells.len(), self.threads, |i| {
             if force_fail.as_deref() == Some(labels[i].as_str()) {
                 panic!("forced failure requested for cell '{}'", labels[i]);
             }
-            match sample {
-                Some(scfg) => simulate_sampled(&jobs[i], &cells[i].cfg, &scfg),
+            match &dispatch {
+                Some(d) => simulate_sampled_cell(&jobs[i], &cells[i], d),
                 None => simulate(&jobs[i], &cells[i].cfg),
             }
         });
@@ -286,6 +330,172 @@ impl Ctx {
             secs,
             ips
         )
+    }
+}
+
+/// How a sampled cell's measure phase is dispatched — resolved once per
+/// batch from the context's knobs and shared read-only by the cell workers.
+#[derive(Clone)]
+struct SampleDispatch {
+    scfg: SampleConfig,
+    threads: usize,
+    /// `(dvrsim binary, job count)` when worker processes were requested
+    /// and the binary was found.
+    worker: Option<(PathBuf, usize)>,
+    size: SizeClass,
+    seed: u64,
+}
+
+/// Locates the `dvrsim` binary built alongside the current executable
+/// (`figures` and `dvrsim` land in the same target directory; test
+/// binaries sit one level down in `deps/`).
+pub fn dvrsim_binary() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let mut dir = exe.parent()?.to_path_buf();
+    for _ in 0..2 {
+        let cand = dir.join(format!("dvrsim{}", std::env::consts::EXE_SUFFIX));
+        if cand.is_file() {
+            return Some(cand);
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    None
+}
+
+/// The CLI spelling of a technique (the `dvrsim --technique` flag).
+fn technique_flag(t: Technique) -> &'static str {
+    match t {
+        Technique::Baseline => "ooo",
+        Technique::Pre => "pre",
+        Technique::Imp => "imp",
+        Technique::Vr => "vr",
+        Technique::Dvr => "dvr",
+        Technique::DvrOffload => "dvr-offload",
+        Technique::DvrDiscovery => "dvr-discovery",
+        Technique::Oracle => "oracle",
+    }
+}
+
+fn size_flag(s: SizeClass) -> &'static str {
+    match s {
+        SizeClass::Test => "test",
+        SizeClass::Small => "small",
+        SizeClass::Paper => "paper",
+    }
+}
+
+/// The `dvrsim sample-worker` command line that rebuilds this cell's
+/// workload and configuration from flags (the orchestrator appends
+/// `--checkpoint <file>` per period).
+fn worker_argv(exe: &Path, cell: &Cell, d: &SampleDispatch) -> Vec<String> {
+    let mut v: Vec<String> = vec![
+        exe.to_string_lossy().into_owned(),
+        "sample-worker".into(),
+        "--bench".into(),
+        cell.benchmark.name().into(),
+        "--technique".into(),
+        technique_flag(cell.cfg.technique).into(),
+        "--size".into(),
+        size_flag(d.size).into(),
+        "--seed".into(),
+        d.seed.to_string(),
+        "--instrs".into(),
+        cell.cfg.max_instructions.to_string(),
+        "--interval".into(),
+        d.scfg.interval.to_string(),
+        "--warmup".into(),
+        d.scfg.warmup.to_string(),
+        "--period".into(),
+        d.scfg.period.to_string(),
+        "--placement".into(),
+        match d.scfg.placement {
+            dvr_sim::Placement::Systematic => "systematic".into(),
+            dvr_sim::Placement::Random => "random".into(),
+        },
+        "--sample-seed".into(),
+        d.scfg.seed.to_string(),
+        "--json".into(),
+    ];
+    if let Some(g) = cell.input {
+        v.push("--input".into());
+        v.push(g.name().into());
+    }
+    v
+}
+
+static SCRATCH_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Runs one sampled cell under a dispatch description: worker processes
+/// when requested and applicable, in-process measure threads otherwise.
+///
+/// A worker rebuilds its configuration from `(technique, size, seed,
+/// instrs)` alone, so only unmodified Table 1 cells (no ROB/MSHR/lane
+/// sweeps, no sanitizer) take the process path; everything else falls back
+/// in-process. Both paths are byte-identical, so the choice never shows in
+/// figure output.
+fn simulate_sampled_cell(wl: &Workload, cell: &Cell, d: &SampleDispatch) -> SimReport {
+    let plain = cell.cfg
+        == SimConfig::new(cell.cfg.technique).with_max_instructions(cell.cfg.max_instructions);
+    if let Some((exe, njobs)) = d.worker.as_ref().filter(|_| plain) {
+        let t0 = std::time::Instant::now();
+        let argv = worker_argv(exe, cell, d);
+        let scratch = std::env::temp_dir().join(format!(
+            "figures-sample-{}-{}",
+            std::process::id(),
+            SCRATCH_ID.fetch_add(1, Ordering::Relaxed)
+        ));
+        let result = sample_emit(wl, &cell.cfg, &d.scfg).and_then(|emit| {
+            let periods = measure_periods_via_workers(&argv, &emit.checkpoints, *njobs, &scratch)?;
+            Ok(merge_periods(periods, emit.total_retired, emit.halted))
+        });
+        let _ = std::fs::remove_dir_all(&scratch);
+        let mut r = sampled_report_from(wl, &cell.cfg, &d.scfg, result);
+        r.host_seconds = t0.elapsed().as_secs_f64();
+        return r;
+    }
+    simulate_sampled_threads(wl, &cell.cfg, &d.scfg, d.threads)
+}
+
+/// Wall-clock comparison of the sequential vs parallel sampled driver on
+/// one benchmark — the perf-trajectory probe persisted into
+/// `BENCH_<name>.json`.
+#[derive(Clone, Debug)]
+pub struct SampleProbe {
+    /// The probed workload's name.
+    pub bench: String,
+    /// Region-of-interest length of both runs.
+    pub instrs: u64,
+    /// Wall seconds of the sequential (one-thread) driver.
+    pub sequential_seconds: f64,
+    /// Wall seconds with the measure phase fanned across
+    /// [`SampleProbe::threads`] in-process workers.
+    pub parallel_seconds: f64,
+    /// Worker-thread count of the parallel run.
+    pub threads: usize,
+    /// `sequential_seconds / parallel_seconds`.
+    pub speedup: f64,
+}
+
+/// Probes the checkpoint-parallel speedup: one benchmark (BFS on the KR
+/// graph) sampled sequentially and with the measure phase on `threads`
+/// workers, at the context's size/seed/ROI. The reports are byte-identical;
+/// only the wall clock differs. Runs are not accounted into the context's
+/// throughput totals.
+pub fn sample_speedup_probe(ctx: &mut Ctx, threads: usize) -> SampleProbe {
+    let wl = ctx.workload(Benchmark::Bfs, Some(GraphInput::Kr));
+    let cfg = SimConfig::new(Technique::Dvr).with_max_instructions(ctx.instrs);
+    let scfg = ctx.sample.unwrap_or_default();
+    let seq = simulate_sampled(&wl, &cfg, &scfg);
+    let par = simulate_sampled_threads(&wl, &cfg, &scfg, threads);
+    SampleProbe {
+        bench: wl.name.clone(),
+        instrs: cfg.max_instructions,
+        sequential_seconds: seq.host_seconds,
+        parallel_seconds: par.host_seconds,
+        threads,
+        speedup: seq.host_seconds / par.host_seconds.max(1e-9),
     }
 }
 
@@ -1175,6 +1385,27 @@ mod tests {
         assert!(checks > 0, "sanitizer must have run");
         assert_eq!(violations, 0, "cycle-model invariants must hold");
         assert_eq!(plain, sane, "sanitizer must not perturb experiment text");
+    }
+
+    #[test]
+    fn sampled_figure_text_is_identical_across_measure_threads() {
+        let run = |sample_threads: usize| {
+            let mut ctx = Ctx::new(SizeClass::Test, 60_000, 7)
+                .with_sample(SampleConfig::default())
+                .with_sample_threads(sample_threads);
+            run_experiment("fig9", &mut ctx)
+        };
+        assert_eq!(run(1), run(4), "measure-phase fan-out must not perturb figure text");
+    }
+
+    #[test]
+    fn speedup_probe_reports_positive_wall_clock() {
+        let mut ctx = Ctx::new(SizeClass::Test, 60_000, 7).with_sample(SampleConfig::default());
+        let p = sample_speedup_probe(&mut ctx, 2);
+        assert!(p.sequential_seconds > 0.0 && p.parallel_seconds > 0.0);
+        assert!(p.speedup > 0.0);
+        assert_eq!(p.threads, 2);
+        assert_eq!(p.instrs, 60_000);
     }
 
     #[test]

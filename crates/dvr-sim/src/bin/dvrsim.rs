@@ -13,9 +13,10 @@
 use std::process::ExitCode;
 
 use dvr_sim::{
-    parallel_map, simulate, simulate_sampled, FaultConfig, Placement, SampleConfig, SimConfig,
-    SimReport, Technique,
+    measure_emitted, measure_periods_via_workers, parallel_map, sample_emit, sampled_report_from,
+    simulate, FaultConfig, Placement, SampleConfig, SimConfig, SimReport, Technique,
 };
+use sim_sample::merge_periods;
 use workloads::{Benchmark, GraphInput, SizeClass, Workload};
 
 struct Options {
@@ -40,7 +41,10 @@ usage: dvrsim [--list] (--bench NAME | --asm FILE.s) [options]
        dvrsim audit (--all | --bench NAME) [--size S] [--seed N] [--instrs N] [--json]
        dvrsim sample (--all | --bench NAME) [--technique T] [--size S] [--instrs N]
                      [--interval N] [--warmup N] [--period N] [--placement systematic|random]
-                     [--sample-seed N] [--no-exact] [--threads N] [--json]
+                     [--sample-seed N] [--no-exact] [--threads N] [--jobs N] [--json]
+       dvrsim sample-worker --bench NAME --technique T --checkpoint FILE.ckpt
+                     [--input G] [--size S] [--seed N] [--instrs N] [--interval N]
+                     [--warmup N] [--period N] [--placement P] [--sample-seed N] [--json]
 
 options:
   --bench NAME          benchmark (see --list)
@@ -72,11 +76,19 @@ the `audit` subcommand diffs the static DVR coverage prediction against a
 traced simulation's actual Discovery decisions and classifies every
 divergence; unexplained divergences fail the audit.
 
-the `sample` subcommand runs checkpointed sampled simulation (functional
-fast-forward with cache/branch-predictor warming between seeded detailed
-intervals) and, unless --no-exact, an exact run of the same region for
-comparison; a sampled mean whose 95% confidence interval misses the exact
-IPC fails the command.
+the `sample` subcommand runs checkpoint-parallel sampled simulation: one
+functional fast-forward pass per benchmark emits a checkpoint at every
+period (shared across techniques), then each (warmup + measured) interval
+is measured independently — fanned across --threads in-process workers,
+or across --jobs spawned `dvrsim sample-worker` processes when --jobs > 0.
+Results merge deterministically, so output is byte-identical (modulo
+wall-clock fields) for every --threads/--jobs combination. Unless
+--no-exact, an exact run of the same region is compared; a sampled mean
+whose 95% confidence interval misses the exact IPC fails the command.
+
+the `sample-worker` subcommand is the internal worker of `sample --jobs`:
+it measures one period from a checkpoint file and prints one integer-JSON
+result line on stdout.
 
 exit status: 0 if every run completed (lint: no errors; audit: no
 unexplained divergences; sample: every CI contains the exact IPC),
@@ -123,6 +135,29 @@ fn parse_technique(s: &str) -> Option<Vec<Technique>> {
         }
         _ => return None,
     })
+}
+
+/// The CLI spelling of a technique — the inverse of [`parse_technique`]
+/// for single techniques, used to build `sample-worker` command lines.
+fn technique_flag(t: Technique) -> &'static str {
+    match t {
+        Technique::Baseline => "ooo",
+        Technique::Pre => "pre",
+        Technique::Imp => "imp",
+        Technique::Vr => "vr",
+        Technique::Dvr => "dvr",
+        Technique::DvrOffload => "dvr-offload",
+        Technique::DvrDiscovery => "dvr-discovery",
+        Technique::Oracle => "oracle",
+    }
+}
+
+fn size_flag(s: SizeClass) -> &'static str {
+    match s {
+        SizeClass::Test => "test",
+        SizeClass::Small => "small",
+        SizeClass::Paper => "paper",
+    }
 }
 
 fn parse_bench(s: &str) -> Option<Benchmark> {
@@ -504,6 +539,7 @@ fn sample_main(args: &[String]) -> ExitCode {
     let mut no_exact = false;
     let mut json = false;
     let mut threads = 1usize;
+    let mut jobs = 0usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -512,7 +548,7 @@ fn sample_main(args: &[String]) -> ExitCode {
             "--json" => json = true,
             "--bench" | "--input" | "--technique" | "--size" | "--seed" | "--instrs"
             | "--interval" | "--warmup" | "--period" | "--placement" | "--sample-seed"
-            | "--threads" => {
+            | "--threads" | "--jobs" => {
                 let Some(v) = args.get(i + 1).cloned() else {
                     eprintln!("error: {} needs a value", args[i]);
                     return ExitCode::from(2);
@@ -579,6 +615,7 @@ fn sample_main(args: &[String]) -> ExitCode {
                             "--period" => scfg.period = n,
                             "--sample-seed" => scfg.seed = n,
                             "--threads" => threads = n as usize,
+                            "--jobs" => jobs = n as usize,
                             _ => unreachable!("covered by the outer match"),
                         }
                     }
@@ -609,19 +646,64 @@ fn sample_main(args: &[String]) -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let cells: Vec<(Benchmark, Technique)> =
-        benches.iter().flat_map(|b| techniques.iter().map(move |t| (*b, *t))).collect();
-    let results = parallel_map(cells.len(), threads, |i| {
-        let (b, t) = cells[i];
+    // Sampled runs: the functional fast-forward pass is paid ONCE per
+    // benchmark — its emitted checkpoints seed the measure phase of every
+    // technique — and each technique's periods are measured either on
+    // in-process worker threads (--threads) or spawned sample-worker
+    // processes (--jobs > 0). Both paths merge deterministically, so the
+    // reports are byte-identical modulo wall-clock fields.
+    let mut cells: Vec<(Benchmark, Technique)> = Vec::new();
+    let mut sampled_reports: Vec<SimReport> = Vec::new();
+    let scratch_root = std::env::temp_dir().join(format!("dvrsim-sample-{}", std::process::id()));
+    for b in &benches {
         let wl = b.build(b.is_gap().then(|| input.unwrap_or(GraphInput::Kr)), size, seed);
-        let cfg = SimConfig::new(t).with_max_instructions(instrs);
-        let sampled = simulate_sampled(&wl, &cfg, &scfg);
-        let exact = (!no_exact).then(|| simulate(&wl, &cfg));
-        (sampled, exact)
-    });
+        let cfg0 = SimConfig::new(techniques[0]).with_max_instructions(instrs);
+        let t_emit = std::time::Instant::now();
+        let emit = sample_emit(&wl, &cfg0, &scfg);
+        let emit_secs = t_emit.elapsed().as_secs_f64();
+        for t in &techniques {
+            cells.push((*b, *t));
+            let cfg = SimConfig::new(*t).with_max_instructions(instrs);
+            let t0 = std::time::Instant::now();
+            let result = match &emit {
+                Ok(emit) if jobs > 0 => {
+                    let scratch = scratch_root.join(format!("{}-{}", b.name(), technique_flag(*t)));
+                    worker_command(*b, input, *t, size, seed, instrs, &scfg).and_then(|argv| {
+                        measure_periods_via_workers(&argv, &emit.checkpoints, jobs, &scratch)
+                            .map(|periods| merge_periods(periods, emit.total_retired, emit.halted))
+                    })
+                }
+                Ok(emit) => measure_emitted(&wl, &cfg, &scfg, &emit.checkpoints, threads)
+                    .map(|periods| merge_periods(periods, emit.total_retired, emit.halted)),
+                // The shared emit failed; re-run it (deterministic) so each
+                // cell reports the real typed error.
+                Err(_) => sample_emit(&wl, &cfg, &scfg).and_then(|emit| {
+                    measure_emitted(&wl, &cfg, &scfg, &emit.checkpoints, threads)
+                        .map(|periods| merge_periods(periods, emit.total_retired, emit.halted))
+                }),
+            };
+            let mut report = sampled_report_from(&wl, &cfg, &scfg, result);
+            report.host_seconds = emit_secs / techniques.len() as f64 + t0.elapsed().as_secs_f64();
+            sampled_reports.push(report);
+        }
+    }
+    if jobs > 0 {
+        let _ = std::fs::remove_dir_all(&scratch_root);
+    }
+
+    // Exact-comparison runs stay cell-parallel: they share nothing.
+    let exacts: Vec<Option<SimReport>> = if no_exact {
+        (0..cells.len()).map(|_| None).collect()
+    } else {
+        parallel_map(cells.len(), threads, |i| {
+            let (b, t) = cells[i];
+            let wl = b.build(b.is_gap().then(|| input.unwrap_or(GraphInput::Kr)), size, seed);
+            Some(simulate(&wl, &SimConfig::new(t).with_max_instructions(instrs)))
+        })
+    };
 
     let mut failed = 0usize;
-    for (sampled, exact) in &results {
+    for (sampled, exact) in sampled_reports.iter().zip(&exacts) {
         if json {
             println!("{}", sampled.to_json());
         }
@@ -668,10 +750,195 @@ fn sample_main(args: &[String]) -> ExitCode {
         }
     }
     if failed > 0 {
-        eprintln!("sample: {failed} of {} runs failed or missed their CI", results.len());
+        eprintln!("sample: {failed} of {} runs failed or missed their CI", sampled_reports.len());
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// Builds the `dvrsim sample-worker ...` command line that reconstructs
+/// one (workload, technique, sampling) cell in a child process. The
+/// workload is rebuilt from its deterministic (bench, input, size, seed)
+/// recipe, so only the small checkpoint file crosses the process
+/// boundary.
+fn worker_command(
+    b: Benchmark,
+    input: Option<GraphInput>,
+    t: Technique,
+    size: SizeClass,
+    seed: u64,
+    instrs: u64,
+    scfg: &SampleConfig,
+) -> Result<Vec<String>, dvr_sim::SampleError> {
+    let exe = std::env::current_exe().map_err(|e| {
+        dvr_sim::SampleError::Worker(format!("cannot locate the dvrsim binary: {e}"))
+    })?;
+    let mut v: Vec<String> = vec![
+        exe.to_string_lossy().into_owned(),
+        "sample-worker".into(),
+        "--bench".into(),
+        b.name().into(),
+        "--technique".into(),
+        technique_flag(t).into(),
+        "--size".into(),
+        size_flag(size).into(),
+        "--seed".into(),
+        seed.to_string(),
+        "--instrs".into(),
+        instrs.to_string(),
+        "--interval".into(),
+        scfg.interval.to_string(),
+        "--warmup".into(),
+        scfg.warmup.to_string(),
+        "--period".into(),
+        scfg.period.to_string(),
+        "--placement".into(),
+        match scfg.placement {
+            Placement::Systematic => "systematic".into(),
+            Placement::Random => "random".into(),
+        },
+        "--sample-seed".into(),
+        scfg.seed.to_string(),
+        "--json".into(),
+    ];
+    if b.is_gap() {
+        v.push("--input".into());
+        v.push(input.unwrap_or(GraphInput::Kr).name().into());
+    }
+    Ok(v)
+}
+
+/// `dvrsim sample-worker`: measures ONE sampling period from a checkpoint
+/// file and prints one integer-JSON result line on stdout — the worker
+/// half of `dvrsim sample --jobs N`.
+fn sample_worker_main(args: &[String]) -> ExitCode {
+    let mut bench: Option<Benchmark> = None;
+    let mut input: Option<GraphInput> = None;
+    let mut techniques: Vec<Technique> = vec![];
+    let mut size = SizeClass::Small;
+    let mut seed = 42u64;
+    let mut instrs = 200_000u64;
+    let mut scfg = SampleConfig::default();
+    let mut checkpoint: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            // Output is always one JSON line; the flag is accepted for
+            // symmetry with the other subcommands.
+            "--json" => {}
+            "--bench" | "--input" | "--technique" | "--size" | "--seed" | "--instrs"
+            | "--interval" | "--warmup" | "--period" | "--placement" | "--sample-seed"
+            | "--checkpoint" => {
+                let Some(v) = args.get(i + 1).cloned() else {
+                    eprintln!("error: {} needs a value", args[i]);
+                    return ExitCode::from(2);
+                };
+                match args[i].as_str() {
+                    "--bench" => match parse_bench(&v) {
+                        Some(b) => bench = Some(b),
+                        None => {
+                            eprintln!("error: unknown benchmark '{v}'");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--input" => match parse_input(&v) {
+                        Some(g) => input = Some(g),
+                        None => {
+                            eprintln!("error: unknown input '{v}'");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--technique" => match parse_technique(&v) {
+                        Some(t) if t.len() == 1 => techniques = t,
+                        _ => {
+                            eprintln!("error: sample-worker needs a single technique, got '{v}'");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--size" => {
+                        size = match v.as_str() {
+                            "test" => SizeClass::Test,
+                            "small" => SizeClass::Small,
+                            "paper" => SizeClass::Paper,
+                            _ => {
+                                eprintln!("error: unknown size '{v}'");
+                                return ExitCode::from(2);
+                            }
+                        };
+                    }
+                    "--placement" => {
+                        scfg.placement = match v.as_str() {
+                            "systematic" => Placement::Systematic,
+                            "random" => Placement::Random,
+                            _ => {
+                                eprintln!("error: unknown placement '{v}'");
+                                return ExitCode::from(2);
+                            }
+                        };
+                    }
+                    "--checkpoint" => checkpoint = Some(v),
+                    flag => {
+                        let n: u64 = match v.parse() {
+                            Ok(n) => n,
+                            Err(e) => {
+                                eprintln!("error: {flag}: {e}");
+                                return ExitCode::from(2);
+                            }
+                        };
+                        match flag {
+                            "--seed" => seed = n,
+                            "--instrs" => instrs = n,
+                            "--interval" => scfg.interval = n,
+                            "--warmup" => scfg.warmup = n,
+                            "--period" => scfg.period = n,
+                            "--sample-seed" => scfg.seed = n,
+                            _ => unreachable!("covered by the outer match"),
+                        }
+                    }
+                }
+                i += 1;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown sample-worker option '{other}' (see 'dvrsim --help')");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let (Some(b), Some(path), [t]) = (bench, checkpoint, techniques.as_slice()) else {
+        eprintln!("error: sample-worker needs --bench, --technique, and --checkpoint");
+        return ExitCode::from(2);
+    };
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(ck) = dvr_sim::PeriodCheckpoint::from_bytes(&bytes) else {
+        eprintln!("error: {path}: not a valid period checkpoint");
+        return ExitCode::from(2);
+    };
+    let wl = b.build(b.is_gap().then(|| input.unwrap_or(GraphInput::Kr)), size, seed);
+    let cfg = SimConfig::new(*t).with_max_instructions(instrs);
+    let scfg = scfg.with_max_instructions(instrs);
+    match sim_sample::measure_period(&wl.prog, &wl.mem, cfg.core, cfg.hierarchy, &scfg, &ck, || {
+        dvr_sim::engine_factory(&cfg)
+    }) {
+        Ok(p) => {
+            println!("{}", p.to_json());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sample-worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -684,6 +951,9 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("sample") {
         return sample_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("sample-worker") {
+        return sample_worker_main(&argv[1..]);
     }
     let o = match parse_args() {
         Ok(o) => o,

@@ -66,7 +66,7 @@ impl Technique {
 /// let cfg = SimConfig::new(Technique::Dvr).with_rob(512).with_max_instructions(100_000);
 /// assert_eq!(cfg.core.rob_size, 512);
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct SimConfig {
     /// Core pipeline parameters (Table 1).
     pub core: CoreConfig,

@@ -35,7 +35,10 @@ pub use runner::{
     parallel_map, resolve_threads, simulate, simulate_all, simulate_all_parallel, try_parallel_map,
     CellError,
 };
-pub use sample::{engine_factory, simulate_sampled};
+pub use sample::{
+    engine_factory, measure_emitted, measure_periods_via_workers, run_sampled_threads, sample_emit,
+    sampled_report_from, simulate_sampled, simulate_sampled_threads,
+};
 
 // Re-export the pieces users need to assemble custom setups.
 pub use dvr_core::{DvrConfig, DvrEngine, DvrTrace, OracleEngine, PreEngine, TraceEvent, VrEngine};
@@ -46,5 +49,8 @@ pub use sim_mem::{
 };
 pub use sim_ooo::SanitizeReport;
 pub use sim_ooo::{CoreConfig, CoreStats, DeadlockSnapshot, NullEngine, OooCore, SimError};
-pub use sim_sample::{Placement, SampleConfig, SampledReport};
+pub use sim_sample::{
+    merge_periods, EmitResult, PeriodCheckpoint, PeriodResult, Placement, SampleConfig,
+    SampleError, SampledReport, SampledRun,
+};
 pub use workloads::{Benchmark, GraphInput, SizeClass, Workload};

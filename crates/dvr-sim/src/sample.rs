@@ -1,5 +1,5 @@
-//! Sampled simulation: wires the [`sim_sample`] driver into the
-//! technique/report facade.
+//! Sampled simulation: wires the [`sim_sample`] checkpoint-parallel
+//! pipeline into the technique/report facade.
 //!
 //! [`simulate_sampled`] is the sampled counterpart of
 //! [`simulate`](crate::simulate): same workload, same [`SimConfig`], but
@@ -8,13 +8,27 @@
 //! executor with cache and branch-predictor warming. The headline `ipc`
 //! becomes the mean of per-interval IPCs and the report carries a
 //! [`SamplingSummary`] with the variance and 95% confidence interval.
+//!
+//! Because each period is measured from its own checkpoint, the measure
+//! phase fans out: [`simulate_sampled_threads`] dispatches periods
+//! across in-process worker threads, and
+//! [`measure_periods_via_workers`] dispatches them to spawned
+//! `dvrsim sample-worker` processes speaking the integer JSON line
+//! protocol. All paths merge through [`sim_sample::merge_periods`], so
+//! the resulting reports are byte-identical (modulo wall-clock fields).
+
+use std::path::Path;
 
 use sim_ooo::{RunaheadEngine, SimError};
-use sim_sample::{run_sampled, Placement, SampleConfig, SampleError};
+use sim_sample::{
+    emit_checkpoints, measure_period, merge_periods, EmitResult, PeriodCheckpoint, PeriodResult,
+    Placement, SampleConfig, SampleError, SampledRun,
+};
 use workloads::Workload;
 
 use crate::config::{SimConfig, Technique};
 use crate::report::{EngineSummary, RunOutcome, SamplingSummary, SimReport};
+use crate::runner::try_parallel_map;
 
 /// Builds a fresh runahead engine for one detailed interval, mirroring the
 /// technique dispatch of [`simulate`](crate::simulate) (including the
@@ -50,6 +64,12 @@ fn failed(e: SampleError) -> RunOutcome {
         SampleError::Config(msg) => {
             SimError::Panic { message: format!("invalid sample config: {msg}") }
         }
+        SampleError::Checkpoint(msg) => {
+            SimError::Panic { message: format!("bad period checkpoint: {msg}") }
+        }
+        SampleError::Worker(msg) => {
+            SimError::Panic { message: format!("sample worker failed: {msg}") }
+        }
     })
 }
 
@@ -60,33 +80,236 @@ fn placement_name(p: Placement) -> &'static str {
     }
 }
 
-/// Runs one workload sampled under one configuration and returns a report.
+/// Phase 1 for one workload: runs the functional fast-forward pass and
+/// emits every period checkpoint.
 ///
-/// The region of interest is [`SimConfig::max_instructions`] — it
-/// overrides whatever `scfg` carries, so exact and sampled runs of the
-/// same `SimConfig` always cover the same region. In the returned report:
+/// The emit phase is technique-independent (warming touches only cache
+/// tags and predictor tables), so one [`EmitResult`] can seed the
+/// measure phase of every technique sharing the workload, region, and
+/// sampling configuration — the functional pass is paid once, not once
+/// per technique.
 ///
-/// - `ipc` is the mean of per-interval IPCs, `mlp` the mean of
-///   per-interval MLPs;
-/// - `core`/`mem` counters cover detailed execution only (functional
-///   warming contributes no demand traffic by construction);
-/// - `simulated_instructions` is the total instructions retired across
-///   the region (fast-forward + detailed), the honest numerator for
-///   [`SimReport::host_minstr_per_sec`];
-/// - `sampling` carries the per-interval statistics
-///   ([`SamplingSummary`]).
+/// # Errors
 ///
-/// Engine activity counters reset with each interval's fresh engine, so
-/// [`EngineSummary`] reports only a detail line for sampled runs.
-///
-/// Like [`simulate`](crate::simulate), failures come back as data: a
-/// report with [`RunOutcome::Failed`] and zeroed statistics.
-pub fn simulate_sampled(workload: &Workload, cfg: &SimConfig, scfg: &SampleConfig) -> SimReport {
-    let t0 = std::time::Instant::now();
+/// Propagates [`sim_sample::emit_checkpoints`] failures.
+pub fn sample_emit(
+    workload: &Workload,
+    cfg: &SimConfig,
+    scfg: &SampleConfig,
+) -> Result<EmitResult, SampleError> {
     let scfg = scfg.with_max_instructions(cfg.max_instructions);
-    let result = run_sampled(&workload.prog, &workload.mem, cfg.core, cfg.hierarchy, &scfg, || {
-        engine_factory(cfg)
+    emit_checkpoints(&workload.prog, &workload.mem, cfg.hierarchy, &scfg)
+}
+
+/// Phase 2 in-process: measures every emitted checkpoint on up to
+/// `threads` worker threads (0 = all available cores).
+///
+/// Work is distributed by [`try_parallel_map`]'s atomic work-stealing
+/// index; results come back in period order regardless of which thread
+/// measured what, so the downstream merge is deterministic.
+///
+/// # Errors
+///
+/// The first period failure ([`SampleError`]); a panicking cell surfaces
+/// as [`SampleError::Worker`].
+pub fn measure_emitted(
+    workload: &Workload,
+    cfg: &SimConfig,
+    scfg: &SampleConfig,
+    checkpoints: &[PeriodCheckpoint],
+    threads: usize,
+) -> Result<Vec<PeriodResult>, SampleError> {
+    let scfg = scfg.with_max_instructions(cfg.max_instructions);
+    let results = try_parallel_map(checkpoints.len(), threads, |i| {
+        measure_period(
+            &workload.prog,
+            &workload.mem,
+            cfg.core,
+            cfg.hierarchy,
+            &scfg,
+            &checkpoints[i],
+            || engine_factory(cfg),
+        )
     });
+    let mut periods = Vec::with_capacity(results.len());
+    for r in results {
+        match r {
+            Ok(Ok(p)) => periods.push(p),
+            Ok(Err(e)) => return Err(e),
+            Err(cell) => return Err(SampleError::Worker(cell.to_string())),
+        }
+    }
+    Ok(periods)
+}
+
+/// Runs one workload sampled with the measure phase fanned across
+/// `threads` in-process workers, returning the merged [`SampledRun`].
+///
+/// `threads == 1` runs inline and is the sequential reference; every
+/// other value produces a bit-identical result.
+///
+/// # Errors
+///
+/// The first emit or measure failure ([`SampleError`]).
+pub fn run_sampled_threads(
+    workload: &Workload,
+    cfg: &SimConfig,
+    scfg: &SampleConfig,
+    threads: usize,
+) -> Result<SampledRun, SampleError> {
+    let emit = sample_emit(workload, cfg, scfg)?;
+    let periods = measure_emitted(workload, cfg, scfg, &emit.checkpoints, threads)?;
+    Ok(merge_periods(periods, emit.total_retired, emit.halted))
+}
+
+/// Phase 2 out-of-process: measures checkpoints by spawning worker
+/// processes, at most `jobs` at a time (0 is treated as 1).
+///
+/// Each checkpoint is written to `scratch_dir` as `period_NNNNN.ckpt`
+/// and a worker is spawned as `worker_argv ++ ["--checkpoint", path]`;
+/// the worker prints one [`PeriodResult`] JSON line on stdout. Workers
+/// are reaped with `wait_with_output` (never leaving zombies and never
+/// blocking on a dead child), every spawned worker in a batch is reaped
+/// before an error is returned, and checkpoint files are removed on all
+/// paths. A worker that dies — killed, crashed, or printing garbage —
+/// surfaces as a typed [`SampleError::Worker`], not a hang.
+///
+/// # Errors
+///
+/// [`SampleError::Worker`] on spawn failure, non-zero worker exit, or an
+/// unparseable/mismatched result line.
+pub fn measure_periods_via_workers(
+    worker_argv: &[String],
+    checkpoints: &[PeriodCheckpoint],
+    jobs: usize,
+    scratch_dir: &Path,
+) -> Result<Vec<PeriodResult>, SampleError> {
+    let (exe, fixed_args) = worker_argv
+        .split_first()
+        .ok_or_else(|| SampleError::Worker("empty worker command line".to_string()))?;
+    std::fs::create_dir_all(scratch_dir).map_err(|e| {
+        SampleError::Worker(format!("cannot create scratch dir {}: {e}", scratch_dir.display()))
+    })?;
+
+    let mut files = Vec::with_capacity(checkpoints.len());
+    let mut write_err = None;
+    for ck in checkpoints {
+        let path = scratch_dir.join(format!("period_{:05}.ckpt", ck.index));
+        if let Err(e) = std::fs::write(&path, ck.to_bytes()) {
+            write_err = Some(SampleError::Worker(format!(
+                "cannot write checkpoint {}: {e}",
+                path.display()
+            )));
+            break;
+        }
+        files.push(path);
+    }
+
+    let result = match write_err {
+        Some(e) => Err(e),
+        None => run_worker_batches(exe, fixed_args, checkpoints, &files, jobs.max(1)),
+    };
+    for path in &files {
+        let _ = std::fs::remove_file(path);
+    }
+    result
+}
+
+fn run_worker_batches(
+    exe: &str,
+    fixed_args: &[String],
+    checkpoints: &[PeriodCheckpoint],
+    files: &[std::path::PathBuf],
+    jobs: usize,
+) -> Result<Vec<PeriodResult>, SampleError> {
+    use std::process::{Command, Stdio};
+
+    let mut periods = Vec::with_capacity(checkpoints.len());
+    for batch in checkpoints.iter().zip(files).collect::<Vec<_>>().chunks(jobs) {
+        // Spawn the whole batch, then reap the whole batch: a failure in
+        // one worker must not leave siblings unwaited.
+        let children: Vec<_> = batch
+            .iter()
+            .map(|(ck, path)| {
+                let child = Command::new(exe)
+                    .args(fixed_args)
+                    .arg("--checkpoint")
+                    .arg(path)
+                    .stdin(Stdio::null())
+                    .stdout(Stdio::piped())
+                    .stderr(Stdio::piped())
+                    .spawn();
+                (ck.index, child)
+            })
+            .collect();
+        let mut batch_err = None;
+        for (index, child) in children {
+            let out = match child {
+                Ok(c) => c.wait_with_output(),
+                Err(e) => {
+                    batch_err
+                        .get_or_insert(SampleError::Worker(format!("period {index}: spawn: {e}")));
+                    continue;
+                }
+            };
+            let out = match out {
+                Ok(o) => o,
+                Err(e) => {
+                    batch_err
+                        .get_or_insert(SampleError::Worker(format!("period {index}: wait: {e}")));
+                    continue;
+                }
+            };
+            if batch_err.is_some() {
+                continue;
+            }
+            if !out.status.success() {
+                let stderr = String::from_utf8_lossy(&out.stderr);
+                batch_err = Some(SampleError::Worker(format!(
+                    "period {index}: worker exited with {}: {}",
+                    out.status,
+                    stderr.trim().chars().take(300).collect::<String>()
+                )));
+                continue;
+            }
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            match PeriodResult::from_json(&stdout) {
+                Some(p) if p.index == index => periods.push(p),
+                Some(p) => {
+                    batch_err = Some(SampleError::Worker(format!(
+                        "period {index}: worker answered for period {}",
+                        p.index
+                    )));
+                }
+                None => {
+                    batch_err = Some(SampleError::Worker(format!(
+                        "period {index}: unparseable worker output: {:?}",
+                        stdout.trim().chars().take(120).collect::<String>()
+                    )));
+                }
+            }
+        }
+        if let Some(e) = batch_err {
+            return Err(e);
+        }
+    }
+    Ok(periods)
+}
+
+/// Builds the [`SimReport`] for a sampled result (successful or failed).
+///
+/// This is the single report-construction path shared by the sequential,
+/// thread-parallel, and worker-process drivers, so everything except
+/// `host_seconds` (set by the caller from its own clock) is a pure
+/// function of the [`SampledRun`] — byte-identical across dispatch
+/// modes.
+pub fn sampled_report_from(
+    workload: &Workload,
+    cfg: &SimConfig,
+    scfg: &SampleConfig,
+    result: Result<SampledRun, SampleError>,
+) -> SimReport {
+    let scfg = scfg.with_max_instructions(cfg.max_instructions);
     let mut report = SimReport {
         technique: cfg.technique,
         workload: workload.name.clone(),
@@ -133,6 +356,48 @@ pub fn simulate_sampled(workload: &Workload, cfg: &SimConfig, scfg: &SampleConfi
         }
         Err(e) => report.outcome = failed(e),
     }
+    report
+}
+
+/// Runs one workload sampled under one configuration and returns a report.
+///
+/// The region of interest is [`SimConfig::max_instructions`] — it
+/// overrides whatever `scfg` carries, so exact and sampled runs of the
+/// same `SimConfig` always cover the same region. In the returned report:
+///
+/// - `ipc` is the mean of per-interval IPCs, `mlp` the mean of
+///   per-interval MLPs;
+/// - `core`/`mem` counters cover detailed execution only (functional
+///   warming contributes no demand traffic by construction);
+/// - `simulated_instructions` is the total instructions retired across
+///   the region (fast-forward + detailed), the honest numerator for
+///   [`SimReport::host_minstr_per_sec`];
+/// - `sampling` carries the per-interval statistics
+///   ([`SamplingSummary`]).
+///
+/// Engine activity counters reset with each interval's fresh engine, so
+/// [`EngineSummary`] reports only a detail line for sampled runs.
+///
+/// Like [`simulate`](crate::simulate), failures come back as data: a
+/// report with [`RunOutcome::Failed`] and zeroed statistics.
+pub fn simulate_sampled(workload: &Workload, cfg: &SimConfig, scfg: &SampleConfig) -> SimReport {
+    simulate_sampled_threads(workload, cfg, scfg, 1)
+}
+
+/// Like [`simulate_sampled`], but fanning the measure phase across
+/// `threads` in-process workers (0 = all available cores).
+///
+/// Everything except `host_seconds` is byte-identical to
+/// [`simulate_sampled`] for every thread count.
+pub fn simulate_sampled_threads(
+    workload: &Workload,
+    cfg: &SimConfig,
+    scfg: &SampleConfig,
+    threads: usize,
+) -> SimReport {
+    let t0 = std::time::Instant::now();
+    let result = run_sampled_threads(workload, cfg, scfg, threads);
+    let mut report = sampled_report_from(workload, cfg, scfg, result);
     report.host_seconds = t0.elapsed().as_secs_f64();
     report
 }
@@ -174,6 +439,17 @@ mod tests {
     }
 
     #[test]
+    fn thread_fanout_is_byte_identical_to_sequential() {
+        let wl = Benchmark::Bfs.build(Some(workloads::GraphInput::Kr), SizeClass::Test, 2);
+        let cfg = SimConfig::new(Technique::Dvr).with_max_instructions(120_000);
+        let mut seq = simulate_sampled(&wl, &cfg, &scfg());
+        let mut par = simulate_sampled_threads(&wl, &cfg, &scfg(), 4);
+        seq.host_seconds = 0.0;
+        par.host_seconds = 0.0;
+        assert_eq!(seq.to_json(), par.to_json());
+    }
+
+    #[test]
     fn sampled_ci_contains_exact_ipc() {
         // Small size: the statistical contract is tuned for real working
         // sets (the tiny Test inputs are all transient, which no sampling
@@ -210,5 +486,20 @@ mod tests {
             let _ = engine_factory(&cfg);
             let _ = engine_factory(&cfg);
         }
+    }
+
+    #[test]
+    fn dead_worker_surfaces_a_typed_error_without_hanging() {
+        let wl = Benchmark::NasIs.build(None, SizeClass::Test, 1);
+        let cfg = SimConfig::new(Technique::Baseline).with_max_instructions(100_000);
+        let emit = sample_emit(&wl, &cfg, &scfg()).unwrap();
+        assert!(!emit.checkpoints.is_empty());
+        let scratch =
+            std::env::temp_dir().join(format!("dvrsim-dead-worker-{}", std::process::id()));
+        let argv = vec!["/bin/sh".to_string(), "-c".to_string(), "kill -9 $$".to_string()];
+        let err = measure_periods_via_workers(&argv, &emit.checkpoints, 2, &scratch)
+            .expect_err("killed workers must fail, not hang");
+        assert!(matches!(err, SampleError::Worker(_)), "{err}");
+        let _ = std::fs::remove_dir(&scratch);
     }
 }

@@ -193,6 +193,60 @@ impl Cache {
         }
     }
 
+    /// Serializes the tag array into `out`: the probe tick followed by
+    /// every valid way as `(way index, tag, LRU stamp, dirty flag)`, all
+    /// little-endian. In-flight state (`ready_at`) is deliberately *not*
+    /// captured — warm images are taken from functional warming, where all
+    /// fills complete instantly, and restore targets a core whose cycle
+    /// counter restarts at 0 (see [`Cache::quiesce`]).
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.tick.to_le_bytes());
+        let valid = self.ways.iter().filter(|w| w.valid).count() as u64;
+        out.extend_from_slice(&valid.to_le_bytes());
+        for (i, w) in self.ways.iter().enumerate() {
+            if w.valid {
+                out.extend_from_slice(&(i as u32).to_le_bytes());
+                out.extend_from_slice(&w.tag.to_le_bytes());
+                out.extend_from_slice(&w.lru.to_le_bytes());
+                out.push(w.dirty as u8);
+            }
+        }
+    }
+
+    /// Restores a [`Cache::save_state`] image into this cache, consuming
+    /// bytes from `b` starting at `*off` and advancing it past the image.
+    ///
+    /// Returns `None` (leaving the cache in an unspecified state) if the
+    /// image is truncated, a way index is out of range for this geometry,
+    /// or a flag byte is malformed.
+    pub fn load_state(&mut self, b: &[u8], off: &mut usize) -> Option<()> {
+        let mut take = |n: usize| -> Option<&[u8]> {
+            let s = b.get(*off..*off + n)?;
+            *off += n;
+            Some(s)
+        };
+        self.tick = u64::from_le_bytes(take(8)?.try_into().ok()?);
+        let valid = u64::from_le_bytes(take(8)?.try_into().ok()?);
+        for w in &mut self.ways {
+            *w = Way::default();
+        }
+        for _ in 0..valid {
+            let idx = u32::from_le_bytes(take(4)?.try_into().ok()?) as usize;
+            let tag = u64::from_le_bytes(take(8)?.try_into().ok()?);
+            let lru = u64::from_le_bytes(take(8)?.try_into().ok()?);
+            let dirty = match take(1)?[0] {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+            if idx >= self.ways.len() {
+                return None;
+            }
+            self.ways[idx] = Way { tag, valid: true, dirty, lru, ready_at: 0 };
+        }
+        Some(())
+    }
+
     /// Read-only structural self-check for the `--sanitize` mode: every
     /// valid line must map to the set holding it, a set must not hold the
     /// same line twice, and LRU stamps can never run ahead of the probe

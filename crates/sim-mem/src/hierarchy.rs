@@ -505,6 +505,48 @@ impl MemoryHierarchy {
         }
     }
 
+    /// Serializes the warm cache state — the three tag arrays, nothing
+    /// else — as a magic-prefixed little-endian image for a sampling
+    /// checkpoint ([`MemoryHierarchy::from_warm_state`] restores it).
+    ///
+    /// Only meaningful on a hierarchy whose state comes purely from
+    /// functional warming ([`MemoryHierarchy::warm_touch`]): warming
+    /// engages no MSHRs, DRAM calendar slots, pending-prefetch tracking,
+    /// or statistics, so the tag arrays *are* the whole warm state.
+    pub fn warm_state_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&WARM_STATE_MAGIC.to_le_bytes());
+        self.l1.save_state(&mut out);
+        self.l2.save_state(&mut out);
+        self.l3.save_state(&mut out);
+        out
+    }
+
+    /// Builds a fresh hierarchy under `cfg` with the warm cache state of a
+    /// [`MemoryHierarchy::warm_state_bytes`] image installed: tags, LRU
+    /// order, and dirty bits are restored; MSHRs, DRAM, prefetch tracking,
+    /// and statistics start empty, exactly as after the functional pass
+    /// that produced the image.
+    ///
+    /// Returns `None` if the image is malformed, was produced under a
+    /// different cache geometry, or carries trailing bytes.
+    pub fn from_warm_state(cfg: HierarchyConfig, b: &[u8]) -> Option<Self> {
+        let mut h = MemoryHierarchy::new(cfg);
+        let mut off = 0usize;
+        let magic = u32::from_le_bytes(b.get(..4)?.try_into().ok()?);
+        if magic != WARM_STATE_MAGIC {
+            return None;
+        }
+        off += 4;
+        h.l1.load_state(b, &mut off)?;
+        h.l2.load_state(b, &mut off)?;
+        h.l3.load_state(b, &mut off)?;
+        if off != b.len() {
+            return None;
+        }
+        Some(h)
+    }
+
     /// Drains all in-flight timing state at a sampling interval boundary:
     /// cache fills settle ([`Cache::quiesce`]), outstanding MSHRs release
     /// ([`MshrFile::quiesce`]), and the DRAM calendar empties
@@ -561,6 +603,10 @@ enum Tier {
     L2,
     L3,
 }
+
+/// `"DVRH"`: magic prefix of a warm-hierarchy image
+/// ([`MemoryHierarchy::warm_state_bytes`]).
+pub const WARM_STATE_MAGIC: u32 = 0x4456_5248;
 
 #[cfg(test)]
 mod tests {
@@ -806,6 +852,57 @@ mod tests {
         }
         assert_eq!(m.stats().dram_writebacks, 0);
         assert!(m.check_invariants(0, true).is_empty());
+    }
+
+    #[test]
+    fn warm_state_roundtrips_and_behaves_identically() {
+        let mut m = hier();
+        // A mix of loads and stores with enough distinct lines for evictions.
+        for i in 0..40_000u64 {
+            m.warm_touch(i * 192, i % 7 == 0);
+        }
+        let bytes = m.warm_state_bytes();
+        let mut r = MemoryHierarchy::from_warm_state(HierarchyConfig::default(), &bytes)
+            .expect("warm image restores");
+        // Identical residency and a byte-identical re-serialization.
+        assert_eq!(r.l1().resident_lines(), m.l1().resident_lines());
+        assert_eq!(r.l3().resident_lines(), m.l3().resident_lines());
+        assert_eq!(r.warm_state_bytes(), bytes);
+        // Restored hierarchy starts with clean dynamic state...
+        assert_eq!(r.stats().demand_loads, 0);
+        assert_eq!(r.mshr_busy_integral(), 0);
+        assert_eq!(r.dram_calendar_depth(), 0);
+        // ...and identical demand behavior from the warm tags.
+        let a = m.load(0, 999 * 192, AccessClass::Demand);
+        let b = r.load(0, 999 * 192, AccessClass::Demand);
+        assert_eq!((a.level, a.complete_at), (b.level, b.complete_at));
+        assert!(r.check_invariants(0, true).is_empty());
+    }
+
+    #[test]
+    fn warm_state_rejects_corrupt_and_mismatched_images() {
+        let mut m = hier();
+        m.warm_touch(0x4000, true);
+        let bytes = m.warm_state_bytes();
+        assert!(MemoryHierarchy::from_warm_state(HierarchyConfig::default(), &bytes[1..]).is_none());
+        let mut truncated = bytes.clone();
+        truncated.pop();
+        assert!(MemoryHierarchy::from_warm_state(HierarchyConfig::default(), &truncated).is_none());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(MemoryHierarchy::from_warm_state(HierarchyConfig::default(), &trailing).is_none());
+        // A smaller geometry makes the saved way indices out of range.
+        let tiny = HierarchyConfig {
+            l1: CacheConfig { size_bytes: 4 * crate::LINE_BYTES, assoc: 1, latency: 1 },
+            l2: CacheConfig { size_bytes: 8 * crate::LINE_BYTES, assoc: 1, latency: 2 },
+            l3: CacheConfig { size_bytes: 16 * crate::LINE_BYTES, assoc: 1, latency: 3 },
+            ..HierarchyConfig::default()
+        };
+        let mut big = hier();
+        for i in 0..100_000u64 {
+            big.warm_touch(i * 64, false);
+        }
+        assert!(MemoryHierarchy::from_warm_state(tiny, &big.warm_state_bytes()).is_none());
     }
 
     #[test]

@@ -47,7 +47,8 @@ pub use cache::{Cache, CacheConfig};
 pub use dram::{Dram, DramConfig};
 pub use fault::{FaultConfig, FaultEvent, FaultKind};
 pub use hierarchy::{
-    Access, AccessClass, HierarchyConfig, HitLevel, MemoryHierarchy, PrefetchResult, PrefetchSource,
+    Access, AccessClass, HierarchyConfig, HitLevel, MemoryHierarchy, PrefetchResult,
+    PrefetchSource, WARM_STATE_MAGIC,
 };
 pub use imp::{ImpConfig, ImpPrefetcher};
 pub use mshr::MshrFile;

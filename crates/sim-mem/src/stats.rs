@@ -42,7 +42,7 @@ const SOURCES: usize = PrefetchSource::COUNT;
 ///
 /// All counts are events, not rates; the harness divides by cycles or
 /// instructions as the figures require.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct MemStats {
     /// Demand loads issued.
     pub demand_loads: u64,
@@ -82,6 +82,68 @@ pub struct MemStats {
 }
 
 impl MemStats {
+    /// Length of the [`MemStats::to_flat`] encoding.
+    pub const FLAT_LEN: usize = 14 + 8 * SOURCES;
+
+    /// Flattens every counter into a fixed-order `u64` array — the wire
+    /// format of the sample-worker protocol and the basis of
+    /// [`MemStats::accumulate`]. All counters are event counts, so the
+    /// encoding is lossless and summable.
+    pub fn to_flat(&self) -> Vec<u64> {
+        let mut v = Vec::with_capacity(Self::FLAT_LEN);
+        v.extend([self.demand_loads, self.demand_stores]);
+        v.extend(self.demand_hits);
+        v.extend([self.demand_inflight, self.demand_latency_sum, self.dram_demand]);
+        v.extend(self.dram_prefetch);
+        v.push(self.dram_writebacks);
+        v.extend(self.prefetch_issued);
+        v.extend(self.prefetch_dropped);
+        v.extend(self.prefetch_found.iter().flatten());
+        v.extend(self.prefetch_unused);
+        v.extend([
+            self.injected_drops,
+            self.injected_delays,
+            self.injected_poisons,
+            self.injected_fatal,
+        ]);
+        debug_assert_eq!(v.len(), Self::FLAT_LEN);
+        v
+    }
+
+    /// Rebuilds a `MemStats` from a [`MemStats::to_flat`] array; `None` if
+    /// the length is wrong.
+    pub fn from_flat(v: &[u64]) -> Option<Self> {
+        if v.len() != Self::FLAT_LEN {
+            return None;
+        }
+        let mut it = v.iter().copied();
+        let mut next = || it.next().expect("length checked");
+        let mut s = MemStats { demand_loads: next(), demand_stores: next(), ..MemStats::default() };
+        s.demand_hits = std::array::from_fn(|_| next());
+        s.demand_inflight = next();
+        s.demand_latency_sum = next();
+        s.dram_demand = next();
+        s.dram_prefetch = std::array::from_fn(|_| next());
+        s.dram_writebacks = next();
+        s.prefetch_issued = std::array::from_fn(|_| next());
+        s.prefetch_dropped = std::array::from_fn(|_| next());
+        s.prefetch_found = std::array::from_fn(|_| std::array::from_fn(|_| next()));
+        s.prefetch_unused = std::array::from_fn(|_| next());
+        s.injected_drops = next();
+        s.injected_delays = next();
+        s.injected_poisons = next();
+        s.injected_fatal = next();
+        Some(s)
+    }
+
+    /// Adds every counter of `other` into `self` — merging the per-period
+    /// statistics of independently measured sampling intervals.
+    pub fn accumulate(&mut self, other: &MemStats) {
+        let sum: Vec<u64> =
+            self.to_flat().iter().zip(other.to_flat()).map(|(a, b)| a + b).collect();
+        *self = MemStats::from_flat(&sum).expect("same length by construction");
+    }
+
     /// Average latency observed by demand loads, in cycles.
     pub fn avg_demand_latency(&self) -> f64 {
         if self.demand_loads == 0 {
@@ -177,6 +239,23 @@ mod tests {
         let s = MemStats::default();
         assert!(s.timeliness(PrefetchSource::Stride).is_none());
         assert!(s.accuracy(PrefetchSource::Stride).is_none());
+    }
+
+    #[test]
+    fn flat_encoding_roundtrips_and_accumulates() {
+        let mut a = MemStats { demand_loads: 7, demand_hits: [1, 2, 3, 4], ..Default::default() };
+        a.dram_prefetch[PrefetchSource::Dvr.index()] = 5;
+        a.prefetch_found[PrefetchSource::Vr.index()][2] = 9;
+        a.injected_fatal = 1;
+        let flat = a.to_flat();
+        assert_eq!(flat.len(), MemStats::FLAT_LEN);
+        let b = MemStats::from_flat(&flat).unwrap();
+        assert_eq!(b.to_flat(), flat);
+        let mut sum = a.clone();
+        sum.accumulate(&b);
+        assert_eq!(sum.demand_loads, 14);
+        assert_eq!(sum.prefetch_found[PrefetchSource::Vr.index()][2], 18);
+        assert!(MemStats::from_flat(&flat[1..]).is_none());
     }
 
     #[test]

@@ -37,6 +37,10 @@ impl Default for TageConfig {
     }
 }
 
+/// `"DVRT"`: magic prefix of a serialized predictor image
+/// ([`TagePredictor::state_bytes`]).
+pub const TAGE_STATE_MAGIC: u32 = 0x4456_5254;
+
 #[derive(Clone, Copy, Debug, Default)]
 struct TaggedEntry {
     tag: u16,
@@ -228,6 +232,83 @@ impl TagePredictor {
         self.ghist = (self.ghist << 1) | (taken as u128);
     }
 
+    /// Serializes the complete predictor state — configuration, bimodal
+    /// base, tagged tables, loop predictor, global history, and counters —
+    /// as a magic-prefixed little-endian image for a sampling checkpoint.
+    ///
+    /// [`TagePredictor::from_state_bytes`] restores it exactly: prediction
+    /// behavior after restore is indistinguishable from the original.
+    pub fn state_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&TAGE_STATE_MAGIC.to_le_bytes());
+        out.extend_from_slice(&self.cfg.base_bits.to_le_bytes());
+        out.extend_from_slice(&self.cfg.tagged_bits.to_le_bytes());
+        out.extend_from_slice(&self.cfg.tag_bits.to_le_bytes());
+        for hl in self.cfg.history_lengths {
+            out.extend_from_slice(&hl.to_le_bytes());
+        }
+        out.extend_from_slice(&self.ghist.to_le_bytes());
+        out.extend_from_slice(&self.tick.to_le_bytes());
+        out.extend_from_slice(&self.lookups.to_le_bytes());
+        out.extend_from_slice(&self.mispredicts.to_le_bytes());
+        out.extend_from_slice(&self.base);
+        for table in &self.tables {
+            for e in table {
+                out.extend_from_slice(&e.tag.to_le_bytes());
+                out.push(e.ctr as u8);
+                out.push(e.useful);
+            }
+        }
+        self.loop_pred.save_state(&mut out);
+        out
+    }
+
+    /// Rebuilds a predictor from a [`TagePredictor::state_bytes`] image.
+    /// Returns `None` if the image is truncated, has a bad magic number,
+    /// an implausible configuration, or trailing bytes.
+    pub fn from_state_bytes(b: &[u8]) -> Option<Self> {
+        let mut off = 0usize;
+        let mut take = |n: usize| -> Option<&[u8]> {
+            let s = b.get(off..off + n)?;
+            off += n;
+            Some(s)
+        };
+        let magic = u32::from_le_bytes(take(4)?.try_into().ok()?);
+        if magic != TAGE_STATE_MAGIC {
+            return None;
+        }
+        let base_bits = u32::from_le_bytes(take(4)?.try_into().ok()?);
+        let tagged_bits = u32::from_le_bytes(take(4)?.try_into().ok()?);
+        let tag_bits = u32::from_le_bytes(take(4)?.try_into().ok()?);
+        if base_bits > 24 || tagged_bits > 24 || tag_bits == 0 || tag_bits > 16 {
+            return None;
+        }
+        let mut history_lengths = [0u32; 4];
+        for hl in &mut history_lengths {
+            *hl = u32::from_le_bytes(take(4)?.try_into().ok()?);
+        }
+        let cfg = TageConfig { base_bits, tagged_bits, tag_bits, history_lengths };
+        let mut bp = TagePredictor::new(cfg);
+        bp.ghist = u128::from_le_bytes(take(16)?.try_into().ok()?);
+        bp.tick = u64::from_le_bytes(take(8)?.try_into().ok()?);
+        bp.lookups = u64::from_le_bytes(take(8)?.try_into().ok()?);
+        bp.mispredicts = u64::from_le_bytes(take(8)?.try_into().ok()?);
+        bp.base.copy_from_slice(take(1 << base_bits)?);
+        for t in 0..4 {
+            for i in 0..1usize << tagged_bits {
+                let tag = u16::from_le_bytes(take(2)?.try_into().ok()?);
+                let ctr = take(1)?[0] as i8;
+                let useful = take(1)?[0];
+                bp.tables[t][i] = TaggedEntry { tag, ctr, useful };
+            }
+        }
+        bp.loop_pred = crate::loop_pred::LoopPredictor::from_state(b, &mut off)?;
+        if off != b.len() {
+            return None;
+        }
+        Some(bp)
+    }
+
     /// Number of predictions made.
     pub fn lookups(&self) -> u64 {
         self.lookups
@@ -326,6 +407,47 @@ mod tests {
             }
         }
         assert!(correct as f64 / total as f64 > 0.98);
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_prediction_behavior() {
+        let mut bp = TagePredictor::default();
+        // Train a mix of patterns, including a stable-trip loop so the
+        // loop predictor carries state too.
+        let mut pattern = vec![true; 9];
+        pattern.push(false);
+        run_pattern(&mut bp, 0x20, &pattern, 200);
+        run_pattern(&mut bp, 0x60, &[true, false], 300);
+        let bytes = bp.state_bytes();
+        let mut restored = TagePredictor::from_state_bytes(&bytes).expect("image parses");
+        assert_eq!(restored.state_bytes(), bytes, "re-serialization is byte-identical");
+        assert_eq!(restored.lookups(), bp.lookups());
+        assert_eq!(restored.mispredicts(), bp.mispredicts());
+        // Both predictors must stay in lockstep on fresh traffic.
+        for rep in 0..50 {
+            for (pc, &actual) in [(0x20usize, &pattern[rep % 10]), (0x60, &(rep % 2 == 0))] {
+                let a = bp.predict(pc);
+                let b = restored.predict(pc);
+                assert_eq!(a, b, "pc {pc:#x} rep {rep}");
+                bp.update(pc, actual, a);
+                restored.update(pc, actual, b);
+            }
+        }
+        assert_eq!(restored.state_bytes(), bp.state_bytes());
+    }
+
+    #[test]
+    fn corrupt_state_images_are_rejected() {
+        let bp = TagePredictor::default();
+        let bytes = bp.state_bytes();
+        assert!(TagePredictor::from_state_bytes(&bytes[1..]).is_none());
+        assert!(TagePredictor::from_state_bytes(&bytes[..bytes.len() - 1]).is_none());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(TagePredictor::from_state_bytes(&trailing).is_none());
+        let mut bad_magic = bytes;
+        bad_magic[0] ^= 0xFF;
+        assert!(TagePredictor::from_state_bytes(&bad_magic).is_none());
     }
 
     #[test]

@@ -28,7 +28,7 @@ mod loop_pred;
 mod sanitize;
 mod stats;
 
-pub use branch::{TageConfig, TagePredictor};
+pub use branch::{TageConfig, TagePredictor, TAGE_STATE_MAGIC};
 pub use config::CoreConfig;
 pub use core::{DynInst, OooCore};
 pub use engine::{ArchSnapshot, EngineCtx, NullEngine, RunaheadEngine};

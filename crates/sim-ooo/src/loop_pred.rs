@@ -74,6 +74,46 @@ impl LoopPredictor {
         Some(e.current + 1 < e.trip + 1 && e.current < e.trip)
     }
 
+    /// Serializes the table for a sampling checkpoint (little-endian,
+    /// appended to `out`); [`LoopPredictor::from_state`] restores it.
+    pub(crate) fn save_state(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.index_bits.to_le_bytes());
+        for e in &self.entries {
+            out.extend_from_slice(&e.tag.to_le_bytes());
+            out.extend_from_slice(&e.trip.to_le_bytes());
+            out.extend_from_slice(&e.current.to_le_bytes());
+            out.push(e.confidence);
+            out.push(e.valid as u8);
+        }
+    }
+
+    /// Rebuilds a predictor from a [`LoopPredictor::save_state`] image,
+    /// consuming bytes from `b` at `*off`. `None` on a malformed image.
+    pub(crate) fn from_state(b: &[u8], off: &mut usize) -> Option<Self> {
+        let mut take = |n: usize| -> Option<&[u8]> {
+            let s = b.get(*off..*off + n)?;
+            *off += n;
+            Some(s)
+        };
+        let index_bits = u32::from_le_bytes(take(4)?.try_into().ok()?);
+        if index_bits > 16 {
+            return None;
+        }
+        let mut lp = LoopPredictor::new(index_bits);
+        for e in &mut lp.entries {
+            e.tag = u16::from_le_bytes(take(2)?.try_into().ok()?);
+            e.trip = u32::from_le_bytes(take(4)?.try_into().ok()?);
+            e.current = u32::from_le_bytes(take(4)?.try_into().ok()?);
+            e.confidence = take(1)?[0];
+            e.valid = match take(1)?[0] {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+        }
+        Some(lp)
+    }
+
     /// Trains on the actual outcome.
     pub fn update(&mut self, pc: usize, taken: bool) {
         let slot = self.slot(pc);

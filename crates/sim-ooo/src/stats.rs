@@ -1,7 +1,7 @@
 //! Core-level statistics.
 
 /// Counters accumulated by [`OooCore`](crate::OooCore) over a run.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct CoreStats {
     /// Cycles simulated.
     pub cycles: u64,
@@ -29,6 +29,44 @@ pub struct CoreStats {
 }
 
 impl CoreStats {
+    /// Length of the [`CoreStats::to_flat`] encoding.
+    pub const FLAT_LEN: usize = 10;
+
+    /// Flattens the counters into a fixed-order array — the wire format of
+    /// the sample-worker protocol.
+    pub fn to_flat(&self) -> [u64; Self::FLAT_LEN] {
+        [
+            self.cycles,
+            self.committed,
+            self.rob_full_stall_cycles,
+            self.full_rob_stall_events,
+            self.commit_blocked_engine_cycles,
+            self.cond_branches,
+            self.branch_mispredicts,
+            self.loads,
+            self.stores,
+            self.store_forwards,
+        ]
+    }
+
+    /// Rebuilds from a [`CoreStats::to_flat`] array; `None` if the length
+    /// is wrong.
+    pub fn from_flat(v: &[u64]) -> Option<Self> {
+        let v: &[u64; Self::FLAT_LEN] = v.try_into().ok()?;
+        Some(CoreStats {
+            cycles: v[0],
+            committed: v[1],
+            rob_full_stall_cycles: v[2],
+            full_rob_stall_events: v[3],
+            commit_blocked_engine_cycles: v[4],
+            cond_branches: v[5],
+            branch_mispredicts: v[6],
+            loads: v[7],
+            stores: v[8],
+            store_forwards: v[9],
+        })
+    }
+
     /// Committed instructions per cycle.
     pub fn ipc(&self) -> f64 {
         if self.cycles == 0 {

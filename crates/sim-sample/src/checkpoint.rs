@@ -1,0 +1,170 @@
+//! Versioned per-period checkpoints for checkpoint-parallel sampling.
+//!
+//! Phase 1 of the sampling pipeline ([`emit_checkpoints`]) serializes one
+//! [`PeriodCheckpoint`] per period at the point where that period's
+//! detailed warmup begins. A checkpoint is everything phase 2 needs to
+//! measure the period in isolation — in another thread, or another
+//! process entirely:
+//!
+//! * the architectural CPU state ([`sim_isa::CpuCheckpoint`]),
+//! * the dirty-page memory delta against the workload's pristine image
+//!   ([`sim_isa::MemoryCheckpoint`]),
+//! * the warm cache tag arrays
+//!   ([`sim_mem::MemoryHierarchy::warm_state_bytes`]), and
+//! * the warm branch-predictor image
+//!   ([`sim_ooo::TagePredictor::state_bytes`]).
+//!
+//! The byte format follows the repository's checkpoint convention: a
+//! magic-prefixed little-endian image with exact-length validation, plus
+//! a version word so future layout changes fail loudly instead of
+//! misparsing.
+//!
+//! [`emit_checkpoints`]: crate::emit_checkpoints
+
+use sim_isa::{CpuCheckpoint, MemoryCheckpoint};
+
+/// `"DVRP"`: magic prefix of a serialized [`PeriodCheckpoint`].
+pub const PERIOD_CKPT_MAGIC: u32 = 0x4456_5250;
+
+/// Current layout version of the [`PeriodCheckpoint`] byte format.
+pub const PERIOD_CKPT_VERSION: u32 = 1;
+
+/// Everything needed to measure one sampling period in isolation.
+#[derive(Clone, Debug)]
+pub struct PeriodCheckpoint {
+    /// Period number `k` (merge key: results are combined in `index`
+    /// order regardless of completion order).
+    pub index: u64,
+    /// Absolute retirement count at which the measured interval starts;
+    /// the checkpoint itself is taken `warmup` instructions earlier.
+    pub measure_at: u64,
+    /// Architectural CPU state at the warmup start.
+    pub cpu: CpuCheckpoint,
+    /// Dirty-page delta of the memory image against the workload's
+    /// pristine base at the warmup start.
+    pub mem: MemoryCheckpoint,
+    /// Warm cache tag arrays ([`sim_mem::MemoryHierarchy::warm_state_bytes`]).
+    pub warm_mem: Vec<u8>,
+    /// Warm branch-predictor image ([`sim_ooo::TagePredictor::state_bytes`]).
+    pub warm_bp: Vec<u8>,
+}
+
+fn put_blob(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u64).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn take<'a>(b: &'a [u8], off: &mut usize, n: usize) -> Option<&'a [u8]> {
+    let s = b.get(*off..*off + n)?;
+    *off += n;
+    Some(s)
+}
+
+fn take_u32(b: &[u8], off: &mut usize) -> Option<u32> {
+    Some(u32::from_le_bytes(take(b, off, 4)?.try_into().ok()?))
+}
+
+fn take_u64(b: &[u8], off: &mut usize) -> Option<u64> {
+    Some(u64::from_le_bytes(take(b, off, 8)?.try_into().ok()?))
+}
+
+fn take_blob<'a>(b: &'a [u8], off: &mut usize) -> Option<&'a [u8]> {
+    let len = take_u64(b, off)?;
+    take(b, off, usize::try_from(len).ok()?)
+}
+
+impl PeriodCheckpoint {
+    /// Serializes to the versioned little-endian image.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&PERIOD_CKPT_MAGIC.to_le_bytes());
+        out.extend_from_slice(&PERIOD_CKPT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.index.to_le_bytes());
+        out.extend_from_slice(&self.measure_at.to_le_bytes());
+        put_blob(&mut out, &self.cpu.to_bytes());
+        put_blob(&mut out, &self.mem.to_bytes());
+        put_blob(&mut out, &self.warm_mem);
+        put_blob(&mut out, &self.warm_bp);
+        out
+    }
+
+    /// Parses a [`PeriodCheckpoint::to_bytes`] image. Returns `None` on a
+    /// bad magic number, unknown version, truncation, trailing bytes, or
+    /// an embedded image that fails its own validation.
+    pub fn from_bytes(b: &[u8]) -> Option<Self> {
+        let mut off = 0usize;
+        if take_u32(b, &mut off)? != PERIOD_CKPT_MAGIC {
+            return None;
+        }
+        if take_u32(b, &mut off)? != PERIOD_CKPT_VERSION {
+            return None;
+        }
+        let index = take_u64(b, &mut off)?;
+        let measure_at = take_u64(b, &mut off)?;
+        let cpu = CpuCheckpoint::from_bytes(take_blob(b, &mut off)?)?;
+        let mem = MemoryCheckpoint::from_bytes(take_blob(b, &mut off)?)?;
+        let warm_mem = take_blob(b, &mut off)?.to_vec();
+        let warm_bp = take_blob(b, &mut off)?.to_vec();
+        if off != b.len() {
+            return None;
+        }
+        Some(PeriodCheckpoint { index, measure_at, cpu, mem, warm_mem, warm_bp })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_isa::{Cpu, SparseMemory};
+    use sim_mem::{HierarchyConfig, MemoryHierarchy};
+    use sim_ooo::TagePredictor;
+
+    fn sample_checkpoint() -> PeriodCheckpoint {
+        let mut cpu = Cpu::new();
+        let mut mem = SparseMemory::new();
+        mem.write_u64(0x1000, 0xDEAD_BEEF);
+        let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
+        hier.warm_touch(0x1000, true);
+        let mut bp = TagePredictor::default();
+        let p = bp.predict(0x40);
+        bp.update(0x40, true, p);
+        cpu.run_warming(
+            &sim_isa::parse_program("halt\n").unwrap(),
+            &mut mem,
+            1,
+            &mut sim_isa::NullWarmSink,
+        )
+        .unwrap();
+        PeriodCheckpoint {
+            index: 3,
+            measure_at: 12_345,
+            cpu: cpu.checkpoint(),
+            mem: mem.checkpoint_delta(&SparseMemory::new()),
+            warm_mem: hier.warm_state_bytes(),
+            warm_bp: bp.state_bytes(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_byte_identical() {
+        let ck = sample_checkpoint();
+        let bytes = ck.to_bytes();
+        let back = PeriodCheckpoint::from_bytes(&bytes).expect("image parses");
+        assert_eq!(back.to_bytes(), bytes);
+        assert_eq!(back.index, 3);
+        assert_eq!(back.measure_at, 12_345);
+    }
+
+    #[test]
+    fn corrupt_images_are_rejected() {
+        let bytes = sample_checkpoint().to_bytes();
+        assert!(PeriodCheckpoint::from_bytes(&bytes[1..]).is_none(), "bad magic");
+        assert!(PeriodCheckpoint::from_bytes(&bytes[..bytes.len() - 1]).is_none(), "truncated");
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(PeriodCheckpoint::from_bytes(&trailing).is_none(), "trailing bytes");
+        let mut wrong_version = bytes;
+        wrong_version[4] ^= 0xFF;
+        assert!(PeriodCheckpoint::from_bytes(&wrong_version).is_none(), "unknown version");
+    }
+}

@@ -1,5 +1,22 @@
-//! The sampling driver: alternates fast-forward, warmup, and measured
-//! detailed intervals over one program.
+//! The checkpoint-parallel sampling driver.
+//!
+//! Sampling is a two-phase pipeline:
+//!
+//! 1. **Emit** ([`emit_checkpoints`]): one functional fast-forward pass
+//!    over the whole region of interest, warming cache tags and
+//!    branch-predictor tables as it goes, which serializes a
+//!    [`PeriodCheckpoint`] at every period's warmup start.
+//! 2. **Measure** ([`measure_period`]): every (warmup + measured)
+//!    interval restores its checkpoint into a fresh engine and runs
+//!    independently of every other period — in this thread, a worker
+//!    thread, or another process entirely.
+//!
+//! [`merge_periods`] combines the per-period results in period order
+//! into a [`SampledRun`]; because each period is a pure function of its
+//! checkpoint, the merged result is byte-identical no matter where or in
+//! what order the periods ran. [`run_sampled`] composes the three steps
+//! serially and is the reference against which every parallel dispatch
+//! is checked.
 
 use std::error::Error;
 use std::fmt;
@@ -8,6 +25,7 @@ use sim_isa::{Cpu, ExecError, Program, SparseMemory};
 use sim_mem::{HierarchyConfig, MemStats, MemoryHierarchy};
 use sim_ooo::{CoreConfig, CoreStats, OooCore, RunaheadEngine, SimError, TagePredictor};
 
+use crate::checkpoint::PeriodCheckpoint;
 use crate::config::{Placement, SampleConfig};
 use crate::rng::SplitMix64;
 use crate::stats::{IntervalStat, SampledReport};
@@ -22,6 +40,10 @@ pub enum SampleError {
     Exec(ExecError),
     /// A detailed interval failed.
     Sim(SimError),
+    /// A period checkpoint failed to serialize or restore.
+    Checkpoint(String),
+    /// A sample worker (thread or process) died or produced garbage.
+    Worker(String),
 }
 
 impl fmt::Display for SampleError {
@@ -30,6 +52,8 @@ impl fmt::Display for SampleError {
             SampleError::Config(msg) => write!(f, "invalid sample config: {msg}"),
             SampleError::Exec(e) => write!(f, "fast-forward fault: {e}"),
             SampleError::Sim(e) => write!(f, "detailed interval failed: {e}"),
+            SampleError::Checkpoint(msg) => write!(f, "bad period checkpoint: {msg}"),
+            SampleError::Worker(msg) => write!(f, "sample worker failed: {msg}"),
         }
     }
 }
@@ -66,6 +90,45 @@ pub struct SampledRun {
     pub halted: bool,
 }
 
+/// Output of the emit phase: the per-period checkpoints plus the
+/// whole-region facts only the full functional pass knows.
+#[derive(Clone, Debug)]
+pub struct EmitResult {
+    /// One checkpoint per period whose warmup start lies inside the
+    /// region of interest, in period order.
+    pub checkpoints: Vec<PeriodCheckpoint>,
+    /// Instructions the functional pass retired (the whole region of
+    /// interest, or less if the program halted first).
+    pub total_retired: u64,
+    /// Whether the program halted inside the region of interest.
+    pub halted: bool,
+}
+
+/// The integer-only measurement of one period — everything
+/// [`merge_periods`] needs, in a form that survives a JSON round-trip
+/// through a worker process bit-exactly (no floats cross the wire;
+/// derived rates are recomputed at merge time).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PeriodResult {
+    /// Period number (the merge key).
+    pub index: u64,
+    /// Functional frontier at the start of the measured interval
+    /// (0 when `measured` is false).
+    pub start_retired: u64,
+    /// Instructions committed by the discarded detailed warmup.
+    pub warmup_committed: u64,
+    /// MSHR-occupancy integral over the measured interval.
+    pub mshr_integral: u64,
+    /// Whether the measured interval actually ran (false when the
+    /// program halted inside the warmup or the region ended first).
+    pub measured: bool,
+    /// Core counters of the measured interval only.
+    pub core: CoreStats,
+    /// Hierarchy counters of this period's detailed execution
+    /// (warmup + measured), finalized.
+    pub mem: MemStats,
+}
+
 fn accumulate(into: &mut CoreStats, s: &CoreStats) {
     into.cycles += s.cycles;
     into.committed += s.committed;
@@ -97,36 +160,27 @@ fn delta(after: &CoreStats, before: &CoreStats) -> CoreStats {
     }
 }
 
-/// Runs `prog` sampled: functional fast-forward with warming between
-/// seeded detailed intervals, per [`SampleConfig`].
+/// Phase 1: one functional fast-forward pass over the region of interest
+/// that emits a [`PeriodCheckpoint`] at every period's warmup start.
 ///
-/// One architectural thread (CPU + memory image) runs the whole program
-/// exactly once; only the fraction inside detailed intervals pays
-/// cycle-level cost. `make_engine` supplies a fresh runahead engine per
-/// detailed interval — engine state (including DVR's runahead subthread)
-/// dies with its interval, which is how the engine "quiesces cleanly" at
-/// interval boundaries. The hierarchy and branch predictor stay warm
-/// across the run; in-flight hierarchy timing drains at each boundary
-/// ([`MemoryHierarchy::quiesce`]).
-///
-/// Everything is deterministic: same program, configs, and seed produce a
-/// bit-identical [`SampledRun`] regardless of host or thread count.
+/// The pass warms cache tags and branch-predictor tables continuously —
+/// including through the windows the detailed phase will re-execute — so
+/// each checkpoint's warm state is a pure function of the instruction
+/// stream up to its warmup start, independent of how any other period is
+/// later measured. Interval placement draws from the same seeded
+/// [`SplitMix64`] stream in the same order for every placement policy,
+/// so checkpoint positions are deterministic.
 ///
 /// # Errors
 ///
-/// [`SampleError::Config`] for inconsistent configurations, otherwise the
-/// first fast-forward or detailed-interval failure.
-pub fn run_sampled<F>(
+/// [`SampleError::Config`] for inconsistent configurations, otherwise
+/// the first fast-forward fault.
+pub fn emit_checkpoints(
     prog: &Program,
     base_mem: &SparseMemory,
-    core_cfg: CoreConfig,
     hier_cfg: HierarchyConfig,
     scfg: &SampleConfig,
-    mut make_engine: F,
-) -> Result<SampledRun, SampleError>
-where
-    F: FnMut() -> Box<dyn RunaheadEngine>,
-{
+) -> Result<EmitResult, SampleError> {
     scfg.validate().map_err(SampleError::Config)?;
 
     let mut mem = base_mem.clone();
@@ -142,11 +196,7 @@ where
     let slack = scfg.period - scfg.warmup - scfg.interval;
     let systematic_off = scfg.warmup + rng.next_below(slack + 1);
 
-    let mut intervals = Vec::new();
-    let mut agg = CoreStats::default();
-    let mut warmup_total = 0u64;
-    let mut measured_integral = 0u64;
-
+    let mut checkpoints = Vec::new();
     for k in 0..scfg.periods() {
         if cpu.is_halted() {
             break;
@@ -160,7 +210,10 @@ where
             break;
         }
 
-        // 1. Functional fast-forward (with warming) to the warmup start.
+        // Fast-forward (with warming) to the warmup start. `warm_at` is
+        // strictly increasing across periods (it lies in
+        // [k*period, (k+1)*period - interval - warmup]), so the frontier
+        // never has to move backwards.
         let warm_at = measure_at - scfg.warmup;
         if cpu.retired() < warm_at {
             let todo = warm_at - cpu.retired();
@@ -170,45 +223,14 @@ where
                 break;
             }
         }
-
-        // 2+3. One detailed core per period: the discarded warmup and the
-        // measured interval share it (via resumable segments), so
-        // measurement starts from the warm pipeline the warmup filled
-        // instead of charging every interval a pipeline refill. The
-        // previous period's frontier may already have overshot into (or
-        // past) the warmup window, so budgets are relative to the actual
-        // position.
-        hier.quiesce();
-        let mut core = OooCore::with_state(core_cfg, cpu, bp);
-        let mut engine = make_engine();
-        let warmup_budget = measure_at.saturating_sub(core.functional_retired());
-        if warmup_budget > 0 {
-            core.run_segment(prog, &mut mem, &mut hier, engine.as_mut(), warmup_budget)?;
-        }
-        let warm_snap = *core.stats();
-        warmup_total += warm_snap.committed;
-        // A commit shortfall means the program halted inside the warmup.
-        let budget = scfg.interval.min(roi.saturating_sub(core.functional_retired()));
-        if warm_snap.committed < warmup_budget || budget == 0 {
-            (cpu, bp) = core.into_state();
-            break;
-        }
-
-        let integral_before = hier.mshr_busy_integral();
-        let start_retired = core.functional_retired();
-        core.run_segment(prog, &mut mem, &mut hier, engine.as_mut(), budget)?;
-        let st = delta(core.stats(), &warm_snap);
-        let integral_delta = hier.mshr_busy_integral() - integral_before;
-        intervals.push(IntervalStat {
-            start_retired,
-            committed: st.committed,
-            cycles: st.cycles,
-            ipc: st.ipc(),
-            mlp: integral_delta as f64 / st.cycles.max(1) as f64,
+        checkpoints.push(PeriodCheckpoint {
+            index: k,
+            measure_at,
+            cpu: cpu.checkpoint(),
+            mem: mem.checkpoint_delta(base_mem),
+            warm_mem: hier.warm_state_bytes(),
+            warm_bp: bp.state_bytes(),
         });
-        accumulate(&mut agg, &st);
-        measured_integral += integral_delta;
-        (cpu, bp) = core.into_state();
     }
 
     // Cover the tail of the region functionally so `total_retired` spans
@@ -218,18 +240,168 @@ where
         let mut sink = WarmingSink::new(&mut hier, &mut bp);
         cpu.run_warming(prog, &mut mem, todo, &mut sink)?;
     }
+
+    Ok(EmitResult { checkpoints, total_retired: cpu.retired(), halted: cpu.is_halted() })
+}
+
+/// Phase 2: measures one period from its checkpoint, independently of
+/// every other period.
+///
+/// Restores the architectural state, warm hierarchy, and warm predictor
+/// from `ck`, runs the discarded detailed warmup and then the measured
+/// interval on one detailed core (via resumable segments, so measurement
+/// starts from the warm pipeline the warmup filled), and returns the
+/// integer-only [`PeriodResult`]. `make_engine` supplies this period's
+/// fresh runahead engine — engine state (including DVR's runahead
+/// subthread) dies with the period, which is how the engine "quiesces
+/// cleanly" at interval boundaries.
+///
+/// # Errors
+///
+/// [`SampleError::Checkpoint`] if a warm-state image fails validation,
+/// otherwise the first detailed-interval failure.
+pub fn measure_period<F>(
+    prog: &Program,
+    base_mem: &SparseMemory,
+    core_cfg: CoreConfig,
+    hier_cfg: HierarchyConfig,
+    scfg: &SampleConfig,
+    ck: &PeriodCheckpoint,
+    make_engine: F,
+) -> Result<PeriodResult, SampleError>
+where
+    F: FnOnce() -> Box<dyn RunaheadEngine>,
+{
+    scfg.validate().map_err(SampleError::Config)?;
+    let roi = scfg.max_instructions;
+
+    let mut mem = SparseMemory::restore_from(base_mem, &ck.mem);
+    let cpu = Cpu::from_checkpoint(&ck.cpu);
+    let mut hier = MemoryHierarchy::from_warm_state(hier_cfg, &ck.warm_mem).ok_or_else(|| {
+        SampleError::Checkpoint(format!("period {}: invalid warm hierarchy image", ck.index))
+    })?;
+    let bp = TagePredictor::from_state_bytes(&ck.warm_bp).ok_or_else(|| {
+        SampleError::Checkpoint(format!("period {}: invalid warm predictor image", ck.index))
+    })?;
+
+    let mut core = OooCore::with_state(core_cfg, cpu, bp);
+    let mut engine = make_engine();
+    let warmup_budget = ck.measure_at.saturating_sub(core.functional_retired());
+    if warmup_budget > 0 {
+        core.run_segment(prog, &mut mem, &mut hier, engine.as_mut(), warmup_budget)?;
+    }
+    let warm_snap = *core.stats();
+    let mut res = PeriodResult {
+        index: ck.index,
+        start_retired: 0,
+        warmup_committed: warm_snap.committed,
+        mshr_integral: 0,
+        measured: false,
+        core: CoreStats::default(),
+        mem: MemStats::default(),
+    };
+
+    // A commit shortfall means the program halted inside the warmup; a
+    // zero budget means the region of interest ended before the interval.
+    let budget = scfg.interval.min(roi.saturating_sub(core.functional_retired()));
+    if warm_snap.committed >= warmup_budget && budget > 0 {
+        let integral_before = hier.mshr_busy_integral();
+        res.start_retired = core.functional_retired();
+        core.run_segment(prog, &mut mem, &mut hier, engine.as_mut(), budget)?;
+        res.core = delta(core.stats(), &warm_snap);
+        res.mshr_integral = hier.mshr_busy_integral() - integral_before;
+        res.measured = true;
+    }
     hier.quiesce();
     hier.finalize();
+    res.mem = hier.stats().clone();
+    Ok(res)
+}
 
-    let halted = cpu.is_halted();
-    let report = SampledReport::from_intervals(intervals, warmup_total, cpu.retired());
-    Ok(SampledRun {
-        report,
-        core: agg,
-        mem: hier.stats().clone(),
-        measured_mshr_integral: measured_integral,
-        halted,
-    })
+/// Combines per-period results (in any order) into a [`SampledRun`].
+///
+/// Results are sorted by period index before merging, and every derived
+/// float (per-interval IPC and MLP, the report's aggregates) is
+/// recomputed here from the integer counters — so the merged run is
+/// byte-identical no matter which thread or process measured each
+/// period. `total_retired` and `halted` come from the emit phase
+/// ([`EmitResult`]).
+pub fn merge_periods(
+    mut periods: Vec<PeriodResult>,
+    total_retired: u64,
+    halted: bool,
+) -> SampledRun {
+    periods.sort_by_key(|p| p.index);
+
+    let mut intervals = Vec::new();
+    let mut agg = CoreStats::default();
+    let mut mem = MemStats::default();
+    let mut warmup_total = 0u64;
+    let mut measured_integral = 0u64;
+    for p in &periods {
+        warmup_total += p.warmup_committed;
+        mem.accumulate(&p.mem);
+        if p.measured {
+            intervals.push(IntervalStat {
+                start_retired: p.start_retired,
+                committed: p.core.committed,
+                cycles: p.core.cycles,
+                ipc: p.core.ipc(),
+                mlp: p.mshr_integral as f64 / p.core.cycles.max(1) as f64,
+            });
+            accumulate(&mut agg, &p.core);
+            measured_integral += p.mshr_integral;
+        }
+    }
+
+    let report = SampledReport::from_intervals(intervals, warmup_total, total_retired);
+    SampledRun { report, core: agg, mem, measured_mshr_integral: measured_integral, halted }
+}
+
+/// Runs `prog` sampled: emits every period checkpoint in one functional
+/// pass, measures each period from its checkpoint, and merges the
+/// results, per [`SampleConfig`].
+///
+/// This is the sequential composition of [`emit_checkpoints`],
+/// [`measure_period`], and [`merge_periods`] — the reference semantics
+/// that thread- and process-parallel dispatchers must reproduce
+/// byte-identically. Only the fraction inside detailed (warmup +
+/// measured) windows pays cycle-level cost. `make_engine` supplies a
+/// fresh runahead engine per period.
+///
+/// Everything is deterministic: same program, configs, and seed produce a
+/// bit-identical [`SampledRun`] regardless of host, thread count, or
+/// whether periods were measured in-process or by workers.
+///
+/// # Errors
+///
+/// [`SampleError::Config`] for inconsistent configurations, otherwise the
+/// first fast-forward, checkpoint, or detailed-interval failure.
+pub fn run_sampled<F>(
+    prog: &Program,
+    base_mem: &SparseMemory,
+    core_cfg: CoreConfig,
+    hier_cfg: HierarchyConfig,
+    scfg: &SampleConfig,
+    mut make_engine: F,
+) -> Result<SampledRun, SampleError>
+where
+    F: FnMut() -> Box<dyn RunaheadEngine>,
+{
+    let emit = emit_checkpoints(prog, base_mem, hier_cfg, scfg)?;
+    let mut periods = Vec::with_capacity(emit.checkpoints.len());
+    for ck in &emit.checkpoints {
+        periods.push(measure_period(
+            prog,
+            base_mem,
+            core_cfg,
+            hier_cfg,
+            scfg,
+            ck,
+            &mut make_engine,
+        )?);
+    }
+    Ok(merge_periods(periods, emit.total_retired, emit.halted))
 }
 
 #[cfg(test)]
@@ -308,6 +480,54 @@ mod tests {
     }
 
     #[test]
+    fn emitted_checkpoints_roundtrip_and_match_the_sequential_run() {
+        let (prog, mem) = strided_loop();
+        let cfg = scfg();
+        let emit = emit_checkpoints(&prog, &mem, HierarchyConfig::default(), &cfg).unwrap();
+        assert_eq!(emit.checkpoints.len(), 8);
+
+        // Measuring from byte-roundtripped checkpoints, in reverse order,
+        // merges to the same run as the sequential driver.
+        let mut periods: Vec<PeriodResult> = emit
+            .checkpoints
+            .iter()
+            .rev()
+            .map(|ck| {
+                let bytes = ck.to_bytes();
+                let back = PeriodCheckpoint::from_bytes(&bytes).expect("checkpoint parses");
+                assert_eq!(back.to_bytes(), bytes);
+                measure_period(
+                    &prog,
+                    &mem,
+                    CoreConfig::default(),
+                    HierarchyConfig::default(),
+                    &cfg,
+                    &back,
+                    || Box::new(NullEngine),
+                )
+                .unwrap()
+            })
+            .collect();
+        periods.reverse();
+        let merged = merge_periods(periods, emit.total_retired, emit.halted);
+
+        let reference = run_sampled(
+            &prog,
+            &mem,
+            CoreConfig::default(),
+            HierarchyConfig::default(),
+            &cfg,
+            || Box::new(NullEngine),
+        )
+        .unwrap();
+        assert_eq!(merged.report, reference.report);
+        assert_eq!(merged.core.to_flat(), reference.core.to_flat());
+        assert_eq!(merged.mem.to_flat(), reference.mem.to_flat());
+        assert_eq!(merged.measured_mshr_integral, reference.measured_mshr_integral);
+        assert_eq!(merged.halted, reference.halted);
+    }
+
+    #[test]
     fn random_placement_stays_within_periods() {
         let (prog, mem) = strided_loop();
         let cfg = scfg().with_placement(Placement::Random).with_seed(7);
@@ -366,5 +586,25 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, SampleError::Config(_)));
+    }
+
+    #[test]
+    fn corrupt_checkpoint_reports_a_checkpoint_error() {
+        let (prog, mem) = strided_loop();
+        let cfg = scfg();
+        let emit = emit_checkpoints(&prog, &mem, HierarchyConfig::default(), &cfg).unwrap();
+        let mut ck = emit.checkpoints[0].clone();
+        ck.warm_bp.truncate(4);
+        let err = measure_period(
+            &prog,
+            &mem,
+            CoreConfig::default(),
+            HierarchyConfig::default(),
+            &cfg,
+            &ck,
+            || Box::new(NullEngine),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SampleError::Checkpoint(_)));
     }
 }

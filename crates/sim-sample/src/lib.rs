@@ -10,6 +10,15 @@
 //! variance, and a 95% confidence interval, which callers compare against
 //! the exact run to report measured error.
 //!
+//! Sampling is *checkpoint-parallel*: one functional pass
+//! ([`emit_checkpoints`]) serializes a versioned [`PeriodCheckpoint`] at
+//! every period's warmup start, then each period is measured
+//! independently from its checkpoint ([`measure_period`]) — in this
+//! thread, a worker thread, or a worker process speaking the integer
+//! JSON line protocol in [`PeriodResult::to_json`] — and
+//! [`merge_periods`] recombines the results into a [`SampledRun`] that
+//! is byte-identical regardless of where the periods ran.
+//!
 //! The subsystem is built from cross-layer hooks added alongside it:
 //!
 //! * `sim-isa` — architectural checkpoints ([`sim_isa::CpuCheckpoint`],
@@ -61,14 +70,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod config;
 mod driver;
 mod rng;
 mod stats;
 mod warm;
+mod wire;
 
+pub use checkpoint::{PeriodCheckpoint, PERIOD_CKPT_MAGIC, PERIOD_CKPT_VERSION};
 pub use config::{Placement, SampleConfig};
-pub use driver::{run_sampled, SampleError, SampledRun};
+pub use driver::{
+    emit_checkpoints, measure_period, merge_periods, run_sampled, EmitResult, PeriodResult,
+    SampleError, SampledRun,
+};
 pub use rng::SplitMix64;
 pub use stats::{student_t_975, IntervalStat, SampledReport};
 pub use warm::WarmingSink;
+pub use wire::WIRE_VERSION;

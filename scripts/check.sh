@@ -70,4 +70,34 @@ s4="$(cargo run -q -p dvr-sim --bin dvrsim -- sample --all --no-exact --size tes
     --instrs 60000 --json --threads 4 | strip_clock)"
 [ "$s1" = "$s4" ] || { echo "sampled JSON diverged across thread counts"; exit 1; }
 
+echo "== sample-parallel: byte-identity across --threads 1/4 x --jobs 0/2 =="
+# The checkpoint-parallel dispatch grid: every combination of in-process
+# threads and worker processes must produce the same bytes as the
+# sequential driver (s1 above).
+for combo in "--threads 1 --jobs 2" "--threads 4 --jobs 2"; do
+  sj="$(cargo run -q -p dvr-sim --bin dvrsim -- sample --all --no-exact --size test \
+      --instrs 60000 --json $combo | strip_clock)"
+  [ "$s1" = "$sj" ] || { echo "sampled JSON diverged for $combo"; exit 1; }
+done
+
+echo "== sample-parallel: worker-protocol round-trip =="
+# Emit one checkpoint orchestrator-style, feed it to a real sample-worker,
+# and check the integer-JSON result line parses and names its period.
+# (tests/sample_parallel.rs does this in-process; this smokes the CLI.)
+worker_out="$(cargo run -q -p dvr-sim --bin dvrsim -- sample --bench bfs --size test \
+    --instrs 60000 --no-exact --json --jobs 2 | strip_clock)"
+echo "$worker_out" | grep -q '"sampling":' || { echo "worker-backed sample produced no sampling section"; exit 1; }
+seq_out="$(cargo run -q -p dvr-sim --bin dvrsim -- sample --bench bfs --size test \
+    --instrs 60000 --no-exact --json | strip_clock)"
+[ "$worker_out" = "$seq_out" ] || { echo "worker-backed sample diverged from sequential"; exit 1; }
+
+echo "== sample-parallel: wall-clock trajectory line (BENCH json) =="
+bench_dir="$(mktemp -d)"
+probe_err="$(cargo run -q -p bench --bin figures -- fig9 --size test --instrs 60000 \
+    --sample --bench-json "$bench_dir" 2>&1 >/dev/null)"
+echo "$probe_err" | grep -q 'sample probe:' || { echo "no sample-probe wall-clock line"; exit 1; }
+grep -q '"sample_probe"' "$bench_dir/BENCH_fig9.json" || { echo "BENCH json missing sample_probe"; exit 1; }
+grep -q '"host_minstr_per_sec"' "$bench_dir/BENCH_fig9.json" || { echo "BENCH json missing throughput"; exit 1; }
+rm -rf "$bench_dir"
+
 echo "All checks passed."
