@@ -30,10 +30,16 @@
 //!                             across N `dvrsim sample-worker` processes
 //!                             (output byte-identical; swept cells fall
 //!                             back to --sample-threads)
+//!   --cache DIR               serve completed cells from (and store them
+//!                             into) the content-addressed result cache that
+//!                             `dvrsim sweep --cache` maintains; output is
+//!                             byte-identical, warm reruns skip simulation
 //!   --bench-json DIR          persist the perf trajectory as
 //!                             DIR/BENCH_<experiment>.json: wall seconds per
-//!                             figure, aggregate simulation throughput, and a
-//!                             sequential-vs-parallel sample wall-clock probe
+//!                             figure, aggregate simulation throughput, a
+//!                             sequential-vs-parallel sample wall-clock probe,
+//!                             result-cache hit counters, and a sweep
+//!                             cold-vs-resume overhead probe
 //! ```
 //!
 //! Exit status: 0 on success; without `--keep-going` a failed cell aborts
@@ -42,7 +48,9 @@
 
 use std::fmt::Write as _;
 
-use bench::{run_experiment_full, sample_speedup_probe, Ctx, Experiment, EXPERIMENTS};
+use bench::{
+    run_experiment_full, sample_speedup_probe, sweep_resume_probe, Ctx, Experiment, EXPERIMENTS,
+};
 use workloads::SizeClass;
 
 fn main() {
@@ -61,6 +69,7 @@ fn main() {
     let mut sample_threads: usize = 1;
     let mut jobs: usize = 0;
     let mut bench_json: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -105,6 +114,10 @@ fn main() {
                 i += 1;
                 bench_json = Some(args[i].clone());
             }
+            "--cache" => {
+                i += 1;
+                cache_dir = Some(args[i].clone());
+            }
             "--keep-going" => keep_going = true,
             "--sanitize" => sanitize = true,
             "--sample" => sample = true,
@@ -147,6 +160,15 @@ fn main() {
     if let Some(label) = force_fail {
         ctx = ctx.with_force_fail(label);
     }
+    if let Some(dir) = &cache_dir {
+        ctx = match ctx.with_result_cache(std::path::Path::new(dir)) {
+            Ok(ctx) => ctx,
+            Err(e) => {
+                eprintln!("[figures] --cache {dir}: {e}");
+                std::process::exit(2);
+            }
+        };
+    }
 
     // Run each experiment separately so the trajectory JSON can attribute
     // wall seconds per figure; the concatenated stdout is byte-identical
@@ -184,6 +206,13 @@ fn main() {
         dvr_sim::resolve_threads(threads),
         ctx.throughput_summary()
     );
+    if cache_dir.is_some() {
+        let (hits, misses, stores, corrupt) = ctx.cache_totals();
+        eprintln!(
+            "[figures] result cache: {hits} hit(s), {misses} miss(es), {stores} store(s), \
+             {corrupt} corrupt"
+        );
+    }
     if let Some(dir) = bench_json {
         let path = write_bench_json(&dir, &experiment, &mut ctx, &timings, total_wall, jobs);
         eprintln!("[figures] wrote {path}");
@@ -201,8 +230,10 @@ fn main() {
 }
 
 /// Persists the run's perf trajectory as `DIR/BENCH_<experiment>.json`:
-/// wall seconds per figure, aggregate host throughput, and a
-/// sequential-vs-4-thread sampled wall-clock probe. Returns the path.
+/// wall seconds per figure, aggregate host throughput, a
+/// sequential-vs-4-thread sampled wall-clock probe, the result-cache
+/// counters of this run, and a sweep cold-vs-resume overhead probe.
+/// Returns the path.
 fn write_bench_json(
     dir: &str,
     experiment: &str,
@@ -251,13 +282,40 @@ fn write_bench_json(
     let _ = write!(
         j,
         "\"sample_probe\":{{\"bench\":\"{}\",\"instrs\":{},\"sequential_seconds\":{:.3},\
-         \"parallel_seconds\":{:.3},\"threads\":{},\"speedup\":{:.3}}}}}",
+         \"parallel_seconds\":{:.3},\"threads\":{},\"speedup\":{:.3}}},",
         probe.bench,
         probe.instrs,
         probe.sequential_seconds,
         probe.parallel_seconds,
         probe.threads,
         probe.speedup
+    );
+    let (hits, misses, stores, corrupt) = ctx.cache_totals();
+    let hit_rate = if hits + misses > 0 { hits as f64 / (hits + misses) as f64 } else { 0.0 };
+    let _ = write!(
+        j,
+        "\"result_cache\":{{\"hits\":{hits},\"misses\":{misses},\"stores\":{stores},\
+         \"corrupt\":{corrupt},\"hit_rate\":{hit_rate:.3}}},"
+    );
+    let sweep = sweep_resume_probe(ctx);
+    eprintln!(
+        "[figures] sweep probe: {} cells cold {:.2}s, resume {:.3}s ({:.3}x), \
+         warm-cache hit rate {:.0}%",
+        sweep.cells,
+        sweep.cold_seconds,
+        sweep.resume_seconds,
+        sweep.resume_overhead,
+        100.0 * sweep.cache_hit_rate
+    );
+    let _ = write!(
+        j,
+        "\"sweep_probe\":{{\"cells\":{},\"cold_seconds\":{:.3},\"resume_seconds\":{:.3},\
+         \"resume_overhead\":{:.3},\"cache_hit_rate\":{:.3}}}}}",
+        sweep.cells,
+        sweep.cold_seconds,
+        sweep.resume_seconds,
+        sweep.resume_overhead,
+        sweep.cache_hit_rate
     );
     std::fs::create_dir_all(dir).expect("create --bench-json directory");
     let path = format!("{dir}/BENCH_{experiment}.json");

@@ -103,12 +103,17 @@ pub struct Ctx {
     /// byte-identical, so figure output does not depend on this knob.
     pub jobs: usize,
     cache: HashMap<(Benchmark, Option<GraphInput>), Arc<Workload>>,
+    result_cache: Option<dvr_sim::sim_sweep::ResultCache>,
     failures: Vec<CellFailure>,
     runs: u64,
     sim_committed: u64,
     sim_seconds: f64,
     san_checks: u64,
     san_violations: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_stores: u64,
+    cache_corrupt: u64,
 }
 
 impl Ctx {
@@ -126,13 +131,31 @@ impl Ctx {
             sample_threads: 1,
             jobs: 0,
             cache: HashMap::new(),
+            result_cache: None,
             failures: Vec::new(),
             runs: 0,
             sim_committed: 0,
             sim_seconds: 0.0,
             san_checks: 0,
             san_violations: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_stores: 0,
+            cache_corrupt: 0,
         }
+    }
+
+    /// Attaches a content-addressed result cache (the same store `dvrsim
+    /// sweep --cache` uses): completed reports are persisted keyed by
+    /// (program bytes, canonical config, code version) and served on the
+    /// next invocation instead of resimulating. Corrupt entries are
+    /// quarantined and recomputed. Sanitized, traced, and force-fail runs
+    /// bypass the cache — their side-band output is not part of the cached
+    /// payload. Figure text is byte-identical with and without the cache.
+    pub fn with_result_cache(mut self, dir: &Path) -> Result<Self, String> {
+        self.result_cache =
+            Some(dvr_sim::sim_sweep::ResultCache::open(dir).map_err(|e| e.to_string())?);
+        Ok(self)
     }
 
     /// Sets the worker-thread count (`0` = available parallelism).
@@ -207,12 +230,82 @@ impl Ctx {
     /// Runs with an explicit config (ROB sweeps, ablations).
     pub fn run_cfg(&mut self, b: Benchmark, g: Option<GraphInput>, cfg: &SimConfig) -> SimReport {
         let wl = self.workload(b, g);
+        let cell = Cell::new(b, g, *cfg);
+        let key = self.cell_cache_key(&cell, &wl);
+        if let Some(key) = key {
+            if let Some(r) = self.cache_lookup(key) {
+                self.account(std::slice::from_ref(&r));
+                return r;
+            }
+        }
         let r = match self.sample_dispatch() {
-            Some(d) => simulate_sampled_cell(&wl, &Cell::new(b, g, *cfg), &d),
+            Some(d) => simulate_sampled_cell(&wl, &cell, &d),
             None => simulate(&wl, cfg),
         };
+        if let Some(key) = key {
+            self.cache_store(key, &r);
+        }
         self.account(std::slice::from_ref(&r));
         r
+    }
+
+    /// The cell's content address, or `None` when it must not be cached:
+    /// no cache attached, sanitizer or DVR tracing on (their side-band
+    /// output is not in the payload), or a force-fail hook active.
+    fn cell_cache_key(&self, cell: &Cell, wl: &Workload) -> Option<dvr_sim::sim_sweep::Digest128> {
+        self.result_cache.as_ref()?;
+        if cell.cfg.core.sanitize || cell.cfg.trace_dvr || self.force_fail.is_some() {
+            return None;
+        }
+        Some(dvr_sim::cache_key(wl, &cell.cfg, self.sample.as_ref()))
+    }
+
+    /// One cache probe: a decodable hit becomes a report, everything else
+    /// (miss, corrupt-and-quarantined, undecodable payload) a miss.
+    fn cache_lookup(&mut self, key: dvr_sim::sim_sweep::Digest128) -> Option<SimReport> {
+        use dvr_sim::sim_sweep::CacheLookup;
+        let cache = self.result_cache.as_ref()?;
+        match cache.lookup(key) {
+            CacheLookup::Hit(payload) => match dvr_sim::decode_report(&payload) {
+                Ok(r) => {
+                    self.cache_hits += 1;
+                    Some(r)
+                }
+                Err(_) => {
+                    self.cache_misses += 1;
+                    None
+                }
+            },
+            CacheLookup::Corrupt(_) => {
+                self.cache_corrupt += 1;
+                self.cache_misses += 1;
+                None
+            }
+            CacheLookup::Miss => {
+                self.cache_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Persists a completed report; failed runs are never cached.
+    fn cache_store(&mut self, key: dvr_sim::sim_sweep::Digest128, r: &SimReport) {
+        let Some(cache) = self.result_cache.as_ref() else { return };
+        if !r.outcome.is_complete() {
+            return;
+        }
+        if let Ok(payload) = dvr_sim::encode_report(r) {
+            if cache.store(key, &payload).is_ok() {
+                self.cache_stores += 1;
+            }
+        }
+    }
+
+    /// Aggregate result-cache counters:
+    /// `(hits, misses, stores, corrupt)`. All zero unless
+    /// [`Ctx::with_result_cache`] attached a cache.
+    pub fn cache_totals(&self) -> (u64, u64, u64, u64) {
+        (self.cache_hits, self.cache_misses, self.cache_stores, self.cache_corrupt)
     }
 
     /// Resolves the sampling knobs into one dispatch description shared by
@@ -253,9 +346,19 @@ impl Ctx {
         let jobs: Vec<Arc<Workload>> =
             cells.iter().map(|c| self.workload(c.benchmark, c.input)).collect();
         let labels: Vec<String> = cells.iter().map(Cell::label).collect();
+        // Cache pre-pass: resolve cacheable cells serially, then fan out
+        // only the remainder. Hits are full-fidelity reports (modulo the
+        // wall clock), so the rendered figures cannot tell the difference.
+        let keys: Vec<Option<dvr_sim::sim_sweep::Digest128>> =
+            cells.iter().zip(&jobs).map(|(c, wl)| self.cell_cache_key(c, wl)).collect();
+        let cached: Vec<Option<SimReport>> =
+            keys.iter().map(|k| k.and_then(|k| self.cache_lookup(k))).collect();
         let force_fail = self.force_fail.clone();
         let dispatch = self.sample_dispatch();
         let results = try_parallel_map(cells.len(), self.threads, |i| {
+            if let Some(r) = &cached[i] {
+                return r.clone();
+            }
             if force_fail.as_deref() == Some(labels[i].as_str()) {
                 panic!("forced failure requested for cell '{}'", labels[i]);
             }
@@ -267,7 +370,14 @@ impl Ctx {
         let mut reports = Vec::with_capacity(cells.len());
         for (i, result) in results.into_iter().enumerate() {
             let report = match result {
-                Ok(r) => r,
+                Ok(r) => {
+                    if cached[i].is_none() {
+                        if let Some(key) = keys[i] {
+                            self.cache_store(key, &r);
+                        }
+                    }
+                    r
+                }
                 Err(e) => {
                     if !self.keep_going {
                         panic!("cell {i} ({}) failed: {e}", labels[i]);
@@ -496,6 +606,77 @@ pub fn sample_speedup_probe(ctx: &mut Ctx, threads: usize) -> SampleProbe {
         parallel_seconds: par.host_seconds,
         threads,
         speedup: seq.host_seconds / par.host_seconds.max(1e-9),
+    }
+}
+
+/// Wall-clock probe of the crash-safe sweep service (`dvrsim sweep`):
+/// one tiny grid swept cold, resumed from its journal, and served from a
+/// warm cache — the robustness-overhead numbers persisted into
+/// `BENCH_<name>.json`.
+#[derive(Clone, Debug)]
+pub struct SweepProbe {
+    /// Cells in the probe grid.
+    pub cells: usize,
+    /// Wall seconds of the cold sweep (compute + journal + cache store).
+    pub cold_seconds: f64,
+    /// Wall seconds rerunning against the completed journal (pure
+    /// replay; nothing is recomputed).
+    pub resume_seconds: f64,
+    /// `resume_seconds / cold_seconds` — the cost of crash-safety on a
+    /// finished sweep.
+    pub resume_overhead: f64,
+    /// Fraction of cells served by the content-addressed cache when the
+    /// journal is fresh but the cache is warm.
+    pub cache_hit_rate: f64,
+}
+
+/// Runs the sweep probe on a private scratch directory: a 2-cell grid
+/// (BFS/KR under OoO and DVR at test scale) swept cold, resumed, and
+/// re-swept with a fresh journal against the warm cache. Runs are not
+/// accounted into the context's throughput totals.
+pub fn sweep_resume_probe(ctx: &Ctx) -> SweepProbe {
+    use dvr_sim::sim_sweep::{run_sweep, ResultCache, SweepOptions};
+    use dvr_sim::{DvrSweepRunner, SweepCell};
+
+    let dir = std::env::temp_dir().join(format!(
+        "bench-sweep-probe-{}-{}",
+        std::process::id(),
+        SCRATCH_ID.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create sweep-probe scratch");
+    let cells: Vec<String> = SweepCell::grid(
+        &[Benchmark::Bfs],
+        &[GraphInput::Kr],
+        &[Technique::Baseline, Technique::Dvr],
+        SizeClass::Test,
+        ctx.seed,
+        20_000,
+    )
+    .iter()
+    .map(SweepCell::key)
+    .collect();
+    let runner = DvrSweepRunner::new(None);
+    let cache = ResultCache::open(&dir.join("cache")).ok();
+    let journal = dir.join("journal.dvrj");
+    let opts = SweepOptions::default();
+
+    let t0 = std::time::Instant::now();
+    let _ = run_sweep(&cells, &runner, &journal, cache.as_ref(), &opts);
+    let cold_seconds = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let _ = run_sweep(&cells, &runner, &journal, cache.as_ref(), &opts);
+    let resume_seconds = t1.elapsed().as_secs_f64();
+    let warm = run_sweep(&cells, &runner, &dir.join("journal-warm.dvrj"), cache.as_ref(), &opts);
+    let cache_hit_rate =
+        warm.map(|r| r.stats.from_cache as f64 / (r.stats.total.max(1)) as f64).unwrap_or(0.0);
+    let _ = std::fs::remove_dir_all(&dir);
+    SweepProbe {
+        cells: cells.len(),
+        cold_seconds,
+        resume_seconds,
+        resume_overhead: resume_seconds / cold_seconds.max(1e-9),
+        cache_hit_rate,
     }
 }
 
@@ -1406,6 +1587,52 @@ mod tests {
         assert!(p.speedup > 0.0);
         assert_eq!(p.threads, 2);
         assert_eq!(p.instrs, 60_000);
+    }
+
+    #[test]
+    fn result_cache_round_trip_preserves_figure_text() {
+        let dir = std::env::temp_dir().join(format!("bench-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plain = {
+            let mut ctx = Ctx::new(SizeClass::Test, 10_000, 7);
+            run_experiment("fig9", &mut ctx)
+        };
+        let cold = {
+            let mut ctx =
+                Ctx::new(SizeClass::Test, 10_000, 7).with_result_cache(&dir).expect("cache opens");
+            let text = run_experiment("fig9", &mut ctx);
+            let (hits, misses, stores, corrupt) = ctx.cache_totals();
+            assert_eq!(hits, 0, "cold cache cannot hit");
+            assert_eq!(misses, stores, "every miss must be stored");
+            assert!(misses > 0 && corrupt == 0);
+            text
+        };
+        let warm = {
+            let mut ctx =
+                Ctx::new(SizeClass::Test, 10_000, 7).with_result_cache(&dir).expect("cache opens");
+            let text = run_experiment("fig9", &mut ctx);
+            let (hits, misses, _, _) = ctx.cache_totals();
+            assert!(hits > 0, "warm cache must hit");
+            assert_eq!(misses, 0, "warm run must not resimulate");
+            text
+        };
+        assert_eq!(plain, cold, "attaching a cache must not perturb figure text");
+        assert_eq!(plain, warm, "cache-served figures must be byte-identical");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sanitized_runs_bypass_the_result_cache() {
+        let dir = std::env::temp_dir().join(format!("bench-cache-san-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut ctx = Ctx::new(SizeClass::Test, 5_000, 7)
+            .with_sanitize(true)
+            .with_result_cache(&dir)
+            .expect("cache opens");
+        let r = ctx.run(Benchmark::NasIs, None, Technique::Baseline);
+        assert!(r.sanitizer.is_some(), "sanitizer output must survive");
+        assert_eq!(ctx.cache_totals(), (0, 0, 0, 0), "sanitized cells must not touch the cache");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -45,6 +45,13 @@ usage: dvrsim [--list] (--bench NAME | --asm FILE.s) [options]
        dvrsim sample-worker --bench NAME --technique T --checkpoint FILE.ckpt
                      [--input G] [--size S] [--seed N] [--instrs N] [--interval N]
                      [--warmup N] [--period N] [--placement P] [--sample-seed N] [--json]
+       dvrsim sweep [--bench LIST|all|gap|hpcdb] [--input LIST|all] [--technique T]
+                    [--size S] [--seed N] [--instrs N] [--out DIR] [--cache DIR]
+                    [--no-cache] [--jobs N] [--timeout-ms N] [--retries N]
+                    [--backoff-ms N] [--backoff-seed N] [--keep-going] [--gc]
+                    [--inject-sweep SPEC] [--json]
+       dvrsim sweep-worker CELL-KEY
+       dvrsim serve --socket PATH [--cache DIR | --no-cache]
 
 options:
   --bench NAME          benchmark (see --list)
@@ -89,6 +96,25 @@ whose 95% confidence interval misses the exact IPC fails the command.
 the `sample-worker` subcommand is the internal worker of `sample --jobs`:
 it measures one period from a checkpoint file and prints one integer-JSON
 result line on stdout.
+
+the `sweep` subcommand runs a crash-safe grid of (benchmark, input,
+technique) cells: every settled cell is appended to a write-ahead journal
+(`<out>/journal.dvrj`), so a killed sweep rerun with the same flags resumes
+exactly where it stopped and produces a byte-identical `summary.json`.
+Results are also stored in a content-addressed cache (`--cache`, default
+`.dvr-cache`) keyed by program bytes, canonical config, and code version;
+corrupt entries are quarantined and recomputed, never served. With
+--jobs > 0 cells run in supervised `sweep-worker` processes with per-cell
+--timeout-ms, --retries, and exponential backoff seeded by --backoff-seed.
+Without --keep-going the first failed cell stops the sweep (after
+journaling it); with it, failures land in summary.json as typed outcomes.
+--gc removes cache entries not reachable from the selected grid.
+--inject-sweep takes kill=N,hang=N,flip=N,trunc=N,trunc-bytes=N,abort=N
+to deterministically injure the Nth worker/cache-write/journal-append.
+
+the `serve` subcommand keeps one process resident on a Unix socket; each
+line `run CELL-KEY` replies with one JSON result (served from the cache
+when possible), `stats`/`ping`/`shutdown` manage the service.
 
 exit status: 0 if every run completed (lint: no errors; audit: no
 unexplained divergences; sample: every CI contains the exact IPC),
@@ -920,9 +946,12 @@ fn sample_worker_main(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let Some(ck) = dvr_sim::PeriodCheckpoint::from_bytes(&bytes) else {
-        eprintln!("error: {path}: not a valid period checkpoint");
-        return ExitCode::from(2);
+    let ck = match dvr_sim::PeriodCheckpoint::decode(&bytes) {
+        Ok(ck) => ck,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::from(2);
+        }
     };
     let wl = b.build(b.is_gap().then(|| input.unwrap_or(GraphInput::Kr)), size, seed);
     let cfg = SimConfig::new(*t).with_max_instructions(instrs);
@@ -954,6 +983,15 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("sample-worker") {
         return sample_worker_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("sweep") {
+        return sweep_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("sweep-worker") {
+        return sweep_worker_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("serve") {
+        return serve_main(&argv[1..]);
     }
     let o = match parse_args() {
         Ok(o) => o,
@@ -1026,4 +1064,425 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// sweep / sweep-worker / serve — the crash-safe sweep service
+// ---------------------------------------------------------------------------
+
+struct SweepOpts {
+    benches: Vec<Benchmark>,
+    inputs: Vec<GraphInput>,
+    techniques: Vec<Technique>,
+    size: SizeClass,
+    seed: u64,
+    instrs: u64,
+    out: std::path::PathBuf,
+    cache: Option<std::path::PathBuf>,
+    jobs: usize,
+    timeout_ms: u64,
+    retries: u32,
+    backoff_ms: u64,
+    backoff_seed: u64,
+    keep_going: bool,
+    gc: bool,
+    fault: sim_sweep::SweepFault,
+    json: bool,
+}
+
+fn parse_bench_list(spec: &str) -> Result<Vec<Benchmark>, String> {
+    match spec {
+        "all" => Ok(Benchmark::ALL.to_vec()),
+        "gap" => Ok(Benchmark::ALL.iter().copied().filter(|b| b.is_gap()).collect()),
+        "hpcdb" => Ok(Benchmark::ALL.iter().copied().filter(|b| !b.is_gap()).collect()),
+        list => list
+            .split(',')
+            .map(|s| parse_bench(s).ok_or(format!("unknown benchmark '{s}'")))
+            .collect(),
+    }
+}
+
+fn parse_input_list(spec: &str) -> Result<Vec<GraphInput>, String> {
+    match spec {
+        "all" => Ok(GraphInput::ALL.to_vec()),
+        list => {
+            list.split(',').map(|s| parse_input(s).ok_or(format!("unknown input '{s}'"))).collect()
+        }
+    }
+}
+
+fn parse_technique_list(spec: &str) -> Result<Vec<Technique>, String> {
+    let mut out = Vec::new();
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let ts = parse_technique(part).ok_or(format!("unknown technique '{part}'"))?;
+        for t in ts {
+            if !out.contains(&t) {
+                out.push(t);
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(format!("no techniques in '{spec}'"));
+    }
+    Ok(out)
+}
+
+fn parse_sweep_args(args: &[String]) -> Result<SweepOpts, String> {
+    let mut o = SweepOpts {
+        benches: Benchmark::ALL.to_vec(),
+        inputs: vec![GraphInput::Kr],
+        techniques: parse_technique("all").expect("static"),
+        size: SizeClass::Small,
+        seed: 42,
+        instrs: 200_000,
+        out: "sweep-out".into(),
+        cache: Some(".dvr-cache".into()),
+        jobs: 0,
+        timeout_ms: 0,
+        retries: 2,
+        backoff_ms: 50,
+        backoff_seed: 42,
+        keep_going: false,
+        gc: false,
+        fault: sim_sweep::SweepFault::default(),
+        json: false,
+    };
+    let mut i = 0usize;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i).cloned().ok_or(format!("{} needs a value", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bench" => o.benches = parse_bench_list(&value(&mut i)?)?,
+            "--input" => o.inputs = parse_input_list(&value(&mut i)?)?,
+            "--technique" => o.techniques = parse_technique_list(&value(&mut i)?)?,
+            "--size" => {
+                let v = value(&mut i)?;
+                o.size =
+                    dvr_sim::sweep::parse_size_token(&v).ok_or(format!("unknown size '{v}'"))?;
+            }
+            "--seed" => o.seed = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--instrs" => o.instrs = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--out" => o.out = value(&mut i)?.into(),
+            "--cache" => o.cache = Some(value(&mut i)?.into()),
+            "--no-cache" => o.cache = None,
+            "--jobs" => o.jobs = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--timeout-ms" => o.timeout_ms = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--retries" => o.retries = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--backoff-ms" => o.backoff_ms = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--backoff-seed" => {
+                o.backoff_seed = value(&mut i)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--keep-going" => o.keep_going = true,
+            "--gc" => o.gc = true,
+            "--inject-sweep" => {
+                o.fault =
+                    sim_sweep::SweepFault::parse(&value(&mut i)?).map_err(|e| e.to_string())?
+            }
+            "--json" => o.json = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown sweep option '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+fn sweep_grid(o: &SweepOpts) -> Vec<dvr_sim::SweepCell> {
+    dvr_sim::SweepCell::grid(&o.benches, &o.inputs, &o.techniques, o.size, o.seed, o.instrs)
+}
+
+fn sweep_main(args: &[String]) -> ExitCode {
+    let o = match parse_sweep_args(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let cells = sweep_grid(&o);
+    let keys: Vec<String> = cells.iter().map(|c| c.key()).collect();
+    let exe = (o.jobs > 0).then(|| std::env::current_exe().ok()).flatten();
+    let runner = dvr_sim::DvrSweepRunner::new(exe);
+    let cache = match &o.cache {
+        None => None,
+        Some(dir) => match sim_sweep::ResultCache::open(dir) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    if o.gc {
+        let Some(cache) = cache else {
+            eprintln!("error: --gc needs a cache (drop --no-cache)");
+            return ExitCode::from(2);
+        };
+        use sim_sweep::CellRunner;
+        let keep: std::collections::HashSet<String> =
+            keys.iter().filter_map(|k| runner.cache_key(k)).map(|d| d.hex()).collect();
+        return match cache.gc(&keep) {
+            Ok(stats) => {
+                println!(
+                    "sweep gc: kept={} removed={} quarantine_purged={}",
+                    stats.kept, stats.removed, stats.quarantine_purged
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&o.out) {
+        eprintln!("error: create {}: {e}", o.out.display());
+        return ExitCode::FAILURE;
+    }
+    let opts = sim_sweep::SweepOptions {
+        jobs: o.jobs,
+        timeout_ms: o.timeout_ms,
+        retries: o.retries,
+        backoff_ms: o.backoff_ms,
+        seed: o.backoff_seed,
+        keep_going: o.keep_going,
+        fault: o.fault,
+    };
+    let journal = o.out.join("journal.dvrj");
+    let run = match sim_sweep::run_sweep(&keys, &runner, &journal, cache.as_ref(), &opts) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for w in &run.warnings {
+        eprintln!("sweep: warning[{}]: {w}", w.kind());
+    }
+    let s = &run.stats;
+    eprintln!(
+        "sweep: cells={} journal={} cache={} computed={} failed={} spawns={} \
+         cache_hits={} cache_misses={} cache_corrupt={} cache_stores={} replay_dropped_bytes={}",
+        s.total,
+        s.from_journal,
+        s.from_cache,
+        s.computed,
+        s.failed,
+        s.spawns,
+        s.cache.hits,
+        s.cache.misses,
+        s.cache.corrupt,
+        s.cache.stores,
+        s.replay.dropped_bytes,
+    );
+    let summary = sim_sweep::render_summary(&keys, &run.outcomes, &runner);
+    let path = o.out.join("summary.json");
+    if let Err(e) = sim_sweep::write_atomic(&path, &summary) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    if o.json {
+        print!("{summary}");
+    } else {
+        println!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn sweep_worker_main(args: &[String]) -> ExitCode {
+    // The supervisor appends --test-hang under an injected hang fault;
+    // honoring it exercises the timeout/kill path deterministically.
+    if args.iter().any(|a| a == sim_sweep::WORKER_HANG_FLAG) {
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(60));
+        }
+    }
+    let Some(cell) = args.first() else {
+        eprintln!("usage: dvrsim sweep-worker CELL-KEY");
+        return ExitCode::from(2);
+    };
+    use sim_sweep::CellRunner;
+    let runner = dvr_sim::DvrSweepRunner::new(None);
+    match runner.run(cell) {
+        Ok(payload) => println!("{}", sim_sweep::ok_line(&payload)),
+        Err((kind, message)) => println!("{}", sim_sweep::fail_line(&kind, &message)),
+    }
+    ExitCode::SUCCESS
+}
+
+fn serve_main(args: &[String]) -> ExitCode {
+    let mut socket: Option<std::path::PathBuf> = None;
+    let mut cache_dir: Option<std::path::PathBuf> = Some(".dvr-cache".into());
+    let mut i = 0usize;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i).cloned().ok_or(format!("{} needs a value", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => match value(&mut i) {
+                Ok(v) => socket = Some(v.into()),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--cache" => match value(&mut i) {
+                Ok(v) => cache_dir = Some(v.into()),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-cache" => cache_dir = None,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown serve option '{other}'\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(socket) = socket else {
+        eprintln!("error: serve needs --socket PATH\n\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    serve_loop(&socket, cache_dir.as_deref())
+}
+
+#[cfg(unix)]
+fn serve_loop(socket: &std::path::Path, cache_dir: Option<&std::path::Path>) -> ExitCode {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixListener;
+
+    let cache = match cache_dir {
+        None => None,
+        Some(dir) => match sim_sweep::ResultCache::open(dir) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let _ = std::fs::remove_file(socket); // a stale socket from a killed server
+    let listener = match UnixListener::bind(socket) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: bind {}: {e}", socket.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("serve: listening on {}", socket.display());
+    let runner = dvr_sim::DvrSweepRunner::new(None);
+    let mut served = 0u64;
+    'accept: for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let mut reader = BufReader::new(match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => continue,
+        });
+        let mut stream = stream;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break, // client hung up
+                Ok(_) => {}
+            }
+            let reply = match line.trim() {
+                "" => continue,
+                "ping" => "{\"ok\":true}".to_string(),
+                "shutdown" => {
+                    let _ = stream.write_all(b"{\"ok\":true}\n");
+                    break 'accept;
+                }
+                "stats" => {
+                    let c = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+                    format!(
+                        "{{\"served\":{served},\"cache_hits\":{},\"cache_misses\":{},\
+                         \"cache_corrupt\":{},\"cache_stores\":{}}}",
+                        c.hits, c.misses, c.corrupt, c.stores
+                    )
+                }
+                req => match req.strip_prefix("run ") {
+                    Some(key) => {
+                        served += 1;
+                        serve_run(&runner, cache.as_ref(), key)
+                    }
+                    None => format!(
+                        "{{\"error\":\"unknown request {}\"}}",
+                        req.split_whitespace().next().unwrap_or("")
+                    ),
+                },
+            };
+            if stream.write_all(format!("{reply}\n").as_bytes()).is_err() {
+                break;
+            }
+        }
+    }
+    let _ = std::fs::remove_file(socket);
+    ExitCode::SUCCESS
+}
+
+#[cfg(not(unix))]
+fn serve_loop(_socket: &std::path::Path, _cache_dir: Option<&std::path::Path>) -> ExitCode {
+    eprintln!("error: dvrsim serve --socket requires a Unix platform");
+    ExitCode::FAILURE
+}
+
+#[cfg(unix)]
+fn serve_run(
+    runner: &dvr_sim::DvrSweepRunner,
+    cache: Option<&sim_sweep::ResultCache>,
+    key: &str,
+) -> String {
+    let cell = match dvr_sim::SweepCell::parse(key) {
+        Ok(cell) => cell,
+        Err(e) => return format!("{{\"error\":\"bad cell: {e}\",\"kind\":\"bad_cell\"}}"),
+    };
+    let digest = dvr_sim::cache_key(&runner.workload(&cell), &cell.config(), None);
+    if let Some(cache) = cache {
+        match cache.lookup(digest) {
+            sim_sweep::CacheLookup::Hit(payload) => match dvr_sim::decode_report(&payload) {
+                Ok(report) => {
+                    return format!("{{\"cached\":true,\"report\":{}}}", report.to_json())
+                }
+                Err(e) => eprintln!("serve: warning: undecodable cache payload: {e}"),
+            },
+            sim_sweep::CacheLookup::Corrupt(e) => eprintln!("serve: warning[{}]: {e}", e.kind()),
+            sim_sweep::CacheLookup::Miss => {}
+        }
+    }
+    let mut report = runner.run_report(&cell);
+    match &report.outcome {
+        dvr_sim::RunOutcome::Complete => {
+            if let (Some(cache), Ok(payload)) = (cache, dvr_sim::encode_report(&report)) {
+                if let Err(e) = cache.store(digest, &payload) {
+                    eprintln!("serve: warning: {e}");
+                }
+            }
+            // Deterministic responses: the wall clock never crosses the
+            // service boundary, so cached and fresh replies are identical.
+            report.host_seconds = 0.0;
+            format!("{{\"cached\":false,\"report\":{}}}", report.to_json())
+        }
+        dvr_sim::RunOutcome::Failed(e) => {
+            format!(
+                "{{\"error\":\"{}\",\"kind\":\"{}\"}}",
+                e.to_string().replace('\\', "\\\\").replace('"', "\\\""),
+                e.kind()
+            )
+        }
+    }
 }

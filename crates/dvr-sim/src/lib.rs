@@ -27,6 +27,7 @@ mod config;
 mod report;
 mod runner;
 mod sample;
+pub mod sweep;
 
 pub use audit::{audit_benchmark, AuditReport, Divergence, DivergenceKind, Justification};
 pub use config::{SimConfig, Technique};
@@ -39,6 +40,10 @@ pub use sample::{
     engine_factory, measure_emitted, measure_periods_via_workers, run_sampled_threads, sample_emit,
     sampled_report_from, simulate_sampled, simulate_sampled_threads,
 };
+pub use sweep::{cache_key, decode_report, encode_report, DvrSweepRunner, SweepCell};
+
+// The crash-safe sweep substrate (journal, result cache, supervisor).
+pub use sim_sweep;
 
 // Re-export the pieces users need to assemble custom setups.
 pub use dvr_core::{DvrConfig, DvrEngine, DvrTrace, OracleEngine, PreEngine, TraceEvent, VrEngine};
@@ -50,7 +55,7 @@ pub use sim_mem::{
 pub use sim_ooo::SanitizeReport;
 pub use sim_ooo::{CoreConfig, CoreStats, DeadlockSnapshot, NullEngine, OooCore, SimError};
 pub use sim_sample::{
-    merge_periods, EmitResult, PeriodCheckpoint, PeriodResult, Placement, SampleConfig,
-    SampleError, SampledReport, SampledRun,
+    merge_periods, CheckpointDecodeError, EmitResult, PeriodCheckpoint, PeriodResult, Placement,
+    SampleConfig, SampleError, SampledReport, SampledRun,
 };
 pub use workloads::{Benchmark, GraphInput, SizeClass, Workload};

@@ -215,6 +215,15 @@ pub fn measure_periods_via_workers(
     result
 }
 
+/// Whether a failed `spawn` is worth one retry: resource-exhaustion
+/// errors (EAGAIN, EMFILE/ENFILE, ENOMEM) clear when siblings exit,
+/// unlike a missing or non-executable binary.
+fn spawn_error_is_transient(e: &std::io::Error) -> bool {
+    use std::io::ErrorKind;
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::Interrupted | ErrorKind::OutOfMemory)
+        || matches!(e.raw_os_error(), Some(code) if [11, 23, 24, 12].contains(&code))
+}
+
 fn run_worker_batches(
     exe: &str,
     fixed_args: &[String],
@@ -231,14 +240,26 @@ fn run_worker_batches(
         let children: Vec<_> = batch
             .iter()
             .map(|(ck, path)| {
-                let child = Command::new(exe)
-                    .args(fixed_args)
-                    .arg("--checkpoint")
-                    .arg(path)
-                    .stdin(Stdio::null())
-                    .stdout(Stdio::piped())
-                    .stderr(Stdio::piped())
-                    .spawn();
+                let spawn = || {
+                    Command::new(exe)
+                        .args(fixed_args)
+                        .arg("--checkpoint")
+                        .arg(path)
+                        .stdin(Stdio::null())
+                        .stdout(Stdio::piped())
+                        .stderr(Stdio::piped())
+                        .spawn()
+                };
+                // A loaded machine can transiently refuse a fork
+                // (EAGAIN/EMFILE); one short backoff usually clears it.
+                let child = spawn().or_else(|e| {
+                    if spawn_error_is_transient(&e) {
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        spawn()
+                    } else {
+                        Err(e)
+                    }
+                });
                 (ck.index, child)
             })
             .collect();
@@ -486,6 +507,33 @@ mod tests {
             let _ = engine_factory(&cfg);
             let _ = engine_factory(&cfg);
         }
+    }
+
+    #[test]
+    fn spawn_retry_classifier_separates_transient_from_permanent() {
+        use std::io::{Error, ErrorKind};
+        // EAGAIN both as a kind and as a raw errno.
+        assert!(spawn_error_is_transient(&Error::from(ErrorKind::WouldBlock)));
+        assert!(spawn_error_is_transient(&Error::from_raw_os_error(11)));
+        // EMFILE: per-process fd table full while a sibling batch drains.
+        assert!(spawn_error_is_transient(&Error::from_raw_os_error(24)));
+        // A missing or non-executable worker binary never heals itself.
+        assert!(!spawn_error_is_transient(&Error::from(ErrorKind::NotFound)));
+        assert!(!spawn_error_is_transient(&Error::from(ErrorKind::PermissionDenied)));
+    }
+
+    #[test]
+    fn missing_worker_binary_fails_without_retry_hang() {
+        let wl = Benchmark::NasIs.build(None, SizeClass::Test, 1);
+        let cfg = SimConfig::new(Technique::Baseline).with_max_instructions(100_000);
+        let emit = sample_emit(&wl, &cfg, &scfg()).unwrap();
+        let scratch =
+            std::env::temp_dir().join(format!("dvrsim-no-exe-worker-{}", std::process::id()));
+        let argv = vec!["/nonexistent/dvrsim-worker-binary".to_string()];
+        let err = measure_periods_via_workers(&argv, &emit.checkpoints, 2, &scratch)
+            .expect_err("unspawnable workers must fail");
+        assert!(matches!(err, SampleError::Worker(ref m) if m.contains("spawn")), "{err}");
+        let _ = std::fs::remove_dir(&scratch);
     }
 
     #[test]

@@ -1,0 +1,692 @@
+//! DVR integration of the `sim-sweep` crash-safe sweep layer.
+//!
+//! `sim-sweep` supplies the domain-agnostic machinery (journal, cache,
+//! supervisor, fault injection); this module supplies the DVR pieces:
+//!
+//! - [`SweepCell`] — one (workload, config, technique) grid point with
+//!   a canonical whitespace-free key that is both the journal token
+//!   and the CLI spelling;
+//! - a full-fidelity binary [`SimReport`] codec ([`encode_report`] /
+//!   [`decode_report`]) — unlike [`SimReport::to_json`] it round-trips
+//!   every counter, so cached results are indistinguishable from
+//!   freshly computed ones;
+//! - [`cache_key`] — the content address: a digest of the program
+//!   bytes + initialized memory image, the canonical (`Debug`) config
+//!   rendering, and the code version ([`CACHE_CODE_VERSION`] plus the
+//!   crate version), so a simulator change can never serve stale
+//!   results;
+//! - [`DvrSweepRunner`] — the [`CellRunner`] gluing it together for
+//!   `dvrsim sweep`, `dvrsim serve`, and the worker subcommand.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use sim_sample::SampleConfig;
+use sim_sweep::{CellRunner, Digest128, Hasher};
+use workloads::{Benchmark, GraphInput, SizeClass, Workload};
+
+use crate::config::{SimConfig, Technique};
+use crate::report::{RunOutcome, SamplingSummary, SimReport};
+use crate::runner::simulate;
+
+/// Bumped whenever a simulator change invalidates cached results
+/// (model fixes, stat additions, codec changes). Part of every cache
+/// key next to the crate version.
+pub const CACHE_CODE_VERSION: u32 = 1;
+
+/// Version tag of the binary report payload.
+pub const REPORT_CODEC_VERSION: u32 = 1;
+
+const REPORT_MAGIC: &[u8; 4] = b"DVRR";
+
+/// All techniques in a stable order (codec indices and `all` grids).
+pub const ALL_TECHNIQUES: [Technique; 8] = [
+    Technique::Baseline,
+    Technique::Pre,
+    Technique::Imp,
+    Technique::Vr,
+    Technique::Dvr,
+    Technique::DvrOffload,
+    Technique::DvrDiscovery,
+    Technique::Oracle,
+];
+
+/// Canonical lowercase token for a technique (the CLI spelling).
+pub fn technique_token(t: Technique) -> &'static str {
+    match t {
+        Technique::Baseline => "ooo",
+        Technique::Pre => "pre",
+        Technique::Imp => "imp",
+        Technique::Vr => "vr",
+        Technique::Dvr => "dvr",
+        Technique::DvrOffload => "dvr-offload",
+        Technique::DvrDiscovery => "dvr-discovery",
+        Technique::Oracle => "oracle",
+    }
+}
+
+/// Parses a [`technique_token`] back.
+pub fn parse_technique_token(s: &str) -> Option<Technique> {
+    ALL_TECHNIQUES.into_iter().find(|&t| technique_token(t) == s)
+}
+
+/// Canonical lowercase token for a size class.
+pub fn size_token(s: SizeClass) -> &'static str {
+    match s {
+        SizeClass::Test => "test",
+        SizeClass::Small => "small",
+        SizeClass::Paper => "paper",
+    }
+}
+
+/// Parses a [`size_token`] back.
+pub fn parse_size_token(s: &str) -> Option<SizeClass> {
+    match s {
+        "test" => Some(SizeClass::Test),
+        "small" => Some(SizeClass::Small),
+        "paper" => Some(SizeClass::Paper),
+        _ => None,
+    }
+}
+
+fn input_token(i: Option<GraphInput>) -> String {
+    match i {
+        None => "-".to_string(),
+        Some(g) => g.name().to_lowercase(),
+    }
+}
+
+fn parse_input_token(s: &str) -> Option<Option<GraphInput>> {
+    if s == "-" {
+        return Some(None);
+    }
+    GraphInput::ALL.into_iter().find(|g| g.name().eq_ignore_ascii_case(s)).map(Some)
+}
+
+/// One sweep grid point: everything needed to rebuild the workload and
+/// config deterministically.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SweepCell {
+    /// Benchmark to run.
+    pub bench: Benchmark,
+    /// Graph input (GAP benchmarks only; `None` for hpc-db).
+    pub input: Option<GraphInput>,
+    /// Technique simulated.
+    pub technique: Technique,
+    /// Workload size class.
+    pub size: SizeClass,
+    /// Synthetic-data seed.
+    pub seed: u64,
+    /// Instruction budget (ROI length).
+    pub instrs: u64,
+}
+
+impl SweepCell {
+    /// The canonical cell key: a whitespace-free token that names the
+    /// cell in the journal, `summary.json`, and on the CLI.
+    ///
+    /// ```
+    /// use dvr_sim::sweep::SweepCell;
+    /// use dvr_sim::Technique;
+    /// use workloads::{Benchmark, GraphInput, SizeClass};
+    /// let cell = SweepCell {
+    ///     bench: Benchmark::Bfs,
+    ///     input: Some(GraphInput::Kr),
+    ///     technique: Technique::Dvr,
+    ///     size: SizeClass::Test,
+    ///     seed: 42,
+    ///     instrs: 20_000,
+    /// };
+    /// assert_eq!(cell.key(), "bench=bfs,input=kr,technique=dvr,size=test,seed=42,instrs=20000");
+    /// assert_eq!(SweepCell::parse(&cell.key()).unwrap(), cell);
+    /// ```
+    pub fn key(&self) -> String {
+        format!(
+            "bench={},input={},technique={},size={},seed={},instrs={}",
+            self.bench.name().to_lowercase(),
+            input_token(self.input),
+            technique_token(self.technique),
+            size_token(self.size),
+            self.seed,
+            self.instrs,
+        )
+    }
+
+    /// Parses a [`SweepCell::key`] rendering.
+    pub fn parse(key: &str) -> Result<SweepCell, String> {
+        let mut bench = None;
+        let mut input = None;
+        let mut technique = None;
+        let mut size = None;
+        let mut seed = None;
+        let mut instrs = None;
+        for part in key.split(',') {
+            let (k, v) = part.split_once('=').ok_or_else(|| format!("bad field `{part}`"))?;
+            match k {
+                "bench" => {
+                    bench = Some(
+                        Benchmark::ALL
+                            .into_iter()
+                            .find(|b| b.name().eq_ignore_ascii_case(v))
+                            .ok_or_else(|| format!("unknown benchmark `{v}`"))?,
+                    )
+                }
+                "input" => {
+                    input =
+                        Some(parse_input_token(v).ok_or_else(|| format!("unknown input `{v}`"))?)
+                }
+                "technique" => {
+                    technique = Some(
+                        parse_technique_token(v)
+                            .ok_or_else(|| format!("unknown technique `{v}`"))?,
+                    )
+                }
+                "size" => {
+                    size = Some(parse_size_token(v).ok_or_else(|| format!("unknown size `{v}`"))?)
+                }
+                "seed" => seed = Some(v.parse().map_err(|_| format!("bad seed `{v}`"))?),
+                "instrs" => instrs = Some(v.parse().map_err(|_| format!("bad instrs `{v}`"))?),
+                _ => return Err(format!("unknown field `{k}`")),
+            }
+        }
+        Ok(SweepCell {
+            bench: bench.ok_or("missing bench")?,
+            input: input.ok_or("missing input")?,
+            technique: technique.ok_or("missing technique")?,
+            size: size.ok_or("missing size")?,
+            seed: seed.ok_or("missing seed")?,
+            instrs: instrs.ok_or("missing instrs")?,
+        })
+    }
+
+    /// The cell's simulator configuration.
+    pub fn config(&self) -> SimConfig {
+        SimConfig::new(self.technique).with_max_instructions(self.instrs)
+    }
+
+    /// Builds the full grid: GAP benchmarks cross the given inputs,
+    /// hpc-db benchmarks appear once (input `-`), each crossed with
+    /// every technique, in a stable order.
+    pub fn grid(
+        benches: &[Benchmark],
+        inputs: &[GraphInput],
+        techniques: &[Technique],
+        size: SizeClass,
+        seed: u64,
+        instrs: u64,
+    ) -> Vec<SweepCell> {
+        let mut cells = Vec::new();
+        for &bench in benches {
+            let cell_inputs: Vec<Option<GraphInput>> =
+                if bench.is_gap() { inputs.iter().map(|&g| Some(g)).collect() } else { vec![None] };
+            for &input in &cell_inputs {
+                for &technique in techniques {
+                    cells.push(SweepCell { bench, input, technique, size, seed, instrs });
+                }
+            }
+        }
+        cells
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary report codec
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Encodes a **completed** report as a self-describing binary payload.
+///
+/// Full fidelity where [`SimReport::to_json`] is lossy: every counter
+/// in `core` and `mem` round-trips, floats travel as IEEE bits, and
+/// the sampling summary (if any) is preserved. `host_seconds` is
+/// deliberately encoded as zero — cached results must be byte-stable
+/// across hosts — and the side-band `sanitizer` / `dvr_trace` fields
+/// are dropped, exactly as `to_json` drops them.
+///
+/// Fails on a failed outcome: failures are journaled as typed text,
+/// never content-addressed (a flaky host must not poison the cache).
+pub fn encode_report(r: &SimReport) -> Result<Vec<u8>, String> {
+    if let RunOutcome::Failed(e) = &r.outcome {
+        return Err(format!("refusing to encode failed report ({})", e.kind()));
+    }
+    let mut out = Vec::with_capacity(512);
+    out.extend_from_slice(REPORT_MAGIC);
+    put_u32(&mut out, REPORT_CODEC_VERSION);
+    let tech =
+        ALL_TECHNIQUES.iter().position(|&t| t == r.technique).expect("every technique is indexed");
+    out.push(tech as u8);
+    put_str(&mut out, &r.workload);
+    for v in r.core.to_flat() {
+        put_u64(&mut out, v);
+    }
+    for v in r.mem.to_flat() {
+        put_u64(&mut out, v);
+    }
+    put_f64(&mut out, r.ipc);
+    put_f64(&mut out, r.mlp);
+    put_u64(&mut out, r.simulated_instructions);
+    match &r.sampling {
+        None => out.push(0),
+        Some(s) => {
+            out.push(1);
+            put_u64(&mut out, s.intervals as u64);
+            put_u64(&mut out, s.interval_len);
+            put_u64(&mut out, s.warmup_len);
+            put_u64(&mut out, s.period);
+            out.push(match s.placement {
+                "random" => 1,
+                _ => 0,
+            });
+            put_u64(&mut out, s.seed);
+            put_f64(&mut out, s.ipc_mean);
+            put_f64(&mut out, s.ipc_variance);
+            put_f64(&mut out, s.ipc_ci95);
+            put_f64(&mut out, s.mlp_mean);
+            put_u64(&mut out, s.detailed_instructions);
+            put_u64(&mut out, s.warmup_instructions);
+            put_u64(&mut out, s.ffwd_instructions);
+        }
+    }
+    put_u64(&mut out, r.engine.episodes);
+    put_u64(&mut out, r.engine.runahead_loads);
+    put_u64(&mut out, r.engine.nested_episodes);
+    put_u64(&mut out, r.engine.lanes_lost);
+    put_str(&mut out, &r.engine.detail);
+    Ok(out)
+}
+
+struct Cursor<'a> {
+    raw: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        if self.raw.len() - self.i < n {
+            return Err(format!("truncated payload at {what} (byte {})", self.i));
+        }
+        let s = &self.raw[self.i..self.i + n];
+        self.i += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, String> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, String> {
+        let len = self.u32(what)? as usize;
+        String::from_utf8(self.take(len, what)?.to_vec()).map_err(|_| format!("non-UTF-8 {what}"))
+    }
+
+    fn flats(&mut self, n: usize, what: &str) -> Result<Vec<u64>, String> {
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.u64(what)?);
+        }
+        Ok(v)
+    }
+}
+
+/// Decodes an [`encode_report`] payload back to a [`SimReport`]
+/// (outcome `Complete`, `host_seconds` zero, no side-band state).
+pub fn decode_report(raw: &[u8]) -> Result<SimReport, String> {
+    let mut c = Cursor { raw, i: 0 };
+    if c.take(4, "magic")? != REPORT_MAGIC {
+        return Err("bad report magic".into());
+    }
+    let version = c.u32("version")?;
+    if version != REPORT_CODEC_VERSION {
+        return Err(format!("unknown report codec version {version}"));
+    }
+    let tech = c.u8("technique")? as usize;
+    let technique =
+        *ALL_TECHNIQUES.get(tech).ok_or_else(|| format!("bad technique index {tech}"))?;
+    let workload = c.str("workload")?;
+    let core = sim_ooo::CoreStats::from_flat(&c.flats(sim_ooo::CoreStats::FLAT_LEN, "core")?)
+        .ok_or("bad core stats")?;
+    let mem = sim_mem::MemStats::from_flat(&c.flats(sim_mem::MemStats::FLAT_LEN, "mem")?)
+        .ok_or("bad mem stats")?;
+    let ipc = c.f64("ipc")?;
+    let mlp = c.f64("mlp")?;
+    let simulated_instructions = c.u64("simulated_instructions")?;
+    let sampling = match c.u8("sampling flag")? {
+        0 => None,
+        1 => Some(SamplingSummary {
+            intervals: c.u64("intervals")? as usize,
+            interval_len: c.u64("interval_len")?,
+            warmup_len: c.u64("warmup_len")?,
+            period: c.u64("period")?,
+            placement: if c.u8("placement")? == 1 { "random" } else { "systematic" },
+            seed: c.u64("seed")?,
+            ipc_mean: c.f64("ipc_mean")?,
+            ipc_variance: c.f64("ipc_variance")?,
+            ipc_ci95: c.f64("ipc_ci95")?,
+            mlp_mean: c.f64("mlp_mean")?,
+            detailed_instructions: c.u64("detailed_instructions")?,
+            warmup_instructions: c.u64("warmup_instructions")?,
+            ffwd_instructions: c.u64("ffwd_instructions")?,
+        }),
+        other => return Err(format!("bad sampling flag {other}")),
+    };
+    let engine = crate::report::EngineSummary {
+        episodes: c.u64("episodes")?,
+        runahead_loads: c.u64("runahead_loads")?,
+        nested_episodes: c.u64("nested_episodes")?,
+        lanes_lost: c.u64("lanes_lost")?,
+        detail: c.str("detail")?,
+    };
+    if c.i != raw.len() {
+        return Err(format!("{} trailing byte(s)", raw.len() - c.i));
+    }
+    Ok(SimReport {
+        technique,
+        workload,
+        core,
+        mem,
+        ipc,
+        mlp,
+        simulated_instructions,
+        host_seconds: 0.0,
+        sampling,
+        engine,
+        outcome: RunOutcome::Complete,
+        sanitizer: None,
+        dvr_trace: None,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Cache key derivation
+// ---------------------------------------------------------------------------
+
+/// The content address of one simulation result: a digest of
+/// (program bytes + initialized memory image, canonical config
+/// rendering, code version). Any change to the workload builder, the
+/// configuration, the sampling plan, or the simulator version yields a
+/// different key, so the cache can only ever serve exact matches.
+pub fn cache_key(wl: &Workload, cfg: &SimConfig, sample: Option<&SampleConfig>) -> Digest128 {
+    let mut h = Hasher::new();
+    h.write_str("dvr-result-v1");
+    h.write_u64(u64::from(CACHE_CODE_VERSION));
+    h.write_str(env!("CARGO_PKG_VERSION"));
+    h.write_str(&wl.name);
+    h.write_u64(wl.prog.len() as u64);
+    // The program's Debug rendering covers every instruction, label,
+    // and line table entry; the memory checksum + footprint cover the
+    // initialized data image.
+    h.write_str(&format!("{:?}", wl.prog));
+    h.write_u64(wl.mem.checksum());
+    h.write_u64(wl.mem.footprint_bytes() as u64);
+    h.write_str(&format!("{cfg:?}"));
+    match sample {
+        None => h.write_str("exact"),
+        Some(s) => h.write_str(&format!("{s:?}")),
+    }
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// The DVR cell runner
+// ---------------------------------------------------------------------------
+
+/// Memoization key for shared workloads: one build serves every
+/// technique in the grid.
+type WorkloadKey = (Benchmark, Option<GraphInput>, SizeClass, u64);
+
+/// [`CellRunner`] for DVR sweeps: parses cell keys, builds workloads
+/// (memoized — grids share them across techniques), runs the exact
+/// simulator, and speaks the binary report codec.
+pub struct DvrSweepRunner {
+    exe: Option<PathBuf>,
+    workloads: Mutex<HashMap<WorkloadKey, Arc<Workload>>>,
+}
+
+impl DvrSweepRunner {
+    /// A runner computing cells in-process. Pass the `dvrsim` binary
+    /// path to enable `--jobs` worker dispatch.
+    pub fn new(exe: Option<PathBuf>) -> Self {
+        DvrSweepRunner { exe, workloads: Mutex::new(HashMap::new()) }
+    }
+
+    /// The (memoized) workload for a cell.
+    pub fn workload(&self, cell: &SweepCell) -> Arc<Workload> {
+        let key = (cell.bench, cell.input, cell.size, cell.seed);
+        if let Some(wl) = self.workloads.lock().unwrap().get(&key) {
+            return Arc::clone(wl);
+        }
+        // Build outside the lock: workload construction is the
+        // expensive part and other cells shouldn't serialize behind it.
+        let wl = Arc::new(cell.bench.build(cell.input, cell.size, cell.seed));
+        Arc::clone(self.workloads.lock().unwrap().entry(key).or_insert(wl))
+    }
+
+    /// Runs one cell to a full report (shared by the in-process path,
+    /// the worker subcommand, and `dvrsim serve`).
+    pub fn run_report(&self, cell: &SweepCell) -> SimReport {
+        simulate(&self.workload(cell), &cell.config())
+    }
+}
+
+impl CellRunner for DvrSweepRunner {
+    fn run(&self, cell: &str) -> Result<Vec<u8>, (String, String)> {
+        let cell = SweepCell::parse(cell).map_err(|e| ("bad_cell".to_string(), e))?;
+        let report = self.run_report(&cell);
+        match &report.outcome {
+            RunOutcome::Complete => encode_report(&report).map_err(|e| ("codec".into(), e)),
+            RunOutcome::Failed(e) => Err((e.kind().to_string(), e.to_string())),
+        }
+    }
+
+    fn worker_argv(&self, cell: &str) -> Option<Vec<String>> {
+        let exe = self.exe.as_ref()?;
+        Some(vec![exe.display().to_string(), "sweep-worker".into(), cell.to_string()])
+    }
+
+    fn cache_key(&self, cell: &str) -> Option<Digest128> {
+        let cell = SweepCell::parse(cell).ok()?;
+        Some(cache_key(&self.workload(&cell), &cell.config(), None))
+    }
+
+    fn summarize(&self, _cell: &str, payload: &[u8]) -> Result<String, String> {
+        Ok(decode_report(payload)?.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::EngineSummary;
+
+    #[test]
+    fn cell_keys_roundtrip_for_the_full_grid() {
+        let cells = SweepCell::grid(
+            &Benchmark::ALL,
+            &GraphInput::ALL,
+            &ALL_TECHNIQUES,
+            SizeClass::Test,
+            42,
+            20_000,
+        );
+        // 5 GAP benchmarks x 5 inputs + 8 hpc-db, each x 8 techniques.
+        assert_eq!(cells.len(), (5 * 5 + 8) * 8);
+        for cell in &cells {
+            let key = cell.key();
+            assert!(!key.chars().any(|c| c.is_whitespace()), "{key}");
+            assert_eq!(SweepCell::parse(&key).unwrap(), *cell, "{key}");
+        }
+        // Keys are unique across the grid.
+        let keys: std::collections::HashSet<String> = cells.iter().map(|c| c.key()).collect();
+        assert_eq!(keys.len(), cells.len());
+    }
+
+    #[test]
+    fn cell_parse_rejects_garbage() {
+        assert!(
+            SweepCell::parse("bench=nope,input=-,technique=dvr,size=test,seed=1,instrs=1").is_err()
+        );
+        assert!(SweepCell::parse("bench=bfs").is_err(), "missing fields");
+        assert!(SweepCell::parse("").is_err());
+        assert!(
+            SweepCell::parse("bench=bfs,input=kr,technique=dvr,size=test,seed=1,instrs=1,x=2")
+                .is_err(),
+            "unknown field"
+        );
+    }
+
+    fn fat_report() -> SimReport {
+        let core = sim_ooo::CoreStats {
+            cycles: 123_456,
+            committed: 200_000,
+            loads: 44_000,
+            ..Default::default()
+        };
+        let mem =
+            sim_mem::MemStats { demand_loads: 44_000, dram_demand: 1_234, ..Default::default() };
+        SimReport {
+            technique: Technique::Dvr,
+            workload: "bfs/KR".into(),
+            core,
+            mem,
+            ipc: 1.618_033,
+            mlp: 7.25,
+            simulated_instructions: 200_000,
+            host_seconds: 3.25, // must NOT survive the codec
+            sampling: Some(SamplingSummary {
+                intervals: 10,
+                interval_len: 2_000,
+                warmup_len: 2_000,
+                period: 20_000,
+                placement: "random",
+                seed: 7,
+                ipc_mean: 1.618_033,
+                ipc_variance: 0.002,
+                ipc_ci95: f64::INFINITY,
+                mlp_mean: 7.25,
+                detailed_instructions: 20_000,
+                warmup_instructions: 20_000,
+                ffwd_instructions: 160_000,
+            }),
+            engine: EngineSummary {
+                episodes: 42,
+                runahead_loads: 9_001,
+                nested_episodes: 3,
+                lanes_lost: 17,
+                detail: "42 episodes".into(),
+            },
+            outcome: RunOutcome::Complete,
+            sanitizer: None,
+            dvr_trace: None,
+        }
+    }
+
+    #[test]
+    fn report_codec_roundtrips_every_field() {
+        let r = fat_report();
+        let payload = encode_report(&r).unwrap();
+        let back = decode_report(&payload).unwrap();
+        assert_eq!(back.technique, r.technique);
+        assert_eq!(back.workload, r.workload);
+        assert_eq!(back.core, r.core);
+        assert_eq!(back.mem, r.mem);
+        assert_eq!(back.ipc.to_bits(), r.ipc.to_bits());
+        assert_eq!(back.mlp.to_bits(), r.mlp.to_bits());
+        assert_eq!(back.simulated_instructions, r.simulated_instructions);
+        assert_eq!(back.sampling, r.sampling);
+        assert_eq!(back.engine.detail, r.engine.detail);
+        assert_eq!(back.engine.lanes_lost, r.engine.lanes_lost);
+        assert_eq!(back.host_seconds, 0.0, "wall clock never round-trips");
+        assert!(back.outcome.is_complete());
+        // The JSON rendering of a decoded report equals the rendering
+        // of the original with its clock zeroed.
+        let mut zeroed = r.clone();
+        zeroed.host_seconds = 0.0;
+        assert_eq!(back.to_json(), zeroed.to_json());
+    }
+
+    #[test]
+    fn codec_rejects_failed_truncated_and_versioned_garbage() {
+        let mut failed = fat_report();
+        failed.outcome =
+            RunOutcome::Failed(sim_ooo::SimError::CycleBudgetExceeded { cycle: 1, budget: 1 });
+        assert!(encode_report(&failed).is_err());
+
+        let payload = encode_report(&fat_report()).unwrap();
+        assert!(decode_report(&payload[..payload.len() - 1]).unwrap_err().contains("truncated"));
+        assert!(decode_report(&payload[1..]).is_err(), "bad magic");
+        let mut extra = payload.clone();
+        extra.push(0);
+        assert!(decode_report(&extra).unwrap_err().contains("trailing"));
+        let mut vers = payload;
+        vers[4] = 99;
+        assert!(decode_report(&vers).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn cache_key_separates_config_program_and_version() {
+        let wl = Benchmark::Hj2.build(None, SizeClass::Test, 42);
+        let dvr = SimConfig::new(Technique::Dvr).with_max_instructions(10_000);
+        let base = SimConfig::new(Technique::Baseline).with_max_instructions(10_000);
+        let k1 = cache_key(&wl, &dvr, None);
+        assert_eq!(k1, cache_key(&wl, &dvr, None), "deterministic");
+        assert_ne!(k1, cache_key(&wl, &base, None), "config separates");
+        assert_ne!(
+            k1,
+            cache_key(&wl, &dvr, Some(&SampleConfig::default())),
+            "sampling plan separates"
+        );
+        let other = Benchmark::Hj2.build(None, SizeClass::Test, 43);
+        assert_ne!(k1, cache_key(&other, &dvr, None), "data seed separates");
+    }
+
+    #[test]
+    fn runner_computes_and_summarizes_a_real_cell() {
+        let runner = DvrSweepRunner::new(None);
+        let cell = SweepCell {
+            bench: Benchmark::Hj2,
+            input: None,
+            technique: Technique::Baseline,
+            size: SizeClass::Test,
+            seed: 42,
+            instrs: 5_000,
+        };
+        let payload = runner.run(&cell.key()).unwrap();
+        let json = runner.summarize(&cell.key(), &payload).unwrap();
+        assert!(json.contains("\"workload\":\"HJ2\""), "{json}");
+        assert!(json.contains("\"outcome\":\"complete\""), "{json}");
+        assert!(json.contains("\"host_seconds\":0.000000"), "{json}");
+        assert!(runner.cache_key(&cell.key()).is_some());
+        assert!(runner.worker_argv(&cell.key()).is_none(), "no exe configured");
+        // Same cell twice -> byte-identical payload (cacheable).
+        assert_eq!(runner.run(&cell.key()).unwrap(), payload);
+    }
+}

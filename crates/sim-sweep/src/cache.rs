@@ -1,0 +1,395 @@
+//! The content-addressed result cache (`.dvr-cache/`).
+//!
+//! Entries are keyed by a [`Digest128`] of (program bytes, canonical
+//! config, code version) — computed by the integration layer — and
+//! named `<key-hex>.res`. Every entry carries its own payload checksum;
+//! a corrupt or truncated entry is **quarantined** (moved into
+//! `quarantine/` for post-mortem) and reported as a typed
+//! [`SweepError::CacheCorrupt`], never silently served. Writes go
+//! through a temp file + rename so a crashed writer can leave at worst
+//! a stale temp file, never a half-visible entry.
+//!
+//! ## Entry format (little-endian)
+//!
+//! ```text
+//! "DVRC" | version u32 | key.lo u64 | key.hi u64 | len u64 | payload | check.lo u64 | check.hi u64
+//! ```
+//!
+//! where `check` is the [`digest_bytes`] of the payload. The embedded
+//! key guards against an entry renamed under the wrong name.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::digest::{digest_bytes, Digest128};
+use crate::error::SweepError;
+
+/// Cache entry format version (bump on any layout change).
+pub const CACHE_ENTRY_VERSION: u32 = 1;
+const CACHE_MAGIC: &[u8; 4] = b"DVRC";
+const ENTRY_EXT: &str = "res";
+
+/// Outcome of a cache lookup.
+#[derive(Clone, PartialEq, Debug)]
+pub enum CacheLookup {
+    /// Entry present and intact: the cached payload.
+    Hit(Vec<u8>),
+    /// No entry under this key.
+    Miss,
+    /// Entry present but corrupt; it has been quarantined and the
+    /// typed error describes why. The caller must recompute.
+    Corrupt(SweepError),
+}
+
+/// Monotonic counters for one cache handle's lifetime.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups served from an intact entry.
+    pub hits: u64,
+    /// Lookups that found no entry.
+    pub misses: u64,
+    /// Lookups that found a corrupt entry (now quarantined).
+    pub corrupt: u64,
+    /// Entries written.
+    pub stores: u64,
+}
+
+/// What [`ResultCache::gc`] removed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct GcStats {
+    /// Live entries kept.
+    pub kept: u64,
+    /// Unreferenced entries removed.
+    pub removed: u64,
+    /// Quarantined files purged.
+    pub quarantine_purged: u64,
+}
+
+/// A content-addressed, integrity-checked result cache rooted at one
+/// directory. Handles are shareable across threads (`&self` methods;
+/// counters are atomic).
+#[derive(Debug)]
+pub struct ResultCache {
+    root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+    stores: AtomicU64,
+    tmp_counter: AtomicU64,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache rooted at `root`.
+    pub fn open(root: &Path) -> Result<ResultCache, SweepError> {
+        std::fs::create_dir_all(root.join("quarantine")).map_err(|e| SweepError::Io {
+            context: format!("create cache dir {}", root.display()),
+            error: e.to_string(),
+        })?;
+        Ok(ResultCache {
+            root: root.to_path_buf(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            tmp_counter: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of the entry for `key` (whether or not it exists).
+    pub fn entry_path(&self, key: Digest128) -> PathBuf {
+        self.root.join(format!("{}.{ENTRY_EXT}", key.hex()))
+    }
+
+    /// Looks up `key`. A corrupt entry is moved into `quarantine/`
+    /// before returning [`CacheLookup::Corrupt`].
+    pub fn lookup(&self, key: Digest128) -> CacheLookup {
+        let path = self.entry_path(key);
+        let raw = match std::fs::read(&path) {
+            Ok(raw) => raw,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return CacheLookup::Miss;
+            }
+            Err(e) => {
+                // Unreadable counts as corrupt: never silently recompute
+                // without surfacing the typed reason.
+                return self.quarantine(&path, format!("read: {e}"));
+            }
+        };
+        match decode_entry(&raw, key) {
+            Ok(payload) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                CacheLookup::Hit(payload)
+            }
+            Err(reason) => self.quarantine(&path, reason),
+        }
+    }
+
+    /// Stores `payload` under `key` atomically (temp file + rename).
+    pub fn store(&self, key: Digest128, payload: &[u8]) -> Result<(), SweepError> {
+        let tmp = self.root.join(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        let bytes = encode_entry(key, payload);
+        std::fs::write(&tmp, &bytes)
+            .and_then(|()| std::fs::rename(&tmp, self.entry_path(key)))
+            .map_err(|e| SweepError::Io {
+                context: format!("store cache entry {}", self.entry_path(key).display()),
+                error: e.to_string(),
+            })?;
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Flips one payload byte of `key`'s entry on disk — the
+    /// cache-corruption fault hook (`--inject-sweep flip=N`). No-op if
+    /// the entry does not exist.
+    pub fn flip_byte_for_fault(&self, key: Digest128, offset: u64) -> Result<(), SweepError> {
+        let path = self.entry_path(key);
+        let mut raw = match std::fs::read(&path) {
+            Ok(raw) => raw,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => {
+                return Err(SweepError::Io {
+                    context: format!("fault read {}", path.display()),
+                    error: e.to_string(),
+                })
+            }
+        };
+        let header = CACHE_MAGIC.len() + 4 + 16 + 8;
+        if raw.len() > header {
+            let span = (raw.len() - header) as u64;
+            let i = header + (offset % span) as usize;
+            raw[i] ^= 0xff;
+        }
+        std::fs::write(&path, &raw).map_err(|e| SweepError::Io {
+            context: format!("fault write {}", path.display()),
+            error: e.to_string(),
+        })
+    }
+
+    /// Removes every entry whose key is not in `keep`, plus all
+    /// quarantined files — `dvrsim sweep --gc`.
+    pub fn gc(&self, keep: &std::collections::HashSet<String>) -> Result<GcStats, SweepError> {
+        let mut stats = GcStats::default();
+        let read_dir = |p: &Path| {
+            std::fs::read_dir(p).map_err(|e| SweepError::Io {
+                context: format!("gc read dir {}", p.display()),
+                error: e.to_string(),
+            })
+        };
+        for entry in read_dir(&self.root)? {
+            let Ok(entry) = entry else { continue };
+            let path = entry.path();
+            if !path.is_file() {
+                continue;
+            }
+            let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+            let is_entry = path.extension().and_then(|e| e.to_str()) == Some(ENTRY_EXT);
+            if is_entry && keep.contains(stem) {
+                stats.kept += 1;
+            } else {
+                // Unreferenced entries and stale temp files alike.
+                if std::fs::remove_file(&path).is_ok() {
+                    stats.removed += 1;
+                }
+            }
+        }
+        for entry in read_dir(&self.root.join("quarantine"))? {
+            let Ok(entry) = entry else { continue };
+            if std::fs::remove_file(entry.path()).is_ok() {
+                stats.quarantine_purged += 1;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Lifetime counters for this handle.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+        }
+    }
+
+    fn quarantine(&self, path: &Path, reason: String) -> CacheLookup {
+        self.corrupt.fetch_add(1, Ordering::Relaxed);
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("entry");
+        // Find a free quarantine slot so repeated corruption of the
+        // same key preserves every bad specimen.
+        for n in 0..u32::MAX {
+            let dest = self.root.join("quarantine").join(format!("{name}.{n}"));
+            if !dest.exists() {
+                let _ = std::fs::rename(path, &dest);
+                break;
+            }
+        }
+        CacheLookup::Corrupt(SweepError::CacheCorrupt { path: path.to_path_buf(), reason })
+    }
+}
+
+fn encode_entry(key: Digest128, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 44);
+    out.extend_from_slice(CACHE_MAGIC);
+    out.extend_from_slice(&CACHE_ENTRY_VERSION.to_le_bytes());
+    out.extend_from_slice(&key.lo.to_le_bytes());
+    out.extend_from_slice(&key.hi.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let check = digest_bytes(payload);
+    out.extend_from_slice(&check.lo.to_le_bytes());
+    out.extend_from_slice(&check.hi.to_le_bytes());
+    out
+}
+
+struct Cursor<'a> {
+    raw: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.raw.len() - self.i < n {
+            return Err(format!("truncated at byte {} (need {n} more)", self.i));
+        }
+        let s = &self.raw[self.i..self.i + n];
+        self.i += n;
+        Ok(s)
+    }
+
+    fn take_u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+fn decode_entry(raw: &[u8], key: Digest128) -> Result<Vec<u8>, String> {
+    let mut c = Cursor { raw, i: 0 };
+    if c.take(4)? != CACHE_MAGIC {
+        return Err("bad magic".into());
+    }
+    let version = u32::from_le_bytes(c.take(4)?.try_into().unwrap());
+    if version != CACHE_ENTRY_VERSION {
+        return Err(format!("unknown entry version {version}"));
+    }
+    let lo = c.take_u64()?;
+    let hi = c.take_u64()?;
+    if (Digest128 { lo, hi }) != key {
+        return Err("entry keyed under a different digest".into());
+    }
+    let len = c.take_u64()? as usize;
+    let payload = c.take(len)?.to_vec();
+    let clo = c.take_u64()?;
+    let chi = c.take_u64()?;
+    if c.i != raw.len() {
+        return Err(format!("{} trailing byte(s)", raw.len() - c.i));
+    }
+    let check = digest_bytes(&payload);
+    if check != (Digest128 { lo: clo, hi: chi }) {
+        return Err("payload checksum mismatch".into());
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::digest_bytes;
+
+    fn cache(tag: &str) -> (ResultCache, PathBuf) {
+        let d = std::env::temp_dir().join(format!("dvr-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        (ResultCache::open(&d).unwrap(), d)
+    }
+
+    #[test]
+    fn store_then_hit() {
+        let (c, d) = cache("hit");
+        let key = digest_bytes(b"cell-1");
+        assert_eq!(c.lookup(key), CacheLookup::Miss);
+        c.store(key, b"payload").unwrap();
+        assert_eq!(c.lookup(key), CacheLookup::Hit(b"payload".to_vec()));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.stores, s.corrupt), (1, 1, 1, 0));
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_not_served() {
+        let (c, d) = cache("corrupt");
+        let key = digest_bytes(b"cell-2");
+        c.store(key, b"precious result").unwrap();
+        // Flip one payload byte on disk.
+        c.flip_byte_for_fault(key, 3).unwrap();
+        match c.lookup(key) {
+            CacheLookup::Corrupt(SweepError::CacheCorrupt { reason, .. }) => {
+                assert!(reason.contains("checksum"), "{reason}");
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        // The entry is gone (quarantined): next lookup is a clean miss.
+        assert_eq!(c.lookup(key), CacheLookup::Miss);
+        let quarantined: Vec<_> = std::fs::read_dir(d.join("quarantine")).unwrap().collect();
+        assert_eq!(quarantined.len(), 1);
+        assert_eq!(c.stats().corrupt, 1);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn truncated_entry_is_corrupt() {
+        let (c, d) = cache("trunc");
+        let key = digest_bytes(b"cell-3");
+        c.store(key, b"0123456789").unwrap();
+        let path = c.entry_path(key);
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() - 4]).unwrap();
+        assert!(matches!(c.lookup(key), CacheLookup::Corrupt(_)));
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn wrong_key_name_is_corrupt() {
+        let (c, d) = cache("wrongkey");
+        let a = digest_bytes(b"cell-a");
+        let b = digest_bytes(b"cell-b");
+        c.store(a, b"for a").unwrap();
+        std::fs::rename(c.entry_path(a), c.entry_path(b)).unwrap();
+        match c.lookup(b) {
+            CacheLookup::Corrupt(SweepError::CacheCorrupt { reason, .. }) => {
+                assert!(reason.contains("different digest"), "{reason}");
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn gc_keeps_referenced_entries_and_purges_quarantine() {
+        let (c, d) = cache("gc");
+        let keep_key = digest_bytes(b"keep");
+        let drop_key = digest_bytes(b"drop");
+        c.store(keep_key, b"k").unwrap();
+        c.store(drop_key, b"d").unwrap();
+        // Put something in quarantine.
+        c.store(digest_bytes(b"bad"), b"x").unwrap();
+        c.flip_byte_for_fault(digest_bytes(b"bad"), 0).unwrap();
+        let _ = c.lookup(digest_bytes(b"bad"));
+
+        let keep: std::collections::HashSet<String> = [keep_key.hex()].into_iter().collect();
+        let stats = c.gc(&keep).unwrap();
+        assert_eq!(stats.kept, 1);
+        assert_eq!(stats.removed, 1);
+        assert_eq!(stats.quarantine_purged, 1);
+        assert_eq!(c.lookup(keep_key), CacheLookup::Hit(b"k".to_vec()));
+        assert_eq!(c.lookup(drop_key), CacheLookup::Miss);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

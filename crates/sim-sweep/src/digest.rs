@@ -1,0 +1,174 @@
+//! A 128-bit content digest for cache keys and integrity checksums.
+//!
+//! Two independent FNV-1a streams (different offset bases, the second
+//! fed a permuted byte stream) concatenated to 128 bits. Not
+//! cryptographic — the cache is a local trust domain — but wide enough
+//! that accidental collisions across a design-space sweep are
+//! negligible, and cheap enough to hash every payload on both the
+//! write and the read path.
+
+/// A 128-bit digest, rendered as 32 lowercase hex characters.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Digest128 {
+    /// Low 64 bits (the primary FNV-1a stream).
+    pub lo: u64,
+    /// High 64 bits (the permuted secondary stream).
+    pub hi: u64,
+}
+
+impl Digest128 {
+    /// Renders the digest as 32 hex characters (`lo` first).
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.lo, self.hi)
+    }
+
+    /// Parses a [`Digest128::hex`] rendering. Returns `None` for
+    /// anything that is not exactly 32 hex characters.
+    pub fn from_hex(s: &str) -> Option<Digest128> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let lo = u64::from_str_radix(&s[..16], 16).ok()?;
+        let hi = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(Digest128 { lo, hi })
+    }
+}
+
+impl std::fmt::Display for Digest128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// Offset basis for the secondary stream (FNV offset xor an arbitrary
+/// odd constant), so the two 64-bit halves are not trivially related.
+const FNV_OFFSET_HI: u64 = FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15;
+
+/// Incremental hasher producing a [`Digest128`].
+#[derive(Clone, Debug)]
+pub struct Hasher {
+    lo: u64,
+    hi: u64,
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Hasher::new()
+    }
+}
+
+impl Hasher {
+    /// A fresh hasher at the offset bases.
+    pub fn new() -> Self {
+        Hasher { lo: FNV_OFFSET, hi: FNV_OFFSET_HI }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.lo = (self.lo ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            self.hi = (self.hi ^ u64::from(b ^ 0xa5)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a string, length-prefixed so field boundaries can't alias.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// Feeds a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Finalizes the digest (the hasher may keep being fed afterwards).
+    pub fn finish(&self) -> Digest128 {
+        Digest128 { lo: self.lo, hi: self.hi }
+    }
+}
+
+/// One-shot digest of a byte slice.
+pub fn digest_bytes(bytes: &[u8]) -> Digest128 {
+    let mut h = Hasher::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// One-shot 64-bit FNV-1a of a string (journal line checksums, jitter
+/// seeding — places where 64 bits suffice).
+pub fn fnv64(s: &str) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in s.as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Encodes bytes as lowercase hex.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Decodes lowercase/uppercase hex back to bytes. `None` on odd length
+/// or a non-hex character. The empty string decodes to an empty vec.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let b = s.as_bytes();
+    for i in (0..b.len()).step_by(2) {
+        let chunk = std::str::from_utf8(&b[i..i + 2]).ok()?;
+        out.push(u8::from_str_radix(chunk, 16).ok()?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_deterministic_and_input_sensitive() {
+        let a = digest_bytes(b"hello");
+        assert_eq!(a, digest_bytes(b"hello"));
+        assert_ne!(a, digest_bytes(b"hellp"));
+        assert_ne!(a.lo, a.hi, "streams must be independent");
+    }
+
+    #[test]
+    fn hex_roundtrips() {
+        let d = digest_bytes(b"roundtrip");
+        assert_eq!(Digest128::from_hex(&d.hex()), Some(d));
+        assert_eq!(d.hex().len(), 32);
+        assert!(Digest128::from_hex("xyz").is_none());
+        assert!(Digest128::from_hex(&d.hex()[1..]).is_none());
+    }
+
+    #[test]
+    fn field_boundaries_do_not_alias() {
+        let mut a = Hasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Hasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hex_codec_roundtrips() {
+        let data = [0u8, 1, 0x7f, 0xff, 0xa5];
+        assert_eq!(from_hex(&to_hex(&data)).unwrap(), data);
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+        assert!(from_hex("abc").is_none(), "odd length");
+        assert!(from_hex("zz").is_none(), "non-hex");
+    }
+}

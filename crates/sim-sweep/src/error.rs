@@ -1,0 +1,158 @@
+//! Typed sweep errors.
+//!
+//! Every recovery path in the sweep layer is driven by a variant here,
+//! mirroring how `SimError` types run failures inside the simulator:
+//! callers match on the variant (or its stable [`SweepError::kind`]
+//! label) instead of scraping message strings.
+
+use std::path::PathBuf;
+
+/// An error raised by the sweep layer (journal, cache, supervisor, or
+/// the sweep driver itself).
+///
+/// Carries rendered messages rather than source errors so values stay
+/// `Clone + PartialEq` — sweep tests assert on exact errors, and cell
+/// outcomes are persisted to the journal as text anyway.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SweepError {
+    /// A cache entry failed its integrity check (bad magic, truncated,
+    /// checksum mismatch, or keyed under the wrong digest). The entry
+    /// has already been quarantined; the caller recomputes.
+    CacheCorrupt {
+        /// Path of the offending entry (pre-quarantine).
+        path: PathBuf,
+        /// What the integrity check found.
+        reason: String,
+    },
+    /// The journal file exists but cannot be read or written.
+    Journal {
+        /// Journal path.
+        path: PathBuf,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The journal belongs to a different sweep grid: resuming it with
+    /// this manifest would mix results from incompatible runs.
+    JournalMismatch {
+        /// Journal path.
+        path: PathBuf,
+        /// Manifest digest of the requested sweep.
+        expected: String,
+        /// Manifest digest recorded in the journal.
+        found: String,
+    },
+    /// A filesystem operation outside the journal failed.
+    Io {
+        /// What was being attempted.
+        context: String,
+        /// The rendered I/O error.
+        error: String,
+    },
+    /// A supervised worker exceeded its per-cell wall-clock budget on
+    /// every attempt.
+    Timeout {
+        /// Cell key.
+        cell: String,
+        /// The configured per-attempt budget.
+        timeout_ms: u64,
+        /// Attempts made (1 + retries).
+        attempts: u32,
+    },
+    /// A supervised worker died or spoke garbage on every attempt
+    /// (spawn failure, killed, crash, protocol violation).
+    Worker {
+        /// Cell key.
+        cell: String,
+        /// Attempts made (1 + retries).
+        attempts: u32,
+        /// The last attempt's failure.
+        message: String,
+    },
+    /// The simulation itself failed with a typed outcome (deterministic
+    /// — not retried).
+    Cell {
+        /// Cell key.
+        cell: String,
+        /// Stable error-kind label (e.g. `deadlock`, `exec_fault`).
+        kind: String,
+        /// Rendered error message.
+        message: String,
+    },
+    /// The sweep stopped early (injected crash or journal failure);
+    /// completed cells are journaled and a rerun resumes from them.
+    Aborted {
+        /// Journal records written before the stop.
+        records: u64,
+    },
+    /// Invalid sweep configuration (bad grid, bad fault spec, ...).
+    Config(String),
+}
+
+impl SweepError {
+    /// Stable machine-readable label for dashboards and tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SweepError::CacheCorrupt { .. } => "cache_corrupt",
+            SweepError::Journal { .. } => "journal",
+            SweepError::JournalMismatch { .. } => "journal_mismatch",
+            SweepError::Io { .. } => "io",
+            SweepError::Timeout { .. } => "timeout",
+            SweepError::Worker { .. } => "worker",
+            SweepError::Cell { .. } => "cell_failed",
+            SweepError::Aborted { .. } => "aborted",
+            SweepError::Config(_) => "config",
+        }
+    }
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::CacheCorrupt { path, reason } => {
+                write!(f, "corrupt cache entry {} ({reason}); quarantined", path.display())
+            }
+            SweepError::Journal { path, reason } => {
+                write!(f, "journal {}: {reason}", path.display())
+            }
+            SweepError::JournalMismatch { path, expected, found } => write!(
+                f,
+                "journal {} records a different sweep (manifest {found}, want {expected}); \
+                 use a fresh --out directory",
+                path.display()
+            ),
+            SweepError::Io { context, error } => write!(f, "{context}: {error}"),
+            SweepError::Timeout { cell, timeout_ms, attempts } => {
+                write!(f, "cell {cell}: worker exceeded {timeout_ms} ms on {attempts} attempt(s)")
+            }
+            SweepError::Worker { cell, attempts, message } => {
+                write!(f, "cell {cell}: worker failed on {attempts} attempt(s): {message}")
+            }
+            SweepError::Cell { cell, kind, message } => {
+                write!(f, "cell {cell} failed ({kind}): {message}")
+            }
+            SweepError::Aborted { records } => {
+                write!(f, "sweep aborted after {records} journal record(s); rerun to resume")
+            }
+            SweepError::Config(msg) => write!(f, "sweep config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable() {
+        let e = SweepError::CacheCorrupt { path: "x.res".into(), reason: "checksum".into() };
+        assert_eq!(e.kind(), "cache_corrupt");
+        assert!(e.to_string().contains("quarantined"));
+        assert_eq!(SweepError::Aborted { records: 3 }.kind(), "aborted");
+        assert_eq!(
+            SweepError::Timeout { cell: "c".into(), timeout_ms: 5, attempts: 2 }.kind(),
+            "timeout"
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Deterministic fault injection for the sweep layer.
+//!
+//! Extends the PR-2 philosophy (seeded, reproducible faults in
+//! `sim_mem::FaultConfig`) up the stack: kill or hang the Nth spawned
+//! worker, flip a byte in the Nth cache entry written, truncate the
+//! journal after the Nth record, or abort the whole sweep after the
+//! Nth record (a simulated `kill -9` that tests can drive in-process).
+//! All triggers count deterministic events, so every recovery path is
+//! replayable in CI.
+//!
+//! Specs parse from `--inject-sweep` strings such as
+//! `kill=1,flip=2,trunc=3,trunc-bytes=5,abort=4,hang=1`.
+
+use crate::error::SweepError;
+
+/// Sweep-layer fault plan. `0` disables a trigger; counts are 1-based
+/// over the corresponding event stream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SweepFault {
+    /// SIGKILL the Nth spawned worker process right after spawn.
+    pub kill_worker_at: u64,
+    /// Make the Nth spawned worker hang (the supervisor appends the
+    /// worker's `--test-hang` flag), exercising the timeout path.
+    pub hang_worker_at: u64,
+    /// Flip one byte of the Nth cache entry written by this sweep.
+    pub flip_cache_at: u64,
+    /// Truncate the journal tail right after the Nth record is
+    /// appended (implies an abort at the same point — a torn write
+    /// never continues).
+    pub truncate_journal_at: u64,
+    /// How many bytes [`SweepFault::truncate_journal_at`] chops.
+    pub truncate_bytes: u64,
+    /// Abort the sweep (simulated crash) after the Nth journal record.
+    pub abort_after_records: u64,
+}
+
+impl SweepFault {
+    /// Whether any trigger is armed.
+    pub fn is_active(&self) -> bool {
+        self.kill_worker_at != 0
+            || self.hang_worker_at != 0
+            || self.flip_cache_at != 0
+            || self.truncate_journal_at != 0
+            || self.abort_after_records != 0
+    }
+
+    /// Parses an `--inject-sweep` spec: comma-separated `key=value`
+    /// pairs from `kill`, `hang`, `flip`, `trunc`, `trunc-bytes`,
+    /// `abort`. The empty string is the inactive plan.
+    pub fn parse(spec: &str) -> Result<SweepFault, SweepError> {
+        let mut f = SweepFault { truncate_bytes: 3, ..SweepFault::default() };
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| SweepError::Config(format!("bad fault spec `{part}`")))?;
+            let n: u64 = value.parse().map_err(|_| {
+                SweepError::Config(format!("bad fault count `{value}` in `{part}`"))
+            })?;
+            match key {
+                "kill" => f.kill_worker_at = n,
+                "hang" => f.hang_worker_at = n,
+                "flip" => f.flip_cache_at = n,
+                "trunc" => f.truncate_journal_at = n,
+                "trunc-bytes" => f.truncate_bytes = n,
+                "abort" => f.abort_after_records = n,
+                _ => {
+                    return Err(SweepError::Config(format!(
+                        "unknown fault trigger `{key}` (kill|hang|flip|trunc|trunc-bytes|abort)"
+                    )))
+                }
+            }
+        }
+        Ok(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_spec() {
+        let f = SweepFault::parse("kill=1,flip=2,trunc=3,trunc-bytes=7,abort=4,hang=5").unwrap();
+        assert_eq!(f.kill_worker_at, 1);
+        assert_eq!(f.flip_cache_at, 2);
+        assert_eq!(f.truncate_journal_at, 3);
+        assert_eq!(f.truncate_bytes, 7);
+        assert_eq!(f.abort_after_records, 4);
+        assert_eq!(f.hang_worker_at, 5);
+        assert!(f.is_active());
+    }
+
+    #[test]
+    fn empty_spec_is_inactive() {
+        let f = SweepFault::parse("").unwrap();
+        assert!(!f.is_active());
+        assert_eq!(f.truncate_bytes, 3, "default chop size");
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        assert!(matches!(SweepFault::parse("zap=1"), Err(SweepError::Config(_))));
+        assert!(matches!(SweepFault::parse("kill"), Err(SweepError::Config(_))));
+        assert!(matches!(SweepFault::parse("kill=x"), Err(SweepError::Config(_))));
+    }
+}

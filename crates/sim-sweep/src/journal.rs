@@ -1,0 +1,413 @@
+//! The sweep write-ahead journal.
+//!
+//! One append-only text file records every cell outcome the moment it
+//! is known, so a sweep killed at *any* byte offset — `kill -9`, power
+//! loss, a panicking driver — resumes exactly where it stopped.
+//!
+//! ## Format
+//!
+//! One record per line:
+//!
+//! ```text
+//! J1 <16-hex fnv64 of rest> <rest>
+//! ```
+//!
+//! where `<rest>` is one of
+//!
+//! ```text
+//! manifest <32-hex digest of the cell grid>
+//! done <cell-key> <hex payload>
+//! fail <cell-key> <error-kind> <attempts> <hex message>
+//! ```
+//!
+//! The first record is always `manifest`; replay refuses a journal
+//! whose manifest digest differs from the requested grid
+//! ([`SweepError::JournalMismatch`]) so two different sweeps can never
+//! interleave results. Cell keys are opaque tokens that must not
+//! contain whitespace; payloads and messages are hex-encoded so the
+//! line parser never needs escaping rules.
+//!
+//! ## Crash tolerance
+//!
+//! Replay accepts the longest valid prefix: the first line that is
+//! truncated (no trailing newline), fails its checksum, or fails to
+//! parse ends replay, and the file is truncated back to the end of the
+//! valid prefix before appending resumes. A torn final write therefore
+//! costs at most one cell's recomputation, never the sweep.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::digest::{fnv64, from_hex, to_hex, Digest128, Hasher};
+use crate::error::SweepError;
+use crate::CellOutcome;
+
+/// Magic tag opening every journal line (`J` + format version).
+pub const JOURNAL_TAG: &str = "J1";
+
+/// One replayed journal record (the manifest record is consumed during
+/// open and never surfaced).
+#[derive(Clone, PartialEq, Debug)]
+pub struct JournalRecord {
+    /// Cell key the record settles.
+    pub cell: String,
+    /// The recorded outcome.
+    pub outcome: CellOutcome,
+}
+
+/// Digest of a sweep's cell grid; pins a journal to its sweep.
+pub fn manifest_digest(cells: &[String]) -> Digest128 {
+    let mut h = Hasher::new();
+    h.write_str("dvr-sweep-manifest-v1");
+    h.write_u64(cells.len() as u64);
+    for c in cells {
+        h.write_str(c);
+    }
+    h.finish()
+}
+
+/// Statistics from replaying a journal.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ReplayStats {
+    /// Valid records replayed (excluding the manifest).
+    pub replayed: u64,
+    /// Bytes of invalid tail dropped (0 on a clean journal).
+    pub dropped_bytes: u64,
+}
+
+/// An open, replayed, append-ready journal.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    records: u64,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path`, replays the valid
+    /// prefix, truncates any torn tail, and verifies the manifest.
+    ///
+    /// Returns the journal positioned for appends, the replayed
+    /// records in file order, and replay statistics.
+    pub fn open(
+        path: &Path,
+        manifest: Digest128,
+    ) -> Result<(Journal, Vec<JournalRecord>, ReplayStats), SweepError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| SweepError::Journal {
+                    path: path.to_path_buf(),
+                    reason: format!("create parent dir: {e}"),
+                })?;
+            }
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| SweepError::Journal {
+                path: path.to_path_buf(),
+                reason: format!("open: {e}"),
+            })?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw).map_err(|e| SweepError::Journal {
+            path: path.to_path_buf(),
+            reason: format!("read: {e}"),
+        })?;
+
+        let mut records = Vec::new();
+        let mut stats = ReplayStats::default();
+        let mut valid_end = 0usize;
+        let mut saw_manifest = false;
+        let mut offset = 0usize;
+        while offset < raw.len() {
+            let Some(nl) = raw[offset..].iter().position(|&b| b == b'\n') else {
+                break; // torn final write: no newline
+            };
+            let line_end = offset + nl;
+            let Ok(line) = std::str::from_utf8(&raw[offset..line_end]) else {
+                break;
+            };
+            let Some(rest) = parse_line(line) else {
+                break;
+            };
+            if !saw_manifest {
+                let found = match rest.strip_prefix("manifest ") {
+                    Some(hex) => hex.to_string(),
+                    None => break,
+                };
+                if found != manifest.hex() {
+                    return Err(SweepError::JournalMismatch {
+                        path: path.to_path_buf(),
+                        expected: manifest.hex(),
+                        found,
+                    });
+                }
+                saw_manifest = true;
+            } else {
+                let Some(rec) = parse_record(rest) else {
+                    break;
+                };
+                records.push(rec);
+                stats.replayed += 1;
+            }
+            offset = line_end + 1;
+            valid_end = offset;
+        }
+        stats.dropped_bytes = (raw.len() - valid_end) as u64;
+        if stats.dropped_bytes > 0 {
+            file.set_len(valid_end as u64).map_err(|e| SweepError::Journal {
+                path: path.to_path_buf(),
+                reason: format!("truncate torn tail: {e}"),
+            })?;
+        }
+        file.seek(SeekFrom::End(0)).map_err(|e| SweepError::Journal {
+            path: path.to_path_buf(),
+            reason: format!("seek: {e}"),
+        })?;
+
+        let mut journal = Journal { path: path.to_path_buf(), file, records: stats.replayed };
+        if !saw_manifest {
+            // Fresh (or fully torn) journal: write the manifest record.
+            journal.append_line(&format!("manifest {}", manifest.hex()))?;
+        }
+        Ok((journal, records, stats))
+    }
+
+    /// Appends a settled cell outcome and flushes it to the OS, so the
+    /// record survives a `kill -9` of this process.
+    pub fn append(&mut self, cell: &str, outcome: &CellOutcome) -> Result<(), SweepError> {
+        debug_assert!(
+            !cell.chars().any(|c| c.is_whitespace()),
+            "cell keys must be whitespace-free tokens"
+        );
+        let rest = match outcome {
+            CellOutcome::Done(payload) => format!("done {cell} {}", to_hex(payload)),
+            CellOutcome::Failed { kind, message, attempts } => {
+                format!("fail {cell} {kind} {attempts} {}", to_hex(message.as_bytes()))
+            }
+        };
+        self.append_line(&rest)?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records appended or replayed so far (excluding the manifest).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Truncates `bytes` off the end of the file — the journal-
+    /// truncation fault hook. The in-memory record count is left
+    /// untouched; a subsequent [`Journal::open`] observes the torn
+    /// tail exactly as a crashed writer would have left it.
+    pub fn truncate_tail_for_fault(&mut self, bytes: u64) -> Result<(), SweepError> {
+        let len = self.file.metadata().map_err(|e| self.err(format!("metadata: {e}")))?.len();
+        self.file
+            .set_len(len.saturating_sub(bytes))
+            .map_err(|e| self.err(format!("fault truncate: {e}")))?;
+        self.file.seek(SeekFrom::End(0)).map_err(|e| self.err(format!("seek: {e}")))?;
+        Ok(())
+    }
+
+    fn err(&self, reason: String) -> SweepError {
+        SweepError::Journal { path: self.path.clone(), reason }
+    }
+
+    fn append_line(&mut self, rest: &str) -> Result<(), SweepError> {
+        let line = format!("{JOURNAL_TAG} {:016x} {rest}\n", fnv64(rest));
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.flush())
+            .map_err(|e| self.err(format!("append: {e}")))
+    }
+}
+
+/// Validates one line's tag and checksum, returning the record body.
+fn parse_line(line: &str) -> Option<&str> {
+    let rest = line.strip_prefix(JOURNAL_TAG)?.strip_prefix(' ')?;
+    let (check, body) = rest.split_once(' ')?;
+    let check = u64::from_str_radix(check, 16).ok()?;
+    if check != fnv64(body) {
+        return None;
+    }
+    Some(body)
+}
+
+fn parse_record(body: &str) -> Option<JournalRecord> {
+    let (kind, rest) = body.split_once(' ')?;
+    match kind {
+        "done" => {
+            let (cell, hex) = rest.split_once(' ')?;
+            Some(JournalRecord {
+                cell: cell.to_string(),
+                outcome: CellOutcome::Done(from_hex(hex)?),
+            })
+        }
+        "fail" => {
+            let (cell, rest) = rest.split_once(' ')?;
+            let (err_kind, rest) = rest.split_once(' ')?;
+            let (attempts, hex) = rest.split_once(' ')?;
+            Some(JournalRecord {
+                cell: cell.to_string(),
+                outcome: CellOutcome::Failed {
+                    kind: err_kind.to_string(),
+                    message: String::from_utf8(from_hex(hex)?).ok()?,
+                    attempts: attempts.parse().ok()?,
+                },
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Folds replayed records into a per-cell map (last record wins, which
+/// only matters if a crashed run managed to double-write a cell).
+pub fn settled_map(records: Vec<JournalRecord>) -> HashMap<String, CellOutcome> {
+    records.into_iter().map(|r| (r.cell, r.outcome)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dvr-journal-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn digest() -> Digest128 {
+        manifest_digest(&["a".into(), "b".into()])
+    }
+
+    #[test]
+    fn roundtrip_and_resume() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("j.dvrj");
+        let (mut j, replayed, stats) = Journal::open(&path, digest()).unwrap();
+        assert!(replayed.is_empty());
+        assert_eq!(stats, ReplayStats::default());
+        j.append("a", &CellOutcome::Done(vec![1, 2, 3])).unwrap();
+        j.append(
+            "b",
+            &CellOutcome::Failed {
+                kind: "deadlock".into(),
+                message: "no commit for 1000 cycles".into(),
+                attempts: 2,
+            },
+        )
+        .unwrap();
+        drop(j);
+
+        let (j2, replayed, stats) = Journal::open(&path, digest()).unwrap();
+        assert_eq!(stats.replayed, 2);
+        assert_eq!(stats.dropped_bytes, 0);
+        assert_eq!(j2.records(), 2);
+        assert_eq!(replayed[0].cell, "a");
+        assert_eq!(replayed[0].outcome, CellOutcome::Done(vec![1, 2, 3]));
+        match &replayed[1].outcome {
+            CellOutcome::Failed { kind, message, attempts } => {
+                assert_eq!(kind, "deadlock");
+                assert_eq!(message, "no commit for 1000 cycles");
+                assert_eq!(*attempts, 2);
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_truncated() {
+        let dir = tmpdir("torn");
+        let path = dir.join("j.dvrj");
+        let (mut j, _, _) = Journal::open(&path, digest()).unwrap();
+        j.append("a", &CellOutcome::Done(vec![7])).unwrap();
+        j.append("b", &CellOutcome::Done(vec![8])).unwrap();
+        drop(j);
+        // Chop mid-record, as a kill -9 during the final write would.
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() - 5]).unwrap();
+
+        let (j2, replayed, stats) = Journal::open(&path, digest()).unwrap();
+        assert_eq!(stats.replayed, 1, "torn record dropped");
+        assert!(stats.dropped_bytes > 0);
+        assert_eq!(replayed[0].cell, "a");
+        drop(j2);
+        // The torn bytes are gone from disk and replay is now clean.
+        let (_, replayed, stats) = Journal::open(&path, digest()).unwrap();
+        assert_eq!(stats.dropped_bytes, 0);
+        assert_eq!(replayed.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_record_checksum_ends_replay() {
+        let dir = tmpdir("check");
+        let path = dir.join("j.dvrj");
+        let (mut j, _, _) = Journal::open(&path, digest()).unwrap();
+        j.append("a", &CellOutcome::Done(vec![1])).unwrap();
+        j.append("b", &CellOutcome::Done(vec![2])).unwrap();
+        drop(j);
+        // Flip a payload byte in record "a": its checksum now fails, so
+        // replay keeps nothing (records after a bad one are dropped too).
+        let text = std::fs::read_to_string(&path).unwrap();
+        let corrupted = text.replacen("done a 01", "done a 02", 1);
+        assert_ne!(text, corrupted);
+        std::fs::write(&path, corrupted).unwrap();
+        let (_, replayed, stats) = Journal::open(&path, digest()).unwrap();
+        assert_eq!(replayed.len(), 0);
+        assert!(stats.dropped_bytes > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_mismatch_is_refused() {
+        let dir = tmpdir("mismatch");
+        let path = dir.join("j.dvrj");
+        let (mut j, _, _) = Journal::open(&path, digest()).unwrap();
+        j.append("a", &CellOutcome::Done(vec![1])).unwrap();
+        drop(j);
+        let other = manifest_digest(&["a".into(), "b".into(), "c".into()]);
+        match Journal::open(&path, other) {
+            Err(SweepError::JournalMismatch { expected, found, .. }) => {
+                assert_eq!(expected, other.hex());
+                assert_eq!(found, digest().hex());
+            }
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_truncation_behaves_like_a_crash() {
+        let dir = tmpdir("fault");
+        let path = dir.join("j.dvrj");
+        let (mut j, _, _) = Journal::open(&path, digest()).unwrap();
+        j.append("a", &CellOutcome::Done(vec![1])).unwrap();
+        j.append("b", &CellOutcome::Done(vec![2])).unwrap();
+        j.truncate_tail_for_fault(3).unwrap();
+        drop(j);
+        let (_, replayed, stats) = Journal::open(&path, digest()).unwrap();
+        assert_eq!(replayed.len(), 1, "only the torn record is lost");
+        assert!(stats.dropped_bytes > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_digest_is_order_sensitive() {
+        let a = manifest_digest(&["x".into(), "y".into()]);
+        let b = manifest_digest(&["y".into(), "x".into()]);
+        assert_ne!(a, b);
+    }
+}

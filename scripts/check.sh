@@ -100,4 +100,44 @@ grep -q '"sample_probe"' "$bench_dir/BENCH_fig9.json" || { echo "BENCH json miss
 grep -q '"host_minstr_per_sec"' "$bench_dir/BENCH_fig9.json" || { echo "BENCH json missing throughput"; exit 1; }
 rm -rf "$bench_dir"
 
+echo "== sweep smoke: corrupt cache entry is quarantined, never served =="
+# The cold sweep populates the cache and flips a byte in the first stored
+# entry (--inject-sweep flip=1). The next run must detect the bad checksum,
+# quarantine the entry, recompute the cell, and still match byte-for-byte.
+sweep_dir="$(mktemp -d)"
+sweep_grid="--bench bfs,nas-is --technique ooo,dvr --size test --instrs 8000"
+cargo run -q -p dvr-sim --bin dvrsim -- sweep $sweep_grid \
+    --out "$sweep_dir/cold" --cache "$sweep_dir/cache" \
+    --inject-sweep flip=1 >/dev/null 2>"$sweep_dir/cold.err"
+corrupt_err="$(cargo run -q -p dvr-sim --bin dvrsim -- sweep $sweep_grid \
+    --out "$sweep_dir/corrupt" --cache "$sweep_dir/cache" 2>&1 >/dev/null)"
+echo "$corrupt_err" | grep -q 'cache_corrupt=1' || { echo "flipped entry not detected"; exit 1; }
+echo "$corrupt_err" | grep -q 'warning\[cache_corrupt\]' || { echo "no quarantine warning"; exit 1; }
+cmp -s "$sweep_dir/cold/summary.json" "$sweep_dir/corrupt/summary.json" \
+    || { echo "corrupt-cache sweep summary diverged"; exit 1; }
+ls "$sweep_dir/cache/quarantine" | grep -q '.' || { echo "quarantine directory is empty"; exit 1; }
+
+echo "== sweep smoke: warm cache run is byte-identical, all hits =="
+# The quarantined entry was recomputed and re-stored above, so this run
+# must serve the whole grid from the cache without touching a simulator.
+warm_err="$(cargo run -q -p dvr-sim --bin dvrsim -- sweep $sweep_grid \
+    --out "$sweep_dir/warm" --cache "$sweep_dir/cache" 2>&1 >/dev/null)"
+cmp -s "$sweep_dir/cold/summary.json" "$sweep_dir/warm/summary.json" \
+    || { echo "warm sweep summary diverged from cold"; exit 1; }
+echo "$warm_err" | grep -q 'cache_hits=4' || { echo "warm sweep did not hit the cache"; exit 1; }
+
+echo "== sweep smoke: killed worker is retried and the summary still matches =="
+kill_err="$(cargo run -q -p dvr-sim --bin dvrsim -- sweep $sweep_grid \
+    --out "$sweep_dir/kill" --no-cache --jobs 2 --inject-sweep kill=1 2>&1 >/dev/null)"
+cmp -s "$sweep_dir/cold/summary.json" "$sweep_dir/kill/summary.json" \
+    || { echo "worker-kill sweep summary diverged"; exit 1; }
+echo "$kill_err" | grep -q 'computed=4' \
+    || { echo "worker-kill sweep did not recover all cells"; exit 1; }
+
+echo "== sweep smoke: --gc keeps the live grid =="
+gc_out="$(cargo run -q -p dvr-sim --bin dvrsim -- sweep $sweep_grid \
+    --cache "$sweep_dir/cache" --gc)"
+echo "$gc_out" | grep -q 'kept=4' || { echo "gc did not keep the grid:"; echo "$gc_out"; exit 1; }
+rm -rf "$sweep_dir"
+
 echo "All checks passed."
