@@ -698,6 +698,7 @@ fn failed_report(cell: &Cell, workload_name: &str, err: SimError) -> SimReport {
         outcome: RunOutcome::Failed(err),
         sanitizer: None,
         dvr_trace: None,
+        taint_fills: None,
     }
 }
 

@@ -19,7 +19,7 @@
 //! keeps committing while the subthread prefetches — the two properties the
 //! paper's Figure 8 attributes most of the speedup to.
 
-use sim_isa::{exec_lane, FxHashMap, Instr, NUM_REGS};
+use sim_isa::{exec_lane, lane_taint_step, FxHashMap, Instr, NUM_REGS};
 use sim_mem::{AccessClass, PrefetchSource};
 use sim_ooo::{DynInst, EngineCtx, RunaheadEngine};
 
@@ -279,6 +279,10 @@ impl DvrEngine {
             return ctx.cycle;
         };
         let mut t = ctx.cycle;
+        // Secret-taint shadow for the leak-audit oracle (observer; active
+        // only while the hierarchy's taint log is armed).
+        let taint_on = ctx.hier.taint_log_enabled();
+        let mut st: u16 = 0;
 
         // --- NDM phase 1: scalar walk with the loop branch forced
         // not-taken, looking for an outer striding load (pc < inner). ----
@@ -315,6 +319,16 @@ impl DvrEngine {
                 self.stats.lane_loads += 1;
                 // Scalar chain: the subthread waits for its own loads.
                 t = t.max(acc.complete_at);
+            }
+            if taint_on {
+                let a = eff.load.map(|(a, _)| a);
+                if lane_taint_step(prog, instr, &mut st, a) {
+                    ctx.hier.note_secret_fill(
+                        pc,
+                        a.expect("transmitters load"),
+                        PrefetchSource::Dvr,
+                    );
+                }
             }
             if eff.halted {
                 break;
@@ -360,7 +374,7 @@ impl DvrEngine {
 
         // Issue the outer gather.
         let mut outer_done = t + (OUTER_LANES / VECTOR_WIDTH) as u64;
-        let mut outer_ctxs: Vec<[u64; NUM_REGS]> = Vec::with_capacity(OUTER_LANES);
+        let mut outer_ctxs: Vec<([u64; NUM_REGS], u16)> = Vec::with_capacity(OUTER_LANES);
         for j in 0..OUTER_LANES {
             let addr_j = outer_addr.wrapping_add((outer_stride.wrapping_mul(j as i64)) as u64);
             let acc = ctx.hier.load(t, addr_j, AccessClass::Prefetch(PrefetchSource::Dvr));
@@ -369,7 +383,11 @@ impl DvrEngine {
             let mut lr = regs;
             lr[outer_rd.index()] = mem.read(addr_j, outer_w.bytes());
             fixup_address_regs(&outer_instr, &mut lr, addr_j);
-            outer_ctxs.push(lr);
+            let mut lt = st;
+            if taint_on && prog.is_secret_addr(addr_j) {
+                lt |= outer_rd.bit();
+            }
+            outer_ctxs.push((lr, lt));
         }
         t = outer_done;
 
@@ -377,7 +395,7 @@ impl DvrEngine {
         // inner-loop iteration seeds.
         let mut inner_seeds: Vec<LaneSeed> = Vec::new();
         let mut dep_done = t;
-        for mut lr in outer_ctxs {
+        for (mut lr, mut lt) in outer_ctxs {
             let mut pc = outer_pc + 1;
             let mut reached = false;
             for _ in 0..self.cfg.timeout {
@@ -394,6 +412,16 @@ impl DvrEngine {
                     let acc = ctx.hier.load(t, a, AccessClass::Prefetch(PrefetchSource::Dvr));
                     dep_done = dep_done.max(acc.complete_at);
                     self.stats.lane_loads += 1;
+                }
+                if taint_on {
+                    let a = eff.load.map(|(a, _)| a);
+                    if lane_taint_step(prog, instr, &mut lt, a) {
+                        ctx.hier.note_secret_fill(
+                            pc,
+                            a.expect("transmitters load"),
+                            PrefetchSource::Dvr,
+                        );
+                    }
                 }
                 if eff.halted {
                     break;

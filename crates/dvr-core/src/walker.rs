@@ -10,7 +10,7 @@
 //! decides which instructions are vectorized (16 vector uops) versus scalar
 //! (1 uop) for Vector-Issue-Register timing.
 
-use sim_isa::{exec_lane, Instr, Program, SparseMemory, NUM_REGS};
+use sim_isa::{exec_lane, lane_taint_step, Instr, Program, SparseMemory, NUM_REGS};
 use sim_mem::{AccessClass, MemoryHierarchy, PrefetchSource};
 
 /// Lanes per invocation in the paper's configuration (Section 4.2:
@@ -218,6 +218,21 @@ pub fn walk_vectorized(
     vtt |= rd.bit();
     out.instructions += 1;
 
+    // Secret-taint shadow for the leak-audit oracle: one register taint
+    // mask per lane, seeded when a lane's striding load reads declared
+    // secret memory. Maintained only while the hierarchy's taint log is
+    // armed — the common path allocates and computes nothing — and purely
+    // an observer: no taint bit ever feeds a timing decision.
+    let taint_on = hier.taint_log_enabled();
+    let mut secret_taint: Vec<u16> = if taint_on { vec![0u16; n] } else { Vec::new() };
+    if taint_on {
+        for (i, seed) in seeds[..n].iter().enumerate() {
+            if prog.is_secret_addr(seed.stride_addr) {
+                secret_taint[i] = rd.bit();
+            }
+        }
+    }
+
     // --- Lockstep walk of the dependent chain. --------------------------
     let mut current = Group { pc: term.stride_pc + 1, lanes: (0..n).collect() };
     let mut stack: Vec<Group> = Vec::new();
@@ -280,6 +295,14 @@ pub fn walk_vectorized(
                 let acc = hier.load(t_issue, addr, AccessClass::Prefetch(policy.source));
                 load_done = load_done.max(acc.complete_at);
                 out.lane_loads += 1;
+            }
+            if taint_on {
+                let addr = eff.load.map(|(a, _)| a);
+                if lane_taint_step(prog, &instr, &mut secret_taint[lane], addr) {
+                    // This lane gathered through a secret-derived address:
+                    // the fill it triggers is the speculative leak.
+                    hier.note_secret_fill(pc, addr.expect("transmitters load"), policy.source);
+                }
             }
             next_pcs.push((lane, eff.next_pc));
         }
@@ -422,7 +445,14 @@ mod tests {
 
     /// Program: for i { v = A[i]; w = B[v]; C_flag = w&1; if flag { x = D[w] } }
     fn chain_program() -> (Program, usize, usize) {
+        chain_program_with(false)
+    }
+
+    fn chain_program_with(secret_a: bool) -> (Program, usize, usize) {
         let mut asm = Asm::new();
+        if secret_a {
+            asm.secret(0x10_0000, 8 * 2048);
+        }
         let (a, b, d, i, n, v, w, c, f) =
             (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7, Reg::R8, Reg::R9);
         asm.li(a, 0x10_0000);
@@ -525,6 +555,54 @@ mod tests {
         asm.bnz(c, top);
         asm.halt();
         (asm.finish().unwrap(), stride_pc)
+    }
+
+    #[test]
+    fn secret_fills_logged_only_when_armed_and_timing_neutral() {
+        let (prog, stride_pc, dep_pc) = chain_program_with(true);
+        let mem = setup_mem();
+        let run = |armed: bool| {
+            let mut hier = MemoryHierarchy::new(HierarchyConfig::default());
+            if armed {
+                hier.enable_taint_log();
+            }
+            let seeds = seeds_for(&prog, stride_pc, 32);
+            let out = walk_vectorized(
+                &prog,
+                &mem,
+                &mut hier,
+                0,
+                &seeds,
+                Termination { flr_pc: None, stride_pc },
+                &WalkPolicy::dvr(),
+            );
+            (out, hier)
+        };
+        let (armed, mut hier) = run(true);
+        let (plain, _) = run(false);
+        assert_eq!(armed.end_cycle, plain.end_cycle, "shadow must not change timing");
+        assert_eq!(armed.lane_loads, plain.lane_loads);
+        let log = hier.take_taint_log().expect("armed log");
+        // Every lane's B[v] gather (and conditional D[w]) has a
+        // secret-derived address: at least the 32 dependent loads transmit.
+        assert!(log.len() >= 32, "fills {}", log.len());
+        assert!(log.iter().all(|f| f.source == PrefetchSource::Dvr));
+        assert!(log.iter().all(|f| f.pc == dep_pc || f.pc == dep_pc + 3), "{log:?}");
+        // Without the secret declaration nothing transmits.
+        let (prog2, stride2, _) = chain_program();
+        let mut hier2 = MemoryHierarchy::new(HierarchyConfig::default());
+        hier2.enable_taint_log();
+        let seeds = seeds_for(&prog2, stride2, 32);
+        walk_vectorized(
+            &prog2,
+            &mem,
+            &mut hier2,
+            0,
+            &seeds,
+            Termination { flr_pc: None, stride_pc: stride2 },
+            &WalkPolicy::dvr(),
+        );
+        assert_eq!(hier2.take_taint_log().unwrap(), vec![]);
     }
 
     #[test]

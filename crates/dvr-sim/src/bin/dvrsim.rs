@@ -17,7 +17,7 @@ use dvr_sim::{
     simulate, FaultConfig, Placement, SampleConfig, SimConfig, SimReport, Technique,
 };
 use sim_sample::merge_periods;
-use workloads::{Benchmark, GraphInput, SizeClass, Workload};
+use workloads::{gather_attack, Benchmark, GraphInput, SizeClass, Workload};
 
 struct Options {
     bench: Option<Benchmark>,
@@ -39,6 +39,10 @@ const USAGE: &str = "\
 usage: dvrsim [--list] (--bench NAME | --asm FILE.s) [options]
        dvrsim lint (--all | --bench NAME | --asm FILE.s) [--size S] [--seed N] [--verbose] [--json]
        dvrsim audit (--all | --bench NAME) [--size S] [--seed N] [--instrs N] [--json]
+       dvrsim lint-taint (--all | --bench NAME | --attack | --asm FILE.s) [--size S]
+                     [--seed N] [--json]
+       dvrsim leak-audit (--all | --bench NAME | --attack) [--size S] [--seed N]
+                     [--instrs N] [--json]
        dvrsim sample (--all | --bench NAME) [--technique T] [--size S] [--instrs N]
                      [--interval N] [--warmup N] [--period N] [--placement systematic|random]
                      [--sample-seed N] [--no-exact] [--threads N] [--jobs N] [--json]
@@ -83,6 +87,20 @@ the `audit` subcommand diffs the static DVR coverage prediction against a
 traced simulation's actual Discovery decisions and classifies every
 divergence; unexplained divergences fail the audit.
 
+the `lint-taint` subcommand runs the secret-taint information-flow pass:
+programs declare secret ranges with the `.secret ADDR LEN` directive, and
+every secret-dependent branch, secret-addressed load, and speculative
+gather gadget (a secret-addressed dependent load the DVR coverage
+predictor expects to vectorize) is reported. --attack lints the bundled
+secret-dependent-gather attack kernel.
+
+the `leak-audit` subcommand diffs those static leak predictions against
+the dynamic taint oracle: simulations under OoO/VR/DVR with the
+hierarchy's secret-taint fill log armed, plus an architectural replay.
+`--all` audits every benchmark plus the attack kernel; a PASS means the
+static and dynamic sides agree (for the attack kernel both sides agree it
+*leaks*), and unexplained divergences fail the audit.
+
 the `sample` subcommand runs checkpoint-parallel sampled simulation: one
 functional fast-forward pass per benchmark emits a checkpoint at every
 period (shared across techniques), then each (warmup + measured) interval
@@ -116,9 +134,9 @@ the `serve` subcommand keeps one process resident on a Unix socket; each
 line `run CELL-KEY` replies with one JSON result (served from the cache
 when possible), `stats`/`ping`/`shutdown` manage the service.
 
-exit status: 0 if every run completed (lint: no errors; audit: no
-unexplained divergences; sample: every CI contains the exact IPC),
-1 otherwise.
+exit status: 0 if every run completed (lint: no errors; lint-taint: no
+gather gadgets; audit/leak-audit: no unexplained divergences; sample:
+every CI contains the exact IPC), 1 otherwise.
 ";
 
 fn parse_inject(spec: &str) -> Result<FaultConfig, String> {
@@ -540,6 +558,252 @@ fn audit_main(args: &[String]) -> ExitCode {
             "audit: {} benchmark{} checked, {total} divergences, {unexplained} unexplained",
             benches.len(),
             if benches.len() == 1 { "" } else { "s" }
+        );
+    }
+    if unexplained > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `dvrsim lint-taint`: the secret-taint information-flow pass — report
+/// every secret-dependent branch, secret-addressed load, and speculative
+/// gather gadget in a program with `.secret` declarations.
+fn lint_taint_main(args: &[String]) -> ExitCode {
+    let mut all = false;
+    let mut attack = false;
+    let mut bench: Option<Benchmark> = None;
+    let mut asm: Option<String> = None;
+    let mut size = SizeClass::Test;
+    let mut seed = 42u64;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => all = true,
+            "--attack" => attack = true,
+            "--json" => json = true,
+            "--bench" | "--asm" | "--size" | "--seed" => {
+                let Some(v) = args.get(i + 1).cloned() else {
+                    eprintln!("error: {} needs a value", args[i]);
+                    return ExitCode::from(2);
+                };
+                match args[i].as_str() {
+                    "--bench" => match parse_bench(&v) {
+                        Some(b) => bench = Some(b),
+                        None => {
+                            eprintln!("error: unknown benchmark '{v}'");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--asm" => asm = Some(v),
+                    "--size" => {
+                        size = match v.as_str() {
+                            "test" => SizeClass::Test,
+                            "small" => SizeClass::Small,
+                            "paper" => SizeClass::Paper,
+                            _ => {
+                                eprintln!("error: unknown size '{v}'");
+                                return ExitCode::from(2);
+                            }
+                        };
+                    }
+                    _ => match v.parse() {
+                        Ok(n) => seed = n,
+                        Err(e) => {
+                            eprintln!("error: --seed: {e}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                }
+                i += 1;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown lint-taint option '{other}' (see 'dvrsim --help')");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut programs: Vec<(String, sim_isa::Program)> = Vec::new();
+    if all {
+        for b in Benchmark::ALL {
+            let wl = b.build(None, size, seed);
+            programs.push((wl.name, wl.prog));
+        }
+    } else if let Some(b) = bench {
+        let wl = b.build(None, size, seed);
+        programs.push((wl.name, wl.prog));
+    } else if let Some(path) = &asm {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match sim_isa::parse_program(&text) {
+            Ok(prog) => programs.push((path.clone(), prog)),
+            Err(e) => {
+                eprintln!("{path}: error[parse]: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if attack || all {
+        let wl = gather_attack(size, seed);
+        programs.push((wl.name, wl.prog));
+    }
+    if programs.is_empty() {
+        eprintln!("error: lint-taint needs --all, --bench NAME, --attack, or --asm FILE.s\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut total_gadgets = 0usize;
+    let mut total_warnings = 0usize;
+    for (name, prog) in &programs {
+        let r = sim_lint::analyze_taint(prog);
+        if json {
+            println!("{}", r.to_json(name, Some(prog)));
+        } else {
+            println!(
+                "{name}: {} secret sources, {} gadgets, {} warnings",
+                r.sources.len(),
+                r.errors(),
+                r.warnings()
+            );
+            for d in &r.leaks {
+                println!("  {}", d.render(Some(prog)));
+            }
+        }
+        total_gadgets += r.errors();
+        total_warnings += r.warnings();
+    }
+    if !json {
+        println!(
+            "lint-taint: {} program{} checked, {total_gadgets} gadgets, \
+             {total_warnings} warnings",
+            programs.len(),
+            if programs.len() == 1 { "" } else { "s" }
+        );
+    }
+    if total_gadgets > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `dvrsim leak-audit`: the static-vs-dynamic secret-leakage audit — lint
+/// the program for speculative leaks, run the dynamic taint oracle under
+/// OoO/VR/DVR plus an architectural replay, and diff the views.
+fn leak_audit_main(args: &[String]) -> ExitCode {
+    let mut all = false;
+    let mut attack = false;
+    let mut bench: Option<Benchmark> = None;
+    let mut size = SizeClass::Test;
+    let mut seed = 42u64;
+    let mut instrs = 60_000u64;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => all = true,
+            "--attack" => attack = true,
+            "--json" => json = true,
+            "--bench" | "--size" | "--seed" | "--instrs" => {
+                let Some(v) = args.get(i + 1).cloned() else {
+                    eprintln!("error: {} needs a value", args[i]);
+                    return ExitCode::from(2);
+                };
+                match args[i].as_str() {
+                    "--bench" => match parse_bench(&v) {
+                        Some(b) => bench = Some(b),
+                        None => {
+                            eprintln!("error: unknown benchmark '{v}'");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--size" => {
+                        size = match v.as_str() {
+                            "test" => SizeClass::Test,
+                            "small" => SizeClass::Small,
+                            "paper" => SizeClass::Paper,
+                            _ => {
+                                eprintln!("error: unknown size '{v}'");
+                                return ExitCode::from(2);
+                            }
+                        };
+                    }
+                    "--seed" => match v.parse() {
+                        Ok(n) => seed = n,
+                        Err(e) => {
+                            eprintln!("error: --seed: {e}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    _ => match v.parse() {
+                        Ok(n) => instrs = n,
+                        Err(e) => {
+                            eprintln!("error: --instrs: {e}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                }
+                i += 1;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown leak-audit option '{other}' (see 'dvrsim --help')");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    if !all && !attack && bench.is_none() {
+        eprintln!("error: leak-audit needs --all, --bench NAME, or --attack\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut reports = Vec::new();
+    let benches: Vec<Benchmark> =
+        if all { Benchmark::ALL.to_vec() } else { bench.into_iter().collect() };
+    for b in &benches {
+        reports.push(dvr_sim::leak_audit_benchmark(*b, size, seed, instrs));
+    }
+    if attack || all {
+        reports.push(dvr_sim::leak_audit_attack(size, seed, instrs));
+    }
+
+    let mut unexplained = 0usize;
+    let mut total = 0usize;
+    let mut confirmed = 0usize;
+    for r in &reports {
+        if json {
+            println!("{}", r.to_json());
+        } else {
+            print!("{}", r.render());
+        }
+        total += r.divergences.len();
+        unexplained += r.unexplained();
+        confirmed += r.confirmed_gadgets();
+    }
+    if !json {
+        println!(
+            "leak-audit: {} workload{} checked, {total} divergences, {unexplained} unexplained, \
+             {confirmed} gadgets dynamically confirmed",
+            reports.len(),
+            if reports.len() == 1 { "" } else { "s" }
         );
     }
     if unexplained > 0 {
@@ -978,6 +1242,12 @@ fn main() -> ExitCode {
     if argv.first().map(String::as_str) == Some("audit") {
         return audit_main(&argv[1..]);
     }
+    if argv.first().map(String::as_str) == Some("lint-taint") {
+        return lint_taint_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("leak-audit") {
+        return leak_audit_main(&argv[1..]);
+    }
     if argv.first().map(String::as_str) == Some("sample") {
         return sample_main(&argv[1..]);
     }
@@ -1185,7 +1455,10 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepOpts, String> {
                 print!("{USAGE}");
                 std::process::exit(0);
             }
-            other => return Err(format!("unknown sweep option '{other}'")),
+            other => {
+                eprintln!("error: unknown sweep option '{other}' (see 'dvrsim --help')");
+                std::process::exit(2);
+            }
         }
         i += 1;
     }
@@ -1304,6 +1577,17 @@ fn sweep_worker_main(args: &[String]) -> ExitCode {
             std::thread::sleep(std::time::Duration::from_secs(60));
         }
     }
+    match args.first().map(String::as_str) {
+        Some("--help" | "-h") => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(flag) if flag.starts_with("--") => {
+            eprintln!("error: unknown sweep-worker option '{flag}' (see 'dvrsim --help')");
+            return ExitCode::from(2);
+        }
+        _ => {}
+    }
     let Some(cell) = args.first() else {
         eprintln!("usage: dvrsim sweep-worker CELL-KEY");
         return ExitCode::from(2);
@@ -1347,7 +1631,7 @@ fn serve_main(args: &[String]) -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             other => {
-                eprintln!("error: unknown serve option '{other}'\n\n{USAGE}");
+                eprintln!("error: unknown serve option '{other}' (see 'dvrsim --help')");
                 return ExitCode::from(2);
             }
         }

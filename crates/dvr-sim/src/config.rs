@@ -83,6 +83,11 @@ pub struct SimConfig {
     /// [`SimReport::dvr_trace`](crate::SimReport) (DVR techniques only).
     /// Timing-neutral: the traced run's report serializes byte-identically.
     pub trace_dvr: bool,
+    /// Arm the memory hierarchy's secret-taint fill log: runahead engines
+    /// record every line filled through a secret-derived address into
+    /// [`SimReport::taint_fills`](crate::SimReport). Timing-neutral, like
+    /// `trace_dvr`: the armed run's report serializes byte-identically.
+    pub taint_oracle: bool,
 }
 
 impl SimConfig {
@@ -98,6 +103,7 @@ impl SimConfig {
             dvr: DvrConfig::default(),
             max_instructions: 2_000_000,
             trace_dvr: false,
+            taint_oracle: false,
         }
     }
 
@@ -105,6 +111,13 @@ impl SimConfig {
     /// (see [`SimReport::dvr_trace`](crate::SimReport)).
     pub fn with_dvr_trace(mut self, on: bool) -> Self {
         self.trace_dvr = on;
+        self
+    }
+
+    /// Arms the dynamic secret-taint oracle for the leak audit (see
+    /// [`SimReport::taint_fills`](crate::SimReport)).
+    pub fn with_taint_oracle(mut self, on: bool) -> Self {
+        self.taint_oracle = on;
         self
     }
 

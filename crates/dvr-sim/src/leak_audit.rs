@@ -1,0 +1,507 @@
+//! The static-vs-dynamic secret-leakage audit.
+//!
+//! Closes the loop between `sim-lint`'s secret-taint pass and the dynamic
+//! taint oracle: run the static analyzer over a workload's program, run
+//! the simulator under Baseline/VR/DVR with the hierarchy's secret-taint
+//! fill log armed, replay the program functionally with the architectural
+//! taint tracker, and diff the three views. Every disagreement becomes a
+//! typed [`LeakDivergence`]; the audit then tries to *explain* each one
+//! from the known, documented gaps between the static model and the
+//! dynamics. A divergence with no justification is a bug in one of the
+//! sides — the audit suite pins all thirteen (secret-free) benchmarks plus
+//! the [`workloads::gather_attack`] kernel at zero unexplained.
+//!
+//! A PASS does **not** mean "no leak": for the attack workload both sides
+//! *agree* the speculative-gather gadget fires, and that agreement is what
+//! passes. FAIL means the static lint and the dynamic oracle disagree.
+
+use sim_isa::{Cpu, FxHashMap, SparseMemory};
+use sim_lint::{analyze_taint, LeakKind};
+use sim_mem::TaintFill;
+use workloads::{gather_attack, Benchmark, SizeClass, Workload};
+
+use crate::config::{SimConfig, Technique};
+use crate::runner::simulate;
+
+/// The ways static leak prediction and dynamic observation can disagree.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LeakDivergenceKind {
+    /// Static flagged a speculative-gather gadget, but neither VR nor DVR
+    /// ever filled a line through it.
+    GadgetNeverFired,
+    /// A runahead engine filled a line through a secret-derived address at
+    /// a pc the static pass did not flag as a gadget.
+    UnpredictedFill,
+    /// The baseline (no-prefetch) run recorded a secret-tainted fill —
+    /// structurally impossible (only runahead engines feed the log), so
+    /// always unexplained.
+    BaselineFill,
+    /// A static gadget pc that the architectural replay never observed
+    /// transmitting (no secret-tainted address ever reached it).
+    GadgetNotArchitectural,
+}
+
+impl std::fmt::Display for LeakDivergenceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LeakDivergenceKind::GadgetNeverFired => "gadget-never-fired",
+            LeakDivergenceKind::UnpredictedFill => "unpredicted-fill",
+            LeakDivergenceKind::BaselineFill => "baseline-fill",
+            LeakDivergenceKind::GadgetNotArchitectural => "gadget-not-architectural",
+        })
+    }
+}
+
+/// A typed explanation for a [`LeakDivergence`]: a known, documented gap
+/// between the static model, the runahead dynamics, and the architectural
+/// replay. Anything the audit cannot justify counts as *unexplained*.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LeakJustification {
+    /// The runahead engine never spawned a vectorized chain inside the ROI
+    /// (the DVR trace records zero spawns), so no transient gather could
+    /// have happened — the gadget is real but dormant at this ROI/input.
+    NoSpawnInRoi,
+    /// The fill's pc carries a warning-severity static finding (a
+    /// secret-addressed load) but the coverage predictor did not expect
+    /// VR/DVR to vectorize it; the engine vectorized it anyway (warm
+    /// detector, bimodal shadowing — the documented coverage gaps).
+    CoverageUnderPredicted,
+    /// The gadget sits on a path the program never executed with this
+    /// input (the static pass is a may-analysis over all paths).
+    DeadStaticPath,
+}
+
+impl std::fmt::Display for LeakJustification {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LeakJustification::NoSpawnInRoi => "no-spawn-in-roi",
+            LeakJustification::CoverageUnderPredicted => "coverage-under-predicted",
+            LeakJustification::DeadStaticPath => "dead-static-path",
+        })
+    }
+}
+
+/// One static/dynamic disagreement about leakage, with its (attempted)
+/// explanation.
+#[derive(Clone, Debug)]
+pub struct LeakDivergence {
+    /// What kind of disagreement.
+    pub kind: LeakDivergenceKind,
+    /// The transmitting pc it concerns.
+    pub pc: usize,
+    /// Human-readable specifics (fill counts, techniques).
+    pub detail: String,
+    /// The typed explanation, or `None` = unexplained (a bug).
+    pub justification: Option<LeakJustification>,
+}
+
+/// Aggregated secret-tainted fills for one technique: per transmitting pc,
+/// the fill count and the number of *distinct* cache lines touched (the
+/// side-channel capacity proxy).
+#[derive(Clone, Debug, Default)]
+pub struct FillSummary {
+    /// `(pc, fills, distinct_lines)`, pc-ascending.
+    pub per_pc: Vec<(usize, u64, usize)>,
+}
+
+impl FillSummary {
+    fn from_log(log: &[TaintFill]) -> Self {
+        let mut counts: FxHashMap<usize, (u64, FxHashMap<u64, ()>)> = FxHashMap::default();
+        for f in log {
+            let e = counts.entry(f.pc).or_default();
+            e.0 += 1;
+            e.1.insert(f.line, ());
+        }
+        let mut per_pc: Vec<(usize, u64, usize)> =
+            counts.into_iter().map(|(pc, (n, lines))| (pc, n, lines.len())).collect();
+        per_pc.sort_unstable();
+        FillSummary { per_pc }
+    }
+
+    /// Total fills at `pc` (0 if the pc never transmitted).
+    pub fn fills_at(&self, pc: usize) -> u64 {
+        self.per_pc.iter().find(|&&(p, _, _)| p == pc).map_or(0, |&(_, n, _)| n)
+    }
+
+    fn render(&self) -> String {
+        if self.per_pc.is_empty() {
+            return "(none)".to_string();
+        }
+        self.per_pc
+            .iter()
+            .map(|&(pc, n, lines)| format!("pc={pc} fills={n} lines={lines}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Architectural ground truth from the functional taint replay.
+#[derive(Clone, Debug, Default)]
+pub struct ArchTaint {
+    /// Loads that read a declared secret range.
+    pub secret_reads: u64,
+    /// Memory accesses through a secret-tainted address.
+    pub tainted_addr_accesses: u64,
+    /// Conditional branches on a secret-tainted register.
+    pub tainted_branches: u64,
+    /// `(pc, count)` of transmitting accesses, pc-ascending.
+    pub transmit_pcs: Vec<(usize, u64)>,
+}
+
+/// The leak-audit result for one workload.
+#[derive(Clone, Debug)]
+pub struct LeakAuditReport {
+    /// Workload name.
+    pub bench: String,
+    /// Input seed used on all sides.
+    pub seed: u64,
+    /// ROI length of the simulated and replayed runs.
+    pub instrs: u64,
+    /// Static secret-source pcs.
+    pub sources: Vec<usize>,
+    /// Static speculative-gather-gadget pcs (error severity).
+    pub gadgets: Vec<usize>,
+    /// Static warning-severity findings (transmitters the coverage
+    /// predictor does not expect to vectorize), pc-ascending.
+    pub warned: Vec<usize>,
+    /// Architectural replay summary (`None` = skipped, no secrets).
+    pub arch: Option<ArchTaint>,
+    /// Fill summaries per technique, `None` = dynamic side skipped
+    /// because the program declares no secrets (the oracle is then
+    /// structurally silent: taint seeds only from declared ranges).
+    pub fills: Option<[(Technique, FillSummary); 3]>,
+    /// Every disagreement found.
+    pub divergences: Vec<LeakDivergence>,
+}
+
+impl LeakAuditReport {
+    /// Divergences with no typed justification.
+    pub fn unexplained(&self) -> usize {
+        self.divergences.iter().filter(|d| d.justification.is_none()).count()
+    }
+
+    /// Whether every divergence is explained.
+    pub fn is_clean(&self) -> bool {
+        self.unexplained() == 0
+    }
+
+    /// Whether the *dynamic oracle* confirmed at least one static gadget
+    /// (a fill at a gadget pc under VR or DVR).
+    pub fn confirmed_gadgets(&self) -> usize {
+        let Some(fills) = &self.fills else { return 0 };
+        self.gadgets
+            .iter()
+            .filter(|&&g| fills.iter().any(|(t, s)| *t != Technique::Baseline && s.fills_at(g) > 0))
+            .count()
+    }
+
+    /// Deterministic multi-line report (the golden-pinned format).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "leak-audit {}: seed={} instrs={}", self.bench, self.seed, self.instrs);
+        let _ = writeln!(
+            s,
+            "static: sources={:?} gadgets={:?} warned={:?}",
+            self.sources, self.gadgets, self.warned
+        );
+        match &self.arch {
+            None => {
+                let _ = writeln!(s, "architectural: skipped (no secrets declared)");
+            }
+            Some(a) => {
+                let _ = writeln!(
+                    s,
+                    "architectural: secret-reads={} tainted-addrs={} tainted-branches={} \
+                     transmits={:?}",
+                    a.secret_reads, a.tainted_addr_accesses, a.tainted_branches, a.transmit_pcs
+                );
+            }
+        }
+        match &self.fills {
+            None => {
+                let _ = writeln!(s, "dynamic: skipped (no secrets declared)");
+            }
+            Some(fills) => {
+                for (t, f) in fills {
+                    let _ = writeln!(s, "fills {}: {}", t.name(), f.render());
+                }
+            }
+        }
+        let _ = writeln!(
+            s,
+            "divergences: {} total, {} unexplained",
+            self.divergences.len(),
+            self.unexplained()
+        );
+        for d in &self.divergences {
+            let j =
+                d.justification.map(|j| j.to_string()).unwrap_or_else(|| "UNEXPLAINED".to_string());
+            let _ = writeln!(s, "  [{}] pc={} {} :: {}", d.kind, d.pc, d.detail, j);
+        }
+        let _ = writeln!(s, "{}", if self.is_clean() { "PASS" } else { "FAIL" });
+        s
+    }
+
+    /// Flat JSON object for `dvrsim leak-audit --json` (hand-rolled, like
+    /// [`AuditReport::to_json`](crate::AuditReport::to_json)).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut s = format!(
+            concat!(
+                "{{\"bench\":\"{}\",\"seed\":{},\"instrs\":{},",
+                "\"sources\":{:?},\"gadgets\":{:?},\"warned\":{:?},",
+                "\"confirmed_gadgets\":{},\"fills\":"
+            ),
+            self.bench,
+            self.seed,
+            self.instrs,
+            self.sources,
+            self.gadgets,
+            self.warned,
+            self.confirmed_gadgets(),
+        );
+        match &self.fills {
+            None => s.push_str("null"),
+            Some(fills) => {
+                s.push('{');
+                for (i, (t, f)) in fills.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "\"{}\":[", t.name());
+                    for (j, &(pc, n, lines)) in f.per_pc.iter().enumerate() {
+                        if j > 0 {
+                            s.push(',');
+                        }
+                        let _ =
+                            write!(s, "{{\"pc\":{pc},\"fills\":{n},\"distinct_lines\":{lines}}}");
+                    }
+                    s.push(']');
+                }
+                s.push('}');
+            }
+        }
+        s.push_str(",\"divergences\":[");
+        for (i, d) in self.divergences.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let j =
+                d.justification.map(|j| format!("\"{j}\"")).unwrap_or_else(|| "null".to_string());
+            let _ = write!(
+                s,
+                "{{\"kind\":\"{}\",\"pc\":{},\"justification\":{},\"detail\":\"{}\"}}",
+                d.kind,
+                d.pc,
+                j,
+                d.detail.replace('\\', "\\\\").replace('"', "\\\""),
+            );
+        }
+        let _ = write!(s, "],\"unexplained\":{}}}", self.unexplained());
+        s
+    }
+}
+
+/// Runs the full leak audit for one workload: static taint pass,
+/// oracle-armed simulations under Baseline/VR/DVR, architectural replay,
+/// and the diff.
+pub fn leak_audit_workload(wl: &Workload, seed: u64, instrs: u64) -> LeakAuditReport {
+    // Static side.
+    let taint = analyze_taint(&wl.prog);
+    let gadgets = taint.gadget_pcs();
+    let mut warned: Vec<usize> = taint
+        .leaks
+        .iter()
+        .filter(|d| d.kind == LeakKind::SecretAddressedLoad)
+        .map(|d| d.pc)
+        .collect();
+    warned.sort_unstable();
+    warned.dedup();
+
+    if wl.prog.secrets().is_empty() {
+        // The oracle seeds taint exclusively from declared ranges, so both
+        // dynamic sides are structurally silent; running them would only
+        // burn cycles to confirm a tautology.
+        return LeakAuditReport {
+            bench: wl.name.clone(),
+            seed,
+            instrs,
+            sources: taint.sources,
+            gadgets,
+            warned,
+            arch: None,
+            fills: None,
+            divergences: Vec::new(),
+        };
+    }
+
+    // Dynamic side: oracle-armed runs. The DVR run also records the event
+    // trace so "never spawned" divergences can be justified from evidence.
+    let run = |t: Technique, trace: bool| {
+        let cfg = SimConfig::new(t)
+            .with_max_instructions(instrs)
+            .with_taint_oracle(true)
+            .with_dvr_trace(trace);
+        simulate(wl, &cfg)
+    };
+    let base = run(Technique::Baseline, false);
+    let vr = run(Technique::Vr, false);
+    let dvr = run(Technique::Dvr, true);
+    let summary =
+        |r: &crate::SimReport| FillSummary::from_log(r.taint_fills.as_deref().unwrap_or(&[]));
+    let fills = [
+        (Technique::Baseline, summary(&base)),
+        (Technique::Vr, summary(&vr)),
+        (Technique::Dvr, summary(&dvr)),
+    ];
+    let dvr_spawns: u64 = dvr
+        .dvr_trace
+        .as_ref()
+        .map(|t| t.summarize().values().map(|s| s.spawns + s.nested_spawns).sum())
+        .unwrap_or(0);
+
+    // Architectural ground truth: functional replay with the same budget.
+    let mut cpu = Cpu::new();
+    cpu.enable_secret_taint();
+    let mut mem: SparseMemory = wl.mem.clone();
+    cpu.run(&wl.prog, &mut mem, instrs).expect("functional replay executes");
+    let arch = cpu
+        .take_secret_taint()
+        .map(|t| ArchTaint {
+            secret_reads: t.secret_reads,
+            tainted_addr_accesses: t.tainted_addr_accesses,
+            tainted_branches: t.tainted_branches,
+            transmit_pcs: t.transmit_pcs(),
+        })
+        .unwrap_or_default();
+
+    let divergences = diff(&gadgets, &warned, &arch, &fills, dvr_spawns);
+    LeakAuditReport {
+        bench: wl.name.clone(),
+        seed,
+        instrs,
+        sources: taint.sources,
+        gadgets,
+        warned,
+        arch: Some(arch),
+        fills: Some(fills),
+        divergences,
+    }
+}
+
+/// [`leak_audit_workload`] for a registered benchmark.
+pub fn leak_audit_benchmark(
+    bench: Benchmark,
+    size: SizeClass,
+    seed: u64,
+    instrs: u64,
+) -> LeakAuditReport {
+    leak_audit_workload(&bench.build(None, size, seed), seed, instrs)
+}
+
+/// [`leak_audit_workload`] for the secret-dependent-gather attack kernel
+/// (the workload the audit exists to flag; not part of the benchmark
+/// registry).
+pub fn leak_audit_attack(size: SizeClass, seed: u64, instrs: u64) -> LeakAuditReport {
+    leak_audit_workload(&gather_attack(size, seed), seed, instrs)
+}
+
+/// Diffs the static findings against the dynamic fill logs and the
+/// architectural replay, classifying every disagreement.
+fn diff(
+    gadgets: &[usize],
+    warned: &[usize],
+    arch: &ArchTaint,
+    fills: &[(Technique, FillSummary); 3],
+    dvr_spawns: u64,
+) -> Vec<LeakDivergence> {
+    let mut out = Vec::new();
+    let fill_at = |t: Technique, pc: usize| {
+        fills.iter().find(|&&(tt, _)| tt == t).map_or(0, |(_, s)| s.fills_at(pc))
+    };
+
+    for &g in gadgets {
+        let vr = fill_at(Technique::Vr, g);
+        let dvr = fill_at(Technique::Dvr, g);
+        let arch_hits = arch.transmit_pcs.iter().find(|&&(p, _)| p == g).map_or(0, |&(_, n)| n);
+        if vr == 0 && dvr == 0 {
+            out.push(LeakDivergence {
+                kind: LeakDivergenceKind::GadgetNeverFired,
+                pc: g,
+                detail: format!("vr=0 dvr=0 dvr-spawns={dvr_spawns}"),
+                justification: (dvr_spawns == 0).then_some(LeakJustification::NoSpawnInRoi),
+            });
+        }
+        if arch_hits == 0 {
+            out.push(LeakDivergence {
+                kind: LeakDivergenceKind::GadgetNotArchitectural,
+                pc: g,
+                detail: format!("vr={vr} dvr={dvr} arch=0"),
+                // A dormant may-path gadget is explainable; a pc the
+                // runahead engine transmitted through but the replay never
+                // did contradicts the oracle itself.
+                justification: (vr == 0 && dvr == 0).then_some(LeakJustification::DeadStaticPath),
+            });
+        }
+    }
+
+    // Fills the static pass has no gadget for.
+    for &(t, ref s) in fills {
+        for &(pc, n, lines) in &s.per_pc {
+            if t == Technique::Baseline {
+                out.push(LeakDivergence {
+                    kind: LeakDivergenceKind::BaselineFill,
+                    pc,
+                    detail: format!("fills={n} lines={lines} under {}", t.name()),
+                    justification: None,
+                });
+            } else if !gadgets.contains(&pc) {
+                out.push(LeakDivergence {
+                    kind: LeakDivergenceKind::UnpredictedFill,
+                    pc,
+                    detail: format!("fills={n} lines={lines} under {}", t.name()),
+                    justification: warned
+                        .contains(&pc)
+                        .then_some(LeakJustification::CoverageUnderPredicted),
+                });
+            }
+        }
+    }
+
+    out.sort_by_key(|d| (d.pc, d.kind as usize));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attack_workload_fires_under_both_runahead_engines() {
+        let r = leak_audit_attack(SizeClass::Test, 42, 60_000);
+        println!("{}", r.render());
+        assert_eq!(r.gadgets.len(), 1, "one static gather gadget");
+        let fills = r.fills.as_ref().expect("dynamic side ran");
+        let g = r.gadgets[0];
+        for (t, s) in fills {
+            match t {
+                Technique::Baseline => {
+                    assert!(s.per_pc.is_empty(), "baseline must never fill: {:?}", s.per_pc)
+                }
+                _ => assert!(s.fills_at(g) > 0, "{} recorded no fills at gadget pc {g}", t.name()),
+            }
+        }
+        assert_eq!(r.confirmed_gadgets(), 1);
+        assert!(r.is_clean(), "audit must explain itself:\n{}", r.render());
+    }
+
+    #[test]
+    fn secret_free_benchmark_short_circuits() {
+        let r = leak_audit_benchmark(Benchmark::Camel, SizeClass::Test, 42, 60_000);
+        assert!(r.fills.is_none() && r.arch.is_none());
+        assert!(r.gadgets.is_empty() && r.divergences.is_empty());
+        assert!(r.is_clean());
+        assert!(r.render().contains("dynamic: skipped"));
+    }
+}

@@ -24,6 +24,7 @@
 
 mod audit;
 mod config;
+mod leak_audit;
 mod report;
 mod runner;
 mod sample;
@@ -31,6 +32,10 @@ pub mod sweep;
 
 pub use audit::{audit_benchmark, AuditReport, Divergence, DivergenceKind, Justification};
 pub use config::{SimConfig, Technique};
+pub use leak_audit::{
+    leak_audit_attack, leak_audit_benchmark, leak_audit_workload, ArchTaint, FillSummary,
+    LeakAuditReport, LeakDivergence, LeakDivergenceKind, LeakJustification,
+};
 pub use report::{EngineSummary, RunOutcome, SamplingSummary, SimReport};
 pub use runner::{
     parallel_map, resolve_threads, simulate, simulate_all, simulate_all_parallel, try_parallel_map,

@@ -130,6 +130,13 @@ pub struct SimReport {
     /// **not** part of [`SimReport::to_json`]: traced and untraced runs
     /// must serialize byte-identically.
     pub dvr_trace: Option<dvr_core::DvrTrace>,
+    /// Line fills triggered by secret-derived addresses in runahead
+    /// subthreads (`Some` only when the run was configured with
+    /// [`SimConfig::with_taint_oracle`](crate::SimConfig::with_taint_oracle)).
+    /// Like `sanitizer` and `dvr_trace`, deliberately **not** part of
+    /// [`SimReport::to_json`]: armed and unarmed runs must serialize
+    /// byte-identically.
+    pub taint_fills: Option<Vec<sim_mem::TaintFill>>,
 }
 
 impl SimReport {
@@ -320,6 +327,7 @@ mod tests {
             outcome: RunOutcome::Complete,
             sanitizer: None,
             dvr_trace: None,
+            taint_fills: None,
         }
     }
 

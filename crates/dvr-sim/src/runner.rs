@@ -73,6 +73,9 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> SimReport {
     let t0 = std::time::Instant::now();
     let mut mem = workload.mem.clone();
     let mut hier = MemoryHierarchy::new(cfg.hierarchy);
+    if cfg.taint_oracle {
+        hier.enable_taint_log();
+    }
     let mut core = OooCore::new(cfg.core);
     let mut dvr_trace = None;
 
@@ -195,6 +198,7 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> SimReport {
         None
     };
 
+    let taint_fills = hier.take_taint_log();
     let core_stats = *core.stats();
     let mem_stats = hier.stats().clone();
     let cycles = core_stats.cycles.max(1);
@@ -212,6 +216,7 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> SimReport {
         outcome,
         sanitizer,
         dvr_trace,
+        taint_fills,
     }
 }
 

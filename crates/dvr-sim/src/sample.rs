@@ -345,6 +345,7 @@ pub fn sampled_report_from(
         outcome: RunOutcome::Complete,
         sanitizer: None,
         dvr_trace: None,
+        taint_fills: None,
     };
     match result {
         Ok(run) => {

@@ -422,6 +422,7 @@ pub fn decode_report(raw: &[u8]) -> Result<SimReport, String> {
         outcome: RunOutcome::Complete,
         sanitizer: None,
         dvr_trace: None,
+        taint_fills: None,
     })
 }
 
@@ -579,6 +580,7 @@ mod tests {
             mem,
             ipc: 1.618_033,
             mlp: 7.25,
+            taint_fills: None,
             simulated_instructions: 200_000,
             host_seconds: 3.25, // must NOT survive the codec
             sampling: Some(SamplingSummary {

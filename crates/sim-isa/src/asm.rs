@@ -3,7 +3,9 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::instr::{AluOp, BranchCond, Instr, MemAddr, MemWidth, Program};
+use crate::instr::{
+    validate_secrets, AluOp, BranchCond, Instr, MemAddr, MemWidth, Program, SecretRangeError,
+};
 use crate::reg::Reg;
 
 /// A code label handle produced by [`Asm::label`] / consumed by branch
@@ -27,6 +29,8 @@ pub enum AsmError {
         /// The offending label.
         label: Label,
     },
+    /// A secret range declared with [`Asm::secret`] is invalid.
+    BadSecret(SecretRangeError),
 }
 
 impl fmt::Display for AsmError {
@@ -36,6 +40,7 @@ impl fmt::Display for AsmError {
                 write!(f, "label {:?} referenced at pc {} was never bound", label, at_pc)
             }
             AsmError::Rebound { label } => write!(f, "label {:?} bound more than once", label),
+            AsmError::BadSecret(e) => write!(f, "{e}"),
         }
     }
 }
@@ -72,6 +77,8 @@ pub struct Asm {
     /// (instr index, label) pairs needing patching.
     fixups: Vec<(usize, Label)>,
     label_names: Vec<(usize, String)>,
+    /// Declared secret ranges, validated at [`Asm::finish`].
+    secret_ranges: Vec<(u64, u64)>,
 }
 
 const UNBOUND: usize = usize::MAX;
@@ -120,6 +127,15 @@ impl Asm {
     /// Attaches a human-readable name to the current PC (for disassembly).
     pub fn name(&mut self, name: impl Into<String>) {
         self.label_names.push((self.pc(), name.into()));
+    }
+
+    /// Declares `[addr, addr + len)` as secret memory — the programmatic
+    /// equivalent of the textual `.secret <addr> <len>` directive.
+    ///
+    /// Ranges are validated together at [`Asm::finish`]: each must be
+    /// non-empty, fit in the address space, and not overlap another.
+    pub fn secret(&mut self, addr: u64, len: u64) {
+        self.secret_ranges.push((addr, len));
     }
 
     /// Emits a raw instruction.
@@ -295,7 +311,9 @@ impl Asm {
     /// # Errors
     ///
     /// Returns [`AsmError::UnboundLabel`] if a referenced label was never
-    /// bound, or [`AsmError::Rebound`] if a label was bound twice.
+    /// bound, [`AsmError::Rebound`] if a label was bound twice, or
+    /// [`AsmError::BadSecret`] if a declared secret range is empty,
+    /// overflowing, or overlapping.
     pub fn finish(mut self) -> Result<Program, AsmError> {
         for (idx, bound) in self.bindings.iter().enumerate() {
             if *bound == UNBOUND - 1 {
@@ -312,7 +330,10 @@ impl Asm {
                 other => unreachable!("fixup on non-control instruction {other}"),
             }
         }
-        Ok(Program::new(self.instrs, self.label_names))
+        let secrets = validate_secrets(self.secret_ranges).map_err(AsmError::BadSecret)?;
+        let mut prog = Program::new(self.instrs, self.label_names);
+        prog.set_secrets(secrets);
+        Ok(prog)
     }
 }
 
@@ -355,6 +376,25 @@ mod tests {
         asm.nop();
         asm.bind(l);
         assert!(matches!(asm.finish(), Err(AsmError::Rebound { .. })));
+    }
+
+    #[test]
+    fn secret_ranges_validated_at_finish() {
+        let mut asm = Asm::new();
+        asm.secret(0x1000, 64);
+        asm.secret(0x1020, 8); // overlaps the first range
+        asm.halt();
+        assert!(matches!(
+            asm.finish(),
+            Err(AsmError::BadSecret(SecretRangeError::Overlap { first: 0x1000, second: 0x1020 }))
+        ));
+
+        let mut asm = Asm::new();
+        asm.secret(0x2000, 64);
+        asm.secret(0x1000, 64);
+        asm.halt();
+        let prog = asm.finish().unwrap();
+        assert_eq!(prog.secrets(), &[(0x1000, 64), (0x2000, 64)]);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::fxhash::FxHashMap;
 use crate::instr::{Instr, Program};
 use crate::mem::SparseMemory;
 use crate::reg::{Reg, NUM_REGS};
@@ -67,6 +68,137 @@ impl fmt::Display for ExecError {
 
 impl Error for ExecError {}
 
+/// Architectural secret-taint shadow state for the functional executor.
+///
+/// Tracks, per architectural register, whether the current value was
+/// (transitively) derived from memory declared secret via `.secret`
+/// directives, flowing taint through ALU ops, loads, and stores (store→load
+/// flow at exact-address granularity). Purely an **observer**: it changes no
+/// architectural value and no timing — it exists so the leak audit can
+/// confirm which static taint findings a program actually exercises.
+#[derive(Clone, Debug, Default)]
+pub struct SecretTaint {
+    regs: u16,
+    tainted_words: FxHashMap<u64, ()>,
+    /// Loads whose *data* came from a secret region (taint sources).
+    pub secret_reads: u64,
+    /// Loads and stores whose *address* was secret-derived (architectural
+    /// transmitters — under speculation these are the gather gadgets).
+    pub tainted_addr_accesses: u64,
+    /// Conditional branches steered by a secret-derived register.
+    pub tainted_branches: u64,
+    transmit_pcs: FxHashMap<usize, u64>,
+}
+
+impl SecretTaint {
+    fn get(&self, r: Reg) -> bool {
+        self.regs & r.bit() != 0
+    }
+
+    fn set(&mut self, r: Reg, tainted: bool) {
+        if tainted {
+            self.regs |= r.bit();
+        } else {
+            self.regs &= !r.bit();
+        }
+    }
+
+    /// The current register taint mask (bit *i* = `r<i>` is secret-derived).
+    pub fn reg_mask(&self) -> u16 {
+        self.regs
+    }
+
+    /// Transmitting PCs with their access counts, pc-sorted.
+    pub fn transmit_pcs(&self) -> Vec<(usize, u64)> {
+        let mut v: Vec<(usize, u64)> = self.transmit_pcs.iter().map(|(&p, &n)| (p, n)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn observe(&mut self, prog: &Program, step: &Step) {
+        match step.instr {
+            Instr::Imm { rd, .. } => self.set(rd, false),
+            Instr::Alu { rd, ra, rb, .. } => {
+                let t = self.get(ra) || self.get(rb);
+                self.set(rd, t);
+            }
+            Instr::AluImm { rd, ra, .. } => {
+                let t = self.get(ra);
+                self.set(rd, t);
+            }
+            Instr::Load { rd, addr, .. } => {
+                let addr_tainted = self.get(addr.base) || addr.index.is_some_and(|ix| self.get(ix));
+                let a = step.mem.expect("executed loads report their access").addr;
+                if addr_tainted {
+                    self.tainted_addr_accesses += 1;
+                    *self.transmit_pcs.entry(step.pc).or_insert(0) += 1;
+                }
+                let mut t = addr_tainted;
+                if prog.is_secret_addr(a) {
+                    self.secret_reads += 1;
+                    t = true;
+                }
+                if self.tainted_words.contains_key(&a) {
+                    t = true;
+                }
+                self.set(rd, t);
+            }
+            Instr::Store { rs, addr, .. } => {
+                let addr_tainted = self.get(addr.base) || addr.index.is_some_and(|ix| self.get(ix));
+                let a = step.mem.expect("executed stores report their access").addr;
+                if addr_tainted {
+                    self.tainted_addr_accesses += 1;
+                    *self.transmit_pcs.entry(step.pc).or_insert(0) += 1;
+                }
+                if self.get(rs) {
+                    self.tainted_words.insert(a, ());
+                } else {
+                    self.tainted_words.remove(&a);
+                }
+            }
+            Instr::Branch { rs, .. } => {
+                if self.get(rs) {
+                    self.tainted_branches += 1;
+                }
+            }
+            Instr::Jump { .. } | Instr::Nop | Instr::Halt => {}
+        }
+    }
+}
+
+/// One step of the speculative per-lane secret-taint shadow used by the
+/// runahead walkers: updates a 16-bit register taint mask for an executed
+/// instruction and returns `true` when the instruction issued a load whose
+/// *address* was secret-derived (a speculative transmitter — the line fill
+/// it triggers encodes secret data in microarchitectural state).
+///
+/// `load_addr` is the effective address when the instruction loaded
+/// (`None` otherwise; runahead lanes suppress stores, so stores never
+/// reach the hierarchy and never transmit here).
+pub fn lane_taint_step(
+    prog: &Program,
+    instr: &Instr,
+    mask: &mut u16,
+    load_addr: Option<u64>,
+) -> bool {
+    let src_tainted = instr.srcs().any(|r| *mask & r.bit() != 0);
+    let transmitted = src_tainted && load_addr.is_some();
+    let mut tainted = src_tainted;
+    if let Some(a) = load_addr {
+        if prog.is_secret_addr(a) {
+            tainted = true;
+        }
+    }
+    if let Some(dst) = instr.dst() {
+        if tainted {
+            *mask |= dst.bit();
+        } else {
+            *mask &= !dst.bit();
+        }
+    }
+    transmitted
+}
+
 /// The architectural CPU state: 16 integer registers and a program counter.
 ///
 /// `Cpu` executes instructions *functionally* and in order; the cycle-level
@@ -78,6 +210,9 @@ pub struct Cpu {
     pc: usize,
     halted: bool,
     retired: u64,
+    /// Gated secret-taint shadow; `None` (the default) costs nothing.
+    /// Not part of checkpoints — it is an observer, not architectural state.
+    taint: Option<Box<SecretTaint>>,
 }
 
 impl Default for Cpu {
@@ -89,7 +224,23 @@ impl Default for Cpu {
 impl Cpu {
     /// Creates a CPU with all registers zero and `pc = 0`.
     pub fn new() -> Self {
-        Cpu { regs: [0; NUM_REGS], pc: 0, halted: false, retired: 0 }
+        Cpu { regs: [0; NUM_REGS], pc: 0, halted: false, retired: 0, taint: None }
+    }
+
+    /// Starts tracking architectural secret taint (see [`SecretTaint`]).
+    pub fn enable_secret_taint(&mut self) {
+        self.taint = Some(Box::default());
+    }
+
+    /// The secret-taint shadow so far, when tracking is enabled.
+    pub fn secret_taint(&self) -> Option<&SecretTaint> {
+        self.taint.as_deref()
+    }
+
+    /// Takes the secret-taint shadow, leaving tracking disabled.
+    /// `None` if tracking was never enabled.
+    pub fn take_secret_taint(&mut self) -> Option<SecretTaint> {
+        self.taint.take().map(|b| *b)
     }
 
     /// Current program counter.
@@ -209,7 +360,11 @@ impl Cpu {
 
         self.pc = next_pc;
         self.retired += 1;
-        Ok(StepEvent::Executed(Step { pc, instr, next_pc, mem: memacc, branch_taken, dst_value }))
+        let step = Step { pc, instr, next_pc, mem: memacc, branch_taken, dst_value };
+        if let Some(t) = self.taint.as_mut() {
+            t.observe(prog, &step);
+        }
+        Ok(StepEvent::Executed(step))
     }
 
     /// Runs until halt or `max_steps`, returning the number of instructions
@@ -282,7 +437,7 @@ impl Cpu {
     /// Reconstructs a CPU from a checkpoint. Resuming from the restored CPU
     /// (against restored memory) is byte-identical to never having stopped.
     pub fn from_checkpoint(ck: &CpuCheckpoint) -> Self {
-        Cpu { regs: ck.regs, pc: ck.pc, halted: ck.halted, retired: ck.retired }
+        Cpu { regs: ck.regs, pc: ck.pc, halted: ck.halted, retired: ck.retired, taint: None }
     }
 }
 
@@ -642,6 +797,110 @@ mod tests {
         assert_eq!(regs[Reg::R3.index()], 0);
         let e2 = exec_lane(&prog, e1.next_pc, &mut regs, &mem);
         assert!(e2.halted);
+    }
+
+    /// `for i { v = S[i]; x = B[v<<3]; acc ^= x }` with S declared secret.
+    fn secret_gather_program() -> Program {
+        let mut asm = Asm::new();
+        let (s, b, i, n, v, x, acc, c) =
+            (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7, Reg::R8);
+        asm.secret(0x1000, 8 * 8);
+        asm.li(s, 0x1000);
+        asm.li(b, 0x8000);
+        asm.li(i, 0);
+        asm.li(n, 8);
+        let top = asm.here();
+        asm.ld8_idx(v, s, i, 3); // secret source
+        asm.ld8_idx(x, b, v, 3); // transmitter: address derived from secret
+        asm.xor(acc, acc, x);
+        asm.addi(i, i, 1);
+        asm.slt(c, i, n);
+        asm.bnz(c, top);
+        asm.halt();
+        asm.finish().unwrap()
+    }
+
+    #[test]
+    fn secret_taint_tracks_sources_and_transmitters() {
+        let prog = secret_gather_program();
+        let mut mem = SparseMemory::new();
+        for k in 0..8u64 {
+            mem.write_u64(0x1000 + 8 * k, k % 4);
+        }
+        let mut cpu = Cpu::new();
+        cpu.enable_secret_taint();
+        cpu.run(&prog, &mut mem, 10_000).unwrap();
+        let t = cpu.secret_taint().unwrap();
+        assert_eq!(t.secret_reads, 8, "every S[i] read is a source");
+        assert_eq!(t.tainted_addr_accesses, 8, "every B[v] is a transmitter");
+        assert_eq!(t.transmit_pcs(), vec![(5, 8)]);
+        assert_eq!(t.tainted_branches, 0, "the loop branch depends only on i");
+
+        // The tracker is an observer: architectural state matches a plain run.
+        let mut plain = Cpu::new();
+        let mut plain_mem = SparseMemory::new();
+        for k in 0..8u64 {
+            plain_mem.write_u64(0x1000 + 8 * k, k % 4);
+        }
+        plain.run(&prog, &mut plain_mem, 10_000).unwrap();
+        assert_eq!(plain.regs(), cpu.regs());
+        assert_eq!(plain.retired(), cpu.retired());
+    }
+
+    #[test]
+    fn secret_taint_flows_through_memory_and_clears() {
+        // Store a secret-derived value to scratch, reload it, branch on it;
+        // then overwrite the scratch word with a clean value and re-check.
+        let mut asm = Asm::new();
+        asm.secret(0x1000, 8);
+        asm.li(Reg::R1, 0x1000);
+        asm.li(Reg::R2, 0x2000);
+        asm.ld8(Reg::R3, Reg::R1, 0); // secret
+        asm.st8(Reg::R3, Reg::R2, 0); // taints word 0x2000
+        asm.ld8(Reg::R4, Reg::R2, 0); // reload: tainted
+        let skip = asm.label();
+        asm.bez(Reg::R4, skip); // secret-dependent branch
+        asm.bind(skip);
+        asm.li(Reg::R5, 7);
+        asm.st8(Reg::R5, Reg::R2, 0); // clean store clears the word
+        asm.ld8(Reg::R6, Reg::R2, 0); // reload: clean
+        asm.bez(Reg::R6, skip); // clean branch
+        asm.halt();
+        let prog = asm.finish().unwrap();
+        let mut mem = SparseMemory::new();
+        mem.write_u64(0x1000, 1);
+        let mut cpu = Cpu::new();
+        cpu.enable_secret_taint();
+        cpu.run(&prog, &mut mem, 100).unwrap();
+        let t = cpu.take_secret_taint().unwrap();
+        assert_eq!(t.secret_reads, 1);
+        assert_eq!(t.tainted_branches, 1, "only the first branch sees taint");
+        assert_eq!(t.tainted_addr_accesses, 0, "all addresses are constants");
+        assert!(cpu.secret_taint().is_none(), "take disables tracking");
+    }
+
+    #[test]
+    fn lane_taint_step_tracks_a_gather_chain() {
+        let prog = secret_gather_program();
+        let mut mask: u16 = Reg::R5.bit(); // v loaded from a secret line
+                                           // x = B[v<<3]: tainted address, transmits, taints x.
+        let dep = *prog.fetch(5).unwrap();
+        assert!(lane_taint_step(&prog, &dep, &mut mask, Some(0x8000)));
+        assert_ne!(mask & Reg::R6.bit(), 0);
+        // acc ^= x propagates through the ALU without transmitting.
+        let alu = *prog.fetch(6).unwrap();
+        assert!(!lane_taint_step(&prog, &alu, &mut mask, None));
+        assert_ne!(mask & Reg::R7.bit(), 0);
+        // slt c, i, n has clean sources: it clears a stale taint bit on c.
+        mask |= Reg::R8.bit();
+        let slt = *prog.fetch(8).unwrap();
+        assert!(!lane_taint_step(&prog, &slt, &mut mask, None));
+        assert_eq!(mask & Reg::R8.bit(), 0);
+        // An untainted load from a secret address becomes a taint source.
+        let mut clean: u16 = 0;
+        let src = *prog.fetch(4).unwrap();
+        assert!(!lane_taint_step(&prog, &src, &mut clean, Some(0x1008)));
+        assert_ne!(clean & Reg::R5.bit(), 0);
     }
 
     #[test]

@@ -417,6 +417,76 @@ impl fmt::Display for Instr {
     }
 }
 
+/// Why a declared secret range is invalid.
+///
+/// Produced by [`validate_secrets`]; surfaced as a parse error by the
+/// `.secret` directive and as an assembly error by
+/// [`Asm::secret`](crate::Asm::secret).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SecretRangeError {
+    /// A range with `len == 0` covers nothing and is always a mistake.
+    ZeroLength {
+        /// Base address of the empty range.
+        addr: u64,
+    },
+    /// `addr + len` overflows the 64-bit address space.
+    OutOfRange {
+        /// Base address of the range.
+        addr: u64,
+        /// Declared length.
+        len: u64,
+    },
+    /// Two declared ranges overlap; each secret byte must have exactly one
+    /// declaration so diagnostics can name it unambiguously.
+    Overlap {
+        /// Base address of the earlier (lower) range.
+        first: u64,
+        /// Base address of the range that intrudes into it.
+        second: u64,
+    },
+}
+
+impl fmt::Display for SecretRangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SecretRangeError::ZeroLength { addr } => {
+                write!(f, "secret range at {addr:#x} has zero length")
+            }
+            SecretRangeError::OutOfRange { addr, len } => {
+                write!(f, "secret range {addr:#x}+{len:#x} overflows the address space")
+            }
+            SecretRangeError::Overlap { first, second } => {
+                write!(f, "secret range at {second:#x} overlaps the range at {first:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SecretRangeError {}
+
+/// Validates and normalizes declared secret ranges: every range must be
+/// non-empty and fit in the address space, and no two ranges may overlap.
+///
+/// On success returns the ranges sorted by base address.
+pub fn validate_secrets(mut ranges: Vec<(u64, u64)>) -> Result<Vec<(u64, u64)>, SecretRangeError> {
+    for &(addr, len) in &ranges {
+        if len == 0 {
+            return Err(SecretRangeError::ZeroLength { addr });
+        }
+        if addr.checked_add(len).is_none() {
+            return Err(SecretRangeError::OutOfRange { addr, len });
+        }
+    }
+    ranges.sort_unstable();
+    for w in ranges.windows(2) {
+        let ((a, alen), (b, _)) = (w[0], w[1]);
+        if b < a + alen {
+            return Err(SecretRangeError::Overlap { first: a, second: b });
+        }
+    }
+    Ok(ranges)
+}
+
 /// A static program: a sequence of instructions with optional label names
 /// retained for debugging.
 ///
@@ -428,11 +498,14 @@ pub struct Program {
     /// 1-based source line per instruction (empty when the program was
     /// built programmatically rather than parsed from text).
     lines: Vec<usize>,
+    /// Declared secret memory ranges as `(base, len)`, sorted by base and
+    /// non-overlapping (validated by [`validate_secrets`]).
+    secrets: Vec<(u64, u64)>,
 }
 
 impl Program {
     pub(crate) fn new(instrs: Vec<Instr>, labels: Vec<(usize, String)>) -> Self {
-        Program { instrs, labels, lines: Vec::new() }
+        Program { instrs, labels, lines: Vec::new(), secrets: Vec::new() }
     }
 
     pub(crate) fn with_lines(
@@ -441,7 +514,35 @@ impl Program {
         lines: Vec<usize>,
     ) -> Self {
         debug_assert_eq!(instrs.len(), lines.len());
-        Program { instrs, labels, lines }
+        Program { instrs, labels, lines, secrets: Vec::new() }
+    }
+
+    /// Installs validated secret ranges (sorted, non-overlapping — the
+    /// output of [`validate_secrets`]).
+    pub(crate) fn set_secrets(&mut self, secrets: Vec<(u64, u64)>) {
+        self.secrets = secrets;
+    }
+
+    /// Declared secret memory ranges as `(base, len)` pairs, sorted by base.
+    ///
+    /// Declared via the `.secret <addr> <len>` directive
+    /// ([`parse_program`](crate::parse_program)) or
+    /// [`Asm::secret`](crate::Asm::secret).
+    pub fn secrets(&self) -> &[(u64, u64)] {
+        &self.secrets
+    }
+
+    /// Whether `addr` falls inside any declared secret range.
+    pub fn is_secret_addr(&self, addr: u64) -> bool {
+        // Ranges are sorted and disjoint: the only candidate is the last
+        // range starting at or below `addr`.
+        match self.secrets.partition_point(|&(base, _)| base <= addr) {
+            0 => false,
+            i => {
+                let (base, len) = self.secrets[i - 1];
+                addr - base < len
+            }
+        }
     }
 
     /// The instruction at `pc`, or `None` past the end.
@@ -484,6 +585,9 @@ impl Program {
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (base, len) in &self.secrets {
+            writeln!(f, ".secret {base:#x} {len:#x}")?;
+        }
         for (pc, instr) in self.instrs.iter().enumerate() {
             for (lpc, name) in &self.labels {
                 if *lpc == pc {
@@ -573,5 +677,39 @@ mod tests {
         assert_eq!(AluOp::Add.latency(), 1);
         assert_eq!(AluOp::Mul.latency(), 3);
         assert_eq!(AluOp::Div.latency(), 18);
+    }
+
+    #[test]
+    fn secret_validation_rejects_bad_ranges() {
+        assert_eq!(
+            validate_secrets(vec![(0x1000, 0)]),
+            Err(SecretRangeError::ZeroLength { addr: 0x1000 })
+        );
+        assert_eq!(
+            validate_secrets(vec![(u64::MAX - 4, 8)]),
+            Err(SecretRangeError::OutOfRange { addr: u64::MAX - 4, len: 8 })
+        );
+        assert_eq!(
+            validate_secrets(vec![(0x2000, 16), (0x1000, 0x1008)]),
+            Err(SecretRangeError::Overlap { first: 0x1000, second: 0x2000 })
+        );
+        // Adjacent ranges do not overlap, and the result is sorted.
+        assert_eq!(
+            validate_secrets(vec![(0x2000, 8), (0x1000, 0x1000)]),
+            Ok(vec![(0x1000, 0x1000), (0x2000, 8)])
+        );
+    }
+
+    #[test]
+    fn secret_addr_lookup() {
+        let mut p = Program::new(vec![Instr::Halt], Vec::new());
+        p.set_secrets(validate_secrets(vec![(0x1000, 16), (0x3000, 8)]).unwrap());
+        assert!(p.is_secret_addr(0x1000));
+        assert!(p.is_secret_addr(0x100f));
+        assert!(!p.is_secret_addr(0x1010));
+        assert!(!p.is_secret_addr(0xfff));
+        assert!(p.is_secret_addr(0x3007));
+        assert!(!p.is_secret_addr(0x3008));
+        assert!(!Program::default().is_secret_addr(0));
     }
 }

@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use crate::instr::{AluOp, BranchCond, Instr, MemAddr, MemWidth, Program};
+use crate::instr::{validate_secrets, AluOp, BranchCond, Instr, MemAddr, MemWidth, Program};
 use crate::reg::Reg;
 
 /// Error produced when parsing a textual program.
@@ -52,6 +52,18 @@ fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
         .and_then(|n| n.parse::<usize>().ok())
         .ok_or_else(|| err(line, format!("expected register, got '{t}'")))?;
     Reg::from_index(idx).ok_or_else(|| err(line, format!("register out of range: '{t}'")))
+}
+
+/// Parses an unsigned address/length token (decimal or `0x` hex) for the
+/// `.secret` directive.
+fn parse_u64(tok: &str, line: usize) -> Result<u64, ParseError> {
+    let t = tok.trim();
+    if let Some(hex) = t.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        t.parse::<u64>()
+    }
+    .map_err(|_| err(line, format!("expected unsigned value, got '{t}'")))
 }
 
 fn parse_imm(tok: &str, line: usize) -> Result<i64, ParseError> {
@@ -194,6 +206,7 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
     let mut label_list: Vec<(usize, String)> = Vec::new();
     // (instr index, target, source line) fixups.
     let mut fixups: Vec<(usize, Target, usize)> = Vec::new();
+    let mut secrets: Vec<(u64, u64)> = Vec::new();
 
     for (lineno, raw) in text.lines().enumerate() {
         let line = lineno + 1;
@@ -206,6 +219,29 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
         }
         let mut code = code.trim();
         if code.is_empty() {
+            continue;
+        }
+        // Directives start with '.'; the only one is `.secret <addr> <len>`.
+        if let Some(stripped) = code.strip_prefix('.') {
+            let (name, rest) = match stripped.split_once(char::is_whitespace) {
+                Some((n, r)) => (n, r.trim()),
+                None => (stripped, ""),
+            };
+            if name != "secret" {
+                return Err(err(line, format!("unknown directive '.{name}'")));
+            }
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            let [addr, len] = toks.as_slice() else {
+                return Err(err(
+                    line,
+                    format!(".secret expects <addr> <len>, got {} operand(s)", toks.len()),
+                ));
+            };
+            secrets.push((parse_u64(addr, line)?, parse_u64(len, line)?));
+            // Validate eagerly so the error names the offending line.
+            if let Err(e) = validate_secrets(secrets.clone()) {
+                return Err(err(line, e.to_string()));
+            }
             continue;
         }
         // Strip a disassembly "  12:" prefix (digits + colon + space).
@@ -343,7 +379,9 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
         }
     }
 
-    Ok(Program::with_lines(instrs, label_list, lines))
+    let mut prog = Program::with_lines(instrs, label_list, lines);
+    prog.set_secrets(validate_secrets(secrets).expect("validated at each directive"));
+    Ok(prog)
 }
 
 #[cfg(test)]
@@ -451,5 +489,44 @@ mod tests {
     fn comments_and_blank_lines_ignored() {
         let p = parse_program("\n  # comment only\n nop ; trailing\n\nhalt").unwrap();
         assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn secret_directive_parses_and_roundtrips() {
+        // Operands are whitespace-separated, not comma-separated.
+        assert!(parse_program(".secret 4096, 64\nhalt").is_err());
+
+        let p = parse_program(".secret 0x2000 0x40\n.secret 4096 64\nhalt").unwrap();
+        assert_eq!(p.secrets(), &[(0x1000, 0x40), (0x2000, 0x40)]);
+        assert!(p.is_secret_addr(0x1000));
+        assert!(p.is_secret_addr(0x203f));
+        assert!(!p.is_secret_addr(0x2040));
+
+        // Display prints the directives; reparsing preserves them.
+        let reparsed = parse_program(&p.to_string()).unwrap();
+        assert_eq!(reparsed.secrets(), p.secrets());
+    }
+
+    #[test]
+    fn secret_directive_negative_paths() {
+        // Zero length.
+        let e = parse_program(".secret 0x1000 0\nhalt").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("zero length"), "{}", e.message);
+
+        // Out-of-range (base + len overflows the address space).
+        let e = parse_program("nop\n.secret 0xfffffffffffffff8 0x10\nhalt").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("overflows"), "{}", e.message);
+
+        // Overlapping ranges: error lands on the second directive's line.
+        let e = parse_program(".secret 0x1000 0x100\n.secret 0x10f8 8\nhalt").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("overlaps"), "{}", e.message);
+
+        // Malformed operand counts and unknown directives.
+        assert!(parse_program(".secret 0x1000\nhalt").is_err());
+        assert!(parse_program(".secret\nhalt").is_err());
+        assert!(parse_program(".shadow 0x1000 8\nhalt").is_err());
     }
 }

@@ -54,6 +54,7 @@ mod dfg;
 mod diag;
 mod loops;
 mod predict;
+mod taint;
 
 use sim_isa::{Instr, Program, Reg};
 
@@ -68,6 +69,7 @@ pub use predict::{
     predict_coverage, CoveragePrediction, PredictedChain, SkipReason, DETECTOR_SLOTS,
     MIN_TRIPS_TO_SPAWN,
 };
+pub use taint::{analyze_taint, LeakDiagnostic, LeakKind, TaintReport};
 
 /// Analyzes a program and returns every diagnostic plus the loop
 /// classification. Equivalent to [`analyze_instrs`] on `prog.instrs()`.

@@ -60,6 +60,23 @@ impl PrefetchSource {
     }
 }
 
+/// One secret-tainted line fill observed by the taint oracle: a prefetch
+/// (or runahead lane load) whose address was derived from declared-secret
+/// data brought `line` into the hierarchy.
+///
+/// Recorded only while the gated taint log is enabled
+/// ([`MemoryHierarchy::enable_taint_log`]); the log is observer-only state
+/// and never feeds back into timing or [`MemStats`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TaintFill {
+    /// Static pc of the load whose address carried the taint.
+    pub pc: usize,
+    /// The cache line (line address, not byte address) it filled.
+    pub line: u64,
+    /// Which engine issued the fill.
+    pub source: PrefetchSource,
+}
+
 /// Who is asking for a line and why.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum AccessClass {
@@ -174,6 +191,9 @@ pub struct MemoryHierarchy {
     pending_prefetch: FxHashMap<u64, PrefetchSource>,
     /// Fault-injection state (None when injection is disabled).
     fault: Option<FaultState>,
+    /// Gated secret-taint fill log (None = oracle off, the default). Boxed
+    /// so the disabled case costs one pointer, mirroring `DvrTrace`.
+    taint_log: Option<Vec<TaintFill>>,
     stats: MemStats,
 }
 
@@ -189,7 +209,37 @@ impl MemoryHierarchy {
             dram: Dram::new(cfg.dram),
             pending_prefetch: FxHashMap::default(),
             fault: cfg.fault.map(FaultState::new),
+            taint_log: None,
             stats: MemStats::default(),
+        }
+    }
+
+    /// Arms the secret-taint fill log. While enabled, runahead engines
+    /// report secret-addressed fills via
+    /// [`MemoryHierarchy::note_secret_fill`]; nothing else changes — the
+    /// log is pure observation and a logged run stays cycle-identical to an
+    /// unlogged one.
+    pub fn enable_taint_log(&mut self) {
+        self.taint_log = Some(Vec::new());
+    }
+
+    /// Whether the taint log is armed. Engines check this before computing
+    /// per-lane taint so the disabled path does no extra work.
+    pub fn taint_log_enabled(&self) -> bool {
+        self.taint_log.is_some()
+    }
+
+    /// Takes the collected taint log, disarming the logger.
+    pub fn take_taint_log(&mut self) -> Option<Vec<TaintFill>> {
+        self.taint_log.take()
+    }
+
+    /// Records that the fill of `addr`'s line by `source` used a
+    /// secret-derived address (lane load at static `pc`). No-op while the
+    /// log is disarmed.
+    pub fn note_secret_fill(&mut self, pc: usize, addr: u64, source: PrefetchSource) {
+        if let Some(log) = &mut self.taint_log {
+            log.push(TaintFill { pc, line: line_of(addr), source });
         }
     }
 

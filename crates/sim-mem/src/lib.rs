@@ -48,7 +48,7 @@ pub use dram::{Dram, DramConfig};
 pub use fault::{FaultConfig, FaultEvent, FaultKind};
 pub use hierarchy::{
     Access, AccessClass, HierarchyConfig, HitLevel, MemoryHierarchy, PrefetchResult,
-    PrefetchSource, WARM_STATE_MAGIC,
+    PrefetchSource, TaintFill, WARM_STATE_MAGIC,
 };
 pub use imp::{ImpConfig, ImpPrefetcher};
 pub use mshr::MshrFile;

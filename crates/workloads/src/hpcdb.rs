@@ -388,6 +388,56 @@ pub fn random_access(size: SizeClass, seed: u64) -> Workload {
     }
 }
 
+/// The secret-dependent-gather attack kernel for the leak audit.
+///
+/// The index array S is declared secret (`.secret`) and every iteration
+/// gathers `x = B[S[i]]` — the exact dependent-load chain that runahead
+/// vectorization turns into a speculative side channel (Karuppanan &
+/// Mirbagher Ajorpaz): under VR/DVR the subthread gathers `B[S[i+1..k]]`
+/// transiently, encoding future secret values in which lines get filled.
+/// Deliberately **not** part of [`crate::Benchmark::ALL`]: it exists to be
+/// *flagged* by the taint lint and the leak audit, not to be scored.
+pub fn gather_attack(size: SizeClass, seed: u64) -> Workload {
+    let n = size.elems(1 << 20);
+    let table = size.elems(1 << 21);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EC);
+    let mut mem = SparseMemory::new();
+    let mut layout = Layout::new();
+    let s = layout.alloc_words(n);
+    let b = layout.alloc_words(table);
+    for k in 0..n {
+        mem.write_u64(s + 8 * k as u64, rng.random_range(0..table as u64));
+    }
+    fill_random(&mut mem, b, table, u64::MAX, &mut rng);
+
+    // r1 S, r2 B; r4 i, r5 n, r6 v, r7 x, r10 acc, r13 c
+    let mut asm = Asm::new();
+    let (rs, rb) = (Reg::R1, Reg::R2);
+    let (i, nn, v, x, acc, cnd) = (Reg::R4, Reg::R5, Reg::R6, Reg::R7, Reg::R10, Reg::R13);
+    asm.secret(s, 8 * n as u64);
+    asm.li(rs, s as i64);
+    asm.li(rb, b as i64);
+    asm.li(i, 0);
+    asm.li(nn, n as i64);
+    let top = asm.here();
+    asm.ld8_idx(v, rs, i, 3); // S[i]   (striding, secret source)
+    asm.ld8_idx(x, rb, v, 3); // B[S[i]] (the gather gadget)
+    asm.xor(acc, acc, x);
+    busy_work(&mut asm, acc, x, 4);
+    asm.addi(i, i, 1);
+    asm.slt(cnd, i, nn);
+    asm.bnz(cnd, top);
+    asm.halt();
+
+    Workload {
+        name: "gather-attack".to_string(),
+        prog: asm.finish().expect("gather-attack assembles"),
+        mem,
+        description: "secret-dependent gather x = B[S[i]] with S declared .secret".to_string(),
+        regions: vec![("S".into(), s), ("B".into(), b)],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,6 +448,17 @@ mod tests {
         cpu.run(&wl.prog, &mut wl.mem, 500_000_000).expect("kernel executes");
         assert!(cpu.is_halted(), "{} must halt", wl.name);
         wl
+    }
+
+    #[test]
+    fn gather_attack_declares_secrets_and_halts() {
+        let wl = runs_to_halt(gather_attack(SizeClass::Test, 3));
+        assert_eq!(wl.name, "gather-attack");
+        let secrets = wl.prog.secrets();
+        assert_eq!(secrets.len(), 1, "one secret range (the index array S)");
+        assert_eq!(secrets[0].0, wl.region("S"));
+        assert!(wl.prog.is_secret_addr(wl.region("S")));
+        assert!(!wl.prog.is_secret_addr(wl.region("B")));
     }
 
     #[test]

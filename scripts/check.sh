@@ -43,6 +43,32 @@ if echo "$audit_out" | grep -q 'FAIL'; then
 fi
 [ "$(echo "$audit_out" | grep -c '^PASS$')" = 13 ] || { echo "audit did not cover the full suite"; exit 1; }
 
+echo "== forbid-unsafe: every crate keeps #![forbid(unsafe_code)] =="
+for lib in crates/*/src/lib.rs; do
+  grep -q '^#!\[forbid(unsafe_code)\]' "$lib" || { echo "$lib: missing #![forbid(unsafe_code)]"; exit 1; }
+done
+
+echo "== lint-taint: the attack kernel must flag, the suite must not =="
+# Finding the gadget is the tool working, so --attack must exit 1 and name
+# the speculative-gather-gadget; the 13 secret-free benchmarks must be
+# silent (exit 0).
+if taint_out="$(cargo run -q -p dvr-sim --bin dvrsim -- lint-taint --attack)"; then
+  echo "lint-taint --attack missed the gadget:"; echo "$taint_out"; exit 1
+fi
+echo "$taint_out" | grep -q 'speculative-gather-gadget' || { echo "gadget not named:"; echo "$taint_out"; exit 1; }
+suite_taint="$(cargo run -q -p dvr-sim --bin dvrsim -- lint-taint --all || true)"
+echo "$suite_taint" | grep -q '14 programs checked, 1 gadgets' \
+    || { echo "lint-taint --all drifted (want 14 programs, 1 gadget):"; echo "$suite_taint"; exit 1; }
+
+echo "== leak-audit: static and dynamic taint views must agree everywhere =="
+leak_out="$(cargo run -q -p dvr-sim --bin dvrsim -- leak-audit --all)"
+if echo "$leak_out" | grep -q 'FAIL'; then
+  echo "leak-audit reported unexplained divergences:"; echo "$leak_out"; exit 1
+fi
+[ "$(echo "$leak_out" | grep -c '^PASS$')" = 14 ] || { echo "leak-audit did not cover the full suite"; exit 1; }
+echo "$leak_out" | grep -q '1 gadgets dynamically confirmed' \
+    || { echo "the attack gadget was not dynamically confirmed:"; echo "$leak_out"; exit 1; }
+
 echo "== sanitize smoke: sanitized run is clean and byte-identical =="
 # host_seconds / sim_instrs_per_host_second / host_minstr_per_sec are wall
 # clock; strip them before diffing — everything else must match to the byte.
