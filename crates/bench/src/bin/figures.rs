@@ -81,7 +81,7 @@ fn main() {
                     Some("small") => SizeClass::Small,
                     Some("paper") => SizeClass::Paper,
                     other => {
-                        eprintln!("unknown size {other:?}");
+                        eprintln!("error: unknown figures size {other:?} (expected test, small, or paper)");
                         std::process::exit(2);
                     }
                 };
@@ -131,7 +131,7 @@ fn main() {
             }
             other if !other.starts_with("--") => experiment = other.to_string(),
             other => {
-                eprintln!("unknown option {other}");
+                eprintln!("error: unknown figures option '{other}' (see the module docs or crates/bench/src/bin/figures.rs for the option list)");
                 std::process::exit(2);
             }
         }

@@ -699,6 +699,7 @@ fn failed_report(cell: &Cell, workload_name: &str, err: SimError) -> SimReport {
         sanitizer: None,
         dvr_trace: None,
         taint_fills: None,
+        spec_extents: None,
     }
 }
 

@@ -282,6 +282,8 @@ impl DvrEngine {
         // Secret-taint shadow for the leak-audit oracle (observer; active
         // only while the hierarchy's taint log is armed).
         let taint_on = ctx.hier.taint_log_enabled();
+        // Bounds-audit extents (observer; armed the same way).
+        let bounds_on = ctx.hier.spec_extents_enabled();
         let mut st: u16 = 0;
 
         // --- NDM phase 1: scalar walk with the loop branch forced
@@ -314,11 +316,14 @@ impl DvrEngine {
                 continue;
             }
             let eff = exec_lane(prog, pc, &mut regs, mem);
-            if let Some((a, _)) = eff.load {
+            if let Some((a, w)) = eff.load {
                 let acc = ctx.hier.load(t, a, AccessClass::Prefetch(PrefetchSource::Dvr));
                 self.stats.lane_loads += 1;
                 // Scalar chain: the subthread waits for its own loads.
                 t = t.max(acc.complete_at);
+                if bounds_on {
+                    ctx.hier.note_spec_access(pc, a, w);
+                }
             }
             if taint_on {
                 let a = eff.load.map(|(a, _)| a);
@@ -380,6 +385,9 @@ impl DvrEngine {
             let acc = ctx.hier.load(t, addr_j, AccessClass::Prefetch(PrefetchSource::Dvr));
             outer_done = outer_done.max(acc.complete_at);
             self.stats.lane_loads += 1;
+            if bounds_on {
+                ctx.hier.note_spec_access(outer_pc, addr_j, outer_w.bytes());
+            }
             let mut lr = regs;
             lr[outer_rd.index()] = mem.read(addr_j, outer_w.bytes());
             fixup_address_regs(&outer_instr, &mut lr, addr_j);
@@ -408,10 +416,13 @@ impl DvrEngine {
                     break;
                 }
                 let eff = exec_lane(prog, pc, &mut lr, mem);
-                if let Some((a, _)) = eff.load {
+                if let Some((a, w)) = eff.load {
                     let acc = ctx.hier.load(t, a, AccessClass::Prefetch(PrefetchSource::Dvr));
                     dep_done = dep_done.max(acc.complete_at);
                     self.stats.lane_loads += 1;
+                    if bounds_on {
+                        ctx.hier.note_spec_access(pc, a, w);
+                    }
                 }
                 if taint_on {
                     let a = eff.load.map(|(a, _)| a);

@@ -198,6 +198,10 @@ pub fn walk_vectorized(
         Instr::Load { rd, width, .. } => (rd, width),
         _ => return out,
     };
+    // Bounds-audit shadow: while the hierarchy's spec-extent map is armed,
+    // every lane-issued access is reported with its static pc. Same gated
+    // observer discipline as the taint shadow below — never feeds timing.
+    let bounds_on = hier.spec_extents_enabled();
     let uops = n.div_ceil(VECTOR_WIDTH) as u64;
     let span = uops.div_ceil(policy.issue_rate as u64);
     let mut done_at = issue_cursor + span;
@@ -206,6 +210,9 @@ pub fn walk_vectorized(
         let acc = hier.load(t_issue, seed.stride_addr, AccessClass::Prefetch(policy.source));
         done_at = done_at.max(acc.complete_at);
         out.lane_loads += 1;
+        if bounds_on {
+            hier.note_spec_access(term.stride_pc, seed.stride_addr, width.bytes());
+        }
         // Functional effect: load the value and fix up the address registers
         // so dependent instructions compute lane-correct values.
         lanes[i][rd.index()] = mem.read(seed.stride_addr, width.bytes());
@@ -290,11 +297,14 @@ pub fn walk_vectorized(
         let mut load_done = start + issue_span;
         for (k, &lane) in current.lanes.iter().enumerate() {
             let eff = exec_lane(prog, pc, &mut lanes[lane], mem);
-            if let Some((addr, _w)) = eff.load {
+            if let Some((addr, w)) = eff.load {
                 let t_issue = start + (k / VECTOR_WIDTH) as u64 / policy.issue_rate as u64;
                 let acc = hier.load(t_issue, addr, AccessClass::Prefetch(policy.source));
                 load_done = load_done.max(acc.complete_at);
                 out.lane_loads += 1;
+                if bounds_on {
+                    hier.note_spec_access(pc, addr, w);
+                }
             }
             if taint_on {
                 let addr = eff.load.map(|(a, _)| a);

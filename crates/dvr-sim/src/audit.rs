@@ -14,8 +14,8 @@
 use dvr_core::PcSummary;
 use sim_isa::FxHashMap;
 use sim_lint::{
-    analyze_addresses, analyze_deps, find_loops, predict_coverage, AddrClass, Cfg,
-    CoveragePrediction, DefUseGraph, PredictedChain, SkipReason,
+    analyze_addresses_with, analyze_deps, analyze_intervals, find_loops, predict_coverage,
+    AddrClass, Cfg, CoveragePrediction, DefUseGraph, PredictedChain, SkipReason,
 };
 use workloads::{Benchmark, SizeClass};
 
@@ -158,7 +158,13 @@ impl AuditReport {
         );
         let _ = writeln!(s, "static chains:");
         for c in &self.chains {
-            let trips = c.trip_count.map(|t| t.to_string()).unwrap_or_else(|| "?".to_string());
+            // Exact count when the walk proved one, interval bounds when
+            // only the abstract interpretation could bracket it.
+            let trips = match (c.trip_count, c.trip_bounds) {
+                (Some(t), _) => t.to_string(),
+                (None, Some((lo, hi))) => format!("[{lo},{hi}]"),
+                (None, None) => "?".to_string(),
+            };
             let verdict = match &c.skip {
                 None => "spawn".to_string(),
                 Some(r) => format!("skip({r})"),
@@ -258,11 +264,14 @@ pub fn audit_benchmark(bench: Benchmark, size: SizeClass, seed: u64, instrs: u64
     let wl = bench.build(None, size, seed);
     let program = wl.prog.instrs().to_vec();
 
-    // Static side.
+    // Static side. The interval analysis sees the workload's initial
+    // memory image so read-only-region content bounds (and hence trip
+    // bounds for loops bounded by loaded values) are available.
     let cfg = Cfg::build(&program);
     let dfg = DefUseGraph::build(&cfg, &program);
     let loops = find_loops(&cfg, &program);
-    let addr = analyze_addresses(&cfg, &program, &dfg, &loops);
+    let intervals = analyze_intervals(&wl.prog, Some(&wl.mem));
+    let addr = analyze_addresses_with(&cfg, &program, &dfg, &loops, Some(&intervals));
     let deps = analyze_deps(&addr, &loops);
     let prediction = predict_coverage(&cfg, &program, &loops, &addr, &deps);
 

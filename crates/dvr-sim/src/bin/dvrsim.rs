@@ -37,11 +37,14 @@ struct Options {
 
 const USAGE: &str = "\
 usage: dvrsim [--list] (--bench NAME | --asm FILE.s) [options]
-       dvrsim lint (--all | --bench NAME | --asm FILE.s) [--size S] [--seed N] [--verbose] [--json]
+       dvrsim lint (--all | --bench NAME | --asm FILE.s) [--bounds] [--size S] [--seed N]
+                     [--verbose] [--json]
        dvrsim audit (--all | --bench NAME) [--size S] [--seed N] [--instrs N] [--json]
        dvrsim lint-taint (--all | --bench NAME | --attack | --asm FILE.s) [--size S]
                      [--seed N] [--json]
        dvrsim leak-audit (--all | --bench NAME | --attack) [--size S] [--seed N]
+                     [--instrs N] [--json]
+       dvrsim bounds-audit (--all | --bench NAME | --attack | --oob) [--size S] [--seed N]
                      [--instrs N] [--json]
        dvrsim sample (--all | --bench NAME) [--technique T] [--size S] [--instrs N]
                      [--interval N] [--warmup N] [--period N] [--placement systematic|random]
@@ -81,7 +84,10 @@ options:
 
 the `lint` subcommand statically analyzes assembled programs (CFG, dataflow,
 loop classification) instead of simulating; `lint --all` checks every
-benchmark in the suite.
+benchmark in the suite. With --bounds it instead runs the interval-based
+bounds verifier: every reachable load and store is checked against the
+program's declared `.region` footprint, and unprovable or out-of-bounds
+accesses are reported (workload memory feeds read-only content bounds).
 
 the `audit` subcommand diffs the static DVR coverage prediction against a
 traced simulation's actual Discovery decisions and classifies every
@@ -100,6 +106,15 @@ hierarchy's secret-taint fill log armed, plus an architectural replay.
 `--all` audits every benchmark plus the attack kernel; a PASS means the
 static and dynamic sides agree (for the attack kernel both sides agree it
 *leaks*), and unexplained divergences fail the audit.
+
+the `bounds-audit` subcommand diffs the static bounds claims against two
+dynamic observers: an architectural replay with a per-pc extent tracker
+(any access escaping its inferred interval is a soundness bug), and
+simulations under OoO/VR/DVR with the hierarchy's speculative-extent map
+armed. `--all` audits every benchmark plus the attack kernel; `--oob`
+audits the bundled out-of-bounds gather kernel, whose static errors the
+dynamic side confirms. Unexplained divergences and static errors fail the
+command.
 
 the `sample` subcommand runs checkpoint-parallel sampled simulation: one
 functional fast-forward pass per benchmark emits a checkpoint at every
@@ -135,9 +150,17 @@ line `run CELL-KEY` replies with one JSON result (served from the cache
 when possible), `stats`/`ping`/`shutdown` manage the service.
 
 exit status: 0 if every run completed (lint: no errors; lint-taint: no
-gather gadgets; audit/leak-audit: no unexplained divergences; sample:
-every CI contains the exact IPC), 1 otherwise.
+gather gadgets; audit/leak-audit: no unexplained divergences;
+bounds-audit: no unexplained divergences and no static bounds errors;
+sample: every CI contains the exact IPC), 1 otherwise.
 ";
+
+/// Shared rejection for an unrecognized flag in any subcommand's argument
+/// loop: one message shape, one exit code.
+fn unknown_flag(cmd: &str, flag: &str) -> ExitCode {
+    eprintln!("error: unknown {cmd} option '{flag}' (see 'dvrsim --help')");
+    ExitCode::from(2)
+}
 
 fn parse_inject(spec: &str) -> Result<FaultConfig, String> {
     let mut f = FaultConfig::default();
@@ -340,12 +363,14 @@ fn lint_main(args: &[String]) -> ExitCode {
     let mut asm: Option<String> = None;
     let mut size = SizeClass::Test;
     let mut seed = 42u64;
+    let mut bounds = false;
     let mut verbose = false;
     let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--all" => all = true,
+            "--bounds" => bounds = true,
             "--verbose" => verbose = true,
             "--json" => json = true,
             "--bench" | "--asm" | "--size" | "--seed" => {
@@ -387,25 +412,25 @@ fn lint_main(args: &[String]) -> ExitCode {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            other => {
-                eprintln!("error: unknown lint option '{other}' (see 'dvrsim --help')");
-                return ExitCode::from(2);
-            }
+            other => return unknown_flag("lint", other),
         }
         i += 1;
     }
 
-    let programs: Vec<(String, sim_isa::Program)> = if all {
+    // Programs carry their initial memory image when built from the suite:
+    // the bounds verifier scans read-only regions for content bounds. A
+    // user .s kernel lints without an image (sound, less precise).
+    let programs: Vec<(String, sim_isa::Program, Option<sim_isa::SparseMemory>)> = if all {
         Benchmark::ALL
             .iter()
             .map(|b| {
                 let wl = b.build(None, size, seed);
-                (wl.name, wl.prog)
+                (wl.name, wl.prog, Some(wl.mem))
             })
             .collect()
     } else if let Some(b) = bench {
         let wl = b.build(None, size, seed);
-        vec![(wl.name, wl.prog)]
+        vec![(wl.name, wl.prog, Some(wl.mem))]
     } else if let Some(path) = asm {
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
@@ -415,7 +440,7 @@ fn lint_main(args: &[String]) -> ExitCode {
             }
         };
         match sim_isa::parse_program(&text) {
-            Ok(prog) => vec![(path, prog)],
+            Ok(prog) => vec![(path, prog, None)],
             Err(e) => {
                 eprintln!("{path}: error[parse]: {e}");
                 return ExitCode::FAILURE;
@@ -428,7 +453,39 @@ fn lint_main(args: &[String]) -> ExitCode {
 
     let mut total_errors = 0usize;
     let mut total_warnings = 0usize;
-    for (name, prog) in &programs {
+    for (name, prog, mem) in &programs {
+        if bounds {
+            let report = sim_lint::check_bounds(prog, mem.as_ref());
+            if json {
+                println!("{}", report.to_json(name, Some(prog)));
+            } else {
+                println!(
+                    "{name}: {} memory ops, {} proven, {} errors, {} warnings",
+                    report.ops.len(),
+                    report.proven(),
+                    report.errors(),
+                    report.warnings()
+                );
+                for d in &report.diags {
+                    println!("  {}", d.render(Some(prog)));
+                }
+                if verbose {
+                    for o in &report.ops {
+                        println!(
+                            "  pc={} {} w={} addr={} {}",
+                            o.pc,
+                            if o.is_load { "load" } else { "store" },
+                            o.width,
+                            o.addr,
+                            o.verdict
+                        );
+                    }
+                }
+            }
+            total_errors += report.errors();
+            total_warnings += report.warnings();
+            continue;
+        }
         let report = sim_lint::analyze(prog);
         if json {
             println!("{}", report.to_json(name, Some(prog)));
@@ -454,12 +511,130 @@ fn lint_main(args: &[String]) -> ExitCode {
     }
     if !json {
         println!(
-            "lint: {} program{} checked, {total_errors} errors, {total_warnings} warnings",
+            "lint{}: {} program{} checked, {total_errors} errors, {total_warnings} warnings",
+            if bounds { " --bounds" } else { "" },
             programs.len(),
             if programs.len() == 1 { "" } else { "s" }
         );
     }
     if total_errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `dvrsim bounds-audit`: the static-vs-dynamic bounds audit — verify the
+/// program's accesses against its declared regions statically, replay with
+/// the architectural extent tracker, run the speculative-extent oracle
+/// under OoO/VR/DVR, and diff the views.
+fn bounds_audit_main(args: &[String]) -> ExitCode {
+    let mut all = false;
+    let mut attack = false;
+    let mut oob = false;
+    let mut bench: Option<Benchmark> = None;
+    let mut size = SizeClass::Test;
+    let mut seed = 42u64;
+    let mut instrs = 60_000u64;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => all = true,
+            "--attack" => attack = true,
+            "--oob" => oob = true,
+            "--json" => json = true,
+            "--bench" | "--size" | "--seed" | "--instrs" => {
+                let Some(v) = args.get(i + 1).cloned() else {
+                    eprintln!("error: {} needs a value", args[i]);
+                    return ExitCode::from(2);
+                };
+                match args[i].as_str() {
+                    "--bench" => match parse_bench(&v) {
+                        Some(b) => bench = Some(b),
+                        None => {
+                            eprintln!("error: unknown benchmark '{v}'");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--size" => {
+                        size = match v.as_str() {
+                            "test" => SizeClass::Test,
+                            "small" => SizeClass::Small,
+                            "paper" => SizeClass::Paper,
+                            _ => {
+                                eprintln!("error: unknown size '{v}'");
+                                return ExitCode::from(2);
+                            }
+                        };
+                    }
+                    "--seed" => match v.parse() {
+                        Ok(n) => seed = n,
+                        Err(e) => {
+                            eprintln!("error: --seed: {e}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    _ => match v.parse() {
+                        Ok(n) => instrs = n,
+                        Err(e) => {
+                            eprintln!("error: --instrs: {e}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                }
+                i += 1;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return unknown_flag("bounds-audit", other),
+        }
+        i += 1;
+    }
+    if !all && !attack && !oob && bench.is_none() {
+        eprintln!("error: bounds-audit needs --all, --bench NAME, --attack, or --oob\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut reports = Vec::new();
+    let benches: Vec<Benchmark> =
+        if all { Benchmark::ALL.to_vec() } else { bench.into_iter().collect() };
+    for b in &benches {
+        reports.push(dvr_sim::bounds_audit_benchmark(*b, size, seed, instrs));
+    }
+    if attack || all {
+        reports.push(dvr_sim::bounds_audit_attack(size, seed, instrs));
+    }
+    if oob {
+        reports.push(dvr_sim::bounds_audit_oob(size, seed, instrs));
+    }
+
+    let mut unexplained = 0usize;
+    let mut total = 0usize;
+    let mut static_errors = 0usize;
+    let mut confirmed = 0usize;
+    for r in &reports {
+        if json {
+            println!("{}", r.to_json());
+        } else {
+            print!("{}", r.render());
+        }
+        total += r.divergences.len();
+        unexplained += r.unexplained();
+        static_errors += r.static_errors();
+        confirmed += r.confirmed_oob();
+    }
+    if !json {
+        println!(
+            "bounds-audit: {} workload{} checked, {total} divergences, {unexplained} unexplained, \
+             {static_errors} static errors ({confirmed} dynamically confirmed)",
+            reports.len(),
+            if reports.len() == 1 { "" } else { "s" }
+        );
+    }
+    if unexplained > 0 || static_errors > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
@@ -525,10 +700,7 @@ fn audit_main(args: &[String]) -> ExitCode {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            other => {
-                eprintln!("error: unknown audit option '{other}' (see 'dvrsim --help')");
-                return ExitCode::from(2);
-            }
+            other => return unknown_flag("audit", other),
         }
         i += 1;
     }
@@ -623,10 +795,7 @@ fn lint_taint_main(args: &[String]) -> ExitCode {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            other => {
-                eprintln!("error: unknown lint-taint option '{other}' (see 'dvrsim --help')");
-                return ExitCode::from(2);
-            }
+            other => return unknown_flag("lint-taint", other),
         }
         i += 1;
     }
@@ -763,10 +932,7 @@ fn leak_audit_main(args: &[String]) -> ExitCode {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            other => {
-                eprintln!("error: unknown leak-audit option '{other}' (see 'dvrsim --help')");
-                return ExitCode::from(2);
-            }
+            other => return unknown_flag("leak-audit", other),
         }
         i += 1;
     }
@@ -916,10 +1082,7 @@ fn sample_main(args: &[String]) -> ExitCode {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            other => {
-                eprintln!("error: unknown sample option '{other}' (see 'dvrsim --help')");
-                return ExitCode::from(2);
-            }
+            other => return unknown_flag("sample", other),
         }
         i += 1;
     }
@@ -1192,10 +1355,7 @@ fn sample_worker_main(args: &[String]) -> ExitCode {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            other => {
-                eprintln!("error: unknown sample-worker option '{other}' (see 'dvrsim --help')");
-                return ExitCode::from(2);
-            }
+            other => return unknown_flag("sample-worker", other),
         }
         i += 1;
     }
@@ -1247,6 +1407,9 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("leak-audit") {
         return leak_audit_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("bounds-audit") {
+        return bounds_audit_main(&argv[1..]);
     }
     if argv.first().map(String::as_str) == Some("sample") {
         return sample_main(&argv[1..]);
@@ -1456,7 +1619,7 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepOpts, String> {
                 std::process::exit(0);
             }
             other => {
-                eprintln!("error: unknown sweep option '{other}' (see 'dvrsim --help')");
+                let _ = unknown_flag("sweep", other);
                 std::process::exit(2);
             }
         }
@@ -1582,10 +1745,7 @@ fn sweep_worker_main(args: &[String]) -> ExitCode {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        Some(flag) if flag.starts_with("--") => {
-            eprintln!("error: unknown sweep-worker option '{flag}' (see 'dvrsim --help')");
-            return ExitCode::from(2);
-        }
+        Some(flag) if flag.starts_with("--") => return unknown_flag("sweep-worker", flag),
         _ => {}
     }
     let Some(cell) = args.first() else {
@@ -1630,10 +1790,7 @@ fn serve_main(args: &[String]) -> ExitCode {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            other => {
-                eprintln!("error: unknown serve option '{other}' (see 'dvrsim --help')");
-                return ExitCode::from(2);
-            }
+            other => return unknown_flag("serve", other),
         }
         i += 1;
     }

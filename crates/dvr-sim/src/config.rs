@@ -88,6 +88,11 @@ pub struct SimConfig {
     /// [`SimReport::taint_fills`](crate::SimReport). Timing-neutral, like
     /// `trace_dvr`: the armed run's report serializes byte-identically.
     pub taint_oracle: bool,
+    /// Arm the memory hierarchy's speculative-access extent map: runahead
+    /// engines record the [min, max] address span touched per static pc into
+    /// [`SimReport::spec_extents`](crate::SimReport). Timing-neutral, like
+    /// the taint oracle: the armed run's report serializes byte-identically.
+    pub bounds_oracle: bool,
 }
 
 impl SimConfig {
@@ -104,6 +109,7 @@ impl SimConfig {
             max_instructions: 2_000_000,
             trace_dvr: false,
             taint_oracle: false,
+            bounds_oracle: false,
         }
     }
 
@@ -118,6 +124,13 @@ impl SimConfig {
     /// [`SimReport::taint_fills`](crate::SimReport)).
     pub fn with_taint_oracle(mut self, on: bool) -> Self {
         self.taint_oracle = on;
+        self
+    }
+
+    /// Arms the dynamic speculative-extent oracle for the bounds audit (see
+    /// [`SimReport::spec_extents`](crate::SimReport)).
+    pub fn with_bounds_oracle(mut self, on: bool) -> Self {
+        self.bounds_oracle = on;
         self
     }
 

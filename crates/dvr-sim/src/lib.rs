@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 mod audit;
+mod bounds_audit;
 mod config;
 mod leak_audit;
 mod report;
@@ -31,6 +32,10 @@ mod sample;
 pub mod sweep;
 
 pub use audit::{audit_benchmark, AuditReport, Divergence, DivergenceKind, Justification};
+pub use bounds_audit::{
+    bounds_audit_attack, bounds_audit_benchmark, bounds_audit_oob, bounds_audit_workload,
+    BoundsAuditReport, BoundsDivergence, BoundsDivergenceKind, BoundsJustification, PcExtents,
+};
 pub use config::{SimConfig, Technique};
 pub use leak_audit::{
     leak_audit_attack, leak_audit_benchmark, leak_audit_workload, ArchTaint, FillSummary,

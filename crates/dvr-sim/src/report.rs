@@ -137,6 +137,14 @@ pub struct SimReport {
     /// [`SimReport::to_json`]: armed and unarmed runs must serialize
     /// byte-identically.
     pub taint_fills: Option<Vec<sim_mem::TaintFill>>,
+    /// Per-pc [min, max] address spans touched by runahead subthreads
+    /// (`Some` only when the run was configured with
+    /// [`SimConfig::with_bounds_oracle`](crate::SimConfig::with_bounds_oracle)).
+    /// Sorted by pc; each entry is `(pc, min_addr, max_inclusive_end)`.
+    /// Like the other oracles, deliberately **not** part of
+    /// [`SimReport::to_json`]: armed and unarmed runs must serialize
+    /// byte-identically.
+    pub spec_extents: Option<Vec<(usize, u64, u64)>>,
 }
 
 impl SimReport {
@@ -328,6 +336,7 @@ mod tests {
             sanitizer: None,
             dvr_trace: None,
             taint_fills: None,
+            spec_extents: None,
         }
     }
 

@@ -76,6 +76,9 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> SimReport {
     if cfg.taint_oracle {
         hier.enable_taint_log();
     }
+    if cfg.bounds_oracle {
+        hier.enable_spec_extents();
+    }
     let mut core = OooCore::new(cfg.core);
     let mut dvr_trace = None;
 
@@ -199,6 +202,7 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> SimReport {
     };
 
     let taint_fills = hier.take_taint_log();
+    let spec_extents = hier.take_spec_extents();
     let core_stats = *core.stats();
     let mem_stats = hier.stats().clone();
     let cycles = core_stats.cycles.max(1);
@@ -217,6 +221,7 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> SimReport {
         sanitizer,
         dvr_trace,
         taint_fills,
+        spec_extents,
     }
 }
 

@@ -346,6 +346,7 @@ pub fn sampled_report_from(
         sanitizer: None,
         dvr_trace: None,
         taint_fills: None,
+        spec_extents: None,
     };
     match result {
         Ok(run) => {

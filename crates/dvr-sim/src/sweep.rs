@@ -423,6 +423,7 @@ pub fn decode_report(raw: &[u8]) -> Result<SimReport, String> {
         sanitizer: None,
         dvr_trace: None,
         taint_fills: None,
+        spec_extents: None,
     })
 }
 
@@ -581,6 +582,7 @@ mod tests {
             ipc: 1.618_033,
             mlp: 7.25,
             taint_fills: None,
+            spec_extents: None,
             simulated_instructions: 200_000,
             host_seconds: 3.25, // must NOT survive the codec
             sampling: Some(SamplingSummary {

@@ -4,7 +4,8 @@ use std::error::Error;
 use std::fmt;
 
 use crate::instr::{
-    validate_secrets, AluOp, BranchCond, Instr, MemAddr, MemWidth, Program, SecretRangeError,
+    validate_regions, validate_secrets, AluOp, BranchCond, Instr, MemAddr, MemWidth, Program,
+    RegionError, SecretRangeError,
 };
 use crate::reg::Reg;
 
@@ -31,6 +32,8 @@ pub enum AsmError {
     },
     /// A secret range declared with [`Asm::secret`] is invalid.
     BadSecret(SecretRangeError),
+    /// A footprint region declared with [`Asm::region`] is invalid.
+    BadRegion(RegionError),
 }
 
 impl fmt::Display for AsmError {
@@ -41,6 +44,7 @@ impl fmt::Display for AsmError {
             }
             AsmError::Rebound { label } => write!(f, "label {:?} bound more than once", label),
             AsmError::BadSecret(e) => write!(f, "{e}"),
+            AsmError::BadRegion(e) => write!(f, "{e}"),
         }
     }
 }
@@ -79,6 +83,8 @@ pub struct Asm {
     label_names: Vec<(usize, String)>,
     /// Declared secret ranges, validated at [`Asm::finish`].
     secret_ranges: Vec<(u64, u64)>,
+    /// Declared footprint regions, validated at [`Asm::finish`].
+    region_decls: Vec<(String, u64, u64)>,
 }
 
 const UNBOUND: usize = usize::MAX;
@@ -136,6 +142,17 @@ impl Asm {
     /// non-empty, fit in the address space, and not overlap another.
     pub fn secret(&mut self, addr: u64, len: u64) {
         self.secret_ranges.push((addr, len));
+    }
+
+    /// Declares `[addr, addr + len)` as the named legal-footprint region —
+    /// the programmatic equivalent of the textual
+    /// `.region <name> <addr> <len>` directive.
+    ///
+    /// Regions are validated together at [`Asm::finish`]: names must be
+    /// unique identifiers, each region must be non-empty and fit in the
+    /// address space, and no two regions may overlap.
+    pub fn region(&mut self, name: impl Into<String>, addr: u64, len: u64) {
+        self.region_decls.push((name.into(), addr, len));
     }
 
     /// Emits a raw instruction.
@@ -311,9 +328,10 @@ impl Asm {
     /// # Errors
     ///
     /// Returns [`AsmError::UnboundLabel`] if a referenced label was never
-    /// bound, [`AsmError::Rebound`] if a label was bound twice, or
+    /// bound, [`AsmError::Rebound`] if a label was bound twice,
     /// [`AsmError::BadSecret`] if a declared secret range is empty,
-    /// overflowing, or overlapping.
+    /// overflowing, or overlapping, or [`AsmError::BadRegion`] for the same
+    /// defects (or a bad/duplicate name) in a declared footprint region.
     pub fn finish(mut self) -> Result<Program, AsmError> {
         for (idx, bound) in self.bindings.iter().enumerate() {
             if *bound == UNBOUND - 1 {
@@ -331,8 +349,10 @@ impl Asm {
             }
         }
         let secrets = validate_secrets(self.secret_ranges).map_err(AsmError::BadSecret)?;
+        let regions = validate_regions(self.region_decls).map_err(AsmError::BadRegion)?;
         let mut prog = Program::new(self.instrs, self.label_names);
         prog.set_secrets(secrets);
+        prog.set_regions(regions);
         Ok(prog)
     }
 }
@@ -395,6 +415,26 @@ mod tests {
         asm.halt();
         let prog = asm.finish().unwrap();
         assert_eq!(prog.secrets(), &[(0x1000, 64), (0x2000, 64)]);
+    }
+
+    #[test]
+    fn region_decls_validated_at_finish() {
+        let mut asm = Asm::new();
+        asm.region("a", 0x1000, 64);
+        asm.region("b", 0x1020, 8); // overlaps
+        asm.halt();
+        assert!(matches!(asm.finish(), Err(AsmError::BadRegion(RegionError::Overlap { .. }))));
+
+        let mut asm = Asm::new();
+        asm.region("hi", 0x2000, 64);
+        asm.region("lo", 0x1000, 64);
+        asm.halt();
+        let prog = asm.finish().unwrap();
+        assert_eq!(
+            prog.regions(),
+            &[("lo".to_string(), 0x1000, 64), ("hi".to_string(), 0x2000, 64)]
+        );
+        assert!(prog.to_string().contains(".region lo 0x1000 0x40"));
     }
 
     #[test]

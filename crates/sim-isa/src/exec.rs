@@ -166,6 +166,68 @@ impl SecretTaint {
     }
 }
 
+/// Architectural bounds-observation shadow for the functional executor.
+///
+/// Records, per *static* memory instruction (pc), the minimum start address
+/// and maximum end address (inclusive) of every access it has issued.
+/// Purely an **observer**: it changes no architectural value and no timing
+/// — it exists so the bounds audit (`dvrsim bounds-audit`) can diff the
+/// static interval claims of the bounds verifier against the addresses a
+/// real execution actually touched.
+#[derive(Clone, Debug, Default)]
+pub struct BoundsTracker {
+    /// pc → (min start address, max inclusive end address).
+    extents: FxHashMap<usize, (u64, u64)>,
+    /// Total memory accesses observed.
+    pub accesses: u64,
+}
+
+impl BoundsTracker {
+    fn observe(&mut self, step: &Step) {
+        let Some(m) = step.mem else { return };
+        self.accesses += 1;
+        let end = m.addr.saturating_add(m.width - 1);
+        let e = self.extents.entry(step.pc).or_insert((m.addr, end));
+        e.0 = e.0.min(m.addr);
+        e.1 = e.1.max(end);
+    }
+
+    /// Observed extents as `(pc, min_start, max_end)`, pc-sorted.
+    pub fn extents(&self) -> Vec<(usize, u64, u64)> {
+        let mut v: Vec<(usize, u64, u64)> =
+            self.extents.iter().map(|(&pc, &(lo, hi))| (pc, lo, hi)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The extent observed for the memory instruction at `pc`, if any
+    /// access executed.
+    pub fn extent(&self, pc: usize) -> Option<(u64, u64)> {
+        self.extents.get(&pc).copied()
+    }
+
+    /// Folds another tracker's observations into this one (used to merge
+    /// per-lane speculative extents into the architectural tracker).
+    pub fn merge(&mut self, other: &BoundsTracker) {
+        self.accesses += other.accesses;
+        for (&pc, &(lo, hi)) in other.extents.iter() {
+            let e = self.extents.entry(pc).or_insert((lo, hi));
+            e.0 = e.0.min(lo);
+            e.1 = e.1.max(hi);
+        }
+    }
+
+    /// Records one raw access (used by the runahead walkers for
+    /// speculative lane loads that never retire architecturally).
+    pub fn note_access(&mut self, pc: usize, addr: u64, width: u64) {
+        self.accesses += 1;
+        let end = addr.saturating_add(width.max(1) - 1);
+        let e = self.extents.entry(pc).or_insert((addr, end));
+        e.0 = e.0.min(addr);
+        e.1 = e.1.max(end);
+    }
+}
+
 /// One step of the speculative per-lane secret-taint shadow used by the
 /// runahead walkers: updates a 16-bit register taint mask for an executed
 /// instruction and returns `true` when the instruction issued a load whose
@@ -213,6 +275,9 @@ pub struct Cpu {
     /// Gated secret-taint shadow; `None` (the default) costs nothing.
     /// Not part of checkpoints — it is an observer, not architectural state.
     taint: Option<Box<SecretTaint>>,
+    /// Gated bounds-observation shadow; same gating and checkpoint rules
+    /// as `taint`.
+    bounds: Option<Box<BoundsTracker>>,
 }
 
 impl Default for Cpu {
@@ -224,7 +289,24 @@ impl Default for Cpu {
 impl Cpu {
     /// Creates a CPU with all registers zero and `pc = 0`.
     pub fn new() -> Self {
-        Cpu { regs: [0; NUM_REGS], pc: 0, halted: false, retired: 0, taint: None }
+        Cpu { regs: [0; NUM_REGS], pc: 0, halted: false, retired: 0, taint: None, bounds: None }
+    }
+
+    /// Starts tracking per-static-instruction address extents (see
+    /// [`BoundsTracker`]).
+    pub fn enable_bounds_tracker(&mut self) {
+        self.bounds = Some(Box::default());
+    }
+
+    /// The bounds-observation shadow so far, when tracking is enabled.
+    pub fn bounds_tracker(&self) -> Option<&BoundsTracker> {
+        self.bounds.as_deref()
+    }
+
+    /// Takes the bounds-observation shadow, leaving tracking disabled.
+    /// `None` if tracking was never enabled.
+    pub fn take_bounds_tracker(&mut self) -> Option<BoundsTracker> {
+        self.bounds.take().map(|b| *b)
     }
 
     /// Starts tracking architectural secret taint (see [`SecretTaint`]).
@@ -364,6 +446,9 @@ impl Cpu {
         if let Some(t) = self.taint.as_mut() {
             t.observe(prog, &step);
         }
+        if let Some(b) = self.bounds.as_mut() {
+            b.observe(&step);
+        }
         Ok(StepEvent::Executed(step))
     }
 
@@ -437,7 +522,14 @@ impl Cpu {
     /// Reconstructs a CPU from a checkpoint. Resuming from the restored CPU
     /// (against restored memory) is byte-identical to never having stopped.
     pub fn from_checkpoint(ck: &CpuCheckpoint) -> Self {
-        Cpu { regs: ck.regs, pc: ck.pc, halted: ck.halted, retired: ck.retired, taint: None }
+        Cpu {
+            regs: ck.regs,
+            pc: ck.pc,
+            halted: ck.halted,
+            retired: ck.retired,
+            taint: None,
+            bounds: None,
+        }
     }
 }
 

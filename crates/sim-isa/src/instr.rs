@@ -464,6 +464,111 @@ impl fmt::Display for SecretRangeError {
 
 impl std::error::Error for SecretRangeError {}
 
+/// Why a declared memory region is invalid.
+///
+/// Produced by [`validate_regions`]; surfaced as a parse error by the
+/// `.region` directive and as an assembly error by
+/// [`Asm::region`](crate::Asm::region).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RegionError {
+    /// The region name is empty or contains characters outside
+    /// `[A-Za-z0-9_.-]`, so diagnostics could not print it unambiguously.
+    BadName {
+        /// The offending name (possibly empty).
+        name: String,
+    },
+    /// Two regions share a name; lookups by name must be unambiguous.
+    DuplicateName {
+        /// The repeated name.
+        name: String,
+    },
+    /// A region with `len == 0` covers nothing and is always a mistake.
+    ZeroLength {
+        /// Name of the empty region.
+        name: String,
+        /// Base address of the empty region.
+        addr: u64,
+    },
+    /// `addr + len` overflows the 64-bit address space.
+    OutOfRange {
+        /// Name of the region.
+        name: String,
+        /// Base address of the region.
+        addr: u64,
+        /// Declared length.
+        len: u64,
+    },
+    /// Two declared regions overlap; every byte of the footprint must
+    /// belong to exactly one named region so bounds diagnostics can name
+    /// the region an access escapes.
+    Overlap {
+        /// Name of the earlier (lower) region.
+        first: String,
+        /// Name of the region that intrudes into it.
+        second: String,
+    },
+}
+
+impl fmt::Display for RegionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionError::BadName { name } => {
+                write!(f, "region name {name:?} is not a valid identifier")
+            }
+            RegionError::DuplicateName { name } => {
+                write!(f, "region name {name:?} is declared twice")
+            }
+            RegionError::ZeroLength { name, addr } => {
+                write!(f, "region {name} at {addr:#x} has zero length")
+            }
+            RegionError::OutOfRange { name, addr, len } => {
+                write!(f, "region {name} {addr:#x}+{len:#x} overflows the address space")
+            }
+            RegionError::Overlap { first, second } => {
+                write!(f, "region {second} overlaps region {first}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegionError {}
+
+/// Validates and normalizes declared memory regions `(name, base, len)`:
+/// names must be unique identifiers (`[A-Za-z0-9_.-]+`), every region must
+/// be non-empty and fit in the address space, and no two regions may
+/// overlap.
+///
+/// On success returns the regions sorted by base address.
+pub fn validate_regions(
+    mut regions: Vec<(String, u64, u64)>,
+) -> Result<Vec<(String, u64, u64)>, RegionError> {
+    for (name, addr, len) in &regions {
+        if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c))
+        {
+            return Err(RegionError::BadName { name: name.clone() });
+        }
+        if *len == 0 {
+            return Err(RegionError::ZeroLength { name: name.clone(), addr: *addr });
+        }
+        if addr.checked_add(*len).is_none() {
+            return Err(RegionError::OutOfRange { name: name.clone(), addr: *addr, len: *len });
+        }
+    }
+    for (i, (name, ..)) in regions.iter().enumerate() {
+        if regions[..i].iter().any(|(n, ..)| n == name) {
+            return Err(RegionError::DuplicateName { name: name.clone() });
+        }
+    }
+    regions.sort_by_key(|a| (a.1, a.2));
+    for w in regions.windows(2) {
+        let ((a_name, a, alen), (b_name, b, _)) = (&w[0], &w[1]);
+        if *b < a + alen {
+            return Err(RegionError::Overlap { first: a_name.clone(), second: b_name.clone() });
+        }
+    }
+    Ok(regions)
+}
+
 /// Validates and normalizes declared secret ranges: every range must be
 /// non-empty and fit in the address space, and no two ranges may overlap.
 ///
@@ -501,11 +606,14 @@ pub struct Program {
     /// Declared secret memory ranges as `(base, len)`, sorted by base and
     /// non-overlapping (validated by [`validate_secrets`]).
     secrets: Vec<(u64, u64)>,
+    /// Declared legal-footprint regions as `(name, base, len)`, sorted by
+    /// base and non-overlapping (validated by [`validate_regions`]).
+    regions: Vec<(String, u64, u64)>,
 }
 
 impl Program {
     pub(crate) fn new(instrs: Vec<Instr>, labels: Vec<(usize, String)>) -> Self {
-        Program { instrs, labels, lines: Vec::new(), secrets: Vec::new() }
+        Program { instrs, labels, lines: Vec::new(), secrets: Vec::new(), regions: Vec::new() }
     }
 
     pub(crate) fn with_lines(
@@ -514,7 +622,7 @@ impl Program {
         lines: Vec<usize>,
     ) -> Self {
         debug_assert_eq!(instrs.len(), lines.len());
-        Program { instrs, labels, lines, secrets: Vec::new() }
+        Program { instrs, labels, lines, secrets: Vec::new(), regions: Vec::new() }
     }
 
     /// Installs validated secret ranges (sorted, non-overlapping — the
@@ -543,6 +651,51 @@ impl Program {
                 addr - base < len
             }
         }
+    }
+
+    /// Installs validated footprint regions (sorted, non-overlapping — the
+    /// output of [`validate_regions`]).
+    pub(crate) fn set_regions(&mut self, regions: Vec<(String, u64, u64)>) {
+        self.regions = regions;
+    }
+
+    /// Declared legal-footprint regions as `(name, base, len)` triples,
+    /// sorted by base address.
+    ///
+    /// Declared via the `.region <name> <addr> <len>` directive
+    /// ([`parse_program`](crate::parse_program)) or
+    /// [`Asm::region`](crate::Asm::region). An empty slice means the
+    /// workload declares no footprint and bounds checking is vacuous.
+    pub fn regions(&self) -> &[(String, u64, u64)] {
+        &self.regions
+    }
+
+    /// The declared region containing `addr`, if any, as
+    /// `(name, base, len)`.
+    pub fn region_containing(&self, addr: u64) -> Option<(&str, u64, u64)> {
+        // Regions are sorted and disjoint: the only candidate is the last
+        // region starting at or below `addr`.
+        match self.regions.partition_point(|&(_, base, _)| base <= addr) {
+            0 => None,
+            i => {
+                let (name, base, len) = &self.regions[i - 1];
+                (addr - base < *len).then_some((name.as_str(), *base, *len))
+            }
+        }
+    }
+
+    /// Whether the whole access `[addr, addr + width)` lies inside a single
+    /// declared region. Vacuously false when `width == 0`.
+    pub fn access_in_region(&self, addr: u64, width: u64) -> bool {
+        width != 0
+            && match self.region_containing(addr) {
+                Some((_, base, len)) => {
+                    // The region end cannot overflow (validated), so the
+                    // access fits iff its last byte is below base + len.
+                    width <= len && addr - base <= len - width
+                }
+                None => false,
+            }
     }
 
     /// The instruction at `pc`, or `None` past the end.
@@ -587,6 +740,9 @@ impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (base, len) in &self.secrets {
             writeln!(f, ".secret {base:#x} {len:#x}")?;
+        }
+        for (name, base, len) in &self.regions {
+            writeln!(f, ".region {name} {base:#x} {len:#x}")?;
         }
         for (pc, instr) in self.instrs.iter().enumerate() {
             for (lpc, name) in &self.labels {
@@ -698,6 +854,59 @@ mod tests {
             validate_secrets(vec![(0x2000, 8), (0x1000, 0x1000)]),
             Ok(vec![(0x1000, 0x1000), (0x2000, 8)])
         );
+    }
+
+    #[test]
+    fn region_validation_rejects_bad_declarations() {
+        let r = |name: &str, addr, len| (name.to_string(), addr, len);
+        assert_eq!(
+            validate_regions(vec![r("a b", 0x1000, 8)]),
+            Err(RegionError::BadName { name: "a b".to_string() })
+        );
+        assert_eq!(
+            validate_regions(vec![r("", 0x1000, 8)]),
+            Err(RegionError::BadName { name: String::new() })
+        );
+        assert_eq!(
+            validate_regions(vec![r("a", 0x1000, 8), r("a", 0x2000, 8)]),
+            Err(RegionError::DuplicateName { name: "a".to_string() })
+        );
+        assert_eq!(
+            validate_regions(vec![r("a", 0x1000, 0)]),
+            Err(RegionError::ZeroLength { name: "a".to_string(), addr: 0x1000 })
+        );
+        assert_eq!(
+            validate_regions(vec![r("a", u64::MAX - 4, 8)]),
+            Err(RegionError::OutOfRange { name: "a".to_string(), addr: u64::MAX - 4, len: 8 })
+        );
+        assert_eq!(
+            validate_regions(vec![r("hi", 0x2000, 16), r("lo", 0x1000, 0x1008)]),
+            Err(RegionError::Overlap { first: "lo".to_string(), second: "hi".to_string() })
+        );
+        // Adjacent regions are fine; the result is sorted by base.
+        assert_eq!(
+            validate_regions(vec![r("hi", 0x2000, 8), r("lo", 0x1000, 0x1000)]),
+            Ok(vec![r("lo", 0x1000, 0x1000), r("hi", 0x2000, 8)])
+        );
+    }
+
+    #[test]
+    fn region_lookup_and_containment() {
+        let r = |name: &str, addr, len| (name.to_string(), addr, len);
+        let mut p = Program::new(vec![Instr::Halt], Vec::new());
+        p.set_regions(validate_regions(vec![r("b", 0x3000, 8), r("a", 0x1000, 16)]).unwrap());
+        assert_eq!(p.region_containing(0x1000), Some(("a", 0x1000, 16)));
+        assert_eq!(p.region_containing(0x100f), Some(("a", 0x1000, 16)));
+        assert_eq!(p.region_containing(0x1010), None);
+        assert_eq!(p.region_containing(0xfff), None);
+        assert_eq!(p.region_containing(0x3007), Some(("b", 0x3000, 8)));
+        assert_eq!(Program::default().region_containing(0), None);
+
+        assert!(p.access_in_region(0x1008, 8));
+        assert!(!p.access_in_region(0x1009, 8)); // last byte past the end
+        assert!(p.access_in_region(0x100f, 1));
+        assert!(!p.access_in_region(0x1000, 17)); // wider than the region
+        assert!(!p.access_in_region(0x1000, 0)); // empty accesses prove nothing
     }
 
     #[test]

@@ -63,12 +63,13 @@ mod reg;
 
 pub use asm::{Asm, AsmError, Label};
 pub use exec::{
-    exec_lane, lane_taint_step, Cpu, CpuCheckpoint, ExecError, LaneEffect, MemAccess, NullWarmSink,
-    SecretTaint, Step, StepEvent, WarmSink,
+    exec_lane, lane_taint_step, BoundsTracker, Cpu, CpuCheckpoint, ExecError, LaneEffect,
+    MemAccess, NullWarmSink, SecretTaint, Step, StepEvent, WarmSink,
 };
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use instr::{
-    validate_secrets, AluOp, BranchCond, Instr, MemAddr, MemWidth, Program, SecretRangeError,
+    validate_regions, validate_secrets, AluOp, BranchCond, Instr, MemAddr, MemWidth, Program,
+    RegionError, SecretRangeError,
 };
 pub use mem::{MemoryCheckpoint, SparseMemory};
 pub use parse::{parse_program, ParseError};

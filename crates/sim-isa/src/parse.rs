@@ -21,7 +21,9 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use crate::instr::{validate_secrets, AluOp, BranchCond, Instr, MemAddr, MemWidth, Program};
+use crate::instr::{
+    validate_regions, validate_secrets, AluOp, BranchCond, Instr, MemAddr, MemWidth, Program,
+};
 use crate::reg::Reg;
 
 /// Error produced when parsing a textual program.
@@ -207,6 +209,7 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
     // (instr index, target, source line) fixups.
     let mut fixups: Vec<(usize, Target, usize)> = Vec::new();
     let mut secrets: Vec<(u64, u64)> = Vec::new();
+    let mut regions: Vec<(String, u64, u64)> = Vec::new();
 
     for (lineno, raw) in text.lines().enumerate() {
         let line = lineno + 1;
@@ -221,26 +224,48 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
         if code.is_empty() {
             continue;
         }
-        // Directives start with '.'; the only one is `.secret <addr> <len>`.
+        // Directives start with '.': `.secret <addr> <len>` and
+        // `.region <name> <addr> <len>`.
         if let Some(stripped) = code.strip_prefix('.') {
             let (name, rest) = match stripped.split_once(char::is_whitespace) {
                 Some((n, r)) => (n, r.trim()),
                 None => (stripped, ""),
             };
-            if name != "secret" {
-                return Err(err(line, format!("unknown directive '.{name}'")));
-            }
             let toks: Vec<&str> = rest.split_whitespace().collect();
-            let [addr, len] = toks.as_slice() else {
-                return Err(err(
-                    line,
-                    format!(".secret expects <addr> <len>, got {} operand(s)", toks.len()),
-                ));
-            };
-            secrets.push((parse_u64(addr, line)?, parse_u64(len, line)?));
-            // Validate eagerly so the error names the offending line.
-            if let Err(e) = validate_secrets(secrets.clone()) {
-                return Err(err(line, e.to_string()));
+            match name {
+                "secret" => {
+                    let [addr, len] = toks.as_slice() else {
+                        return Err(err(
+                            line,
+                            format!(".secret expects <addr> <len>, got {} operand(s)", toks.len()),
+                        ));
+                    };
+                    secrets.push((parse_u64(addr, line)?, parse_u64(len, line)?));
+                    // Validate eagerly so the error names the offending line.
+                    if let Err(e) = validate_secrets(secrets.clone()) {
+                        return Err(err(line, e.to_string()));
+                    }
+                }
+                "region" => {
+                    let [rname, addr, len] = toks.as_slice() else {
+                        return Err(err(
+                            line,
+                            format!(
+                                ".region expects <name> <addr> <len>, got {} operand(s)",
+                                toks.len()
+                            ),
+                        ));
+                    };
+                    regions.push((
+                        rname.to_string(),
+                        parse_u64(addr, line)?,
+                        parse_u64(len, line)?,
+                    ));
+                    if let Err(e) = validate_regions(regions.clone()) {
+                        return Err(err(line, e.to_string()));
+                    }
+                }
+                _ => return Err(err(line, format!("unknown directive '.{name}'"))),
             }
             continue;
         }
@@ -381,6 +406,7 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
 
     let mut prog = Program::with_lines(instrs, label_list, lines);
     prog.set_secrets(validate_secrets(secrets).expect("validated at each directive"));
+    prog.set_regions(validate_regions(regions).expect("validated at each directive"));
     Ok(prog)
 }
 
@@ -528,5 +554,43 @@ mod tests {
         assert!(parse_program(".secret 0x1000\nhalt").is_err());
         assert!(parse_program(".secret\nhalt").is_err());
         assert!(parse_program(".shadow 0x1000 8\nhalt").is_err());
+    }
+
+    #[test]
+    fn region_directive_parses_and_roundtrips() {
+        let p = parse_program(".region heap 0x2000 0x40\n.region stack 4096 64\nhalt").unwrap();
+        assert_eq!(
+            p.regions(),
+            &[("stack".to_string(), 0x1000, 64), ("heap".to_string(), 0x2000, 0x40)]
+        );
+        assert_eq!(p.region_containing(0x1000), Some(("stack", 0x1000, 64)));
+        assert_eq!(p.region_containing(0x2040), None);
+        assert!(p.access_in_region(0x2038, 8));
+        assert!(!p.access_in_region(0x2039, 8));
+
+        // Display prints the directives; reparsing preserves them.
+        let reparsed = parse_program(&p.to_string()).unwrap();
+        assert_eq!(reparsed.regions(), p.regions());
+    }
+
+    #[test]
+    fn region_directive_negative_paths() {
+        // Operand-count errors.
+        assert!(parse_program(".region heap 0x1000\nhalt").is_err());
+        assert!(parse_program(".region heap\nhalt").is_err());
+        assert!(parse_program(".region\nhalt").is_err());
+
+        // Zero length, overlap, duplicate name — each names its own line.
+        let e = parse_program(".region heap 0x1000 0\nhalt").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("zero length"), "{}", e.message);
+
+        let e = parse_program(".region a 0x1000 0x100\n.region b 0x10f8 8\nhalt").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("overlaps"), "{}", e.message);
+
+        let e = parse_program(".region a 0x1000 8\n.region a 0x2000 8\nhalt").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("twice"), "{}", e.message);
     }
 }

@@ -20,8 +20,9 @@
 //! (`p = *p`) converge too. On top of the same machinery, a value-range
 //! walk of the cmp+branch latch idiom recovers static loop trip counts.
 
-use sim_isa::{AluOp, Instr, Reg, NUM_REGS};
+use sim_isa::{AluOp, BranchCond, Instr, Reg, NUM_REGS};
 
+use crate::absint::{AbsInt, Interval};
 use crate::cfg::Cfg;
 use crate::dfg::{const_of_defs, const_use, DefSet, DefUseGraph};
 use crate::loops::LoopInfo;
@@ -90,6 +91,11 @@ pub struct LoopAddr {
     /// Statically inferred trip count (body executions per entry), when the
     /// cmp+branch idiom resolves against a constant bound.
     pub trip_count: Option<u64>,
+    /// Inclusive `[lo, hi]` bounds on the trip count. Always present when
+    /// `trip_count` is (as `(t, t)`); additionally inferred from the
+    /// interval abstract interpretation when the exact walk gives up
+    /// because the bound or initial value is only known as a range.
+    pub trip_bounds: Option<(u64, u64)>,
 }
 
 /// Result of [`analyze_addresses`].
@@ -338,6 +344,21 @@ pub fn analyze_addresses(
     dfg: &DefUseGraph,
     loops: &[LoopInfo],
 ) -> AddrAnalysis {
+    analyze_addresses_with(cfg, instrs, dfg, loops, None)
+}
+
+/// [`analyze_addresses`] with an optional interval analysis
+/// ([`crate::analyze_intervals`]) over the same program. When supplied,
+/// loops whose exact trip count is unprovable may still get
+/// [`LoopAddr::trip_bounds`] from the corner values of the IV-initial and
+/// bound intervals.
+pub fn analyze_addresses_with(
+    cfg: &Cfg,
+    instrs: &[Instr],
+    dfg: &DefUseGraph,
+    loops: &[LoopInfo],
+    intervals: Option<&AbsInt>,
+) -> AddrAnalysis {
     let known = crate::dfg::known_constants(instrs, dfg);
 
     // Classify per loop, innermost-first is irrelevant: each access is
@@ -410,13 +431,124 @@ pub fn analyze_addresses(
     let loop_addr: Vec<LoopAddr> = loops
         .iter()
         .zip(&per_loop_ctx)
-        .map(|(l, ctx)| LoopAddr {
-            ivs: ctx.ivs.clone(),
-            trip_count: trip_count(cfg, instrs, dfg, &known, l, &ctx.ivs),
+        .map(|(l, ctx)| {
+            let trip_count = trip_count(cfg, instrs, dfg, &known, l, &ctx.ivs);
+            let trip_bounds = match trip_count {
+                Some(t) => Some((t, t)),
+                None => intervals.and_then(|ai| trip_bounds(cfg, instrs, dfg, l, &ctx.ivs, ai)),
+            };
+            LoopAddr { ivs: ctx.ivs.clone(), trip_count, trip_bounds }
         })
         .collect();
 
     AddrAnalysis { mem_ops, loop_addr, known }
+}
+
+/// The matched `cmp` + backward-branch latch idiom, shared between the
+/// exact trip-count walk and the interval trip-bounds walk.
+struct LatchIdiom {
+    op: AluOp,
+    cond: BranchCond,
+    cmp_pc: usize,
+    iv_reg: Reg,
+    step: i64,
+    iv_is_lhs: bool,
+    /// The non-IV compare operand: `Ok(reg)` for a register, `Err(imm)`
+    /// for an immediate bound.
+    bound: Result<Reg, u64>,
+    /// The IV's single in-loop definition (first body pc defining it).
+    iv_def_pc: usize,
+    /// Increments executed before the k-th compare: 1 per completed
+    /// iteration, plus this iteration's if the increment precedes the cmp.
+    pre: i64,
+}
+
+fn match_latch_idiom(
+    cfg: &Cfg,
+    instrs: &[Instr],
+    l: &LoopInfo,
+    ivs: &[(Reg, i64)],
+) -> Option<LatchIdiom> {
+    let cmp_pc = l.cmp_pc?;
+    let Instr::Branch { cond, target, .. } = instrs[l.latch_pc] else {
+        return None;
+    };
+    if target != l.head_pc {
+        return None;
+    }
+
+    // The compare: one side the IV, the other the loop bound.
+    let (op, iv, iv_is_lhs, bound) = match instrs[cmp_pc] {
+        Instr::Alu { op, ra, rb, .. } if op.is_compare() => {
+            let a_iv = ivs.iter().find(|(r, _)| *r == ra);
+            let b_iv = ivs.iter().find(|(r, _)| *r == rb);
+            match (a_iv, b_iv) {
+                (Some(&iv), None) => (op, iv, true, Ok(rb)),
+                (None, Some(&iv)) => (op, iv, false, Ok(ra)),
+                _ => return None,
+            }
+        }
+        Instr::AluImm { op, ra, imm, .. } if op.is_compare() => {
+            let iv = *ivs.iter().find(|(r, _)| *r == ra)?;
+            (op, iv, true, Err(imm as u64))
+        }
+        _ => return None,
+    };
+    let (iv_reg, step) = iv;
+    if step == 0 {
+        return None;
+    }
+    let iv_def_pc = l
+        .body
+        .iter()
+        .flat_map(|&b| cfg.blocks[b].start..cfg.blocks[b].end)
+        .find(|&pc| instrs[pc].dst() == Some(iv_reg))?;
+    let pre = i64::from(iv_def_pc < cmp_pc);
+    Some(LatchIdiom { op, cond, cmp_pc, iv_reg, step, iv_is_lhs, bound, iv_def_pc, pre })
+}
+
+/// The IV's value the `k`-th time the compare executes, computed without
+/// wrapping: `None` when the exact affine progression leaves the signed
+/// 64-bit range. The executor would wrap there, and a walk through a wrap
+/// proves nothing about when the loop exits.
+fn iv_value_at(init: i64, step: i64, pre: i64, k: u64) -> Option<u64> {
+    let hops = (k as i128) - 1 + i128::from(pre);
+    let v = i128::from(init).checked_add(i128::from(step).checked_mul(hops)?)?;
+    i64::try_from(v).ok().map(|x| x as u64)
+}
+
+/// Binary-searches the first failing compare of an `slt`/`sltu` latch for
+/// concrete initial and bound values. With the progression confined to the
+/// signed range the signed continue predicate is monotone in `k`, so a
+/// single true→false switch point exists. `nonneg` further confines every
+/// probed value to `[0, 2^63)`, where the signed and unsigned orders
+/// agree — required for `sltu` (whose unsigned view is not monotone across
+/// a sign change) and for the interval walk's corner argument.
+fn count_lt(idiom: &LatchIdiom, init: i64, bound: u64, nonneg: bool) -> Option<u64> {
+    let continues = |k: u64| -> Option<bool> {
+        let v = iv_value_at(init, idiom.step, idiom.pre, k)?;
+        if nonneg && (v as i64) < 0 {
+            return None;
+        }
+        let (x, y) = if idiom.iv_is_lhs { (v, bound) } else { (bound, v) };
+        Some(idiom.cond.taken(idiom.op.eval(x, y)))
+    };
+    if !continues(1)? {
+        return Some(1);
+    }
+    let (mut lo, mut hi) = (1u64, 1u64 << 42);
+    if continues(hi)? {
+        return None;
+    }
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if continues(mid)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(hi)
 }
 
 /// Infers the loop's trip count (body executions per entry from the
@@ -430,94 +562,90 @@ fn trip_count(
     l: &LoopInfo,
     ivs: &[(Reg, i64)],
 ) -> Option<u64> {
-    let cmp_pc = l.cmp_pc?;
-    let Instr::Branch { cond, target, .. } = instrs[l.latch_pc] else {
-        return None;
+    let idiom = match_latch_idiom(cfg, instrs, l, ivs)?;
+    let bound = match idiom.bound {
+        Ok(reg) => const_use(dfg, known, idiom.cmp_pc, reg)?,
+        Err(imm) => imm,
     };
-    if target != l.head_pc {
-        return None;
-    }
-
-    // The compare: one side the IV, the other a resolvable constant bound.
-    let (op, iv, iv_is_lhs, bound) = match instrs[cmp_pc] {
-        Instr::Alu { op, ra, rb, .. } if op.is_compare() => {
-            let a_iv = ivs.iter().find(|(r, _)| *r == ra);
-            let b_iv = ivs.iter().find(|(r, _)| *r == rb);
-            match (a_iv, b_iv) {
-                (Some(&iv), None) => (op, iv, true, const_use(dfg, known, cmp_pc, rb)?),
-                (None, Some(&iv)) => (op, iv, false, const_use(dfg, known, cmp_pc, ra)?),
-                _ => return None,
-            }
-        }
-        Instr::AluImm { op, ra, imm, .. } if op.is_compare() => {
-            let iv = *ivs.iter().find(|(r, _)| *r == ra)?;
-            (op, iv, true, imm as u64)
-        }
-        _ => return None,
-    };
-    let (iv_reg, step) = iv;
-    if step == 0 {
-        return None;
-    }
 
     // IV initial value: the out-of-loop definitions reaching the IV's
     // single in-loop definition.
-    let iv_def_pc = l
-        .body
-        .iter()
-        .flat_map(|&b| cfg.blocks[b].start..cfg.blocks[b].end)
-        .find(|&pc| instrs[pc].dst() == Some(iv_reg))?;
-    let defs = dfg.defs_for_use(iv_def_pc, iv_reg)?;
+    let defs = dfg.defs_for_use(idiom.iv_def_pc, idiom.iv_reg)?;
     let outside = DefSet {
         pcs: defs.pcs.iter().copied().filter(|&d| !pc_in_loop(cfg, l, d)).collect(),
         entry: defs.entry,
     };
     let init = const_of_defs(&outside, known)? as i64;
 
-    // Increments executed before the k-th compare: 1 per completed
-    // iteration, plus this iteration's if the increment precedes the cmp.
-    let pre: i64 = i64::from(iv_def_pc < cmp_pc);
-    let value_at =
-        |k: u64| -> u64 { init.wrapping_add(step.wrapping_mul(k as i64 - 1 + pre)) as u64 };
-    let continues = |k: u64| -> bool {
-        let v = value_at(k);
-        let (x, y) = if iv_is_lhs { (v, bound) } else { (bound, v) };
-        cond.taken(op.eval(x, y))
-    };
-
-    match op {
-        AluOp::Slt | AluOp::Sltu => {
-            // The continue predicate is monotone in k (until wraparound):
-            // binary-search the first failing compare.
-            if !continues(1) {
-                return Some(1);
-            }
-            let (mut lo, mut hi) = (1u64, 1u64 << 42);
-            if continues(hi) {
-                return None;
-            }
-            while lo + 1 < hi {
-                let mid = lo + (hi - lo) / 2;
-                if continues(mid) {
-                    lo = mid;
-                } else {
-                    hi = mid;
-                }
-            }
-            Some(hi)
-        }
+    match idiom.op {
+        AluOp::Slt | AluOp::Sltu => count_lt(&idiom, init, bound, idiom.op == AluOp::Sltu),
         AluOp::Sne => {
             // Continue while v != bound: exits only when the IV lands
-            // exactly on the bound.
-            let delta = (bound as i64).wrapping_sub(value_at(1) as i64);
+            // exactly on the bound. 128-bit exact division, so a countdown
+            // whose delta wraps the signed range cannot panic
+            // (`i64::MIN % -1`) or fabricate a count.
+            let first = iv_value_at(init, idiom.step, idiom.pre, 1)?;
+            let delta = i128::from(bound as i64) - i128::from(first as i64);
+            let step = i128::from(idiom.step);
             if delta % step != 0 {
                 return None;
             }
-            let k = delta / step;
-            (k >= 0).then_some(k as u64 + 1)
+            u64::try_from(delta / step).ok()?.checked_add(1)
         }
         _ => None,
     }
+}
+
+/// Interval generalization of [`trip_count`]: inclusive `[lo, hi]` trip
+/// bounds when the IV's initial value or the loop bound is only known as a
+/// range. Only the `slt`/`sltu` walk generalizes: with every probed value
+/// confined to `[0, 2^63)` the trip count is monotone in both the initial
+/// value and the bound, so its extremes over the two intervals are
+/// attained at the four corners.
+fn trip_bounds(
+    cfg: &Cfg,
+    instrs: &[Instr],
+    dfg: &DefUseGraph,
+    l: &LoopInfo,
+    ivs: &[(Reg, i64)],
+    ai: &AbsInt,
+) -> Option<(u64, u64)> {
+    let idiom = match_latch_idiom(cfg, instrs, l, ivs)?;
+    if !matches!(idiom.op, AluOp::Slt | AluOp::Sltu) {
+        return None;
+    }
+    let bound_iv = match idiom.bound {
+        Ok(reg) => ai.reg_before(idiom.cmp_pc, reg)?,
+        Err(imm) => Interval::exact(imm),
+    };
+
+    // IV initial interval: join of the out-of-loop definitions reaching
+    // the IV's single in-loop definition (the entry contributes exactly
+    // 0); interval-unreachable definitions contribute nothing.
+    let defs = dfg.defs_for_use(idiom.iv_def_pc, idiom.iv_reg)?;
+    let mut init_iv: Option<Interval> = defs.entry.then(|| Interval::exact(0));
+    for &d in defs.pcs.iter().filter(|&&d| !pc_in_loop(cfg, l, d)) {
+        if let Some(dv) = ai.def_interval(d) {
+            init_iv = Some(match init_iv {
+                Some(acc) => acc.join(dv),
+                None => dv,
+            });
+        }
+    }
+    let init_iv = init_iv?;
+    if !init_iv.signed_nonneg() || !bound_iv.signed_nonneg() {
+        return None;
+    }
+
+    let (mut lo, mut hi) = (u64::MAX, 0u64);
+    for init in [init_iv.lo, init_iv.hi] {
+        for bound in [bound_iv.lo, bound_iv.hi] {
+            let t = count_lt(&idiom, init as i64, bound, true)?;
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+    }
+    Some((lo, hi))
 }
 
 #[cfg(test)]
@@ -618,6 +746,43 @@ mod tests {
             "li r1, 10\nli r2, 0\ntop:\naddi r1, r1, -1\nsne r3, r1, r2\nbnz r3, top\nhalt",
         );
         assert_eq!(a.loop_addr[0].trip_count, Some(10));
+        assert_eq!(a.loop_addr[0].trip_bounds, Some((10, 10)));
+    }
+
+    #[test]
+    fn wrapping_countdown_cannot_panic_or_fabricate_a_count() {
+        // An sne countdown whose first-value-to-bound delta is exactly
+        // i64::MIN: the old wrapping walk evaluated `i64::MIN % -1` and
+        // panicked. The checked walk reports "unknown" instead.
+        let (a, _) = analyze(
+            "li r1, -9223372036854775807\nli r2, 0\ntop:\naddi r1, r1, -1\n\
+             sne r3, r1, r2\nbnz r3, top\nhalt",
+        );
+        assert_eq!(a.loop_addr[0].trip_count, None);
+        assert_eq!(a.loop_addr[0].trip_bounds, None);
+    }
+
+    #[test]
+    fn interval_bound_yields_trip_bounds() {
+        // The loop bound is loaded from a read-only region at an address
+        // only known as a range, so the exact walk fails; the interval
+        // walk brackets the trip count from the region's content bounds.
+        let text = ".region data 0x1000 16\n\
+             li r1, 4096\nli r6, 8192\nld8 r5, [r6 + 0]\nandi r5, r5, 1\n\
+             ld8 r4, [r1 + r5<<3 + 0]\nli r2, 0\ntop:\n\
+             addi r2, r2, 1\nslt r3, r2, r4\nbnz r3, top\nhalt";
+        let p = parse_program(text).unwrap();
+        let mut mem = sim_isa::SparseMemory::new();
+        mem.write_u64(4096, 5);
+        mem.write_u64(4104, 9);
+        let instrs = p.instrs().to_vec();
+        let cfg = Cfg::build(&instrs);
+        let dfg = DefUseGraph::build(&cfg, &instrs);
+        let loops = find_loops(&cfg, &instrs);
+        let ai = crate::absint::analyze_intervals(&p, Some(&mem));
+        let a = analyze_addresses_with(&cfg, &instrs, &dfg, &loops, Some(&ai));
+        assert_eq!(a.loop_addr[0].trip_count, None);
+        assert_eq!(a.loop_addr[0].trip_bounds, Some((5, 9)));
     }
 
     #[test]

@@ -46,7 +46,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod absint;
 mod addr;
+mod bounds;
 mod cfg;
 mod dataflow;
 mod deps;
@@ -58,7 +60,16 @@ mod taint;
 
 use sim_isa::{Instr, Program, Reg};
 
-pub use addr::{analyze_addresses, AddrAnalysis, AddrClass, LoopAddr, MemOp, MAX_CHASE_DEPTH};
+pub use absint::{
+    addr_interval_in, alu_interval, analyze_intervals, AbsInt, Interval, RegIntervals,
+};
+pub use addr::{
+    analyze_addresses, analyze_addresses_with, AddrAnalysis, AddrClass, LoopAddr, MemOp,
+    MAX_CHASE_DEPTH,
+};
+pub use bounds::{
+    check_bounds, BoundsDiagnostic, BoundsKind, BoundsReport, BoundsVerdict, MemOpBounds,
+};
 pub use cfg::{Block, Cfg};
 pub use dataflow::{dominators, may_uninit, reachable, BlockSet, UninitAnalysis};
 pub use deps::{analyze_deps, dependents_of, refine_rmw, AliasEdge, AliasReason, LoopDeps};

@@ -89,6 +89,10 @@ pub struct PredictedChain {
     pub chain_depth: usize,
     /// Static trip count of the loop, when inferred.
     pub trip_count: Option<u64>,
+    /// Inclusive `[lo, hi]` trip bounds — `(t, t)` when the exact count is
+    /// known, otherwise inferred from the interval analysis when the
+    /// address pass was given one.
+    pub trip_bounds: Option<(u64, u64)>,
     /// Store→load may-alias edges landing on this chain's loads.
     pub alias_edges: Vec<AliasEdge>,
     /// Whether Discovery is predicted to spawn a subthread off this root.
@@ -148,6 +152,7 @@ pub fn predict_coverage(
         let dependents = dependents_of(cfg, instrs, l, pc);
         let chain_depth = dependents.iter().map(|&(_, d)| d).max().unwrap_or(0);
         let trip_count = addr.loop_addr[li].trip_count;
+        let trip_bounds = addr.loop_addr[li].trip_bounds;
 
         // Alias edges landing on this chain's loads (root included).
         let mut alias_edges: Vec<AliasEdge> = deps[li]
@@ -171,7 +176,9 @@ pub fn predict_coverage(
                 // Inner striding loads only shadow if the inner loop can
                 // iterate at least twice per invocation (the switch needs
                 // the inner pc seen twice within one discovery pass).
-                let runs_twice = addr.loop_addr[lj].trip_count.is_none_or(|t| t >= 2);
+                // Trip bounds subsume the exact count (`(t, t)`), so a
+                // proven upper bound below 2 rules the switch out too.
+                let runs_twice = addr.loop_addr[lj].trip_bounds.is_none_or(|(_, hi)| hi >= 2);
                 roots
                     .iter()
                     .filter(move |&&(rpc, rli, _)| {
@@ -199,7 +206,10 @@ pub fn predict_coverage(
         } else if let Some(with_pc) = conflict {
             Some(SkipReason::DetectorSlotConflict { with_pc })
         } else {
-            trip_count
+            // A proven upper trip bound below the minimum suffices even
+            // when the exact count is unknown (`trips` reports the bound).
+            trip_bounds
+                .map(|(_, hi)| hi)
                 .filter(|&t| t < MIN_TRIPS_TO_SPAWN)
                 .map(|trips| SkipReason::TooFewIterations { trips })
         };
@@ -212,6 +222,7 @@ pub fn predict_coverage(
             dependents,
             chain_depth,
             trip_count,
+            trip_bounds,
             alias_edges,
             expect_spawn: skip.is_none(),
             skip,

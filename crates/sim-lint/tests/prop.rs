@@ -6,8 +6,8 @@
 //! observed iteration count.
 
 use proptest::prelude::*;
-use sim_isa::{Cpu, Instr, MemAddr, MemWidth, Reg, SparseMemory, StepEvent};
-use sim_lint::{analyze_addresses, find_loops, AddrClass, Cfg, DefUseGraph};
+use sim_isa::{Cpu, Instr, MemAddr, MemWidth, Reg, SparseMemory, StepEvent, NUM_REGS};
+use sim_lint::{analyze_addresses, analyze_intervals, find_loops, AddrClass, Cfg, DefUseGraph};
 
 const A_BASE: i64 = 0x10_000;
 const B_BASE: i64 = 0x40_000;
@@ -185,5 +185,60 @@ proptest! {
         if let Some(t) = addr.loop_addr[0].trip_count {
             prop_assert_eq!(t, trips as u64);
         }
+    }
+
+    /// Interval soundness: the abstract interpreter's per-pc register
+    /// intervals, effective-address intervals, and defined-value intervals
+    /// must over-approximate every concrete execution. Widening may lose
+    /// precision (up to `[0, 2^64)`) but can never exclude a value the
+    /// machine actually produces.
+    #[test]
+    fn intervals_over_approximate_every_concrete_execution(
+        ops in prop::collection::vec(arb_op(), 1..=6),
+        step in 1i64..4,
+        trips in 2i64..12,
+        data in prop::collection::vec(0u64..512, 128),
+    ) {
+        let (prog, _) = build(&ops, step, trips);
+        let absint = analyze_intervals(&prog, None);
+
+        let mut mem = SparseMemory::new();
+        mem.write_u64_slice(A_BASE as u64, &data);
+        let mut cpu = Cpu::new();
+        for _ in 0..100_000 {
+            // The abstract file must hold *before* the pc executes.
+            let pc = cpu.pc();
+            let regs = cpu.regs();
+            match cpu.step(&prog, &mut mem).unwrap() {
+                StepEvent::Executed(s) => {
+                    let st = absint
+                        .entry_state(pc)
+                        .expect("executed pc must be statically reachable");
+                    for i in 0..NUM_REGS {
+                        prop_assert!(
+                            st[i].contains(regs[i]),
+                            "pc {pc}: r{i}={:#x} outside inferred {}", regs[i], st[i]
+                        );
+                    }
+                    if let Some(a) = s.mem {
+                        let iv = absint
+                            .addr_interval(pc)
+                            .expect("executed mem op must carry an address interval");
+                        prop_assert!(
+                            iv.contains(a.addr),
+                            "pc {pc}: address {:#x} outside inferred {iv}", a.addr
+                        );
+                    }
+                    if let (Some(v), Some(iv)) = (s.dst_value, absint.def_interval(pc)) {
+                        prop_assert!(
+                            iv.contains(v),
+                            "pc {pc}: defined value {v:#x} outside inferred {iv}"
+                        );
+                    }
+                }
+                StepEvent::Halted => break,
+            }
+        }
+        prop_assert!(cpu.is_halted(), "loop must terminate");
     }
 }

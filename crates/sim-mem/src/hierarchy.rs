@@ -194,6 +194,11 @@ pub struct MemoryHierarchy {
     /// Gated secret-taint fill log (None = oracle off, the default). Boxed
     /// so the disabled case costs one pointer, mirroring `DvrTrace`.
     taint_log: Option<Vec<TaintFill>>,
+    /// Gated speculative-access extent map (None = oracle off, the
+    /// default): static pc → (min start address, max inclusive end address)
+    /// over every runahead-issued access. Aggregated rather than logged
+    /// per-access so long runs stay O(program size).
+    spec_extents: Option<FxHashMap<usize, (u64, u64)>>,
     stats: MemStats,
 }
 
@@ -210,6 +215,7 @@ impl MemoryHierarchy {
             pending_prefetch: FxHashMap::default(),
             fault: cfg.fault.map(FaultState::new),
             taint_log: None,
+            spec_extents: None,
             stats: MemStats::default(),
         }
     }
@@ -240,6 +246,42 @@ impl MemoryHierarchy {
     pub fn note_secret_fill(&mut self, pc: usize, addr: u64, source: PrefetchSource) {
         if let Some(log) = &mut self.taint_log {
             log.push(TaintFill { pc, line: line_of(addr), source });
+        }
+    }
+
+    /// Arms the speculative-access extent map. While enabled, runahead
+    /// engines report every lane-issued access via
+    /// [`MemoryHierarchy::note_spec_access`]; pure observation — an armed
+    /// run stays cycle-identical to a plain one.
+    pub fn enable_spec_extents(&mut self) {
+        self.spec_extents = Some(FxHashMap::default());
+    }
+
+    /// Whether the extent map is armed. Engines check this before doing any
+    /// per-access bookkeeping so the disabled path does no extra work.
+    pub fn spec_extents_enabled(&self) -> bool {
+        self.spec_extents.is_some()
+    }
+
+    /// Takes the collected extents, disarming the map. Returned sorted by
+    /// pc so downstream serialization is host-independent.
+    pub fn take_spec_extents(&mut self) -> Option<Vec<(usize, u64, u64)>> {
+        self.spec_extents.take().map(|m| {
+            let mut v: Vec<(usize, u64, u64)> =
+                m.into_iter().map(|(pc, (lo, hi))| (pc, lo, hi)).collect();
+            v.sort_unstable();
+            v
+        })
+    }
+
+    /// Records a speculative access of `width` bytes at `addr` issued by the
+    /// runahead copy of static `pc`. No-op while the map is disarmed.
+    pub fn note_spec_access(&mut self, pc: usize, addr: u64, width: u64) {
+        if let Some(m) = &mut self.spec_extents {
+            let end = addr.saturating_add(width.max(1) - 1);
+            let e = m.entry(pc).or_insert((addr, end));
+            e.0 = e.0.min(addr);
+            e.1 = e.1.max(end);
         }
     }
 

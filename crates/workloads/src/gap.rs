@@ -64,6 +64,12 @@ pub(crate) fn build_bfs_like(name: &str, g: &Csr, input_name: &str) -> Workload 
     //   r6 j, r7 wl_n, r8 v, r9 e_end, r10 i, r11 u, r12 flag,
     //   r13 c, r14 next_n, r15 tmp, r0 one
     let mut asm = Asm::new();
+    asm.region("offsets", offs, 8 * (g.n as u64 + 1));
+    asm.region("edges", edges, 8 * g.m().max(1) as u64);
+    asm.region("visited", visited, 8 * g.n as u64);
+    asm.region("worklist", wl, 8 * frontier.len().max(1) as u64);
+    asm.region("next_worklist", nextwl, 8 * g.m().max(1) as u64);
+    asm.region("result", RESULT_ADDR, 8);
     let (rwl, roffs, redges, rvis, rnext) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5);
     let (j, wl_n, v, e_end, i, u, flag, c, next_n, tmp, one) = (
         Reg::R6,
@@ -152,6 +158,10 @@ pub fn pr(input: GraphInput, size: SizeClass, seed: u64) -> Workload {
     // r1 offs, r2 edges, r3 rank, r4 newrank;
     // r5 v, r6 n, r7 i, r8 e_end, r9 u, r10 sum, r11 ru, r13 c, r15 tmp
     let mut asm = Asm::new();
+    asm.region("offsets", offs, 8 * (g.n as u64 + 1));
+    asm.region("edges", edges, 8 * g.m().max(1) as u64);
+    asm.region("rank", rank, 8 * g.n as u64);
+    asm.region("newrank", newrank, 8 * g.n as u64);
     let (roffs, redges, rrank, rnew) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4);
     let (v, n, i, e_end, u, sum, ru, c, tmp) =
         (Reg::R5, Reg::R6, Reg::R7, Reg::R8, Reg::R9, Reg::R10, Reg::R11, Reg::R13, Reg::R15);
@@ -215,6 +225,9 @@ pub fn cc(input: GraphInput, size: SizeClass, seed: u64) -> Workload {
     // r1 offs, r2 edges, r3 comp; r5 v, r6 n, r7 i, r8 e_end, r9 u,
     // r10 cv, r11 cu, r13 c, r15 tmp
     let mut asm = Asm::new();
+    asm.region("offsets", offs, 8 * (g.n as u64 + 1));
+    asm.region("edges", edges, 8 * g.m().max(1) as u64);
+    asm.region("comp", comp, 8 * g.n as u64);
     let (roffs, redges, rcomp) = (Reg::R1, Reg::R2, Reg::R3);
     let (v, n, i, e_end, u, cv, cu, c, tmp) =
         (Reg::R5, Reg::R6, Reg::R7, Reg::R8, Reg::R9, Reg::R10, Reg::R11, Reg::R13, Reg::R15);
@@ -289,6 +302,11 @@ pub fn sssp(input: GraphInput, size: SizeClass, seed: u64) -> Workload {
     // r6 j, r7 wl_n, r8 v, r9 e_end, r10 i, r11 u, r12 w, r13 c,
     // r14 dv, r15 nd, r0 du
     let mut asm = Asm::new();
+    asm.region("offsets", offs, 8 * (g.n as u64 + 1));
+    asm.region("edges", edges, 8 * g.m().max(1) as u64);
+    asm.region("weights", weights, 8 * g.m().max(1) as u64);
+    asm.region("dist", dist, 8 * g.n as u64);
+    asm.region("worklist", wl, 8 * frontier.len().max(1) as u64);
     let (rwl, roffs, redges, rwts, rdist) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5);
     let (j, wl_n, v, e_end, i, u, w, c, dv, nd, du) = (
         Reg::R6,
@@ -383,6 +401,11 @@ pub fn bc(input: GraphInput, size: SizeClass, seed: u64) -> Workload {
     // r6 j, r7 wl_n, r8 v, r9 e_end, r10 i, r11 u, r12 du, r13 c,
     // r14 sv, r15 tmp, r0 next_depth
     let mut asm = Asm::new();
+    asm.region("offsets", offs, 8 * (g.n as u64 + 1));
+    asm.region("edges", edges, 8 * g.m().max(1) as u64);
+    asm.region("depth", depths_arr, 8 * g.n as u64);
+    asm.region("sigma", sigma, 8 * g.n as u64);
+    asm.region("worklist", wl, 8 * frontier.len().max(1) as u64);
     let (rwl, roffs, redges, rdep, rsig) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5);
     let (j, wl_n, v, e_end, i, u, du, c, sv, tmp, nextd) = (
         Reg::R6,

@@ -53,6 +53,9 @@ pub fn camel(size: SizeClass, seed: u64) -> Workload {
 
     // r1 A, r2 B, r3 C; r4 i, r5 n, r6 v, r7 h, r8 k, r13 cnd, r15 tmp
     let mut asm = Asm::new();
+    asm.region("A", a, 8 * n as u64);
+    asm.region("B", b, 8 * table as u64);
+    asm.region("C", c_arr, 8 * table as u64);
     let (ra, rb, rc) = (Reg::R1, Reg::R2, Reg::R3);
     let (i, nn, v, h, kreg, cnd, tmp) =
         (Reg::R4, Reg::R5, Reg::R6, Reg::R7, Reg::R8, Reg::R13, Reg::R15);
@@ -119,6 +122,9 @@ pub fn hashjoin(levels: usize, size: SizeClass, seed: u64) -> Workload {
     // r1 keys, r2 HT, r3 out; r4 i, r5 n, r6 k, r7 h, r8 K, r9 v,
     // r10 acc, r13 c
     let mut asm = Asm::new();
+    asm.region("keys", keys, 8 * n as u64);
+    asm.region("table", ht, 8 * table as u64);
+    asm.region("out", out, 8 * n as u64);
     let (rk, rht, rout) = (Reg::R1, Reg::R2, Reg::R3);
     let (i, nn, k, h, kc, v, acc, cnd) =
         (Reg::R4, Reg::R5, Reg::R6, Reg::R7, Reg::R8, Reg::R9, Reg::R10, Reg::R13);
@@ -176,6 +182,9 @@ pub fn kangaroo(size: SizeClass, seed: u64) -> Workload {
     // r1 A, r2 T1, r3 T2; r4 i, r5 n, r6 x, r7 h, r8 acc, r12 parity,
     // r13 c
     let mut asm = Asm::new();
+    asm.region("A", a, 8 * n as u64);
+    asm.region("T1", t1, 8 * table as u64);
+    asm.region("T2", t2, 8 * table as u64);
     let (ra, rt1, rt2) = (Reg::R1, Reg::R2, Reg::R3);
     let (i, nn, x, h, acc, parity, cnd) =
         (Reg::R4, Reg::R5, Reg::R6, Reg::R7, Reg::R8, Reg::R12, Reg::R13);
@@ -241,6 +250,11 @@ pub fn nas_cg(size: SizeClass, seed: u64) -> Workload {
     // r1 offs, r2 cols, r3 vals, r4 x, r5 y; r6 row, r7 n, r8 i, r9 e,
     // r10 cidx, r11 xv, r12 vv, r13 c, r14 sum, r15 tmp
     let mut asm = Asm::new();
+    asm.region("offsets", offs, 8 * (rows as u64 + 1));
+    asm.region("cols", cols, 8 * (rows * nnz_per_row) as u64);
+    asm.region("vals", vals, 8 * (rows * nnz_per_row) as u64);
+    asm.region("x", x, 8 * rows as u64);
+    asm.region("y", y, 8 * rows as u64);
     let (roffs, rcols, rvals, rx, ry) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5);
     let (row, n, i, e, cidx, xv, vv, cnd, sum, tmp) = (
         Reg::R6,
@@ -318,6 +332,8 @@ pub fn nas_is(size: SizeClass, seed: u64) -> Workload {
 
     // r1 keys, r2 hist; r4 i, r5 n, r6 k, r7 tmp, r13 c
     let mut asm = Asm::new();
+    asm.region("keys", keys, 8 * n as u64);
+    asm.region("hist", hist, 8 * range as u64);
     let (rk, rh) = (Reg::R1, Reg::R2);
     let (i, nn, k, tmp, cnd) = (Reg::R4, Reg::R5, Reg::R6, Reg::R7, Reg::R13);
     asm.li(rk, keys as i64);
@@ -362,6 +378,8 @@ pub fn random_access(size: SizeClass, seed: u64) -> Workload {
 
     // r1 V, r2 T; r4 i, r5 n, r6 idx, r7 tmp, r13 c
     let mut asm = Asm::new();
+    asm.region("V", v, 8 * n as u64);
+    asm.region("T", t, 8 * table as u64);
     let (rv, rt) = (Reg::R1, Reg::R2);
     let (i, nn, idx, tmp, cnd) = (Reg::R4, Reg::R5, Reg::R6, Reg::R7, Reg::R13);
     asm.li(rv, v as i64);
@@ -415,6 +433,8 @@ pub fn gather_attack(size: SizeClass, seed: u64) -> Workload {
     let (rs, rb) = (Reg::R1, Reg::R2);
     let (i, nn, v, x, acc, cnd) = (Reg::R4, Reg::R5, Reg::R6, Reg::R7, Reg::R10, Reg::R13);
     asm.secret(s, 8 * n as u64);
+    asm.region("S", s, 8 * n as u64);
+    asm.region("B", b, 8 * table as u64);
     asm.li(rs, s as i64);
     asm.li(rb, b as i64);
     asm.li(i, 0);
@@ -435,6 +455,62 @@ pub fn gather_attack(size: SizeClass, seed: u64) -> Workload {
         mem,
         description: "secret-dependent gather x = B[S[i]] with S declared .secret".to_string(),
         regions: vec![("S".into(), s), ("B".into(), b)],
+    }
+}
+
+/// Intentionally out-of-bounds gather for the bounds audit: `B[A[i]]`
+/// where A's index values were generated for a table **twice** B's
+/// declared size (the classic stale-size-constant bug), plus a
+/// one-past-the-end constant load after the loop. Deliberately **not**
+/// part of [`crate::Benchmark::ALL`]: it exists to be *flagged* by the
+/// static bounds verifier and *confirmed* by the dynamic bounds oracle,
+/// not to be scored.
+pub fn oob_gather(size: SizeClass, seed: u64) -> Workload {
+    let n = size.elems(1 << 20);
+    let table = size.elems(1 << 21);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00B);
+    let mut mem = SparseMemory::new();
+    let mut layout = Layout::new();
+    let a = layout.alloc_words(n);
+    let b = layout.alloc_words(table);
+    // The bug under test: indices drawn as if B had 2*table entries.
+    for k in 0..n {
+        mem.write_u64(a + 8 * k as u64, rng.random_range(0..2 * table as u64));
+    }
+    fill_random(&mut mem, b, table, u64::MAX, &mut rng);
+
+    // r1 A, r2 B; r4 i, r5 n, r6 v, r7 x, r10 acc, r13 c
+    let mut asm = Asm::new();
+    asm.region("A", a, 8 * n as u64);
+    asm.region("B", b, 8 * table as u64);
+    let (ra, rb) = (Reg::R1, Reg::R2);
+    let (i, nn, v, x, acc, cnd) = (Reg::R4, Reg::R5, Reg::R6, Reg::R7, Reg::R10, Reg::R13);
+    asm.li(ra, a as i64);
+    asm.li(rb, b as i64);
+    asm.li(i, 0);
+    asm.li(nn, n as i64);
+    let top = asm.here();
+    asm.ld8_idx(v, ra, i, 3); // A[i]    (striding)
+    asm.ld8_idx(x, rb, v, 3); // B[A[i]] — half the indices land past B
+    asm.xor(acc, acc, x);
+    busy_work(&mut asm, acc, x, 4);
+    asm.addi(i, i, 1);
+    asm.slt(cnd, i, nn);
+    asm.bnz(cnd, top);
+    // One-past-the-end epilogue read: provably outside every region.
+    asm.li(v, (b + 8 * table as u64) as i64);
+    asm.ld8(x, v, 0);
+    asm.xor(acc, acc, x);
+    asm.halt();
+
+    Workload {
+        name: "oob-gather".to_string(),
+        prog: asm.finish().expect("oob-gather assembles"),
+        mem,
+        description: "out-of-bounds gather B[A[i]]: index values sized for a table 2x the \
+                      declared region, plus a one-past-the-end epilogue load"
+            .to_string(),
+        regions: vec![("A".into(), a), ("B".into(), b)],
     }
 }
 
@@ -539,6 +615,35 @@ mod tests {
         assert_eq!(wl.name, "Graph500");
         assert!(wl.regions.iter().any(|(n, _)| n == "visited"));
         runs_to_halt(wl);
+    }
+
+    #[test]
+    fn oob_gather_indices_walk_past_declared_region() {
+        let wl = oob_gather(SizeClass::Test, 3);
+        let (_, _, b_len) =
+            wl.prog.regions().iter().find(|(n, _, _)| n == "B").cloned().expect("B declared");
+        let a = wl.region("A");
+        let n = SizeClass::Test.elems(1 << 20);
+        let words = b_len / 8;
+        assert!(
+            (0..n).any(|k| wl.mem.read_u64(a + 8 * k as u64) >= words),
+            "some index must point past B's declared {words} words"
+        );
+        runs_to_halt(wl);
+    }
+
+    #[test]
+    fn every_benchmark_declares_its_footprint_regions() {
+        use crate::suite::Benchmark;
+        for b in Benchmark::ALL {
+            let wl = b.build(None, SizeClass::Test, 1);
+            assert!(!wl.prog.regions().is_empty(), "{}: no .region declarations", wl.name);
+            // Every named base the host knows about is a declared region.
+            for (name, base) in &wl.regions {
+                let found = wl.prog.regions().iter().any(|(n, a, _)| n == name && a == base);
+                assert!(found, "{}: region {name}@{base:#x} not declared in program", wl.name);
+            }
+        }
     }
 
     #[test]

@@ -30,5 +30,5 @@ mod suite;
 
 pub use gap::RESULT_ADDR;
 pub use graphs::{rmat, uniform, Csr, GraphInput};
-pub use hpcdb::gather_attack;
+pub use hpcdb::{gather_attack, oob_gather};
 pub use suite::{Benchmark, Layout, SizeClass, Workload};

@@ -69,6 +69,43 @@ fi
 echo "$leak_out" | grep -q '1 gadgets dynamically confirmed' \
     || { echo "the attack gadget was not dynamically confirmed:"; echo "$leak_out"; exit 1; }
 
+echo "== bounds-lint: dvrsim lint --all --bounds must prove the suite =="
+bounds_out="$(cargo run -q -p dvr-sim --bin dvrsim -- lint --all --bounds)"
+echo "$bounds_out" | grep -q ', 0 errors,' || { echo "bounds lint reported errors:"; echo "$bounds_out"; exit 1; }
+echo "$bounds_out" | grep -q '13 programs checked' || { echo "bounds lint did not cover the full suite"; exit 1; }
+
+echo "== bounds-audit: static and dynamic bounds views must agree everywhere =="
+bounds_audit_out="$(cargo run -q -p dvr-sim --bin dvrsim -- bounds-audit --all)"
+if echo "$bounds_audit_out" | grep -q 'FAIL'; then
+  echo "bounds-audit reported unexplained divergences:"; echo "$bounds_audit_out"; exit 1
+fi
+[ "$(echo "$bounds_audit_out" | grep -c '^PASS$')" = 14 ] || { echo "bounds-audit did not cover the full suite"; exit 1; }
+echo "$bounds_audit_out" | grep -q ' 0 unexplained, 0 static errors' \
+    || { echo "bounds-audit summary drifted:"; echo "$bounds_audit_out"; exit 1; }
+
+echo "== bounds-audit: the out-of-bounds kernel must flag and be confirmed =="
+# Flagging the escape is the tool working, so --oob must exit 1 with both
+# static errors confirmed by the dynamic oracle.
+if oob_out="$(cargo run -q -p dvr-sim --bin dvrsim -- bounds-audit --oob)"; then
+  echo "bounds-audit --oob missed the out-of-bounds kernel:"; echo "$oob_out"; exit 1
+fi
+echo "$oob_out" | grep -q 'confirmed-oob: 2 of 2' \
+    || { echo "static errors not dynamically confirmed:"; echo "$oob_out"; exit 1; }
+
+echo "== report-determinism: no host-order maps or wall clock in serializers =="
+# Report renderers/serializers must be byte-stable across hosts: FxHashMap
+# with sorted output vectors only (no std HashMap iteration order), and no
+# Instant::now (wall clock lives in the runner, stripped before diffing).
+ser_files="$(grep -rl 'fn to_json\|fn render' crates/*/src)"
+for f in $ser_files; do
+  if grep -q 'std::collections::HashMap' "$f"; then
+    echo "$f: std::collections::HashMap in a serialization path"; exit 1
+  fi
+  if grep -q 'Instant::now' "$f"; then
+    echo "$f: Instant::now in a serialization path"; exit 1
+  fi
+done
+
 echo "== sanitize smoke: sanitized run is clean and byte-identical =="
 # host_seconds / sim_instrs_per_host_second / host_minstr_per_sec are wall
 # clock; strip them before diffing — everything else must match to the byte.
