@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run -p bench --release --bin figures -- <experiment> [options]
 //!
-//! experiments: table1 table2 fig2 fig7 fig8 fig9 fig10 fig11 fig12 ablation all
+//! experiments: table1 table2 fig2 fig7 fig8 fig9 fig10 fig11 fig12 ablation mix all
 //! options:
 //!   --size test|small|paper   input scale          (default: paper)
 //!   --instrs N                ROI length per run   (default: 500000)
@@ -39,7 +39,9 @@
 //!                             figure, aggregate simulation throughput, a
 //!                             sequential-vs-parallel sample wall-clock probe,
 //!                             result-cache hit counters, and a sweep
-//!                             cold-vs-resume overhead probe
+//!                             cold-vs-resume overhead probe (the wall-clock
+//!                             probes self-skip on a single-core host, where
+//!                             their speedups would be meaningless)
 //! ```
 //!
 //! Exit status: 0 on success; without `--keep-going` a failed cell aborts
@@ -234,6 +236,13 @@ fn main() {
 /// sequential-vs-4-thread sampled wall-clock probe, the result-cache
 /// counters of this run, and a sweep cold-vs-resume overhead probe.
 /// Returns the path.
+///
+/// The two wall-clock probes compare sequential against parallel
+/// execution, so on a single-core host every "speedup" they report is
+/// scheduling noise; there they self-skip and their JSON fields carry the
+/// marker string `"skipped_single_core"` instead of an object (`host_cores`
+/// is always recorded, `0` meaning unknown — unknown parallelism runs the
+/// probes).
 fn write_bench_json(
     dir: &str,
     experiment: &str,
@@ -244,17 +253,21 @@ fn write_bench_json(
 ) -> String {
     let (runs, sim_instrs, sim_secs) = ctx.throughput_totals();
     let minstr_per_sec = if sim_secs > 0.0 { sim_instrs as f64 / sim_secs / 1e6 } else { 0.0 };
-    let probe = sample_speedup_probe(ctx, 4);
-    eprintln!(
-        "[figures] sample probe: {} x{} instrs sequential {:.2}s vs {}-thread {:.2}s ({:.2}x)",
-        probe.bench,
-        probe.instrs,
-        probe.sequential_seconds,
-        probe.threads,
-        probe.parallel_seconds,
-        probe.speedup
-    );
     let host_cores = std::thread::available_parallelism().map_or(0, usize::from);
+    let run_probes = host_cores != 1;
+    let probe = run_probes.then(|| sample_speedup_probe(ctx, 4));
+    match &probe {
+        Some(probe) => eprintln!(
+            "[figures] sample probe: {} x{} instrs sequential {:.2}s vs {}-thread {:.2}s ({:.2}x)",
+            probe.bench,
+            probe.instrs,
+            probe.sequential_seconds,
+            probe.threads,
+            probe.parallel_seconds,
+            probe.speedup
+        ),
+        None => eprintln!("[figures] sample probe: skipped on a single-core host"),
+    }
     let mut j = String::new();
     let _ = write!(
         j,
@@ -279,17 +292,24 @@ fn write_bench_json(
          \"simulated_minstr\":{:.3},\"host_minstr_per_sec\":{minstr_per_sec:.3},",
         sim_instrs as f64 / 1e6
     );
-    let _ = write!(
-        j,
-        "\"sample_probe\":{{\"bench\":\"{}\",\"instrs\":{},\"sequential_seconds\":{:.3},\
-         \"parallel_seconds\":{:.3},\"threads\":{},\"speedup\":{:.3}}},",
-        probe.bench,
-        probe.instrs,
-        probe.sequential_seconds,
-        probe.parallel_seconds,
-        probe.threads,
-        probe.speedup
-    );
+    match &probe {
+        Some(probe) => {
+            let _ = write!(
+                j,
+                "\"sample_probe\":{{\"bench\":\"{}\",\"instrs\":{},\"sequential_seconds\":{:.3},\
+                 \"parallel_seconds\":{:.3},\"threads\":{},\"speedup\":{:.3}}},",
+                probe.bench,
+                probe.instrs,
+                probe.sequential_seconds,
+                probe.parallel_seconds,
+                probe.threads,
+                probe.speedup
+            );
+        }
+        None => {
+            let _ = write!(j, "\"sample_probe\":\"skipped_single_core\",");
+        }
+    }
     let (hits, misses, stores, corrupt) = ctx.cache_totals();
     let hit_rate = if hits + misses > 0 { hits as f64 / (hits + misses) as f64 } else { 0.0 };
     let _ = write!(
@@ -297,26 +317,33 @@ fn write_bench_json(
         "\"result_cache\":{{\"hits\":{hits},\"misses\":{misses},\"stores\":{stores},\
          \"corrupt\":{corrupt},\"hit_rate\":{hit_rate:.3}}},"
     );
-    let sweep = sweep_resume_probe(ctx);
-    eprintln!(
-        "[figures] sweep probe: {} cells cold {:.2}s, resume {:.3}s ({:.3}x), \
-         warm-cache hit rate {:.0}%",
-        sweep.cells,
-        sweep.cold_seconds,
-        sweep.resume_seconds,
-        sweep.resume_overhead,
-        100.0 * sweep.cache_hit_rate
-    );
-    let _ = write!(
-        j,
-        "\"sweep_probe\":{{\"cells\":{},\"cold_seconds\":{:.3},\"resume_seconds\":{:.3},\
-         \"resume_overhead\":{:.3},\"cache_hit_rate\":{:.3}}}}}",
-        sweep.cells,
-        sweep.cold_seconds,
-        sweep.resume_seconds,
-        sweep.resume_overhead,
-        sweep.cache_hit_rate
-    );
+    match run_probes.then(|| sweep_resume_probe(ctx)) {
+        Some(sweep) => {
+            eprintln!(
+                "[figures] sweep probe: {} cells cold {:.2}s, resume {:.3}s ({:.3}x), \
+                 warm-cache hit rate {:.0}%",
+                sweep.cells,
+                sweep.cold_seconds,
+                sweep.resume_seconds,
+                sweep.resume_overhead,
+                100.0 * sweep.cache_hit_rate
+            );
+            let _ = write!(
+                j,
+                "\"sweep_probe\":{{\"cells\":{},\"cold_seconds\":{:.3},\"resume_seconds\":{:.3},\
+                 \"resume_overhead\":{:.3},\"cache_hit_rate\":{:.3}}}}}",
+                sweep.cells,
+                sweep.cold_seconds,
+                sweep.resume_seconds,
+                sweep.resume_overhead,
+                sweep.cache_hit_rate
+            );
+        }
+        None => {
+            eprintln!("[figures] sweep probe: skipped on a single-core host");
+            let _ = write!(j, "\"sweep_probe\":\"skipped_single_core\"}}");
+        }
+    }
     std::fs::create_dir_all(dir).expect("create --bench-json directory");
     let path = format!("{dir}/BENCH_{experiment}.json");
     std::fs::write(&path, j).expect("write BENCH json");

@@ -18,9 +18,10 @@ use std::sync::Arc;
 
 use chart::{Chart, ChartKind, Series};
 use dvr_sim::{
-    measure_periods_via_workers, merge_periods, sample_emit, sampled_report_from, simulate,
-    simulate_sampled, simulate_sampled_threads, try_parallel_map, CoreStats, EngineSummary,
-    MemStats, RunOutcome, SampleConfig, SimConfig, SimError, SimReport, Technique,
+    evaluate_mix, measure_periods_via_workers, merge_periods, sample_emit, sampled_report_from,
+    simulate, simulate_mix, simulate_sampled, simulate_sampled_threads, try_parallel_map,
+    CoreStats, EngineSummary, MemStats, MixSpec, RunOutcome, SampleConfig, SimConfig, SimError,
+    SimReport, Technique,
 };
 use workloads::{Benchmark, GraphInput, SizeClass, Workload};
 
@@ -764,9 +765,12 @@ pub fn combo_name(b: Benchmark, g: Option<GraphInput>) -> String {
     }
 }
 
-/// All experiment names, in paper order.
-pub const EXPERIMENTS: [&str; 10] =
-    ["table1", "table2", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation"];
+/// All experiment names, in paper order (the paper's tables and figures,
+/// then our extensions).
+pub const EXPERIMENTS: [&str; 11] = [
+    "table1", "table2", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation",
+    "mix",
+];
 
 /// Runs a named experiment, returning its printable report (text only).
 pub fn run_experiment(name: &str, ctx: &mut Ctx) -> String {
@@ -776,7 +780,7 @@ pub fn run_experiment(name: &str, ctx: &mut Ctx) -> String {
 /// Runs a named experiment, returning text and charts.
 ///
 /// Valid names: `table1`, `table2`, `fig2`, `fig7`, `fig8`, `fig9`,
-/// `fig10`, `fig11`, `fig12`, `ablation`, `all`.
+/// `fig10`, `fig11`, `fig12`, `ablation`, `mix`, `all`.
 ///
 /// In keep-going mode, cells that failed during the experiment are listed
 /// in a trailing text section and their categories marked on the charts.
@@ -803,6 +807,7 @@ pub fn run_experiment_full(name: &str, ctx: &mut Ctx) -> Experiment {
         "fig11" => fig11(ctx),
         "fig12" => fig12(ctx),
         "ablation" => Experiment::text_only(ablation(ctx)),
+        "mix" => mix_figure(ctx),
         other => Experiment::text_only(format!("unknown experiment '{other}'\n")),
     };
     annotate_failures(&mut e, &ctx.failures[mark..]);
@@ -1414,6 +1419,99 @@ pub fn ablation(ctx: &mut Ctx) -> String {
     s
 }
 
+/// Core counts of the mix-scaling figure.
+const MIX_CORES: [usize; 3] = [1, 2, 4];
+
+/// Multi-programmed mixes (our extension): round-robin DVR mixes of 1, 2,
+/// and 4 cores run on the discrete-event scheduler against a shared
+/// L3/DRAM, reported as aggregate throughput (STP — the sum of per-core
+/// IPCs normalized to each program's solo IPC) and fairness (the harmonic
+/// mean of per-core slowdowns vs solo) versus core count.
+///
+/// Solo baselines go through [`Ctx::run_batch`], so they fan out over the
+/// worker threads and are served by the result cache; the mixes themselves
+/// run on the (single-threaded, deterministic) scheduler. Mixes have no
+/// sampled mode, so sampling is suspended for this experiment — the solo
+/// baselines must be exact too or the slowdowns would compare a sampled
+/// estimate against an exact run. The 1-core mix is the scheduler's
+/// identity anchor: its report is byte-identical to the solo run, so its
+/// row reads exactly STP 1.000 / fairness 1.000.
+pub fn mix_figure(ctx: &mut Ctx) -> Experiment {
+    let sampling = ctx.sample.take();
+    let specs: Vec<MixSpec> =
+        MIX_CORES.iter().map(|&n| MixSpec::round_robin(n, Technique::Dvr)).collect();
+
+    // Solo baselines for every distinct (benchmark, input) any mix uses.
+    let mut combos: Vec<(Benchmark, Option<GraphInput>)> = Vec::new();
+    for spec in &specs {
+        for c in &spec.cores {
+            if !combos.contains(&(c.bench, c.input)) {
+                combos.push((c.bench, c.input));
+            }
+        }
+    }
+    let cells: Vec<Cell> =
+        combos.iter().map(|&(b, g)| Cell::new(b, g, ctx.tcfg(Technique::Dvr))).collect();
+    let solos = ctx.run_batch(&cells);
+
+    let base = ctx.tcfg(Technique::Dvr);
+    let mut stp_pts = Vec::new();
+    let mut fair_pts = Vec::new();
+    let mut rows = Vec::new();
+    for spec in &specs {
+        let mix = simulate_mix(spec, ctx.size, ctx.seed, &base);
+        let solo: Vec<SimReport> = spec
+            .cores
+            .iter()
+            .map(|c| {
+                let k = combos.iter().position(|&x| x == (c.bench, c.input)).expect("solo ran");
+                solos[k].clone()
+            })
+            .collect();
+        let eval = evaluate_mix(&mix, &solo);
+        // Fold the mix's runs (and sanitizer ledgers, shared one included)
+        // into the context totals so `--sanitize` covers the shared path.
+        ctx.account(&mix.cores);
+        if let Some(shared) = &mix.shared_sanitizer {
+            ctx.san_checks += shared.checks;
+            ctx.san_violations += shared.violations;
+        }
+        stp_pts.push(eval.throughput);
+        fair_pts.push(eval.fairness);
+        let benches: Vec<&str> = spec.cores.iter().map(|c| c.bench.name()).collect();
+        let slowdowns: Vec<String> = eval.slowdowns.iter().map(|s| format!("{s:.2}")).collect();
+        rows.push((spec.cores.len(), benches.join("+"), slowdowns.join(",")));
+    }
+    ctx.sample = sampling;
+
+    let mut text = String::new();
+    let _ = writeln!(text, "== Mix: multi-programmed throughput & fairness vs core count (DVR) ==");
+    let _ =
+        writeln!(text, "{:>6} {:>10} {:>9} {:>18}  mix", "cores", "STP", "fairness", "slowdowns");
+    for (i, (n, benches, slowdowns)) in rows.iter().enumerate() {
+        let _ = writeln!(
+            text,
+            "{:>6} {:>10.3} {:>9.3} {:>18}  {}",
+            n, stp_pts[i], fair_pts[i], slowdowns, benches
+        );
+    }
+
+    let chart = Chart {
+        title: "Mix: throughput & fairness vs core count (DVR)".into(),
+        y_label: "STP (x) / h-mean slowdown".into(),
+        categories: MIX_CORES.iter().map(|n| n.to_string()).collect(),
+        series: vec![
+            Series::new("throughput (STP)", stp_pts),
+            Series::new("fairness (hmean slowdown)", fair_pts),
+        ],
+        kind: ChartKind::Lines,
+        baseline: Some(1.0),
+        slug: "mix_scaling".into(),
+        failed: vec![],
+    };
+    Experiment { text, charts: vec![chart] }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1635,6 +1733,57 @@ mod tests {
         assert!(r.sanitizer.is_some(), "sanitizer output must survive");
         assert_eq!(ctx.cache_totals(), (0, 0, 0, 0), "sanitized cells must not touch the cache");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mix_experiment_anchors_at_one_core_and_charts_validate() {
+        let mut ctx = Ctx::new(SizeClass::Test, 10_000, 7);
+        let e = run_experiment_full("mix", &mut ctx);
+        // The 1-core mix is byte-identical to the solo run, so its row is
+        // the exact identity: STP 1.000, fairness 1.000.
+        let one = e.text.lines().find(|l| l.trim_start().starts_with("1 ")).expect("1-core row");
+        assert!(one.contains("1.000"), "identity anchor missing: {one}");
+        assert!(e.text.contains("bc+bfs+cc+pr"), "{}", e.text);
+        assert_eq!(e.charts.len(), 1);
+        e.charts[0].validate().expect("chart consistent");
+        assert!(e.charts[0].to_svg().starts_with("<svg"));
+    }
+
+    #[test]
+    fn mix_experiment_text_is_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let mut ctx = Ctx::new(SizeClass::Test, 10_000, 7).with_threads(threads);
+            run_experiment("mix", &mut ctx)
+        };
+        assert_eq!(run(1), run(4), "mix figure must not depend on --threads");
+    }
+
+    #[test]
+    fn sampled_context_still_runs_mixes_exactly() {
+        // Mixes have no sampled mode; the experiment suspends sampling so
+        // solos stay comparable, then restores it for later figures.
+        let plain = {
+            let mut ctx = Ctx::new(SizeClass::Test, 10_000, 7);
+            run_experiment("mix", &mut ctx)
+        };
+        let mut ctx = Ctx::new(SizeClass::Test, 10_000, 7).with_sample(SampleConfig::default());
+        let sampled = run_experiment("mix", &mut ctx);
+        assert_eq!(plain, sampled, "sampling must not perturb the mix figure");
+        assert!(ctx.sample.is_some(), "sampling knob must be restored");
+    }
+
+    #[test]
+    fn sanitized_mix_experiment_is_clean_and_text_identical() {
+        let plain = {
+            let mut ctx = Ctx::new(SizeClass::Test, 10_000, 7);
+            run_experiment("mix", &mut ctx)
+        };
+        let mut ctx = Ctx::new(SizeClass::Test, 10_000, 7).with_sanitize(true);
+        let sane = run_experiment("mix", &mut ctx);
+        let (checks, violations) = ctx.sanitize_totals();
+        assert!(checks > 0, "sanitizer must have run (shared ledger included)");
+        assert_eq!(violations, 0, "shared-LLC provenance invariants must hold");
+        assert_eq!(plain, sane, "sanitizer must not perturb the mix figure");
     }
 
     #[test]

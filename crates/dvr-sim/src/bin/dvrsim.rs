@@ -13,8 +13,9 @@
 use std::process::ExitCode;
 
 use dvr_sim::{
-    measure_emitted, measure_periods_via_workers, parallel_map, sample_emit, sampled_report_from,
-    simulate, FaultConfig, Placement, SampleConfig, SimConfig, SimReport, Technique,
+    evaluate_mix, measure_emitted, measure_periods_via_workers, parallel_map, sample_emit,
+    sampled_report_from, simulate, simulate_mix, FaultConfig, MixSpec, Placement, SampleConfig,
+    SimConfig, SimReport, Technique,
 };
 use sim_sample::merge_periods;
 use workloads::{gather_attack, Benchmark, GraphInput, SizeClass, Workload};
@@ -52,6 +53,8 @@ usage: dvrsim [--list] (--bench NAME | --asm FILE.s) [options]
        dvrsim sample-worker --bench NAME --technique T --checkpoint FILE.ckpt
                      [--input G] [--size S] [--seed N] [--instrs N] [--interval N]
                      [--warmup N] [--period N] [--placement P] [--sample-seed N] [--json]
+       dvrsim mix (--spec LIST | --cores N) [--technique T] [--size S] [--seed N]
+                  [--instrs N] [--threads N] [--solo] [--sanitize] [--json]
        dvrsim sweep [--bench LIST|all|gap|hpcdb] [--input LIST|all] [--technique T]
                     [--size S] [--seed N] [--instrs N] [--out DIR] [--cache DIR]
                     [--no-cache] [--jobs N] [--timeout-ms N] [--retries N]
@@ -129,6 +132,19 @@ whose 95% confidence interval misses the exact IPC fails the command.
 the `sample-worker` subcommand is the internal worker of `sample --jobs`:
 it measures one period from a checkpoint file and prints one integer-JSON
 result line on stdout.
+
+the `mix` subcommand runs a multi-programmed multi-core simulation: one
+out-of-order core per mix entry, private L1/L2 each, one shared L3 and one
+shared DRAM bandwidth calendar, all driven by the deterministic event
+scheduler. --spec takes comma-separated `bench[/input][:technique]`
+entries (e.g. `bfs/UR:dvr,NAS-IS:ooo`); --cores N instead rotates the
+13-benchmark suite. --solo also runs each program alone on a private
+hierarchy and reports system throughput (STP, sum of normalized progress)
+and fairness (harmonic-mean slowdown); --threads parallelizes only those
+solo baselines — the mix itself is single-threaded and byte-identical for
+every --threads value. --sanitize extends the invariant sweeps to the
+shared L3's prefetch-provenance state (summary on stderr; stdout stays
+byte-identical).
 
 the `sweep` subcommand runs a crash-safe grid of (benchmark, input,
 technique) cells: every settled cell is appended to a write-ahead journal
@@ -1209,6 +1225,191 @@ fn sample_main(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `dvrsim mix`: a multi-programmed mix on the discrete-event scheduler —
+/// N cores with private L1/L2 over one shared L3 + DRAM, with optional solo
+/// baselines for throughput/fairness metrics.
+fn mix_main(args: &[String]) -> ExitCode {
+    let mut spec_str: Option<String> = None;
+    let mut cores = 0usize;
+    let mut technique = Technique::Dvr;
+    let mut size = SizeClass::Small;
+    let mut seed = 42u64;
+    let mut instrs = 200_000u64;
+    let mut threads = 1usize;
+    let mut solo = false;
+    let mut sanitize = false;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--solo" => solo = true,
+            "--sanitize" => sanitize = true,
+            "--json" => json = true,
+            "--spec" | "--cores" | "--technique" | "--size" | "--seed" | "--instrs"
+            | "--threads" => {
+                let Some(v) = args.get(i + 1).cloned() else {
+                    eprintln!("error: {} needs a value", args[i]);
+                    return ExitCode::from(2);
+                };
+                match args[i].as_str() {
+                    "--spec" => spec_str = Some(v),
+                    "--technique" => match parse_technique(&v).as_deref() {
+                        Some([t]) => technique = *t,
+                        _ => {
+                            eprintln!("error: mix needs a single technique, got '{v}'");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--size" => {
+                        size = match v.as_str() {
+                            "test" => SizeClass::Test,
+                            "small" => SizeClass::Small,
+                            "paper" => SizeClass::Paper,
+                            _ => {
+                                eprintln!("error: unknown size '{v}'");
+                                return ExitCode::from(2);
+                            }
+                        };
+                    }
+                    flag => {
+                        let n: u64 = match v.parse() {
+                            Ok(n) => n,
+                            Err(e) => {
+                                eprintln!("error: {flag}: {e}");
+                                return ExitCode::from(2);
+                            }
+                        };
+                        match flag {
+                            "--cores" => cores = n as usize,
+                            "--seed" => seed = n,
+                            "--instrs" => instrs = n,
+                            "--threads" => threads = n as usize,
+                            _ => unreachable!("covered by the outer match"),
+                        }
+                    }
+                }
+                i += 1;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return unknown_flag("mix", other),
+        }
+        i += 1;
+    }
+    let spec = match (&spec_str, cores) {
+        (Some(s), _) => match MixSpec::parse(s, technique) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("error: --spec: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        (None, n) if n > 0 => MixSpec::round_robin(n, technique),
+        _ => {
+            eprintln!("error: mix needs --spec LIST or --cores N (see 'dvrsim --help')");
+            return ExitCode::from(2);
+        }
+    };
+
+    let base = SimConfig::new(technique).with_max_instructions(instrs).with_sanitize(sanitize);
+    let t0 = std::time::Instant::now();
+    let mix = simulate_mix(&spec, size, seed, &base);
+    // Solo baselines are independent single-core runs: cell-parallel.
+    let solos: Option<Vec<SimReport>> = solo.then(|| {
+        parallel_map(spec.cores.len(), threads, |i| {
+            let c = spec.cores[i];
+            let mut cfg = base;
+            cfg.technique = c.technique;
+            cfg.core.imp_prefetcher = c.technique == Technique::Imp;
+            let wl = c.bench.build(c.input, size, seed);
+            simulate(&wl, &cfg)
+        })
+    });
+    // Wall timing lives only at this level (stderr): mix stdout is
+    // byte-identical across re-runs and --threads values.
+    eprintln!(
+        "mix: {} cores, {} cycles in {:.2}s host",
+        mix.cores.len(),
+        mix.cycles,
+        t0.elapsed().as_secs_f64()
+    );
+
+    let eval = solos.as_ref().map(|s| evaluate_mix(&mix, s));
+    if json {
+        println!("{}", mix.to_json());
+        if let Some(eval) = &eval {
+            let slowdowns: Vec<String> = eval.slowdowns.iter().map(|s| format!("{s:.6}")).collect();
+            println!(
+                "{{\"throughput\":{:.6},\"fairness\":{:.6},\"slowdowns\":[{}]}}",
+                eval.throughput,
+                eval.fairness,
+                slowdowns.join(",")
+            );
+        }
+    } else {
+        println!("mix {} ({} cores, seed {seed})", mix.label, mix.cores.len());
+        for (i, r) in mix.cores.iter().enumerate() {
+            let sh = &mix.shared[i];
+            let slowdown = eval
+                .as_ref()
+                .map(|e| format!(" | slowdown {:>5.2}x", e.slowdowns[i]))
+                .unwrap_or_default();
+            println!(
+                "core {i}: {:24} IPC {:>7.3} | {:>9} cycles | L3 hits {:>8} | \
+                 DRAM {:>8} | xcore {:>6}{slowdown}",
+                spec.cores[i].label(),
+                r.ipc,
+                r.core.cycles,
+                sh.l3_hits,
+                sh.dram_reads,
+                sh.cross_core_hits,
+            );
+        }
+        println!("aggregate IPC {:.3} over {} cycles", mix.aggregate_ipc, mix.cycles);
+        if let Some(eval) = &eval {
+            println!(
+                "throughput (STP) {:.3} of {} | fairness (hmean slowdown) {:.3}",
+                eval.throughput,
+                mix.cores.len(),
+                eval.fairness
+            );
+        }
+    }
+
+    let mut failed = 0usize;
+    for r in &mix.cores {
+        if let Some(san) = &r.sanitizer {
+            eprintln!("sanitize[{}]: {}", r.workload, san.summary());
+            if !san.is_clean() {
+                for m in &san.first {
+                    eprintln!("sanitize[{}]:   {m}", r.workload);
+                }
+                failed += 1;
+            }
+        }
+        if let Some(e) = r.outcome.error() {
+            eprintln!("mix: {} failed ({}): {e}", r.workload, e.kind());
+            failed += 1;
+        }
+    }
+    if let Some(san) = &mix.shared_sanitizer {
+        eprintln!("sanitize[shared L3]: {}", san.summary());
+        if !san.is_clean() {
+            for m in &san.first {
+                eprintln!("sanitize[shared L3]:   {m}");
+            }
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        eprintln!("mix: {failed} of {} runs failed", mix.cores.len());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 /// Builds the `dvrsim sample-worker ...` command line that reconstructs
 /// one (workload, technique, sampling) cell in a child process. The
 /// workload is rebuilt from its deterministic (bench, input, size, seed)
@@ -1416,6 +1617,9 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("sample-worker") {
         return sample_worker_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("mix") {
+        return mix_main(&argv[1..]);
     }
     if argv.first().map(String::as_str) == Some("sweep") {
         return sweep_main(&argv[1..]);

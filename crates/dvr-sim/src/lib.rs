@@ -26,6 +26,7 @@ mod audit;
 mod bounds_audit;
 mod config;
 mod leak_audit;
+mod multi;
 mod report;
 mod runner;
 mod sample;
@@ -40,6 +41,9 @@ pub use config::{SimConfig, Technique};
 pub use leak_audit::{
     leak_audit_attack, leak_audit_benchmark, leak_audit_workload, ArchTaint, FillSummary,
     LeakAuditReport, LeakDivergence, LeakDivergenceKind, LeakJustification,
+};
+pub use multi::{
+    evaluate_mix, simulate_mix, ConfigError, MixCore, MixEvaluation, MixReport, MixSpec,
 };
 pub use report::{EngineSummary, RunOutcome, SamplingSummary, SimReport};
 pub use runner::{
@@ -62,6 +66,7 @@ pub use sim_mem::{
     FaultConfig, FaultEvent, FaultKind, HierarchyConfig, MemStats, MemoryHierarchy, PrefetchSource,
     TimelinessBucket,
 };
+pub use sim_multi::{Component, ComponentId, Scheduler, SchedulerStats, Tick};
 pub use sim_ooo::SanitizeReport;
 pub use sim_ooo::{CoreConfig, CoreStats, DeadlockSnapshot, NullEngine, OooCore, SimError};
 pub use sim_sample::{

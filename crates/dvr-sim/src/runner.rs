@@ -2,18 +2,163 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use dvr_core::{DvrConfig, DvrEngine, OracleEngine, PreEngine, VrEngine};
+use dvr_core::{DvrConfig, DvrEngine, DvrTrace, OracleEngine, PreEngine, VrEngine};
 use sim_mem::MemoryHierarchy;
-use sim_ooo::{CoreStats, NullEngine, OooCore, SanitizeReport, SimError};
+use sim_multi::Scheduler;
+use sim_ooo::{DynInst, EngineCtx, NullEngine, OooCore, RunaheadEngine, SanitizeReport};
 use workloads::Workload;
 
 use crate::config::{SimConfig, Technique};
-use crate::report::{EngineSummary, RunOutcome, SimReport};
+use crate::multi::CoreComponent;
+use crate::report::{EngineSummary, SimReport};
 
-fn outcome_of(result: Result<&CoreStats, SimError>) -> RunOutcome {
-    match result {
-        Ok(_) => RunOutcome::Complete,
-        Err(e) => RunOutcome::Failed(e),
+/// The technique-selected runahead engine as one concrete type, so the
+/// scheduler's core component is not generic over the engine. Delegates
+/// every [`RunaheadEngine`] hook and knows how to render its own
+/// [`EngineSummary`] — the per-technique summary strings the reports have
+/// always carried.
+pub(crate) enum AnyEngine {
+    Null(NullEngine),
+    Pre(PreEngine),
+    Vr(VrEngine),
+    Dvr(Box<DvrEngine>),
+    Oracle(OracleEngine),
+}
+
+impl AnyEngine {
+    /// Builds the engine for a configuration, applying the Figure 8
+    /// ablation overrides and the trace knob exactly as `simulate` always
+    /// has.
+    pub(crate) fn for_config(cfg: &SimConfig) -> AnyEngine {
+        match cfg.technique {
+            Technique::Baseline | Technique::Imp => AnyEngine::Null(NullEngine),
+            Technique::Pre => AnyEngine::Pre(PreEngine::default()),
+            Technique::Vr => AnyEngine::Vr(VrEngine::default()),
+            Technique::Dvr | Technique::DvrOffload | Technique::DvrDiscovery => {
+                let dcfg = match cfg.technique {
+                    Technique::DvrOffload => {
+                        DvrConfig { discovery: false, nested: false, ..cfg.dvr }
+                    }
+                    Technique::DvrDiscovery => DvrConfig { nested: false, ..cfg.dvr },
+                    _ => cfg.dvr,
+                };
+                let mut e = DvrEngine::new(dcfg);
+                if cfg.trace_dvr {
+                    e.enable_trace();
+                }
+                AnyEngine::Dvr(Box::new(e))
+            }
+            Technique::Oracle => AnyEngine::Oracle(OracleEngine::new()),
+        }
+    }
+
+    /// Takes the Discovery/spawn event trace (DVR engines only).
+    pub(crate) fn take_trace(&mut self) -> Option<DvrTrace> {
+        match self {
+            AnyEngine::Dvr(e) => e.take_trace(),
+            _ => None,
+        }
+    }
+
+    /// The per-technique activity summary for the report.
+    pub(crate) fn summary(&self) -> EngineSummary {
+        match self {
+            AnyEngine::Null(_) => EngineSummary::default(),
+            AnyEngine::Pre(e) => {
+                let s = *e.stats();
+                EngineSummary {
+                    episodes: s.episodes,
+                    runahead_loads: s.prefetches,
+                    detail: format!(
+                        "pre: {} instrs pre-executed, {} poisoned loads",
+                        s.instructions, s.poisoned_loads
+                    ),
+                    ..EngineSummary::default()
+                }
+            }
+            AnyEngine::Vr(e) => {
+                let s = *e.stats();
+                EngineSummary {
+                    episodes: s.episodes,
+                    runahead_loads: s.lane_loads,
+                    lanes_lost: s.lanes_lost,
+                    detail: format!(
+                        "vr: {} no-stride stalls, {} delayed-termination cycles",
+                        s.no_stride_found, s.delayed_termination_cycles
+                    ),
+                    ..EngineSummary::default()
+                }
+            }
+            AnyEngine::Dvr(e) => {
+                let s = *e.stats();
+                EngineSummary {
+                    episodes: s.episodes,
+                    runahead_loads: s.lane_loads,
+                    nested_episodes: s.ndm_episodes,
+                    detail: format!(
+                        "dvr: {} lanes spawned, {} diverged episodes, {} innermost switches, \
+                         {} chains without dependent loads",
+                        s.lanes_spawned,
+                        s.diverged_episodes,
+                        s.innermost_switches,
+                        s.no_dependent_chain
+                    ),
+                    ..EngineSummary::default()
+                }
+            }
+            AnyEngine::Oracle(e) => {
+                let s = *e.stats();
+                EngineSummary {
+                    detail: format!(
+                        "oracle: {} misses hidden, {} natural hits",
+                        s.hidden_misses, s.natural_hits
+                    ),
+                    ..EngineSummary::default()
+                }
+            }
+        }
+    }
+}
+
+impl RunaheadEngine for AnyEngine {
+    fn name(&self) -> &'static str {
+        match self {
+            AnyEngine::Null(e) => e.name(),
+            AnyEngine::Pre(e) => e.name(),
+            AnyEngine::Vr(e) => e.name(),
+            AnyEngine::Dvr(e) => e.name(),
+            AnyEngine::Oracle(e) => e.name(),
+        }
+    }
+
+    fn on_dispatch(&mut self, ctx: &mut EngineCtx<'_>, di: &DynInst) {
+        match self {
+            AnyEngine::Null(e) => e.on_dispatch(ctx, di),
+            AnyEngine::Pre(e) => e.on_dispatch(ctx, di),
+            AnyEngine::Vr(e) => e.on_dispatch(ctx, di),
+            AnyEngine::Dvr(e) => e.on_dispatch(ctx, di),
+            AnyEngine::Oracle(e) => e.on_dispatch(ctx, di),
+        }
+    }
+
+    fn on_full_rob_stall(&mut self, ctx: &mut EngineCtx<'_>, head_complete_at: u64) -> u64 {
+        match self {
+            AnyEngine::Null(e) => e.on_full_rob_stall(ctx, head_complete_at),
+            AnyEngine::Pre(e) => e.on_full_rob_stall(ctx, head_complete_at),
+            AnyEngine::Vr(e) => e.on_full_rob_stall(ctx, head_complete_at),
+            AnyEngine::Dvr(e) => e.on_full_rob_stall(ctx, head_complete_at),
+            AnyEngine::Oracle(e) => e.on_full_rob_stall(ctx, head_complete_at),
+        }
+    }
+
+    fn override_load(&mut self, ctx: &mut EngineCtx<'_>, addr: u64) -> Option<u64> {
+        match self {
+            AnyEngine::Null(e) => e.override_load(ctx, addr),
+            AnyEngine::Pre(e) => e.override_load(ctx, addr),
+            AnyEngine::Vr(e) => e.override_load(ctx, addr),
+            AnyEngine::Dvr(e) => e.override_load(ctx, addr),
+            AnyEngine::Oracle(e) => e.override_load(ctx, addr),
+        }
     }
 }
 
@@ -26,7 +171,7 @@ fn outcome_of(result: Result<&CoreStats, SimError>) -> RunOutcome {
 ///
 /// Valid for every [`RunOutcome`] — even a failed run has functionally
 /// executed every instruction it fetched.
-fn digest_check(
+pub(crate) fn digest_check(
     workload: &Workload,
     core: &OooCore,
     timing_mem: &sim_isa::SparseMemory,
@@ -80,118 +225,28 @@ pub fn simulate(workload: &Workload, cfg: &SimConfig) -> SimReport {
         hier.enable_spec_extents();
     }
     let mut core = OooCore::new(cfg.core);
-    let mut dvr_trace = None;
+    let mut engine = AnyEngine::for_config(cfg);
 
-    let (engine_summary, outcome) = match cfg.technique {
-        Technique::Baseline | Technique::Imp => {
-            let mut e = NullEngine;
-            let outcome = outcome_of(core.run(
-                &workload.prog,
-                &mut mem,
-                &mut hier,
-                &mut e,
-                cfg.max_instructions,
-            ));
-            (EngineSummary::default(), outcome)
-        }
-        Technique::Pre => {
-            let mut e = PreEngine::default();
-            let outcome = outcome_of(core.run(
-                &workload.prog,
-                &mut mem,
-                &mut hier,
-                &mut e,
-                cfg.max_instructions,
-            ));
-            let s = *e.stats();
-            let summary = EngineSummary {
-                episodes: s.episodes,
-                runahead_loads: s.prefetches,
-                detail: format!(
-                    "pre: {} instrs pre-executed, {} poisoned loads",
-                    s.instructions, s.poisoned_loads
-                ),
-                ..EngineSummary::default()
-            };
-            (summary, outcome)
-        }
-        Technique::Vr => {
-            let mut e = VrEngine::default();
-            let outcome = outcome_of(core.run(
-                &workload.prog,
-                &mut mem,
-                &mut hier,
-                &mut e,
-                cfg.max_instructions,
-            ));
-            let s = *e.stats();
-            let summary = EngineSummary {
-                episodes: s.episodes,
-                runahead_loads: s.lane_loads,
-                lanes_lost: s.lanes_lost,
-                detail: format!(
-                    "vr: {} no-stride stalls, {} delayed-termination cycles",
-                    s.no_stride_found, s.delayed_termination_cycles
-                ),
-                ..EngineSummary::default()
-            };
-            (summary, outcome)
-        }
-        Technique::Dvr | Technique::DvrOffload | Technique::DvrDiscovery => {
-            let dcfg = match cfg.technique {
-                Technique::DvrOffload => DvrConfig { discovery: false, nested: false, ..cfg.dvr },
-                Technique::DvrDiscovery => DvrConfig { nested: false, ..cfg.dvr },
-                _ => cfg.dvr,
-            };
-            let mut e = DvrEngine::new(dcfg);
-            if cfg.trace_dvr {
-                e.enable_trace();
-            }
-            let outcome = outcome_of(core.run(
-                &workload.prog,
-                &mut mem,
-                &mut hier,
-                &mut e,
-                cfg.max_instructions,
-            ));
-            dvr_trace = e.take_trace();
-            let s = *e.stats();
-            let summary = EngineSummary {
-                episodes: s.episodes,
-                runahead_loads: s.lane_loads,
-                nested_episodes: s.ndm_episodes,
-                detail: format!(
-                    "dvr: {} lanes spawned, {} diverged episodes, {} innermost switches, \
-                     {} chains without dependent loads",
-                    s.lanes_spawned,
-                    s.diverged_episodes,
-                    s.innermost_switches,
-                    s.no_dependent_chain
-                ),
-                ..EngineSummary::default()
-            };
-            (summary, outcome)
-        }
-        Technique::Oracle => {
-            let mut e = OracleEngine::new();
-            let outcome = outcome_of(core.run(
-                &workload.prog,
-                &mut mem,
-                &mut hier,
-                &mut e,
-                cfg.max_instructions,
-            ));
-            let s = *e.stats();
-            let summary = EngineSummary {
-                detail: format!(
-                    "oracle: {} misses hidden, {} natural hits",
-                    s.hidden_misses, s.natural_hits
-                ),
-                ..EngineSummary::default()
-            };
-            (summary, outcome)
-        }
+    // One core on the event scheduler: the single-core run is the n = 1
+    // special case of the multi-core path (see `crate::multi`), and ticks
+    // cycle-for-cycle like the old inline loop.
+    let outcome = {
+        let mut comp = CoreComponent::new(
+            &mut core,
+            &workload.prog,
+            &mut mem,
+            &mut hier,
+            &mut engine,
+            cfg.max_instructions,
+            None,
+        );
+        let mut sched = Scheduler::new();
+        sched.schedule(0, 0);
+        sched.run(&mut [&mut comp]);
+        comp.take_outcome()
     };
+    let dvr_trace = engine.take_trace();
+    let engine_summary = engine.summary();
 
     let sanitizer = if cfg.core.sanitize {
         let digest = digest_check(workload, &core, &mem);

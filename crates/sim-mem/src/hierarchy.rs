@@ -1,12 +1,17 @@
 //! The three-level cache hierarchy with MSHRs and DRAM.
 
+use std::cell::Ref;
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use sim_isa::FxHashMap;
 
 use crate::cache::{Cache, CacheConfig};
-use crate::dram::{Dram, DramConfig};
+use crate::dram::DramConfig;
 use crate::fault::{FaultConfig, FaultEvent, FaultState, NEVER_COMPLETES};
 use crate::line_of;
 use crate::mshr::MshrFile;
+use crate::shared::{SharedLlc, SharedLlcHandle};
 use crate::stats::{MemStats, TimelinessBucket};
 
 /// Which engine generated a prefetch — drives provenance accounting for
@@ -179,14 +184,22 @@ impl Default for HierarchyConfig {
 /// fills (a DRAM fill installs the line at every level); LRU everywhere.
 /// Dirty lines write back one level down on eviction and consume DRAM
 /// bandwidth when leaving the L3. See the crate docs for an example.
-#[derive(Clone, Debug)]
+///
+/// The L1, L2, and MSHRs are private to this hierarchy; the L3 and DRAM
+/// live in a [`SharedLlc`] behind a handle. [`MemoryHierarchy::new`] gives
+/// the hierarchy a private handle (the classic single-core setup);
+/// [`MemoryHierarchy::attach_shared`] fronts an existing one, so N cores
+/// contend for the same L3 ways and DRAM bandwidth calendar.
+#[derive(Debug)]
 pub struct MemoryHierarchy {
     cfg: HierarchyConfig,
     l1: Cache,
     l2: Cache,
-    l3: Cache,
     mshr: MshrFile,
-    dram: Dram,
+    /// The shared L3 + DRAM these private levels front.
+    shared: SharedLlcHandle,
+    /// This core's index in the shared LLC's per-core accounting.
+    core_id: u32,
     /// Lines brought in by a prefetch and not yet demanded.
     pending_prefetch: FxHashMap<u64, PrefetchSource>,
     /// Fault-injection state (None when injection is disabled).
@@ -202,22 +215,66 @@ pub struct MemoryHierarchy {
     stats: MemStats,
 }
 
+impl Clone for MemoryHierarchy {
+    /// Deep copy: the clone fronts a private copy of the shared LLC,
+    /// detached from any multi-core group. This preserves the value
+    /// semantics single-core callers have always had; cloning one member
+    /// of a live mix would otherwise alias shared state ambiguously.
+    fn clone(&self) -> Self {
+        MemoryHierarchy {
+            cfg: self.cfg,
+            l1: self.l1.clone(),
+            l2: self.l2.clone(),
+            mshr: self.mshr.clone(),
+            shared: Rc::new(RefCell::new(self.shared.borrow().clone())),
+            core_id: self.core_id,
+            pending_prefetch: self.pending_prefetch.clone(),
+            fault: self.fault.clone(),
+            taint_log: self.taint_log.clone(),
+            spec_extents: self.spec_extents.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+}
+
 impl MemoryHierarchy {
-    /// Creates an empty hierarchy.
+    /// Creates an empty hierarchy fronting its own private L3 + DRAM.
     pub fn new(cfg: HierarchyConfig) -> Self {
+        Self::attach_shared(cfg, &SharedLlc::new_handle(cfg.l3, cfg.dram))
+    }
+
+    /// Creates a hierarchy whose private L1/L2/MSHRs front an existing
+    /// shared L3 + DRAM, registering this core with it. The handle's own
+    /// geometry wins over `cfg.l3`/`cfg.dram` (the handle was built from
+    /// some configuration already); everything else in `cfg` is private
+    /// per-core state.
+    pub fn attach_shared(cfg: HierarchyConfig, shared: &SharedLlcHandle) -> Self {
+        let core_id = shared.borrow_mut().register_core();
         MemoryHierarchy {
             cfg,
             l1: Cache::new(cfg.l1),
             l2: Cache::new(cfg.l2),
-            l3: Cache::new(cfg.l3),
             mshr: MshrFile::with_prefetch_cap(cfg.mshrs, cfg.mshr_prefetch_cap.min(cfg.mshrs)),
-            dram: Dram::new(cfg.dram),
+            shared: Rc::clone(shared),
+            core_id,
             pending_prefetch: FxHashMap::default(),
             fault: cfg.fault.map(FaultState::new),
             taint_log: None,
             spec_extents: None,
             stats: MemStats::default(),
         }
+    }
+
+    /// The handle to the shared L3 + DRAM this hierarchy fronts (pass to
+    /// [`MemoryHierarchy::attach_shared`] to add contending cores, or
+    /// borrow for shared-state diagnostics).
+    pub fn shared_llc(&self) -> SharedLlcHandle {
+        Rc::clone(&self.shared)
+    }
+
+    /// This core's index in the shared LLC's per-core accounting.
+    pub fn core_id(&self) -> u32 {
+        self.core_id
     }
 
     /// Arms the secret-taint fill log. While enabled, runahead engines
@@ -311,10 +368,10 @@ impl MemoryHierarchy {
         self.mshr.has_free(cycle, true)
     }
 
-    /// Number of busy intervals in the DRAM slot calendar (for deadlock
-    /// diagnostics).
+    /// Number of busy intervals in the (shared) DRAM slot calendar (for
+    /// deadlock diagnostics).
     pub fn dram_calendar_depth(&self) -> usize {
-        self.dram.calendar_intervals()
+        self.shared.borrow().dram_calendar_depth()
     }
 
     /// Takes the pending fatal injected fault, if one has been armed by the
@@ -420,29 +477,47 @@ impl MemoryHierarchy {
             let ready = (start + l1_lat + self.l2.latency()).max(p.ready_at);
             let level = if p.ready_at > cycle { HitLevel::InFlight } else { HitLevel::L2 };
             (ready, level)
-        } else if let Some(p) = self.l3.probe(line) {
-            let ready = (start + l1_lat + self.l2.latency() + self.l3.latency()).max(p.ready_at);
-            // Fill L2 on the way up.
-            self.fill(Tier::L2, line, ready);
-            let level = if p.ready_at > cycle { HitLevel::InFlight } else { HitLevel::L3 };
-            (ready, level)
         } else {
-            // DRAM.
-            let issue = start + l1_lat + self.l2.latency() + self.l3.latency();
-            let mut ready = self.dram.request_line(issue, line);
-            if let Some(f) = &mut self.fault {
-                if let Some(extra) = f.dram_delay() {
-                    self.stats.injected_delays += 1;
-                    ready += extra;
+            // Past the private levels: probe the shared L3 / DRAM. The
+            // borrow is scoped tightly so the L2 backfill below (which may
+            // write a dirty victim back *into* the shared L3) re-borrows
+            // cleanly.
+            let mut sh = self.shared.borrow_mut();
+            let l3_lat = sh.l3_latency();
+            if let Some(p) = sh.probe_l3(self.core_id, line, demand) {
+                let ready = (start + l1_lat + self.l2.latency() + l3_lat).max(p.ready_at);
+                drop(sh);
+                // Fill L2 on the way up.
+                self.fill(Tier::L2, line, ready);
+                let level = if p.ready_at > cycle { HitLevel::InFlight } else { HitLevel::L3 };
+                (ready, level)
+            } else {
+                // DRAM.
+                let issue = start + l1_lat + self.l2.latency() + l3_lat;
+                let mut ready = sh.request_line(self.core_id, issue, line);
+                drop(sh);
+                if let Some(f) = &mut self.fault {
+                    if let Some(extra) = f.dram_delay() {
+                        self.stats.injected_delays += 1;
+                        ready += extra;
+                    }
                 }
+                let prov = match class {
+                    AccessClass::Demand => {
+                        self.stats.dram_demand += 1;
+                        None
+                    }
+                    AccessClass::Prefetch(src) => {
+                        self.stats.dram_prefetch[src.index()] += 1;
+                        Some(src)
+                    }
+                };
+                if self.shared.borrow_mut().fill_l3(self.core_id, line, ready, prov) {
+                    self.stats.dram_writebacks += 1;
+                }
+                self.fill(Tier::L2, line, ready);
+                (ready, HitLevel::Mem)
             }
-            match class {
-                AccessClass::Demand => self.stats.dram_demand += 1,
-                AccessClass::Prefetch(src) => self.stats.dram_prefetch[src.index()] += 1,
-            }
-            self.fill(Tier::L3, line, ready);
-            self.fill(Tier::L2, line, ready);
-            (ready, HitLevel::Mem)
         };
 
         // Fault injection: a dropped demand response never completes. The
@@ -505,11 +580,13 @@ impl MemoryHierarchy {
         }
     }
 
+    /// Fill into a *private* level; shared-L3 fills go through
+    /// [`SharedLlc::fill_l3`] so provenance and per-core DRAM accounting
+    /// stay with the shared state.
     fn fill(&mut self, tier: Tier, line: u64, ready_at: u64) {
         let evicted = match tier {
             Tier::L1 => self.l1.insert(line, false, ready_at),
             Tier::L2 => self.l2.insert(line, false, ready_at),
-            Tier::L3 => self.l3.insert(line, false, ready_at),
         };
         if let Some((victim, dirty)) = evicted {
             match tier {
@@ -522,14 +599,8 @@ impl MemoryHierarchy {
                     }
                 }
                 Tier::L2 => {
-                    if dirty && !self.l3.mark_dirty(victim) {
-                        self.l3.insert(victim, true, ready_at);
-                    }
-                }
-                Tier::L3 => {
                     if dirty {
-                        self.dram.writeback(ready_at);
-                        self.stats.dram_writebacks += 1;
+                        self.shared.borrow_mut().writeback_into_l3(victim, ready_at);
                     }
                 }
             }
@@ -557,9 +628,11 @@ impl MemoryHierarchy {
         let line = line_of(addr);
         if self.l1.probe(line).is_none() {
             if self.l2.probe(line).is_none() {
-                if self.l3.probe(line).is_none() {
-                    self.warm_fill(Tier::L3, line);
+                let mut sh = self.shared.borrow_mut();
+                if !sh.warm_probe_l3(line) {
+                    sh.warm_fill_l3(line);
                 }
+                drop(sh);
                 self.warm_fill(Tier::L2, line);
             }
             self.warm_fill(Tier::L1, line);
@@ -576,7 +649,6 @@ impl MemoryHierarchy {
         let evicted = match tier {
             Tier::L1 => self.l1.insert(line, false, 0),
             Tier::L2 => self.l2.insert(line, false, 0),
-            Tier::L3 => self.l3.insert(line, false, 0),
         };
         if let Some((victim, dirty)) = evicted {
             if dirty {
@@ -586,12 +658,7 @@ impl MemoryHierarchy {
                             self.l2.insert(victim, true, 0);
                         }
                     }
-                    Tier::L2 => {
-                        if !self.l3.mark_dirty(victim) {
-                            self.l3.insert(victim, true, 0);
-                        }
-                    }
-                    Tier::L3 => {}
+                    Tier::L2 => self.shared.borrow_mut().writeback_into_l3(victim, 0),
                 }
             }
         }
@@ -610,7 +677,7 @@ impl MemoryHierarchy {
         out.extend_from_slice(&WARM_STATE_MAGIC.to_le_bytes());
         self.l1.save_state(&mut out);
         self.l2.save_state(&mut out);
-        self.l3.save_state(&mut out);
+        self.shared.borrow().save_l3(&mut out);
         out
     }
 
@@ -632,7 +699,7 @@ impl MemoryHierarchy {
         off += 4;
         h.l1.load_state(b, &mut off)?;
         h.l2.load_state(b, &mut off)?;
-        h.l3.load_state(b, &mut off)?;
+        h.shared.borrow_mut().load_l3(b, &mut off)?;
         if off != b.len() {
             return None;
         }
@@ -653,9 +720,10 @@ impl MemoryHierarchy {
     pub fn quiesce(&mut self) {
         self.l1.quiesce();
         self.l2.quiesce();
-        self.l3.quiesce();
         self.mshr.quiesce();
-        self.dram.quiesce();
+        // Sampling drives one core per simulated machine, so draining the
+        // shared L3/DRAM here drains state only this core produced.
+        self.shared.borrow_mut().quiesce();
     }
 
     /// Read-only invariant sweep for the `--sanitize` mode: MSHR
@@ -666,9 +734,13 @@ impl MemoryHierarchy {
     pub fn check_invariants(&self, cycle: u64, deep: bool) -> Vec<String> {
         let mut out = self.mshr.check_invariants(cycle);
         if deep {
-            for (name, cache) in [("L1", &self.l1), ("L2", &self.l2), ("L3", &self.l3)] {
+            for (name, cache) in [("L1", &self.l1), ("L2", &self.l2)] {
                 out.extend(cache.check_invariants().into_iter().map(|m| format!("{name} {m}")));
             }
+            // The shared sweep covers the L3 tag array plus the shared-LLC
+            // provenance-residency rule.
+            let sh = self.shared.borrow();
+            out.extend(sh.check_invariants().into_iter().map(|m| format!("L3 {m}")));
         }
         out
     }
@@ -683,17 +755,17 @@ impl MemoryHierarchy {
         &self.l2
     }
 
-    /// Direct read access to the L3.
-    pub fn l3(&self) -> &Cache {
-        &self.l3
+    /// Direct read access to the (shared) L3.
+    pub fn l3(&self) -> Ref<'_, Cache> {
+        Ref::map(self.shared.borrow(), SharedLlc::l3)
     }
 }
 
+/// Private cache levels; the L3 lives in [`SharedLlc`].
 #[derive(Clone, Copy, Debug)]
 enum Tier {
     L1,
     L2,
-    L3,
 }
 
 /// `"DVRH"`: magic prefix of a warm-hierarchy image

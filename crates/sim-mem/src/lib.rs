@@ -40,6 +40,7 @@ mod fault;
 mod hierarchy;
 mod imp;
 mod mshr;
+mod shared;
 mod stats;
 mod stride;
 
@@ -52,6 +53,7 @@ pub use hierarchy::{
 };
 pub use imp::{ImpConfig, ImpPrefetcher};
 pub use mshr::MshrFile;
+pub use shared::{SharedCoreCounters, SharedLlc, SharedLlcHandle};
 pub use stats::{MemStats, TimelinessBucket};
 pub use stride::{StrideEntry, StridePrefetcher, StrideUpdate, MAX_DEGREE};
 

@@ -99,6 +99,33 @@ fn exec_latency(instr: &Instr) -> u64 {
     }
 }
 
+/// Live bookkeeping for an in-progress stepwise run: the state
+/// [`OooCore::run`] used to keep on its own stack (instruction target,
+/// wall-clock anchor, watchdog reference cycle), externalized so a
+/// discrete-event scheduler can interleave cores one cycle at a time.
+/// Obtain one from [`OooCore::begin_run`]; feed it to every
+/// [`OooCore::step_cycle`] call for that run.
+#[derive(Debug)]
+pub struct StepSession {
+    /// Stop once `stats.committed` reaches this absolute count.
+    target: u64,
+    /// Wall-clock anchor for the amortized budget check (`None` when the
+    /// budget is disabled, so unbudgeted runs never touch the clock).
+    wall_start: Option<std::time::Instant>,
+    /// Cycle of the most recent commit, for the forward-progress watchdog.
+    last_commit_cycle: u64,
+}
+
+/// Outcome of one [`OooCore::step_cycle`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Step {
+    /// The core wants another cycle.
+    Running,
+    /// The instruction target was reached or the program halted and the
+    /// pipeline drained; stop stepping this session.
+    Done,
+}
+
 /// The out-of-order core.
 ///
 /// Drive it with [`OooCore::run`], which simulates until the program halts
@@ -243,6 +270,47 @@ impl OooCore {
         self.cycle
     }
 
+    /// Seals the core and opens a [`StepSession`] covering `max_instrs`
+    /// committed instructions, for scheduler-driven execution: a
+    /// discrete-event harness calls [`OooCore::step_cycle`] once per tick
+    /// and [`OooCore::finish_run`] when the session reports [`Step::Done`].
+    /// [`OooCore::run`] is exactly this sequence, so a stepped core is
+    /// cycle-identical to a looped one.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CoreReused`] if the core already completed a sealed run.
+    pub fn begin_run(&mut self, max_instrs: u64) -> Result<StepSession, SimError> {
+        if self.finished {
+            return Err(SimError::CoreReused);
+        }
+        self.finished = true;
+        Ok(self.open_session(max_instrs))
+    }
+
+    fn open_session(&self, target: u64) -> StepSession {
+        StepSession {
+            target,
+            wall_start: (self.cfg.max_wall_ms != 0).then(std::time::Instant::now),
+            // Starts at the current cycle (not 0) so a resumed segment
+            // doesn't inherit phantom commit-free cycles from earlier
+            // segments.
+            last_commit_cycle: self.cycle,
+        }
+    }
+
+    /// End-of-run accounting for a stepped run: the deep sanitizer sweep,
+    /// the final cycle count, and [`MemoryHierarchy::finalize`]. Call once
+    /// per core when its [`StepSession`] ends (on [`Step::Done`] or an
+    /// error); [`OooCore::run`] does this itself.
+    pub fn finish_run(&mut self, hier: &mut MemoryHierarchy) {
+        if self.cfg.sanitize {
+            self.sanitize_deep(hier);
+        }
+        self.stats.cycles = self.cycle;
+        hier.finalize();
+    }
+
     /// Runs the program until it halts or `max_instrs` commit.
     ///
     /// Returns the accumulated statistics.
@@ -265,19 +333,12 @@ impl OooCore {
         engine: &mut E,
         max_instrs: u64,
     ) -> Result<&CoreStats, SimError> {
-        if self.finished {
-            return Err(SimError::CoreReused);
-        }
-        self.finished = true;
-        let result = self.run_inner(prog, mem, hier, engine, max_instrs);
+        let mut session = self.begin_run(max_instrs)?;
+        let result = self.drive(prog, mem, hier, engine, &mut session);
         // Finalization happens on both paths so partial statistics are
         // coherent (cycles set, unused prefetches accounted) even when the
         // run failed.
-        if self.cfg.sanitize {
-            self.sanitize_deep(hier);
-        }
-        self.stats.cycles = self.cycle;
-        hier.finalize();
+        self.finish_run(hier);
         result.map(|()| &self.stats)
     }
 
@@ -311,7 +372,8 @@ impl OooCore {
             return Err(SimError::CoreReused);
         }
         let target = self.stats.committed.saturating_add(max_instrs);
-        let result = self.run_inner(prog, mem, hier, engine, target);
+        let mut session = self.open_session(target);
+        let result = self.drive(prog, mem, hier, engine, &mut session);
         if self.cfg.sanitize {
             self.sanitize_deep(hier);
         }
@@ -319,83 +381,115 @@ impl OooCore {
         result.map(|()| &self.stats)
     }
 
-    fn run_inner<E: RunaheadEngine + ?Sized>(
+    /// Steps the session to completion — the lock-step loop [`OooCore::run`]
+    /// always was, now expressed over [`OooCore::step_cycle`].
+    fn drive<E: RunaheadEngine + ?Sized>(
         &mut self,
         prog: &Program,
         mem: &mut SparseMemory,
         hier: &mut MemoryHierarchy,
         engine: &mut E,
-        max_instrs: u64,
+        session: &mut StepSession,
     ) -> Result<(), SimError> {
-        let wall_start = (self.cfg.max_wall_ms != 0).then(std::time::Instant::now);
-        // Starts at the current cycle (not 0) so a resumed segment doesn't
-        // inherit phantom commit-free cycles from earlier segments.
-        let mut last_commit_cycle = self.cycle;
-        while self.stats.committed < max_instrs {
-            self.cycle += 1;
-            self.rob_full_counted_this_cycle = false;
-            let committed_before = self.stats.committed;
-
-            self.commit(hier);
-            self.issue(prog, mem, hier, engine);
-            self.dispatch(prog, mem, hier, engine);
-            self.fetch(prog, mem)?;
-
-            if let Some(ev) = hier.take_fault() {
-                return Err(SimError::InjectedFault(ev));
-            }
-
-            if self.cfg.sanitize {
-                self.sanitize_cycle(hier);
-                // The per-set cache sweeps walk every way; amortize them.
-                if self.cycle & 0xFFF == 0 {
-                    self.sanitize_deep(hier);
-                }
-            }
-
-            if self.stats.committed > committed_before {
-                last_commit_cycle = self.cycle;
-            } else if self.cfg.watchdog_cycles != 0
-                && self.cycle - last_commit_cycle >= self.cfg.watchdog_cycles
-            {
-                return Err(SimError::Deadlock(Box::new(self.snapshot(hier, last_commit_cycle))));
-            }
-
-            if self.cfg.max_cycles != 0 && self.cycle >= self.cfg.max_cycles {
-                return Err(SimError::CycleBudgetExceeded {
-                    cycle: self.cycle,
-                    budget: self.cfg.max_cycles,
-                });
-            }
-            // The wall-clock and footprint checks are amortized: both cost
-            // more than a cycle of simulation, so probing every cycle would
-            // dominate the hot loop.
-            if self.cycle & 0xFFFF == 0 {
-                if let Some(start) = wall_start {
-                    let elapsed_ms = start.elapsed().as_millis() as u64;
-                    if elapsed_ms > self.cfg.max_wall_ms {
-                        return Err(SimError::WallClockExceeded {
-                            elapsed_ms,
-                            budget_ms: self.cfg.max_wall_ms,
-                        });
-                    }
-                }
-                if self.cfg.mem_cap_bytes != 0 {
-                    let bytes = mem.footprint_bytes() as u64;
-                    if bytes > self.cfg.mem_cap_bytes {
-                        return Err(SimError::MemoryCapExceeded {
-                            bytes,
-                            cap: self.cfg.mem_cap_bytes,
-                        });
-                    }
-                }
-            }
-
-            if self.cpu.is_halted() && self.fetchq.is_empty() && self.rob.is_empty() {
-                break;
+        loop {
+            match self.step_cycle(prog, mem, hier, engine, session)? {
+                Step::Running => {}
+                Step::Done => return Ok(()),
             }
         }
-        Ok(())
+    }
+
+    /// Advances the core by exactly one cycle under an open [`StepSession`].
+    ///
+    /// This is the loop body of the original lock-step `run`, verbatim: the
+    /// pipeline walks stages in reverse order (commit → issue → dispatch →
+    /// fetch) so a value produced this cycle is consumed next cycle, then
+    /// polls faults, sanitizer sweeps, the forward-progress watchdog, and
+    /// the cycle/wall/memory budgets. A discrete-event scheduler calls this
+    /// once per `(tick, core)` event; interleaving cores between calls is
+    /// safe because all cross-core state lives in the shared LLC.
+    ///
+    /// Returns [`Step::Done`] when the session's instruction target is
+    /// reached or the program has halted and drained; the caller must then
+    /// run [`OooCore::finish_run`] (or stop stepping, for segments).
+    ///
+    /// # Errors
+    ///
+    /// The failure modes of [`OooCore::run`]; the session is dead after an
+    /// error.
+    pub fn step_cycle<E: RunaheadEngine + ?Sized>(
+        &mut self,
+        prog: &Program,
+        mem: &mut SparseMemory,
+        hier: &mut MemoryHierarchy,
+        engine: &mut E,
+        session: &mut StepSession,
+    ) -> Result<Step, SimError> {
+        if self.stats.committed >= session.target {
+            return Ok(Step::Done);
+        }
+        self.cycle += 1;
+        self.rob_full_counted_this_cycle = false;
+        let committed_before = self.stats.committed;
+
+        self.commit(hier);
+        self.issue(prog, mem, hier, engine);
+        self.dispatch(prog, mem, hier, engine);
+        self.fetch(prog, mem)?;
+
+        if let Some(ev) = hier.take_fault() {
+            return Err(SimError::InjectedFault(ev));
+        }
+
+        if self.cfg.sanitize {
+            self.sanitize_cycle(hier);
+            // The per-set cache sweeps walk every way; amortize them.
+            if self.cycle & 0xFFF == 0 {
+                self.sanitize_deep(hier);
+            }
+        }
+
+        if self.stats.committed > committed_before {
+            session.last_commit_cycle = self.cycle;
+        } else if self.cfg.watchdog_cycles != 0
+            && self.cycle - session.last_commit_cycle >= self.cfg.watchdog_cycles
+        {
+            return Err(SimError::Deadlock(Box::new(
+                self.snapshot(hier, session.last_commit_cycle),
+            )));
+        }
+
+        if self.cfg.max_cycles != 0 && self.cycle >= self.cfg.max_cycles {
+            return Err(SimError::CycleBudgetExceeded {
+                cycle: self.cycle,
+                budget: self.cfg.max_cycles,
+            });
+        }
+        // The wall-clock and footprint checks are amortized: both cost
+        // more than a cycle of simulation, so probing every cycle would
+        // dominate the hot loop.
+        if self.cycle & 0xFFFF == 0 {
+            if let Some(start) = session.wall_start {
+                let elapsed_ms = start.elapsed().as_millis() as u64;
+                if elapsed_ms > self.cfg.max_wall_ms {
+                    return Err(SimError::WallClockExceeded {
+                        elapsed_ms,
+                        budget_ms: self.cfg.max_wall_ms,
+                    });
+                }
+            }
+            if self.cfg.mem_cap_bytes != 0 {
+                let bytes = mem.footprint_bytes() as u64;
+                if bytes > self.cfg.mem_cap_bytes {
+                    return Err(SimError::MemoryCapExceeded { bytes, cap: self.cfg.mem_cap_bytes });
+                }
+            }
+        }
+
+        if self.cpu.is_halted() && self.fetchq.is_empty() && self.rob.is_empty() {
+            return Ok(Step::Done);
+        }
+        Ok(Step::Running)
     }
 
     /// The invariant-sanitizer ledger (populated when

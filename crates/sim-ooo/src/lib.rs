@@ -30,7 +30,7 @@ mod stats;
 
 pub use branch::{TageConfig, TagePredictor, TAGE_STATE_MAGIC};
 pub use config::CoreConfig;
-pub use core::{DynInst, OooCore};
+pub use core::{DynInst, OooCore, Step, StepSession};
 pub use engine::{ArchSnapshot, EngineCtx, NullEngine, RunaheadEngine};
 pub use error::{DeadlockSnapshot, SimError};
 pub use loop_pred::LoopPredictor;

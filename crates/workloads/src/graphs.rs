@@ -163,6 +163,12 @@ impl GraphInput {
     pub const ALL: [GraphInput; 5] =
         [GraphInput::Kr, GraphInput::Ljn, GraphInput::Ork, GraphInput::Tw, GraphInput::Ur];
 
+    /// Parses a graph-input name (the [`GraphInput::name`] spelling,
+    /// case-insensitively). Returns `None` for anything else.
+    pub fn parse(s: &str) -> Option<GraphInput> {
+        GraphInput::ALL.into_iter().find(|g| g.name().eq_ignore_ascii_case(s))
+    }
+
     /// Short lowercase name as used in the paper's figures.
     pub fn name(self) -> &'static str {
         match self {

@@ -154,6 +154,12 @@ impl Benchmark {
         Benchmark::RandomAccess,
     ];
 
+    /// Parses a benchmark name (the [`Benchmark::name`] spelling,
+    /// case-insensitively). Returns `None` for anything else.
+    pub fn parse(s: &str) -> Option<Benchmark> {
+        Benchmark::ALL.into_iter().find(|b| b.name().eq_ignore_ascii_case(s))
+    }
+
     /// Paper spelling of the name.
     pub fn name(self) -> &'static str {
         match self {
